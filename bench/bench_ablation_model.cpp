@@ -1,0 +1,132 @@
+/// Ablations of the population-model design choices DESIGN.md §4 calls out.
+/// Each variant reruns the full controlled study with one mechanism
+/// disabled and reports the paper results that depend on it:
+///
+///   no-surprise   frog-in-the-pot penalty = 0  -> the §3.3.5 ramp/step
+///                 effect and Fig 9's high step-discomfort counts collapse;
+///   no-noise      noise-floor hazards = 0      -> blank discomfort
+///                 vanishes and the Quake/IE cells lose their low-level
+///                 CDF mass (Fig 9 / Fig 15);
+///   no-skill      skill loadings = 0           -> Fig 17's group
+///                 differences disappear (tested at 330 users for power);
+///   no-correlation shared sensitivity loading = 0 -> per-cell marginals
+///                 are unchanged (copula property) but users are no longer
+///                 consistently tolerant/sensitive across cells.
+
+#include <cstdio>
+
+#include "analysis/breakdown.hpp"
+#include "analysis/consistency.hpp"
+#include "analysis/dynamics.hpp"
+#include "analysis/skill_report.hpp"
+#include "common.hpp"
+#include "study/paper_constants.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+struct VariantReport {
+  std::string name;
+  double ramp_step_frac = 0.0;
+  double ramp_step_diff = 0.0;
+  std::size_t quake_blank_df = 0;
+  std::size_t step_df_ppt_cpu = 0;
+  std::optional<double> quake_cpu_c05;
+  std::size_t skill_rows_330 = 0;
+  double consistency = 0.0;
+};
+
+VariantReport run_variant(const std::string& name,
+                          uucs::study::PopulationParams params) {
+  using namespace uucs;
+  study::ControlledStudyConfig config;
+  const auto out = study::run_controlled_study(config, params);
+
+  VariantReport report;
+  report.name = name;
+  const auto cmp = analysis::compare_ramp_vs_step(
+      out.results, sim::Task::kPowerpoint, Resource::kCpu);
+  report.ramp_step_frac = cmp.frac_ramp_higher;
+  report.ramp_step_diff = cmp.mean_difference;
+
+  const auto quake = analysis::compute_breakdown(out.results, "quake");
+  report.quake_blank_df = quake.blank_discomforted;
+
+  for (const auto& run : out.results.records()) {
+    if (run.task == "powerpoint" && run.discomforted &&
+        analysis::is_step_run(run, Resource::kCpu)) {
+      ++report.step_df_ppt_cpu;
+    }
+  }
+  report.quake_cpu_c05 =
+      analysis::compute_cell(out.results, "quake", Resource::kCpu).c05;
+
+  study::ControlledStudyConfig big = config;
+  big.participants = 330;
+  big.seed = 777;
+  const auto big_out = study::run_controlled_study(big, params);
+  report.skill_rows_330 =
+      analysis::significant_skill_differences(big_out.results, 0.01).size();
+  const auto consistency = analysis::user_consistency(big_out.results);
+  report.consistency = consistency.valid ? consistency.spearman : 0.0;
+  return report;
+}
+
+}  // namespace
+
+int main() {
+  using namespace uucs;
+  const auto base_params = study::calibrate_population();
+
+  std::printf("=== population-model ablations (full study rerun per variant) ===\n");
+
+  std::vector<VariantReport> reports;
+  reports.push_back(run_variant("full-model", base_params));
+
+  {
+    auto p = base_params;
+    p.surprise_penalty = 0.0;
+    reports.push_back(run_variant("no-surprise", p));
+  }
+  {
+    auto p = base_params;
+    p.noise_rates = {0.0, 0.0, 0.0, 0.0};
+    reports.push_back(run_variant("no-noise", p));
+  }
+  {
+    auto p = base_params;
+    for (auto& row : p.skill_loadings) row = {0.0, 0.0, 0.0};
+    reports.push_back(run_variant("no-skill", p));
+  }
+  {
+    auto p = base_params;
+    p.sensitivity_loading = 0.0;
+    reports.push_back(run_variant("no-correlation", p));
+  }
+
+  TextTable t;
+  t.set_header({"variant", "ramp>step frac", "ramp-step diff", "ppt/cpu step df",
+                "quake blank df", "quake/cpu c05", "fig17 rows@330",
+                "user consistency"});
+  for (const auto& r : reports) {
+    t.add_row({r.name, strprintf("%.2f", r.ramp_step_frac),
+               strprintf("%.3f", r.ramp_step_diff),
+               std::to_string(r.step_df_ppt_cpu),
+               std::to_string(r.quake_blank_df),
+               r.quake_cpu_c05 ? strprintf("%.2f", *r.quake_cpu_c05)
+                               : std::string("*"),
+               std::to_string(r.skill_rows_330),
+               strprintf("%.2f", r.consistency)});
+  }
+  std::printf("%s", t.render().c_str());
+  std::printf(
+      "\npaper anchors: ramp>step frac 0.96, diff 0.22; quake blank df 19; "
+      "quake/cpu c05 0.18; Fig 17 has 6 rows.\n"
+      "expected: each mechanism's column collapses when it is disabled and "
+      "only then. Exceptions by design: residual fig17 rows under no-skill "
+      "are the multiple-testing false-positive rate (144 tests at "
+      "alpha=0.01), and user consistency is fed by BOTH correlation "
+      "mechanisms (shared sensitivity and shared expertise), so it halves "
+      "under either ablation rather than vanishing under one.\n");
+  return 0;
+}

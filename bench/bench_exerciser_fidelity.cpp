@@ -1,0 +1,81 @@
+/// Reproduces the §2.2 exerciser verification: "This exerciser is
+/// experimentally verified to a contention level of 10 for equal priority
+/// threads" (CPU) and "to a contention level of 7" (disk). An equal-priority
+/// probe thread should run at 1/(1+c) of its uncontended rate while the real
+/// exerciser applies contention c.
+///
+/// Windows are short so the full sweep stays under ~30 s; on a loaded or
+/// single-core CI host expect noise at the high end (the paper used an idle
+/// dedicated machine).
+
+#include <cstdio>
+
+#include "exerciser/probe.hpp"
+#include "util/clock.hpp"
+#include "util/fs.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace uucs;
+  RealClock clock;
+  TempDir dir("uucs-fidelity");
+
+  std::printf("=== §2.2: CPU exerciser fidelity (probe slowdown vs 1/(1+c)) ===\n");
+  constexpr double kWindow = 0.4;
+  ExerciserConfig cfg;
+  cfg.subinterval_s = 0.01;
+  cfg.max_threads = 12;
+  cfg.disk_dir = dir.path();
+  cfg.disk_file_bytes = 8u << 20;
+  cfg.disk_max_write_bytes = 32u << 10;
+
+  const double cpu_base = cpu_probe_rate(clock, kWindow);
+  std::printf("uncontended probe rate: %.3g work units/s\n", cpu_base);
+  {
+    auto exerciser = make_cpu_exerciser(clock, cfg);
+    TextTable t;
+    t.set_header({"contention", "measured share", "expected 1/(1+c)", "ratio"});
+    for (double c : {0.5, 1.0, 2.0, 4.0, 7.0, 10.0}) {
+      const double rate = probe_rate_under_contention(
+          *exerciser, c, kWindow, clock,
+          [&] { return cpu_probe_rate(clock, kWindow); });
+      const double share = rate / cpu_base;
+      const double expected = 1.0 / (1.0 + c);
+      t.add_row({uucs::strprintf("%.1f", c), uucs::strprintf("%.3f", share),
+                 uucs::strprintf("%.3f", expected),
+                 uucs::strprintf("%.2f", share / expected)});
+    }
+    std::printf("%s", t.render().c_str());
+  }
+
+  std::printf("\n=== §2.2: disk exerciser fidelity ===\n");
+  const double disk_base =
+      disk_probe_rate(clock, kWindow, dir.path(), 8u << 20, 32u << 10);
+  std::printf("uncontended probe rate: %.3g synced writes/s\n", disk_base);
+  {
+    auto exerciser = make_disk_exerciser(clock, cfg);
+    TextTable t;
+    t.set_header({"contention", "measured share", "expected 1/(1+c)", "ratio"});
+    for (double c : {1.0, 3.0, 7.0}) {
+      const double rate = probe_rate_under_contention(
+          *exerciser, c, kWindow, clock, [&] {
+            return disk_probe_rate(clock, kWindow, dir.path(), 8u << 20,
+                                   32u << 10);
+          });
+      const double share = rate / disk_base;
+      const double expected = 1.0 / (1.0 + c);
+      t.add_row({uucs::strprintf("%.1f", c), uucs::strprintf("%.3f", share),
+                 uucs::strprintf("%.3f", expected),
+                 uucs::strprintf("%.2f", share / expected)});
+    }
+    std::printf("%s", t.render().c_str());
+  }
+  std::printf("\nexpected shape: measured share tracks 1/(1+c) (ratio ~1) "
+              "through c=10 for CPU and c=7 for disk.\n");
+  std::printf("note: on virtualized/caching disks (VM images, tmpfs) O_SYNC "
+              "writes never reach a seeking spindle, so the disk share reads "
+              "high while still falling monotonically with contention; the "
+              "paper's 1/(1+c) held on a physical IDE disk.\n");
+  return 0;
+}

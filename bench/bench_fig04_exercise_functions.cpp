@@ -1,0 +1,68 @@
+/// Reproduces Fig 3 (the exercise-function catalog) and Fig 4 (the shapes of
+/// step(2.0, 120, 40) and ramp(2.0, 120)) by generating each function type
+/// and rendering it as ASCII, plus summary statistics for the stochastic
+/// M/M/1 and M/G/1 traces.
+
+#include <cstdio>
+
+#include "common.hpp"
+#include "testcase/exercise_function.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+void plot(const uucs::ExerciseFunction& f, const std::string& title, double ymax) {
+  constexpr int kWidth = 60;
+  constexpr int kHeight = 12;
+  std::printf("%s\n", title.c_str());
+  std::vector<std::string> grid(kHeight, std::string(kWidth, ' '));
+  for (int col = 0; col < kWidth; ++col) {
+    const double t = f.duration() * col / (kWidth - 1);
+    const double level = f.level_at(std::min(t, f.duration() - 1e-9));
+    int row = static_cast<int>(level / ymax * (kHeight - 1) + 0.5);
+    row = std::min(std::max(row, 0), kHeight - 1);
+    grid[static_cast<std::size_t>(kHeight - 1 - row)][static_cast<std::size_t>(col)] = '*';
+  }
+  for (int r = 0; r < kHeight; ++r) {
+    std::printf("%5.2f |%s\n", ymax * (kHeight - 1 - r) / (kHeight - 1),
+                grid[static_cast<std::size_t>(r)].c_str());
+  }
+  std::printf("      +%s\n       0%*.0f s\n\n", std::string(kWidth, '-').c_str(),
+              kWidth - 1, f.duration());
+}
+
+}  // namespace
+
+int main() {
+  uucs::bench::heading("Figure 3: exercise function catalog");
+  uucs::TextTable table;
+  table.set_header({"Name", "Description"});
+  table.add_row({"step(x,t,b)", "contention of zero to time b, then x to time t"});
+  table.add_row({"ramp(x,t)", "ramp from zero to x over times 0 to t"});
+  table.add_row({"sin", "sine wave"});
+  table.add_row({"saw", "sawtooth wave"});
+  table.add_row({"expexp", "Poisson arrivals of exponential-sized jobs (M/M/1)"});
+  table.add_row({"exppar", "Poisson arrivals of Pareto-sized jobs (M/G/1)"});
+  std::printf("%s\n", table.render().c_str());
+
+  uucs::bench::heading("Figure 4: step(2.0,120,40) and ramp(2.0,120)");
+  plot(uucs::make_step(2.0, 120.0, 40.0), "step(2.0, 120, 40)", 2.2);
+  plot(uucs::make_ramp(2.0, 120.0), "ramp(2.0, 120)", 2.2);
+
+  uucs::bench::heading("Other catalog members (samples)");
+  plot(uucs::make_sine(2.0, 40.0, 120.0), "sin (amp 2.0, period 40 s)", 2.2);
+  plot(uucs::make_sawtooth(2.0, 30.0, 120.0), "saw (amp 2.0, period 30 s)", 2.2);
+
+  uucs::Rng rng(2004);
+  const auto mm1 = uucs::make_expexp(4.0, 2.0, 120.0, rng);
+  plot(mm1, "expexp (M/M/1, rho=0.5)", std::max(2.2, mm1.max_level()));
+  std::printf("expexp mean occupancy %.2f (theory rho/(1-rho) = 1.0 over a long run)\n",
+              mm1.mean_level());
+
+  const auto mg1 = uucs::make_exppar(4.0, 2.0, 1.5, 120.0, rng);
+  plot(mg1, "exppar (M/G/1, Pareto alpha=1.5)", std::max(2.2, mg1.max_level()));
+  std::printf("exppar mean occupancy %.2f, burst max %.0f (heavy tail)\n",
+              mg1.mean_level(), mg1.max_level());
+  return 0;
+}

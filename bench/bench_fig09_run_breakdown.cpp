@@ -1,0 +1,59 @@
+/// Reproduces Fig 9: the breakdown of controlled-study runs by task,
+/// blank/non-blank, and discomforted/exhausted, plus the blank-testcase
+/// (noise-floor) discomfort probabilities. Paper numbers print beside the
+/// reproduced ones as "sim/paper". The published table covers CPU + blank
+/// runs (see DESIGN.md §6); the all-resource breakdown follows for
+/// completeness.
+
+#include <cstdio>
+
+#include "analysis/breakdown.hpp"
+#include "common.hpp"
+#include "study/paper_constants.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace uucs;
+  const auto& study_out = bench::default_study();
+  const auto table =
+      analysis::compute_breakdown_table(study_out.results);
+
+  bench::heading("Figure 9: breakdown of runs (sim/paper), CPU + blank scope");
+  TextTable t;
+  t.set_header({"Task", "NonBlank Df", "NonBlank Ex", "Blank Df", "Blank Ex",
+                "P(discomfort|blank)"});
+  auto row = [&](const std::string& name, const analysis::RunBreakdown& b,
+                 const study::PaperBreakdown& p) {
+    t.add_row({name, strprintf("%zu/%zu", b.nonblank_discomforted, p.nonblank_df),
+               strprintf("%zu/%zu", b.nonblank_exhausted, p.nonblank_ex),
+               strprintf("%zu/%zu", b.blank_discomforted, p.blank_df),
+               strprintf("%zu/%zu", b.blank_exhausted, p.blank_ex),
+               strprintf("%.2f/%.2f", b.blank_discomfort_probability(),
+                         p.blank_prob)});
+  };
+  for (sim::Task task : sim::kAllTasks) {
+    row(sim::task_display_name(task),
+        table.per_task[static_cast<std::size_t>(task)],
+        study::paper_breakdown(task));
+  }
+  t.add_rule();
+  row("Total", table.total, study::paper_breakdown_total());
+  std::printf("%s\n", t.render().c_str());
+
+  bench::heading("All-resource breakdown (no paper counterpart)");
+  const auto all = analysis::compute_breakdown_table(
+      study_out.results, analysis::BreakdownScope::kAllRuns);
+  TextTable t2;
+  t2.set_header({"Task", "NonBlank Df", "NonBlank Ex", "Blank Df", "Blank Ex"});
+  for (sim::Task task : sim::kAllTasks) {
+    const auto& b = all.per_task[static_cast<std::size_t>(task)];
+    t2.add_row({sim::task_display_name(task),
+                std::to_string(b.nonblank_discomforted),
+                std::to_string(b.nonblank_exhausted),
+                std::to_string(b.blank_discomforted),
+                std::to_string(b.blank_exhausted)});
+  }
+  std::printf("%s\ntotal runs simulated: %zu\n", t2.render().c_str(),
+              study_out.results.size());
+  return 0;
+}

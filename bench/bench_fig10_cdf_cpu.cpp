@@ -1,0 +1,9 @@
+/// Reproduces Fig 10: the CDF of discomfort for CPU borrowing aggregated
+/// over all four tasks (paper headline: c_0.05 ~ 0.35 — 35% of a CPU can be
+/// taken while discomforting fewer than 5% of users).
+
+#include "cdf_bench.hpp"
+
+int main() {
+  return uucs::bench::run_cdf_bench(uucs::Resource::kCpu, "Figure 10");
+}

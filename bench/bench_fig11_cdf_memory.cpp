@@ -1,0 +1,9 @@
+/// Reproduces Fig 11: the CDF of discomfort for memory borrowing aggregated
+/// over all four tasks (paper headline: ~80% of users unfazed even when
+/// nearly all memory is consumed; c_0.05 ~ 0.33).
+
+#include "cdf_bench.hpp"
+
+int main() {
+  return uucs::bench::run_cdf_bench(uucs::Resource::kMemory, "Figure 11");
+}

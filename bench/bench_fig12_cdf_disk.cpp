@@ -1,0 +1,9 @@
+/// Reproduces Fig 12: the CDF of discomfort for disk-bandwidth borrowing
+/// aggregated over all four tasks (paper headline: a full disk-consuming
+/// writer — contention 1.11 — irritates fewer than 5% of users).
+
+#include "cdf_bench.hpp"
+
+int main() {
+  return uucs::bench::run_cdf_bench(uucs::Resource::kDisk, "Figure 12");
+}

@@ -1,0 +1,19 @@
+/// Reproduces Fig 15: c_0.05 — the contention level that discomforts 5% of
+/// users — by task and resource ("sim/paper"; '*' where the cell has too
+/// little discomfort, as in the paper). This is the number an implementor
+/// would use to throttle borrowing to a 5% annoyance budget.
+
+#include "grid_bench.hpp"
+
+int main() {
+  uucs::bench::print_metric_grid(
+      "Figure 15: c_0.05 by task and resource (sim/paper)",
+      [](const uucs::analysis::CellMetrics& m, const uucs::study::PaperCell& p) {
+        const std::string paper =
+            p.has_c05() ? uucs::bench::fmt(p.c05) : std::string("*");
+        return uucs::bench::fmt_opt(m.c05) + "/" + paper;
+      });
+  std::printf("\nheadline totals: CPU ~0.35, memory ~0.33, disk ~1.11 — borrow "
+              "disk and memory aggressively, CPU less so.\n");
+  return 0;
+}

@@ -1,0 +1,18 @@
+/// Reproduces Fig 16: c_a — the average contention level at which discomfort
+/// occurs — with 95% confidence intervals, by task and resource. Each cell
+/// prints the reproduced mean (CI) above the paper's mean (CI).
+
+#include "grid_bench.hpp"
+
+int main() {
+  uucs::bench::print_metric_grid(
+      "Figure 16: c_a with 95% CI by task and resource (sim | paper)",
+      [](const uucs::analysis::CellMetrics& m, const uucs::study::PaperCell& p) {
+        const std::string mine = uucs::bench::fmt_ca(m.ca);
+        const std::string paper =
+            p.has_ca() ? uucs::strprintf("%.2f (%.2f,%.2f)", p.ca, p.ca_lo, p.ca_hi)
+                       : std::string("*");
+        return mine + " | " + paper;
+      });
+  return 0;
+}

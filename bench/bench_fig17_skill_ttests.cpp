@@ -1,0 +1,71 @@
+/// Reproduces Fig 17: significant differences in mean discomfort contention
+/// between self-rated skill groups (unpaired Welch t-tests, §3.3.4). With
+/// the paper's 33 participants the tests are underpowered (the paper calls
+/// its own results "preliminary"), so the bench reports both the 33-user
+/// run and a 330-user run that shows the same machinery with real power.
+/// The expected *shape*: the strongest splits involve Quake/CPU — experts
+/// tolerate ~0.1-0.2 less CPU contention there — with general PC/Windows
+/// ratings also separating groups through their correlation with expertise.
+
+#include <cstdio>
+
+#include "analysis/skill_report.hpp"
+#include "common.hpp"
+#include "study/paper_constants.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+void print_rows(const std::vector<uucs::analysis::SkillDifference>& rows,
+                std::size_t limit) {
+  using namespace uucs;
+  TextTable t;
+  t.set_header({"App", "Rsrc", "Rating", "Groups", "p", "Diff", "n"});
+  std::size_t shown = 0;
+  for (const auto& r : rows) {
+    if (shown++ == limit) break;
+    t.add_row({sim::task_display_name(r.task), resource_name(r.resource),
+               sim::skill_category_name(r.category),
+               sim::skill_rating_name(r.group_a) + " vs " +
+                   sim::skill_rating_name(r.group_b),
+               strprintf("%.4f", r.p), strprintf("%.3f", r.diff),
+               strprintf("%zu,%zu", r.n_a, r.n_b)});
+  }
+  std::printf("%s", t.render().c_str());
+}
+
+}  // namespace
+
+int main() {
+  using namespace uucs;
+
+  bench::heading("Figure 17 (paper): significant skill-level differences");
+  TextTable paper;
+  paper.set_header({"App", "Rsrc", "Rating", "Groups", "p", "Diff"});
+  for (const auto& row : study::paper_skill_rows()) {
+    paper.add_row({sim::task_display_name(row.task), resource_name(row.resource),
+                   sim::skill_category_name(row.category),
+                   sim::skill_rating_name(row.group_hi) + " vs " +
+                       sim::skill_rating_name(row.group_lo),
+                   strprintf("%.3f", row.p), strprintf("%.3f", row.diff)});
+  }
+  std::printf("%s", paper.render().c_str());
+
+  bench::heading("Reproduced, 33 participants (alpha = 0.05)");
+  const auto rows33 =
+      analysis::significant_skill_differences(bench::default_study().results, 0.05);
+  if (rows33.empty()) {
+    std::printf("(no significant rows at this sample size — expected: the "
+                "paper's own results here are preliminary)\n");
+  } else {
+    print_rows(rows33, 10);
+  }
+
+  bench::heading("Reproduced, 330 participants (alpha = 0.01)");
+  const auto rows330 =
+      analysis::significant_skill_differences(bench::scaled_study(330).results, 0.01);
+  print_rows(rows330, 12);
+  std::printf("\nexpected shape: Quake/CPU splits hardest on the Quake rating, "
+              "with PC/Windows ratings correlated.\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+/// Methodological ablation of the paper's aggregated CDFs (Figs 10-12).
+/// The paper pools ramp runs across tasks and divides by all runs — but the
+/// per-task ramps explore different maxima (Word's CPU ramp reaches 7.0,
+/// Quake's only 1.3), so exhausted Quake runs are *censored at 1.3*, not
+/// evidence of comfort at 5. The Kaplan–Meier estimator treats them as
+/// right-censored and recovers the population curve the naive estimator
+/// compresses.
+///
+/// Expected shape: naive and KM agree below the smallest ramp maximum and
+/// diverge above it, with KM estimating MORE discomfort at high contention
+/// (the naive curve's denominator keeps censored runs forever).
+
+#include <cstdio>
+
+#include "common.hpp"
+#include "study/paper_constants.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace uucs;
+  const auto& study_out = bench::default_study();
+
+  for (Resource r : kStudyResources) {
+    const auto cdf = analysis::aggregate_cdf(study_out.results, r);
+    const auto km = analysis::aggregate_km(study_out.results, r);
+
+    bench::heading("naive vs Kaplan-Meier aggregated CDF: " + resource_name(r));
+    std::printf("runs: %zu events + %zu censored\n", km.event_count(),
+                km.censored_count());
+
+    TextTable t;
+    t.set_header({"contention", "naive F(x)", "KM F(x)"});
+    double xmax = 0.0;
+    for (const auto& [level, frac] : cdf.curve_points()) xmax = level;
+    for (int i = 1; i <= 8; ++i) {
+      const double x = xmax * i / 8.0;
+      t.add_row({strprintf("%.2f", x), strprintf("%.3f", cdf.fraction_at(x)),
+                 strprintf("%.3f", km.discomfort_probability(x))});
+    }
+    std::printf("%s", t.render().c_str());
+
+    const auto naive05 = cdf.level_at_fraction(0.05);
+    const auto km05 = km.level_at_probability(0.05);
+    std::printf("c_0.05: naive %s, KM %s (paper %s: %.2f)\n",
+                naive05 ? strprintf("%.2f", *naive05).c_str() : "*",
+                km05 ? strprintf("%.2f", *km05).c_str() : "*",
+                resource_name(r).c_str(), study::paper_total(r).c05);
+  }
+  std::printf("\nreading: the low-contention region (where throttles operate) "
+              "is estimator-insensitive; the divergence above the smallest "
+              "ramp maximum quantifies how conservative the paper's pooled "
+              "curves are at high contention.\n");
+  return 0;
+}

@@ -1,0 +1,115 @@
+/// google-benchmark microbenchmarks for the hot paths of the library: the
+/// codec the stores and the wire protocol share, the queueing-trace
+/// generators behind the Internet suite, the discrete-event engine, the CDF
+/// machinery the analysis pipeline leans on, and a full simulated run.
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/metrics.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/user_model.hpp"
+#include "stats/ecdf.hpp"
+#include "stats/special.hpp"
+#include "testcase/suite.hpp"
+#include "util/kvtext.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+void BM_RngUniform(benchmark::State& state) {
+  uucs::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.uniform());
+  }
+}
+BENCHMARK(BM_RngUniform);
+
+void BM_RngPoisson(benchmark::State& state) {
+  uucs::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.poisson(static_cast<double>(state.range(0))));
+  }
+}
+BENCHMARK(BM_RngPoisson)->Arg(3)->Arg(100);
+
+void BM_KvRoundTrip(benchmark::State& state) {
+  const auto tc = uucs::make_ramp_testcase(uucs::Resource::kCpu, 2.0,
+                                           static_cast<double>(state.range(0)));
+  for (auto _ : state) {
+    const std::string text = uucs::kv_serialize({tc.to_record()});
+    const auto records = uucs::kv_parse(text);
+    benchmark::DoNotOptimize(records.size());
+  }
+  state.SetLabel(std::to_string(state.range(0)) + "s testcase");
+}
+BENCHMARK(BM_KvRoundTrip)->Arg(120)->Arg(1200);
+
+void BM_ExpExpTrace(benchmark::State& state) {
+  uucs::Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        uucs::make_expexp(4.0, 2.0, static_cast<double>(state.range(0)), rng));
+  }
+}
+BENCHMARK(BM_ExpExpTrace)->Arg(120)->Arg(1200);
+
+void BM_EventQueueChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    uucs::VirtualClock clock;
+    uucs::sim::EventQueue queue(clock);
+    uucs::Rng rng(3);
+    std::size_t fired = 0;
+    for (int i = 0; i < state.range(0); ++i) {
+      queue.schedule_at(rng.uniform(0.0, 1000.0), [&fired] { ++fired; });
+    }
+    queue.run_all();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventQueueChurn)->Arg(1000)->Arg(10000);
+
+void BM_DiscomfortCdfMetrics(benchmark::State& state) {
+  uucs::Rng rng(5);
+  uucs::stats::DiscomfortCdf cdf;
+  for (int i = 0; i < state.range(0); ++i) {
+    if (rng.bernoulli(0.7)) {
+      cdf.add_discomfort(rng.lognormal(0.3, 0.5));
+    } else {
+      cdf.add_exhausted();
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cdf.level_at_fraction(0.05));
+    benchmark::DoNotOptimize(cdf.mean_discomfort_level());
+  }
+}
+BENCHMARK(BM_DiscomfortCdfMetrics)->Arg(300)->Arg(3000);
+
+void BM_StudentTQuantile(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(uucs::stats::student_t_quantile(0.975, 17.0));
+  }
+}
+BENCHMARK(BM_StudentTQuantile);
+
+void BM_SimulatedRun(benchmark::State& state) {
+  static const uucs::sim::HostModel host{uucs::HostSpec::paper_study_machine()};
+  uucs::sim::RunSimulator sim(host, {0.0, 0.0, 0.002, 0.003});
+  uucs::sim::UserProfile user;
+  user.user_id = "bench";
+  for (auto t : uucs::sim::kAllTasks) {
+    for (auto r : uucs::kStudyResources) user.set_threshold(t, r, 1.0);
+  }
+  const auto tc = uucs::make_ramp_testcase(uucs::Resource::kCpu, 2.0, 120.0);
+  uucs::Rng rng(11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sim.simulate(user, uucs::sim::Task::kQuake, tc, rng));
+  }
+}
+BENCHMARK(BM_SimulatedRun);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,49 @@
+/// The paper's open question 6 — "How does the level depend on the raw
+/// power of the host?" — which its Internet study was designed to answer.
+/// This bench answers it with the model: the SAME user population performs
+/// the controlled study on hosts of increasing raw power, and the
+/// Quake/CPU tolerance metrics shift up with power (the same contention
+/// hurts less on a faster machine), while memory metrics stay flat
+/// (memory borrowing is a fraction of capacity, not a rate).
+
+#include <cstdio>
+
+#include "common.hpp"
+#include "study/paper_constants.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace uucs;
+  const auto params = study::calibrate_population();
+
+  bench::heading("question 6: tolerated contention vs raw host power");
+  TextTable t;
+  t.set_header({"host power", "quake/cpu c05", "quake/cpu ca", "quake/cpu fd",
+                "memory fd (all tasks)"});
+  for (double power : {0.5, 1.0, 2.0, 4.0}) {
+    study::ControlledStudyConfig config;
+    config.host = HostSpec::paper_study_machine();
+    config.host.cpu_mhz = 2000.0 * power;
+    const auto out = study::run_controlled_study(config, params);
+    const auto quake_cpu =
+        analysis::compute_cell(out.results, "quake", Resource::kCpu);
+    const auto mem = analysis::metrics_from_cdf(
+        analysis::aggregate_cdf(out.results, Resource::kMemory));
+    t.add_row({strprintf("%.1fx", power),
+               quake_cpu.c05 ? strprintf("%.2f", *quake_cpu.c05) : "*",
+               quake_cpu.ca ? strprintf("%.2f", quake_cpu.ca->mean) : "*",
+               strprintf("%.2f", quake_cpu.fd), strprintf("%.2f", mem.fd)});
+  }
+  std::printf("%s", t.render().c_str());
+  std::printf(
+      "\n(1.0x = the paper's 2.0 GHz P4 study machine; thresholds are "
+      "calibrated at 1.0x and mapped through the app-degradation model for "
+      "other hosts)\n"
+      "reading: threshold crossings collapse with host power — fd falls and "
+      "c_a rises while crossings still dominate. Once fd nears the Quake "
+      "noise floor (fast hosts) the surviving presses are ambient-annoyance "
+      "events at time-uniform (hence low) ramp levels, so c05/c_a become "
+      "noise-dominated rather than comfort-driven. Memory is capacity-based "
+      "and stays flat throughout, as expected.\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+#pragma once
+
+/// Shared body for the Fig 10/11/12 benches: the aggregated (all-task)
+/// discomfort CDF for one resource, as an ASCII plot plus the derived
+/// metrics against the paper's totals, with a CSV export for replotting.
+
+#include <cstdio>
+
+#include "analysis/export.hpp"
+#include "common.hpp"
+#include "study/paper_constants.hpp"
+
+namespace uucs::bench {
+
+inline int run_cdf_bench(uucs::Resource resource, const char* figure_name) {
+  const auto& study_out = default_study();
+  const auto cdf = analysis::aggregate_cdf(study_out.results, resource);
+  const auto m = analysis::metrics_from_cdf(cdf);
+  const auto& paper = study::paper_total(resource);
+
+  heading(std::string(figure_name) + ": aggregated discomfort CDF for " +
+          resource_name(resource));
+  std::printf("%s\n", cdf.ascii_plot(60, 16, "cumulative fraction of runs discomforted "
+                                             "vs contention").c_str());
+  std::printf("metric           sim     paper\n");
+  std::printf("f_d            %6.2f    %6.2f\n", m.fd, paper.fd);
+  std::printf("c_0.05         %6s    %6.2f\n", fmt_opt(m.c05).c_str(), paper.c05);
+  std::printf("c_a            %6s    %6.2f (%.2f,%.2f)\n",
+              m.ca ? fmt(m.ca->mean).c_str() : "*", paper.ca, paper.ca_lo,
+              paper.ca_hi);
+  std::printf("DfCount/ExCount  %zu/%zu\n", m.df_count, m.ex_count);
+  std::printf("DKW 95%% band: true curve within +-%.3f of the plot everywhere\n",
+              cdf.dkw_half_width());
+
+  const std::string csv_path =
+      "cdf_" + resource_name(resource) + ".csv";
+  analysis::export_cdf(cdf).save(csv_path);
+  std::printf("curve points exported to %s\n", csv_path.c_str());
+  return 0;
+}
+
+}  // namespace uucs::bench

@@ -1,0 +1,45 @@
+#pragma once
+
+/// Shared body for the Fig 14/15/16 benches: one 4x3 grid of a per-cell
+/// metric (plus totals) with "sim/paper" cells.
+
+#include <cstdio>
+#include <functional>
+
+#include "common.hpp"
+#include "study/paper_constants.hpp"
+#include "util/table.hpp"
+
+namespace uucs::bench {
+
+/// Renders the task x resource grid; `cell_text(metrics, paper)` formats one
+/// cell, `total_text` the per-resource totals row.
+inline void print_metric_grid(
+    const char* title,
+    const std::function<std::string(const analysis::CellMetrics&,
+                                    const study::PaperCell&)>& cell_text) {
+  const auto& study_out = default_study();
+  heading(title);
+  TextTable t;
+  t.set_header({"", "CPU", "Memory", "Disk"});
+  for (sim::Task task : sim::kAllTasks) {
+    std::vector<std::string> row{sim::task_display_name(task)};
+    for (Resource r : kStudyResources) {
+      const auto m =
+          analysis::compute_cell(study_out.results, sim::task_name(task), r);
+      row.push_back(cell_text(m, study::paper_cell(task, r)));
+    }
+    t.add_row(std::move(row));
+  }
+  t.add_rule();
+  std::vector<std::string> total{"Total"};
+  for (Resource r : kStudyResources) {
+    const auto m = analysis::metrics_from_cdf(
+        analysis::aggregate_cdf(study_out.results, r));
+    total.push_back(cell_text(m, study::paper_total(r)));
+  }
+  t.add_row(std::move(total));
+  std::printf("%s", t.render().c_str());
+}
+
+}  // namespace uucs::bench

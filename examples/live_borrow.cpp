@@ -1,0 +1,92 @@
+/// The live UUCS client experience on this machine: plays a testcase with
+/// the REAL resource exercisers while you work, watching for the discomfort
+/// hot-key — here `kill -USR1 <pid>` instead of the paper's F11/tray icon —
+/// and prints the run record (termination cause, offset, last five
+/// contention levels, load samples) exactly as the client would upload it.
+///
+/// Usage: live_borrow [--resource cpu|memory|disk] [--shape ramp|step|blank]
+///                    [--level X] [--duration SECONDS]
+///
+/// Defaults are deliberately gentle: a 10-second CPU ramp to level 1.0.
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "client/run_executor.hpp"
+#include "testcase/suite.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: live_borrow [--resource cpu|memory|disk] "
+               "[--shape ramp|step|blank] [--level X] [--duration S]\n");
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace uucs;
+  Resource resource = Resource::kCpu;
+  std::string shape = "ramp";
+  double level = 1.0;
+  double duration = 10.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (++i >= argc) usage();
+      return argv[i];
+    };
+    if (arg == "--resource") {
+      resource = parse_resource(next());
+    } else if (arg == "--shape") {
+      shape = next();
+    } else if (arg == "--level") {
+      level = std::stod(next());
+    } else if (arg == "--duration") {
+      duration = std::stod(next());
+    } else {
+      usage();
+    }
+  }
+
+  Testcase testcase("live");
+  if (shape == "ramp") {
+    testcase = make_ramp_testcase(resource, level, duration, 10.0);
+  } else if (shape == "step") {
+    testcase = make_step_testcase(resource, level, duration, duration / 3.0, 10.0);
+  } else if (shape == "blank") {
+    testcase = make_blank_testcase(duration);
+  } else {
+    usage();
+  }
+
+  std::printf("playing %s for %.0f s — press the discomfort hot-key with:\n",
+              testcase.description().c_str(), testcase.duration());
+  std::printf("    kill -USR1 %d\n", ::getpid());
+
+  RealClock clock;
+  ExerciserConfig config;
+  config.subinterval_s = 0.01;
+  // Modest live defaults; a deployment build would size the disk file at
+  // 2x RAM and the memory pool at the full physical memory, like the paper.
+  config.memory_pool_bytes = 256u << 20;
+  config.disk_file_bytes = 128u << 20;
+  ExerciserSet exercisers(clock, config);
+  SignalFeedback feedback;
+  ProcSampler sampler;
+  LoadRecorder recorder(clock, sampler, 1.0);
+  RunExecutor executor(clock, exercisers, feedback, &recorder);
+
+  const RunRecord run = executor.execute(testcase, "live/0", "console");
+  std::printf("\n%s", kv_serialize({run.to_record()}).c_str());
+  std::printf("run %s after %.1f s\n",
+              run.discomforted ? "stopped by discomfort feedback" : "exhausted",
+              run.offset_s);
+  return 0;
+}

@@ -1,0 +1,64 @@
+/// §5 end to end: a background "grid" application that throttles its own
+/// borrowing off the comfort study. It
+///
+///  1. runs the controlled study (virtual time) and distills the results
+///     into a ComfortProfile (the paper's CDFs, Figs 10-12),
+///  2. asks the profile how much CPU it may take under a 5% annoyance
+///     budget while the user browses ("Know what the user is doing"),
+///  3. actually borrows that much CPU on THIS machine for a few seconds
+///     with the real exerciser, demonstrating the fine-grained throttle,
+///  4. simulates a discomfort press and shows the adaptive policy backing
+///     off and recovering — the feedback-driven scheduling the paper lists
+///     as future work.
+
+#include <cstdio>
+
+#include "core/policy_eval.hpp"
+#include "exerciser/exerciser.hpp"
+#include "study/controlled_study.hpp"
+
+int main() {
+  using namespace uucs;
+
+  // 1. study -> profile.
+  std::printf("running the comfort study (virtual time)...\n");
+  study::ControlledStudyConfig study_config;
+  const auto study_out = study::run_controlled_study(study_config);
+  const auto profile = core::ComfortProfile::from_results(study_out.results);
+
+  // 2. ask the throttle.
+  core::AdaptiveThrottle throttle(profile, /*budget=*/0.05);
+  core::BorrowContext ctx;
+  ctx.task = "ie";
+  ctx.user_active = true;
+  ctx.now_s = 0.0;
+  const double cpu_allowed = throttle.allowed_contention(Resource::kCpu, ctx);
+  const double disk_allowed = throttle.allowed_contention(Resource::kDisk, ctx);
+  std::printf("budget 5%% while the user browses: CPU contention <= %.2f, "
+              "disk <= %.2f\n",
+              cpu_allowed, disk_allowed);
+  std::printf("(expected fraction of users discomforted at that CPU level: "
+              "%.3f)\n",
+              profile.discomfort_fraction(Resource::kCpu, cpu_allowed, "ie"));
+
+  // 3. borrow for real, briefly.
+  RealClock clock;
+  ExerciserConfig exerciser_config;
+  exerciser_config.subinterval_s = 0.01;
+  auto exerciser = make_cpu_exerciser(clock, exerciser_config);
+  std::printf("borrowing CPU at contention %.2f for 2 s with the real "
+              "exerciser...\n",
+              cpu_allowed);
+  exerciser->run(make_constant(std::max(cpu_allowed, 0.05), 2.0, 10.0));
+  std::printf("done.\n");
+
+  // 4. feedback-driven backoff.
+  std::printf("\nuser presses the discomfort key -> adaptive backoff:\n");
+  throttle.on_feedback(Resource::kCpu, ctx);
+  for (double t : {0.0, 600.0, 1800.0, 7200.0}) {
+    ctx.now_s = t;
+    std::printf("  t=%5.0f s: allowed CPU contention %.2f\n", t,
+                throttle.allowed_contention(Resource::kCpu, ctx));
+  }
+  return 0;
+}

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "sim/task.hpp"
+#include "testcase/run_record.hpp"
+
+namespace uucs::analysis {
+
+/// Fig 9's breakdown of runs for one task (or the study total): counts by
+/// {blank, non-blank} x {discomforted, exhausted}, plus the probability of
+/// discomfort from a blank testcase (the *noise floor*).
+struct RunBreakdown {
+  std::size_t nonblank_discomforted = 0;
+  std::size_t nonblank_exhausted = 0;
+  std::size_t blank_discomforted = 0;
+  std::size_t blank_exhausted = 0;
+
+  std::size_t total() const {
+    return nonblank_discomforted + nonblank_exhausted + blank_discomforted +
+           blank_exhausted;
+  }
+
+  /// P(discomfort | blank testcase); 0 when no blank runs exist.
+  double blank_discomfort_probability() const;
+
+  void add(const RunBreakdown& other);
+};
+
+/// Which runs enter the breakdown. The paper's Fig 9 per-task counts work
+/// out to ~2 CPU runs plus ~2 blank runs per user per task — i.e. the
+/// published table covers the CPU testcases and the blanks, not the disk
+/// and memory runs — so kCpuAndBlank reproduces the figure and kAllRuns
+/// gives the complete picture.
+enum class BreakdownScope { kCpuAndBlank, kAllRuns };
+
+/// Computes the breakdown over runs for `task` ("" = all tasks).
+RunBreakdown compute_breakdown(const uucs::ResultStore& results,
+                               const std::string& task,
+                               BreakdownScope scope = BreakdownScope::kCpuAndBlank);
+
+/// Per-task breakdowns in paper order plus the total row.
+struct BreakdownTable {
+  std::array<RunBreakdown, uucs::sim::kTaskCount> per_task;
+  RunBreakdown total;
+};
+BreakdownTable compute_breakdown_table(
+    const uucs::ResultStore& results,
+    BreakdownScope scope = BreakdownScope::kCpuAndBlank);
+
+}  // namespace uucs::analysis

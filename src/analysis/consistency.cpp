@@ -1,0 +1,71 @@
+#include "analysis/consistency.hpp"
+
+#include <map>
+
+#include "analysis/metrics.hpp"
+#include "stats/correlation.hpp"
+#include "stats/summary.hpp"
+
+namespace uucs::analysis {
+
+ConsistencyReport user_consistency(const uucs::ResultStore& results) {
+  // Per-(task, resource) mean discomfort level, for normalization.
+  std::map<std::pair<std::string, uucs::Resource>, std::vector<double>> cell_levels;
+  // Per-user normalized scores, split into CPU vs non-CPU resources.
+  struct UserScores {
+    std::vector<double> cpu;
+    std::vector<double> other;
+  };
+  std::map<std::string, UserScores> users;
+
+  // Spontaneous (noise-floor) presses carry no tolerance information and
+  // mask the correlation; simulated records flag them, so drop those.
+  auto usable = [](const uucs::RunRecord& run) {
+    return run.discomforted && !run.user_id.empty() &&
+           run.meta("noise_triggered", "false") != "true";
+  };
+
+  for (const auto& run : results.records()) {
+    if (!usable(run)) continue;
+    const auto r = run_resource(run);
+    if (!r || !is_ramp_run(run, *r)) continue;
+    const auto level = run.level_at_feedback(*r);
+    if (!level) continue;
+    cell_levels[{run.task, *r}].push_back(*level);
+  }
+
+  std::map<std::pair<std::string, uucs::Resource>, double> cell_mean;
+  for (const auto& [key, levels] : cell_levels) {
+    cell_mean[key] = uucs::stats::mean_of(levels);
+  }
+
+  for (const auto& run : results.records()) {
+    if (!usable(run)) continue;
+    const auto r = run_resource(run);
+    if (!r || !is_ramp_run(run, *r)) continue;
+    const auto level = run.level_at_feedback(*r);
+    if (!level) continue;
+    const double mean = cell_mean[{run.task, *r}];
+    if (mean <= 0) continue;
+    const double normalized = *level / mean;
+    auto& scores = users[run.user_id];
+    (*r == uucs::Resource::kCpu ? scores.cpu : scores.other).push_back(normalized);
+  }
+
+  std::vector<double> cpu_scores, other_scores;
+  for (const auto& [user, scores] : users) {
+    if (scores.cpu.empty() || scores.other.empty()) continue;
+    cpu_scores.push_back(uucs::stats::mean_of(scores.cpu));
+    other_scores.push_back(uucs::stats::mean_of(scores.other));
+  }
+
+  ConsistencyReport report;
+  report.users = cpu_scores.size();
+  if (report.users >= 8) {
+    report.spearman = uucs::stats::spearman_correlation(cpu_scores, other_scores);
+    report.valid = true;
+  }
+  return report;
+}
+
+}  // namespace uucs::analysis

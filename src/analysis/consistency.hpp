@@ -1,0 +1,28 @@
+#pragma once
+
+#include <optional>
+
+#include "testcase/run_record.hpp"
+
+namespace uucs::analysis {
+
+/// Within-user consistency: do users who tolerate little on one resource
+/// also tolerate little on the others? The population model induces this
+/// through its shared-sensitivity loading (DESIGN.md §4); this statistic
+/// measures it from run records so the ablation bench can show it vanish
+/// when the loading is disabled.
+///
+/// Method: for each user and resource, average the user's discomfort
+/// levels from ramp runs, normalized by the per-(task,resource) mean so
+/// tasks with different ramp scales are comparable; then Spearman-correlate
+/// the per-user CPU score against the per-user disk+memory score across
+/// users with both.
+struct ConsistencyReport {
+  double spearman = 0.0;   ///< cross-resource rank correlation of tolerance
+  std::size_t users = 0;   ///< users contributing to the correlation
+  bool valid = false;      ///< false when fewer than 8 users qualify
+};
+
+ConsistencyReport user_consistency(const uucs::ResultStore& results);
+
+}  // namespace uucs::analysis

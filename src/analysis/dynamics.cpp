@@ -1,0 +1,48 @@
+#include "analysis/dynamics.hpp"
+
+#include <map>
+
+#include "analysis/metrics.hpp"
+#include "stats/summary.hpp"
+
+namespace uucs::analysis {
+
+RampStepComparison compare_ramp_vs_step(const uucs::ResultStore& results,
+                                        uucs::sim::Task task, uucs::Resource r) {
+  // Collect each user's discomfort levels per shape (a user may have run
+  // the same shape more than once; average their levels).
+  std::map<std::string, std::vector<double>> ramp_levels;
+  std::map<std::string, std::vector<double>> step_levels;
+  for (const auto* run : results.filter(uucs::sim::task_name(task))) {
+    if (!run->discomforted) continue;
+    const auto level = run->level_at_feedback(r);
+    if (!level) continue;
+    if (is_ramp_run(*run, r)) {
+      ramp_levels[run->user_id].push_back(*level);
+    } else if (is_step_run(*run, r)) {
+      step_levels[run->user_id].push_back(*level);
+    }
+  }
+
+  std::vector<double> diffs;
+  std::size_t higher = 0;
+  for (const auto& [user, ramps] : ramp_levels) {
+    const auto it = step_levels.find(user);
+    if (it == step_levels.end()) continue;
+    const double ramp = uucs::stats::mean_of(ramps);
+    const double step = uucs::stats::mean_of(it->second);
+    diffs.push_back(ramp - step);
+    if (ramp > step) ++higher;
+  }
+
+  RampStepComparison cmp;
+  cmp.pairs = diffs.size();
+  if (!diffs.empty()) {
+    cmp.frac_ramp_higher = static_cast<double>(higher) / static_cast<double>(diffs.size());
+    cmp.mean_difference = uucs::stats::mean_of(diffs);
+    cmp.ttest = uucs::stats::one_sample_t_test(diffs, 0.0);
+  }
+  return cmp;
+}
+
+}  // namespace uucs::analysis

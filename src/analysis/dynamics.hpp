@@ -1,0 +1,29 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/task.hpp"
+#include "stats/ttest.hpp"
+#include "testcase/run_record.hpp"
+
+namespace uucs::analysis {
+
+/// §3.3.5's "frog in the pot" analysis: pair each user's ramp and step runs
+/// for one (task, resource) and test whether users tolerate higher
+/// contention when it arrives as a slow ramp than as a quick step.
+struct RampStepComparison {
+  std::size_t pairs = 0;            ///< users with a discomfort level in both
+  double frac_ramp_higher = 0.0;    ///< fraction of pairs with ramp > step
+  double mean_difference = 0.0;     ///< mean(ramp level - step level)
+  uucs::stats::TTestResult ttest;   ///< paired differences vs zero
+};
+
+/// Builds the comparison over `results` for (task, r). A user contributes
+/// one pair per (ramp discomfort level, step discomfort level); users who
+/// exhausted either run type are excluded, as the paper's metric needs an
+/// observed level on both sides.
+RampStepComparison compare_ramp_vs_step(const uucs::ResultStore& results,
+                                        uucs::sim::Task task, uucs::Resource r);
+
+}  // namespace uucs::analysis

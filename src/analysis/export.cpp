@@ -1,0 +1,54 @@
+#include "analysis/export.hpp"
+
+#include "util/strings.hpp"
+
+namespace uucs::analysis {
+
+uucs::Csv export_cdf(const uucs::stats::DiscomfortCdf& cdf) {
+  uucs::Csv csv;
+  csv.add_row({"level", "cumulative_fraction"});
+  for (const auto& [x, f] : cdf.curve_points()) {
+    csv.add_row({uucs::strprintf("%.10g", x), uucs::strprintf("%.10g", f)});
+  }
+  return csv;
+}
+
+uucs::Csv export_metric_grid(const uucs::ResultStore& results) {
+  uucs::Csv csv;
+  csv.add_row({"task", "resource", "df_count", "ex_count", "fd", "c05", "ca",
+               "ca_lo", "ca_hi"});
+  auto add = [&](const std::string& task_label, const std::string& task_filter,
+                 uucs::Resource r) {
+    const CellMetrics m = compute_cell(results, task_filter, r);
+    csv.add_row({task_label, uucs::resource_name(r), std::to_string(m.df_count),
+                 std::to_string(m.ex_count), uucs::strprintf("%.4f", m.fd),
+                 m.c05 ? uucs::strprintf("%.4f", *m.c05) : "*",
+                 m.ca ? uucs::strprintf("%.4f", m.ca->mean) : "*",
+                 m.ca ? uucs::strprintf("%.4f", m.ca->lo) : "*",
+                 m.ca ? uucs::strprintf("%.4f", m.ca->hi) : "*"});
+  };
+  for (uucs::sim::Task t : uucs::sim::kAllTasks) {
+    for (uucs::Resource r : uucs::kStudyResources) {
+      add(uucs::sim::task_display_name(t), uucs::sim::task_name(t), r);
+    }
+  }
+  for (uucs::Resource r : uucs::kStudyResources) add("Total", "", r);
+  return csv;
+}
+
+uucs::Csv export_runs(const uucs::ResultStore& results) {
+  uucs::Csv csv;
+  csv.add_row({"run_id", "user_id", "testcase_id", "task", "discomforted",
+               "offset_s", "resource", "level_at_feedback"});
+  for (const auto& run : results.records()) {
+    const auto r = run_resource(run);
+    const auto level = r ? run.level_at_feedback(*r) : std::nullopt;
+    csv.add_row({run.run_id, run.user_id, run.testcase_id, run.task,
+                 run.discomforted ? "1" : "0", uucs::strprintf("%.4f", run.offset_s),
+                 r ? uucs::resource_name(*r) : "",
+                 level ? uucs::strprintf("%.6g", *level) : ""});
+  }
+  return csv;
+}
+
+}  // namespace uucs::analysis

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <string>
+
+#include "analysis/metrics.hpp"
+#include "util/csv.hpp"
+
+namespace uucs::analysis {
+
+/// Export helpers — the "set of tools ... for importing testcase results
+/// into a database" and feeding external analysis (Fig 2). Everything is
+/// CSV so any plotting stack can regenerate the figures.
+
+/// CDF curve points (level, cumulative fraction) with a header row.
+uucs::Csv export_cdf(const uucs::stats::DiscomfortCdf& cdf);
+
+/// The full per-cell metric grid (task x resource rows, fd/c05/ca columns).
+uucs::Csv export_metric_grid(const uucs::ResultStore& results);
+
+/// Raw run-record dump (one row per run) for ad-hoc queries.
+uucs::Csv export_runs(const uucs::ResultStore& results);
+
+}  // namespace uucs::analysis

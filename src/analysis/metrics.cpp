@@ -1,0 +1,132 @@
+#include "analysis/metrics.hpp"
+
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace uucs::analysis {
+
+std::optional<uucs::Resource> run_resource(const uucs::RunRecord& run) {
+  if (run.last_levels.size() != 1) return std::nullopt;
+  return uucs::parse_resource(run.last_levels.begin()->first);
+}
+
+bool is_blank_run(const uucs::RunRecord& run) {
+  return uucs::starts_with(run.testcase_id, "blank");
+}
+
+bool is_ramp_run(const uucs::RunRecord& run, uucs::Resource r) {
+  // Substring (not prefix) so the Internet suite's "inet-cpu-ramp-0042"
+  // ids classify like the controlled study's "cpu-ramp-x2-t120".
+  return run.testcase_id.find(uucs::resource_name(r) + "-ramp") !=
+         std::string::npos;
+}
+
+bool is_step_run(const uucs::RunRecord& run, uucs::Resource r) {
+  return run.testcase_id.find(uucs::resource_name(r) + "-step") !=
+         std::string::npos;
+}
+
+uucs::stats::DiscomfortCdf build_discomfort_cdf(
+    const std::vector<const uucs::RunRecord*>& runs, uucs::Resource r) {
+  uucs::stats::DiscomfortCdf cdf;
+  for (const auto* run : runs) {
+    const auto level = run->level_at_feedback(r);
+    if (!level) continue;
+    if (run->discomforted) {
+      cdf.add_discomfort(*level);
+    } else {
+      cdf.add_exhausted();
+    }
+  }
+  return cdf;
+}
+
+CellMetrics metrics_from_cdf(const uucs::stats::DiscomfortCdf& cdf) {
+  CellMetrics m;
+  m.df_count = cdf.discomfort_count();
+  m.ex_count = cdf.exhausted_count();
+  m.fd = cdf.fraction_discomforted();
+  m.c05 = cdf.level_at_fraction(0.05);
+  m.ca = cdf.mean_discomfort_level(0.95);
+  return m;
+}
+
+std::vector<const uucs::RunRecord*> select_ramp_runs(const uucs::ResultStore& results,
+                                                     const std::string& task,
+                                                     uucs::Resource r) {
+  std::vector<const uucs::RunRecord*> out;
+  for (const auto* run : results.filter(task)) {
+    if (is_ramp_run(*run, r)) out.push_back(run);
+  }
+  return out;
+}
+
+CellMetrics compute_cell(const uucs::ResultStore& results, const std::string& task,
+                         uucs::Resource r) {
+  return metrics_from_cdf(build_discomfort_cdf(select_ramp_runs(results, task, r), r));
+}
+
+uucs::stats::DiscomfortCdf aggregate_cdf(const uucs::ResultStore& results,
+                                         uucs::Resource r) {
+  return build_discomfort_cdf(select_ramp_runs(results, "", r), r);
+}
+
+uucs::stats::KaplanMeier build_km(const std::vector<const uucs::RunRecord*>& runs,
+                                  uucs::Resource r) {
+  uucs::stats::KaplanMeier km;
+  for (const auto* run : runs) {
+    const auto level = run->level_at_feedback(r);
+    if (!level) continue;
+    if (run->discomforted) {
+      km.add_event(*level);
+    } else {
+      km.add_censored(*level);
+    }
+  }
+  return km;
+}
+
+uucs::stats::KaplanMeier aggregate_km(const uucs::ResultStore& results,
+                                      uucs::Resource r) {
+  return build_km(select_ramp_runs(results, "", r), r);
+}
+
+LevelCi bootstrap_level_ci(const uucs::stats::DiscomfortCdf& cdf, double q,
+                           double confidence, std::size_t resamples,
+                           std::uint64_t seed) {
+  LevelCi out;
+  const auto total = cdf.run_count();
+  if (total == 0) return out;
+  const auto& levels = cdf.discomfort_levels();
+
+  const auto point = cdf.level_at_fraction(q);
+  if (point) out.estimate = *point;
+
+  uucs::Rng rng(seed);
+  std::vector<double> replicates;
+  replicates.reserve(resamples);
+  for (std::size_t rep = 0; rep < resamples; ++rep) {
+    uucs::stats::DiscomfortCdf sample;
+    for (std::size_t i = 0; i < total; ++i) {
+      const auto pick = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(total) - 1));
+      if (pick < levels.size()) {
+        sample.add_discomfort(levels[pick]);
+      } else {
+        sample.add_exhausted();
+      }
+    }
+    const auto level = sample.level_at_fraction(q);
+    if (level) replicates.push_back(*level);
+  }
+  out.coverage = static_cast<double>(replicates.size()) /
+                 static_cast<double>(resamples);
+  if (replicates.size() < 10 || !point) return out;
+  const double alpha = 1.0 - confidence;
+  out.lo = uucs::stats::quantile(replicates, alpha / 2.0);
+  out.hi = uucs::stats::quantile(replicates, 1.0 - alpha / 2.0);
+  out.valid = out.coverage > 0.9;
+  return out;
+}
+
+}  // namespace uucs::analysis

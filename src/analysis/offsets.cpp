@@ -1,0 +1,29 @@
+#include "analysis/offsets.hpp"
+
+namespace uucs::analysis {
+
+std::vector<double> discomfort_offsets(const uucs::ResultStore& results,
+                                       const std::string& task,
+                                       const std::string& testcase_prefix) {
+  std::vector<double> out;
+  for (const auto* run : results.filter(task, testcase_prefix)) {
+    if (run->discomforted) out.push_back(run->offset_s);
+  }
+  return out;
+}
+
+std::optional<OffsetSummary> summarize_offsets(const uucs::ResultStore& results,
+                                               const std::string& task,
+                                               const std::string& testcase_prefix) {
+  const auto offsets = discomfort_offsets(results, task, testcase_prefix);
+  if (offsets.empty()) return std::nullopt;
+  OffsetSummary s;
+  s.n = offsets.size();
+  s.mean_ci = uucs::stats::mean_confidence_interval(offsets);
+  s.q25 = uucs::stats::quantile(offsets, 0.25);
+  s.median = uucs::stats::quantile(offsets, 0.5);
+  s.q75 = uucs::stats::quantile(offsets, 0.75);
+  return s;
+}
+
+}  // namespace uucs::analysis

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "stats/summary.hpp"
+#include "testcase/run_record.hpp"
+
+namespace uucs::analysis {
+
+/// Time-dynamics view of the run records: the paper stores "the time offset
+/// into the testcase at which irritation or exhaustion was reported" (§2.3);
+/// these helpers summarize it.
+
+/// Offsets (seconds into the testcase) of discomfort reports for runs
+/// matching `task` ("" = all) and, optionally, testcase prefix.
+std::vector<double> discomfort_offsets(const uucs::ResultStore& results,
+                                       const std::string& task,
+                                       const std::string& testcase_prefix = "");
+
+/// Summary of the time to discomfort: mean with CI, plus quartiles.
+struct OffsetSummary {
+  std::size_t n = 0;
+  uucs::stats::MeanCi mean_ci;
+  double q25 = 0.0;
+  double median = 0.0;
+  double q75 = 0.0;
+};
+std::optional<OffsetSummary> summarize_offsets(const uucs::ResultStore& results,
+                                               const std::string& task,
+                                               const std::string& testcase_prefix = "");
+
+}  // namespace uucs::analysis

@@ -1,0 +1,24 @@
+#include "analysis/sensitivity.hpp"
+
+#include "util/error.hpp"
+
+namespace uucs::analysis {
+
+const std::string& sensitivity_name(Sensitivity s) {
+  static const std::string kNames[3] = {"L", "M", "H"};
+  return kNames[static_cast<std::size_t>(s)];
+}
+
+double sensitivity_pressure(const CellMetrics& m) {
+  if (!m.ca || m.ca->mean <= 0) return 0.0;
+  return m.fd / m.ca->mean;
+}
+
+Sensitivity sensitivity_grade(const CellMetrics& m) {
+  const double pressure = sensitivity_pressure(m);
+  if (pressure < 0.30) return Sensitivity::kLow;
+  if (pressure < 0.85) return Sensitivity::kMedium;
+  return Sensitivity::kHigh;
+}
+
+}  // namespace uucs::analysis

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <string>
+
+#include "analysis/metrics.hpp"
+
+namespace uucs::analysis {
+
+/// Fig 13's Low/Medium/High sensitivity grades. The paper calls its grid an
+/// "overall judgement"; this reproduces it with a documented, mechanical
+/// heuristic (see sensitivity_grade) so the grading is at least consistent.
+enum class Sensitivity { kLow, kMedium, kHigh };
+
+const std::string& sensitivity_name(Sensitivity s);  // "L"/"M"/"H"
+
+/// Heuristic grade for a cell: the *discomfort pressure* fd / c_a — how
+/// often borrowing causes discomfort per unit of tolerated contention.
+/// Cells with no discomfort grade Low. Thresholds: pressure < 0.30 -> Low,
+/// < 0.85 -> Medium, else High.
+Sensitivity sensitivity_grade(const CellMetrics& m);
+
+/// The pressure score itself (0 when no discomfort was observed).
+double sensitivity_pressure(const CellMetrics& m);
+
+}  // namespace uucs::analysis

@@ -1,0 +1,64 @@
+#include "analysis/skill_report.hpp"
+
+#include <algorithm>
+
+#include "analysis/metrics.hpp"
+
+namespace uucs::analysis {
+
+std::vector<double> discomfort_levels_by_rating(const uucs::ResultStore& results,
+                                                uucs::sim::Task task, uucs::Resource r,
+                                                uucs::sim::SkillCategory category,
+                                                uucs::sim::SkillRating rating) {
+  const std::string key = "skill." + uucs::sim::skill_category_name(category);
+  const std::string want = uucs::sim::skill_rating_name(rating);
+  std::vector<double> out;
+  for (const auto* run :
+       select_ramp_runs(results, uucs::sim::task_name(task), r)) {
+    if (!run->discomforted) continue;
+    if (run->meta(key) != want) continue;
+    const auto level = run->level_at_feedback(r);
+    if (level) out.push_back(*level);
+  }
+  return out;
+}
+
+std::vector<SkillDifference> significant_skill_differences(
+    const uucs::ResultStore& results, double alpha, std::size_t min_group_size) {
+  std::vector<SkillDifference> rows;
+  using uucs::sim::SkillRating;
+  const std::pair<SkillRating, SkillRating> pairs[] = {
+      {SkillRating::kPower, SkillRating::kTypical},
+      {SkillRating::kTypical, SkillRating::kBeginner},
+  };
+  for (uucs::sim::Task task : uucs::sim::kAllTasks) {
+    for (uucs::Resource r : uucs::kStudyResources) {
+      for (std::size_t c = 0; c < uucs::sim::kSkillCategoryCount; ++c) {
+        const auto category = static_cast<uucs::sim::SkillCategory>(c);
+        for (const auto& [hi, lo] : pairs) {
+          const auto a = discomfort_levels_by_rating(results, task, r, category, hi);
+          const auto b = discomfort_levels_by_rating(results, task, r, category, lo);
+          if (a.size() < min_group_size || b.size() < min_group_size) continue;
+          const auto t = uucs::stats::welch_t_test(b, a);
+          if (!t.valid || t.p_two_sided >= alpha) continue;
+          SkillDifference row;
+          row.task = task;
+          row.resource = r;
+          row.category = category;
+          row.group_a = hi;
+          row.group_b = lo;
+          row.p = t.p_two_sided;
+          row.diff = t.difference;  // mean(lower-rated) - mean(higher-rated)
+          row.n_a = a.size();
+          row.n_b = b.size();
+          rows.push_back(row);
+        }
+      }
+    }
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const SkillDifference& x, const SkillDifference& y) { return x.p < y.p; });
+  return rows;
+}
+
+}  // namespace uucs::analysis

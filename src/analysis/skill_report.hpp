@@ -1,0 +1,42 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/user_model.hpp"
+#include "stats/ttest.hpp"
+#include "testcase/run_record.hpp"
+
+namespace uucs::analysis {
+
+/// One row of the Fig 17 table: a significant difference in mean discomfort
+/// contention level between two adjacent self-rating groups for one
+/// (task, resource, rating-category) combination.
+struct SkillDifference {
+  uucs::sim::Task task;
+  uucs::Resource resource;
+  uucs::sim::SkillCategory category;
+  uucs::sim::SkillRating group_a;  ///< e.g. Power
+  uucs::sim::SkillRating group_b;  ///< e.g. Typical
+  double p = 1.0;                  ///< Welch two-sided p-value
+  double diff = 0.0;               ///< mean(b) - mean(a): how much MORE the
+                                   ///< lower-rated group tolerates
+  std::size_t n_a = 0;
+  std::size_t n_b = 0;
+};
+
+/// Discomfort contention levels from `results` ramp runs for (task, r),
+/// restricted to runs whose user self-rated `rating` in `category`.
+std::vector<double> discomfort_levels_by_rating(const uucs::ResultStore& results,
+                                                uucs::sim::Task task, uucs::Resource r,
+                                                uucs::sim::SkillCategory category,
+                                                uucs::sim::SkillRating rating);
+
+/// Runs unpaired Welch t-tests for every (task, resource, category) and
+/// both adjacent rating pairs (Power vs Typical, Typical vs Beginner),
+/// keeping rows with p < `alpha` — the paper's Fig 17 procedure (§3.3.4).
+std::vector<SkillDifference> significant_skill_differences(
+    const uucs::ResultStore& results, double alpha = 0.05,
+    std::size_t min_group_size = 5);
+
+}  // namespace uucs::analysis

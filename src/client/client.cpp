@@ -1,0 +1,89 @@
+#include "client/client.hpp"
+
+#include "util/error.hpp"
+#include "util/fs.hpp"
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+
+namespace uucs {
+
+UucsClient::UucsClient(HostSpec host, const ClientConfig& config)
+    : host_(std::move(host)), config_(config), rng_(config.seed) {
+  UUCS_CHECK_MSG(config_.sync_interval_s > 0, "sync interval must be positive");
+  UUCS_CHECK_MSG(config_.mean_run_interarrival_s > 0,
+                 "run interarrival mean must be positive");
+}
+
+void UucsClient::ensure_registered(ServerApi& server) {
+  if (registered()) return;
+  guid_ = server.register_client(host_);
+  log_info("client", "registered as " + guid_.to_string());
+}
+
+void UucsClient::record_result(RunRecord rec) {
+  rec.client_guid = guid_.to_string();
+  pending_results_.add(std::move(rec));
+}
+
+std::size_t UucsClient::hot_sync(ServerApi& server) {
+  ensure_registered(server);
+  SyncRequest request;
+  request.guid = guid_;
+  request.known_testcase_ids = testcases_.ids();
+  request.results = pending_results_.drain();
+  SyncResponse response;
+  try {
+    response = server.hot_sync(request);
+  } catch (...) {
+    // The sync failed: keep the results for the next attempt (the client
+    // must operate disconnected, §2).
+    for (auto& r : request.results) pending_results_.add(std::move(r));
+    throw;
+  }
+  for (auto& tc : response.new_testcases) testcases_.add(std::move(tc));
+  return response.new_testcases.size();
+}
+
+std::optional<std::string> UucsClient::choose_testcase_id(Rng& rng) const {
+  if (testcases_.empty()) return std::nullopt;
+  const auto ids = testcases_.ids();
+  return ids[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(ids.size()) - 1))];
+}
+
+double UucsClient::next_run_delay(Rng& rng) const {
+  return rng.exponential(config_.mean_run_interarrival_s);
+}
+
+std::string UucsClient::next_run_id() {
+  return strprintf("%s/%llu", guid_.to_string().c_str(),
+                   static_cast<unsigned long long>(run_serial_++));
+}
+
+void UucsClient::save(const std::string& dir) const {
+  make_dirs(dir);
+  testcases_.save(dir + "/testcases.txt");
+  pending_results_.save(dir + "/pending_results.txt");
+  KvRecord rec("client");
+  rec.set("guid", guid_.is_nil() ? "" : guid_.to_string());
+  rec.set_int("run_serial", static_cast<std::int64_t>(run_serial_));
+  std::vector<KvRecord> records{rec, host_.to_record()};
+  kv_save_file(dir + "/client.txt", records);
+}
+
+UucsClient UucsClient::load(const std::string& dir, const ClientConfig& config) {
+  const auto records = kv_load_file(dir + "/client.txt");
+  if (records.size() < 2 || records[0].type() != "client") {
+    throw ParseError(dir + "/client.txt: expected [client] + [host] records");
+  }
+  UucsClient client(HostSpec::from_record(records[1]), config);
+  const std::string guid = records[0].get_or("guid", "");
+  if (!guid.empty()) client.guid_ = Guid::parse(guid);
+  client.run_serial_ =
+      static_cast<std::uint64_t>(records[0].get_int_or("run_serial", 0));
+  client.testcases_ = TestcaseStore::load(dir + "/testcases.txt");
+  client.pending_results_ = ResultStore::load(dir + "/pending_results.txt");
+  return client;
+}
+
+}  // namespace uucs

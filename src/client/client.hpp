@@ -1,0 +1,84 @@
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "server/protocol.hpp"
+#include "testcase/run_record.hpp"
+#include "testcase/store.hpp"
+#include "util/guid.hpp"
+#include "util/rng.hpp"
+
+namespace uucs {
+
+/// Client policy knobs (§2: hot syncing at user-defined intervals, local
+/// random choice of testcases, Poisson arrivals of testcase execution).
+struct ClientConfig {
+  double sync_interval_s = 3600.0;       ///< desired time between hot syncs
+  double mean_run_interarrival_s = 900.0;///< Poisson mean between runs
+  std::uint64_t seed = 7;
+};
+
+/// The UUCS client's state machine minus the live exercising: testcase and
+/// result stores, registration, hot sync, random testcase choice and
+/// Poisson arrival times. The client can operate disconnected from the
+/// server using its local stores (§2); the live client binary couples this
+/// with RunExecutor, and the Internet-study simulator drives it in virtual
+/// time with simulated runs.
+class UucsClient {
+ public:
+  UucsClient(HostSpec host, const ClientConfig& config = {});
+
+  const HostSpec& host() const { return host_; }
+  const Guid& guid() const { return guid_; }
+  bool registered() const { return !guid_.is_nil(); }
+
+  /// Local stores.
+  const TestcaseStore& testcases() const { return testcases_; }
+  TestcaseStore& mutable_testcases() { return testcases_; }
+  const ResultStore& pending_results() const { return pending_results_; }
+
+  /// Registers with the server if not registered yet (first run, §2).
+  void ensure_registered(ServerApi& server);
+
+  /// Records a finished run for upload at the next sync.
+  void record_result(RunRecord rec);
+
+  /// One hot sync: uploads pending results, downloads fresh testcases into
+  /// the local store. Returns the number of testcases received. Registers
+  /// first if needed.
+  std::size_t hot_sync(ServerApi& server);
+
+  /// Local random choice of the next testcase to run; nullopt if the local
+  /// store is empty.
+  std::optional<std::string> choose_testcase_id(Rng& rng) const;
+
+  /// Draws the Poisson interarrival delay before the next run.
+  double next_run_delay(Rng& rng) const;
+
+  /// Time between hot syncs.
+  double sync_interval_s() const { return config_.sync_interval_s; }
+
+  /// Client-private RNG (seeded from config) for scheduling decisions.
+  Rng& rng() { return rng_; }
+
+  /// Persists local state (testcases.txt, pending_results.txt, client.txt)
+  /// under `dir`, and restores it.
+  void save(const std::string& dir) const;
+  static UucsClient load(const std::string& dir, const ClientConfig& config = {});
+
+ private:
+  HostSpec host_;
+  ClientConfig config_;
+  Guid guid_;
+  TestcaseStore testcases_;
+  ResultStore pending_results_;
+  Rng rng_;
+  std::uint64_t run_serial_ = 0;
+
+ public:
+  /// Builds a unique run id "guid/serial" for the next run.
+  std::string next_run_id();
+};
+
+}  // namespace uucs

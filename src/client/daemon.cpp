@@ -1,0 +1,94 @@
+#include "client/daemon.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+
+namespace uucs {
+
+ClientDaemon::ClientDaemon(Clock& clock, UucsClient& client, ServerApi& server,
+                           RunExecutor& executor, std::string task_name)
+    : clock_(clock),
+      client_(client),
+      server_(server),
+      executor_(executor),
+      task_name_(std::move(task_name)) {}
+
+bool ClientDaemon::sleep_interruptibly(double seconds) {
+  const double deadline = clock_.now() + seconds;
+  while (clock_.now() < deadline) {
+    if (stop_.load(std::memory_order_relaxed)) return false;
+    clock_.sleep(std::min(0.05, deadline - clock_.now()));
+  }
+  return !stop_.load(std::memory_order_relaxed);
+}
+
+void ClientDaemon::try_sync() {
+  try {
+    const std::size_t fresh = client_.hot_sync(server_);
+    syncs_.fetch_add(1, std::memory_order_relaxed);
+    sync_failures_ = 0;
+    if (on_event_) {
+      on_event_({Event::Kind::kSync,
+                 strprintf("%zu new testcases, store %zu", fresh,
+                           client_.testcases().size())});
+    }
+  } catch (const std::exception& e) {
+    // Disconnected operation (§2): results stay queued; try again later,
+    // backing off so a dead server is not hammered.
+    ++sync_failures_;
+    log_warn("daemon", std::string("hot sync failed: ") + e.what());
+  }
+}
+
+double ClientDaemon::next_sync_delay() const {
+  const double base = client_.sync_interval_s();
+  const double factor =
+      static_cast<double>(1u << std::min<std::size_t>(sync_failures_, 3));
+  return base * factor;
+}
+
+std::size_t ClientDaemon::run(double duration_s) {
+  stop_.store(false, std::memory_order_relaxed);
+  const double start = clock_.now();
+  const bool bounded = duration_s > 0;
+
+  try_sync();
+  double next_sync = clock_.now() + next_sync_delay();
+
+  while (!stop_.load(std::memory_order_relaxed)) {
+    if (bounded && clock_.now() - start >= duration_s) break;
+
+    // Poisson interarrival before the next run, clipped to the deadline.
+    double delay = client_.next_run_delay(client_.rng());
+    if (bounded) {
+      delay = std::min(delay, std::max(0.0, duration_s - (clock_.now() - start)));
+    }
+    if (!sleep_interruptibly(delay)) break;
+    if (bounded && clock_.now() - start >= duration_s) break;
+
+    if (clock_.now() >= next_sync) {
+      try_sync();
+      next_sync = clock_.now() + next_sync_delay();
+    }
+
+    const auto id = client_.choose_testcase_id(client_.rng());
+    if (!id) {
+      // Empty store: wait for a sync to deliver testcases.
+      continue;
+    }
+    const Testcase& tc = client_.testcases().get(*id);
+    RunRecord rec = executor_.execute(tc, client_.next_run_id(), task_name_);
+    client_.record_result(std::move(rec));
+    runs_.fetch_add(1, std::memory_order_relaxed);
+    if (on_event_) on_event_({Event::Kind::kRun, *id});
+  }
+
+  // Final sync so completed runs are not stranded locally.
+  if (!client_.pending_results().empty()) try_sync();
+  return runs_.load(std::memory_order_relaxed);
+}
+
+}  // namespace uucs

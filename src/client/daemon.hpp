@@ -1,0 +1,68 @@
+#pragma once
+
+#include <atomic>
+#include <functional>
+
+#include "client/client.hpp"
+#include "client/run_executor.hpp"
+
+namespace uucs {
+
+/// The deployable client loop (§2): registers, then alternates between
+/// Poisson-timed testcase executions (local random choice from the local
+/// store) and periodic hot syncs, until stopped or a deadline passes. This
+/// is what the Internet-study client binary runs; the simulator reproduces
+/// the same behavior in virtual time.
+class ClientDaemon {
+ public:
+  /// Progress callback: invoked after every completed run and sync so an
+  /// embedding UI (tray icon, log) can observe the daemon.
+  struct Event {
+    enum class Kind { kRun, kSync } kind;
+    std::string detail;  ///< testcase id or "n testcases, m results"
+  };
+  using EventCallback = std::function<void(const Event&)>;
+
+  /// All references must outlive the daemon. `task_name` labels the runs'
+  /// context (a real deployment would detect the foreground application).
+  ClientDaemon(Clock& clock, UucsClient& client, ServerApi& server,
+               RunExecutor& executor, std::string task_name = "");
+
+  void set_event_callback(EventCallback cb) { on_event_ = std::move(cb); }
+
+  /// Runs the loop for up to `duration_s` seconds (infinite if <= 0),
+  /// blocking. Returns the number of testcase runs executed.
+  std::size_t run(double duration_s);
+
+  /// Requests a stop from any thread; run() returns within one poll slice
+  /// plus the current testcase (which is stopped via the executor's
+  /// exerciser set by the embedding application if needed).
+  void stop() { stop_.store(true, std::memory_order_relaxed); }
+
+  std::size_t runs_completed() const { return runs_.load(std::memory_order_relaxed); }
+  std::size_t syncs_completed() const { return syncs_.load(std::memory_order_relaxed); }
+
+  /// Consecutive failed sync attempts (drives exponential backoff; resets
+  /// to zero on success).
+  std::size_t sync_failures() const { return sync_failures_; }
+
+ private:
+  bool sleep_interruptibly(double seconds);
+  void try_sync();
+  /// Interval until the next sync attempt, doubling per consecutive
+  /// failure up to 8x the configured interval.
+  double next_sync_delay() const;
+
+  Clock& clock_;
+  UucsClient& client_;
+  ServerApi& server_;
+  RunExecutor& executor_;
+  std::string task_name_;
+  EventCallback on_event_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::size_t> runs_{0};
+  std::atomic<std::size_t> syncs_{0};
+  std::size_t sync_failures_ = 0;
+};
+
+}  // namespace uucs

@@ -1,0 +1,44 @@
+#include "client/feedback.hpp"
+
+#include <csignal>
+
+#include "util/error.hpp"
+
+namespace uucs {
+
+namespace {
+
+std::atomic<bool> g_signal_pending{false};
+std::atomic<bool> g_signal_installed{false};
+
+void on_feedback_signal(int) { g_signal_pending.store(true, std::memory_order_relaxed); }
+
+}  // namespace
+
+SignalFeedback::SignalFeedback(int signum) : signum_(signum) {
+  bool expected = false;
+  UUCS_CHECK_MSG(g_signal_installed.compare_exchange_strong(expected, true),
+                 "only one SignalFeedback may exist per process");
+  struct sigaction sa{};
+  sa.sa_handler = on_feedback_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESTART;
+  if (sigaction(signum_, &sa, nullptr) != 0) {
+    g_signal_installed.store(false);
+    throw SystemError("sigaction failed");
+  }
+  g_signal_pending.store(false, std::memory_order_relaxed);
+}
+
+SignalFeedback::~SignalFeedback() {
+  std::signal(signum_, SIG_DFL);
+  g_signal_installed.store(false);
+}
+
+bool SignalFeedback::pending() const {
+  return g_signal_pending.load(std::memory_order_relaxed);
+}
+
+void SignalFeedback::reset() { g_signal_pending.store(false, std::memory_order_relaxed); }
+
+}  // namespace uucs

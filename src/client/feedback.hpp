@@ -1,0 +1,52 @@
+#pragma once
+
+#include <atomic>
+#include <memory>
+
+namespace uucs {
+
+/// Source of user discomfort feedback. In the paper a high-priority GUI
+/// thread watches for tray-icon clicks or the F11 hot-key (§2.3, §2.4);
+/// here the run executor polls a FeedbackSource every subinterval and stops
+/// all exercisers immediately when feedback is seen.
+class FeedbackSource {
+ public:
+  virtual ~FeedbackSource() = default;
+
+  /// True if the user has expressed discomfort since the last reset.
+  virtual bool pending() const = 0;
+
+  /// Clears any pending feedback (called at run start).
+  virtual void reset() = 0;
+};
+
+/// Feedback triggered from code — used by tests, the simulator glue, and
+/// any embedding application that has its own input handling.
+class ProgrammaticFeedback final : public FeedbackSource {
+ public:
+  void trigger() { pending_.store(true, std::memory_order_relaxed); }
+  bool pending() const override { return pending_.load(std::memory_order_relaxed); }
+  void reset() override { pending_.store(false, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> pending_{false};
+};
+
+/// Feedback from a POSIX signal (default SIGUSR1): the headless-Linux
+/// stand-in for the paper's hot-key. Install at most one per process.
+class SignalFeedback final : public FeedbackSource {
+ public:
+  explicit SignalFeedback(int signum = 10 /*SIGUSR1*/);
+  ~SignalFeedback() override;
+
+  SignalFeedback(const SignalFeedback&) = delete;
+  SignalFeedback& operator=(const SignalFeedback&) = delete;
+
+  bool pending() const override;
+  void reset() override;
+
+ private:
+  int signum_;
+};
+
+}  // namespace uucs

@@ -1,0 +1,86 @@
+#include "client/run_executor.hpp"
+
+#include <thread>
+
+#include "monitor/sampler.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace uucs {
+
+RunExecutor::RunExecutor(Clock& clock, ExerciserSet& exercisers,
+                         FeedbackSource& feedback, LoadRecorder* recorder,
+                         double poll_interval_s)
+    : clock_(clock),
+      exercisers_(exercisers),
+      feedback_(feedback),
+      recorder_(recorder),
+      poll_interval_s_(poll_interval_s) {
+  UUCS_CHECK_MSG(poll_interval_s_ > 0, "poll interval must be positive");
+}
+
+RunRecord RunExecutor::execute(const Testcase& tc, const std::string& run_id,
+                               const std::string& task, const std::string& user_id) {
+  feedback_.reset();
+  if (recorder_) {
+    recorder_->clear();
+    recorder_->start();
+  }
+
+  const double start = clock_.now();
+  std::atomic<bool> run_done{false};
+  ExerciserSet::RunOutcome outcome;
+  std::thread runner([&] {
+    outcome = exercisers_.run(tc);
+    run_done.store(true, std::memory_order_release);
+  });
+
+  // The feedback watcher: §2.3's "high priority GUI thread watches for
+  // clicks or hot-key strokes ... the exercisers are immediately stopped".
+  bool discomforted = false;
+  while (!run_done.load(std::memory_order_acquire)) {
+    if (feedback_.pending()) {
+      discomforted = true;
+      exercisers_.stop();
+      break;
+    }
+    clock_.sleep(poll_interval_s_);
+  }
+  runner.join();
+  const double offset = std::min(clock_.now() - start, tc.duration());
+
+  if (recorder_) recorder_->stop();
+
+  RunRecord rec;
+  rec.run_id = run_id;
+  rec.user_id = user_id;
+  rec.testcase_id = tc.id();
+  rec.task = task;
+  rec.discomforted = discomforted;
+  rec.offset_s = discomforted ? offset : tc.duration();
+  for (Resource r : tc.resources()) {
+    const ExerciseFunction* f = tc.function(r);
+    UUCS_CHECK(f != nullptr);
+    rec.set_last_levels(r, f->last_values_before(rec.offset_s));
+  }
+  rec.metadata["testcase.description"] = tc.description();
+  // Contextual process snapshot (§2.3 stores "system processes
+  // information" with each run): the count plus a bounded name sample.
+  const auto processes = snapshot_processes(4096);
+  rec.metadata["processes.count"] = std::to_string(processes.size());
+  std::string names;
+  for (std::size_t i = 0; i < processes.size() && i < 8; ++i) {
+    if (!names.empty()) names += ",";
+    names += processes[i].name;
+  }
+  rec.metadata["processes.sample"] = names;
+  if (recorder_) {
+    const KvRecord load = recorder_->to_record();
+    for (const auto& key : load.keys()) {
+      rec.metadata["load." + key] = load.get(key);
+    }
+  }
+  return rec;
+}
+
+}  // namespace uucs

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <string>
+
+#include "client/feedback.hpp"
+#include "exerciser/exerciser_set.hpp"
+#include "monitor/recorder.hpp"
+#include "testcase/run_record.hpp"
+
+namespace uucs {
+
+/// Executes one testcase run on the live machine (§2.3): starts the
+/// exercisers, watches for feedback, stops everything immediately when the
+/// user reacts, and assembles the RunRecord — termination cause, time
+/// offset, last five contention values per exercise function, and the load
+/// measurements if a recorder is attached.
+class RunExecutor {
+ public:
+  /// `recorder` may be null (no load capture). All references must outlive
+  /// the executor.
+  RunExecutor(Clock& clock, ExerciserSet& exercisers, FeedbackSource& feedback,
+              LoadRecorder* recorder = nullptr, double poll_interval_s = 0.02);
+
+  /// Runs `tc` to feedback or exhaustion. Blocking.
+  RunRecord execute(const Testcase& tc, const std::string& run_id,
+                    const std::string& task = "", const std::string& user_id = "");
+
+ private:
+  Clock& clock_;
+  ExerciserSet& exercisers_;
+  FeedbackSource& feedback_;
+  LoadRecorder* recorder_;
+  double poll_interval_s_;
+};
+
+}  // namespace uucs

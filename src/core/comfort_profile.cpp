@@ -1,0 +1,104 @@
+#include "core/comfort_profile.hpp"
+
+#include "analysis/metrics.hpp"
+#include "util/error.hpp"
+
+namespace uucs::core {
+
+ComfortProfile ComfortProfile::from_results(const ResultStore& results) {
+  ComfortProfile profile;
+  for (Resource r : kStudyResources) {
+    profile.curves_[Key{"", r}] = analysis::aggregate_cdf(results, r);
+    for (sim::Task task : sim::kAllTasks) {
+      const std::string name = sim::task_name(task);
+      auto cdf = analysis::build_discomfort_cdf(
+          analysis::select_ramp_runs(results, name, r), r);
+      if (cdf.run_count() > 0) {
+        profile.curves_[Key{name, r}] = std::move(cdf);
+      }
+    }
+  }
+  return profile;
+}
+
+const stats::DiscomfortCdf* ComfortProfile::find(const std::string& task,
+                                                 Resource r) const {
+  auto it = curves_.find(Key{task, r});
+  if (it == curves_.end() && !task.empty()) {
+    // Unknown context: fall back to the aggregated curve.
+    it = curves_.find(Key{"", r});
+  }
+  return it == curves_.end() ? nullptr : &it->second;
+}
+
+double ComfortProfile::max_contention(Resource r, double budget,
+                                      const std::string& task) const {
+  UUCS_CHECK_MSG(budget >= 0 && budget <= 1, "budget must be a fraction");
+  const stats::DiscomfortCdf* cdf = find(task, r);
+  if (!cdf || cdf->run_count() == 0) return 0.0;  // no data: borrow nothing
+  const auto points = cdf->curve_points();
+  if (points.empty()) {
+    // No discomfort observed anywhere in the explored range: the whole
+    // range is within budget, but we have no level scale — be conservative
+    // and report nothing (callers with a "never" cell should use the
+    // testcase maxima they explored).
+    return 0.0;
+  }
+  double allowed = 0.0;
+  for (const auto& [level, fraction] : points) {
+    // Evaluate the CDF at the level itself: the leading anchor point
+    // carries fraction 0 for the region *below* the first observation and
+    // must not make that observation look safe.
+    if (cdf->fraction_at(level) <= budget) {
+      allowed = level;
+    } else {
+      break;
+    }
+  }
+  return allowed;
+}
+
+double ComfortProfile::discomfort_fraction(Resource r, double level,
+                                           const std::string& task) const {
+  UUCS_CHECK_MSG(level >= 0, "level must be >= 0");
+  const stats::DiscomfortCdf* cdf = find(task, r);
+  if (!cdf || cdf->run_count() == 0) return 1.0;  // unknown: assume the worst
+  return cdf->fraction_at(level);
+}
+
+bool ComfortProfile::has_context(const std::string& task, Resource r) const {
+  return curves_.count(Key{task, r}) != 0;
+}
+
+std::vector<KvRecord> ComfortProfile::to_records() const {
+  std::vector<KvRecord> records;
+  records.reserve(curves_.size());
+  for (const auto& [key, cdf] : curves_) {
+    KvRecord rec("comfort-curve");
+    rec.set("task", key.task);
+    rec.set("resource", resource_name(key.resource));
+    rec.set_doubles("levels", cdf.discomfort_levels());
+    rec.set_int("exhausted", static_cast<std::int64_t>(cdf.exhausted_count()));
+    records.push_back(std::move(rec));
+  }
+  return records;
+}
+
+ComfortProfile ComfortProfile::from_records(const std::vector<KvRecord>& records) {
+  ComfortProfile profile;
+  for (const auto& rec : records) {
+    if (rec.type() != "comfort-curve") {
+      throw ParseError("expected [comfort-curve], got [" + rec.type() + "]");
+    }
+    stats::DiscomfortCdf cdf;
+    for (double level : rec.get_doubles("levels")) cdf.add_discomfort(level);
+    const auto exhausted = rec.get_int("exhausted");
+    if (exhausted < 0) throw ParseError("negative exhausted count");
+    for (std::int64_t i = 0; i < exhausted; ++i) cdf.add_exhausted();
+    profile.curves_[Key{rec.get("task"), parse_resource(rec.get("resource"))}] =
+        std::move(cdf);
+  }
+  return profile;
+}
+
+}  // namespace uucs::core

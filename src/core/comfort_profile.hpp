@@ -1,0 +1,63 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "stats/ecdf.hpp"
+#include "testcase/run_record.hpp"
+
+namespace uucs::core {
+
+/// The distilled product of a comfort study: for each resource (and
+/// optionally each user context), the discomfort CDF as a contention →
+/// cumulative-discomfort-fraction curve. This is what the paper tells
+/// implementors to exploit: "Exploit our CDFs (Figures 10-12) to set the
+/// throttle according to the percentage of users you are willing to
+/// affect" (§5).
+class ComfortProfile {
+ public:
+  /// Builds the profile from study results: aggregated per resource, plus
+  /// per-(task, resource) curves for context-aware throttling ("Know what
+  /// the user is doing", §5).
+  static ComfortProfile from_results(const ResultStore& results);
+
+  /// Contention level on `r` that keeps the expected fraction of
+  /// discomforted users at or below `budget` (e.g. 0.05 for the paper's
+  /// c_0.05). `task` empty = aggregated curve. Returns 0 when even the
+  /// smallest observed discomfort level exceeds the budget, and the largest
+  /// observed level when the budget is never reached in range (the
+  /// censored region — the study saw fewer reactions than the budget
+  /// allows even at its maximum).
+  double max_contention(Resource r, double budget, const std::string& task = "") const;
+
+  /// Expected discomforted fraction at contention `level`.
+  double discomfort_fraction(Resource r, double level,
+                             const std::string& task = "") const;
+
+  /// True if a per-task curve exists for (task, r).
+  bool has_context(const std::string& task, Resource r) const;
+
+  /// Number of stored curves (aggregated + per-task).
+  std::size_t curve_count() const { return curves_.size(); }
+
+  /// Serializes every curve ([comfort-curve] records with level/fraction
+  /// lists) and restores them, so deployments can ship profiles as text.
+  std::vector<KvRecord> to_records() const;
+  static ComfortProfile from_records(const std::vector<KvRecord>& records);
+
+ private:
+  struct Key {
+    std::string task;  // "" = aggregated
+    Resource resource;
+    bool operator<(const Key& o) const {
+      if (task != o.task) return task < o.task;
+      return resource < o.resource;
+    }
+  };
+  const stats::DiscomfortCdf* find(const std::string& task, Resource r) const;
+
+  std::map<Key, stats::DiscomfortCdf> curves_;
+};
+
+}  // namespace uucs::core

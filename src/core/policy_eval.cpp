@@ -1,0 +1,103 @@
+#include "core/policy_eval.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace uucs::core {
+
+double PolicyEvalResult::total_borrowed() const {
+  double sum = 0;
+  for (double b : borrowed_contention_s) sum += b;
+  return sum;
+}
+
+std::size_t PolicyEvalResult::total_events() const {
+  std::size_t sum = 0;
+  for (auto e : discomfort_events) sum += e;
+  return sum;
+}
+
+double PolicyEvalResult::events_per_hour() const {
+  return user_hours > 0 ? static_cast<double>(total_events()) / user_hours : 0.0;
+}
+
+namespace {
+
+std::size_t resource_slot(Resource r) {
+  switch (r) {
+    case Resource::kCpu:
+      return 0;
+    case Resource::kMemory:
+      return 1;
+    case Resource::kDisk:
+      return 2;
+    case Resource::kNetwork:
+      break;
+  }
+  throw Error("network is not evaluated");
+}
+
+}  // namespace
+
+PolicyEvalResult evaluate_policy(ThrottlePolicy& policy,
+                                 const std::vector<sim::UserProfile>& users,
+                                 const PolicyEvalConfig& config) {
+  UUCS_CHECK_MSG(config.dt_s > 0 && config.session_s > config.dt_s, "eval config");
+  PolicyEvalResult result;
+  result.policy = policy.name();
+
+  Rng root(config.seed);
+  double global_now = 0.0;  // policies see continuous time across sessions
+
+  for (std::size_t ui = 0; ui < users.size(); ++ui) {
+    const sim::UserProfile& user = users[ui];
+    for (sim::Task task : sim::kAllTasks) {
+      Rng rng = root.fork(ui * 16 + static_cast<std::size_t>(task));
+
+      // Presence trace: alternating active/away periods.
+      bool active = true;
+      double phase_left = rng.exponential(config.mean_active_s);
+
+      std::array<double, 3> press_block{};     // next time a press is allowed
+      std::array<double, 3> paused_until{};    // borrowing pause after press
+
+      for (double t = 0; t < config.session_s; t += config.dt_s) {
+        const double now = global_now + t;
+        phase_left -= config.dt_s;
+        if (phase_left <= 0) {
+          active = !active;
+          phase_left = rng.exponential(active ? config.mean_active_s
+                                              : config.mean_away_s);
+        }
+        BorrowContext ctx;
+        ctx.task = sim::task_name(task);
+        ctx.user_active = active;
+        ctx.now_s = now;
+
+        for (Resource r : kStudyResources) {
+          const auto slot = resource_slot(r);
+          if (now < paused_until[slot]) continue;  // backed off after a press
+          const double c = policy.allowed_contention(r, ctx);
+          if (c <= 0) continue;
+          result.borrowed_contention_s[slot] += c * config.dt_s;
+          if (!active) continue;  // nobody there to be annoyed
+          const double threshold = user.threshold(task, r);
+          if (std::isfinite(threshold) && c >= threshold &&
+              now >= press_block[slot]) {
+            ++result.discomfort_events[slot];
+            policy.on_feedback(r, ctx);
+            press_block[slot] = now + config.feedback_cooldown_s;
+            paused_until[slot] = now + config.pause_after_feedback_s;
+          }
+        }
+      }
+      global_now += config.session_s;
+      result.user_hours += config.session_s / 3600.0;
+    }
+  }
+  return result;
+}
+
+}  // namespace uucs::core

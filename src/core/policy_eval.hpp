@@ -1,0 +1,47 @@
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "core/throttle.hpp"
+#include "sim/user_model.hpp"
+
+namespace uucs::core {
+
+/// Configuration for the throttle-policy evaluation harness: a background
+/// application borrows as much as its policy allows while synthetic users
+/// (from the calibrated study population) work through sessions, stepping
+/// the world in `dt_s` slices.
+struct PolicyEvalConfig {
+  double session_s = 2.0 * 3600;   ///< one session per (user, task)
+  double dt_s = 1.0;
+  double mean_active_s = 1500.0;   ///< user presence burst length
+  double mean_away_s = 300.0;      ///< user away (screensaver) length
+  double feedback_cooldown_s = 120.0;  ///< min spacing between presses
+  double pause_after_feedback_s = 60.0;///< borrowing stops after a press
+  std::uint64_t seed = 31337;
+};
+
+/// What a policy achieved over the evaluation.
+struct PolicyEvalResult {
+  std::string policy;
+  /// Contention-seconds borrowed per resource (cpu, memory, disk order).
+  std::array<double, 3> borrowed_contention_s{};
+  /// Discomfort presses per resource.
+  std::array<std::size_t, 3> discomfort_events{};
+  double user_hours = 0.0;  ///< total simulated session time
+
+  double total_borrowed() const;
+  std::size_t total_events() const;
+  /// Discomfort presses per simulated user-hour — the annoyance rate.
+  double events_per_hour() const;
+};
+
+/// Runs `policy` against every (user, task) session. The activity traces
+/// and user draws depend only on `config.seed`, so different policies face
+/// identical conditions and results are directly comparable.
+PolicyEvalResult evaluate_policy(ThrottlePolicy& policy,
+                                 const std::vector<sim::UserProfile>& users,
+                                 const PolicyEvalConfig& config = {});
+
+}  // namespace uucs::core

@@ -1,0 +1,91 @@
+#include "core/throttle.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace uucs::core {
+
+ConservativePolicy::ConservativePolicy(double away_contention)
+    : away_contention_(away_contention) {
+  UUCS_CHECK_MSG(away_contention_ >= 0, "contention must be >= 0");
+}
+
+double ConservativePolicy::allowed_contention(Resource, const BorrowContext& ctx) {
+  return ctx.user_active ? 0.0 : away_contention_;
+}
+
+void ConservativePolicy::on_feedback(Resource, const BorrowContext&) {
+  // Nothing to adapt: the policy already never borrows while the user is
+  // present (feedback can only come from the user returning mid-burst).
+}
+
+CdfThrottle::CdfThrottle(ComfortProfile profile, double budget,
+                         double away_contention)
+    : profile_(std::move(profile)),
+      budget_(budget),
+      away_contention_(away_contention) {
+  UUCS_CHECK_MSG(budget_ > 0 && budget_ < 1, "budget must be in (0,1)");
+  UUCS_CHECK_MSG(away_contention_ >= 0, "contention must be >= 0");
+}
+
+double CdfThrottle::allowed_contention(Resource r, const BorrowContext& ctx) {
+  if (!ctx.user_active) return away_contention_;
+  return profile_.max_contention(r, budget_, ctx.task);
+}
+
+void CdfThrottle::on_feedback(Resource, const BorrowContext&) {
+  // Static policy: the budget already prices in this fraction of events.
+}
+
+std::string CdfThrottle::name() const {
+  return strprintf("cdf@%g%%", budget_ * 100.0);
+}
+
+AdaptiveThrottle::AdaptiveThrottle(ComfortProfile profile, double budget,
+                                   double away_contention, double recovery_s,
+                                   double backoff_factor)
+    : profile_(std::move(profile)),
+      budget_(budget),
+      away_contention_(away_contention),
+      recovery_s_(recovery_s),
+      backoff_factor_(backoff_factor) {
+  UUCS_CHECK_MSG(budget_ > 0 && budget_ < 1, "budget must be in (0,1)");
+  UUCS_CHECK_MSG(recovery_s_ > 0, "recovery time must be positive");
+  UUCS_CHECK_MSG(backoff_factor_ > 0 && backoff_factor_ < 1,
+                 "backoff factor must be in (0,1)");
+}
+
+AdaptiveThrottle::State& AdaptiveThrottle::state(Resource r, const std::string& task) {
+  return states_[{task, r}];
+}
+
+void AdaptiveThrottle::decay(State& s, double now_s) {
+  // Exponential recovery of the multiplier toward 1.
+  const double dt = std::max(0.0, now_s - s.last_update_s);
+  const double gap = 1.0 - s.multiplier;
+  s.multiplier = 1.0 - gap * std::exp(-dt / recovery_s_);
+  s.last_update_s = now_s;
+}
+
+double AdaptiveThrottle::allowed_contention(Resource r, const BorrowContext& ctx) {
+  if (!ctx.user_active) return away_contention_;
+  State& s = state(r, ctx.task);
+  decay(s, ctx.now_s);
+  return profile_.max_contention(r, budget_, ctx.task) * s.multiplier;
+}
+
+void AdaptiveThrottle::on_feedback(Resource r, const BorrowContext& ctx) {
+  State& s = state(r, ctx.task);
+  decay(s, ctx.now_s);
+  s.multiplier *= backoff_factor_;
+}
+
+double AdaptiveThrottle::cap_multiplier(Resource r, const std::string& task) const {
+  const auto it = states_.find({task, r});
+  return it == states_.end() ? 1.0 : it->second.multiplier;
+}
+
+}  // namespace uucs::core

@@ -1,0 +1,107 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/comfort_profile.hpp"
+
+namespace uucs::core {
+
+/// What the borrowing application knows about the moment it is borrowing in.
+struct BorrowContext {
+  std::string task;          ///< foreground context name ("" = unknown)
+  bool user_active = true;   ///< false when the user is away (screensaver)
+  double now_s = 0.0;        ///< monotonic time, for recovery dynamics
+};
+
+/// A borrowing throttle (§5: "Build a throttle. Your system can benefit
+/// from being able to control its borrowing at a fine granularity").
+/// Implementations return the contention the background application may
+/// apply right now, and are told when the user expresses discomfort.
+class ThrottlePolicy {
+ public:
+  virtual ~ThrottlePolicy() = default;
+
+  /// Maximum contention allowed on `r` under `ctx`.
+  virtual double allowed_contention(Resource r, const BorrowContext& ctx) = 0;
+
+  /// The user expressed discomfort while this policy was borrowing.
+  virtual void on_feedback(Resource r, const BorrowContext& ctx) = 0;
+
+  /// Human-readable policy name for reports.
+  virtual std::string name() const = 0;
+};
+
+/// The conservative baseline the paper attributes to Condor, Sprite and
+/// SETI@home: "execute only when they are quite sure the user is away".
+/// Borrows `away_contention` when the user is inactive, nothing otherwise.
+class ConservativePolicy final : public ThrottlePolicy {
+ public:
+  explicit ConservativePolicy(double away_contention = 1.0);
+
+  double allowed_contention(Resource r, const BorrowContext& ctx) override;
+  void on_feedback(Resource r, const BorrowContext& ctx) override;
+  std::string name() const override { return "conservative"; }
+
+ private:
+  double away_contention_;
+};
+
+/// The CDF-driven throttle of §5: borrow up to the study-derived contention
+/// that keeps the expected discomforted-user fraction within `budget`,
+/// using the per-context curve when the foreground task is known ("Know
+/// what the user is doing") and the aggregated curve otherwise. When the
+/// user is away it borrows `away_contention` like the baseline.
+class CdfThrottle final : public ThrottlePolicy {
+ public:
+  CdfThrottle(ComfortProfile profile, double budget = 0.05,
+              double away_contention = 4.0);
+
+  double allowed_contention(Resource r, const BorrowContext& ctx) override;
+  void on_feedback(Resource r, const BorrowContext& ctx) override;
+  std::string name() const override;
+
+  const ComfortProfile& profile() const { return profile_; }
+
+ private:
+  ComfortProfile profile_;
+  double budget_;
+  double away_contention_;
+};
+
+/// The feedback-driven throttle the paper leaves as future work ("We are
+/// currently exploring how to use user feedback directly in the scheduling
+/// of these frameworks"). Starts from the CDF setting; every discomfort
+/// press halves the per-(context, resource) cap (multiplicative decrease)
+/// and the cap recovers exponentially toward the CDF setting with time
+/// constant `recovery_s` — an AIMD-style control loop on user comfort.
+class AdaptiveThrottle final : public ThrottlePolicy {
+ public:
+  AdaptiveThrottle(ComfortProfile profile, double budget = 0.05,
+                   double away_contention = 4.0, double recovery_s = 1800.0,
+                   double backoff_factor = 0.5);
+
+  double allowed_contention(Resource r, const BorrowContext& ctx) override;
+  void on_feedback(Resource r, const BorrowContext& ctx) override;
+  std::string name() const override { return "adaptive"; }
+
+  /// Current cap multiplier in (0, 1] for diagnostics.
+  double cap_multiplier(Resource r, const std::string& task) const;
+
+ private:
+  struct State {
+    double multiplier = 1.0;
+    double last_update_s = 0.0;
+  };
+  State& state(Resource r, const std::string& task);
+  void decay(State& s, double now_s);
+
+  ComfortProfile profile_;
+  double budget_;
+  double away_contention_;
+  double recovery_s_;
+  double backoff_factor_;
+  std::map<std::pair<std::string, Resource>, State> states_;
+};
+
+}  // namespace uucs::core

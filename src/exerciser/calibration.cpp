@@ -1,0 +1,47 @@
+#include "exerciser/calibration.hpp"
+
+#include "util/error.hpp"
+
+namespace uucs {
+
+namespace {
+// Block size between clock checks: large enough that the clock read is
+// amortized, small enough that deadlines are hit within microseconds.
+constexpr int kUnitsPerBlock = 64;
+}  // namespace
+
+std::uint64_t cpu_work_unit(std::uint64_t x) {
+  // SplitMix64-style mixing: serial data dependence defeats vectorization
+  // and constant folding while exercising the integer pipeline.
+  for (int i = 0; i < 16; ++i) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+  }
+  return x;
+}
+
+CpuCalibration CpuCalibration::measure(Clock& clock, double measure_s) {
+  UUCS_CHECK_MSG(measure_s > 0, "calibration window must be positive");
+  const double start = clock.now();
+  const std::uint64_t units = spin_until(clock, start + measure_s);
+  const double elapsed = clock.now() - start;
+  CpuCalibration cal;
+  cal.units_per_second = static_cast<double>(units) / elapsed;
+  return cal;
+}
+
+std::uint64_t CpuCalibration::spin_until(Clock& clock, double deadline) {
+  std::uint64_t units = 0;
+  std::uint64_t sink = 0x2545f4914f6cdd1dULL;
+  while (clock.now() < deadline) {
+    for (int i = 0; i < kUnitsPerBlock; ++i) sink = cpu_work_unit(sink);
+    units += kUnitsPerBlock;
+  }
+  // Consume `sink` so the work cannot be optimized away.
+  asm volatile("" : : "r"(sink));
+  return units;
+}
+
+}  // namespace uucs

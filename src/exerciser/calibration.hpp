@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstdint>
+
+#include "util/clock.hpp"
+
+namespace uucs {
+
+/// One unit of synthetic CPU work (a short integer-arithmetic kernel the
+/// optimizer cannot elide). Returns a value that must be consumed.
+std::uint64_t cpu_work_unit(std::uint64_t x);
+
+/// Busy-wait calibration for the CPU exerciser (§2.2: "carefully calibrated
+/// busy-wait loops", with subinterval durations "computed by calibration").
+struct CpuCalibration {
+  /// Work units executed per second by one uncontended thread.
+  double units_per_second = 0.0;
+
+  /// Measures units_per_second over `measure_s` seconds of wall time.
+  static CpuCalibration measure(Clock& clock, double measure_s = 0.1);
+
+  /// Spins executing work units until clock.now() >= deadline; returns the
+  /// number of units executed (the probe uses this to measure slowdown).
+  static std::uint64_t spin_until(Clock& clock, double deadline);
+};
+
+}  // namespace uucs

@@ -1,0 +1,38 @@
+#include <memory>
+
+#include "exerciser/calibration.hpp"
+#include "exerciser/exerciser.hpp"
+#include "exerciser/playback.hpp"
+
+namespace uucs {
+
+namespace {
+
+/// CPU exerciser (§2.2): time-based playback of the exercise function using
+/// busy-wait subintervals. A contention of c means floor(c) fully-busy
+/// threads plus one thread busy with probability frac(c), so an
+/// equal-priority competing thread runs at 1/(1+c) of full speed.
+class CpuExerciser final : public ResourceExerciser {
+ public:
+  CpuExerciser(Clock& clock, const ExerciserConfig& cfg)
+      : engine_(clock, cfg, [&clock](double deadline, unsigned /*worker*/) {
+          CpuCalibration::spin_until(clock, deadline);
+        }) {}
+
+  Resource resource() const override { return Resource::kCpu; }
+  double run(const ExerciseFunction& f) override { return engine_.run(f); }
+  void stop() override { engine_.stop(); }
+  void reset() override { engine_.reset(); }
+
+ private:
+  PlaybackEngine engine_;
+};
+
+}  // namespace
+
+std::unique_ptr<ResourceExerciser> make_cpu_exerciser(Clock& clock,
+                                                      const ExerciserConfig& cfg) {
+  return std::make_unique<CpuExerciser>(clock, cfg);
+}
+
+}  // namespace uucs

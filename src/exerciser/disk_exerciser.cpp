@@ -1,0 +1,145 @@
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "exerciser/exerciser.hpp"
+#include "exerciser/playback.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace uucs {
+
+namespace {
+
+/// RAII file descriptor.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { close_now(); }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  Fd(Fd&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  Fd& operator=(Fd&& o) noexcept {
+    if (this != &o) {
+      close_now();
+      fd_ = o.fd_;
+      o.fd_ = -1;
+    }
+    return *this;
+  }
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+ private:
+  void close_now() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+  int fd_ = -1;
+};
+
+/// Disk exerciser (§2.2): identical playback structure to the CPU
+/// exerciser, but the busy operation is a random seek in a large backing
+/// file followed by a write of a random amount of data, forced write-through
+/// (O_SYNC) so contention reaches the device rather than the buffer cache.
+/// The paper sizes the file at 2x physical memory for the same reason; the
+/// configured size is a knob so small build hosts can run it.
+class DiskExerciser final : public ResourceExerciser {
+ public:
+  DiskExerciser(Clock& clock, const ExerciserConfig& cfg)
+      : clock_(clock),
+        cfg_(cfg),
+        engine_(clock, cfg,
+                [this](double deadline, unsigned worker) { busy(deadline, worker); }) {
+    UUCS_CHECK_MSG(cfg_.disk_file_bytes >= (1u << 20), "disk file must be >= 1 MiB");
+    UUCS_CHECK_MSG(cfg_.disk_max_write_bytes >= 512, "write size must be >= 512");
+  }
+
+  ~DiskExerciser() override {
+    for (auto& f : files_) f = Fd();
+    if (!path_.empty()) ::unlink(path_.c_str());
+  }
+
+  Resource resource() const override { return Resource::kDisk; }
+
+  double run(const ExerciseFunction& f) override {
+    ensure_file();
+    return engine_.run(f);
+  }
+
+  void stop() override { engine_.stop(); }
+  void reset() override { engine_.reset(); }
+
+  /// Total bytes written so far (observable progress for tests/probes).
+  std::uint64_t bytes_written() const {
+    return bytes_written_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void ensure_file() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!path_.empty()) return;
+    std::string path = cfg_.disk_dir + "/uucs-disk-exerciser-" +
+                       std::to_string(::getpid()) + ".dat";
+    Fd create(::open(path.c_str(), O_CREAT | O_RDWR | O_TRUNC, 0600));
+    if (!create.valid()) {
+      throw SystemError("create " + path + ": " + std::strerror(errno));
+    }
+    if (::ftruncate(create.get(), static_cast<off_t>(cfg_.disk_file_bytes)) != 0) {
+      throw SystemError("ftruncate " + path + ": " + std::strerror(errno));
+    }
+    // One write-through descriptor per worker so workers do not serialize on
+    // a shared file offset.
+    files_.resize(cfg_.max_threads);
+    for (auto& fd : files_) {
+      fd = Fd(::open(path.c_str(), O_RDWR | O_SYNC));
+      if (!fd.valid()) {
+        throw SystemError("open " + path + ": " + std::strerror(errno));
+      }
+    }
+    path_ = std::move(path);
+  }
+
+  void busy(double deadline, unsigned worker) {
+    thread_local Rng rng(cfg_.seed ^ (0x9e37ULL * (worker + 1)));
+    std::vector<char> buf(cfg_.disk_max_write_bytes);
+    const int fd = files_[worker % files_.size()].get();
+    while (clock_.now() < deadline && !engine_.stop_requested()) {
+      const auto max_off =
+          static_cast<std::int64_t>(cfg_.disk_file_bytes - cfg_.disk_max_write_bytes);
+      const auto off = rng.uniform_int(0, std::max<std::int64_t>(max_off, 0));
+      const auto len = static_cast<std::size_t>(
+          rng.uniform_int(512, static_cast<std::int64_t>(cfg_.disk_max_write_bytes)));
+      buf[0] = static_cast<char>(rng());
+      const ssize_t n = ::pwrite(fd, buf.data(), len, static_cast<off_t>(off));
+      if (n < 0) {
+        throw SystemError(strprintf("pwrite %s: %s", path_.c_str(), std::strerror(errno)));
+      }
+      bytes_written_.fetch_add(static_cast<std::uint64_t>(n), std::memory_order_relaxed);
+    }
+  }
+
+  Clock& clock_;
+  ExerciserConfig cfg_;
+  PlaybackEngine engine_;
+  std::mutex mu_;
+  std::string path_;
+  std::vector<Fd> files_;
+  std::atomic<std::uint64_t> bytes_written_{0};
+};
+
+}  // namespace
+
+std::unique_ptr<ResourceExerciser> make_disk_exerciser(Clock& clock,
+                                                       const ExerciserConfig& cfg) {
+  return std::make_unique<DiskExerciser>(clock, cfg);
+}
+
+}  // namespace uucs

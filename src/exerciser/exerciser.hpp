@@ -1,0 +1,81 @@
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "testcase/exercise_function.hpp"
+#include "testcase/resource.hpp"
+#include "util/clock.hpp"
+
+namespace uucs {
+
+/// Tuning knobs shared by the real resource exercisers.
+struct ExerciserConfig {
+  /// Length of one busy-or-sleep subinterval (§2.2: "each larger than the
+  /// scheduling resolution of the machine").
+  double subinterval_s = 0.01;
+
+  /// Memory exerciser: size of the allocated page pool. The paper uses the
+  /// machine's full physical memory; the default here is deliberately small
+  /// so library consumers must opt in to full-memory borrowing.
+  std::size_t memory_pool_bytes = 64ull << 20;
+
+  /// Disk exerciser: backing file size. The paper uses 2x physical memory
+  /// to defeat the buffer cache; capped by default for small build hosts.
+  std::size_t disk_file_bytes = 64ull << 20;
+
+  /// Disk exerciser: directory for the backing file.
+  std::string disk_dir = "/tmp";
+
+  /// Disk exerciser: maximum bytes per random write.
+  std::size_t disk_max_write_bytes = 256ull << 10;
+
+  /// Maximum concurrent worker threads per exerciser (contention is capped
+  /// at this value; the paper verifies CPU to level 10 and disk to 7).
+  unsigned max_threads = 16;
+
+  /// Seed for the stochastic fractional-duty decisions.
+  std::uint64_t seed = 0x5eed;
+};
+
+/// A resource exerciser (§2.2): applies the contention described by an
+/// exercise function to one resource, in real time, until the function is
+/// exhausted or `stop()` is called (the paper stops exercisers immediately
+/// when the user expresses discomfort).
+///
+/// run() blocks; call it from a dedicated thread when exercising several
+/// resources at once (see ExerciserSet). Implementations run their workers
+/// at normal priority, like the paper's.
+class ResourceExerciser {
+ public:
+  virtual ~ResourceExerciser() = default;
+
+  /// Which resource this exerciser borrows.
+  virtual Resource resource() const = 0;
+
+  /// Plays `f` from t=0 until exhaustion or stop(). Returns the number of
+  /// seconds of the function actually played.
+  virtual double run(const ExerciseFunction& f) = 0;
+
+  /// Requests an immediate stop; safe to call from any thread. run()
+  /// returns within roughly one subinterval.
+  virtual void stop() = 0;
+
+  /// Resets the stop flag so the exerciser can run again.
+  virtual void reset() = 0;
+};
+
+/// Creates the real CPU exerciser (calibrated busy-wait playback).
+std::unique_ptr<ResourceExerciser> make_cpu_exerciser(Clock& clock,
+                                                      const ExerciserConfig& cfg = {});
+
+/// Creates the real memory exerciser (touched-page pool).
+std::unique_ptr<ResourceExerciser> make_memory_exerciser(Clock& clock,
+                                                         const ExerciserConfig& cfg = {});
+
+/// Creates the real disk exerciser (random seek + synced write).
+std::unique_ptr<ResourceExerciser> make_disk_exerciser(Clock& clock,
+                                                       const ExerciserConfig& cfg = {});
+
+}  // namespace uucs

@@ -1,0 +1,65 @@
+#include "exerciser/exerciser_set.hpp"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace uucs {
+
+ExerciserSet::ExerciserSet(Clock& clock, const ExerciserConfig& cfg)
+    : clock_(clock), cfg_(cfg) {
+  exercisers_[Resource::kCpu] = make_cpu_exerciser(clock_, cfg_);
+  exercisers_[Resource::kMemory] = make_memory_exerciser(clock_, cfg_);
+  exercisers_[Resource::kDisk] = make_disk_exerciser(clock_, cfg_);
+}
+
+void ExerciserSet::set_exerciser(Resource r, std::unique_ptr<ResourceExerciser> ex) {
+  UUCS_CHECK(ex != nullptr);
+  UUCS_CHECK_MSG(ex->resource() == r, "exerciser resource mismatch");
+  exercisers_[r] = std::move(ex);
+}
+
+ResourceExerciser& ExerciserSet::exerciser(Resource r) {
+  const auto it = exercisers_.find(r);
+  UUCS_CHECK_MSG(it != exercisers_.end(), "no exerciser for " + resource_name(r));
+  return *it->second;
+}
+
+ExerciserSet::RunOutcome ExerciserSet::run(const Testcase& tc) {
+  stop_.store(false, std::memory_order_relaxed);
+  for (auto& [r, ex] : exercisers_) ex->reset();
+
+  const double start = clock_.now();
+  RunOutcome outcome;
+
+  if (tc.is_blank()) {
+    // Nothing to exercise: wait out the duration in slices so stop() is
+    // honored within one subinterval.
+    const double end = start + tc.duration();
+    while (clock_.now() < end && !stop_.load(std::memory_order_relaxed)) {
+      clock_.sleep(std::min(cfg_.subinterval_s, end - clock_.now()));
+    }
+  } else {
+    std::vector<std::thread> threads;
+    for (Resource r : tc.resources()) {
+      const ExerciseFunction* f = tc.function(r);
+      UUCS_CHECK(f != nullptr);
+      threads.emplace_back(
+          [ex = &exerciser(r), f] { ex->run(*f); });
+    }
+    for (auto& th : threads) th.join();
+  }
+
+  outcome.stopped_early = stop_.load(std::memory_order_relaxed);
+  outcome.elapsed_s = std::min(clock_.now() - start, tc.duration());
+  return outcome;
+}
+
+void ExerciserSet::stop() {
+  stop_.store(true, std::memory_order_relaxed);
+  for (auto& [r, ex] : exercisers_) ex->stop();
+}
+
+}  // namespace uucs

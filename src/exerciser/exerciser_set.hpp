@@ -1,0 +1,52 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "exerciser/exerciser.hpp"
+#include "testcase/testcase.hpp"
+
+namespace uucs {
+
+/// Runs all the exercisers a testcase needs, simultaneously and
+/// synchronized, and stops every one of them immediately when asked —
+/// the §2.3 execution model ("the appropriate exercisers are started,
+/// passed their exercise functions, synchronized, and then let run"; on
+/// feedback "the exercisers are immediately stopped and their resources
+/// released").
+class ExerciserSet {
+ public:
+  /// Creates the set with the real exercisers for the given clock/config.
+  ExerciserSet(Clock& clock, const ExerciserConfig& cfg = {});
+
+  /// Injects a custom exerciser (simulated or instrumented) for `r`,
+  /// replacing the default real one.
+  void set_exerciser(Resource r, std::unique_ptr<ResourceExerciser> ex);
+
+  /// Access to the exerciser for a resource (never null for study resources).
+  ResourceExerciser& exerciser(Resource r);
+
+  /// Outcome of a run.
+  struct RunOutcome {
+    bool stopped_early = false;  ///< stop() arrived before exhaustion
+    double elapsed_s = 0.0;      ///< seconds of the testcase actually played
+  };
+
+  /// Plays every exercise function in `tc` in parallel, blocking until all
+  /// finish or stop() is called. Blank testcases just wait out the duration
+  /// (in subinterval slices so stop() stays responsive).
+  RunOutcome run(const Testcase& tc);
+
+  /// Stops a run in progress; safe from any thread (e.g. a feedback
+  /// watcher). Also wakes a blank-testcase wait.
+  void stop();
+
+ private:
+  Clock& clock_;
+  ExerciserConfig cfg_;
+  std::map<Resource, std::unique_ptr<ResourceExerciser>> exercisers_;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace uucs

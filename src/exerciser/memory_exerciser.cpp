@@ -1,0 +1,116 @@
+#include <sys/mman.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <memory>
+
+#include "exerciser/exerciser.hpp"
+#include "util/error.hpp"
+
+namespace uucs {
+
+namespace {
+
+constexpr std::size_t kPageSize = 4096;
+
+/// RAII anonymous mapping. Pages materialize (count toward the resident
+/// set) only when first touched, so the exerciser's working set really is
+/// the fraction it touches — matching §2.2's semantics, where contention is
+/// "the fraction of physical memory it should attempt to allocate" into its
+/// working set.
+class PagePool {
+ public:
+  explicit PagePool(std::size_t bytes) : bytes_(bytes) {
+    base_ = ::mmap(nullptr, bytes_, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (base_ == MAP_FAILED) {
+      throw SystemError("mmap of memory pool failed");
+    }
+  }
+  ~PagePool() {
+    if (base_ != MAP_FAILED) ::munmap(base_, bytes_);
+  }
+  PagePool(const PagePool&) = delete;
+  PagePool& operator=(const PagePool&) = delete;
+
+  char* page(std::size_t index) {
+    return static_cast<char*>(base_) + index * kPageSize;
+  }
+  std::size_t page_count() const { return bytes_ / kPageSize; }
+
+ private:
+  std::size_t bytes_;
+  void* base_ = MAP_FAILED;
+};
+
+/// Memory exerciser (§2.2): keeps a pool of allocated pages equal to the
+/// configured size and touches the fraction of it named by the current
+/// contention level at high frequency, inflating its working set to that
+/// fraction of the pool. Contention is clamped to 1.0 — the paper avoids
+/// higher levels because they cause immediate thrashing.
+class MemoryExerciser final : public ResourceExerciser {
+ public:
+  MemoryExerciser(Clock& clock, const ExerciserConfig& cfg)
+      : clock_(clock), cfg_(cfg) {
+    UUCS_CHECK_MSG(cfg_.memory_pool_bytes >= kPageSize, "pool must hold a page");
+  }
+
+  Resource resource() const override { return Resource::kMemory; }
+
+  double run(const ExerciseFunction& f) override {
+    if (f.empty()) return 0.0;
+    // The pool lives only for the run, so a stopped exerciser releases its
+    // borrowed memory immediately, as the paper requires.
+    PagePool pool(cfg_.memory_pool_bytes);
+    const std::size_t pages = pool.page_count();
+    const double start = clock_.now();
+    const double duration = f.duration();
+    std::size_t cursor = 0;
+    std::uint64_t stamp = 1;
+    while (!stop_.load(std::memory_order_relaxed)) {
+      const double t = clock_.now() - start;
+      if (t >= duration) break;
+      const double c = std::min(f.level_at(t), 1.0);
+      const auto touch_pages =
+          static_cast<std::size_t>(c * static_cast<double>(pages));
+      if (touch_pages == 0) {
+        clock_.sleep(cfg_.subinterval_s);
+        continue;
+      }
+      // Touch one sweep of the borrowed region (bounded per iteration so the
+      // stop flag and the function level are re-checked promptly).
+      const std::size_t burst = std::min<std::size_t>(touch_pages, 4096);
+      for (std::size_t i = 0; i < burst; ++i) {
+        cursor = (cursor + 1) % touch_pages;
+        std::memcpy(pool.page(cursor), &stamp, sizeof(stamp));
+        ++stamp;
+      }
+      touched_bytes_.fetch_add(burst * kPageSize, std::memory_order_relaxed);
+    }
+    return std::min(clock_.now() - start, duration);
+  }
+
+  void stop() override { stop_.store(true, std::memory_order_relaxed); }
+  void reset() override { stop_.store(false, std::memory_order_relaxed); }
+
+  /// Total bytes written across runs (observable progress for tests).
+  std::uint64_t touched_bytes() const {
+    return touched_bytes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  Clock& clock_;
+  ExerciserConfig cfg_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> touched_bytes_{0};
+};
+
+}  // namespace
+
+std::unique_ptr<ResourceExerciser> make_memory_exerciser(Clock& clock,
+                                                         const ExerciserConfig& cfg) {
+  return std::make_unique<MemoryExerciser>(clock, cfg);
+}
+
+}  // namespace uucs

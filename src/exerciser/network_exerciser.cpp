@@ -1,0 +1,117 @@
+#include "exerciser/network_exerciser.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace uucs {
+
+namespace {
+constexpr std::size_t kDatagramBytes = 1400;  // typical MTU payload
+}
+
+NetworkExerciser::NetworkExerciser(Clock& clock, const ExerciserConfig& cfg,
+                                   double link_bps)
+    : clock_(clock), cfg_(cfg), link_bps_(link_bps) {
+  UUCS_CHECK_MSG(link_bps_ > 0, "link speed must be positive");
+  UUCS_CHECK_MSG(cfg_.subinterval_s > 0, "subinterval must be positive");
+
+  // The sink: a bound UDP socket whose queue we let overflow (we never read
+  // it) — datagrams are dropped by the kernel after traversing the stack.
+  sink_fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (sink_fd_ < 0) throw SystemError(std::string("socket: ") + std::strerror(errno));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // kernel-assigned
+  if (::bind(sink_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(sink_fd_);
+    throw SystemError(std::string("bind: ") + std::strerror(err));
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(sink_fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    const int err = errno;
+    ::close(sink_fd_);
+    throw SystemError(std::string("getsockname: ") + std::strerror(err));
+  }
+
+  send_fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (send_fd_ < 0) {
+    const int err = errno;
+    ::close(sink_fd_);
+    throw SystemError(std::string("socket: ") + std::strerror(err));
+  }
+  if (::connect(send_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(sink_fd_);
+    ::close(send_fd_);
+    throw SystemError(std::string("connect: ") + std::strerror(err));
+  }
+}
+
+NetworkExerciser::~NetworkExerciser() {
+  if (send_fd_ >= 0) ::close(send_fd_);
+  if (sink_fd_ >= 0) ::close(sink_fd_);
+}
+
+void NetworkExerciser::send_budget(double budget_bytes) {
+  static const std::vector<char> payload(kDatagramBytes, 'n');
+  double sent = 0;
+  while (sent < budget_bytes && !stop_.load(std::memory_order_relaxed)) {
+    const double remaining = budget_bytes - sent;
+    // Sub-byte remainders would truncate to a zero-length datagram and
+    // make no progress; the budget is spent.
+    if (remaining < 1.0) break;
+    const auto n =
+        static_cast<std::size_t>(std::min<double>(kDatagramBytes, remaining));
+    const ssize_t rc = ::send(send_fd_, payload.data(), n, 0);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      // A full socket buffer (ENOBUFS/EAGAIN) means the loopback is
+      // saturated — the budget is effectively spent.
+      break;
+    }
+    sent += static_cast<double>(rc);
+    bytes_sent_.fetch_add(static_cast<std::uint64_t>(rc),
+                          std::memory_order_relaxed);
+  }
+}
+
+double NetworkExerciser::run(const ExerciseFunction& f) {
+  if (f.empty()) return 0.0;
+  const double start = clock_.now();
+  const double duration = f.duration();
+  while (!stop_.load(std::memory_order_relaxed)) {
+    const double now = clock_.now();
+    const double t = now - start;
+    if (t >= duration) break;
+    const double c = std::min(1.0, f.level_at(t));
+    const double slice = std::min(cfg_.subinterval_s, duration - t);
+    if (c > 0) send_budget(c * link_bps_ / 8.0 * slice);
+    const double spent = clock_.now() - now;
+    if (spent < slice) clock_.sleep(slice - spent);
+  }
+  return std::min(clock_.now() - start, duration);
+}
+
+void NetworkExerciser::stop() { stop_.store(true, std::memory_order_relaxed); }
+
+void NetworkExerciser::reset() { stop_.store(false, std::memory_order_relaxed); }
+
+std::unique_ptr<NetworkExerciser> make_network_exerciser(Clock& clock,
+                                                         const ExerciserConfig& cfg,
+                                                         double link_bps) {
+  return std::make_unique<NetworkExerciser>(clock, cfg, link_bps);
+}
+
+}  // namespace uucs

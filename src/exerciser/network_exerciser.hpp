@@ -1,0 +1,58 @@
+#pragma once
+
+#include <atomic>
+#include <memory>
+
+#include "exerciser/exerciser.hpp"
+#include "exerciser/playback.hpp"
+
+namespace uucs {
+
+/// The network exerciser the paper built but excluded from its studies
+/// because network borrowing "create[s] a significant impact beyond the
+/// client machine" (§2.2). This implementation honors that concern by
+/// construction: it shapes UDP traffic to a sink socket it opens on
+/// 127.0.0.1, so the load never leaves the host while still exercising the
+/// full send path.
+///
+/// Contention is the fraction of the configured link bandwidth to consume
+/// (clamped to 1): per subinterval the exerciser sends
+/// c * link_bps / 8 * subinterval bytes, then sleeps out the remainder —
+/// a token-bucket shaper driven by the standard playback clockwork.
+class NetworkExerciser final : public ResourceExerciser {
+ public:
+  /// `link_bps`: the nominal link speed contention is measured against
+  /// (the paper's study machines had 100 Mbit/s Ethernet).
+  NetworkExerciser(Clock& clock, const ExerciserConfig& cfg,
+                   double link_bps = 100e6);
+  ~NetworkExerciser() override;
+
+  Resource resource() const override { return Resource::kNetwork; }
+  double run(const ExerciseFunction& f) override;
+  void stop() override;
+  void reset() override;
+
+  double link_bps() const { return link_bps_; }
+
+  /// Bytes pushed through the loopback so far (for tests and probes).
+  std::uint64_t bytes_sent() const {
+    return bytes_sent_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void send_budget(double budget_bytes);
+
+  Clock& clock_;
+  ExerciserConfig cfg_;
+  double link_bps_;
+  int send_fd_ = -1;
+  int sink_fd_ = -1;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> bytes_sent_{0};
+};
+
+/// Factory matching the other exercisers.
+std::unique_ptr<NetworkExerciser> make_network_exerciser(
+    Clock& clock, const ExerciserConfig& cfg = {}, double link_bps = 100e6);
+
+}  // namespace uucs

@@ -1,0 +1,61 @@
+#include "exerciser/playback.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace uucs {
+
+PlaybackEngine::PlaybackEngine(Clock& clock, const ExerciserConfig& cfg, BusyFn busy)
+    : clock_(clock), cfg_(cfg), busy_(std::move(busy)) {
+  UUCS_CHECK_MSG(cfg_.subinterval_s > 0, "subinterval must be positive");
+  UUCS_CHECK_MSG(cfg_.max_threads > 0, "need at least one worker thread");
+  UUCS_CHECK(busy_ != nullptr);
+}
+
+double PlaybackEngine::run(const ExerciseFunction& f) {
+  if (f.empty()) return 0.0;
+  const unsigned workers = std::min<unsigned>(
+      cfg_.max_threads,
+      static_cast<unsigned>(std::max(1.0, std::ceil(f.max_level()))));
+
+  const double start = clock_.now();
+  const double duration = f.duration();
+  // The current target level, updated by worker 0 as playback advances.
+  std::atomic<double> level{f.level_at(0.0)};
+  std::atomic<bool> done{false};
+
+  auto worker_loop = [&](unsigned k) {
+    Rng rng(cfg_.seed + k);
+    while (!done.load(std::memory_order_relaxed) && !stop_requested()) {
+      const double now = clock_.now();
+      const double t = now - start;
+      if (t >= duration) break;
+      if (k == 0) level.store(f.level_at(t), std::memory_order_relaxed);
+      const double c = level.load(std::memory_order_relaxed);
+      const double duty = std::clamp(c - static_cast<double>(k), 0.0, 1.0);
+      const double deadline = std::min(now + cfg_.subinterval_s, start + duration);
+      if (duty >= 1.0 || (duty > 0.0 && rng.uniform() < duty)) {
+        busy_(deadline, k);
+      } else {
+        clock_.sleep(deadline - now);
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (unsigned k = 1; k < workers; ++k) {
+    threads.emplace_back(worker_loop, k);
+  }
+  worker_loop(0);
+  done.store(true, std::memory_order_relaxed);
+  for (auto& th : threads) th.join();
+  return std::min(clock_.now() - start, duration);
+}
+
+}  // namespace uucs

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <atomic>
+#include <functional>
+
+#include "exerciser/exerciser.hpp"
+
+namespace uucs {
+
+/// Shared time-based playback engine for the CPU and disk exercisers, which
+/// the paper notes "operate nearly identically" (§2.2).
+///
+/// Playback walks the exercise function in real time. Worker thread k
+/// derives its duty cycle from the current contention level c:
+///
+///   duty(k) = clamp(c - k, 0, 1)
+///
+/// so floor(c) threads run fully busy subintervals and one thread runs busy
+/// subintervals with probability frac(c), calling sleep otherwise — the
+/// stochastic borrowing that emulates a fluid model. The `busy_until`
+/// callback performs resource-specific busy work (spinning for CPU, random
+/// synced writes for disk) until the given deadline.
+class PlaybackEngine {
+ public:
+  /// busy_until(deadline, worker_index): perform busy work until
+  /// clock.now() >= deadline. Must return promptly at the deadline.
+  using BusyFn = std::function<void(double deadline, unsigned worker)>;
+
+  PlaybackEngine(Clock& clock, const ExerciserConfig& cfg, BusyFn busy);
+
+  /// Plays `f`; blocks until exhaustion or stop(). Returns seconds played.
+  double run(const ExerciseFunction& f);
+
+  /// Requests an immediate stop from any thread.
+  void stop() { stop_.store(true, std::memory_order_relaxed); }
+
+  /// Clears the stop flag for reuse.
+  void reset() { stop_.store(false, std::memory_order_relaxed); }
+
+  bool stop_requested() const { return stop_.load(std::memory_order_relaxed); }
+
+ private:
+  Clock& clock_;
+  ExerciserConfig cfg_;
+  BusyFn busy_;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace uucs

@@ -1,0 +1,81 @@
+#include "exerciser/probe.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "exerciser/calibration.hpp"
+#include "testcase/exercise_function.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace uucs {
+
+double cpu_probe_rate(Clock& clock, double window_s) {
+  UUCS_CHECK_MSG(window_s > 0, "probe window must be positive");
+  const double start = clock.now();
+  const std::uint64_t units = CpuCalibration::spin_until(clock, start + window_s);
+  return static_cast<double>(units) / (clock.now() - start);
+}
+
+double disk_probe_rate(Clock& clock, double window_s, const std::string& dir,
+                       std::size_t file_bytes, std::size_t write_bytes) {
+  UUCS_CHECK_MSG(window_s > 0, "probe window must be positive");
+  UUCS_CHECK_MSG(file_bytes > write_bytes, "file must exceed write size");
+  const std::string path = dir + "/uucs-disk-probe-" + std::to_string(::getpid()) + ".dat";
+  const int fd = ::open(path.c_str(), O_CREAT | O_RDWR | O_TRUNC | O_SYNC, 0600);
+  if (fd < 0) throw SystemError("open " + path + ": " + std::strerror(errno));
+  if (::ftruncate(fd, static_cast<off_t>(file_bytes)) != 0) {
+    ::close(fd);
+    ::unlink(path.c_str());
+    throw SystemError("ftruncate " + path + ": " + std::strerror(errno));
+  }
+  std::vector<char> buf(write_bytes, 'p');
+  Rng rng(0xd15c);
+  const double start = clock.now();
+  std::uint64_t ops = 0;
+  while (clock.now() < start + window_s) {
+    const auto off = rng.uniform_int(
+        0, static_cast<std::int64_t>(file_bytes - write_bytes));
+    if (::pwrite(fd, buf.data(), write_bytes, static_cast<off_t>(off)) < 0) {
+      ::close(fd);
+      ::unlink(path.c_str());
+      throw SystemError("pwrite " + path + ": " + std::strerror(errno));
+    }
+    ++ops;
+  }
+  const double elapsed = clock.now() - start;
+  ::close(fd);
+  ::unlink(path.c_str());
+  return static_cast<double>(ops) / elapsed;
+}
+
+double probe_rate_under_contention(ResourceExerciser& exerciser, double level,
+                                   double window_s, Clock& clock,
+                                   const std::function<double()>& probe) {
+  UUCS_CHECK(probe != nullptr);
+  exerciser.reset();
+  // Run the exerciser well past the probe window so contention is steady
+  // for the whole measurement.
+  const ExerciseFunction constant = make_constant(level, window_s * 4 + 1.0, 1.0);
+  std::thread runner([&] { exerciser.run(constant); });
+  // Give the exerciser one subinterval to spin up.
+  clock.sleep(0.05);
+  double rate = 0.0;
+  try {
+    rate = probe();
+  } catch (...) {
+    exerciser.stop();
+    runner.join();
+    throw;
+  }
+  exerciser.stop();
+  runner.join();
+  return rate;
+}
+
+}  // namespace uucs

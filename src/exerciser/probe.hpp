@@ -1,0 +1,32 @@
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "exerciser/exerciser.hpp"
+
+namespace uucs {
+
+/// Measurement probes for verifying exerciser fidelity. The paper validates
+/// the CPU exerciser to contention 10 and the disk exerciser to 7 by
+/// checking that an equal-priority competing thread slows to 1/(1+c) of its
+/// uncontended rate (§2.2). These helpers reproduce that experiment.
+
+/// Rate achieved by one busy probe thread over `window_s` seconds with
+/// nothing else running: CPU work units per second.
+double cpu_probe_rate(Clock& clock, double window_s);
+
+/// Rate achieved by a disk probe (synced random writes into its own file
+/// under `dir`): write operations per second.
+double disk_probe_rate(Clock& clock, double window_s, const std::string& dir,
+                       std::size_t file_bytes, std::size_t write_bytes);
+
+/// Runs `exerciser` on a constant-level function while concurrently running
+/// `probe` (which must return the probe's achieved rate), then stops the
+/// exerciser. Returns the probe's contended rate. The expected value is
+/// uncontended_rate / (1 + level) on an otherwise idle single-CPU host.
+double probe_rate_under_contention(ResourceExerciser& exerciser, double level,
+                                   double window_s, Clock& clock,
+                                   const std::function<double()>& probe);
+
+}  // namespace uucs

@@ -1,0 +1,68 @@
+#include "monitor/recorder.hpp"
+
+#include "util/error.hpp"
+
+namespace uucs {
+
+LoadRecorder::LoadRecorder(Clock& clock, LoadSampler& sampler, double interval_s)
+    : clock_(clock), sampler_(sampler), interval_s_(interval_s) {
+  UUCS_CHECK_MSG(interval_s_ > 0, "sampling interval must be positive");
+  start_time_ = clock_.now();
+}
+
+LoadRecorder::~LoadRecorder() { stop(); }
+
+void LoadRecorder::start() {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) return;
+  start_time_ = clock_.now();
+  thread_ = std::thread([this] { run_loop(); });
+}
+
+void LoadRecorder::stop() {
+  if (!running_.exchange(false)) return;
+  if (thread_.joinable()) thread_.join();
+}
+
+void LoadRecorder::run_loop() {
+  while (running_.load(std::memory_order_relaxed)) {
+    tick();
+    clock_.sleep(interval_s_);
+  }
+}
+
+void LoadRecorder::tick() {
+  const LoadSample s = sampler_.sample(clock_.now() - start_time_);
+  std::lock_guard<std::mutex> lock(mu_);
+  samples_.push_back(s);
+}
+
+std::vector<LoadSample> LoadRecorder::samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return samples_;
+}
+
+void LoadRecorder::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  samples_.clear();
+}
+
+KvRecord LoadRecorder::to_record() const {
+  std::vector<LoadSample> snap = samples();
+  std::vector<double> t, cpu, mem, disk;
+  t.reserve(snap.size());
+  for (const auto& s : snap) {
+    t.push_back(s.t);
+    cpu.push_back(s.cpu_busy_frac);
+    mem.push_back(s.mem_used_frac);
+    disk.push_back(s.disk_bytes_per_s);
+  }
+  KvRecord rec("load");
+  rec.set_doubles("t", t);
+  rec.set_doubles("cpu", cpu);
+  rec.set_doubles("mem", mem);
+  rec.set_doubles("disk", disk);
+  return rec;
+}
+
+}  // namespace uucs

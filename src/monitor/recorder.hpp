@@ -1,0 +1,58 @@
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "monitor/sampler.hpp"
+#include "util/clock.hpp"
+#include "util/kvtext.hpp"
+
+namespace uucs {
+
+/// Records load samples for the duration of a testcase run (§2.3). Driven
+/// either by a background thread against a real clock (start/stop) or
+/// manually (tick) when the simulator owns time.
+class LoadRecorder {
+ public:
+  /// `sampler` must outlive the recorder.
+  LoadRecorder(Clock& clock, LoadSampler& sampler, double interval_s = 1.0);
+  ~LoadRecorder();
+
+  LoadRecorder(const LoadRecorder&) = delete;
+  LoadRecorder& operator=(const LoadRecorder&) = delete;
+
+  /// Starts background sampling (real-clock mode). No-op if running.
+  void start();
+
+  /// Stops background sampling and joins the thread.
+  void stop();
+
+  /// Takes one sample now (manual mode; also usable while stopped).
+  void tick();
+
+  /// Samples collected so far (copy; safe while running).
+  std::vector<LoadSample> samples() const;
+
+  /// Clears collected samples (for reuse across runs).
+  void clear();
+
+  /// Serializes samples into a [load] record (t/cpu/mem/disk value lists).
+  KvRecord to_record() const;
+
+ private:
+  void run_loop();
+
+  Clock& clock_;
+  LoadSampler& sampler_;
+  double interval_s_;
+  double start_time_ = 0.0;
+  mutable std::mutex mu_;
+  std::vector<LoadSample> samples_;
+  std::atomic<bool> running_{false};
+  std::thread thread_;
+};
+
+}  // namespace uucs

@@ -1,0 +1,122 @@
+#include "monitor/sampler.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace uucs {
+
+namespace {
+
+/// Parses /proc/stat's first line into (idle, total) jiffies.
+std::optional<std::pair<std::uint64_t, std::uint64_t>> read_cpu_times() {
+  std::ifstream f("/proc/stat");
+  std::string line;
+  if (!std::getline(f, line) || !starts_with(line, "cpu ")) return std::nullopt;
+  const auto fields = split_ws(line);
+  // cpu user nice system idle iowait irq softirq steal ...
+  if (fields.size() < 5) return std::nullopt;
+  std::uint64_t total = 0;
+  std::uint64_t idle = 0;
+  for (std::size_t i = 1; i < fields.size(); ++i) {
+    const auto v = parse_int(fields[i]);
+    if (!v) return std::nullopt;
+    total += static_cast<std::uint64_t>(*v);
+    if (i == 4 || i == 5) idle += static_cast<std::uint64_t>(*v);  // idle+iowait
+  }
+  return std::make_pair(idle, total);
+}
+
+/// Fraction of physical memory in use (1 - MemAvailable/MemTotal).
+double read_mem_used_frac() {
+  std::ifstream f("/proc/meminfo");
+  std::string line;
+  double total = 0, avail = 0;
+  while (std::getline(f, line)) {
+    const auto fields = split_ws(line);
+    if (fields.size() < 2) continue;
+    if (fields[0] == "MemTotal:") total = parse_double(fields[1]).value_or(0);
+    if (fields[0] == "MemAvailable:") avail = parse_double(fields[1]).value_or(0);
+  }
+  if (total <= 0) return 0.0;
+  return std::clamp(1.0 - avail / total, 0.0, 1.0);
+}
+
+/// Total sectors read+written across physical block devices.
+std::uint64_t read_disk_sectors() {
+  std::ifstream f("/proc/diskstats");
+  std::string line;
+  std::uint64_t sectors = 0;
+  while (std::getline(f, line)) {
+    const auto fields = split_ws(line);
+    // major minor name reads .. sectors_read(6) .. writes .. sectors_written(10)
+    if (fields.size() < 11) continue;
+    const std::string& name = fields[2];
+    // Skip partitions (trailing digit on sdX / vdX) and loop/ram devices to
+    // avoid double counting.
+    if (starts_with(name, "loop") || starts_with(name, "ram")) continue;
+    if (!name.empty() && std::isdigit(static_cast<unsigned char>(name.back())) &&
+        !starts_with(name, "nvme") && !starts_with(name, "mmcblk")) {
+      continue;
+    }
+    sectors += static_cast<std::uint64_t>(parse_int(fields[5]).value_or(0));
+    sectors += static_cast<std::uint64_t>(parse_int(fields[9]).value_or(0));
+  }
+  return sectors;
+}
+
+}  // namespace
+
+ProcSampler::ProcSampler() = default;
+
+LoadSample ProcSampler::sample(double t) {
+  LoadSample s;
+  s.t = t;
+  s.mem_used_frac = read_mem_used_frac();
+
+  if (const auto cpu = read_cpu_times()) {
+    if (prev_cpu_ && cpu->second > prev_cpu_->total) {
+      const double didle = static_cast<double>(cpu->first - prev_cpu_->idle);
+      const double dtotal = static_cast<double>(cpu->second - prev_cpu_->total);
+      s.cpu_busy_frac = std::clamp(1.0 - didle / dtotal, 0.0, 1.0);
+    }
+    prev_cpu_ = CpuTimes{cpu->first, cpu->second};
+  }
+
+  const std::uint64_t sectors = read_disk_sectors();
+  if (prev_disk_sectors_ && prev_t_ && t > *prev_t_) {
+    const double dsect = static_cast<double>(sectors - *prev_disk_sectors_);
+    s.disk_bytes_per_s = dsect * 512.0 / (t - *prev_t_);
+  }
+  prev_disk_sectors_ = sectors;
+  prev_t_ = t;
+  return s;
+}
+
+std::vector<ProcessInfo> snapshot_processes(std::size_t max_count) {
+  std::vector<ProcessInfo> out;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator("/proc", ec)) {
+    if (out.size() >= max_count) break;
+    const std::string name = entry.path().filename().string();
+    if (name.empty() || !std::all_of(name.begin(), name.end(), [](char c) {
+          return std::isdigit(static_cast<unsigned char>(c));
+        })) {
+      continue;
+    }
+    std::ifstream comm(entry.path() / "comm");
+    std::string pname;
+    if (!std::getline(comm, pname)) continue;
+    ProcessInfo info;
+    info.pid = static_cast<int>(*parse_int(name));
+    info.name = pname;
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+}  // namespace uucs

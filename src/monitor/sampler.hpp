@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace uucs {
+
+/// One instantaneous load measurement. The paper's client stores "CPU,
+/// memory and Disk load measurements for [the] entire duration of the
+/// testcase" (§2.3).
+struct LoadSample {
+  double t = 0.0;                ///< seconds into the run
+  double cpu_busy_frac = 0.0;    ///< non-idle CPU fraction in [0,1]
+  double mem_used_frac = 0.0;    ///< in-use physical memory fraction in [0,1]
+  double disk_bytes_per_s = 0.0; ///< read+write throughput
+};
+
+/// A process visible at sample time (pid + short name). Results include a
+/// process snapshot for context (§2.3).
+struct ProcessInfo {
+  int pid = 0;
+  std::string name;
+};
+
+/// Interface producing LoadSamples; the Linux /proc implementation is used
+/// live, and the simulator provides a model-driven one.
+class LoadSampler {
+ public:
+  virtual ~LoadSampler() = default;
+
+  /// Takes a sample `t` seconds into the run. Implementations compute rates
+  /// from deltas against the previous call.
+  virtual LoadSample sample(double t) = 0;
+};
+
+/// /proc-backed sampler: /proc/stat for CPU, /proc/meminfo for memory,
+/// /proc/diskstats for disk throughput. The first sample has zero rates
+/// (no delta yet).
+class ProcSampler final : public LoadSampler {
+ public:
+  ProcSampler();
+  LoadSample sample(double t) override;
+
+ private:
+  struct CpuTimes {
+    std::uint64_t idle = 0;
+    std::uint64_t total = 0;
+  };
+  std::optional<CpuTimes> prev_cpu_;
+  std::optional<std::uint64_t> prev_disk_sectors_;
+  std::optional<double> prev_t_;
+};
+
+/// Lists currently running processes from /proc (pid directories with a
+/// readable comm). Best-effort: unreadable entries are skipped.
+std::vector<ProcessInfo> snapshot_processes(std::size_t max_count = 256);
+
+}  // namespace uucs

@@ -1,0 +1,102 @@
+#include "monitor/sysinfo.hpp"
+
+#include <sys/statvfs.h>
+#include <sys/utsname.h>
+#include <unistd.h>
+
+#include <fstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace uucs {
+
+HostSpec HostSpec::detect() {
+  HostSpec spec;
+
+  char host[256] = {0};
+  if (::gethostname(host, sizeof(host) - 1) == 0) spec.hostname = host;
+
+  struct utsname uts{};
+  if (::uname(&uts) == 0) {
+    spec.os_name = std::string(uts.sysname) + " " + uts.release;
+  }
+
+  spec.cpu_count = static_cast<unsigned>(std::max(1L, ::sysconf(_SC_NPROCESSORS_ONLN)));
+  const long pages = ::sysconf(_SC_PHYS_PAGES);
+  const long page_size = ::sysconf(_SC_PAGESIZE);
+  if (pages > 0 && page_size > 0) {
+    spec.memory_bytes = static_cast<std::uint64_t>(pages) *
+                        static_cast<std::uint64_t>(page_size);
+  }
+
+  std::ifstream cpuinfo("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(cpuinfo, line)) {
+    const auto colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    const std::string key{trim(line.substr(0, colon))};
+    const std::string value{trim(line.substr(colon + 1))};
+    if (key == "model name" && spec.cpu_model.empty()) spec.cpu_model = value;
+    if (key == "cpu MHz" && spec.cpu_mhz == 0.0) {
+      if (const auto v = parse_double(value)) spec.cpu_mhz = *v;
+    }
+  }
+
+  struct statvfs vfs{};
+  if (::statvfs("/", &vfs) == 0) {
+    spec.disk_bytes = static_cast<std::uint64_t>(vfs.f_blocks) * vfs.f_frsize;
+  }
+  return spec;
+}
+
+HostSpec HostSpec::paper_study_machine() {
+  HostSpec spec;
+  spec.hostname = "uucs-study";
+  spec.os_name = "Windows XP";
+  spec.cpu_model = "2.0 GHz P4";
+  spec.cpu_mhz = 2000.0;
+  spec.cpu_count = 1;
+  spec.memory_bytes = 512ull << 20;
+  spec.disk_bytes = 80ull * 1000 * 1000 * 1000;
+  spec.extra = "Dell Optiplex GX270, 17 in monitor, 100 Mbps Ethernet; "
+               "Word 2002, Powerpoint 2002, IE 6, Quake III";
+  return spec;
+}
+
+double HostSpec::power_index() const {
+  // Simple clock*cores index relative to the 2.0 GHz single-core study box.
+  const double mhz = cpu_mhz > 0 ? cpu_mhz : 2000.0;
+  return (mhz / 2000.0) * static_cast<double>(cpu_count);
+}
+
+KvRecord HostSpec::to_record() const {
+  KvRecord rec("host");
+  rec.set("hostname", hostname);
+  rec.set("os", os_name);
+  rec.set("cpu_model", cpu_model);
+  rec.set_double("cpu_mhz", cpu_mhz);
+  rec.set_int("cpu_count", cpu_count);
+  rec.set_int("memory_bytes", static_cast<std::int64_t>(memory_bytes));
+  rec.set_int("disk_bytes", static_cast<std::int64_t>(disk_bytes));
+  if (!extra.empty()) rec.set("extra", extra);
+  return rec;
+}
+
+HostSpec HostSpec::from_record(const KvRecord& rec) {
+  if (rec.type() != "host") {
+    throw ParseError("expected [host] record, got [" + rec.type() + "]");
+  }
+  HostSpec spec;
+  spec.hostname = rec.get_or("hostname", "");
+  spec.os_name = rec.get_or("os", "");
+  spec.cpu_model = rec.get_or("cpu_model", "");
+  spec.cpu_mhz = rec.get_double_or("cpu_mhz", 0.0);
+  spec.cpu_count = static_cast<unsigned>(rec.get_int_or("cpu_count", 1));
+  spec.memory_bytes = static_cast<std::uint64_t>(rec.get_int_or("memory_bytes", 0));
+  spec.disk_bytes = static_cast<std::uint64_t>(rec.get_int_or("disk_bytes", 0));
+  spec.extra = rec.get_or("extra", "");
+  return spec;
+}
+
+}  // namespace uucs

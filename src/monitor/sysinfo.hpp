@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/kvtext.hpp"
+
+namespace uucs {
+
+/// Hardware/software snapshot of a client machine. The paper's client sends
+/// this "detailed snapshot of the hardware and software of the client
+/// machine" to the server at registration (§2), and the analysis uses it to
+/// study the effect of raw host power (question 6).
+struct HostSpec {
+  std::string hostname;
+  std::string os_name;        ///< e.g. "Linux 6.1" or "Windows XP"
+  std::string cpu_model;      ///< e.g. "2.0 GHz P4"
+  double cpu_mhz = 0.0;
+  unsigned cpu_count = 1;
+  std::uint64_t memory_bytes = 0;
+  std::uint64_t disk_bytes = 0;
+  std::string extra;          ///< free-form (installed applications, display)
+
+  /// Detects the current machine via /proc and uname.
+  static HostSpec detect();
+
+  /// The Dell Optiplex GX270 configuration from the paper's controlled
+  /// study (Fig 7): 2.0 GHz P4, 512 MB, 80 GB, Windows XP.
+  static HostSpec paper_study_machine();
+
+  /// A relative raw-power index used by the simulator: 1.0 equals the
+  /// paper's study machine; faster machines score higher.
+  double power_index() const;
+
+  KvRecord to_record() const;
+  static HostSpec from_record(const KvRecord& rec);
+};
+
+}  // namespace uucs

@@ -1,0 +1,57 @@
+#include "server/inproc.hpp"
+
+namespace uucs {
+
+/// One mailbox per direction; closing either end wakes both.
+struct InProcChannelPair::Shared {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::string> to_a;
+  std::deque<std::string> to_b;
+  bool closed = false;
+};
+
+class InProcChannelPair::End final : public MessageChannel {
+ public:
+  End(std::shared_ptr<Shared> shared, bool is_a)
+      : shared_(std::move(shared)), is_a_(is_a) {}
+
+  void write(const std::string& message) override {
+    std::lock_guard<std::mutex> lock(shared_->mu);
+    if (shared_->closed) return;  // writes after close are dropped, like a socket
+    (is_a_ ? shared_->to_b : shared_->to_a).push_back(message);
+    shared_->cv.notify_all();
+  }
+
+  std::optional<std::string> read() override {
+    std::unique_lock<std::mutex> lock(shared_->mu);
+    auto& inbox = is_a_ ? shared_->to_a : shared_->to_b;
+    shared_->cv.wait(lock, [&] { return !inbox.empty() || shared_->closed; });
+    if (inbox.empty()) return std::nullopt;
+    std::string msg = std::move(inbox.front());
+    inbox.pop_front();
+    return msg;
+  }
+
+  void close() override {
+    std::lock_guard<std::mutex> lock(shared_->mu);
+    shared_->closed = true;
+    shared_->cv.notify_all();
+  }
+
+ private:
+  std::shared_ptr<Shared> shared_;
+  bool is_a_;
+};
+
+InProcChannelPair::InProcChannelPair()
+    : shared_(std::make_shared<Shared>()),
+      a_(std::make_unique<End>(shared_, true)),
+      b_(std::make_unique<End>(shared_, false)) {}
+
+InProcChannelPair::~InProcChannelPair() = default;
+
+MessageChannel& InProcChannelPair::a() { return *a_; }
+MessageChannel& InProcChannelPair::b() { return *b_; }
+
+}  // namespace uucs

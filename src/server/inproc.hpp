@@ -1,0 +1,33 @@
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+
+#include "server/protocol.hpp"
+
+namespace uucs {
+
+/// A pair of connected in-process MessageChannels (like socketpair, but for
+/// whole messages). Used by the Internet-study simulator to run hundreds of
+/// client hot-syncs against one server object without real sockets, and by
+/// tests to exercise the exact wire codec the TCP transport uses.
+class InProcChannelPair {
+ public:
+  InProcChannelPair();
+
+  ~InProcChannelPair();
+
+  MessageChannel& a();
+  MessageChannel& b();
+
+ private:
+  struct Shared;
+  class End;
+  std::shared_ptr<Shared> shared_;
+  std::unique_ptr<End> a_;
+  std::unique_ptr<End> b_;
+};
+
+}  // namespace uucs

@@ -1,0 +1,174 @@
+#include "server/net.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace uucs {
+
+namespace {
+
+constexpr std::size_t kMaxMessageBytes = 64ull << 20;
+
+void write_all(int fd, const char* data, std::size_t len) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw SystemError(std::string("send: ") + std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+/// Reads exactly `len` bytes; returns false on clean EOF at a boundary.
+bool read_all(int fd, char* data, std::size_t len) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::recv(fd, data + off, len - off, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw SystemError(std::string("recv: ") + std::strerror(errno));
+    }
+    if (n == 0) {
+      if (off == 0) return false;
+      throw ProtocolError("connection closed mid-message");
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+TcpChannel::TcpChannel(int fd) : fd_(fd) { UUCS_CHECK_MSG(fd >= 0, "bad socket fd"); }
+
+TcpChannel::~TcpChannel() { close(); }
+
+std::unique_ptr<TcpChannel> TcpChannel::connect(const std::string& host,
+                                                std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw SystemError(std::string("socket: ") + std::strerror(errno));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw SystemError("bad address " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw SystemError("connect " + host + ":" + std::to_string(port) + ": " +
+                      std::strerror(err));
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::make_unique<TcpChannel>(fd);
+}
+
+void TcpChannel::write(const std::string& message) {
+  UUCS_CHECK_MSG(message.size() <= kMaxMessageBytes, "message too large");
+  const std::string header = strprintf("UUCS %zu\n", message.size());
+  write_all(fd_, header.data(), header.size());
+  write_all(fd_, message.data(), message.size());
+}
+
+std::optional<std::string> TcpChannel::read() {
+  // Header: "UUCS <len>\n", read byte-by-byte until the newline (headers
+  // are tiny; simplicity beats buffering here).
+  std::string header;
+  char c = 0;
+  for (;;) {
+    if (!read_all(fd_, &c, 1)) {
+      if (header.empty()) return std::nullopt;
+      throw ProtocolError("connection closed mid-header");
+    }
+    if (c == '\n') break;
+    header += c;
+    if (header.size() > 64) throw ProtocolError("oversized frame header");
+  }
+  const auto fields = split_ws(header);
+  if (fields.size() != 2 || fields[0] != "UUCS") {
+    throw ProtocolError("bad frame header '" + header + "'");
+  }
+  const auto len = parse_int(fields[1]);
+  if (!len || *len < 0 || static_cast<std::size_t>(*len) > kMaxMessageBytes) {
+    throw ProtocolError("bad frame length '" + fields[1] + "'");
+  }
+  std::string payload(static_cast<std::size_t>(*len), '\0');
+  if (*len > 0 && !read_all(fd_, payload.data(), payload.size())) {
+    throw ProtocolError("connection closed mid-payload");
+  }
+  return payload;
+}
+
+void TcpChannel::close() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+TcpListener::TcpListener(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw SystemError(std::string("socket: ") + std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw SystemError(std::string("bind: ") + std::strerror(err));
+  }
+  if (::listen(fd_, 16) != 0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw SystemError(std::string("listen: ") + std::strerror(err));
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  }
+}
+
+TcpListener::~TcpListener() { shutdown(); }
+
+std::unique_ptr<TcpChannel> TcpListener::accept() {
+  if (fd_ < 0) return nullptr;
+  for (;;) {
+    const int client = ::accept(fd_, nullptr, nullptr);
+    if (client >= 0) {
+      const int one = 1;
+      ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return std::make_unique<TcpChannel>(client);
+    }
+    if (errno == EINTR) continue;
+    return nullptr;  // listener shut down or fatal error
+  }
+}
+
+void TcpListener::shutdown() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace uucs

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "server/protocol.hpp"
+
+namespace uucs {
+
+/// MessageChannel over a connected TCP socket, with "UUCS <len>\n<payload>"
+/// framing. Blocking; one instance per connection, single reader + single
+/// writer thread at a time.
+class TcpChannel final : public MessageChannel {
+ public:
+  /// Takes ownership of a connected socket fd.
+  explicit TcpChannel(int fd);
+  ~TcpChannel() override;
+
+  TcpChannel(const TcpChannel&) = delete;
+  TcpChannel& operator=(const TcpChannel&) = delete;
+
+  /// Connects to host:port (IPv4, e.g. "127.0.0.1"); throws SystemError.
+  static std::unique_ptr<TcpChannel> connect(const std::string& host, std::uint16_t port);
+
+  void write(const std::string& message) override;
+  std::optional<std::string> read() override;
+  void close() override;
+
+ private:
+  int fd_;
+};
+
+/// Listening TCP socket bound to 127.0.0.1. Port 0 picks a free port; the
+/// chosen port is available via port().
+class TcpListener {
+ public:
+  explicit TcpListener(std::uint16_t port = 0);
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  std::uint16_t port() const { return port_; }
+
+  /// Blocks until a client connects; returns nullptr if the listener was
+  /// shut down.
+  std::unique_ptr<TcpChannel> accept();
+
+  /// Unblocks accept() and closes the listening socket.
+  void shutdown();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace uucs

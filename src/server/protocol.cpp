@@ -1,0 +1,159 @@
+#include "server/protocol.hpp"
+
+#include "util/error.hpp"
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+
+namespace uucs {
+
+namespace {
+
+/// Testcase/run ids travel in comma-separated lists; enforce the invariant.
+void check_id(const std::string& id) {
+  if (id.find(',') != std::string::npos || id.find('\n') != std::string::npos) {
+    throw ProtocolError("id contains forbidden characters: " + id);
+  }
+}
+
+}  // namespace
+
+std::string encode_register_request(const HostSpec& host) {
+  KvRecord head("register-request");
+  head.set_int("version", 1);
+  return kv_serialize({head, host.to_record()});
+}
+
+std::string encode_register_response(const Guid& guid) {
+  KvRecord head("register-response");
+  head.set("guid", guid.to_string());
+  return kv_serialize({head});
+}
+
+std::string encode_sync_request(const SyncRequest& request) {
+  KvRecord head("sync-request");
+  head.set("guid", request.guid.to_string());
+  for (const auto& id : request.known_testcase_ids) check_id(id);
+  head.set("known", join(request.known_testcase_ids, ","));
+  head.set_int("result_count", static_cast<std::int64_t>(request.results.size()));
+  std::vector<KvRecord> records{std::move(head)};
+  for (const auto& r : request.results) records.push_back(r.to_record());
+  return kv_serialize(records);
+}
+
+std::string encode_sync_response(const SyncResponse& response) {
+  KvRecord head("sync-response");
+  head.set_int("accepted_results",
+               static_cast<std::int64_t>(response.accepted_results));
+  head.set_int("server_testcase_count",
+               static_cast<std::int64_t>(response.server_testcase_count));
+  head.set_int("testcase_count",
+               static_cast<std::int64_t>(response.new_testcases.size()));
+  std::vector<KvRecord> records{std::move(head)};
+  for (const auto& tc : response.new_testcases) records.push_back(tc.to_record());
+  return kv_serialize(records);
+}
+
+std::string encode_error(const std::string& message) {
+  KvRecord head("error");
+  head.set("message", message);
+  return kv_serialize({head});
+}
+
+namespace {
+
+SyncRequest decode_sync_request(const std::vector<KvRecord>& records) {
+  SyncRequest request;
+  const KvRecord& head = records.front();
+  request.guid = Guid::parse(head.get("guid"));
+  for (const auto& id : split(head.get_or("known", ""), ',')) {
+    if (!id.empty()) request.known_testcase_ids.push_back(id);
+  }
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    request.results.push_back(RunRecord::from_record(records[i]));
+  }
+  const auto expected = static_cast<std::size_t>(head.get_int_or("result_count", -1));
+  if (head.has("result_count") && expected != request.results.size()) {
+    throw ProtocolError("sync request result_count mismatch");
+  }
+  return request;
+}
+
+SyncResponse decode_sync_response(const std::vector<KvRecord>& records) {
+  SyncResponse response;
+  const KvRecord& head = records.front();
+  response.accepted_results =
+      static_cast<std::size_t>(head.get_int("accepted_results"));
+  response.server_testcase_count =
+      static_cast<std::size_t>(head.get_int("server_testcase_count"));
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    response.new_testcases.push_back(Testcase::from_record(records[i]));
+  }
+  const auto expected = static_cast<std::size_t>(head.get_int("testcase_count"));
+  if (expected != response.new_testcases.size()) {
+    throw ProtocolError("sync response testcase_count mismatch");
+  }
+  return response;
+}
+
+}  // namespace
+
+std::string dispatch_request(UucsServer& server, const std::string& request,
+                             Clock* clock) {
+  try {
+    const auto records = kv_parse(request);
+    if (records.empty()) return encode_error("empty request");
+    const std::string& op = records.front().type();
+    if (op == "register-request") {
+      if (records.size() < 2) return encode_error("register request missing host");
+      const HostSpec host = HostSpec::from_record(records[1]);
+      const Guid guid = server.register_client(host, clock ? clock->now() : 0.0);
+      return encode_register_response(guid);
+    }
+    if (op == "sync-request") {
+      const SyncRequest req = decode_sync_request(records);
+      return encode_sync_response(server.hot_sync(req));
+    }
+    return encode_error("unknown operation '" + op + "'");
+  } catch (const std::exception& e) {
+    return encode_error(e.what());
+  }
+}
+
+void serve_channel(UucsServer& server, MessageChannel& channel, Clock* clock) {
+  while (const auto request = channel.read()) {
+    channel.write(dispatch_request(server, *request, clock));
+  }
+}
+
+std::string RemoteServerApi::round_trip(const std::string& request) {
+  channel_.write(request);
+  const auto response = channel_.read();
+  if (!response) throw ProtocolError("server closed the connection");
+  return *response;
+}
+
+Guid RemoteServerApi::register_client(const HostSpec& host) {
+  const auto records = kv_parse(round_trip(encode_register_request(host)));
+  if (records.empty()) throw ProtocolError("empty register response");
+  if (records.front().type() == "error") {
+    throw Error("server error: " + records.front().get("message"));
+  }
+  if (records.front().type() != "register-response") {
+    throw ProtocolError("unexpected response [" + records.front().type() + "]");
+  }
+  return Guid::parse(records.front().get("guid"));
+}
+
+SyncResponse RemoteServerApi::hot_sync(const SyncRequest& request) {
+  const auto records = kv_parse(round_trip(encode_sync_request(request)));
+  if (records.empty()) throw ProtocolError("empty sync response");
+  if (records.front().type() == "error") {
+    throw Error("server error: " + records.front().get("message"));
+  }
+  if (records.front().type() != "sync-response") {
+    throw ProtocolError("unexpected response [" + records.front().type() + "]");
+  }
+  return decode_sync_response(records);
+}
+
+}  // namespace uucs

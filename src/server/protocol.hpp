@@ -1,0 +1,86 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "server/server.hpp"
+#include "util/clock.hpp"
+
+namespace uucs {
+
+/// Client-side view of the server: the two interactions of §2, both
+/// initiated by the client. Implemented directly by LocalServerApi
+/// (in-process server object) and by RemoteServerApi (wire protocol over a
+/// MessageChannel), so client code is transport-agnostic.
+class ServerApi {
+ public:
+  virtual ~ServerApi() = default;
+
+  /// Registers the client machine; returns the assigned GUID.
+  virtual Guid register_client(const HostSpec& host) = 0;
+
+  /// Performs one hot sync.
+  virtual SyncResponse hot_sync(const SyncRequest& request) = 0;
+};
+
+/// Direct adapter over an in-process UucsServer (no serialization).
+class LocalServerApi final : public ServerApi {
+ public:
+  explicit LocalServerApi(UucsServer& server, Clock* clock = nullptr)
+      : server_(server), clock_(clock) {}
+
+  Guid register_client(const HostSpec& host) override {
+    return server_.register_client(host, clock_ ? clock_->now() : 0.0);
+  }
+  SyncResponse hot_sync(const SyncRequest& request) override {
+    return server_.hot_sync(request);
+  }
+
+ private:
+  UucsServer& server_;
+  Clock* clock_;
+};
+
+/// Bidirectional, message-oriented, blocking byte channel. One message in,
+/// one message out; read() returns nullopt when the peer closed.
+class MessageChannel {
+ public:
+  virtual ~MessageChannel() = default;
+  virtual void write(const std::string& message) = 0;
+  virtual std::optional<std::string> read() = 0;
+  virtual void close() = 0;
+};
+
+/// Wire codec: messages are the library's key-value text format, with the
+/// record type of the first record naming the operation
+/// (register-request/-response, sync-request/-response, error).
+std::string encode_register_request(const HostSpec& host);
+std::string encode_register_response(const Guid& guid);
+std::string encode_sync_request(const SyncRequest& request);
+std::string encode_sync_response(const SyncResponse& response);
+std::string encode_error(const std::string& message);
+
+/// Server-side dispatch of one encoded request; returns the encoded
+/// response (an [error] message for malformed or failing requests).
+std::string dispatch_request(UucsServer& server, const std::string& request,
+                             Clock* clock = nullptr);
+
+/// Serves a channel until the peer closes: read request, dispatch, reply.
+void serve_channel(UucsServer& server, MessageChannel& channel, Clock* clock = nullptr);
+
+/// ServerApi speaking the wire protocol over a MessageChannel. Throws
+/// ProtocolError on malformed responses and Error on [error] replies.
+class RemoteServerApi final : public ServerApi {
+ public:
+  explicit RemoteServerApi(MessageChannel& channel) : channel_(channel) {}
+
+  Guid register_client(const HostSpec& host) override;
+  SyncResponse hot_sync(const SyncRequest& request) override;
+
+ private:
+  std::string round_trip(const std::string& request);
+  MessageChannel& channel_;
+};
+
+}  // namespace uucs

@@ -1,0 +1,97 @@
+#include "server/server.hpp"
+
+#include "util/error.hpp"
+#include "util/fs.hpp"
+#include "util/logging.hpp"
+
+namespace uucs {
+
+UucsServer::UucsServer(std::uint64_t seed, std::size_t sample_batch)
+    : rng_(seed), sample_batch_(sample_batch) {
+  UUCS_CHECK_MSG(sample_batch_ > 0, "sample batch must be positive");
+}
+
+void UucsServer::add_testcase(Testcase tc) { testcases_.add(std::move(tc)); }
+
+void UucsServer::add_testcases(const TestcaseStore& store) { testcases_.merge(store); }
+
+Guid UucsServer::register_client(const HostSpec& host, double now) {
+  ClientRegistration reg;
+  reg.guid = Guid::generate(rng_);
+  reg.host = host;
+  reg.registered_at = now;
+  const Guid guid = reg.guid;
+  clients_.emplace(guid, std::move(reg));
+  log_info("server", "registered client " + guid.to_string());
+  return guid;
+}
+
+bool UucsServer::is_registered(const Guid& guid) const {
+  return clients_.count(guid) != 0;
+}
+
+const ClientRegistration& UucsServer::registration(const Guid& guid) const {
+  const auto it = clients_.find(guid);
+  if (it == clients_.end()) throw Error("unknown client " + guid.to_string());
+  return it->second;
+}
+
+SyncResponse UucsServer::hot_sync(const SyncRequest& request) {
+  const auto it = clients_.find(request.guid);
+  if (it == clients_.end()) {
+    throw Error("hot sync from unregistered client " + request.guid.to_string());
+  }
+  ClientRegistration& reg = it->second;
+
+  SyncResponse response;
+  for (const auto& r : request.results) results_.add(r);
+  response.accepted_results = request.results.size();
+
+  // Growing random sample: every sync may add up to sample_batch_ fresh
+  // testcases on top of what the client already holds.
+  const auto fresh_ids =
+      testcases_.random_sample(sample_batch_, rng_, request.known_testcase_ids);
+  response.new_testcases.reserve(fresh_ids.size());
+  for (const auto& id : fresh_ids) response.new_testcases.push_back(testcases_.get(id));
+  response.server_testcase_count = testcases_.size();
+  ++reg.sync_count;
+  return response;
+}
+
+void UucsServer::save(const std::string& dir) const {
+  make_dirs(dir);
+  testcases_.save(dir + "/testcases.txt");
+  results_.save(dir + "/results.txt");
+  std::vector<KvRecord> regs;
+  for (const auto& [guid, reg] : clients_) {
+    KvRecord rec = reg.host.to_record();
+    rec.set_type("registration");
+    rec.set("guid", guid.to_string());
+    rec.set_double("registered_at", reg.registered_at);
+    rec.set_int("sync_count", static_cast<std::int64_t>(reg.sync_count));
+    regs.push_back(std::move(rec));
+  }
+  kv_save_file(dir + "/registrations.txt", regs);
+}
+
+UucsServer UucsServer::load(const std::string& dir, std::uint64_t seed) {
+  UucsServer server(seed);
+  server.testcases_ = TestcaseStore::load(dir + "/testcases.txt");
+  server.results_ = ResultStore::load(dir + "/results.txt");
+  for (const auto& rec : kv_load_file(dir + "/registrations.txt")) {
+    if (rec.type() != "registration") {
+      throw ParseError("expected [registration] record, got [" + rec.type() + "]");
+    }
+    ClientRegistration reg;
+    reg.guid = Guid::parse(rec.get("guid"));
+    KvRecord host_rec = rec;
+    host_rec.set_type("host");
+    reg.host = HostSpec::from_record(host_rec);
+    reg.registered_at = rec.get_double_or("registered_at", 0.0);
+    reg.sync_count = static_cast<std::size_t>(rec.get_int_or("sync_count", 0));
+    server.clients_.emplace(reg.guid, std::move(reg));
+  }
+  return server;
+}
+
+}  // namespace uucs

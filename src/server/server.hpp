@@ -1,0 +1,86 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "monitor/sysinfo.hpp"
+#include "testcase/run_record.hpp"
+#include "testcase/store.hpp"
+#include "util/guid.hpp"
+#include "util/rng.hpp"
+
+namespace uucs {
+
+/// A registered client: the GUID the server assigned plus the registration
+/// snapshot (§2: registration provides "a detailed snapshot of the hardware
+/// and software of the client machine").
+struct ClientRegistration {
+  Guid guid;
+  HostSpec host;
+  double registered_at = 0.0;  ///< server-clock seconds
+  std::size_t sync_count = 0;  ///< completed hot syncs (drives sample growth)
+};
+
+/// What a client sends on a hot sync.
+struct SyncRequest {
+  Guid guid;
+  std::vector<std::string> known_testcase_ids;  ///< already downloaded
+  std::vector<RunRecord> results;               ///< new results to upload
+};
+
+/// What the server returns from a hot sync.
+struct SyncResponse {
+  std::vector<Testcase> new_testcases;  ///< growing random sample
+  std::size_t accepted_results = 0;
+  std::size_t server_testcase_count = 0;
+};
+
+/// The UUCS server (§2): holds the master testcase store, collects results,
+/// registers clients, and hands each syncing client a *growing random
+/// sample* of testcases — combined with the client's local random choice
+/// and Poisson execution times, this makes the fleet execute a random
+/// sample with respect to testcases, users, and times.
+class UucsServer {
+ public:
+  /// `sample_batch`: how many fresh testcases each hot sync may add.
+  explicit UucsServer(std::uint64_t seed = 1, std::size_t sample_batch = 16);
+
+  /// Testcase catalog management (new testcases may be added at any time).
+  void add_testcase(Testcase tc);
+  void add_testcases(const TestcaseStore& store);
+  const TestcaseStore& testcases() const { return testcases_; }
+
+  /// Registers a client and returns its new globally unique identifier.
+  Guid register_client(const HostSpec& host, double now = 0.0);
+
+  /// True if `guid` belongs to a registered client.
+  bool is_registered(const Guid& guid) const;
+  const ClientRegistration& registration(const Guid& guid) const;
+  std::size_t client_count() const { return clients_.size(); }
+
+  /// Handles one hot sync: stores the uploaded results and returns a fresh
+  /// batch of testcases the client does not have yet. Throws Error for an
+  /// unregistered guid.
+  SyncResponse hot_sync(const SyncRequest& request);
+
+  /// All results uploaded so far.
+  const ResultStore& results() const { return results_; }
+  ResultStore& mutable_results() { return results_; }
+
+  /// Persists stores as text files under `dir` (testcases.txt, results.txt,
+  /// registrations.txt).
+  void save(const std::string& dir) const;
+
+  /// Loads stores previously saved with save().
+  static UucsServer load(const std::string& dir, std::uint64_t seed = 1);
+
+ private:
+  TestcaseStore testcases_;
+  ResultStore results_;
+  std::map<Guid, ClientRegistration> clients_;
+  Rng rng_;
+  std::size_t sample_batch_;
+};
+
+}  // namespace uucs

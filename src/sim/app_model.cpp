@@ -1,0 +1,115 @@
+#include "sim/app_model.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace uucs::sim {
+
+AppProfile AppProfile::for_task(Task t) {
+  AppProfile p;
+  p.task = t;
+  switch (t) {
+    case Task::kWord:
+      // Typing and saving: negligible CPU, small working set, rare I/O.
+      p.cpu_demand = 0.04;
+      p.working_set_frac = 0.18;
+      p.disk_demand_frac = 0.02;
+      p.cpu_latency_weight = 0.25;
+      p.memory_latency_weight = 0.4;
+      p.disk_latency_weight = 0.3;
+      break;
+    case Task::kPowerpoint:
+      // Diagram drawing: fine-grained interactivity, moderate footprint.
+      p.cpu_demand = 0.30;
+      p.working_set_frac = 0.30;
+      p.disk_demand_frac = 0.04;
+      p.cpu_latency_weight = 1.0;
+      p.memory_latency_weight = 0.8;
+      p.disk_latency_weight = 0.25;
+      break;
+    case Task::kIe:
+      // Browsing + saving pages: bursty CPU, cache-hungry, disk-visible.
+      p.cpu_demand = 0.30;
+      p.working_set_frac = 0.45;
+      p.disk_demand_frac = 0.15;
+      p.cpu_latency_weight = 0.9;
+      p.memory_latency_weight = 1.2;
+      p.disk_latency_weight = 0.6;
+      break;
+    case Task::kQuake:
+      // First-person shooter: CPU saturating, dynamic memory, level loads.
+      p.cpu_demand = 0.90;
+      p.working_set_frac = 0.75;
+      p.disk_demand_frac = 0.08;
+      p.cpu_latency_weight = 2.2;
+      p.memory_latency_weight = 2.0;
+      p.disk_latency_weight = 1.0;
+      break;
+  }
+  return p;
+}
+
+AppModel::AppModel(AppProfile profile, const HostModel& host)
+    : profile_(std::move(profile)), host_(host) {}
+
+double AppModel::degradation(uucs::Resource r, double c) const {
+  UUCS_CHECK_MSG(c >= 0, "contention must be >= 0");
+  const double power = host_.power_index();
+  switch (r) {
+    case uucs::Resource::kCpu: {
+      // Queueing latency: an interactive burst waits behind c busy threads;
+      // felt in proportion to the app's latency weight, softened by host
+      // power. Throughput loss kicks in once the *power-scaled* demand (a
+      // faster CPU finishes the same frame in less time) exceeds the fair
+      // share.
+      const double latency = profile_.cpu_latency_weight * c / power;
+      const double eff_demand = std::min(1.0, profile_.cpu_demand / power);
+      const double slowdown = host_.cpu_slowdown(eff_demand, c);
+      const double throughput = 4.0 * (slowdown - 1.0);
+      return latency + throughput;
+    }
+    case uucs::Resource::kMemory: {
+      // Paging pressure below overflow (allocator churn, cache dilution)
+      // plus the page-fault storm once the working set no longer fits.
+      const double pressure = 0.05 * profile_.memory_latency_weight * c;
+      const double overflow =
+          host_.memory_overflow(profile_.working_set_frac, 0.15, c);
+      const double faults = 12.0 * profile_.memory_latency_weight * overflow;
+      return pressure + faults;
+    }
+    case uucs::Resource::kDisk: {
+      const double latency = profile_.disk_latency_weight * c;
+      const double slowdown = host_.disk_slowdown(profile_.disk_demand_frac, c);
+      const double starvation = 2.0 * (slowdown - 1.0);
+      return latency + starvation;
+    }
+    case uucs::Resource::kNetwork: {
+      // Modeled but excluded from studies, like the paper's network
+      // exerciser: linear in the consumed bandwidth fraction.
+      return c;
+    }
+  }
+  throw uucs::Error("bad Resource value");
+}
+
+double AppModel::contention_for_degradation(uucs::Resource r, double d,
+                                            double c_max) const {
+  UUCS_CHECK_MSG(d >= 0, "degradation must be >= 0");
+  if (d == 0) return 0.0;
+  if (degradation(r, c_max) < d) return std::numeric_limits<double>::infinity();
+  // Strict monotonicity makes plain bisection exact.
+  double lo = 0.0, hi = c_max;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (degradation(r, mid) < d) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace uucs::sim

@@ -1,0 +1,62 @@
+#pragma once
+
+#include "sim/host_model.hpp"
+#include "sim/task.hpp"
+#include "testcase/resource.hpp"
+
+namespace uucs::sim {
+
+/// Resource-demand profile of a foreground task. Values are fractions of
+/// the paper's study machine (2.0 GHz P4, 512 MB); the §3.2 calibration
+/// narrative pins the ordering: Word's CPU demand is tiny ("very high values
+/// of CPU contention (around 3) are needed to affect interactivity at all")
+/// while Quake's is near saturation ("contention values in the region of
+/// 0.2 to 1.2 cause drastic effects").
+struct AppProfile {
+  Task task = Task::kWord;
+  double cpu_demand = 0.1;        ///< CPU fraction used when interactive
+  double working_set_frac = 0.2;  ///< resident-memory fraction once formed
+  double disk_demand_frac = 0.05; ///< disk-bandwidth fraction
+  /// How strongly latency/jitter in each resource is *felt*: converts raw
+  /// slowdown into perceived interactivity degradation.
+  double cpu_latency_weight = 1.0;
+  double memory_latency_weight = 1.0;
+  double disk_latency_weight = 1.0;
+
+  /// The built-in profile for `t`.
+  static AppProfile for_task(Task t);
+};
+
+/// Maps (task, resource, contention) to a perceived interactivity
+/// degradation score via the host model. The score is dimensionless,
+/// zero at zero contention, and STRICTLY increasing in contention — the
+/// user model relies on this to convert calibrated contention thresholds
+/// into degradation thresholds and back without loss.
+///
+/// Composition per resource:
+///  - CPU: queueing-latency term (each interactive burst waits behind c
+///    busy threads) plus a throughput term once the app's demand no longer
+///    fits: both scale down on more powerful hosts.
+///  - memory: small paging-pressure term plus the page-fault storm once the
+///    working set overflows RAM.
+///  - disk: I/O queueing latency plus the bandwidth-starvation term.
+class AppModel {
+ public:
+  AppModel(AppProfile profile, const HostModel& host);
+
+  const AppProfile& profile() const { return profile_; }
+
+  /// Perceived degradation at contention `c` on resource `r`.
+  double degradation(uucs::Resource r, double c) const;
+
+  /// Inverse: the contention producing degradation `d` on `r` (bisection;
+  /// d must be >= 0). Returns +inf above any reachable degradation.
+  double contention_for_degradation(uucs::Resource r, double d,
+                                    double c_max = 64.0) const;
+
+ private:
+  AppProfile profile_;
+  const HostModel& host_;
+};
+
+}  // namespace uucs::sim

@@ -1,0 +1,45 @@
+#include "sim/event_queue.hpp"
+
+#include "util/error.hpp"
+
+namespace uucs::sim {
+
+void EventQueue::schedule_at(double t, Handler h) {
+  UUCS_CHECK_MSG(t >= clock_.now(), "cannot schedule an event in the past");
+  UUCS_CHECK(h != nullptr);
+  queue_.push(Event{t, next_seq_++, std::move(h)});
+}
+
+void EventQueue::schedule_in(double delay, Handler h) {
+  UUCS_CHECK_MSG(delay >= 0, "delay must be non-negative");
+  schedule_at(clock_.now() + delay, std::move(h));
+}
+
+double EventQueue::next_time() const {
+  UUCS_CHECK_MSG(!queue_.empty(), "next_time on empty queue");
+  return queue_.top().t;
+}
+
+bool EventQueue::step() {
+  if (queue_.empty()) return false;
+  // Move the handler out before running: the handler may schedule events.
+  Event ev = queue_.top();
+  queue_.pop();
+  clock_.advance_to(ev.t);
+  ev.h();
+  return true;
+}
+
+void EventQueue::run_until(double t_end) {
+  while (!queue_.empty() && queue_.top().t <= t_end) step();
+  if (clock_.now() < t_end) clock_.advance_to(t_end);
+}
+
+void EventQueue::run_all(std::size_t max_events) {
+  std::size_t n = 0;
+  while (step()) {
+    UUCS_CHECK_MSG(++n <= max_events, "event budget exhausted (runaway schedule?)");
+  }
+}
+
+}  // namespace uucs::sim

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/clock.hpp"
+
+namespace uucs::sim {
+
+/// Discrete-event engine over a VirtualClock. Events are callbacks scheduled
+/// at absolute virtual times; run() pops them in (time, insertion) order and
+/// advances the clock, so multi-hour studies execute in milliseconds. The
+/// Internet-study driver schedules client hot-syncs and Poisson testcase
+/// arrivals through this queue.
+class EventQueue {
+ public:
+  using Handler = std::function<void()>;
+
+  explicit EventQueue(uucs::VirtualClock& clock) : clock_(clock) {}
+
+  /// Schedules `h` at absolute time `t` (must be >= now).
+  void schedule_at(double t, Handler h);
+
+  /// Schedules `h` after `delay` seconds (>= 0).
+  void schedule_in(double delay, Handler h);
+
+  /// Number of pending events.
+  std::size_t pending() const { return queue_.size(); }
+  bool empty() const { return queue_.empty(); }
+
+  /// Time of the next event; throws if empty.
+  double next_time() const;
+
+  /// Pops and runs the next event, advancing the clock to its time.
+  /// Returns false if the queue was empty.
+  bool step();
+
+  /// Runs events until the queue is empty or the next event is after
+  /// `t_end`; finally advances the clock to `t_end` if it is later.
+  void run_until(double t_end);
+
+  /// Runs all events to exhaustion (handlers may schedule more); capped at
+  /// `max_events` as a runaway guard.
+  void run_all(std::size_t max_events = 10'000'000);
+
+  uucs::VirtualClock& clock() { return clock_; }
+
+ private:
+  struct Event {
+    double t;
+    std::uint64_t seq;
+    Handler h;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;  // FIFO among equal times
+    }
+  };
+
+  uucs::VirtualClock& clock_;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace uucs::sim

@@ -1,0 +1,58 @@
+#include "sim/host_model.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace uucs::sim {
+
+HostModel::HostModel(uucs::HostSpec spec) : spec_(std::move(spec)) {
+  power_ = spec_.power_index();
+  UUCS_CHECK_MSG(power_ > 0, "host power index must be positive");
+}
+
+double HostModel::cpu_share(double demand, double contention) const {
+  UUCS_CHECK_MSG(demand >= 0 && demand <= 1, "cpu demand must be in [0,1]");
+  UUCS_CHECK_MSG(contention >= 0, "contention must be >= 0");
+  if (demand == 0) return 0.0;
+  // While the app is runnable it is 1 thread against `contention` busy
+  // threads; multi-core hosts spread the exerciser threads, leaving the app
+  // min(1, cores/(1+c)) of one core's worth.
+  const double cores = std::max(1.0, static_cast<double>(spec_.cpu_count));
+  const double fair = std::min(1.0, cores / (1.0 + contention));
+  return std::min(demand, fair);
+}
+
+double HostModel::cpu_slowdown(double demand, double contention) const {
+  const double share = cpu_share(demand, contention);
+  if (demand == 0) return 1.0;
+  return share <= 0 ? 1e9 : std::max(1.0, demand / share);
+}
+
+double HostModel::memory_overflow(double working_set_frac, double base_frac,
+                                  double contention) const {
+  UUCS_CHECK_MSG(working_set_frac >= 0 && working_set_frac <= 1, "working set frac");
+  UUCS_CHECK_MSG(base_frac >= 0 && base_frac <= 1, "base frac");
+  UUCS_CHECK_MSG(contention >= 0, "contention must be >= 0");
+  if (working_set_frac == 0) return 0.0;
+  const double pressure = working_set_frac + base_frac + std::min(contention, 1.0);
+  const double overflow = std::max(0.0, pressure - 1.0);
+  // The app loses pages proportionally to its share of the overcommit
+  // (the OS evicts across all working sets).
+  return std::min(1.0, overflow / working_set_frac);
+}
+
+double HostModel::disk_share(double demand_frac, double contention) const {
+  UUCS_CHECK_MSG(demand_frac >= 0 && demand_frac <= 1, "disk demand must be in [0,1]");
+  UUCS_CHECK_MSG(contention >= 0, "contention must be >= 0");
+  if (demand_frac == 0) return 0.0;
+  return std::min(demand_frac, 1.0 / (1.0 + contention));
+}
+
+double HostModel::disk_slowdown(double demand_frac, double contention) const {
+  const double share = disk_share(demand_frac, contention);
+  if (demand_frac == 0) return 1.0;
+  return share <= 0 ? 1e9 : std::max(1.0, demand_frac / share);
+}
+
+}  // namespace uucs::sim

@@ -1,0 +1,56 @@
+#pragma once
+
+#include "monitor/sysinfo.hpp"
+#include "testcase/resource.hpp"
+
+namespace uucs::sim {
+
+/// Analytic model of how a host divides each resource between a foreground
+/// application and the exerciser's borrowed share. It mirrors the contention
+/// semantics of the real exercisers (§2.2):
+///
+///  - CPU / disk: contention c behaves like c extra equal-priority
+///    busy/IO-bound tasks, so an always-ready competitor receives a
+///    1/(1+c) share of the device.
+///  - memory: contention c is the fraction of physical memory whose pages
+///    the exerciser keeps in its working set; demand beyond the remainder
+///    pages against the disk.
+class HostModel {
+ public:
+  explicit HostModel(uucs::HostSpec spec);
+
+  const uucs::HostSpec& spec() const { return spec_; }
+
+  /// Raw-power multiplier relative to the paper's study machine (question 6
+  /// of the paper: "How does the level depend on the raw power of the
+  /// host?"). 1.0 for the GX270.
+  double power_index() const { return power_; }
+
+  /// Device share available to a foreground app that wants fraction
+  /// `demand` of the CPU while the exerciser applies contention c.
+  /// Equal-priority fair sharing: the app competes as one runnable thread
+  /// against c busy threads when it is active.
+  double cpu_share(double demand, double contention) const;
+
+  /// Slowdown factor (>=1) of CPU-bound foreground work under contention.
+  double cpu_slowdown(double demand, double contention) const;
+
+  /// Fraction of the app's working set that no longer fits in RAM when the
+  /// exerciser borrows fraction `contention` of physical memory and the
+  /// OS/base load occupies `base_frac`. Zero while everything fits.
+  double memory_overflow(double working_set_frac, double base_frac,
+                         double contention) const;
+
+  /// Disk-bandwidth share for an app issuing I/O against c competing
+  /// exerciser writers.
+  double disk_share(double demand_frac, double contention) const;
+
+  /// Slowdown factor (>=1) of disk-bound foreground work under contention.
+  double disk_slowdown(double demand_frac, double contention) const;
+
+ private:
+  uucs::HostSpec spec_;
+  double power_;
+};
+
+}  // namespace uucs::sim

@@ -1,0 +1,34 @@
+#include "sim/network_model.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace uucs::sim {
+
+NetworkModel::NetworkModel(double link_bps) : link_bps_(link_bps) {
+  UUCS_CHECK_MSG(link_bps_ > 0, "link speed must be positive");
+}
+
+double NetworkModel::foreground_share(double demand_frac, double contention) const {
+  UUCS_CHECK_MSG(demand_frac >= 0 && demand_frac <= 1, "demand must be in [0,1]");
+  UUCS_CHECK_MSG(contention >= 0 && contention <= 1, "network contention is a fraction");
+  return std::min(demand_frac, std::max(0.0, 1.0 - contention));
+}
+
+double NetworkModel::latency_multiplier(double demand_frac, double contention) const {
+  UUCS_CHECK_MSG(demand_frac >= 0 && demand_frac <= 1, "demand must be in [0,1]");
+  UUCS_CHECK_MSG(contention >= 0 && contention <= 1, "network contention is a fraction");
+  // M/M/1 waiting-time growth W ~ 1/(1-rho), normalized so the multiplier
+  // is 1 when only the foreground flow uses the link.
+  const double alone = std::min(0.999, demand_frac);
+  const double loaded = std::min(0.999, demand_frac + contention);
+  return (1.0 - alone) / (1.0 - loaded);
+}
+
+double NetworkModel::exerciser_bytes_per_s(double contention) const {
+  UUCS_CHECK_MSG(contention >= 0 && contention <= 1, "network contention is a fraction");
+  return contention * link_bps_ / 8.0;
+}
+
+}  // namespace uucs::sim

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+
+namespace uucs::sim {
+
+/// Token-bucket model of a network exerciser. The paper *built* several
+/// network exerciser variants but excluded them from its studies because
+/// "all create a significant impact beyond the client machine" (§2.2); the
+/// same policy holds here — this model exists for completeness and for the
+/// future work the paper sketches, and the study drivers never use it.
+///
+/// Contention for the network is the fraction of link bandwidth consumed.
+/// The model tracks how much foreground traffic is delayed: a foreground
+/// flow demanding `demand_frac` of the link sees its throughput reduced to
+/// min(demand, 1 - contention) plus queueing latency growth as the link
+/// saturates.
+class NetworkModel {
+ public:
+  /// `link_bps`: nominal link speed (the study machines had 100 Mbit/s).
+  explicit NetworkModel(double link_bps = 100e6);
+
+  double link_bps() const { return link_bps_; }
+
+  /// Throughput available to a foreground flow of the given demand while
+  /// the exerciser consumes fraction `contention` of the link.
+  double foreground_share(double demand_frac, double contention) const;
+
+  /// Queueing-latency multiplier (M/M/1-style growth as utilization
+  /// approaches 1): 1 at idle, unbounded at saturation.
+  double latency_multiplier(double demand_frac, double contention) const;
+
+  /// Bytes the exerciser itself would inject per second at `contention`.
+  double exerciser_bytes_per_s(double contention) const;
+
+ private:
+  double link_bps_;
+};
+
+}  // namespace uucs::sim

@@ -1,0 +1,31 @@
+#include "sim/task.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace uucs::sim {
+
+const std::string& task_name(Task t) {
+  static const std::string kNames[kTaskCount] = {"word", "powerpoint", "ie", "quake"};
+  const auto i = static_cast<std::size_t>(t);
+  UUCS_CHECK_MSG(i < kTaskCount, "bad Task value");
+  return kNames[i];
+}
+
+const std::string& task_display_name(Task t) {
+  static const std::string kNames[kTaskCount] = {"Word", "Powerpoint", "IE", "Quake"};
+  const auto i = static_cast<std::size_t>(t);
+  UUCS_CHECK_MSG(i < kTaskCount, "bad Task value");
+  return kNames[i];
+}
+
+Task parse_task(const std::string& name) {
+  const std::string n = to_lower(trim(name));
+  if (n == "word") return Task::kWord;
+  if (n == "powerpoint" || n == "ppt") return Task::kPowerpoint;
+  if (n == "ie" || n == "internet explorer") return Task::kIe;
+  if (n == "quake") return Task::kQuake;
+  throw ParseError("unknown task '" + name + "'");
+}
+
+}  // namespace uucs::sim

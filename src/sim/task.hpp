@@ -1,0 +1,28 @@
+#pragma once
+
+#include <array>
+#include <string>
+
+namespace uucs::sim {
+
+/// The foreground task (the user's *context*, §3.1). The controlled study
+/// uses four tasks chosen to represent typical interactive work, from the
+/// least demanding (typing in Word) to the most (playing Quake III).
+enum class Task { kWord = 0, kPowerpoint = 1, kIe = 2, kQuake = 3 };
+
+inline constexpr std::size_t kTaskCount = 4;
+
+inline constexpr std::array<Task, kTaskCount> kAllTasks = {
+    Task::kWord, Task::kPowerpoint, Task::kIe, Task::kQuake};
+
+/// Lowercase canonical name ("word", "powerpoint", "ie", "quake").
+const std::string& task_name(Task t);
+
+/// Display name matching the paper's tables ("Word", "Powerpoint", "IE",
+/// "Quake").
+const std::string& task_display_name(Task t);
+
+/// Parses a canonical name (case-insensitive); throws ParseError otherwise.
+Task parse_task(const std::string& name);
+
+}  // namespace uucs::sim

@@ -1,0 +1,30 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace uucs::sim {
+
+DegradationTrace degradation_trace(const AppModel& app, uucs::Resource r,
+                                   const uucs::ExerciseFunction& f, double dt_s) {
+  UUCS_CHECK_MSG(dt_s > 0, "trace step must be positive");
+  DegradationTrace trace;
+  trace.dt_s = dt_s;
+  const double duration = f.duration();
+  for (double t = 0; t < duration; t += dt_s) {
+    const double c = f.level_at(t);
+    const double d = app.degradation(r, c);
+    trace.contention.push_back(c);
+    trace.degradation.push_back(d);
+    trace.peak_degradation = std::max(trace.peak_degradation, d);
+  }
+  return trace;
+}
+
+double degradation_to_latency_ms(double degradation, double base_ms) {
+  UUCS_CHECK_MSG(degradation >= 0 && base_ms > 0, "latency conversion domain");
+  return base_ms * (1.0 + degradation);
+}
+
+}  // namespace uucs::sim

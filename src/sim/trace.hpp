@@ -1,0 +1,33 @@
+#pragma once
+
+#include <vector>
+
+#include "sim/app_model.hpp"
+#include "testcase/exercise_function.hpp"
+
+namespace uucs::sim {
+
+/// Time series derived from an exercise function through the app model —
+/// "what would the user feel, moment by moment, while this testcase runs?"
+/// Used by the perceived-latency example and by tests that pin the
+/// mechanistic layer's shape.
+struct DegradationTrace {
+  double dt_s = 1.0;
+  std::vector<double> contention;   ///< input level at each step
+  std::vector<double> degradation;  ///< perceived degradation at each step
+  double peak_degradation = 0.0;
+};
+
+/// Samples `f` every `dt_s` seconds and maps each level through
+/// `app.degradation(r, .)`.
+DegradationTrace degradation_trace(const AppModel& app, uucs::Resource r,
+                                   const uucs::ExerciseFunction& f,
+                                   double dt_s = 1.0);
+
+/// Converts a degradation score into an approximate interactive response
+/// latency in milliseconds: base latency scaled by (1 + degradation). The
+/// 100 ms base is the classic instantaneous-feel budget from the
+/// interaction literature the paper cites (Komatsubara; Endo et al.).
+double degradation_to_latency_ms(double degradation, double base_ms = 100.0);
+
+}  // namespace uucs::sim

@@ -1,0 +1,208 @@
+#include "sim/user_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace uucs::sim {
+
+namespace {
+
+std::size_t study_resource_index(uucs::Resource r) {
+  switch (r) {
+    case uucs::Resource::kCpu:
+      return 0;
+    case uucs::Resource::kMemory:
+      return 1;
+    case uucs::Resource::kDisk:
+      return 2;
+    case uucs::Resource::kNetwork:
+      break;
+  }
+  throw uucs::Error("network is not a study resource");
+}
+
+/// Window over which an increase counts as an abrupt jump (surprise), and
+/// the minimum size of such a jump in contention units.
+constexpr double kSurpriseWindowS = 5.0;
+constexpr double kSurpriseJump = 0.25;
+
+}  // namespace
+
+const std::string& skill_category_name(SkillCategory c) {
+  static const std::string kNames[kSkillCategoryCount] = {"pc",         "windows",
+                                                          "word",       "powerpoint",
+                                                          "ie",         "quake"};
+  const auto i = static_cast<std::size_t>(c);
+  UUCS_CHECK_MSG(i < kSkillCategoryCount, "bad SkillCategory");
+  return kNames[i];
+}
+
+const std::string& skill_rating_name(SkillRating r) {
+  static const std::string kNames[3] = {"beginner", "typical", "power"};
+  const auto i = static_cast<std::size_t>(r);
+  UUCS_CHECK_MSG(i < 3, "bad SkillRating");
+  return kNames[i];
+}
+
+SkillRating parse_skill_rating(const std::string& name) {
+  const std::string n = uucs::to_lower(uucs::trim(name));
+  if (n == "beginner") return SkillRating::kBeginner;
+  if (n == "typical") return SkillRating::kTypical;
+  if (n == "power") return SkillRating::kPower;
+  throw uucs::ParseError("unknown skill rating '" + name + "'");
+}
+
+SkillCategory task_skill_category(Task t) {
+  switch (t) {
+    case Task::kWord:
+      return SkillCategory::kWord;
+    case Task::kPowerpoint:
+      return SkillCategory::kPowerpoint;
+    case Task::kIe:
+      return SkillCategory::kIe;
+    case Task::kQuake:
+      return SkillCategory::kQuake;
+  }
+  throw uucs::Error("bad Task");
+}
+
+double UserProfile::threshold(Task t, uucs::Resource r) const {
+  return thresholds[static_cast<std::size_t>(t)][study_resource_index(r)];
+}
+
+void UserProfile::set_threshold(Task t, uucs::Resource r, double v) {
+  UUCS_CHECK_MSG(v > 0 || std::isinf(v), "threshold must be positive or +inf");
+  thresholds[static_cast<std::size_t>(t)][study_resource_index(r)] = v;
+}
+
+RunSimulator::RunSimulator(const HostModel& host,
+                           std::array<double, kTaskCount> noise_rates)
+    : host_(host),
+      apps_{AppModel(AppProfile::for_task(Task::kWord), host),
+            AppModel(AppProfile::for_task(Task::kPowerpoint), host),
+            AppModel(AppProfile::for_task(Task::kIe), host),
+            AppModel(AppProfile::for_task(Task::kQuake), host)},
+      noise_rates_(noise_rates) {
+  for (double r : noise_rates_) UUCS_CHECK_MSG(r >= 0, "noise rate must be >= 0");
+}
+
+const AppModel& RunSimulator::app(Task t) const {
+  return apps_[static_cast<std::size_t>(t)];
+}
+
+double RunSimulator::noise_rate(Task t) const {
+  return noise_rates_[static_cast<std::size_t>(t)];
+}
+
+void RunSimulator::set_nonblank_noise_scale(double scale) {
+  UUCS_CHECK_MSG(scale >= 0 && scale <= 1, "noise scale must be in [0,1]");
+  nonblank_noise_scale_ = scale;
+}
+
+double RunSimulator::crossing_time(const UserProfile& user, Task task,
+                                   const uucs::Testcase& tc, uucs::Resource r) const {
+  const uucs::ExerciseFunction* f = tc.function(r);
+  if (!f || f->empty()) return -1.0;
+  const double threshold = user.threshold(task, r);
+  if (!std::isfinite(threshold)) return -1.0;
+
+  // Thresholds are calibrated in contention units on the paper's study
+  // machine. A host of different raw power (paper question 6) feels the
+  // same *degradation* at a different contention: map through the app
+  // model's degradation curve evaluated on this host, anchored by the
+  // reference machine.
+  double eff_threshold = threshold;
+  static const HostModel kReference{uucs::HostSpec::paper_study_machine()};
+  if (host_.power_index() != kReference.power_index()) {
+    const AppModel ref_app(AppProfile::for_task(task), kReference);
+    const double theta = ref_app.degradation(r, threshold);
+    eff_threshold = app(task).contention_for_degradation(r, theta);
+    if (!std::isfinite(eff_threshold)) return -1.0;
+  }
+
+  const double rate = f->sample_rate_hz();
+  const auto& values = f->values();
+  const auto window = static_cast<std::size_t>(kSurpriseWindowS * rate);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const double c = values[i];
+    // Frog-in-the-pot (§3.3.5): a level reached by an abrupt jump is felt
+    // as if the threshold were lower by the surprise penalty; a slow ramp
+    // lets the user acclimatize and tolerate the full threshold. The jump
+    // test is relative so a steep-but-continuous ramp does not register as
+    // a surprise once it is under way.
+    const double past = i >= window ? values[i - window] : 0.0;
+    const bool surprised = (c - past) > std::max(kSurpriseJump, 0.5 * c);
+    const double t_eff =
+        surprised ? eff_threshold * (1.0 - user.surprise_penalty) : eff_threshold;
+    if (c >= t_eff && c > 0.0) return static_cast<double>(i) / rate;
+  }
+  return -1.0;
+}
+
+RunSimulator::Outcome RunSimulator::simulate(const UserProfile& user, Task task,
+                                             const uucs::Testcase& tc,
+                                             uucs::Rng& rng) const {
+  const double duration = tc.duration();
+  Outcome out;
+  out.offset_s = duration;
+
+  double best_cross = std::numeric_limits<double>::infinity();
+  std::optional<uucs::Resource> trigger;
+  for (uucs::Resource r : uucs::kStudyResources) {
+    const double t = crossing_time(user, task, tc, r);
+    if (t >= 0 && t < best_cross) {
+      best_cross = t;
+      trigger = r;
+    }
+  }
+  double t_threshold = std::numeric_limits<double>::infinity();
+  if (trigger) t_threshold = best_cross + user.reaction_delay_s;
+
+  double t_noise = std::numeric_limits<double>::infinity();
+  double lambda = noise_rate(task) * user.noise_multiplier;
+  if (!tc.is_blank()) lambda *= nonblank_noise_scale_;
+  if (lambda > 0) t_noise = rng.exponential(1.0 / lambda);
+
+  const double t_fb = std::min(t_threshold, t_noise);
+  if (t_fb < duration) {
+    out.discomforted = true;
+    out.offset_s = t_fb;
+    out.noise_triggered = t_noise < t_threshold;
+    if (!out.noise_triggered) out.trigger = trigger;
+  }
+  return out;
+}
+
+uucs::RunRecord RunSimulator::simulate_record(const UserProfile& user, Task task,
+                                              const uucs::Testcase& tc,
+                                              uucs::Rng& rng,
+                                              const std::string& run_id) const {
+  const Outcome out = simulate(user, task, tc, rng);
+  uucs::RunRecord rec;
+  rec.run_id = run_id;
+  rec.user_id = user.user_id;
+  rec.testcase_id = tc.id();
+  rec.task = task_name(task);
+  rec.discomforted = out.discomforted;
+  rec.offset_s = out.offset_s;
+  for (uucs::Resource r : tc.resources()) {
+    const uucs::ExerciseFunction* f = tc.function(r);
+    UUCS_CHECK(f != nullptr);
+    rec.set_last_levels(r, f->last_values_before(out.offset_s));
+  }
+  rec.metadata["testcase.description"] = tc.description();
+  rec.metadata["noise_triggered"] = out.noise_triggered ? "true" : "false";
+  if (out.trigger) rec.metadata["trigger"] = uucs::resource_name(*out.trigger);
+  rec.metadata["host.power"] = uucs::strprintf("%.6g", host_.power_index());
+  for (std::size_t c = 0; c < kSkillCategoryCount; ++c) {
+    rec.metadata["skill." + skill_category_name(static_cast<SkillCategory>(c))] =
+        skill_rating_name(user.ratings[c]);
+  }
+  return rec;
+}
+
+}  // namespace uucs::sim

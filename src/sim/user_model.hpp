@@ -1,0 +1,121 @@
+#pragma once
+
+#include <array>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "sim/app_model.hpp"
+#include "sim/task.hpp"
+#include "testcase/run_record.hpp"
+#include "testcase/testcase.hpp"
+#include "util/rng.hpp"
+
+namespace uucs::sim {
+
+/// Self-rating categories from the study questionnaire (§3.1): users rate
+/// themselves for PC usage, Windows, and each of the four applications.
+enum class SkillCategory {
+  kPc = 0,
+  kWindows = 1,
+  kWord = 2,
+  kPowerpoint = 3,
+  kIe = 4,
+  kQuake = 5,
+};
+inline constexpr std::size_t kSkillCategoryCount = 6;
+
+/// The three self-rating levels from the questionnaire.
+enum class SkillRating { kBeginner = 0, kTypical = 1, kPower = 2 };
+
+const std::string& skill_category_name(SkillCategory c);
+const std::string& skill_rating_name(SkillRating r);
+SkillRating parse_skill_rating(const std::string& name);
+
+/// The skill category whose self-rating is most relevant to a task.
+SkillCategory task_skill_category(Task t);
+
+/// A synthetic study participant. Thresholds are *contention* levels per
+/// (task, resource) cell at which this user's discomfort is triggered under
+/// slowly varying borrowing; they are drawn by the population calibrator so
+/// the population reproduces the paper's per-cell statistics.
+struct UserProfile {
+  std::string user_id;
+  std::array<SkillRating, kSkillCategoryCount> ratings{
+      SkillRating::kTypical, SkillRating::kTypical, SkillRating::kTypical,
+      SkillRating::kTypical, SkillRating::kTypical, SkillRating::kTypical};
+  double latent_skill = 0.0;  ///< z-score behind the ratings (higher = more expert)
+
+  /// Contention thresholds [task][study resource]; +inf = never discomforted.
+  std::array<std::array<double, 3>, kTaskCount> thresholds{};
+
+  /// Personal multiplier on the task noise-floor hazard.
+  double noise_multiplier = 1.0;
+
+  /// Seconds between the threshold crossing and the actual click/hot-key.
+  double reaction_delay_s = 2.0;
+
+  /// Frog-in-the-pot surprise penalty: abrupt contention jumps are felt as
+  /// if the threshold were lower by this fraction (§3.3.5).
+  double surprise_penalty = 0.15;
+
+  double threshold(Task t, uucs::Resource r) const;
+  void set_threshold(Task t, uucs::Resource r, double v);
+  SkillRating rating(SkillCategory c) const {
+    return ratings[static_cast<std::size_t>(c)];
+  }
+};
+
+/// Simulates individual testcase runs for synthetic users: the virtual-time
+/// equivalent of the real client executing a testcase while the user works.
+class RunSimulator {
+ public:
+  /// `host` must outlive the simulator. Noise rates are per-second hazards
+  /// of spontaneous (no-borrowing) discomfort per task; the study
+  /// calibration derives them from Fig 9's blank-testcase probabilities.
+  RunSimulator(const HostModel& host, std::array<double, kTaskCount> noise_rates);
+
+  const HostModel& host() const { return host_; }
+  const AppModel& app(Task t) const;
+  double noise_rate(Task t) const;
+
+  /// Scale applied to the noise-floor hazard during non-blank runs: an
+  /// active borrowing episode captures some of the attention that would
+  /// otherwise produce an ambient-annoyance press, so spontaneous feedback
+  /// is somewhat rarer there than in blank runs. 1.0 disables the effect.
+  void set_nonblank_noise_scale(double scale);
+  double nonblank_noise_scale() const { return nonblank_noise_scale_; }
+
+  /// Outcome of one simulated run.
+  struct Outcome {
+    bool discomforted = false;
+    double offset_s = 0.0;          ///< feedback time, or duration if exhausted
+    bool noise_triggered = false;   ///< discomfort came from the noise floor
+    std::optional<uucs::Resource> trigger;  ///< crossing resource, if any
+  };
+
+  /// Simulates `user` performing `task` while `tc` runs in the background.
+  /// Deterministic given `rng` state.
+  Outcome simulate(const UserProfile& user, Task task, const uucs::Testcase& tc,
+                   uucs::Rng& rng) const;
+
+  /// Like simulate(), but also builds the client-format RunRecord (last
+  /// contention levels, task, metadata) the analysis pipeline consumes.
+  uucs::RunRecord simulate_record(const UserProfile& user, Task task,
+                                  const uucs::Testcase& tc, uucs::Rng& rng,
+                                  const std::string& run_id) const;
+
+  /// First time at which `user` would cross the discomfort threshold for
+  /// resource `r` of `tc` during `task`; negative if never. Exposed for
+  /// tests and the analysis of time dynamics.
+  double crossing_time(const UserProfile& user, Task task, const uucs::Testcase& tc,
+                       uucs::Resource r) const;
+
+ private:
+  const HostModel& host_;
+  std::array<AppModel, kTaskCount> apps_;
+  std::array<double, kTaskCount> noise_rates_;
+  double nonblank_noise_scale_ = 1.0;
+};
+
+}  // namespace uucs::sim

@@ -1,0 +1,59 @@
+#include "stats/correlation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace uucs::stats {
+
+double pearson_correlation(const std::vector<double>& x,
+                           const std::vector<double>& y) {
+  UUCS_CHECK_MSG(x.size() == y.size(), "correlation needs equal lengths");
+  UUCS_CHECK_MSG(x.size() >= 2, "correlation needs at least two points");
+  const double n = static_cast<double>(x.size());
+  double mx = 0, my = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= n;
+  my /= n;
+  double sxy = 0, sxx = 0, syy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0 || syy <= 0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+std::vector<double> midranks(const std::vector<double>& xs) {
+  std::vector<std::size_t> order(xs.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return xs[a] < xs[b]; });
+  std::vector<double> ranks(xs.size(), 0.0);
+  std::size_t i = 0;
+  while (i < order.size()) {
+    std::size_t j = i;
+    while (j + 1 < order.size() && xs[order[j + 1]] == xs[order[i]]) ++j;
+    // Positions i..j (0-based) share the average 1-based rank.
+    const double rank = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = rank;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double spearman_correlation(const std::vector<double>& x,
+                            const std::vector<double>& y) {
+  UUCS_CHECK_MSG(x.size() == y.size(), "correlation needs equal lengths");
+  return pearson_correlation(midranks(x), midranks(y));
+}
+
+}  // namespace uucs::stats

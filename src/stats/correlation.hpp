@@ -1,0 +1,22 @@
+#pragma once
+
+#include <vector>
+
+namespace uucs::stats {
+
+/// Pearson product-moment correlation of two equal-length samples.
+/// Returns 0 when either sample is constant. Throws on length mismatch or
+/// fewer than two points.
+double pearson_correlation(const std::vector<double>& x,
+                           const std::vector<double>& y);
+
+/// Spearman rank correlation (Pearson on mid-ranks; ties averaged). Robust
+/// to monotone-nonlinear relationships like host power vs tolerated
+/// contention.
+double spearman_correlation(const std::vector<double>& x,
+                            const std::vector<double>& y);
+
+/// Mid-ranks of a sample (1-based; ties share the average rank).
+std::vector<double> midranks(const std::vector<double>& xs);
+
+}  // namespace uucs::stats

@@ -1,0 +1,127 @@
+#include "stats/ecdf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace uucs::stats {
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> samples) : sorted_(std::move(samples)) {
+  UUCS_CHECK_MSG(!sorted_.empty(), "EmpiricalCdf needs at least one sample");
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double EmpiricalCdf::at(double x) const {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) / static_cast<double>(sorted_.size());
+}
+
+double EmpiricalCdf::quantile(double q) const {
+  UUCS_CHECK_MSG(q > 0 && q <= 1, "EmpiricalCdf quantile q must be in (0,1]");
+  const auto n = sorted_.size();
+  const auto k = static_cast<std::size_t>(std::ceil(q * static_cast<double>(n)));
+  return sorted_[std::min(k == 0 ? 0 : k - 1, n - 1)];
+}
+
+void DiscomfortCdf::add_discomfort(double level) {
+  UUCS_CHECK_MSG(level >= 0, "contention level cannot be negative");
+  levels_.push_back(level);
+}
+
+void DiscomfortCdf::add_exhausted() { ++exhausted_; }
+
+void DiscomfortCdf::merge(const DiscomfortCdf& other) {
+  levels_.insert(levels_.end(), other.levels_.begin(), other.levels_.end());
+  exhausted_ += other.exhausted_;
+}
+
+double DiscomfortCdf::fraction_discomforted() const {
+  const auto total = run_count();
+  return total == 0 ? 0.0 : static_cast<double>(levels_.size()) / static_cast<double>(total);
+}
+
+double DiscomfortCdf::fraction_at(double x) const {
+  const auto total = run_count();
+  if (total == 0) return 0.0;
+  std::size_t below = 0;
+  for (double l : levels_) {
+    if (l <= x) ++below;
+  }
+  return static_cast<double>(below) / static_cast<double>(total);
+}
+
+std::optional<double> DiscomfortCdf::level_at_fraction(double q) const {
+  UUCS_CHECK_MSG(q > 0 && q <= 1, "level_at_fraction q must be in (0,1]");
+  const auto total = run_count();
+  if (total == 0) return std::nullopt;
+  std::vector<double> sorted = levels_;
+  std::sort(sorted.begin(), sorted.end());
+  const auto need =
+      static_cast<std::size_t>(std::ceil(q * static_cast<double>(total) - 1e-12));
+  if (need == 0) return sorted.empty() ? std::optional<double>{} : sorted.front();
+  if (need > sorted.size()) return std::nullopt;  // q beyond f_d: censored region
+  return sorted[need - 1];
+}
+
+std::optional<MeanCi> DiscomfortCdf::mean_discomfort_level(double confidence) const {
+  if (levels_.empty()) return std::nullopt;
+  return mean_confidence_interval(levels_, confidence);
+}
+
+std::vector<std::pair<double, double>> DiscomfortCdf::curve_points() const {
+  std::vector<std::pair<double, double>> pts;
+  if (levels_.empty()) return pts;
+  std::vector<double> sorted = levels_;
+  std::sort(sorted.begin(), sorted.end());
+  const double total = static_cast<double>(run_count());
+  pts.emplace_back(sorted.front(), 0.0);
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    // Collapse ties: emit one point per distinct level at the upper count.
+    if (i + 1 < sorted.size() && sorted[i + 1] == sorted[i]) continue;
+    pts.emplace_back(sorted[i], static_cast<double>(i + 1) / total);
+  }
+  return pts;
+}
+
+double DiscomfortCdf::dkw_half_width(double alpha) const {
+  UUCS_CHECK_MSG(alpha > 0 && alpha < 1, "alpha must be in (0,1)");
+  const auto n = run_count();
+  if (n == 0) return 0.0;
+  return std::sqrt(std::log(2.0 / alpha) / (2.0 * static_cast<double>(n)));
+}
+
+std::string DiscomfortCdf::ascii_plot(int width, int height, const std::string& title) const {
+  UUCS_CHECK_MSG(width >= 10 && height >= 4, "plot too small");
+  std::ostringstream os;
+  if (!title.empty()) os << title << '\n';
+  os << uucs::strprintf("DfCount=%zu ExCount=%zu f_d=%.2f\n", discomfort_count(),
+                        exhausted_count(), fraction_discomforted());
+  if (levels_.empty()) {
+    os << "(no discomfort observed in range)\n";
+    return os.str();
+  }
+  const auto pts = curve_points();
+  const double xmax = std::max(1e-9, pts.back().first);
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width), ' '));
+  for (int col = 0; col < width; ++col) {
+    const double x = xmax * (col + 1) / width;
+    const double f = fraction_at(x);
+    int row = static_cast<int>(std::round(f * (height - 1)));
+    row = std::clamp(row, 0, height - 1);
+    grid[static_cast<std::size_t>(height - 1 - row)][static_cast<std::size_t>(col)] = '*';
+  }
+  for (int r = 0; r < height; ++r) {
+    const double frac = static_cast<double>(height - 1 - r) / (height - 1);
+    os << uucs::strprintf("%5.2f |", frac) << grid[static_cast<std::size_t>(r)] << '\n';
+  }
+  os << "      +" << std::string(static_cast<std::size_t>(width), '-') << '\n';
+  os << uucs::strprintf("       0%*s\n", width - 1,
+                        uucs::strprintf("%.2f", xmax).c_str());
+  return os.str();
+}
+
+}  // namespace uucs::stats

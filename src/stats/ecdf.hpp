@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "stats/summary.hpp"
+
+namespace uucs::stats {
+
+/// Plain empirical CDF over a sample.
+class EmpiricalCdf {
+ public:
+  explicit EmpiricalCdf(std::vector<double> samples);
+
+  /// F(x) = fraction of samples <= x.
+  double at(double x) const;
+
+  /// Smallest sample value v with F(v) >= q, q in (0,1].
+  double quantile(double q) const;
+
+  std::size_t size() const { return sorted_.size(); }
+  const std::vector<double>& sorted_samples() const { return sorted_; }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// The paper's discomfort CDF (Figs 10-12, 18): the cumulative fraction of
+/// *runs* whose user expressed discomfort at or below a given contention
+/// level. Runs where the testcase exhausted without feedback are
+/// right-censored — they enter the denominator but never the numerator, so
+/// the curve saturates at f_d = DfCount / (DfCount + ExCount).
+class DiscomfortCdf {
+ public:
+  /// Records a run that ended in discomfort at `level`.
+  void add_discomfort(double level);
+
+  /// Records a run that exhausted without feedback (censored at the
+  /// testcase's maximum level, which only matters for bookkeeping).
+  void add_exhausted();
+
+  /// Merges another CDF's runs into this one (used for aggregation across
+  /// tasks, Figs 10-12).
+  void merge(const DiscomfortCdf& other);
+
+  std::size_t discomfort_count() const { return levels_.size(); }
+  std::size_t exhausted_count() const { return exhausted_; }
+  std::size_t run_count() const { return levels_.size() + exhausted_; }
+
+  /// f_d = DfCount / (DfCount + ExCount); 0 if no runs (Fig 14).
+  double fraction_discomforted() const;
+
+  /// Cumulative fraction of runs discomforted at contention <= x.
+  double fraction_at(double x) const;
+
+  /// c_q: the contention level at which a fraction q of runs have become
+  /// discomforted (Fig 15 uses q=0.05). nullopt when q exceeds f_d — the
+  /// paper marks such cells '*': insufficient information.
+  std::optional<double> level_at_fraction(double q) const;
+
+  /// c_a: mean contention level at discomfort with a Student-t confidence
+  /// interval (Fig 16). nullopt when no discomfort was observed.
+  std::optional<MeanCi> mean_discomfort_level(double confidence = 0.95) const;
+
+  /// The discomfort levels observed (unsorted).
+  const std::vector<double>& discomfort_levels() const { return levels_; }
+
+  /// Step-function points (x, F(x)) suitable for plotting or CSV export;
+  /// includes a leading (min_x, 0) anchor.
+  std::vector<std::pair<double, double>> curve_points() const;
+
+  /// Renders an ASCII plot of the CDF, `width` x `height` characters,
+  /// for the figure benches.
+  std::string ascii_plot(int width = 60, int height = 16,
+                         const std::string& title = "") const;
+
+  /// Dvoretzky–Kiefer–Wolfowitz half-width: with probability 1-alpha the
+  /// true curve lies within +-epsilon of the empirical one everywhere,
+  /// epsilon = sqrt(ln(2/alpha) / (2 n)). Returns 0 for an empty CDF.
+  double dkw_half_width(double alpha = 0.05) const;
+
+ private:
+  std::vector<double> levels_;
+  std::size_t exhausted_ = 0;
+};
+
+}  // namespace uucs::stats

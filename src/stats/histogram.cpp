@@ -1,0 +1,89 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "stats/summary.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace uucs::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  UUCS_CHECK_MSG(hi > lo, "histogram range must be non-empty");
+  UUCS_CHECK_MSG(bins > 0, "histogram needs at least one bin");
+}
+
+void Histogram::add(double x) {
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  const double frac = (x - lo_) / (hi_ - lo_);
+  auto idx = static_cast<std::size_t>(frac * static_cast<double>(counts_.size()));
+  idx = std::min(idx, counts_.size() - 1);
+  ++counts_[idx];
+}
+
+std::size_t Histogram::total() const {
+  std::size_t t = underflow_ + overflow_;
+  for (auto c : counts_) t += c;
+  return t;
+}
+
+std::pair<double, double> Histogram::bin_range(std::size_t i) const {
+  UUCS_CHECK_MSG(i < counts_.size(), "bin index out of range");
+  const double w = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return {lo_ + w * static_cast<double>(i), lo_ + w * static_cast<double>(i + 1)};
+}
+
+std::string Histogram::ascii_render(int bar_width) const {
+  std::size_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto [a, b] = bin_range(i);
+    const int bar =
+        static_cast<int>(std::lround(static_cast<double>(counts_[i]) * bar_width /
+                                     static_cast<double>(peak)));
+    os << uucs::strprintf("[%8.3f,%8.3f) %6zu |", a, b, counts_[i])
+       << std::string(static_cast<std::size_t>(bar), '#') << '\n';
+  }
+  if (underflow_ || overflow_) {
+    os << uucs::strprintf("underflow=%zu overflow=%zu\n", underflow_, overflow_);
+  }
+  return os.str();
+}
+
+BootstrapCi bootstrap_mean_ci(const std::vector<double>& xs, double confidence,
+                              std::size_t resamples, std::uint64_t seed) {
+  UUCS_CHECK_MSG(!xs.empty(), "bootstrap of empty sample");
+  UUCS_CHECK_MSG(confidence > 0 && confidence < 1, "confidence in (0,1)");
+  uucs::Rng rng(seed);
+  std::vector<double> means;
+  means.reserve(resamples);
+  const auto n = xs.size();
+  for (std::size_t r = 0; r < resamples; ++r) {
+    double sum = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      sum += xs[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(n) - 1))];
+    }
+    means.push_back(sum / static_cast<double>(n));
+  }
+  BootstrapCi ci;
+  ci.estimate = mean_of(xs);
+  const double alpha = 1.0 - confidence;
+  ci.lo = quantile(means, alpha / 2.0);
+  ci.hi = quantile(means, 1.0 - alpha / 2.0);
+  return ci;
+}
+
+}  // namespace uucs::stats

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace uucs::stats {
+
+/// Fixed-width-bin histogram over [lo, hi). Values outside the range count
+/// in underflow/overflow. Used by the monitor for load summaries and by the
+/// analysis tools for threshold distributions.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  std::size_t bin_count() const { return counts_.size(); }
+  std::size_t bin(std::size_t i) const { return counts_.at(i); }
+  std::size_t underflow() const { return underflow_; }
+  std::size_t overflow() const { return overflow_; }
+  std::size_t total() const;
+
+  /// [left_edge, right_edge) of bin i.
+  std::pair<double, double> bin_range(std::size_t i) const;
+
+  /// Horizontal ASCII bar rendering.
+  std::string ascii_render(int bar_width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+};
+
+/// Percentile bootstrap confidence interval for the mean of `xs`:
+/// `resamples` bootstrap replicates with the provided RNG seed.
+struct BootstrapCi {
+  double estimate = 0.0;
+  double lo = 0.0;
+  double hi = 0.0;
+};
+BootstrapCi bootstrap_mean_ci(const std::vector<double>& xs, double confidence = 0.95,
+                              std::size_t resamples = 2000, std::uint64_t seed = 1);
+
+}  // namespace uucs::stats

@@ -1,0 +1,77 @@
+#include "stats/kstest.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace uucs::stats {
+
+double kolmogorov_q(double lambda) {
+  if (lambda <= 0) return 1.0;
+  double sum = 0.0;
+  double sign = 1.0;
+  for (int k = 1; k <= 100; ++k) {
+    const double term = std::exp(-2.0 * k * k * lambda * lambda);
+    sum += sign * term;
+    sign = -sign;
+    if (term < 1e-16) break;
+  }
+  return std::clamp(2.0 * sum, 0.0, 1.0);
+}
+
+namespace {
+
+double asymptotic_p(double d, double effective_n) {
+  // Stephens' small-sample correction.
+  const double sqrt_n = std::sqrt(effective_n);
+  const double lambda = (sqrt_n + 0.12 + 0.11 / sqrt_n) * d;
+  return kolmogorov_q(lambda);
+}
+
+}  // namespace
+
+KsResult ks_test(std::vector<double> sample,
+                 const std::function<double(double)>& reference) {
+  UUCS_CHECK_MSG(!sample.empty(), "ks_test needs a non-empty sample");
+  UUCS_CHECK(reference != nullptr);
+  std::sort(sample.begin(), sample.end());
+  const double n = static_cast<double>(sample.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < sample.size(); ++i) {
+    const double f = reference(sample[i]);
+    UUCS_CHECK_MSG(f >= -1e-12 && f <= 1.0 + 1e-12, "reference CDF out of [0,1]");
+    const double above = static_cast<double>(i + 1) / n - f;
+    const double below = f - static_cast<double>(i) / n;
+    d = std::max({d, above, below});
+  }
+  KsResult r;
+  r.statistic = d;
+  r.n = sample.size();
+  r.p_value = asymptotic_p(d, n);
+  return r;
+}
+
+KsResult ks_test_two_sample(std::vector<double> a, std::vector<double> b) {
+  UUCS_CHECK_MSG(!a.empty() && !b.empty(), "ks_test needs non-empty samples");
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  std::size_t ia = 0, ib = 0;
+  double d = 0.0;
+  while (ia < a.size() && ib < b.size()) {
+    const double x = std::min(a[ia], b[ib]);
+    while (ia < a.size() && a[ia] <= x) ++ia;
+    while (ib < b.size() && b[ib] <= x) ++ib;
+    d = std::max(d, std::fabs(static_cast<double>(ia) / na -
+                              static_cast<double>(ib) / nb));
+  }
+  KsResult r;
+  r.statistic = d;
+  r.n = a.size() + b.size();
+  r.p_value = asymptotic_p(d, na * nb / (na + nb));
+  return r;
+}
+
+}  // namespace uucs::stats

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace uucs::stats {
+
+/// One-sample Kolmogorov–Smirnov test against a reference CDF, used to
+/// verify that generated populations match their fitted distributions and
+/// that queueing traces match theory.
+struct KsResult {
+  double statistic = 0.0;  ///< D_n = sup |F_n(x) - F(x)|
+  double p_value = 1.0;    ///< asymptotic two-sided p (Kolmogorov Q)
+  std::size_t n = 0;
+};
+
+/// `reference` must be a CDF evaluated at a sample value. Throws on an
+/// empty sample.
+KsResult ks_test(std::vector<double> sample,
+                 const std::function<double(double)>& reference);
+
+/// Two-sample KS test: D = sup |F_a(x) - F_b(x)| with the asymptotic
+/// p-value on the effective sample size.
+KsResult ks_test_two_sample(std::vector<double> a, std::vector<double> b);
+
+/// The Kolmogorov survival function Q(lambda) = 2 sum (-1)^{k-1} e^{-2k^2
+/// lambda^2}; exposed for tests.
+double kolmogorov_q(double lambda);
+
+}  // namespace uucs::stats

@@ -1,0 +1,157 @@
+#include "stats/optimize.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace uucs::stats {
+
+OptimizeResult nelder_mead(const std::function<double(const std::vector<double>&)>& f,
+                           std::vector<double> x0, double step,
+                           std::size_t max_evals, double tol) {
+  UUCS_CHECK_MSG(!x0.empty(), "nelder_mead needs at least one dimension");
+  const std::size_t n = x0.size();
+  OptimizeResult result;
+
+  // Build the initial simplex: x0 plus one step along each axis.
+  std::vector<std::vector<double>> pts(n + 1, x0);
+  for (std::size_t i = 0; i < n; ++i) pts[i + 1][i] += step;
+  std::vector<double> vals(n + 1);
+  for (std::size_t i = 0; i <= n; ++i) {
+    vals[i] = f(pts[i]);
+    ++result.evaluations;
+  }
+
+  constexpr double kAlpha = 1.0;   // reflection
+  constexpr double kGamma = 2.0;   // expansion
+  constexpr double kRho = 0.5;     // contraction
+  constexpr double kSigma = 0.5;   // shrink
+
+  while (result.evaluations < max_evals) {
+    // Order the simplex.
+    std::vector<std::size_t> idx(n + 1);
+    for (std::size_t i = 0; i <= n; ++i) idx[i] = i;
+    std::sort(idx.begin(), idx.end(),
+              [&](std::size_t a, std::size_t b) { return vals[a] < vals[b]; });
+    const std::size_t best = idx[0];
+    const std::size_t worst = idx[n];
+
+    if (std::fabs(vals[worst] - vals[best]) <
+        tol * (std::fabs(vals[best]) + tol)) {
+      result.converged = true;
+      break;
+    }
+
+    // Centroid excluding the worst point.
+    std::vector<double> centroid(n, 0.0);
+    for (std::size_t i = 0; i <= n; ++i) {
+      if (i == worst) continue;
+      for (std::size_t d = 0; d < n; ++d) centroid[d] += pts[i][d];
+    }
+    for (double& c : centroid) c /= static_cast<double>(n);
+
+    auto blend = [&](double coef) {
+      std::vector<double> p(n);
+      for (std::size_t d = 0; d < n; ++d) {
+        p[d] = centroid[d] + coef * (pts[worst][d] - centroid[d]);
+      }
+      return p;
+    };
+
+    const auto reflected = blend(-kAlpha);
+    const double fr = f(reflected);
+    ++result.evaluations;
+
+    if (fr < vals[idx[0]]) {
+      const auto expanded = blend(-kGamma);
+      const double fe = f(expanded);
+      ++result.evaluations;
+      if (fe < fr) {
+        pts[worst] = expanded;
+        vals[worst] = fe;
+      } else {
+        pts[worst] = reflected;
+        vals[worst] = fr;
+      }
+      continue;
+    }
+    if (fr < vals[idx[n - 1]]) {
+      pts[worst] = reflected;
+      vals[worst] = fr;
+      continue;
+    }
+    const auto contracted = blend(kRho);
+    const double fc = f(contracted);
+    ++result.evaluations;
+    if (fc < vals[worst]) {
+      pts[worst] = contracted;
+      vals[worst] = fc;
+      continue;
+    }
+    // Shrink toward the best point.
+    for (std::size_t i = 0; i <= n; ++i) {
+      if (i == best) continue;
+      for (std::size_t d = 0; d < n; ++d) {
+        pts[i][d] = pts[best][d] + kSigma * (pts[i][d] - pts[best][d]);
+      }
+      vals[i] = f(pts[i]);
+      ++result.evaluations;
+    }
+  }
+
+  const auto best_it = std::min_element(vals.begin(), vals.end());
+  result.value = *best_it;
+  result.x = pts[static_cast<std::size_t>(best_it - vals.begin())];
+  return result;
+}
+
+double golden_section(const std::function<double(double)>& f, double lo, double hi,
+                      double tol) {
+  UUCS_CHECK_MSG(lo <= hi, "golden_section: invalid bracket");
+  const double phi = (std::sqrt(5.0) - 1.0) / 2.0;
+  double a = lo, b = hi;
+  double c = b - phi * (b - a);
+  double d = a + phi * (b - a);
+  double fc = f(c), fd = f(d);
+  while (b - a > tol * (1.0 + std::fabs(a) + std::fabs(b))) {
+    if (fc < fd) {
+      b = d;
+      d = c;
+      fd = fc;
+      c = b - phi * (b - a);
+      fc = f(c);
+    } else {
+      a = c;
+      c = d;
+      fc = fd;
+      d = a + phi * (b - a);
+      fd = f(d);
+    }
+  }
+  return 0.5 * (a + b);
+}
+
+double bisect_root(const std::function<double(double)>& f, double lo, double hi,
+                   double tol) {
+  double flo = f(lo);
+  double fhi = f(hi);
+  UUCS_CHECK_MSG(flo == 0.0 || fhi == 0.0 || (flo < 0) != (fhi < 0),
+                 "bisect_root: no sign change over bracket");
+  if (flo == 0.0) return lo;
+  if (fhi == 0.0) return hi;
+  for (int i = 0; i < 200 && hi - lo > tol * (1.0 + std::fabs(lo)); ++i) {
+    const double mid = 0.5 * (lo + hi);
+    const double fm = f(mid);
+    if (fm == 0.0) return mid;
+    if ((fm < 0) == (flo < 0)) {
+      lo = mid;
+      flo = fm;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace uucs::stats

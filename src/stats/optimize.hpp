@@ -1,0 +1,33 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace uucs::stats {
+
+/// Result of a derivative-free minimization.
+struct OptimizeResult {
+  std::vector<double> x;    ///< best point found
+  double value = 0.0;       ///< objective at x
+  std::size_t evaluations = 0;
+  bool converged = false;
+};
+
+/// Nelder–Mead simplex minimization of `f` starting from `x0` with initial
+/// per-coordinate step `step`. Used by the population calibrator to fit
+/// lognormal threshold distributions to the paper's published cell
+/// statistics. Deterministic; no gradients required.
+OptimizeResult nelder_mead(const std::function<double(const std::vector<double>&)>& f,
+                           std::vector<double> x0, double step = 0.5,
+                           std::size_t max_evals = 4000, double tol = 1e-10);
+
+/// Golden-section minimization of a 1-D unimodal function on [lo, hi].
+double golden_section(const std::function<double(double)>& f, double lo, double hi,
+                      double tol = 1e-10);
+
+/// Bisection root find for monotone `f` on [lo, hi] with f(lo), f(hi) of
+/// opposite sign; throws Error if the bracket is invalid.
+double bisect_root(const std::function<double(double)>& f, double lo, double hi,
+                   double tol = 1e-12);
+
+}  // namespace uucs::stats

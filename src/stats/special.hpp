@@ -1,0 +1,32 @@
+#pragma once
+
+namespace uucs::stats {
+
+/// Regularized incomplete beta function I_x(a, b) for a,b > 0, x in [0,1].
+/// Computed with the Lentz continued-fraction expansion; accurate to ~1e-12.
+/// This is the only special function the t-test p-values need.
+double incomplete_beta(double a, double b, double x);
+
+/// Regularized lower incomplete gamma P(a, x), a > 0, x >= 0
+/// (series for x < a+1, continued fraction otherwise). Used for
+/// Poisson/chi-square tail probabilities.
+double incomplete_gamma_p(double a, double x);
+
+/// Standard normal CDF Phi(x).
+double normal_cdf(double x);
+
+/// Inverse standard normal CDF (Acklam's rational approximation refined by
+/// one Halley step; |error| < 1e-13 over (0,1)).
+double normal_quantile(double p);
+
+/// Student-t CDF with nu degrees of freedom.
+double student_t_cdf(double t, double nu);
+
+/// Two-sided tail probability of |T| >= |t| for Student-t with nu dof.
+double student_t_two_sided_p(double t, double nu);
+
+/// Inverse of the Student-t CDF (bisection on student_t_cdf; used for
+/// confidence-interval half-widths).
+double student_t_quantile(double p, double nu);
+
+}  // namespace uucs::stats

@@ -1,0 +1,96 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/special.hpp"
+#include "util/error.hpp"
+
+namespace uucs::stats {
+
+void RunningStat::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStat::merge(const RunningStat& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStat::mean() const { return mean_; }
+
+double RunningStat::variance() const {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double RunningStat::min() const {
+  UUCS_CHECK_MSG(n_ > 0, "min of empty RunningStat");
+  return min_;
+}
+
+double RunningStat::max() const {
+  UUCS_CHECK_MSG(n_ > 0, "max of empty RunningStat");
+  return max_;
+}
+
+MeanCi mean_confidence_interval(const std::vector<double>& xs, double confidence) {
+  UUCS_CHECK_MSG(confidence > 0 && confidence < 1, "confidence must be in (0,1)");
+  MeanCi ci;
+  ci.n = xs.size();
+  RunningStat rs;
+  for (double x : xs) rs.add(x);
+  ci.mean = rs.mean();
+  if (xs.size() < 2) {
+    ci.lo = ci.hi = ci.mean;
+    return ci;
+  }
+  const double nu = static_cast<double>(xs.size() - 1);
+  const double tcrit = student_t_quantile(0.5 + confidence / 2.0, nu);
+  const double half = tcrit * rs.stddev() / std::sqrt(static_cast<double>(xs.size()));
+  ci.lo = ci.mean - half;
+  ci.hi = ci.mean + half;
+  return ci;
+}
+
+double quantile(std::vector<double> xs, double q) {
+  UUCS_CHECK_MSG(!xs.empty(), "quantile of empty sample");
+  UUCS_CHECK_MSG(q >= 0 && q <= 1, "quantile q must be in [0,1]");
+  std::sort(xs.begin(), xs.end());
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const auto i = static_cast<std::size_t>(pos);
+  if (i + 1 >= xs.size()) return xs.back();
+  const double frac = pos - static_cast<double>(i);
+  return xs[i] * (1.0 - frac) + xs[i + 1] * frac;
+}
+
+double mean_of(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  RunningStat rs;
+  for (double x : xs) rs.add(x);
+  return rs.mean();
+}
+
+}  // namespace uucs::stats

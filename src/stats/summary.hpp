@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace uucs::stats {
+
+/// Single-pass running moments (Welford). Numerically stable; merges
+/// supported so per-thread accumulators can be combined.
+class RunningStat {
+ public:
+  void add(double x);
+
+  /// Merges another accumulator into this one.
+  void merge(const RunningStat& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const;
+  /// Sample variance (n-1 denominator); 0 when n < 2.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Two-sided confidence interval for a mean.
+struct MeanCi {
+  double mean = 0.0;
+  double lo = 0.0;
+  double hi = 0.0;
+  std::size_t n = 0;
+};
+
+/// Student-t confidence interval for the mean of `xs` at the given
+/// confidence level (default 95%, matching the paper's Fig 16).
+/// With n < 2 the interval degenerates to [mean, mean].
+MeanCi mean_confidence_interval(const std::vector<double>& xs, double confidence = 0.95);
+
+/// Quantile of `xs` with linear interpolation between order statistics
+/// (type-7, the common default). q in [0,1]; xs need not be sorted.
+double quantile(std::vector<double> xs, double q);
+
+/// Mean of `xs`; 0 for empty input.
+double mean_of(const std::vector<double>& xs);
+
+}  // namespace uucs::stats

@@ -1,0 +1,81 @@
+#include "stats/ttest.hpp"
+
+#include <cmath>
+
+#include "stats/special.hpp"
+#include "stats/summary.hpp"
+#include "util/error.hpp"
+
+namespace uucs::stats {
+
+namespace {
+
+RunningStat accumulate(const std::vector<double>& xs) {
+  RunningStat rs;
+  for (double x : xs) rs.add(x);
+  return rs;
+}
+
+}  // namespace
+
+TTestResult welch_t_test(const std::vector<double>& a, const std::vector<double>& b) {
+  TTestResult r;
+  if (a.size() < 2 || b.size() < 2) return r;
+  const RunningStat sa = accumulate(a);
+  const RunningStat sb = accumulate(b);
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  const double va = sa.variance() / na;
+  const double vb = sb.variance() / nb;
+  r.difference = sa.mean() - sb.mean();
+  const double se2 = va + vb;
+  if (se2 <= 0) return r;  // both groups constant: t undefined
+  r.t = r.difference / std::sqrt(se2);
+  r.dof = se2 * se2 / (va * va / (na - 1.0) + vb * vb / (nb - 1.0));
+  r.p_two_sided = student_t_two_sided_p(r.t, r.dof);
+  r.valid = true;
+  return r;
+}
+
+TTestResult pooled_t_test(const std::vector<double>& a, const std::vector<double>& b) {
+  TTestResult r;
+  if (a.size() < 2 || b.size() < 2) return r;
+  const RunningStat sa = accumulate(a);
+  const RunningStat sb = accumulate(b);
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  const double dof = na + nb - 2.0;
+  const double sp2 = ((na - 1.0) * sa.variance() + (nb - 1.0) * sb.variance()) / dof;
+  r.difference = sa.mean() - sb.mean();
+  const double se2 = sp2 * (1.0 / na + 1.0 / nb);
+  if (se2 <= 0) return r;
+  r.t = r.difference / std::sqrt(se2);
+  r.dof = dof;
+  r.p_two_sided = student_t_two_sided_p(r.t, r.dof);
+  r.valid = true;
+  return r;
+}
+
+TTestResult one_sample_t_test(const std::vector<double>& xs, double mu0) {
+  TTestResult r;
+  if (xs.size() < 2) return r;
+  const RunningStat s = accumulate(xs);
+  const double n = static_cast<double>(xs.size());
+  r.difference = s.mean() - mu0;
+  const double se2 = s.variance() / n;
+  if (se2 <= 0) return r;
+  r.t = r.difference / std::sqrt(se2);
+  r.dof = n - 1.0;
+  r.p_two_sided = student_t_two_sided_p(r.t, r.dof);
+  r.valid = true;
+  return r;
+}
+
+TTestResult paired_t_test(const std::vector<double>& a, const std::vector<double>& b) {
+  UUCS_CHECK_MSG(a.size() == b.size(), "paired t-test needs equal lengths");
+  std::vector<double> diff(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) diff[i] = a[i] - b[i];
+  return one_sample_t_test(diff, 0.0);
+}
+
+}  // namespace uucs::stats

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <vector>
+
+namespace uucs::stats {
+
+/// Result of a t-test. `difference` is mean(a) - mean(b) for two-sample
+/// tests, or mean(x) - mu0 for one-sample tests.
+struct TTestResult {
+  double t = 0.0;           ///< test statistic
+  double dof = 0.0;         ///< degrees of freedom (Welch-Satterthwaite for unpaired)
+  double p_two_sided = 1.0; ///< two-sided p-value
+  double difference = 0.0;  ///< estimated mean difference
+  bool valid = false;       ///< false when a group is too small / has no variance
+};
+
+/// Unpaired two-sample t-test with unequal variances (Welch). This is the
+/// test behind the paper's Fig 17 skill-group comparisons.
+TTestResult welch_t_test(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Unpaired two-sample t-test with pooled variance (classic Student).
+TTestResult pooled_t_test(const std::vector<double>& a, const std::vector<double>& b);
+
+/// One-sample t-test of mean(xs) against mu0. Used for the paired
+/// ramp-vs-step analysis (§3.3.5): differences tested against zero.
+TTestResult one_sample_t_test(const std::vector<double>& xs, double mu0);
+
+/// Paired t-test: one_sample_t_test(a - b, 0). Requires equal lengths.
+TTestResult paired_t_test(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace uucs::stats

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "study/paper_constants.hpp"
+
+namespace uucs::study {
+
+/// Fitted threshold distribution for one (task, resource) cell: the
+/// contention level at which a user expresses discomfort under a slow ramp
+/// is modeled as lognormal(mu, sigma); `never` marks cells where the paper
+/// observed no discomfort in the explored range (Word/Memory).
+struct CellFit {
+  bool never = false;
+  double mu = 0.0;
+  double sigma = 1.0;
+  double fit_error = 0.0;  ///< residual of the calibration objective
+
+  /// Threshold at population rank z (a standard normal score).
+  double threshold_at(double z) const {
+    return never ? std::numeric_limits<double>::infinity()
+                 : std::exp(mu + sigma * z);
+  }
+};
+
+/// Everything the population generator needs: per-cell fits plus the
+/// behavioral parameters shared across the population.
+struct PopulationParams {
+  std::array<std::array<CellFit, kResources>, kTasks> cells{};
+
+  /// Per-task noise-floor hazards (per second), from Fig 9 blanks.
+  std::array<double, kTasks> noise_rates{};
+
+  /// Noise hazard multiplier during non-blank runs (attention capture).
+  double nonblank_noise_scale = 0.6;
+
+  /// Copula loadings: shared user-sensitivity weight, and per-cell skill
+  /// weights (how strongly expertise lowers the threshold).
+  double sensitivity_loading = 0.45;
+  std::array<std::array<double, kResources>, kTasks> skill_loadings{};
+
+  /// Correlation between the latent skill and each questionnaire rating.
+  double rating_fidelity = 0.75;
+
+  /// Frog-in-the-pot surprise penalty (fractional threshold reduction for
+  /// abrupt jumps). Fig 9's step runs discomfort nearly as often as ramps
+  /// despite lower step levels (e.g. Powerpoint/CPU step 0.98 vs ramp mean
+  /// 1.17), which pins the penalty near a third.
+  double surprise_penalty = 0.35;
+
+  /// Reaction delay lognormal parameters (seconds).
+  double reaction_mu = std::log(2.0);
+  double reaction_sigma = 0.4;
+
+  const CellFit& cell(Task t, uucs::Resource r) const {
+    return cells[static_cast<std::size_t>(t)][resource_index(r)];
+  }
+  CellFit& cell(Task t, uucs::Resource r) {
+    return cells[static_cast<std::size_t>(t)][resource_index(r)];
+  }
+  double skill_loading(Task t, uucs::Resource r) const {
+    return skill_loadings[static_cast<std::size_t>(t)][resource_index(r)];
+  }
+};
+
+/// Statistics of the observable ramp-run mixture (threshold crossing racing
+/// the noise-floor hazard) for a candidate lognormal fit — the model the
+/// calibrator inverts. Exposed for tests.
+struct MixtureStats {
+  double fd = 0.0;
+  double c05 = std::numeric_limits<double>::quiet_NaN();
+  double ca = std::numeric_limits<double>::quiet_NaN();
+};
+MixtureStats ramp_mixture_stats(double mu, double sigma, double ramp_max,
+                                double duration_s, double noise_rate_per_s);
+
+/// Fits one cell's lognormal to paper targets under the given noise rate.
+CellFit fit_cell(const PaperCell& target, double ramp_max, double duration_s,
+                 double noise_rate_per_s);
+
+/// Fits every cell from the paper's published statistics and fills in the
+/// behavioral defaults (skill loadings scaled from Fig 17's findings).
+/// Deterministic and moderately expensive (~10 ms per cell); call once and
+/// reuse.
+PopulationParams calibrate_population();
+
+}  // namespace uucs::study

@@ -1,0 +1,82 @@
+#include "study/controlled_study.hpp"
+
+#include <algorithm>
+
+#include "sim/host_model.hpp"
+#include "testcase/suite.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace uucs::study {
+
+uucs::TestcaseStore controlled_study_testcases(Task t) {
+  uucs::TestcaseStore store;
+  for (uucs::Resource r : uucs::kStudyResources) {
+    store.add(uucs::make_ramp_testcase(r, ramp_max(t, r), kRunDuration));
+    store.add(
+        uucs::make_step_testcase(r, step_level(t, r), kRunDuration, kStepBreak));
+  }
+  store.add(uucs::make_blank_testcase(kRunDuration, "a"));
+  store.add(uucs::make_blank_testcase(kRunDuration, "b"));
+  return store;
+}
+
+
+ControlledStudyOutput run_controlled_study(const ControlledStudyConfig& config) {
+  return run_controlled_study(config, calibrate_population());
+}
+
+ControlledStudyOutput run_controlled_study(const ControlledStudyConfig& config,
+                                           const PopulationParams& params) {
+  UUCS_CHECK_MSG(config.participants > 0, "need at least one participant");
+  UUCS_CHECK_MSG(config.session_s > 0 && config.mean_gap_s >= 0, "session config");
+
+  ControlledStudyOutput out;
+  out.params = params;
+
+  uucs::Rng root(config.seed);
+  uucs::Rng pop_rng = root.fork(1);
+  out.users = generate_population(params, config.participants, pop_rng);
+
+  const uucs::sim::HostModel host(config.host);
+  uucs::sim::RunSimulator simulator(
+      host, {params.noise_rates[0], params.noise_rates[1], params.noise_rates[2],
+             params.noise_rates[3]});
+  simulator.set_nonblank_noise_scale(params.nonblank_noise_scale);
+
+  std::size_t run_serial = 0;
+  for (std::size_t ui = 0; ui < out.users.size(); ++ui) {
+    const auto& user = out.users[ui];
+    uucs::Rng user_rng = root.fork(1000 + ui);
+    for (Task task : uucs::sim::kAllTasks) {
+      const uucs::TestcaseStore testcases = controlled_study_testcases(task);
+      // All eight testcases in random order; when the pass completes with
+      // session budget to spare (frequent discomfort ends runs early),
+      // further random testcases fill the remainder.
+      std::vector<std::string> order = testcases.ids();
+      user_rng.shuffle(order);
+      double elapsed = 0.0;
+      std::size_t next = 0;
+      while (true) {
+        if (next == order.size()) {
+          user_rng.shuffle(order);
+          next = 0;
+        }
+        const uucs::Testcase& tc = testcases.get(order[next++]);
+        if (elapsed + tc.duration() > config.session_s) break;
+        uucs::RunRecord rec = simulator.simulate_record(
+            user, task, tc, user_rng, uucs::strprintf("run-%05zu", run_serial++));
+        elapsed += rec.offset_s;
+        // Setup gap before the next run (form reset, task re-engagement).
+        elapsed += user_rng.lognormal(
+            std::log(std::max(config.mean_gap_s, 1e-9)) -
+                config.gap_sigma * config.gap_sigma / 2.0,
+            config.gap_sigma);
+        out.results.add(std::move(rec));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace uucs::study

@@ -1,0 +1,144 @@
+#include "study/internet_study.hpp"
+
+#include <set>
+
+#include "client/client.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/host_model.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace uucs::study {
+
+namespace {
+
+/// One simulated deployment site: a client machine, its user, and the glue
+/// the event handlers need. Heap-allocated so the RunSimulator's reference
+/// to the HostModel stays valid.
+struct Site {
+  Site(uucs::HostSpec spec, const uucs::ClientConfig& cc,
+       std::array<double, uucs::sim::kTaskCount> noise, double nonblank_scale,
+       uucs::sim::UserProfile user_in, std::uint64_t seed)
+      : client(spec, cc),
+        host(std::move(spec)),
+        simulator(host, noise),
+        user(std::move(user_in)),
+        rng(seed) {
+    simulator.set_nonblank_noise_scale(nonblank_scale);
+  }
+
+  uucs::UucsClient client;
+  uucs::sim::HostModel host;
+  uucs::sim::RunSimulator simulator;
+  uucs::sim::UserProfile user;
+  uucs::Rng rng;
+};
+
+uucs::HostSpec make_host(double power, std::size_t index) {
+  uucs::HostSpec spec = uucs::HostSpec::paper_study_machine();
+  spec.hostname = uucs::strprintf("inet-host-%03zu", index);
+  spec.os_name = "Windows XP";
+  spec.cpu_mhz = 2000.0 * power;  // single core: power index == clock ratio
+  spec.cpu_count = 1;
+  return spec;
+}
+
+}  // namespace
+
+InternetStudyOutput run_internet_study(const InternetStudyConfig& config) {
+  return run_internet_study(config, calibrate_population());
+}
+
+InternetStudyOutput run_internet_study(const InternetStudyConfig& config,
+                                       const PopulationParams& params) {
+  UUCS_CHECK_MSG(config.clients > 0, "need at least one client");
+  UUCS_CHECK_MSG(config.duration_s > 0, "duration must be positive");
+  UUCS_CHECK_MSG(config.power_min > 0 && config.power_max >= config.power_min,
+                 "power range");
+
+  InternetStudyOutput out;
+  out.params = params;
+  uucs::Rng root(config.seed);
+
+  out.server = std::make_unique<uucs::UucsServer>(root.fork(1)(), /*sample_batch=*/32);
+  {
+    uucs::Rng suite_rng = root.fork(2);
+    out.server->add_testcases(uucs::generate_internet_suite(config.suite, suite_rng));
+  }
+  uucs::LocalServerApi api(*out.server);
+
+  const std::array<double, uucs::sim::kTaskCount> noise = {
+      params.noise_rates[0], params.noise_rates[1], params.noise_rates[2],
+      params.noise_rates[3]};
+
+  uucs::Rng pop_rng = root.fork(3);
+  std::vector<std::unique_ptr<Site>> sites;
+  sites.reserve(config.clients);
+  for (std::size_t i = 0; i < config.clients; ++i) {
+    const double log_lo = std::log(config.power_min);
+    const double log_hi = std::log(config.power_max);
+    const double power = std::exp(pop_rng.uniform(log_lo, log_hi));
+    uucs::ClientConfig cc;
+    cc.sync_interval_s = config.sync_interval_s;
+    cc.mean_run_interarrival_s = config.mean_run_interarrival_s;
+    cc.seed = pop_rng();
+    auto user = draw_user(params, pop_rng, uucs::strprintf("inet-user-%03zu", i));
+    sites.push_back(std::make_unique<Site>(make_host(power, i), cc, noise,
+                                           params.nonblank_noise_scale,
+                                           std::move(user), pop_rng()));
+  }
+
+  uucs::VirtualClock clock;
+  uucs::sim::EventQueue events(clock);
+  std::set<std::string> distinct_testcases;
+
+  // Event handlers. Syncs and runs reschedule themselves until the horizon.
+  std::function<void(Site&)> do_sync = [&](Site& site) {
+    site.client.hot_sync(api);
+    ++out.total_syncs;
+    if (clock.now() + site.client.sync_interval_s() < config.duration_s) {
+      events.schedule_in(site.client.sync_interval_s(), [&] { do_sync(site); });
+    }
+  };
+
+  std::function<void(Site&)> do_run = [&](Site& site) {
+    if (const auto id = site.client.choose_testcase_id(site.rng)) {
+      const uucs::Testcase& tc = site.client.testcases().get(*id);
+      // Task context at this moment, drawn from the configured mix.
+      const std::vector<double> weights(config.task_weights.begin(),
+                                        config.task_weights.end());
+      const auto task = static_cast<uucs::sim::Task>(site.rng.weighted_index(weights));
+      uucs::RunRecord rec = site.simulator.simulate_record(
+          site.user, task, tc, site.rng, site.client.next_run_id());
+      site.client.record_result(std::move(rec));
+      ++out.total_runs;
+      distinct_testcases.insert(*id);
+    }
+    const double delay = site.client.next_run_delay(site.rng);
+    if (clock.now() + delay < config.duration_s) {
+      events.schedule_in(delay, [&] { do_run(site); });
+    }
+  };
+
+  for (auto& site_ptr : sites) {
+    Site& site = *site_ptr;
+    // Stagger initial contact across the first sync interval.
+    events.schedule_in(site.rng.uniform(0.0, config.sync_interval_s),
+                       [&] { do_sync(site); });
+    events.schedule_in(site.client.next_run_delay(site.rng), [&] { do_run(site); });
+  }
+
+  events.run_until(config.duration_s);
+
+  // Final sync so the last results reach the server.
+  for (auto& site_ptr : sites) {
+    if (!site_ptr->client.pending_results().empty()) {
+      site_ptr->client.hot_sync(api);
+      ++out.total_syncs;
+    }
+  }
+  out.distinct_testcases_run = distinct_testcases.size();
+  return out;
+}
+
+}  // namespace uucs::study

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <memory>
+
+#include "server/server.hpp"
+#include "study/population.hpp"
+#include "testcase/suite.hpp"
+
+namespace uucs::study {
+
+/// Configuration of the §4 Internet-wide study simulation: a fleet of
+/// heterogeneous clients that register, hot-sync growing random samples of
+/// a large testcase suite, execute testcases at Poisson arrival times while
+/// their users do everyday tasks, and upload results.
+struct InternetStudyConfig {
+  std::size_t clients = 100;  ///< "We currently have about 100 users" (§4)
+  double duration_s = 7.0 * 24 * 3600;
+  double mean_run_interarrival_s = 2.0 * 3600;
+  double sync_interval_s = 12.0 * 3600;
+  std::uint64_t seed = 42;
+
+  /// Host heterogeneity: power indices drawn log-uniformly in this range
+  /// (1.0 = the paper's study machine) — this is the data the paper wants
+  /// for its open question 6 (raw host power).
+  double power_min = 0.5;
+  double power_max = 4.0;
+
+  /// Task mix while testcases run (word, powerpoint, ie, quake).
+  std::array<double, uucs::sim::kTaskCount> task_weights{0.35, 0.15, 0.35, 0.15};
+
+  /// The server's testcase catalog (defaults to the paper-scale 2000+
+  /// suite; shrink for quick runs).
+  uucs::SuiteSpec suite;
+};
+
+/// Summary of a simulated deployment.
+struct InternetStudyOutput {
+  std::unique_ptr<uucs::UucsServer> server;  ///< holds all uploaded results
+  std::size_t total_runs = 0;
+  std::size_t total_syncs = 0;
+  std::size_t distinct_testcases_run = 0;
+  PopulationParams params;
+};
+
+/// Runs the fleet simulation in virtual time (discrete-event). Clients
+/// register on first contact, sync on their own schedules, choose testcases
+/// by local random choice, and execute them with Poisson interarrivals —
+/// the §2 design "to make a collection of clients execute a random sample
+/// with respect to testcases, users, and times".
+InternetStudyOutput run_internet_study(const InternetStudyConfig& config = {});
+
+InternetStudyOutput run_internet_study(const InternetStudyConfig& config,
+                                       const PopulationParams& params);
+
+}  // namespace uucs::study

@@ -1,0 +1,140 @@
+#include "study/paper_constants.hpp"
+
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace uucs::study {
+
+namespace {
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+}
+
+std::size_t resource_index(uucs::Resource r) {
+  switch (r) {
+    case uucs::Resource::kCpu:
+      return 0;
+    case uucs::Resource::kMemory:
+      return 1;
+    case uucs::Resource::kDisk:
+      return 2;
+    case uucs::Resource::kNetwork:
+      break;
+  }
+  throw uucs::Error("network is not a study resource");
+}
+
+uucs::Resource resource_at(std::size_t i) {
+  UUCS_CHECK_MSG(i < kResources, "resource index out of range");
+  return uucs::kStudyResources[i];
+}
+
+double ramp_max(Task t, uucs::Resource r) {
+  // Fig 8 rows 1 (CPU), 3 (Disk), 4 (Memory): ramp parameters x per task.
+  static constexpr double kRamp[kTasks][kResources] = {
+      // cpu,  mem,  disk
+      {7.0, 1.0, 7.0},  // Word
+      {2.0, 1.0, 8.0},  // Powerpoint
+      {2.0, 1.0, 5.0},  // IE
+      {1.3, 1.0, 5.0},  // Quake
+  };
+  return kRamp[static_cast<std::size_t>(t)][resource_index(r)];
+}
+
+double step_level(Task t, uucs::Resource r) {
+  // Fig 8 rows 5 (CPU), 6 (Disk), 8 (Memory): step parameters x per task.
+  static constexpr double kStep[kTasks][kResources] = {
+      {5.5, 1.0, 5.0},   // Word
+      {0.98, 1.0, 6.0},  // Powerpoint
+      {1.0, 1.0, 4.0},   // IE
+      {0.5, 1.0, 5.0},   // Quake
+  };
+  return kStep[static_cast<std::size_t>(t)][resource_index(r)];
+}
+
+const PaperBreakdown& paper_breakdown(Task t) {
+  // Fig 9.
+  static const PaperBreakdown kRows[kTasks] = {
+      {48, 20, 0, 59, 0.0},    // Word
+      {71, 4, 0, 60, 0.0},     // Powerpoint
+      {50, 17, 14, 50, 0.22},  // IE
+      {126, 6, 19, 43, 0.30},  // Quake
+  };
+  return kRows[static_cast<std::size_t>(t)];
+}
+
+const PaperBreakdown& paper_breakdown_total() {
+  static const PaperBreakdown kTotal = {295, 47, 33, 212, 33.0 / 245.0};
+  return kTotal;
+}
+
+const PaperCell& paper_cell(Task t, uucs::Resource r) {
+  // Figs 14 (fd), 15 (c05), 16 (ca with 95% CI).
+  static const PaperCell kCells[kTasks][kResources] = {
+      // Word:       cpu                          mem                        disk
+      {{0.71, 3.06, 4.35, 3.97, 4.72},
+       {0.00, kNan, kNan, kNan, kNan},
+       {0.10, 3.28, 4.20, 1.89, 6.51}},
+      // Powerpoint
+      {{0.95, 1.00, 1.17, 1.11, 1.24},
+       {0.07, 0.64, 0.64, 0.21, 1.06},
+       {0.17, 3.84, 4.65, 3.67, 5.63}},
+      // IE
+      {{0.75, 0.61, 1.20, 1.07, 1.33},
+       {0.30, 0.31, 0.55, 0.39, 0.71},
+       {0.61, 2.02, 3.11, 2.69, 3.52}},
+      // Quake
+      {{0.95, 0.18, 0.64, 0.58, 0.69},
+       {0.45, 0.08, 0.55, 0.37, 0.74},
+       {0.29, 0.69, 1.19, 0.86, 1.52}},
+  };
+  return kCells[static_cast<std::size_t>(t)][resource_index(r)];
+}
+
+const PaperCell& paper_total(uucs::Resource r) {
+  static const PaperCell kTotals[kResources] = {
+      {0.86, 0.35, 1.47, 1.31, 1.64},  // CPU
+      {0.21, 0.33, 0.58, 0.46, 0.71},  // Memory
+      {0.33, 1.11, 2.97, 2.54, 3.41},  // Disk
+  };
+  return kTotals[resource_index(r)];
+}
+
+char paper_sensitivity(Task t, uucs::Resource r) {
+  // Fig 13 (per-cell judgements; the totals row/column is separate).
+  static constexpr char kGrades[kTasks][kResources] = {
+      {'L', 'L', 'L'},  // Word
+      {'M', 'L', 'L'},  // Powerpoint
+      {'M', 'M', 'H'},  // IE
+      {'H', 'M', 'M'},  // Quake
+  };
+  return kGrades[static_cast<std::size_t>(t)][resource_index(r)];
+}
+
+const std::vector<PaperSkillRow>& paper_skill_rows() {
+  using uucs::sim::SkillCategory;
+  using uucs::sim::SkillRating;
+  static const std::vector<PaperSkillRow> kRows = {
+      {Task::kQuake, uucs::Resource::kCpu, SkillCategory::kPc,
+       SkillRating::kPower, SkillRating::kTypical, 0.006, 0.176},
+      {Task::kQuake, uucs::Resource::kCpu, SkillCategory::kWindows,
+       SkillRating::kPower, SkillRating::kTypical, 0.031, 0.137},
+      {Task::kQuake, uucs::Resource::kCpu, SkillCategory::kQuake,
+       SkillRating::kPower, SkillRating::kTypical, 0.001, 0.224},
+      {Task::kQuake, uucs::Resource::kCpu, SkillCategory::kQuake,
+       SkillRating::kTypical, SkillRating::kBeginner, 0.031, 0.139},
+      {Task::kIe, uucs::Resource::kDisk, SkillCategory::kWindows,
+       SkillRating::kPower, SkillRating::kTypical, 0.004, 1.114},
+      {Task::kIe, uucs::Resource::kMemory, SkillCategory::kWindows,
+       SkillRating::kPower, SkillRating::kTypical, 0.011, 0.354},
+  };
+  return kRows;
+}
+
+double noise_rate_per_s(Task t) {
+  const double p = paper_breakdown(t).blank_prob;
+  if (p <= 0) return 0.0;
+  return -std::log1p(-p) / kRunDuration;
+}
+
+}  // namespace uucs::study

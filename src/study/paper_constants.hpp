@@ -1,0 +1,85 @@
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/task.hpp"
+#include "sim/user_model.hpp"
+#include "testcase/resource.hpp"
+
+namespace uucs::study {
+
+/// Every number the paper publishes about the controlled study, transcribed
+/// from the HPDC'04 text. These drive (a) the population calibration and
+/// (b) the figure benches' "paper" reference columns.
+
+/// Index helpers: [task][resource] with resource order cpu, memory, disk.
+using Task = uucs::sim::Task;
+inline constexpr std::size_t kTasks = uucs::sim::kTaskCount;
+inline constexpr std::size_t kResources = 3;
+
+std::size_t resource_index(uucs::Resource r);
+uucs::Resource resource_at(std::size_t i);
+
+/// Fig 8: ramp(x, 120) maxima per cell.
+double ramp_max(Task t, uucs::Resource r);
+/// Fig 8: step(x, 120, 40) levels per cell.
+double step_level(Task t, uucs::Resource r);
+/// Every testcase runs for two minutes with the step break at 40 s.
+inline constexpr double kRunDuration = 120.0;
+inline constexpr double kStepBreak = 40.0;
+
+/// §3.1: the study had 33 participants; each task session lasted 16 min.
+inline constexpr std::size_t kParticipants = 33;
+inline constexpr double kSessionSeconds = 16.0 * 60.0;
+
+/// Fig 9: run counts per task.
+struct PaperBreakdown {
+  std::size_t nonblank_df, nonblank_ex, blank_df, blank_ex;
+  double blank_prob;
+};
+const PaperBreakdown& paper_breakdown(Task t);
+const PaperBreakdown& paper_breakdown_total();
+
+/// Figs 14/15/16: per-cell statistics. c05/ca are NaN where the paper
+/// prints '*' (insufficient information).
+struct PaperCell {
+  double fd;
+  double c05;
+  double ca;
+  double ca_lo;
+  double ca_hi;
+  bool has_c05() const { return !std::isnan(c05); }
+  bool has_ca() const { return !std::isnan(ca); }
+};
+const PaperCell& paper_cell(Task t, uucs::Resource r);
+const PaperCell& paper_total(uucs::Resource r);
+
+/// Fig 13: the paper's subjective L/M/H sensitivity grades ('L', 'M', 'H').
+char paper_sensitivity(Task t, uucs::Resource r);
+
+/// Fig 17: the significant skill-group differences the paper reports.
+struct PaperSkillRow {
+  Task task;
+  uucs::Resource resource;
+  uucs::sim::SkillCategory category;
+  uucs::sim::SkillRating group_hi;  ///< higher-rated group (less tolerant)
+  uucs::sim::SkillRating group_lo;
+  double p;
+  double diff;
+};
+const std::vector<PaperSkillRow>& paper_skill_rows();
+
+/// §3.3.5: the Powerpoint/CPU frog-in-the-pot observation.
+inline constexpr double kRampStepFracHigher = 0.96;
+inline constexpr double kRampStepMeanDiff = 0.22;
+inline constexpr double kRampStepPValue = 0.0001;
+
+/// Noise-floor hazard per second for `t`, back-solved from Fig 9's blank
+/// discomfort probability over a 120 s run: lambda = -ln(1-p)/120.
+double noise_rate_per_s(Task t);
+
+}  // namespace uucs::study

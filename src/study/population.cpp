@@ -1,0 +1,82 @@
+#include "study/population.hpp"
+
+#include <cmath>
+
+#include "stats/special.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace uucs::study {
+
+namespace {
+
+/// Tertile boundary of the standard normal: splits ratings ~1/3 each.
+const double kTertile = uucs::stats::normal_quantile(2.0 / 3.0);
+
+uucs::sim::SkillRating discretize_rating(double v) {
+  if (v > kTertile) return uucs::sim::SkillRating::kPower;
+  if (v < -kTertile) return uucs::sim::SkillRating::kBeginner;
+  return uucs::sim::SkillRating::kTypical;
+}
+
+}  // namespace
+
+uucs::sim::UserProfile draw_user(const PopulationParams& params, uucs::Rng& rng,
+                                 const std::string& user_id) {
+  uucs::sim::UserProfile user;
+  user.user_id = user_id;
+  user.surprise_penalty = params.surprise_penalty;
+
+  const double z_user = rng.normal();
+  const double u = rng.normal();  // latent expertise
+  user.latent_skill = u;
+
+  // Per-category aptitudes behind the questionnaire answers: all share the
+  // latent expertise u, plus category-specific variation. The *task's own*
+  // aptitude drives its cells' thresholds, so the strongest group
+  // differences appear under the task-relevant self-rating — the pattern of
+  // Fig 17, where Quake/CPU splits hardest on the Quake rating while the
+  // general PC/Windows ratings still separate groups via their correlation.
+  const double rho = params.rating_fidelity;
+  UUCS_CHECK_MSG(rho >= 0 && rho <= 1, "rating fidelity must be in [0,1]");
+  std::array<double, uucs::sim::kSkillCategoryCount> aptitude{};
+  for (std::size_t k = 0; k < uucs::sim::kSkillCategoryCount; ++k) {
+    aptitude[k] = rho * u + std::sqrt(1.0 - rho * rho) * rng.normal();
+    user.ratings[k] = discretize_rating(aptitude[k]);
+  }
+
+  const double a = params.sensitivity_loading;
+  for (std::size_t ti = 0; ti < kTasks; ++ti) {
+    const auto t = static_cast<Task>(ti);
+    const double task_aptitude =
+        aptitude[static_cast<std::size_t>(uucs::sim::task_skill_category(t))];
+    for (std::size_t ri = 0; ri < kResources; ++ri) {
+      const uucs::Resource r = resource_at(ri);
+      const double b = params.skill_loading(t, r);
+      UUCS_CHECK_MSG(a * a + b * b <= 1.0, "copula loadings exceed unit variance");
+      const double resid = std::sqrt(1.0 - a * a - b * b);
+      const double z = a * z_user - b * task_aptitude + resid * rng.normal();
+      user.set_threshold(t, r, params.cell(t, r).threshold_at(z));
+    }
+  }
+
+  // Personal noise-floor multiplier with mean one, and a reaction delay.
+  constexpr double kNoiseSigma = 0.25;
+  user.noise_multiplier =
+      rng.lognormal(-kNoiseSigma * kNoiseSigma / 2.0, kNoiseSigma);
+  user.reaction_delay_s = rng.lognormal(params.reaction_mu, params.reaction_sigma);
+  return user;
+}
+
+std::vector<uucs::sim::UserProfile> generate_population(const PopulationParams& params,
+                                                        std::size_t n,
+                                                        uucs::Rng& rng) {
+  std::vector<uucs::sim::UserProfile> users;
+  users.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    users.push_back(draw_user(params, rng, uucs::strprintf("user-%03zu", i)));
+  }
+  return users;
+}
+
+}  // namespace uucs::study

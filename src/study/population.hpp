@@ -1,0 +1,29 @@
+#pragma once
+
+#include <vector>
+
+#include "sim/user_model.hpp"
+#include "study/calibration.hpp"
+#include "util/rng.hpp"
+
+namespace uucs::study {
+
+/// Draws one synthetic participant from the calibrated population model.
+///
+/// Structure (a Gaussian copula, so every cell's marginal threshold
+/// distribution is exactly its fitted lognormal):
+///  - z_user ~ N(0,1): general tolerance; loads on every cell with
+///    `sensitivity_loading`, giving the within-user correlation real
+///    populations show.
+///  - u ~ N(0,1): latent expertise; loads negatively with the per-cell
+///    `skill_loadings` (experts expect more from their machines, §3.3.4)
+///    and drives the questionnaire self-ratings through `rating_fidelity`.
+///  - an independent residual per cell fills the remaining variance.
+uucs::sim::UserProfile draw_user(const PopulationParams& params, uucs::Rng& rng,
+                                 const std::string& user_id);
+
+/// Draws `n` users ("user-00" ...), deterministically in `rng`.
+std::vector<uucs::sim::UserProfile> generate_population(const PopulationParams& params,
+                                                        std::size_t n, uucs::Rng& rng);
+
+}  // namespace uucs::study

@@ -1,0 +1,198 @@
+#include "testcase/exercise_function.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace uucs {
+
+ExerciseFunction::ExerciseFunction(double rate_hz, std::vector<double> values)
+    : rate_hz_(rate_hz), values_(std::move(values)) {
+  UUCS_CHECK_MSG(rate_hz_ > 0, "sample rate must be positive");
+  for (double v : values_) {
+    UUCS_CHECK_MSG(v >= 0 && std::isfinite(v), "contention values must be finite and >= 0");
+  }
+}
+
+double ExerciseFunction::duration() const {
+  return static_cast<double>(values_.size()) / rate_hz_;
+}
+
+double ExerciseFunction::level_at(double t) const {
+  if (t < 0 || values_.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(t * rate_hz_);
+  if (idx >= values_.size()) return 0.0;
+  return values_[idx];
+}
+
+double ExerciseFunction::max_level() const {
+  double m = 0.0;
+  for (double v : values_) m = std::max(m, v);
+  return m;
+}
+
+double ExerciseFunction::mean_level() const {
+  if (values_.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : values_) s += v;
+  return s / static_cast<double>(values_.size());
+}
+
+std::vector<double> ExerciseFunction::last_values_before(double t, std::size_t n) const {
+  std::vector<double> out;
+  if (t < 0 || values_.empty() || n == 0) return out;
+  auto idx = static_cast<std::size_t>(t * rate_hz_);
+  idx = std::min(idx, values_.size() - 1);
+  const std::size_t first = idx + 1 >= n ? idx + 1 - n : 0;
+  out.assign(values_.begin() + static_cast<std::ptrdiff_t>(first),
+             values_.begin() + static_cast<std::ptrdiff_t>(idx + 1));
+  return out;
+}
+
+double ExerciseFunction::first_time_at_level(double threshold) const {
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    if (values_[i] >= threshold) return static_cast<double>(i) / rate_hz_;
+  }
+  return -1.0;
+}
+
+namespace {
+
+std::size_t sample_count_for(double duration, double rate_hz) {
+  UUCS_CHECK_MSG(duration > 0 && rate_hz > 0, "duration and rate must be positive");
+  return static_cast<std::size_t>(std::llround(duration * rate_hz));
+}
+
+}  // namespace
+
+ExerciseFunction make_step(double x, double t, double b, double rate_hz) {
+  UUCS_CHECK_MSG(x >= 0, "step level must be >= 0");
+  UUCS_CHECK_MSG(b >= 0 && b <= t, "step requires 0 <= b <= t");
+  const auto n = sample_count_for(t, rate_hz);
+  std::vector<double> v(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double time = static_cast<double>(i) / rate_hz;
+    v[i] = time >= b ? x : 0.0;
+  }
+  return ExerciseFunction(rate_hz, std::move(v));
+}
+
+ExerciseFunction make_ramp(double x, double t, double rate_hz) {
+  UUCS_CHECK_MSG(x >= 0, "ramp level must be >= 0");
+  const auto n = sample_count_for(t, rate_hz);
+  std::vector<double> v(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Sample at the end of each interval so the final sample reaches x.
+    v[i] = x * static_cast<double>(i + 1) / static_cast<double>(n);
+  }
+  return ExerciseFunction(rate_hz, std::move(v));
+}
+
+ExerciseFunction make_sine(double amplitude, double period, double duration,
+                           double rate_hz) {
+  UUCS_CHECK_MSG(amplitude >= 0 && period > 0, "sine parameters");
+  const auto n = sample_count_for(duration, rate_hz);
+  std::vector<double> v(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double time = static_cast<double>(i) / rate_hz;
+    v[i] = amplitude / 2.0 * (1.0 + std::sin(2.0 * M_PI * time / period));
+  }
+  return ExerciseFunction(rate_hz, std::move(v));
+}
+
+ExerciseFunction make_sawtooth(double amplitude, double period, double duration,
+                               double rate_hz) {
+  UUCS_CHECK_MSG(amplitude >= 0 && period > 0, "sawtooth parameters");
+  const auto n = sample_count_for(duration, rate_hz);
+  std::vector<double> v(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double time = static_cast<double>(i) / rate_hz;
+    v[i] = amplitude * std::fmod(time, period) / period;
+  }
+  return ExerciseFunction(rate_hz, std::move(v));
+}
+
+namespace {
+
+/// Shared single-server queue simulation for the M/M/1 and M/G/1 traces.
+/// `service_draw` returns one job's service demand in seconds.
+template <typename ServiceDraw>
+ExerciseFunction make_queue_trace(double mean_interarrival, double duration, Rng& rng,
+                                  double rate_hz, ServiceDraw service_draw) {
+  UUCS_CHECK_MSG(mean_interarrival > 0, "interarrival mean must be positive");
+  const auto n = sample_count_for(duration, rate_hz);
+  // Generate arrivals over the window.
+  std::vector<std::pair<double, double>> jobs;  // (arrival time, service demand)
+  double t = rng.exponential(mean_interarrival);
+  while (t < duration) {
+    jobs.emplace_back(t, service_draw());
+    t += rng.exponential(mean_interarrival);
+  }
+  // FCFS single-server queue: compute each job's departure time.
+  std::vector<double> depart(jobs.size());
+  double server_free = 0.0;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const double start = std::max(server_free, jobs[i].first);
+    depart[i] = start + jobs[i].second;
+    server_free = depart[i];
+  }
+  // Sample "number in system" at each sample instant.
+  std::vector<double> v(n, 0.0);
+  for (std::size_t s = 0; s < n; ++s) {
+    const double at = static_cast<double>(s) / rate_hz;
+    std::size_t in_system = 0;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      if (jobs[i].first <= at && depart[i] > at) ++in_system;
+    }
+    v[s] = static_cast<double>(in_system);
+  }
+  return ExerciseFunction(rate_hz, std::move(v));
+}
+
+}  // namespace
+
+ExerciseFunction make_expexp(double mean_interarrival, double mean_service,
+                             double duration, Rng& rng, double rate_hz) {
+  UUCS_CHECK_MSG(mean_service > 0, "service mean must be positive");
+  return make_queue_trace(mean_interarrival, duration, rng, rate_hz,
+                          [&] { return rng.exponential(mean_service); });
+}
+
+ExerciseFunction make_exppar(double mean_interarrival, double mean_service,
+                             double alpha, double duration, Rng& rng, double rate_hz) {
+  UUCS_CHECK_MSG(mean_service > 0, "service mean must be positive");
+  UUCS_CHECK_MSG(alpha > 1, "pareto alpha must exceed 1 for a finite mean");
+  // Pareto(alpha, xm) has mean alpha*xm/(alpha-1); pick xm for the target mean.
+  const double xm = mean_service * (alpha - 1.0) / alpha;
+  return make_queue_trace(mean_interarrival, duration, rng, rate_hz,
+                          [&] { return rng.pareto(alpha, xm); });
+}
+
+ExerciseFunction make_constant(double level, double duration, double rate_hz) {
+  UUCS_CHECK_MSG(level >= 0, "constant level must be >= 0");
+  const auto n = sample_count_for(duration, rate_hz);
+  return ExerciseFunction(rate_hz, std::vector<double>(n, level));
+}
+
+ExerciseFunction add_functions(const ExerciseFunction& a, const ExerciseFunction& b) {
+  UUCS_CHECK_MSG(a.sample_rate_hz() == b.sample_rate_hz(),
+                 "add_functions requires equal sample rates");
+  std::vector<double> v(std::max(a.sample_count(), b.sample_count()), 0.0);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    const double av = i < a.sample_count() ? a.values()[i] : 0.0;
+    const double bv = i < b.sample_count() ? b.values()[i] : 0.0;
+    v[i] = av + bv;
+  }
+  return ExerciseFunction(a.sample_rate_hz(), std::move(v));
+}
+
+ExerciseFunction clamp_levels(const ExerciseFunction& f, double cap) {
+  UUCS_CHECK_MSG(cap >= 0, "cap must be >= 0");
+  std::vector<double> v = f.values();
+  for (double& x : v) x = std::min(x, cap);
+  return ExerciseFunction(f.sample_rate_hz(), std::move(v));
+}
+
+}  // namespace uucs

@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace uucs {
+
+class Rng;
+
+/// An exercise function (§2.1): a vector of contention values representing a
+/// time series sampled at a fixed rate. Value i applies on the time interval
+/// [i/rate, (i+1)/rate) from the start of the testcase; playback holds each
+/// sample for one sample period.
+class ExerciseFunction {
+ public:
+  ExerciseFunction() = default;
+
+  /// Builds from explicit samples. rate_hz > 0; all values >= 0.
+  ExerciseFunction(double rate_hz, std::vector<double> values);
+
+  double sample_rate_hz() const { return rate_hz_; }
+  const std::vector<double>& values() const { return values_; }
+  std::size_t sample_count() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  /// Total duration in seconds: sample_count / rate.
+  double duration() const;
+
+  /// Contention level in effect at time `t` seconds into the run
+  /// (sample-and-hold). Returns 0 outside [0, duration()).
+  double level_at(double t) const;
+
+  /// Maximum contention value over the whole function (0 if empty).
+  double max_level() const;
+
+  /// Mean contention value (0 if empty).
+  double mean_level() const;
+
+  /// The last `n` samples at or before time `t` — the paper records "the
+  /// last five contention values used in each exercise function at the point
+  /// of user feedback" (§2.3). Shorter if t is early in the run.
+  std::vector<double> last_values_before(double t, std::size_t n = 5) const;
+
+  /// First time at which the level reaches at least `threshold`;
+  /// negative if never reached.
+  double first_time_at_level(double threshold) const;
+
+ private:
+  double rate_hz_ = 1.0;
+  std::vector<double> values_;
+};
+
+/// Generators for the paper's exercise-function catalog (Fig 3). All return
+/// functions sampled at `rate_hz` (default 1 Hz as in the paper's example).
+
+/// step(x, t, b): contention 0 until time b, then x until time t.
+ExerciseFunction make_step(double x, double t, double b, double rate_hz = 1.0);
+
+/// ramp(x, t): linear ramp from 0 at time 0 to x at time t.
+ExerciseFunction make_ramp(double x, double t, double rate_hz = 1.0);
+
+/// Sine wave of the given amplitude and period (seconds), offset so levels
+/// stay non-negative: level = amp/2 * (1 + sin(2*pi*time/period)).
+ExerciseFunction make_sine(double amplitude, double period, double duration,
+                           double rate_hz = 1.0);
+
+/// Sawtooth: repeats a linear 0->amplitude ramp every `period` seconds.
+ExerciseFunction make_sawtooth(double amplitude, double period, double duration,
+                               double rate_hz = 1.0);
+
+/// expexp: contention trace of an M/M/1 queue — Poisson arrivals (mean
+/// interarrival `mean_interarrival` s) of exponential-sized jobs (mean
+/// service `mean_service` s); the level at time t is the number of jobs in
+/// the system, as produced by a single-server queue simulation.
+ExerciseFunction make_expexp(double mean_interarrival, double mean_service,
+                             double duration, Rng& rng, double rate_hz = 1.0);
+
+/// exppar: M/G/1 variant of expexp with Pareto-distributed job sizes
+/// (shape `alpha` > 1, scaled to the requested mean service time).
+ExerciseFunction make_exppar(double mean_interarrival, double mean_service,
+                             double alpha, double duration, Rng& rng,
+                             double rate_hz = 1.0);
+
+/// Constant level for `duration` seconds.
+ExerciseFunction make_constant(double level, double duration, double rate_hz = 1.0);
+
+/// Point-wise sum of two functions (max of the durations; missing samples
+/// are treated as 0). Both inputs must share the sample rate.
+ExerciseFunction add_functions(const ExerciseFunction& a, const ExerciseFunction& b);
+
+/// Clamps every sample to at most `cap` (used by the memory exerciser,
+/// which avoids contention > 1 because it instantly causes thrashing, §2.2).
+ExerciseFunction clamp_levels(const ExerciseFunction& f, double cap);
+
+}  // namespace uucs

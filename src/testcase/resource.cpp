@@ -1,0 +1,38 @@
+#include "testcase/resource.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace uucs {
+
+const std::string& resource_name(Resource r) {
+  static const std::string kNames[kResourceCount] = {"cpu", "memory", "disk", "network"};
+  const auto i = static_cast<std::size_t>(r);
+  UUCS_CHECK_MSG(i < kResourceCount, "bad Resource value");
+  return kNames[i];
+}
+
+Resource parse_resource(const std::string& name) {
+  const std::string n = to_lower(trim(name));
+  if (n == "cpu") return Resource::kCpu;
+  if (n == "memory" || n == "mem") return Resource::kMemory;
+  if (n == "disk") return Resource::kDisk;
+  if (n == "network" || n == "net") return Resource::kNetwork;
+  throw ParseError("unknown resource '" + name + "'");
+}
+
+std::string contention_semantics(Resource r) {
+  switch (r) {
+    case Resource::kCpu:
+      return "equivalent number of competing equal-priority busy threads";
+    case Resource::kMemory:
+      return "fraction of physical memory borrowed into the working set";
+    case Resource::kDisk:
+      return "equivalent number of competing disk-bandwidth-bound tasks";
+    case Resource::kNetwork:
+      return "fraction of link bandwidth consumed";
+  }
+  throw Error("bad Resource value");
+}
+
+}  // namespace uucs

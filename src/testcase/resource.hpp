@@ -1,0 +1,36 @@
+#pragma once
+
+#include <array>
+#include <string>
+
+namespace uucs {
+
+/// A borrowable host resource. The paper's controlled study exercises CPU,
+/// memory and disk; a network exerciser was built but excluded from the
+/// study because its impact extends beyond the client machine (§2.2) — it is
+/// modeled here but likewise excluded from the study drivers.
+enum class Resource { kCpu = 0, kMemory = 1, kDisk = 2, kNetwork = 3 };
+
+/// Number of Resource values.
+inline constexpr std::size_t kResourceCount = 4;
+
+/// The three resources covered by the controlled study, in paper order.
+inline constexpr std::array<Resource, 3> kStudyResources = {
+    Resource::kCpu, Resource::kMemory, Resource::kDisk};
+
+/// Lowercase canonical name ("cpu", "memory", "disk", "network").
+const std::string& resource_name(Resource r);
+
+/// Parses a canonical name (case-insensitive); throws ParseError otherwise.
+Resource parse_resource(const std::string& name);
+
+/// Meaning of a contention value for this resource, per §2.2:
+///  - CPU: number of competing equal-priority busy threads (can be
+///    fractional; a competing busy thread runs at 1/(1+c) of full speed).
+///  - Memory: fraction of physical memory whose working set is borrowed.
+///  - Disk: number of competing I/O-busy tasks (fractional; an I/O-bound
+///    thread gets 1/(1+c) of the disk bandwidth).
+///  - Network: fraction of link bandwidth consumed (model only).
+std::string contention_semantics(Resource r);
+
+}  // namespace uucs

@@ -1,0 +1,109 @@
+#include "testcase/run_record.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace uucs {
+
+std::optional<double> RunRecord::level_at_feedback(Resource r) const {
+  const auto it = last_levels.find(resource_name(r));
+  if (it == last_levels.end() || it->second.empty()) return std::nullopt;
+  return it->second.back();
+}
+
+void RunRecord::set_last_levels(Resource r, std::vector<double> values) {
+  last_levels[resource_name(r)] = std::move(values);
+}
+
+std::string RunRecord::meta(const std::string& key, const std::string& dflt) const {
+  const auto it = metadata.find(key);
+  return it == metadata.end() ? dflt : it->second;
+}
+
+double RunRecord::meta_double(const std::string& key, double dflt) const {
+  const auto it = metadata.find(key);
+  if (it == metadata.end()) return dflt;
+  return parse_double(it->second).value_or(dflt);
+}
+
+KvRecord RunRecord::to_record() const {
+  KvRecord rec("run");
+  rec.set("run_id", run_id);
+  rec.set("client_guid", client_guid);
+  rec.set("user_id", user_id);
+  rec.set("testcase_id", testcase_id);
+  rec.set("task", task);
+  rec.set_bool("discomforted", discomforted);
+  rec.set_double("offset_s", offset_s);
+  for (const auto& [name, values] : last_levels) {
+    rec.set_doubles("last." + name, values);
+  }
+  for (const auto& [key, value] : metadata) {
+    rec.set("meta." + key, value);
+  }
+  return rec;
+}
+
+RunRecord RunRecord::from_record(const KvRecord& rec) {
+  if (rec.type() != "run") {
+    throw ParseError("expected [run] record, got [" + rec.type() + "]");
+  }
+  RunRecord r;
+  r.run_id = rec.get("run_id");
+  r.client_guid = rec.get_or("client_guid", "");
+  r.user_id = rec.get_or("user_id", "");
+  r.testcase_id = rec.get("testcase_id");
+  r.task = rec.get_or("task", "");
+  r.discomforted = rec.get_bool("discomforted");
+  r.offset_s = rec.get_double("offset_s");
+  for (const auto& key : rec.keys()) {
+    if (starts_with(key, "last.")) {
+      r.last_levels[key.substr(5)] = rec.get_doubles(key);
+    } else if (starts_with(key, "meta.")) {
+      r.metadata[key.substr(5)] = rec.get(key);
+    }
+  }
+  return r;
+}
+
+void ResultStore::add(RunRecord r) { records_.push_back(std::move(r)); }
+
+std::vector<const RunRecord*> ResultStore::filter(
+    const std::string& task, const std::string& testcase_prefix) const {
+  std::vector<const RunRecord*> out;
+  for (const auto& r : records_) {
+    if (!task.empty() && r.task != task) continue;
+    if (!testcase_prefix.empty() && !starts_with(r.testcase_id, testcase_prefix)) {
+      continue;
+    }
+    out.push_back(&r);
+  }
+  return out;
+}
+
+std::vector<RunRecord> ResultStore::drain() {
+  std::vector<RunRecord> out = std::move(records_);
+  records_.clear();
+  return out;
+}
+
+void ResultStore::save(const std::string& path) const {
+  std::vector<KvRecord> recs;
+  recs.reserve(records_.size());
+  for (const auto& r : records_) recs.push_back(r.to_record());
+  kv_save_file(path, recs);
+}
+
+ResultStore ResultStore::load(const std::string& path) {
+  ResultStore store;
+  for (const auto& rec : kv_load_file(path)) {
+    store.add(RunRecord::from_record(rec));
+  }
+  return store;
+}
+
+void ResultStore::merge(const ResultStore& other) {
+  records_.insert(records_.end(), other.records_.begin(), other.records_.end());
+}
+
+}  // namespace uucs

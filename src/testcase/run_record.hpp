@@ -1,0 +1,81 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "testcase/resource.hpp"
+#include "util/kvtext.hpp"
+
+namespace uucs {
+
+/// The result of one testcase run (§2.3). A *run* is "the execution of a
+/// testcase during a specific task by a specific user". The paper records:
+///  - whether the run terminated due to user feedback or testcase exhaustion,
+///  - the time offset of the irritation/exhaustion report,
+///  - the last five contention values per exercise function at feedback,
+/// plus contextual information (client, foreground task, load, processes).
+struct RunRecord {
+  std::string run_id;       ///< unique per run
+  std::string client_guid;  ///< the registered client that produced it
+  std::string user_id;      ///< study participant id ("" when anonymous)
+  std::string testcase_id;
+  std::string task;         ///< foreground context, e.g. "word", "quake"
+
+  bool discomforted = false;   ///< true: user feedback; false: exhausted
+  double offset_s = 0.0;       ///< time into the testcase of the report/end
+
+  /// Last <=5 contention values per exercised resource at the feedback
+  /// point (keyed by resource name).
+  std::map<std::string, std::vector<double>> last_levels;
+
+  /// Free-form context: skill self-ratings, host power index, testcase
+  /// shape, etc. Keys use dotted lowercase ("skill.quake", "host.power").
+  std::map<std::string, std::string> metadata;
+
+  /// Contention level in force for `r` at the feedback point (the last of
+  /// last_levels); nullopt if the resource was not exercised.
+  std::optional<double> level_at_feedback(Resource r) const;
+
+  /// Sets last_levels for `r` from an exercise function's recording.
+  void set_last_levels(Resource r, std::vector<double> values);
+
+  /// Metadata accessors ("" / default when absent).
+  std::string meta(const std::string& key, const std::string& dflt = "") const;
+  double meta_double(const std::string& key, double dflt) const;
+
+  KvRecord to_record() const;
+  static RunRecord from_record(const KvRecord& rec);
+};
+
+/// Append-only collection of run records with text-file persistence —
+/// the client's local result store and the server's master result store.
+class ResultStore {
+ public:
+  void add(RunRecord r);
+
+  std::size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+  const std::vector<RunRecord>& records() const { return records_; }
+  const RunRecord& at(std::size_t i) const { return records_.at(i); }
+
+  /// Records matching a predicate-style filter: empty filter matches all.
+  std::vector<const RunRecord*> filter(const std::string& task,
+                                       const std::string& testcase_prefix = "") const;
+
+  /// Removes and returns all records (the client's upload-and-clear during
+  /// a hot sync).
+  std::vector<RunRecord> drain();
+
+  void save(const std::string& path) const;
+  static ResultStore load(const std::string& path);
+
+  /// Appends all of `other`'s records.
+  void merge(const ResultStore& other);
+
+ private:
+  std::vector<RunRecord> records_;
+};
+
+}  // namespace uucs

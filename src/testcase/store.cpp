@@ -1,0 +1,69 @@
+#include "testcase/store.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace uucs {
+
+void TestcaseStore::add(Testcase tc) {
+  const std::string id = tc.id();
+  cases_.insert_or_assign(id, std::move(tc));
+}
+
+bool TestcaseStore::contains(const std::string& id) const { return cases_.count(id) != 0; }
+
+const Testcase& TestcaseStore::get(const std::string& id) const {
+  const auto it = cases_.find(id);
+  if (it == cases_.end()) throw Error("no testcase with id '" + id + "'");
+  return it->second;
+}
+
+std::vector<std::string> TestcaseStore::ids() const {
+  std::vector<std::string> out;
+  out.reserve(cases_.size());
+  for (const auto& [id, tc] : cases_) out.push_back(id);
+  return out;  // map iteration is already sorted
+}
+
+std::vector<std::string> TestcaseStore::ids_not_in(
+    const std::vector<std::string>& known) const {
+  const std::set<std::string> known_set(known.begin(), known.end());
+  std::vector<std::string> out;
+  for (const auto& [id, tc] : cases_) {
+    if (!known_set.count(id)) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<std::string> TestcaseStore::random_sample(
+    std::size_t n, Rng& rng, const std::vector<std::string>& exclude) const {
+  std::vector<std::string> pool = ids_not_in(exclude);
+  rng.shuffle(pool);
+  if (pool.size() > n) pool.resize(n);
+  std::sort(pool.begin(), pool.end());
+  return pool;
+}
+
+void TestcaseStore::save(const std::string& path) const {
+  std::vector<KvRecord> records;
+  records.reserve(cases_.size());
+  for (const auto& [id, tc] : cases_) records.push_back(tc.to_record());
+  kv_save_file(path, records);
+}
+
+TestcaseStore TestcaseStore::load(const std::string& path) {
+  TestcaseStore store;
+  for (const auto& rec : kv_load_file(path)) {
+    store.add(Testcase::from_record(rec));
+  }
+  return store;
+}
+
+void TestcaseStore::merge(const TestcaseStore& other) {
+  for (const auto& [id, tc] : other.cases_) cases_.insert_or_assign(id, tc);
+}
+
+}  // namespace uucs

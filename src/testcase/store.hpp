@@ -1,0 +1,59 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "testcase/testcase.hpp"
+
+namespace uucs {
+
+class Rng;
+
+/// A collection of testcases keyed by id, with optional text-file
+/// persistence — the paper's client and server both "store testcases ... on
+/// permanent storage in text files" (§2). New testcases can be added at any
+/// time; the server hands out growing random samples of them (§2).
+class TestcaseStore {
+ public:
+  TestcaseStore() = default;
+
+  /// Adds (or replaces) a testcase.
+  void add(Testcase tc);
+
+  /// Number of testcases.
+  std::size_t size() const { return cases_.size(); }
+  bool empty() const { return cases_.empty(); }
+
+  /// True if `id` is present.
+  bool contains(const std::string& id) const;
+
+  /// Fetches by id; throws Error if absent.
+  const Testcase& get(const std::string& id) const;
+
+  /// All ids, sorted.
+  std::vector<std::string> ids() const;
+
+  /// Ids present here but not in `known` — what a hot sync would transfer.
+  std::vector<std::string> ids_not_in(const std::vector<std::string>& known) const;
+
+  /// Uniform random sample (without replacement) of up to `n` ids not in
+  /// `exclude`. This implements the server's growing-random-sample handout.
+  std::vector<std::string> random_sample(std::size_t n, Rng& rng,
+                                         const std::vector<std::string>& exclude = {}) const;
+
+  /// Writes every testcase to `path` as a multi-record text file.
+  void save(const std::string& path) const;
+
+  /// Loads a multi-record text file, replacing the current contents.
+  static TestcaseStore load(const std::string& path);
+
+  /// Merges all testcases from `other` into this store.
+  void merge(const TestcaseStore& other);
+
+ private:
+  std::map<std::string, Testcase> cases_;
+};
+
+}  // namespace uucs

@@ -1,0 +1,139 @@
+#include "testcase/suite.hpp"
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace uucs {
+
+Testcase make_ramp_testcase(Resource r, double x, double t, double rate_hz) {
+  Testcase tc(strprintf("%s-ramp-x%s-t%s", resource_name(r).c_str(),
+                        format_compact(x).c_str(), format_compact(t).c_str()));
+  tc.set_description(strprintf("ramp(%s,%s) %s", format_compact(x).c_str(),
+                               format_compact(t).c_str(), resource_name(r).c_str()));
+  tc.set_function(r, make_ramp(x, t, rate_hz));
+  return tc;
+}
+
+Testcase make_step_testcase(Resource r, double x, double t, double b, double rate_hz) {
+  Testcase tc(strprintf("%s-step-x%s-t%s-b%s", resource_name(r).c_str(),
+                        format_compact(x).c_str(), format_compact(t).c_str(),
+                        format_compact(b).c_str()));
+  tc.set_description(strprintf("step(%s,%s,%s) %s", format_compact(x).c_str(),
+                               format_compact(t).c_str(), format_compact(b).c_str(),
+                               resource_name(r).c_str()));
+  tc.set_function(r, make_step(x, t, b, rate_hz));
+  return tc;
+}
+
+Testcase make_blank_testcase(double duration, const std::string& suffix) {
+  std::string id = strprintf("blank-t%s", format_compact(duration).c_str());
+  if (!suffix.empty()) id += "-" + suffix;
+  Testcase tc(id, duration);
+  tc.set_description(strprintf("blank(%s)", format_compact(duration).c_str()));
+  return tc;
+}
+
+namespace {
+
+double resource_max(const SuiteSpec& spec, Resource r) {
+  switch (r) {
+    case Resource::kCpu:
+      return spec.cpu_max;
+    case Resource::kMemory:
+      return spec.memory_max;
+    case Resource::kDisk:
+      return spec.disk_max;
+    case Resource::kNetwork:
+      return 1.0;
+  }
+  throw Error("bad resource");
+}
+
+}  // namespace
+
+TestcaseStore generate_internet_suite(const SuiteSpec& spec, Rng& rng) {
+  TestcaseStore store;
+  std::size_t serial = 0;
+  auto next_id = [&](const char* kind, Resource r) {
+    return strprintf("inet-%s-%s-%04zu", resource_name(r).c_str(), kind, serial++);
+  };
+
+  for (Resource r : kStudyResources) {
+    const double cap = resource_max(spec, r);
+
+    for (std::size_t i = 0; i < spec.ramps_per_resource; ++i) {
+      const double x = rng.uniform(0.1 * cap, cap);
+      Testcase tc(next_id("ramp", r));
+      tc.set_description(strprintf("ramp(%.2f,%.0f) %s", x, spec.duration,
+                                   resource_name(r).c_str()));
+      tc.set_function(r, make_ramp(x, spec.duration, spec.rate_hz));
+      store.add(std::move(tc));
+    }
+
+    for (std::size_t i = 0; i < spec.steps_per_resource; ++i) {
+      const double x = rng.uniform(0.1 * cap, cap);
+      const double b = rng.uniform(0.0, spec.duration / 2.0);
+      Testcase tc(next_id("step", r));
+      tc.set_description(strprintf("step(%.2f,%.0f,%.0f) %s", x, spec.duration, b,
+                                   resource_name(r).c_str()));
+      tc.set_function(r, make_step(x, spec.duration, b, spec.rate_hz));
+      store.add(std::move(tc));
+    }
+
+    for (std::size_t i = 0; i < spec.sines_per_resource; ++i) {
+      const double amp = rng.uniform(0.1 * cap, cap);
+      const double period = rng.uniform(10.0, spec.duration);
+      Testcase tc(next_id("sin", r));
+      tc.set_description(strprintf("sin(amp=%.2f,per=%.0f) %s", amp, period,
+                                   resource_name(r).c_str()));
+      tc.set_function(r, make_sine(amp, period, spec.duration, spec.rate_hz));
+      store.add(std::move(tc));
+    }
+
+    for (std::size_t i = 0; i < spec.saws_per_resource; ++i) {
+      const double amp = rng.uniform(0.1 * cap, cap);
+      const double period = rng.uniform(10.0, spec.duration);
+      Testcase tc(next_id("saw", r));
+      tc.set_description(strprintf("saw(amp=%.2f,per=%.0f) %s", amp, period,
+                                   resource_name(r).c_str()));
+      tc.set_function(r, make_sawtooth(amp, period, spec.duration, spec.rate_hz));
+      store.add(std::move(tc));
+    }
+
+    for (std::size_t i = 0; i < spec.expexp_per_resource; ++i) {
+      // Utilization rho in (0.2, 0.95): mean number in system rho/(1-rho).
+      const double rho = rng.uniform(0.2, 0.95);
+      const double service = rng.uniform(1.0, 10.0);
+      const double interarrival = service / rho;
+      Testcase tc(next_id("expexp", r));
+      tc.set_description(strprintf("expexp(ia=%.1f,svc=%.1f) %s", interarrival,
+                                   service, resource_name(r).c_str()));
+      auto f = make_expexp(interarrival, service, spec.duration, rng, spec.rate_hz);
+      if (r == Resource::kMemory) f = clamp_levels(f, cap);
+      tc.set_function(r, std::move(f));
+      store.add(std::move(tc));
+    }
+
+    for (std::size_t i = 0; i < spec.exppar_per_resource; ++i) {
+      const double rho = rng.uniform(0.2, 0.9);
+      const double service = rng.uniform(1.0, 10.0);
+      const double interarrival = service / rho;
+      const double alpha = rng.uniform(1.2, 2.5);
+      Testcase tc(next_id("exppar", r));
+      tc.set_description(strprintf("exppar(ia=%.1f,svc=%.1f,a=%.2f) %s", interarrival,
+                                   service, alpha, resource_name(r).c_str()));
+      auto f = make_exppar(interarrival, service, alpha, spec.duration, rng, spec.rate_hz);
+      if (r == Resource::kMemory) f = clamp_levels(f, cap);
+      tc.set_function(r, std::move(f));
+      store.add(std::move(tc));
+    }
+  }
+
+  for (std::size_t i = 0; i < spec.blanks; ++i) {
+    store.add(make_blank_testcase(spec.duration, strprintf("inet-%04zu", i)));
+  }
+  return store;
+}
+
+}  // namespace uucs

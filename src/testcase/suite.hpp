@@ -1,0 +1,51 @@
+#pragma once
+
+#include <string>
+
+#include "testcase/store.hpp"
+
+namespace uucs {
+
+class Rng;
+
+/// Builders for common single-resource testcases, named so ids are
+/// self-describing (e.g. "cpu-ramp-x2.0-t120").
+
+/// ramp(x, t) on resource `r`.
+Testcase make_ramp_testcase(Resource r, double x, double t, double rate_hz = 1.0);
+
+/// step(x, t, b) on resource `r`.
+Testcase make_step_testcase(Resource r, double x, double t, double b,
+                            double rate_hz = 1.0);
+
+/// Blank testcase of the given duration.
+Testcase make_blank_testcase(double duration, const std::string& suffix = "");
+
+/// Parameters controlling the Internet-study suite generator.
+struct SuiteSpec {
+  /// Duration of every generated testcase in seconds.
+  double duration = 120.0;
+  double rate_hz = 1.0;
+  /// Per-exercise-function-type counts. The paper's Internet suite holds
+  /// over 2000 testcases, "predominantly from the M/M/1 and M/G/1 models"
+  /// (§2.1); the defaults below total 2080 with that skew.
+  std::size_t steps_per_resource = 60;
+  std::size_t ramps_per_resource = 60;
+  std::size_t sines_per_resource = 30;
+  std::size_t saws_per_resource = 30;
+  std::size_t expexp_per_resource = 280;
+  std::size_t exppar_per_resource = 240;
+  std::size_t blanks = 40;
+  /// Contention-level upper bounds per resource (memory capped at 1.0:
+  /// higher causes immediate thrashing, §2.2).
+  double cpu_max = 10.0;
+  double memory_max = 1.0;
+  double disk_max = 7.0;
+};
+
+/// Generates the Internet-wide study suite: a large randomized catalog of
+/// single-resource testcases across all six exercise-function types.
+/// Deterministic in `rng`.
+TestcaseStore generate_internet_suite(const SuiteSpec& spec, Rng& rng);
+
+}  // namespace uucs

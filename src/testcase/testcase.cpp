@@ -1,0 +1,79 @@
+#include "testcase/testcase.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace uucs {
+
+Testcase::Testcase(std::string id, double blank_duration)
+    : id_(std::move(id)), blank_duration_(blank_duration) {
+  UUCS_CHECK_MSG(!id_.empty(), "testcase id must be non-empty");
+  UUCS_CHECK_MSG(blank_duration_ >= 0, "blank duration must be >= 0");
+}
+
+void Testcase::set_function(Resource r, ExerciseFunction f) {
+  UUCS_CHECK_MSG(!f.empty(), "cannot attach an empty exercise function");
+  functions_[r] = std::move(f);
+}
+
+const ExerciseFunction* Testcase::function(Resource r) const {
+  const auto it = functions_.find(r);
+  return it == functions_.end() ? nullptr : &it->second;
+}
+
+std::vector<Resource> Testcase::resources() const {
+  std::vector<Resource> out;
+  out.reserve(functions_.size());
+  for (const auto& [r, f] : functions_) out.push_back(r);
+  return out;
+}
+
+double Testcase::duration() const {
+  double d = blank_duration_;
+  for (const auto& [r, f] : functions_) d = std::max(d, f.duration());
+  return d;
+}
+
+double Testcase::max_level(Resource r) const {
+  const auto* f = function(r);
+  return f ? f->max_level() : 0.0;
+}
+
+KvRecord Testcase::to_record() const {
+  KvRecord rec("testcase");
+  rec.set("id", id_);
+  if (!description_.empty()) rec.set("description", description_);
+  rec.set_double("blank_duration", blank_duration_);
+  for (const auto& [r, f] : functions_) {
+    const std::string& name = resource_name(r);
+    rec.set_double(name + ".rate", f.sample_rate_hz());
+    rec.set_doubles(name + ".values", f.values());
+  }
+  return rec;
+}
+
+Testcase Testcase::from_record(const KvRecord& rec) {
+  if (rec.type() != "testcase") {
+    throw ParseError("expected [testcase] record, got [" + rec.type() + "]");
+  }
+  Testcase tc(rec.get("id"), rec.get_double_or("blank_duration", 0.0));
+  tc.set_description(rec.get_or("description", ""));
+  for (std::size_t i = 0; i < kResourceCount; ++i) {
+    const auto r = static_cast<Resource>(i);
+    const std::string& name = resource_name(r);
+    if (!rec.has(name + ".values")) continue;
+    const double rate = rec.get_double(name + ".rate");
+    if (rate <= 0) throw ParseError("testcase " + tc.id() + ": bad sample rate");
+    auto values = rec.get_doubles(name + ".values");
+    if (values.empty()) throw ParseError("testcase " + tc.id() + ": empty function");
+    for (double v : values) {
+      if (v < 0) throw ParseError("testcase " + tc.id() + ": negative contention");
+    }
+    tc.set_function(r, ExerciseFunction(rate, std::move(values)));
+  }
+  return tc;
+}
+
+}  // namespace uucs

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "testcase/exercise_function.hpp"
+#include "testcase/resource.hpp"
+#include "util/kvtext.hpp"
+
+namespace uucs {
+
+/// A testcase (§2.1): a unique identifier, a sample rate, and one exercise
+/// function per resource that will be borrowed during the run. A testcase
+/// with no exercise functions is *blank* — the paper uses blanks to measure
+/// the background (noise-floor) level of discomfort.
+class Testcase {
+ public:
+  Testcase() = default;
+
+  /// Creates a testcase. `id` must be non-empty. For a blank testcase, pass
+  /// a positive `blank_duration` so the run still has a length.
+  explicit Testcase(std::string id, double blank_duration = 0.0);
+
+  const std::string& id() const { return id_; }
+
+  /// Free-form description, e.g. "ramp(2.0,120) cpu".
+  const std::string& description() const { return description_; }
+  void set_description(std::string d) { description_ = std::move(d); }
+
+  /// Attaches the exercise function for `r`, replacing any existing one.
+  void set_function(Resource r, ExerciseFunction f);
+
+  /// The function for `r`, or nullptr if the testcase does not exercise it.
+  const ExerciseFunction* function(Resource r) const;
+
+  /// Resources this testcase exercises, in enum order.
+  std::vector<Resource> resources() const;
+
+  /// True when no resource is exercised.
+  bool is_blank() const { return functions_.empty(); }
+
+  /// Run length: the longest function's duration, or the blank duration.
+  double duration() const;
+
+  /// Maximum contention over all functions for `r` (0 when absent).
+  double max_level(Resource r) const;
+
+  /// Serializes to one [testcase] record: id, description, duration, and
+  /// per-resource "<name>.rate" / "<name>.values" keys.
+  KvRecord to_record() const;
+
+  /// Parses a [testcase] record; throws ParseError on malformed input.
+  static Testcase from_record(const KvRecord& rec);
+
+ private:
+  std::string id_;
+  std::string description_;
+  double blank_duration_ = 0.0;
+  std::map<Resource, ExerciseFunction> functions_;
+};
+
+}  // namespace uucs

@@ -1,0 +1,31 @@
+#include "util/clock.hpp"
+
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace uucs {
+
+RealClock::RealClock() : epoch_(std::chrono::steady_clock::now()) {}
+
+double RealClock::now() const {
+  const auto d = std::chrono::steady_clock::now() - epoch_;
+  return std::chrono::duration<double>(d).count();
+}
+
+void RealClock::sleep(double seconds) {
+  if (seconds <= 0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+void VirtualClock::advance(double seconds) {
+  UUCS_CHECK_MSG(seconds >= 0, "cannot move a clock backwards");
+  now_ += seconds;
+}
+
+void VirtualClock::advance_to(double t) {
+  UUCS_CHECK_MSG(t >= now_, "cannot move a clock backwards");
+  now_ = t;
+}
+
+}  // namespace uucs

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+namespace uucs {
+
+/// Abstract monotonic clock used by the client, the exercisers and the
+/// simulation. Time is expressed in seconds since an arbitrary epoch.
+///
+/// Two implementations exist: RealClock (wraps std::chrono::steady_clock,
+/// used when exercising a live machine) and VirtualClock (manually advanced,
+/// used by the discrete-event simulator so multi-hour studies run in
+/// milliseconds).
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Current time in seconds.
+  virtual double now() const = 0;
+
+  /// Blocks (or, for a virtual clock, advances time) for `seconds`.
+  virtual void sleep(double seconds) = 0;
+};
+
+/// Wall-clock implementation backed by std::chrono::steady_clock.
+class RealClock final : public Clock {
+ public:
+  RealClock();
+  double now() const override;
+  void sleep(double seconds) override;
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// Manually advanced clock for simulation and deterministic tests.
+/// sleep() advances time instantly; advance() moves time forward directly.
+class VirtualClock final : public Clock {
+ public:
+  explicit VirtualClock(double start = 0.0) : now_(start) {}
+
+  double now() const override { return now_; }
+  void sleep(double seconds) override { advance(seconds); }
+
+  /// Moves the clock forward by `seconds` (must be >= 0).
+  void advance(double seconds);
+
+  /// Jumps the clock to the absolute time `t` (must be >= now()).
+  void advance_to(double t);
+
+ private:
+  double now_;
+};
+
+}  // namespace uucs

@@ -1,0 +1,122 @@
+#include "util/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace uucs {
+
+namespace {
+
+bool needs_quoting(const std::string& s) {
+  return s.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string escape(const std::string& s) {
+  if (!needs_quoting(s)) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void Csv::add_row(std::vector<std::string> fields) { rows_.push_back(std::move(fields)); }
+
+void Csv::add_row_doubles(const std::vector<double>& values) {
+  std::vector<std::string> fields;
+  fields.reserve(values.size());
+  for (double v : values) fields.push_back(strprintf("%.10g", v));
+  add_row(std::move(fields));
+}
+
+std::string Csv::serialize() const {
+  std::ostringstream os;
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) os << ',';
+      os << escape(row[i]);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+Csv Csv::parse(const std::string& text) {
+  Csv out;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool row_has_data = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        row_has_data = true;
+        break;
+      case ',':
+        row.push_back(std::move(field));
+        field.clear();
+        row_has_data = true;
+        break;
+      case '\r':
+        break;
+      case '\n':
+        if (row_has_data || !field.empty()) {
+          row.push_back(std::move(field));
+          field.clear();
+          out.rows_.push_back(std::move(row));
+          row.clear();
+          row_has_data = false;
+        }
+        break;
+      default:
+        field += c;
+        row_has_data = true;
+        break;
+    }
+  }
+  if (in_quotes) throw ParseError("csv: unterminated quoted field");
+  if (row_has_data || !field.empty()) {
+    row.push_back(std::move(field));
+    out.rows_.push_back(std::move(row));
+  }
+  return out;
+}
+
+void Csv::save(const std::string& path) const {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) throw SystemError("cannot write " + path);
+  f << serialize();
+  if (!f) throw SystemError("write failed for " + path);
+}
+
+Csv Csv::load(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw SystemError("cannot open " + path);
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  return parse(buf.str());
+}
+
+}  // namespace uucs

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace uucs {
+
+/// RFC-4180-style CSV writer/reader used by the analysis tools to export
+/// CDFs and metric tables for external plotting.
+///
+/// Fields containing commas, quotes or newlines are quoted; embedded quotes
+/// are doubled. Rows may have differing widths.
+class Csv {
+ public:
+  /// Appends a row of raw (unescaped) fields.
+  void add_row(std::vector<std::string> fields);
+
+  /// Convenience: appends a row of doubles formatted with %.10g.
+  void add_row_doubles(const std::vector<double>& values);
+
+  std::size_t row_count() const { return rows_.size(); }
+  const std::vector<std::string>& row(std::size_t i) const { return rows_.at(i); }
+
+  /// Serializes all rows.
+  std::string serialize() const;
+
+  /// Parses CSV text; throws ParseError on unbalanced quotes.
+  static Csv parse(const std::string& text);
+
+  /// Writes serialize() to `path`.
+  void save(const std::string& path) const;
+
+  /// Loads and parses `path`.
+  static Csv load(const std::string& path);
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace uucs

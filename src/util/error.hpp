@@ -1,0 +1,59 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace uucs {
+
+/// Base class for all errors thrown by the UUCS library.
+///
+/// Every throwing site goes through Error (or a subclass) so callers can
+/// catch one type at API boundaries. The message always carries enough
+/// context to identify the failing subsystem.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Error parsing a testcase, result, or config text file.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error("parse error: " + what) {}
+};
+
+/// Error from the OS (file I/O, sockets, ...). Carries errno text.
+class SystemError : public Error {
+ public:
+  explicit SystemError(const std::string& what) : Error("system error: " + what) {}
+};
+
+/// Error in the wire protocol between client and server.
+class ProtocolError : public Error {
+ public:
+  explicit ProtocolError(const std::string& what) : Error("protocol error: " + what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_check_failure(const char* expr, const char* file, int line,
+                                      const std::string& msg);
+}  // namespace detail
+
+/// Internal invariant check: throws uucs::Error with location info when
+/// `expr` is false. Used for conditions that indicate a library bug or a
+/// violated precondition, not for routine error handling.
+#define UUCS_CHECK(expr)                                                     \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      ::uucs::detail::throw_check_failure(#expr, __FILE__, __LINE__, "");    \
+    }                                                                        \
+  } while (0)
+
+/// Like UUCS_CHECK but with an extra message (any string expression).
+#define UUCS_CHECK_MSG(expr, msg)                                            \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      ::uucs::detail::throw_check_failure(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                                        \
+  } while (0)
+
+}  // namespace uucs

@@ -1,0 +1,77 @@
+#include "util/fs.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace fs = std::filesystem;
+
+namespace uucs {
+
+std::string read_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw SystemError("cannot open " + path);
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  return buf.str();
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    if (!f) throw SystemError("cannot write " + tmp);
+    f << content;
+    if (!f) throw SystemError("write failed for " + tmp);
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) throw SystemError("rename " + tmp + " -> " + path + ": " + ec.message());
+}
+
+bool path_exists(const std::string& path) {
+  std::error_code ec;
+  return fs::exists(path, ec);
+}
+
+void make_dirs(const std::string& path) {
+  std::error_code ec;
+  fs::create_directories(path, ec);
+  if (ec) throw SystemError("mkdir " + path + ": " + ec.message());
+}
+
+std::vector<std::string> list_files(const std::string& dir) {
+  std::vector<std::string> out;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file()) out.push_back(entry.path().filename().string());
+  }
+  if (ec) throw SystemError("list " + dir + ": " + ec.message());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TempDir::TempDir(const std::string& prefix) {
+  const char* base = std::getenv("TMPDIR");
+  std::string templ = std::string(base && *base ? base : "/tmp") + "/" + prefix + ".XXXXXX";
+  std::vector<char> buf(templ.begin(), templ.end());
+  buf.push_back('\0');
+  if (!mkdtemp(buf.data())) {
+    throw SystemError("mkdtemp " + templ + ": " + std::strerror(errno));
+  }
+  path_ = buf.data();
+}
+
+TempDir::~TempDir() {
+  std::error_code ec;
+  fs::remove_all(path_, ec);  // best-effort; never throw from a destructor
+}
+
+}  // namespace uucs

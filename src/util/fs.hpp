@@ -1,0 +1,43 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace uucs {
+
+/// Reads the whole file into a string; throws SystemError if unreadable.
+std::string read_file(const std::string& path);
+
+/// Writes `content` atomically-ish (write + rename) to `path`.
+void write_file(const std::string& path, const std::string& content);
+
+/// True if `path` exists (any file type).
+bool path_exists(const std::string& path);
+
+/// Creates `path` and missing parents; no-op if it already exists.
+void make_dirs(const std::string& path);
+
+/// Names of regular files directly inside `dir` (no recursion), sorted.
+std::vector<std::string> list_files(const std::string& dir);
+
+/// RAII temporary directory under $TMPDIR (or /tmp), removed recursively on
+/// destruction. Used heavily by the tests and the on-disk store tests.
+class TempDir {
+ public:
+  /// Creates a unique directory with the given name prefix.
+  explicit TempDir(const std::string& prefix = "uucs");
+  ~TempDir();
+
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  const std::string& path() const { return path_; }
+
+  /// Joins a relative name onto the temp dir path.
+  std::string file(const std::string& name) const { return path_ + "/" + name; }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace uucs

@@ -1,0 +1,48 @@
+#include "util/guid.hpp"
+
+#include <cctype>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace uucs {
+
+Guid Guid::generate(Rng& rng) {
+  Guid g;
+  g.hi = rng();
+  g.lo = rng();
+  if (g.is_nil()) g.lo = 1;  // nil is reserved for "unregistered"
+  return g;
+}
+
+Guid Guid::parse(const std::string& text) {
+  std::string hex;
+  hex.reserve(32);
+  for (char c : text) {
+    if (c == '-') continue;
+    if (!std::isxdigit(static_cast<unsigned char>(c))) {
+      throw ParseError("bad guid: " + text);
+    }
+    hex += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (hex.size() != 32) throw ParseError("bad guid length: " + text);
+  auto nibble = [](char c) -> std::uint64_t {
+    return static_cast<std::uint64_t>(c <= '9' ? c - '0' : c - 'a' + 10);
+  };
+  Guid g;
+  for (int i = 0; i < 16; ++i) g.hi = (g.hi << 4) | nibble(hex[static_cast<std::size_t>(i)]);
+  for (int i = 16; i < 32; ++i) g.lo = (g.lo << 4) | nibble(hex[static_cast<std::size_t>(i)]);
+  return g;
+}
+
+std::string Guid::to_string() const {
+  return strprintf("%08llx-%04llx-%04llx-%04llx-%012llx",
+                   static_cast<unsigned long long>(hi >> 32),
+                   static_cast<unsigned long long>((hi >> 16) & 0xffff),
+                   static_cast<unsigned long long>(hi & 0xffff),
+                   static_cast<unsigned long long>(lo >> 48),
+                   static_cast<unsigned long long>(lo & 0xffffffffffffULL));
+}
+
+}  // namespace uucs

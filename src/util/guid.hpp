@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace uucs {
+
+class Rng;
+
+/// Globally unique identifier the server assigns to each registered client
+/// (§2 of the paper). 128 bits, printed as 32 lowercase hex digits grouped
+/// UUID-style (8-4-4-4-12) for readability.
+struct Guid {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  /// Draws a fresh identifier from `rng`.
+  static Guid generate(Rng& rng);
+
+  /// Parses the canonical textual form; throws ParseError on bad input.
+  static Guid parse(const std::string& text);
+
+  /// Canonical textual form, e.g. "0011aabb-ccdd-eeff-0123-456789abcdef".
+  std::string to_string() const;
+
+  bool is_nil() const { return hi == 0 && lo == 0; }
+
+  friend bool operator==(const Guid&, const Guid&) = default;
+  friend auto operator<=>(const Guid&, const Guid&) = default;
+};
+
+}  // namespace uucs

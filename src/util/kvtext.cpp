@@ -1,0 +1,167 @@
+#include "util/kvtext.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace uucs {
+
+bool KvRecord::has(const std::string& key) const { return kv_.count(key) != 0; }
+
+void KvRecord::set(const std::string& key, std::string value) {
+  UUCS_CHECK_MSG(key.find('=') == std::string::npos &&
+                     key.find('\n') == std::string::npos && !trim(key).empty(),
+                 "invalid kv key");
+  UUCS_CHECK_MSG(value.find('\n') == std::string::npos, "kv values are single-line");
+  if (!kv_.count(key)) order_.push_back(key);
+  kv_[key] = std::move(value);
+}
+
+void KvRecord::set_double(const std::string& key, double value) {
+  set(key, strprintf("%.17g", value));
+}
+
+void KvRecord::set_int(const std::string& key, std::int64_t value) {
+  set(key, std::to_string(value));
+}
+
+void KvRecord::set_bool(const std::string& key, bool value) {
+  set(key, value ? "true" : "false");
+}
+
+void KvRecord::set_doubles(const std::string& key, const std::vector<double>& values) {
+  std::string s;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) s += ',';
+    s += strprintf("%.17g", values[i]);
+  }
+  set(key, std::move(s));
+}
+
+const std::string& KvRecord::get(const std::string& key) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) throw ParseError("missing key '" + key + "' in [" + type_ + "]");
+  return it->second;
+}
+
+double KvRecord::get_double(const std::string& key) const {
+  const auto v = parse_double(get(key));
+  if (!v) throw ParseError("key '" + key + "' is not a number: " + get(key));
+  return *v;
+}
+
+std::int64_t KvRecord::get_int(const std::string& key) const {
+  const auto v = parse_int(get(key));
+  if (!v) throw ParseError("key '" + key + "' is not an integer: " + get(key));
+  return *v;
+}
+
+bool KvRecord::get_bool(const std::string& key) const {
+  const auto v = parse_bool(get(key));
+  if (!v) throw ParseError("key '" + key + "' is not a boolean: " + get(key));
+  return *v;
+}
+
+std::vector<double> KvRecord::get_doubles(const std::string& key) const {
+  const std::string& raw = get(key);
+  std::vector<double> out;
+  if (trim(raw).empty()) return out;
+  for (const auto& tok : split(raw, ',')) {
+    const auto v = parse_double(tok);
+    if (!v) throw ParseError("bad number '" + tok + "' in list key '" + key + "'");
+    out.push_back(*v);
+  }
+  return out;
+}
+
+std::optional<std::string> KvRecord::find(const std::string& key) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return std::nullopt;
+  return it->second;
+}
+
+double KvRecord::get_double_or(const std::string& key, double dflt) const {
+  return has(key) ? get_double(key) : dflt;
+}
+
+std::int64_t KvRecord::get_int_or(const std::string& key, std::int64_t dflt) const {
+  return has(key) ? get_int(key) : dflt;
+}
+
+std::string KvRecord::get_or(const std::string& key, const std::string& dflt) const {
+  return has(key) ? get(key) : dflt;
+}
+
+std::string kv_serialize(const std::vector<KvRecord>& records) {
+  std::ostringstream os;
+  for (const auto& rec : records) {
+    os << '[' << rec.type() << "]\n";
+    for (const auto& key : rec.keys()) {
+      os << key << " = " << rec.get(key) << '\n';
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::vector<KvRecord> kv_parse(const std::string& text) {
+  std::vector<KvRecord> records;
+  KvRecord* current = nullptr;
+  std::size_t lineno = 0;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const std::string_view t = trim(line);
+    if (t.empty() || t.front() == '#') continue;
+    if (t.front() == '[') {
+      if (t.back() != ']') {
+        throw ParseError(strprintf("line %zu: unterminated record header", lineno));
+      }
+      const std::string_view name = trim(t.substr(1, t.size() - 2));
+      if (name.empty()) {
+        throw ParseError(strprintf("line %zu: empty record type", lineno));
+      }
+      records.emplace_back(std::string(name));
+      current = &records.back();
+      continue;
+    }
+    const auto eq = t.find('=');
+    if (eq == std::string_view::npos) {
+      throw ParseError(strprintf("line %zu: expected 'key = value'", lineno));
+    }
+    if (!current) {
+      throw ParseError(strprintf("line %zu: key/value before any [record]", lineno));
+    }
+    const std::string key{trim(t.substr(0, eq))};
+    if (key.empty()) throw ParseError(strprintf("line %zu: empty key", lineno));
+    if (current->has(key)) {
+      throw ParseError(strprintf("line %zu: duplicate key '%s'", lineno, key.c_str()));
+    }
+    current->set(key, std::string(trim(t.substr(eq + 1))));
+  }
+  return records;
+}
+
+std::vector<KvRecord> kv_load_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw SystemError("cannot open " + path);
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  try {
+    return kv_parse(buf.str());
+  } catch (const ParseError& e) {
+    throw ParseError(path + ": " + e.what());
+  }
+}
+
+void kv_save_file(const std::string& path, const std::vector<KvRecord>& records) {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) throw SystemError("cannot write " + path);
+  f << kv_serialize(records);
+  if (!f) throw SystemError("write failed for " + path);
+}
+
+}  // namespace uucs

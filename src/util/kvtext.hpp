@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace uucs {
+
+/// One record of the line-oriented text format UUCS uses for testcase and
+/// result files (the paper stores both "on permanent storage in text files").
+///
+/// Format:
+///
+///   [record-type]
+///   key = value
+///   other.key = value with spaces
+///
+///   [next-record]
+///   ...
+///
+/// Keys are unique within a record; values are arbitrary single-line text.
+/// `#` at the start of a (trimmed) line begins a comment.
+class KvRecord {
+ public:
+  KvRecord() = default;
+  explicit KvRecord(std::string type) : type_(std::move(type)) {}
+
+  const std::string& type() const { return type_; }
+  void set_type(std::string t) { type_ = std::move(t); }
+
+  bool has(const std::string& key) const;
+
+  /// Sets key to a string / formatted scalar value.
+  void set(const std::string& key, std::string value);
+  void set_double(const std::string& key, double value);
+  void set_int(const std::string& key, std::int64_t value);
+  void set_bool(const std::string& key, bool value);
+  /// Stores a vector of doubles as a comma-separated list.
+  void set_doubles(const std::string& key, const std::vector<double>& values);
+
+  /// Typed getters: throw ParseError if the key is missing or malformed.
+  const std::string& get(const std::string& key) const;
+  double get_double(const std::string& key) const;
+  std::int64_t get_int(const std::string& key) const;
+  bool get_bool(const std::string& key) const;
+  std::vector<double> get_doubles(const std::string& key) const;
+
+  /// Lenient getters: nullopt / default when missing.
+  std::optional<std::string> find(const std::string& key) const;
+  double get_double_or(const std::string& key, double dflt) const;
+  std::int64_t get_int_or(const std::string& key, std::int64_t dflt) const;
+  std::string get_or(const std::string& key, const std::string& dflt) const;
+
+  /// All keys in insertion order.
+  const std::vector<std::string>& keys() const { return order_; }
+
+ private:
+  std::string type_;
+  std::map<std::string, std::string> kv_;
+  std::vector<std::string> order_;
+};
+
+/// Serializes records to the text format above.
+std::string kv_serialize(const std::vector<KvRecord>& records);
+
+/// Parses the text format; throws ParseError on malformed input.
+std::vector<KvRecord> kv_parse(const std::string& text);
+
+/// Convenience: read/write a whole record file on disk.
+std::vector<KvRecord> kv_load_file(const std::string& path);
+void kv_save_file(const std::string& path, const std::vector<KvRecord>& records);
+
+}  // namespace uucs

@@ -1,0 +1,44 @@
+#include "util/logging.hpp"
+
+#include <cstdio>
+
+namespace uucs {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_level(LogLevel level) {
+  std::lock_guard<std::mutex> lock(mu_);
+  level_ = level;
+}
+
+LogLevel Logger::level() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return level_;
+}
+
+void Logger::log(LogLevel level, const std::string& component,
+                 const std::string& message) {
+  static const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+  std::lock_guard<std::mutex> lock(mu_);
+  if (level < level_ || level >= LogLevel::kOff) return;
+  std::fprintf(stderr, "[%s] %s: %s\n", kNames[static_cast<int>(level)],
+               component.c_str(), message.c_str());
+}
+
+void log_debug(const std::string& c, const std::string& m) {
+  Logger::instance().log(LogLevel::kDebug, c, m);
+}
+void log_info(const std::string& c, const std::string& m) {
+  Logger::instance().log(LogLevel::kInfo, c, m);
+}
+void log_warn(const std::string& c, const std::string& m) {
+  Logger::instance().log(LogLevel::kWarn, c, m);
+}
+void log_error(const std::string& c, const std::string& m) {
+  Logger::instance().log(LogLevel::kError, c, m);
+}
+
+}  // namespace uucs

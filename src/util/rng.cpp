@@ -1,0 +1,156 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace uucs {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+  // xoshiro must not start from the all-zero state.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+Rng::result_type Rng::operator()() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+Rng Rng::fork(std::uint64_t stream) {
+  // Mix the parent's own output with the stream id so distinct streams from
+  // the same parent, and the same stream from distinct parents, differ.
+  const std::uint64_t a = (*this)();
+  const std::uint64_t b = (*this)();
+  std::uint64_t mix = a ^ (stream * 0x9e3779b97f4a7c15ULL) ^ rotl(b, 31);
+  return Rng(splitmix64(mix));
+}
+
+double Rng::uniform() {
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  UUCS_CHECK_MSG(lo <= hi, "uniform bounds");
+  return lo + (hi - lo) * uniform();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  UUCS_CHECK_MSG(lo <= hi, "uniform_int bounds");
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>((*this)());  // full range
+  // Lemire-style rejection-free-ish bounded draw with rejection of the
+  // biased tail.
+  const std::uint64_t threshold = (0 - span) % span;
+  for (;;) {
+    const std::uint64_t r = (*this)();
+    const __uint128_t m = static_cast<__uint128_t>(r) * span;
+    if (static_cast<std::uint64_t>(m) >= threshold) {
+      return lo + static_cast<std::int64_t>(m >> 64);
+    }
+  }
+}
+
+double Rng::exponential(double mean) {
+  UUCS_CHECK_MSG(mean > 0, "exponential mean must be positive");
+  double u;
+  do {
+    u = uniform();
+  } while (u == 0.0);
+  return -mean * std::log(u);
+}
+
+double Rng::pareto(double alpha, double xm) {
+  UUCS_CHECK_MSG(alpha > 0 && xm > 0, "pareto parameters must be positive");
+  double u;
+  do {
+    u = uniform();
+  } while (u == 0.0);
+  return xm / std::pow(u, 1.0 / alpha);
+}
+
+double Rng::normal() {
+  if (have_cached_normal_) {
+    have_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1, u2;
+  do {
+    u1 = uniform();
+  } while (u1 == 0.0);
+  u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  have_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+double Rng::lognormal(double mu, double sigma) { return std::exp(normal(mu, sigma)); }
+
+std::uint64_t Rng::poisson(double mean) {
+  UUCS_CHECK_MSG(mean >= 0, "poisson mean must be non-negative");
+  if (mean == 0) return 0;
+  if (mean < 30.0) {
+    // Inversion by sequential search.
+    const double l = std::exp(-mean);
+    double p = 1.0;
+    std::uint64_t k = 0;
+    do {
+      ++k;
+      p *= uniform();
+    } while (p > l);
+    return k - 1;
+  }
+  // Normal approximation with continuity correction is adequate for the
+  // large-mean arrivals the workload generators use.
+  const double x = normal(mean, std::sqrt(mean));
+  return x <= 0 ? 0 : static_cast<std::uint64_t>(x + 0.5);
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0) return false;
+  if (p >= 1) return true;
+  return uniform() < p;
+}
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) {
+  double total = 0;
+  for (double w : weights) {
+    UUCS_CHECK_MSG(w >= 0, "weights must be non-negative");
+    total += w;
+  }
+  UUCS_CHECK_MSG(total > 0, "weighted_index needs positive total weight");
+  double target = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace uucs

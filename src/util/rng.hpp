@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace uucs {
+
+/// Deterministic pseudo-random number generator (xoshiro256**) with the
+/// distribution set the UUCS workload generators and the synthetic user
+/// population need: uniform, exponential, Pareto, normal, lognormal and
+/// Poisson variates.
+///
+/// Every stochastic component in the library takes an Rng (or a seed) so
+/// whole studies are reproducible bit-for-bit from a single root seed.
+/// Satisfies UniformRandomBitGenerator, so it also works with <random>.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the generator via SplitMix64 expansion of `seed`.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  /// Next raw 64-bit value.
+  result_type operator()();
+
+  /// Derives an independent child generator; children with different
+  /// `stream` ids are statistically independent of each other and of the
+  /// parent's future output.
+  Rng fork(std::uint64_t stream);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Exponential variate with the given mean (mean > 0).
+  double exponential(double mean);
+
+  /// Pareto variate with shape alpha > 0 and scale xm > 0 (support [xm, inf)).
+  double pareto(double alpha, double xm);
+
+  /// Standard normal variate (Box–Muller with caching).
+  double normal();
+
+  /// Normal variate with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Lognormal variate: exp(normal(mu, sigma)).
+  double lognormal(double mu, double sigma);
+
+  /// Poisson variate with the given mean (mean >= 0). Uses inversion for
+  /// small means and PTRS rejection for large ones.
+  std::uint64_t poisson(double mean);
+
+  /// True with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Fisher–Yates shuffle of `v`.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Samples an index in [0, weights.size()) with probability proportional
+  /// to weights[i]. Requires a positive total weight.
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+ private:
+  std::uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool have_cached_normal_ = false;
+};
+
+}  // namespace uucs

@@ -1,0 +1,76 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace uucs {
+
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  return parse_double(s).has_value();
+}
+
+}  // namespace
+
+void TextTable::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  rows_.push_back({std::move(row), pending_rule_});
+  pending_rule_ = false;
+}
+
+void TextTable::add_rule() { pending_rule_ = true; }
+
+std::string TextTable::render() const {
+  std::size_t ncols = header_.size();
+  for (const auto& r : rows_) ncols = std::max(ncols, r.cells.size());
+  std::vector<std::size_t> width(ncols, 0);
+  auto widen = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      width[i] = std::max(width[i], cells[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r.cells);
+
+  std::ostringstream os;
+  auto emit_rule = [&] {
+    for (std::size_t i = 0; i < ncols; ++i) {
+      os << std::string(width[i] + 2, '-');
+      if (i + 1 < ncols) os << '+';
+    }
+    os << '\n';
+  };
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < ncols; ++i) {
+      const std::string cell = i < cells.size() ? cells[i] : "";
+      const std::size_t pad = width[i] - cell.size();
+      os << ' ';
+      if (looks_numeric(cell)) {
+        os << std::string(pad, ' ') << cell;
+      } else {
+        os << cell << std::string(pad, ' ');
+      }
+      os << ' ';
+      if (i + 1 < ncols) os << '|';
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    emit_rule();
+  }
+  for (const auto& r : rows_) {
+    if (r.rule_before) emit_rule();
+    emit(r.cells);
+  }
+  return os.str();
+}
+
+}  // namespace uucs

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace uucs {
+
+/// Fixed-width console table used by the figure/table benches to print the
+/// paper's tables (Figs 8, 9, 13-17) next to our reproduced values.
+class TextTable {
+ public:
+  /// Sets the header row (optional).
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a body row. Rows may be ragged; short rows get empty cells.
+  void add_row(std::vector<std::string> row);
+
+  /// Inserts a horizontal rule before the next added row.
+  void add_rule();
+
+  /// Renders with column alignment; numeric-looking cells right-align.
+  std::string render() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule_before = false;
+  };
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+  bool pending_rule_ = false;
+};
+
+}  // namespace uucs

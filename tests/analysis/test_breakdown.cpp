@@ -1,0 +1,84 @@
+#include "analysis/breakdown.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/strings.hpp"
+
+namespace uucs::analysis {
+namespace {
+
+uucs::RunRecord run(const std::string& task, const std::string& testcase_id,
+                    bool discomfort, uucs::Resource r = uucs::Resource::kCpu) {
+  uucs::RunRecord rec;
+  rec.testcase_id = testcase_id;
+  rec.task = task;
+  rec.discomforted = discomfort;
+  if (!uucs::starts_with(testcase_id, "blank")) {
+    rec.set_last_levels(r, {1.0});
+  }
+  return rec;
+}
+
+TEST(Breakdown, CountsByBlankAndOutcome) {
+  uucs::ResultStore store;
+  store.add(run("word", "cpu-ramp-x7-t120", true));
+  store.add(run("word", "cpu-step-x5.5-t120-b40", false));
+  store.add(run("word", "blank-t120-a", true));
+  store.add(run("word", "blank-t120-b", false));
+  store.add(run("word", "blank-t120-a", false));
+  const RunBreakdown b = compute_breakdown(store, "word");
+  EXPECT_EQ(b.nonblank_discomforted, 1u);
+  EXPECT_EQ(b.nonblank_exhausted, 1u);
+  EXPECT_EQ(b.blank_discomforted, 1u);
+  EXPECT_EQ(b.blank_exhausted, 2u);
+  EXPECT_EQ(b.total(), 5u);
+  EXPECT_NEAR(b.blank_discomfort_probability(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Breakdown, CpuAndBlankScopeExcludesOtherResources) {
+  uucs::ResultStore store;
+  store.add(run("ie", "cpu-ramp-x2-t120", true));
+  store.add(run("ie", "disk-ramp-x5-t120", true, uucs::Resource::kDisk));
+  store.add(run("ie", "memory-ramp-x1-t120", false, uucs::Resource::kMemory));
+  const RunBreakdown cpu_only = compute_breakdown(store, "ie");
+  EXPECT_EQ(cpu_only.nonblank_discomforted, 1u);
+  const RunBreakdown all =
+      compute_breakdown(store, "ie", BreakdownScope::kAllRuns);
+  EXPECT_EQ(all.nonblank_discomforted, 2u);
+  EXPECT_EQ(all.nonblank_exhausted, 1u);
+}
+
+TEST(Breakdown, NoBlanksMeansZeroProbability) {
+  uucs::ResultStore store;
+  store.add(run("quake", "cpu-ramp-x1.3-t120", true));
+  EXPECT_DOUBLE_EQ(compute_breakdown(store, "quake").blank_discomfort_probability(),
+                   0.0);
+}
+
+TEST(Breakdown, TableTotalsAddUp) {
+  uucs::ResultStore store;
+  store.add(run("word", "cpu-ramp-x7-t120", true));
+  store.add(run("quake", "cpu-ramp-x1.3-t120", true));
+  store.add(run("quake", "blank-t120-a", true));
+  const BreakdownTable table = compute_breakdown_table(store);
+  EXPECT_EQ(table.per_task[0].nonblank_discomforted, 1u);
+  EXPECT_EQ(table.per_task[3].nonblank_discomforted, 1u);
+  EXPECT_EQ(table.total.nonblank_discomforted, 2u);
+  EXPECT_EQ(table.total.blank_discomforted, 1u);
+}
+
+TEST(Breakdown, AddMerges) {
+  RunBreakdown a;
+  a.nonblank_discomforted = 2;
+  a.blank_exhausted = 1;
+  RunBreakdown b;
+  b.nonblank_discomforted = 3;
+  b.blank_discomforted = 4;
+  a.add(b);
+  EXPECT_EQ(a.nonblank_discomforted, 5u);
+  EXPECT_EQ(a.blank_discomforted, 4u);
+  EXPECT_EQ(a.blank_exhausted, 1u);
+}
+
+}  // namespace
+}  // namespace uucs::analysis

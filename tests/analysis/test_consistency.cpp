@@ -1,0 +1,73 @@
+#include "analysis/consistency.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace uucs::analysis {
+namespace {
+
+uucs::RunRecord ramp_run(const std::string& user, const std::string& task,
+                         uucs::Resource r, double level) {
+  uucs::RunRecord rec;
+  rec.user_id = user;
+  rec.task = task;
+  rec.testcase_id = uucs::resource_name(r) + "-ramp-x8-t120";
+  rec.discomforted = true;
+  rec.set_last_levels(r, {level});
+  return rec;
+}
+
+TEST(Consistency, CorrelatedUsersScoreHigh) {
+  // Each user has a personal tolerance factor applied to BOTH resources.
+  uucs::Rng rng(1);
+  uucs::ResultStore store;
+  for (int u = 0; u < 30; ++u) {
+    const std::string id = uucs::strprintf("u%02d", u);
+    const double factor = rng.lognormal(0.0, 0.5);
+    store.add(ramp_run(id, "ie", uucs::Resource::kCpu, factor * 1.0));
+    store.add(ramp_run(id, "ie", uucs::Resource::kDisk, factor * 3.0));
+  }
+  const auto report = user_consistency(store);
+  ASSERT_TRUE(report.valid);
+  EXPECT_EQ(report.users, 30u);
+  EXPECT_GT(report.spearman, 0.95);
+}
+
+TEST(Consistency, IndependentUsersScoreNearZero) {
+  uucs::Rng rng(2);
+  uucs::ResultStore store;
+  for (int u = 0; u < 60; ++u) {
+    const std::string id = uucs::strprintf("u%02d", u);
+    store.add(ramp_run(id, "ie", uucs::Resource::kCpu,
+                       rng.lognormal(0.0, 0.5)));
+    store.add(ramp_run(id, "ie", uucs::Resource::kDisk,
+                       3.0 * rng.lognormal(0.0, 0.5)));
+  }
+  const auto report = user_consistency(store);
+  ASSERT_TRUE(report.valid);
+  EXPECT_LT(std::abs(report.spearman), 0.35);
+}
+
+TEST(Consistency, TooFewUsersInvalid) {
+  uucs::ResultStore store;
+  for (int u = 0; u < 4; ++u) {
+    const std::string id = uucs::strprintf("u%d", u);
+    store.add(ramp_run(id, "ie", uucs::Resource::kCpu, 1.0));
+    store.add(ramp_run(id, "ie", uucs::Resource::kDisk, 2.0));
+  }
+  EXPECT_FALSE(user_consistency(store).valid);
+}
+
+TEST(Consistency, UsersWithOneResourceExcluded) {
+  uucs::ResultStore store;
+  for (int u = 0; u < 20; ++u) {
+    // CPU-only users contribute nothing.
+    store.add(ramp_run(uucs::strprintf("u%02d", u), "ie", uucs::Resource::kCpu, 1.0));
+  }
+  EXPECT_FALSE(user_consistency(store).valid);
+}
+
+}  // namespace
+}  // namespace uucs::analysis

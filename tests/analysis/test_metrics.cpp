@@ -1,0 +1,160 @@
+#include "analysis/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace uucs::analysis {
+namespace {
+
+uucs::RunRecord ramp_run(const std::string& task, uucs::Resource r, bool discomfort,
+                         double level, const std::string& user = "u1") {
+  uucs::RunRecord rec;
+  rec.run_id = "r";
+  rec.user_id = user;
+  rec.testcase_id = uucs::resource_name(r) + "-ramp-x5-t120";
+  rec.task = task;
+  rec.discomforted = discomfort;
+  rec.offset_s = discomfort ? level / 5.0 * 120.0 : 120.0;
+  rec.set_last_levels(r, {level - 0.1, level});
+  return rec;
+}
+
+TEST(RunResource, SingleResourceRun) {
+  const auto rec = ramp_run("word", uucs::Resource::kCpu, true, 2.0);
+  EXPECT_EQ(run_resource(rec), uucs::Resource::kCpu);
+}
+
+TEST(RunResource, BlankHasNone) {
+  uucs::RunRecord rec;
+  rec.testcase_id = "blank-t120-a";
+  EXPECT_FALSE(run_resource(rec).has_value());
+  EXPECT_TRUE(is_blank_run(rec));
+}
+
+TEST(RunClassifiers, RampAndStepPrefixes) {
+  uucs::RunRecord rec;
+  rec.testcase_id = "disk-ramp-x5-t120";
+  EXPECT_TRUE(is_ramp_run(rec, uucs::Resource::kDisk));
+  EXPECT_FALSE(is_ramp_run(rec, uucs::Resource::kCpu));
+  EXPECT_FALSE(is_step_run(rec, uucs::Resource::kDisk));
+  rec.testcase_id = "disk-step-x5-t120-b40";
+  EXPECT_TRUE(is_step_run(rec, uucs::Resource::kDisk));
+}
+
+TEST(BuildCdf, CountsDiscomfortAndCensored) {
+  uucs::ResultStore store;
+  store.add(ramp_run("word", uucs::Resource::kCpu, true, 1.0));
+  store.add(ramp_run("word", uucs::Resource::kCpu, true, 3.0));
+  store.add(ramp_run("word", uucs::Resource::kCpu, false, 5.0));
+  const auto runs = select_ramp_runs(store, "word", uucs::Resource::kCpu);
+  ASSERT_EQ(runs.size(), 3u);
+  const auto cdf = build_discomfort_cdf(runs, uucs::Resource::kCpu);
+  EXPECT_EQ(cdf.discomfort_count(), 2u);
+  EXPECT_EQ(cdf.exhausted_count(), 1u);
+}
+
+TEST(ComputeCell, MetricsMatchHandValues) {
+  uucs::ResultStore store;
+  // 20 runs: discomfort at levels 1..10, 10 exhausted.
+  for (int i = 1; i <= 10; ++i) {
+    store.add(ramp_run("ie", uucs::Resource::kDisk, true, static_cast<double>(i)));
+  }
+  for (int i = 0; i < 10; ++i) {
+    store.add(ramp_run("ie", uucs::Resource::kDisk, false, 10.0));
+  }
+  const CellMetrics m = compute_cell(store, "ie", uucs::Resource::kDisk);
+  EXPECT_EQ(m.df_count, 10u);
+  EXPECT_EQ(m.ex_count, 10u);
+  EXPECT_DOUBLE_EQ(m.fd, 0.5);
+  ASSERT_TRUE(m.c05.has_value());
+  EXPECT_DOUBLE_EQ(*m.c05, 1.0);
+  ASSERT_TRUE(m.ca.has_value());
+  EXPECT_DOUBLE_EQ(m.ca->mean, 5.5);
+}
+
+TEST(ComputeCell, StarCellWhenNoDiscomfort) {
+  uucs::ResultStore store;
+  store.add(ramp_run("word", uucs::Resource::kMemory, false, 1.0));
+  const CellMetrics m = compute_cell(store, "word", uucs::Resource::kMemory);
+  EXPECT_DOUBLE_EQ(m.fd, 0.0);
+  EXPECT_FALSE(m.c05.has_value());
+  EXPECT_FALSE(m.ca.has_value());
+}
+
+TEST(ComputeCell, IgnoresOtherTasksAndShapes) {
+  uucs::ResultStore store;
+  store.add(ramp_run("word", uucs::Resource::kCpu, true, 1.0));
+  store.add(ramp_run("quake", uucs::Resource::kCpu, true, 2.0));
+  uucs::RunRecord step;
+  step.testcase_id = "cpu-step-x5-t120-b40";
+  step.task = "word";
+  step.discomforted = true;
+  step.set_last_levels(uucs::Resource::kCpu, {5.0});
+  store.add(step);
+  const CellMetrics m = compute_cell(store, "word", uucs::Resource::kCpu);
+  EXPECT_EQ(m.df_count, 1u);
+}
+
+TEST(Classifiers, InternetSuiteIdsRecognized) {
+  uucs::RunRecord rec;
+  rec.testcase_id = "inet-cpu-ramp-0042";
+  EXPECT_TRUE(is_ramp_run(rec, uucs::Resource::kCpu));
+  rec.testcase_id = "inet-disk-step-0007";
+  EXPECT_TRUE(is_step_run(rec, uucs::Resource::kDisk));
+  rec.testcase_id = "inet-cpu-expexp-0011";
+  EXPECT_FALSE(is_ramp_run(rec, uucs::Resource::kCpu));
+}
+
+TEST(BootstrapLevelCi, CoversPointEstimate) {
+  uucs::Rng rng(3);
+  uucs::stats::DiscomfortCdf cdf;
+  for (int i = 0; i < 300; ++i) cdf.add_discomfort(rng.lognormal(0.0, 0.4));
+  for (int i = 0; i < 100; ++i) cdf.add_exhausted();
+  const auto ci = bootstrap_level_ci(cdf, 0.05, 0.95, 400, 7);
+  ASSERT_TRUE(ci.valid);
+  EXPECT_LE(ci.lo, ci.estimate);
+  EXPECT_GE(ci.hi, ci.estimate);
+  EXPECT_GT(ci.coverage, 0.99);
+  // 5th percentile of lognormal(0, 0.4) ~ exp(-1.645*0.4) ~ 0.52.
+  EXPECT_NEAR(ci.estimate, 0.52, 0.12);
+}
+
+TEST(BootstrapLevelCi, NarrowsWithSampleSize) {
+  uucs::Rng rng(4);
+  uucs::stats::DiscomfortCdf small, large;
+  for (int i = 0; i < 60; ++i) small.add_discomfort(rng.lognormal(0.0, 0.4));
+  for (int i = 0; i < 2000; ++i) large.add_discomfort(rng.lognormal(0.0, 0.4));
+  const auto s = bootstrap_level_ci(small, 0.05, 0.95, 300, 9);
+  const auto l = bootstrap_level_ci(large, 0.05, 0.95, 300, 9);
+  ASSERT_TRUE(s.valid && l.valid);
+  EXPECT_LT(l.hi - l.lo, s.hi - s.lo);
+}
+
+TEST(BootstrapLevelCi, InvalidWhenBudgetBeyondFd) {
+  uucs::stats::DiscomfortCdf cdf;
+  cdf.add_discomfort(1.0);
+  for (int i = 0; i < 99; ++i) cdf.add_exhausted();  // fd = 0.01 < q = 0.05
+  const auto ci = bootstrap_level_ci(cdf, 0.05, 0.95, 200, 11);
+  EXPECT_FALSE(ci.valid);
+  EXPECT_LT(ci.coverage, 0.9);
+}
+
+TEST(BootstrapLevelCi, EmptyCdf) {
+  uucs::stats::DiscomfortCdf cdf;
+  EXPECT_FALSE(bootstrap_level_ci(cdf).valid);
+}
+
+TEST(AggregateCdf, MergesAcrossTasks) {
+  uucs::ResultStore store;
+  store.add(ramp_run("word", uucs::Resource::kCpu, true, 1.0));
+  store.add(ramp_run("quake", uucs::Resource::kCpu, true, 2.0));
+  store.add(ramp_run("ie", uucs::Resource::kCpu, false, 5.0));
+  const auto cdf = aggregate_cdf(store, uucs::Resource::kCpu);
+  EXPECT_EQ(cdf.run_count(), 3u);
+  EXPECT_EQ(cdf.discomfort_count(), 2u);
+}
+
+}  // namespace
+}  // namespace uucs::analysis

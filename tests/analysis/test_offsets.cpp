@@ -1,0 +1,58 @@
+#include "analysis/offsets.hpp"
+
+#include <gtest/gtest.h>
+
+namespace uucs::analysis {
+namespace {
+
+uucs::RunRecord run(const std::string& task, bool discomfort, double offset,
+                    const std::string& testcase_id = "cpu-ramp-x2-t120") {
+  uucs::RunRecord rec;
+  rec.task = task;
+  rec.testcase_id = testcase_id;
+  rec.discomforted = discomfort;
+  rec.offset_s = offset;
+  rec.set_last_levels(uucs::Resource::kCpu, {1.0});
+  return rec;
+}
+
+TEST(Offsets, CollectsOnlyDiscomfortedRuns) {
+  uucs::ResultStore store;
+  store.add(run("quake", true, 30.0));
+  store.add(run("quake", false, 120.0));
+  store.add(run("word", true, 90.0));
+  const auto quake = discomfort_offsets(store, "quake");
+  ASSERT_EQ(quake.size(), 1u);
+  EXPECT_DOUBLE_EQ(quake[0], 30.0);
+  EXPECT_EQ(discomfort_offsets(store, "").size(), 2u);
+}
+
+TEST(Offsets, PrefixFilter) {
+  uucs::ResultStore store;
+  store.add(run("quake", true, 10.0, "cpu-ramp-x2-t120"));
+  store.add(run("quake", true, 50.0, "cpu-step-x1-t120-b40"));
+  EXPECT_EQ(discomfort_offsets(store, "quake", "cpu-ramp").size(), 1u);
+  EXPECT_EQ(discomfort_offsets(store, "quake", "cpu-").size(), 2u);
+}
+
+TEST(Offsets, SummaryQuartiles) {
+  uucs::ResultStore store;
+  for (double o : {10.0, 20.0, 30.0, 40.0, 50.0}) store.add(run("ie", true, o));
+  const auto s = summarize_offsets(store, "ie");
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->n, 5u);
+  EXPECT_DOUBLE_EQ(s->mean_ci.mean, 30.0);
+  EXPECT_DOUBLE_EQ(s->median, 30.0);
+  EXPECT_DOUBLE_EQ(s->q25, 20.0);
+  EXPECT_DOUBLE_EQ(s->q75, 40.0);
+}
+
+TEST(Offsets, EmptyGivesNullopt) {
+  uucs::ResultStore store;
+  store.add(run("ie", false, 120.0));
+  EXPECT_FALSE(summarize_offsets(store, "ie").has_value());
+  EXPECT_FALSE(summarize_offsets(store, "word").has_value());
+}
+
+}  // namespace
+}  // namespace uucs::analysis

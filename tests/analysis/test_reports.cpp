@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "analysis/dynamics.hpp"
+#include "analysis/export.hpp"
+#include "analysis/sensitivity.hpp"
+#include "analysis/skill_report.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace uucs::analysis {
+namespace {
+
+using uucs::sim::SkillCategory;
+using uucs::sim::SkillRating;
+using uucs::sim::Task;
+
+uucs::RunRecord ramp_run(const std::string& user, const std::string& task,
+                         uucs::Resource r, bool discomfort, double level) {
+  uucs::RunRecord rec;
+  rec.user_id = user;
+  rec.testcase_id = uucs::resource_name(r) + "-ramp-x5-t120";
+  rec.task = task;
+  rec.discomforted = discomfort;
+  rec.set_last_levels(r, {level});
+  return rec;
+}
+
+uucs::RunRecord step_run(const std::string& user, const std::string& task,
+                         uucs::Resource r, bool discomfort, double level) {
+  uucs::RunRecord rec = ramp_run(user, task, r, discomfort, level);
+  rec.testcase_id = uucs::resource_name(r) + "-step-x5-t120-b40";
+  return rec;
+}
+
+TEST(Sensitivity, GradesFromPaperValuesMatchMostCells) {
+  // Reference check of the documented heuristic against the paper's own
+  // numbers: fd/ca grades 10 of 12 cells like Fig 13 (the two disk cells
+  // the paper itself calls surprising are the known exceptions).
+  CellMetrics word_cpu;
+  word_cpu.fd = 0.71;
+  word_cpu.ca = uucs::stats::MeanCi{4.35, 0, 0, 10};
+  EXPECT_EQ(sensitivity_grade(word_cpu), Sensitivity::kLow);
+
+  CellMetrics quake_cpu;
+  quake_cpu.fd = 0.95;
+  quake_cpu.ca = uucs::stats::MeanCi{0.64, 0, 0, 10};
+  EXPECT_EQ(sensitivity_grade(quake_cpu), Sensitivity::kHigh);
+
+  CellMetrics ppt_cpu;
+  ppt_cpu.fd = 0.95;
+  ppt_cpu.ca = uucs::stats::MeanCi{1.17, 0, 0, 10};
+  EXPECT_EQ(sensitivity_grade(ppt_cpu), Sensitivity::kMedium);
+
+  CellMetrics no_discomfort;
+  no_discomfort.fd = 0.0;
+  EXPECT_EQ(sensitivity_grade(no_discomfort), Sensitivity::kLow);
+  EXPECT_DOUBLE_EQ(sensitivity_pressure(no_discomfort), 0.0);
+}
+
+TEST(Sensitivity, Names) {
+  EXPECT_EQ(sensitivity_name(Sensitivity::kLow), "L");
+  EXPECT_EQ(sensitivity_name(Sensitivity::kMedium), "M");
+  EXPECT_EQ(sensitivity_name(Sensitivity::kHigh), "H");
+}
+
+TEST(SkillReport, DetectsPlantedGroupDifference) {
+  uucs::ResultStore store;
+  uucs::Rng rng(1);
+  // 30 power users discomfort around 0.5; 30 typical around 0.9.
+  for (int i = 0; i < 30; ++i) {
+    auto rec = ramp_run("p" + std::to_string(i), "quake", uucs::Resource::kCpu,
+                        true, 0.5 + rng.normal(0, 0.05));
+    rec.metadata["skill.quake"] = "power";
+    store.add(rec);
+    auto rec2 = ramp_run("t" + std::to_string(i), "quake", uucs::Resource::kCpu,
+                         true, 0.9 + rng.normal(0, 0.05));
+    rec2.metadata["skill.quake"] = "typical";
+    store.add(rec2);
+  }
+  const auto rows = significant_skill_differences(store, 0.05, 5);
+  ASSERT_FALSE(rows.empty());
+  const auto& top = rows.front();
+  EXPECT_EQ(top.task, Task::kQuake);
+  EXPECT_EQ(top.resource, uucs::Resource::kCpu);
+  EXPECT_EQ(top.category, SkillCategory::kQuake);
+  EXPECT_EQ(top.group_a, SkillRating::kPower);
+  EXPECT_NEAR(top.diff, 0.4, 0.1);  // typical tolerates ~0.4 more
+  EXPECT_LT(top.p, 1e-6);
+}
+
+TEST(SkillReport, SmallGroupsSkipped) {
+  uucs::ResultStore store;
+  for (int i = 0; i < 3; ++i) {
+    auto rec = ramp_run("u", "ie", uucs::Resource::kDisk, true, 1.0 + i);
+    rec.metadata["skill.pc"] = i % 2 ? "power" : "typical";
+    store.add(rec);
+  }
+  EXPECT_TRUE(significant_skill_differences(store, 0.05, 5).empty());
+}
+
+TEST(SkillReport, LevelsByRatingFiltersCorrectly) {
+  uucs::ResultStore store;
+  auto rec = ramp_run("u1", "word", uucs::Resource::kCpu, true, 3.0);
+  rec.metadata["skill.word"] = "beginner";
+  store.add(rec);
+  auto rec2 = ramp_run("u2", "word", uucs::Resource::kCpu, false, 7.0);
+  rec2.metadata["skill.word"] = "beginner";
+  store.add(rec2);  // exhausted: contributes no level
+  const auto levels = discomfort_levels_by_rating(
+      store, Task::kWord, uucs::Resource::kCpu, SkillCategory::kWord,
+      SkillRating::kBeginner);
+  ASSERT_EQ(levels.size(), 1u);
+  EXPECT_DOUBLE_EQ(levels[0], 3.0);
+}
+
+TEST(Dynamics, PairedRampStepComparison) {
+  uucs::ResultStore store;
+  // 10 users: ramp discomfort at 1.2, step at 0.98 -> diff 0.22 each.
+  for (int i = 0; i < 10; ++i) {
+    const std::string user = "u" + std::to_string(i);
+    store.add(ramp_run(user, "powerpoint", uucs::Resource::kCpu, true,
+                       1.2 + 0.01 * i));
+    store.add(step_run(user, "powerpoint", uucs::Resource::kCpu, true, 0.98));
+  }
+  const auto cmp =
+      compare_ramp_vs_step(store, Task::kPowerpoint, uucs::Resource::kCpu);
+  EXPECT_EQ(cmp.pairs, 10u);
+  EXPECT_DOUBLE_EQ(cmp.frac_ramp_higher, 1.0);
+  EXPECT_NEAR(cmp.mean_difference, 0.265, 0.01);
+  ASSERT_TRUE(cmp.ttest.valid);
+  EXPECT_LT(cmp.ttest.p_two_sided, 1e-6);
+}
+
+TEST(Dynamics, UnpairedUsersExcluded) {
+  uucs::ResultStore store;
+  store.add(ramp_run("only-ramp", "powerpoint", uucs::Resource::kCpu, true, 1.0));
+  store.add(step_run("only-step", "powerpoint", uucs::Resource::kCpu, true, 0.9));
+  const auto cmp =
+      compare_ramp_vs_step(store, Task::kPowerpoint, uucs::Resource::kCpu);
+  EXPECT_EQ(cmp.pairs, 0u);
+}
+
+TEST(Dynamics, ExhaustedRunsContributeNothing) {
+  uucs::ResultStore store;
+  store.add(ramp_run("u", "powerpoint", uucs::Resource::kCpu, false, 2.0));
+  store.add(step_run("u", "powerpoint", uucs::Resource::kCpu, true, 0.98));
+  EXPECT_EQ(
+      compare_ramp_vs_step(store, Task::kPowerpoint, uucs::Resource::kCpu).pairs,
+      0u);
+}
+
+TEST(Export, CdfCsvHasHeaderAndMonotoneRows) {
+  uucs::stats::DiscomfortCdf cdf;
+  cdf.add_discomfort(1.0);
+  cdf.add_discomfort(2.0);
+  cdf.add_exhausted();
+  const uucs::Csv csv = export_cdf(cdf);
+  ASSERT_GE(csv.row_count(), 3u);
+  EXPECT_EQ(csv.row(0)[0], "level");
+}
+
+TEST(Export, MetricGridHas13DataRows) {
+  uucs::ResultStore store;
+  store.add(ramp_run("u", "word", uucs::Resource::kCpu, true, 2.0));
+  const uucs::Csv csv = export_metric_grid(store);
+  // header + 4 tasks x 3 resources + 3 totals.
+  EXPECT_EQ(csv.row_count(), 1u + 12u + 3u);
+  EXPECT_EQ(csv.row(1)[0], "Word");
+}
+
+TEST(Export, RunsDumpOneRowPerRun) {
+  uucs::ResultStore store;
+  store.add(ramp_run("u", "ie", uucs::Resource::kDisk, true, 2.5));
+  store.add(ramp_run("v", "ie", uucs::Resource::kDisk, false, 5.0));
+  const uucs::Csv csv = export_runs(store);
+  ASSERT_EQ(csv.row_count(), 3u);
+  EXPECT_EQ(csv.row(1)[3], "ie");
+  EXPECT_EQ(csv.row(1)[4], "1");
+  EXPECT_EQ(csv.row(2)[4], "0");
+}
+
+}  // namespace
+}  // namespace uucs::analysis

@@ -1,0 +1,162 @@
+#include "client/client.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "testcase/suite.hpp"
+#include "util/error.hpp"
+#include "util/fs.hpp"
+
+namespace uucs {
+namespace {
+
+UucsServer make_server(std::size_t cases, std::size_t batch = 4) {
+  UucsServer server(1, batch);
+  for (std::size_t i = 0; i < cases; ++i) {
+    server.add_testcase(make_ramp_testcase(Resource::kCpu, 1.0 + i, 120.0));
+  }
+  return server;
+}
+
+RunRecord make_result(const std::string& id) {
+  RunRecord r;
+  r.run_id = id;
+  r.testcase_id = "cpu-ramp-x1-t120";
+  r.task = "ie";
+  r.discomforted = false;
+  r.offset_s = 120.0;
+  return r;
+}
+
+TEST(UucsClient, RegistersOnce) {
+  UucsServer server = make_server(1);
+  LocalServerApi api(server);
+  UucsClient client(HostSpec::paper_study_machine());
+  EXPECT_FALSE(client.registered());
+  client.ensure_registered(api);
+  EXPECT_TRUE(client.registered());
+  const Guid first = client.guid();
+  client.ensure_registered(api);
+  EXPECT_EQ(client.guid(), first);
+  EXPECT_EQ(server.client_count(), 1u);
+}
+
+TEST(UucsClient, HotSyncGrowsLocalStore) {
+  UucsServer server = make_server(10, 4);
+  LocalServerApi api(server);
+  UucsClient client(HostSpec::paper_study_machine());
+  EXPECT_EQ(client.hot_sync(api), 4u);
+  EXPECT_EQ(client.testcases().size(), 4u);
+  EXPECT_EQ(client.hot_sync(api), 4u);
+  EXPECT_EQ(client.testcases().size(), 8u);
+  EXPECT_EQ(client.hot_sync(api), 2u);
+  EXPECT_EQ(client.testcases().size(), 10u);
+  EXPECT_EQ(client.hot_sync(api), 0u);
+}
+
+TEST(UucsClient, HotSyncUploadsAndDrainsResults) {
+  UucsServer server = make_server(2);
+  LocalServerApi api(server);
+  UucsClient client(HostSpec::paper_study_machine());
+  client.ensure_registered(api);
+  client.record_result(make_result("r1"));
+  client.record_result(make_result("r2"));
+  EXPECT_EQ(client.pending_results().size(), 2u);
+  client.hot_sync(api);
+  EXPECT_TRUE(client.pending_results().empty());
+  EXPECT_EQ(server.results().size(), 2u);
+  // Uploaded results carry the client guid.
+  EXPECT_EQ(server.results().at(0).client_guid, client.guid().to_string());
+}
+
+TEST(UucsClient, FailedSyncKeepsResults) {
+  UucsServer server = make_server(1);
+  LocalServerApi api(server);
+
+  /// Api that fails hot syncs (unreachable server).
+  class FailingApi final : public ServerApi {
+   public:
+    explicit FailingApi(ServerApi& inner) : inner_(inner) {}
+    Guid register_client(const HostSpec& host) override {
+      return inner_.register_client(host);
+    }
+    SyncResponse hot_sync(const SyncRequest&) override {
+      throw SystemError("network unreachable");
+    }
+    ServerApi& inner_;
+  };
+
+  FailingApi failing(api);
+  UucsClient client(HostSpec::paper_study_machine());
+  client.ensure_registered(failing);
+  client.record_result(make_result("r1"));
+  EXPECT_THROW(client.hot_sync(failing), SystemError);
+  // The client operates disconnected: the result is still queued.
+  EXPECT_EQ(client.pending_results().size(), 1u);
+  client.hot_sync(api);
+  EXPECT_EQ(server.results().size(), 1u);
+}
+
+TEST(UucsClient, ChoosesTestcasesUniformly) {
+  UucsServer server = make_server(3, 8);
+  LocalServerApi api(server);
+  UucsClient client(HostSpec::paper_study_machine());
+  Rng rng(1);
+  EXPECT_FALSE(client.choose_testcase_id(rng).has_value());
+  client.hot_sync(api);
+  std::set<std::string> seen;
+  for (int i = 0; i < 100; ++i) {
+    const auto id = client.choose_testcase_id(rng);
+    ASSERT_TRUE(id.has_value());
+    seen.insert(*id);
+  }
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(UucsClient, PoissonDelaysHaveConfiguredMean) {
+  ClientConfig cfg;
+  cfg.mean_run_interarrival_s = 100.0;
+  UucsClient client(HostSpec::paper_study_machine(), cfg);
+  Rng rng(2);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += client.next_run_delay(rng);
+  EXPECT_NEAR(sum / n, 100.0, 5.0);
+}
+
+TEST(UucsClient, RunIdsUnique) {
+  UucsServer server = make_server(1);
+  LocalServerApi api(server);
+  UucsClient client(HostSpec::paper_study_machine());
+  client.ensure_registered(api);
+  std::set<std::string> ids;
+  for (int i = 0; i < 50; ++i) EXPECT_TRUE(ids.insert(client.next_run_id()).second);
+}
+
+TEST(UucsClient, SaveLoadRoundTrip) {
+  TempDir dir;
+  UucsServer server = make_server(5, 3);
+  LocalServerApi api(server);
+  UucsClient client(HostSpec::paper_study_machine());
+  client.hot_sync(api);
+  client.record_result(make_result("r9"));
+  client.next_run_id();
+  client.save(dir.path());
+
+  UucsClient loaded = UucsClient::load(dir.path());
+  EXPECT_EQ(loaded.guid(), client.guid());
+  EXPECT_EQ(loaded.testcases().size(), 3u);
+  EXPECT_EQ(loaded.pending_results().size(), 1u);
+  // Run serial continues, no reuse.
+  EXPECT_NE(loaded.next_run_id(), client.guid().to_string() + "/0");
+}
+
+TEST(UucsClient, ConfigValidation) {
+  ClientConfig bad;
+  bad.sync_interval_s = 0.0;
+  EXPECT_THROW(UucsClient(HostSpec::paper_study_machine(), bad), Error);
+}
+
+}  // namespace
+}  // namespace uucs

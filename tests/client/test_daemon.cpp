@@ -1,0 +1,160 @@
+#include "client/daemon.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "testcase/suite.hpp"
+#include "util/error.hpp"
+#include "util/fs.hpp"
+
+namespace uucs {
+namespace {
+
+/// Everything a daemon test needs, with sub-second timings.
+struct Rig {
+  Rig()
+      : server(1, 4),
+        api(server),
+        client(HostSpec::paper_study_machine(), fast_client_config()),
+        exercisers(clock, tiny_exerciser_config()),
+        executor(clock, exercisers, feedback, nullptr, 0.005),
+        daemon(clock, client, api, executor, "test-task") {
+    for (int i = 0; i < 6; ++i) {
+      // 50 ms CPU testcases at gentle levels.
+      server.add_testcase(
+          make_ramp_testcase(Resource::kCpu, 0.2 + 0.1 * i, 0.05, 20.0));
+    }
+  }
+
+  static ClientConfig fast_client_config() {
+    ClientConfig cfg;
+    cfg.sync_interval_s = 0.2;
+    cfg.mean_run_interarrival_s = 0.05;
+    return cfg;
+  }
+
+  ExerciserConfig tiny_exerciser_config() {
+    ExerciserConfig cfg;
+    cfg.subinterval_s = 0.005;
+    cfg.memory_pool_bytes = 4u << 20;
+    cfg.disk_file_bytes = 2u << 20;
+    cfg.disk_dir = dir.path();
+    cfg.max_threads = 2;
+    return cfg;
+  }
+
+  TempDir dir;
+  RealClock clock;
+  UucsServer server;
+  LocalServerApi api;
+  UucsClient client;
+  ExerciserSet exercisers;
+  ProgrammaticFeedback feedback;
+  RunExecutor executor;
+  ClientDaemon daemon;
+};
+
+TEST(ClientDaemon, RunsTestcasesAndUploads) {
+  Rig rig;
+  const std::size_t runs = rig.daemon.run(1.0);
+  EXPECT_GE(runs, 2u);
+  EXPECT_GE(rig.daemon.syncs_completed(), 2u);
+  // The final sync flushed everything.
+  EXPECT_TRUE(rig.client.pending_results().empty());
+  EXPECT_EQ(rig.server.results().size(), runs);
+  EXPECT_TRUE(rig.client.registered());
+}
+
+TEST(ClientDaemon, EventsReported) {
+  Rig rig;
+  std::size_t run_events = 0, sync_events = 0;
+  rig.daemon.set_event_callback([&](const ClientDaemon::Event& e) {
+    if (e.kind == ClientDaemon::Event::Kind::kRun) {
+      ++run_events;
+    } else {
+      ++sync_events;
+    }
+  });
+  const std::size_t runs = rig.daemon.run(0.8);
+  EXPECT_EQ(run_events, runs);
+  EXPECT_GE(sync_events, 1u);
+}
+
+TEST(ClientDaemon, StopFromAnotherThread) {
+  Rig rig;
+  std::thread stopper([&] {
+    rig.clock.sleep(0.15);
+    rig.daemon.stop();
+  });
+  const double t0 = rig.clock.now();
+  rig.daemon.run(30.0);  // would run 30 s unstopped
+  stopper.join();
+  EXPECT_LT(rig.clock.now() - t0, 10.0);
+}
+
+TEST(ClientDaemon, SurvivesSyncFailures) {
+  /// Api whose syncs fail every other call.
+  class FlakyApi final : public ServerApi {
+   public:
+    explicit FlakyApi(ServerApi& inner) : inner_(inner) {}
+    Guid register_client(const HostSpec& host) override {
+      return inner_.register_client(host);
+    }
+    SyncResponse hot_sync(const SyncRequest& request) override {
+      if (++calls_ % 2) throw SystemError("flaky network");
+      return inner_.hot_sync(request);
+    }
+    ServerApi& inner_;
+    int calls_ = 0;
+  };
+
+  Rig rig;
+  FlakyApi flaky(rig.api);
+  ClientDaemon daemon(rig.clock, rig.client, flaky, rig.executor, "t");
+  const std::size_t runs = daemon.run(1.0);
+  EXPECT_GE(runs, 1u);
+  // Some syncs succeeded despite the flaking; results eventually arrive.
+  EXPECT_GT(rig.server.results().size(), 0u);
+}
+
+TEST(ClientDaemon, SyncBackoffGrowsAndResets) {
+  /// Api that always fails syncs.
+  class DeadApi final : public ServerApi {
+   public:
+    Guid register_client(const HostSpec&) override {
+      throw SystemError("unreachable");
+    }
+    SyncResponse hot_sync(const SyncRequest&) override {
+      throw SystemError("unreachable");
+    }
+  };
+
+  Rig rig;
+  DeadApi dead;
+  ClientDaemon daemon(rig.clock, rig.client, dead, rig.executor, "t");
+  daemon.run(0.5);
+  // Every sync attempt failed; the failure counter advanced (and with the
+  // 0.2 s base interval backed off to 0.4/0.8 s within the window).
+  EXPECT_GE(daemon.sync_failures(), 1u);
+  EXPECT_EQ(daemon.syncs_completed(), 0u);
+
+  // A working server clears the backoff.
+  ClientDaemon healthy(rig.clock, rig.client, rig.api, rig.executor, "t");
+  healthy.run(0.3);
+  EXPECT_EQ(healthy.sync_failures(), 0u);
+  EXPECT_GE(healthy.syncs_completed(), 1u);
+}
+
+TEST(ClientDaemon, EmptyStoreWaitsForTestcases) {
+  Rig rig;
+  // A server with no testcases: the daemon must idle without crashing.
+  UucsServer empty(2);
+  LocalServerApi empty_api(empty);
+  UucsClient client(HostSpec::paper_study_machine(), Rig::fast_client_config());
+  ClientDaemon daemon(rig.clock, client, empty_api, rig.executor, "t");
+  EXPECT_EQ(daemon.run(0.3), 0u);
+}
+
+}  // namespace
+}  // namespace uucs

@@ -1,0 +1,118 @@
+#include "client/run_executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <thread>
+
+#include "testcase/suite.hpp"
+#include "util/error.hpp"
+#include "util/fs.hpp"
+
+namespace uucs {
+namespace {
+
+ExerciserConfig tiny_config(const std::string& dir) {
+  ExerciserConfig cfg;
+  cfg.subinterval_s = 0.005;
+  cfg.memory_pool_bytes = 4u << 20;
+  cfg.disk_file_bytes = 2u << 20;
+  cfg.disk_max_write_bytes = 16u << 10;
+  cfg.disk_dir = dir;
+  cfg.max_threads = 2;
+  return cfg;
+}
+
+TEST(RunExecutor, ExhaustedRunProducesRecord) {
+  RealClock clock;
+  TempDir dir;
+  ExerciserSet set(clock, tiny_config(dir.path()));
+  ProgrammaticFeedback feedback;
+  RunExecutor executor(clock, set, feedback, nullptr, 0.005);
+
+  Testcase tc("short-cpu");
+  tc.set_description("constant cpu");
+  tc.set_function(Resource::kCpu, make_constant(0.5, 0.1, 10.0));
+  const RunRecord rec = executor.execute(tc, "run-1", "word", "user-1");
+  EXPECT_EQ(rec.run_id, "run-1");
+  EXPECT_EQ(rec.task, "word");
+  EXPECT_EQ(rec.user_id, "user-1");
+  EXPECT_FALSE(rec.discomforted);
+  EXPECT_DOUBLE_EQ(rec.offset_s, tc.duration());
+  ASSERT_TRUE(rec.level_at_feedback(Resource::kCpu).has_value());
+  EXPECT_DOUBLE_EQ(*rec.level_at_feedback(Resource::kCpu), 0.5);
+  EXPECT_EQ(rec.meta("testcase.description"), "constant cpu");
+}
+
+TEST(RunExecutor, FeedbackStopsRunImmediately) {
+  RealClock clock;
+  TempDir dir;
+  ExerciserSet set(clock, tiny_config(dir.path()));
+  ProgrammaticFeedback feedback;
+  RunExecutor executor(clock, set, feedback, nullptr, 0.005);
+
+  Testcase tc("long-cpu");
+  tc.set_function(Resource::kCpu, make_constant(0.5, 30.0, 1.0));
+  std::thread presser([&] {
+    clock.sleep(0.05);
+    feedback.trigger();
+  });
+  const double t0 = clock.now();
+  const RunRecord rec = executor.execute(tc, "run-2");
+  presser.join();
+  EXPECT_TRUE(rec.discomforted);
+  EXPECT_LT(clock.now() - t0, 10.0);
+  EXPECT_LT(rec.offset_s, 30.0);
+}
+
+TEST(RunExecutor, StaleFeedbackClearedAtStart) {
+  RealClock clock;
+  TempDir dir;
+  ExerciserSet set(clock, tiny_config(dir.path()));
+  ProgrammaticFeedback feedback;
+  feedback.trigger();  // stale press from before the run
+  RunExecutor executor(clock, set, feedback, nullptr, 0.005);
+  Testcase tc("b", 0.05);
+  const RunRecord rec = executor.execute(tc, "run-3");
+  EXPECT_FALSE(rec.discomforted);
+}
+
+TEST(RunExecutor, AttachesLoadRecord) {
+  RealClock clock;
+  TempDir dir;
+  ExerciserSet set(clock, tiny_config(dir.path()));
+  ProgrammaticFeedback feedback;
+  ProcSampler sampler;
+  LoadRecorder recorder(clock, sampler, 0.02);
+  RunExecutor executor(clock, set, feedback, &recorder, 0.005);
+
+  Testcase tc("b", 0.08);
+  const RunRecord rec = executor.execute(tc, "run-4");
+  EXPECT_FALSE(rec.meta("load.t").empty());
+}
+
+TEST(ProgrammaticFeedback, TriggerAndReset) {
+  ProgrammaticFeedback fb;
+  EXPECT_FALSE(fb.pending());
+  fb.trigger();
+  EXPECT_TRUE(fb.pending());
+  fb.reset();
+  EXPECT_FALSE(fb.pending());
+}
+
+TEST(SignalFeedback, RaisesOnSignal) {
+  SignalFeedback fb;  // SIGUSR1
+  EXPECT_FALSE(fb.pending());
+  ::raise(SIGUSR1);
+  EXPECT_TRUE(fb.pending());
+  fb.reset();
+  EXPECT_FALSE(fb.pending());
+}
+
+TEST(SignalFeedback, OnlyOnePerProcess) {
+  SignalFeedback fb;
+  EXPECT_THROW(SignalFeedback another, Error);
+}
+
+}  // namespace
+}  // namespace uucs

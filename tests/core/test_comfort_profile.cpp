@@ -1,0 +1,88 @@
+#include "core/comfort_profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace uucs::core {
+namespace {
+
+RunRecord ramp_run(const std::string& task, Resource r, bool discomfort,
+                   double level) {
+  RunRecord rec;
+  rec.testcase_id = resource_name(r) + "-ramp-x10-t120";
+  rec.task = task;
+  rec.user_id = "u";
+  rec.discomforted = discomfort;
+  rec.set_last_levels(r, {level});
+  return rec;
+}
+
+ResultStore uniform_results() {
+  ResultStore store;
+  // quake/cpu: discomfort at 1..10 plus 10 exhausted -> F(k) = k/20.
+  for (int i = 1; i <= 10; ++i) {
+    store.add(ramp_run("quake", Resource::kCpu, true, static_cast<double>(i)));
+  }
+  for (int i = 0; i < 10; ++i) {
+    store.add(ramp_run("quake", Resource::kCpu, false, 10.0));
+  }
+  return store;
+}
+
+TEST(ComfortProfile, MaxContentionWalksTheCurve) {
+  const auto profile = ComfortProfile::from_results(uniform_results());
+  // Budget 5% -> one run of 20 -> the first discomfort level (1.0) is the
+  // largest level still within budget.
+  EXPECT_DOUBLE_EQ(profile.max_contention(Resource::kCpu, 0.05, "quake"), 1.0);
+  EXPECT_DOUBLE_EQ(profile.max_contention(Resource::kCpu, 0.25, "quake"), 5.0);
+  // Budget below the first jump: nothing is safe.
+  EXPECT_DOUBLE_EQ(profile.max_contention(Resource::kCpu, 0.01, "quake"), 0.0);
+  // Budget beyond f_d: the whole explored range is safe.
+  EXPECT_DOUBLE_EQ(profile.max_contention(Resource::kCpu, 0.9, "quake"), 10.0);
+}
+
+TEST(ComfortProfile, DiscomfortFraction) {
+  const auto profile = ComfortProfile::from_results(uniform_results());
+  EXPECT_DOUBLE_EQ(profile.discomfort_fraction(Resource::kCpu, 5.0, "quake"), 0.25);
+  EXPECT_DOUBLE_EQ(profile.discomfort_fraction(Resource::kCpu, 0.5, "quake"), 0.0);
+}
+
+TEST(ComfortProfile, UnknownContextFallsBackToAggregate) {
+  const auto profile = ComfortProfile::from_results(uniform_results());
+  EXPECT_TRUE(profile.has_context("quake", Resource::kCpu));
+  EXPECT_FALSE(profile.has_context("word", Resource::kCpu));
+  // "word" has no curve; the aggregate (same data here) answers instead.
+  EXPECT_DOUBLE_EQ(profile.max_contention(Resource::kCpu, 0.25, "word"), 5.0);
+}
+
+TEST(ComfortProfile, NoDataBorrowsNothing) {
+  const ComfortProfile empty;
+  EXPECT_DOUBLE_EQ(empty.max_contention(Resource::kCpu, 0.05), 0.0);
+  EXPECT_DOUBLE_EQ(empty.discomfort_fraction(Resource::kCpu, 1.0), 1.0);
+}
+
+TEST(ComfortProfile, RecordsRoundTrip) {
+  const auto profile = ComfortProfile::from_results(uniform_results());
+  const auto records = profile.to_records();
+  EXPECT_GT(records.size(), 0u);
+  const auto back = ComfortProfile::from_records(records);
+  EXPECT_EQ(back.curve_count(), profile.curve_count());
+  EXPECT_DOUBLE_EQ(back.max_contention(Resource::kCpu, 0.25, "quake"), 5.0);
+  EXPECT_DOUBLE_EQ(back.discomfort_fraction(Resource::kCpu, 5.0, "quake"), 0.25);
+}
+
+TEST(ComfortProfile, FromRecordsValidates) {
+  KvRecord bad("not-a-curve");
+  EXPECT_THROW(ComfortProfile::from_records({bad}), ParseError);
+}
+
+TEST(ComfortProfile, BudgetValidation) {
+  const ComfortProfile profile;
+  EXPECT_THROW(profile.max_contention(Resource::kCpu, -0.1), Error);
+  EXPECT_THROW(profile.max_contention(Resource::kCpu, 1.5), Error);
+  EXPECT_THROW(profile.discomfort_fraction(Resource::kCpu, -1.0), Error);
+}
+
+}  // namespace
+}  // namespace uucs::core

@@ -1,0 +1,107 @@
+#include "core/policy_eval.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+#include "study/controlled_study.hpp"
+
+namespace uucs::core {
+namespace {
+
+/// Small shared world: a calibrated population and a comfort profile built
+/// from a study over it.
+struct World {
+  std::vector<sim::UserProfile> users;
+  ComfortProfile profile;
+};
+
+const World& world() {
+  static const World w = [] {
+    study::ControlledStudyConfig config;
+    config.participants = 12;
+    config.seed = 5;
+    const auto out = study::run_controlled_study(config);
+    World built;
+    built.users = out.users;
+    built.profile = ComfortProfile::from_results(out.results);
+    return built;
+  }();
+  return w;
+}
+
+PolicyEvalConfig quick_config() {
+  PolicyEvalConfig cfg;
+  cfg.session_s = 1800.0;
+  cfg.dt_s = 2.0;
+  return cfg;
+}
+
+TEST(PolicyEval, ConservativeNeverAnnoysActiveUsers) {
+  ConservativePolicy policy(1.0);
+  const auto result = evaluate_policy(policy, world().users, quick_config());
+  EXPECT_EQ(result.total_events(), 0u);
+  EXPECT_GT(result.total_borrowed(), 0.0);  // away periods are exploited
+  EXPECT_EQ(result.policy, "conservative");
+}
+
+TEST(PolicyEval, CdfThrottleBorrowsMoreThanConservative) {
+  ConservativePolicy conservative(1.0);
+  CdfThrottle cdf(world().profile, 0.05);
+  const auto cfg = quick_config();
+  const auto a = evaluate_policy(conservative, world().users, cfg);
+  const auto b = evaluate_policy(cdf, world().users, cfg);
+  EXPECT_GT(b.total_borrowed(), a.total_borrowed());
+}
+
+TEST(PolicyEval, HigherBudgetMoreBorrowingMoreEvents) {
+  CdfThrottle tight(world().profile, 0.02);
+  CdfThrottle loose(world().profile, 0.30);
+  const auto cfg = quick_config();
+  const auto t = evaluate_policy(tight, world().users, cfg);
+  const auto l = evaluate_policy(loose, world().users, cfg);
+  EXPECT_GE(l.total_borrowed(), t.total_borrowed());
+  EXPECT_GE(l.total_events(), t.total_events());
+}
+
+TEST(PolicyEval, AdaptiveCutsEventsVersusStaticAtSameBudget) {
+  CdfThrottle stat(world().profile, 0.30);
+  AdaptiveThrottle adaptive(world().profile, 0.30);
+  const auto cfg = quick_config();
+  const auto s = evaluate_policy(stat, world().users, cfg);
+  const auto a = evaluate_policy(adaptive, world().users, cfg);
+  // The adaptive policy backs off exactly where users press, so it should
+  // annoy them less at the same starting budget.
+  EXPECT_LT(a.total_events(), s.total_events());
+}
+
+TEST(PolicyEval, DeterministicForSeed) {
+  CdfThrottle p1(world().profile, 0.05);
+  CdfThrottle p2(world().profile, 0.05);
+  const auto cfg = quick_config();
+  const auto a = evaluate_policy(p1, world().users, cfg);
+  const auto b = evaluate_policy(p2, world().users, cfg);
+  EXPECT_DOUBLE_EQ(a.total_borrowed(), b.total_borrowed());
+  EXPECT_EQ(a.total_events(), b.total_events());
+}
+
+TEST(PolicyEval, UserHoursAccounted) {
+  ConservativePolicy policy(1.0);
+  const auto cfg = quick_config();
+  const auto result = evaluate_policy(policy, world().users, cfg);
+  EXPECT_NEAR(result.user_hours,
+              world().users.size() * sim::kTaskCount * cfg.session_s / 3600.0,
+              1e-9);
+}
+
+TEST(PolicyEval, ConfigValidation) {
+  ConservativePolicy policy(1.0);
+  PolicyEvalConfig bad;
+  bad.dt_s = 0.0;
+  EXPECT_THROW(evaluate_policy(policy, world().users, bad), uucs::Error);
+}
+
+}  // namespace
+}  // namespace uucs::core

@@ -1,0 +1,106 @@
+#include "core/throttle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace uucs::core {
+namespace {
+
+RunRecord ramp_run(Resource r, bool discomfort, double level) {
+  RunRecord rec;
+  rec.testcase_id = resource_name(r) + "-ramp-x10-t120";
+  rec.task = "quake";
+  rec.discomforted = discomfort;
+  rec.set_last_levels(r, {level});
+  return rec;
+}
+
+ComfortProfile simple_profile() {
+  ResultStore store;
+  for (int i = 1; i <= 10; ++i) {
+    store.add(ramp_run(Resource::kCpu, true, static_cast<double>(i)));
+  }
+  for (int i = 0; i < 10; ++i) store.add(ramp_run(Resource::kCpu, false, 10.0));
+  return ComfortProfile::from_results(store);
+}
+
+BorrowContext ctx_at(double now, bool active = true, const std::string& task = "quake") {
+  BorrowContext ctx;
+  ctx.task = task;
+  ctx.user_active = active;
+  ctx.now_s = now;
+  return ctx;
+}
+
+TEST(ConservativePolicy, BorrowsOnlyWhenAway) {
+  ConservativePolicy policy(2.0);
+  EXPECT_DOUBLE_EQ(policy.allowed_contention(Resource::kCpu, ctx_at(0, true)), 0.0);
+  EXPECT_DOUBLE_EQ(policy.allowed_contention(Resource::kCpu, ctx_at(0, false)), 2.0);
+  EXPECT_EQ(policy.name(), "conservative");
+}
+
+TEST(CdfThrottle, UsesBudgetedLevel) {
+  CdfThrottle policy(simple_profile(), 0.25);
+  EXPECT_DOUBLE_EQ(policy.allowed_contention(Resource::kCpu, ctx_at(0)), 5.0);
+  EXPECT_EQ(policy.name(), "cdf@25%");
+}
+
+TEST(CdfThrottle, AwayOverridesCurve) {
+  CdfThrottle policy(simple_profile(), 0.05, 7.0);
+  EXPECT_DOUBLE_EQ(policy.allowed_contention(Resource::kCpu, ctx_at(0, false)), 7.0);
+}
+
+TEST(CdfThrottle, FeedbackDoesNotChangeStaticPolicy) {
+  CdfThrottle policy(simple_profile(), 0.25);
+  const double before = policy.allowed_contention(Resource::kCpu, ctx_at(0));
+  policy.on_feedback(Resource::kCpu, ctx_at(0));
+  EXPECT_DOUBLE_EQ(policy.allowed_contention(Resource::kCpu, ctx_at(1)), before);
+}
+
+TEST(AdaptiveThrottle, BacksOffOnFeedbackAndRecovers) {
+  AdaptiveThrottle policy(simple_profile(), 0.25, 4.0, /*recovery_s=*/100.0,
+                          /*backoff=*/0.5);
+  const double base = policy.allowed_contention(Resource::kCpu, ctx_at(0));
+  EXPECT_DOUBLE_EQ(base, 5.0);
+
+  policy.on_feedback(Resource::kCpu, ctx_at(0));
+  const double after = policy.allowed_contention(Resource::kCpu, ctx_at(0));
+  EXPECT_NEAR(after, 2.5, 1e-9);
+
+  // Recovery: after one time constant the gap shrinks by 1/e.
+  const double later = policy.allowed_contention(Resource::kCpu, ctx_at(100));
+  EXPECT_GT(later, after);
+  EXPECT_LT(later, base);
+  EXPECT_NEAR(later / base, 1.0 - 0.5 * std::exp(-1.0), 1e-6);
+
+  // Far future: fully recovered.
+  const double eventually = policy.allowed_contention(Resource::kCpu, ctx_at(5000));
+  EXPECT_NEAR(eventually, base, 1e-6);
+}
+
+TEST(AdaptiveThrottle, RepeatedFeedbackCompounds) {
+  AdaptiveThrottle policy(simple_profile(), 0.25, 4.0, 1e9, 0.5);
+  policy.on_feedback(Resource::kCpu, ctx_at(0));
+  policy.on_feedback(Resource::kCpu, ctx_at(1));
+  EXPECT_NEAR(policy.allowed_contention(Resource::kCpu, ctx_at(2)), 1.25, 1e-6);
+  EXPECT_NEAR(policy.cap_multiplier(Resource::kCpu, "quake"), 0.25, 1e-6);
+}
+
+TEST(AdaptiveThrottle, ContextsAdaptIndependently) {
+  AdaptiveThrottle policy(simple_profile(), 0.25, 4.0, 1e9, 0.5);
+  policy.on_feedback(Resource::kCpu, ctx_at(0, true, "quake"));
+  EXPECT_NEAR(policy.cap_multiplier(Resource::kCpu, "quake"), 0.5, 1e-9);
+  EXPECT_DOUBLE_EQ(policy.cap_multiplier(Resource::kCpu, "word"), 1.0);
+}
+
+TEST(AdaptiveThrottle, ParameterValidation) {
+  EXPECT_THROW(AdaptiveThrottle(simple_profile(), 0.0), uucs::Error);
+  EXPECT_THROW(AdaptiveThrottle(simple_profile(), 0.05, 4.0, 0.0), uucs::Error);
+  EXPECT_THROW(AdaptiveThrottle(simple_profile(), 0.05, 4.0, 100.0, 1.5), uucs::Error);
+}
+
+}  // namespace
+}  // namespace uucs::core

@@ -1,0 +1,52 @@
+#include "exerciser/calibration.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace uucs {
+namespace {
+
+TEST(CpuWorkUnit, DeterministicAndMixing) {
+  EXPECT_EQ(cpu_work_unit(1), cpu_work_unit(1));
+  EXPECT_NE(cpu_work_unit(1), cpu_work_unit(2));
+  EXPECT_NE(cpu_work_unit(1), 1u);
+}
+
+TEST(CpuCalibration, MeasuresPositiveRate) {
+  RealClock clock;
+  const auto cal = CpuCalibration::measure(clock, 0.05);
+  EXPECT_GT(cal.units_per_second, 1000.0);
+}
+
+TEST(CpuCalibration, SpinUntilRespectsDeadline) {
+  RealClock clock;
+  const double start = clock.now();
+  const auto units = CpuCalibration::spin_until(clock, start + 0.03);
+  const double elapsed = clock.now() - start;
+  EXPECT_GT(units, 0u);
+  EXPECT_GE(elapsed, 0.03);
+  EXPECT_LT(elapsed, 0.5);  // should not overshoot wildly
+}
+
+TEST(CpuCalibration, SpinUntilPastDeadlineReturnsFast) {
+  RealClock clock;
+  const auto units = CpuCalibration::spin_until(clock, clock.now() - 1.0);
+  EXPECT_EQ(units, 0u);
+}
+
+TEST(CpuCalibration, RejectsNonPositiveWindow) {
+  RealClock clock;
+  EXPECT_THROW(CpuCalibration::measure(clock, 0.0), Error);
+}
+
+TEST(CpuCalibration, VirtualClockCompatible) {
+  // With a virtual clock that never advances, spin_until would hang; with
+  // one the test advances manually the measurement is still well-defined.
+  VirtualClock clock(100.0);
+  // Deadline already passed in virtual time.
+  EXPECT_EQ(CpuCalibration::spin_until(clock, 99.0), 0u);
+}
+
+}  // namespace
+}  // namespace uucs

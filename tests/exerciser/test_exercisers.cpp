@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "exerciser/exerciser.hpp"
+#include "exerciser/exerciser_set.hpp"
+#include "util/error.hpp"
+#include "util/fs.hpp"
+
+namespace uucs {
+namespace {
+
+ExerciserConfig small_config(const std::string& disk_dir) {
+  ExerciserConfig cfg;
+  cfg.subinterval_s = 0.005;
+  cfg.memory_pool_bytes = 4u << 20;
+  cfg.disk_file_bytes = 2u << 20;
+  cfg.disk_max_write_bytes = 16u << 10;
+  cfg.disk_dir = disk_dir;
+  cfg.max_threads = 4;
+  return cfg;
+}
+
+TEST(CpuExerciser, RunsAndCompletes) {
+  RealClock clock;
+  TempDir dir;
+  auto ex = make_cpu_exerciser(clock, small_config(dir.path()));
+  EXPECT_EQ(ex->resource(), Resource::kCpu);
+  const double played = ex->run(make_constant(0.5, 0.05, 10.0));
+  EXPECT_NEAR(played, 0.05, 0.05);
+}
+
+TEST(CpuExerciser, StopInterrupts) {
+  RealClock clock;
+  TempDir dir;
+  auto ex = make_cpu_exerciser(clock, small_config(dir.path()));
+  std::thread stopper([&] {
+    clock.sleep(0.05);
+    ex->stop();
+  });
+  const double t0 = clock.now();
+  ex->run(make_constant(1.0, 30.0, 1.0));
+  stopper.join();
+  EXPECT_LT(clock.now() - t0, 5.0);
+}
+
+TEST(MemoryExerciser, TouchesConfiguredFraction) {
+  RealClock clock;
+  TempDir dir;
+  auto ex = make_memory_exerciser(clock, small_config(dir.path()));
+  EXPECT_EQ(ex->resource(), Resource::kMemory);
+  const double played = ex->run(make_constant(0.5, 0.05, 10.0));
+  EXPECT_GT(played, 0.0);
+}
+
+TEST(MemoryExerciser, ZeroContentionSleeps) {
+  RealClock clock;
+  TempDir dir;
+  auto ex = make_memory_exerciser(clock, small_config(dir.path()));
+  const double t0 = clock.now();
+  ex->run(make_constant(0.0, 0.05, 10.0));
+  EXPECT_GE(clock.now() - t0, 0.04);
+}
+
+TEST(MemoryExerciser, PoolTooSmallRejected) {
+  RealClock clock;
+  TempDir dir;
+  ExerciserConfig cfg = small_config(dir.path());
+  cfg.memory_pool_bytes = 1024;  // less than one page
+  EXPECT_THROW(make_memory_exerciser(clock, cfg), Error);
+}
+
+TEST(DiskExerciser, WritesToBackingFile) {
+  RealClock clock;
+  TempDir dir;
+  auto ex = make_disk_exerciser(clock, small_config(dir.path()));
+  EXPECT_EQ(ex->resource(), Resource::kDisk);
+  ex->run(make_constant(1.0, 0.05, 10.0));
+  // The backing file must have been created inside the configured dir.
+  EXPECT_FALSE(list_files(dir.path()).empty());
+}
+
+TEST(DiskExerciser, FileRemovedOnDestruction) {
+  RealClock clock;
+  TempDir dir;
+  {
+    auto ex = make_disk_exerciser(clock, small_config(dir.path()));
+    ex->run(make_constant(1.0, 0.02, 10.0));
+  }
+  EXPECT_TRUE(list_files(dir.path()).empty());
+}
+
+TEST(DiskExerciser, ConfigValidation) {
+  RealClock clock;
+  TempDir dir;
+  ExerciserConfig cfg = small_config(dir.path());
+  cfg.disk_file_bytes = 1000;  // < 1 MiB
+  EXPECT_THROW(make_disk_exerciser(clock, cfg), Error);
+}
+
+TEST(ExerciserSet, BlankTestcaseWaitsDuration) {
+  RealClock clock;
+  TempDir dir;
+  ExerciserSet set(clock, small_config(dir.path()));
+  const double t0 = clock.now();
+  const auto outcome = set.run(Testcase("blank", 0.05));
+  EXPECT_FALSE(outcome.stopped_early);
+  EXPECT_GE(clock.now() - t0, 0.04);
+}
+
+TEST(ExerciserSet, BlankTestcaseStopsEarly) {
+  RealClock clock;
+  TempDir dir;
+  ExerciserSet set(clock, small_config(dir.path()));
+  std::thread stopper([&] {
+    clock.sleep(0.03);
+    set.stop();
+  });
+  const double t0 = clock.now();
+  const auto outcome = set.run(Testcase("blank", 30.0));
+  stopper.join();
+  EXPECT_TRUE(outcome.stopped_early);
+  EXPECT_LT(clock.now() - t0, 5.0);
+}
+
+TEST(ExerciserSet, RunsMultiResourceTestcase) {
+  RealClock clock;
+  TempDir dir;
+  ExerciserSet set(clock, small_config(dir.path()));
+  Testcase tc("multi");
+  tc.set_function(Resource::kCpu, make_constant(0.5, 0.05, 10.0));
+  tc.set_function(Resource::kMemory, make_constant(0.3, 0.05, 10.0));
+  const auto outcome = set.run(tc);
+  EXPECT_FALSE(outcome.stopped_early);
+  EXPECT_NEAR(outcome.elapsed_s, 0.05, 0.05);
+}
+
+TEST(ExerciserSet, StopInterruptsAllExercisers) {
+  RealClock clock;
+  TempDir dir;
+  ExerciserSet set(clock, small_config(dir.path()));
+  Testcase tc("multi-long");
+  tc.set_function(Resource::kCpu, make_constant(0.5, 30.0, 1.0));
+  tc.set_function(Resource::kDisk, make_constant(0.5, 30.0, 1.0));
+  std::thread stopper([&] {
+    clock.sleep(0.05);
+    set.stop();
+  });
+  const double t0 = clock.now();
+  const auto outcome = set.run(tc);
+  stopper.join();
+  EXPECT_TRUE(outcome.stopped_early);
+  EXPECT_LT(clock.now() - t0, 10.0);
+}
+
+TEST(ExerciserSet, ReusableAcrossRuns) {
+  RealClock clock;
+  TempDir dir;
+  ExerciserSet set(clock, small_config(dir.path()));
+  Testcase tc("r");
+  tc.set_function(Resource::kCpu, make_constant(0.3, 0.1, 10.0));
+  const auto a = set.run(tc);
+  const auto b = set.run(tc);
+  EXPECT_FALSE(a.stopped_early);
+  EXPECT_FALSE(b.stopped_early);
+}
+
+TEST(ExerciserSet, CustomExerciserInjection) {
+  RealClock clock;
+  TempDir dir;
+
+  class FakeExerciser final : public ResourceExerciser {
+   public:
+    Resource resource() const override { return Resource::kCpu; }
+    double run(const ExerciseFunction& f) override {
+      ran = true;
+      return f.duration();
+    }
+    void stop() override {}
+    void reset() override {}
+    bool ran = false;
+  };
+
+  ExerciserSet set(clock, small_config(dir.path()));
+  auto fake = std::make_unique<FakeExerciser>();
+  auto* fake_ptr = fake.get();
+  set.set_exerciser(Resource::kCpu, std::move(fake));
+  Testcase tc("fake");
+  tc.set_function(Resource::kCpu, make_constant(1.0, 5.0, 1.0));
+  set.run(tc);
+  EXPECT_TRUE(fake_ptr->ran);
+}
+
+TEST(ExerciserSet, RejectsMismatchedInjection) {
+  RealClock clock;
+  TempDir dir;
+
+  class FakeDisk final : public ResourceExerciser {
+   public:
+    Resource resource() const override { return Resource::kDisk; }
+    double run(const ExerciseFunction&) override { return 0.0; }
+    void stop() override {}
+    void reset() override {}
+  };
+
+  ExerciserSet set(clock, small_config(dir.path()));
+  EXPECT_THROW(set.set_exerciser(Resource::kCpu, std::make_unique<FakeDisk>()), Error);
+}
+
+}  // namespace
+}  // namespace uucs

@@ -1,0 +1,71 @@
+#include "exerciser/network_exerciser.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace uucs {
+namespace {
+
+ExerciserConfig fast_config() {
+  ExerciserConfig cfg;
+  cfg.subinterval_s = 0.01;
+  return cfg;
+}
+
+TEST(NetworkExerciser, SendsApproximatelyTheBudget) {
+  RealClock clock;
+  // 8 Mbit/s link, contention 0.5 for 0.2 s -> ~0.5 * 1 MB/s * 0.2 = 100 KB.
+  auto ex = make_network_exerciser(clock, fast_config(), 8e6);
+  ex->run(make_constant(0.5, 0.2, 10.0));
+  const double expected = 0.5 * 8e6 / 8.0 * 0.2;
+  EXPECT_GT(static_cast<double>(ex->bytes_sent()), expected * 0.5);
+  EXPECT_LT(static_cast<double>(ex->bytes_sent()), expected * 1.5);
+}
+
+TEST(NetworkExerciser, ZeroContentionSendsNothing) {
+  RealClock clock;
+  auto ex = make_network_exerciser(clock, fast_config(), 8e6);
+  ex->run(make_constant(0.0, 0.05, 10.0));
+  EXPECT_EQ(ex->bytes_sent(), 0u);
+}
+
+TEST(NetworkExerciser, ContentionClampedToLinkRate) {
+  RealClock clock;
+  auto ex = make_network_exerciser(clock, fast_config(), 4e6);
+  // Level 3.0 is clamped to 1.0: at most link_bps/8 per second.
+  ex->run(make_constant(3.0, 0.1, 10.0));
+  EXPECT_LT(static_cast<double>(ex->bytes_sent()), 4e6 / 8.0 * 0.1 * 1.5);
+}
+
+TEST(NetworkExerciser, StopInterrupts) {
+  RealClock clock;
+  auto ex = make_network_exerciser(clock, fast_config(), 1e6);
+  std::thread stopper([&] {
+    clock.sleep(0.05);
+    ex->stop();
+  });
+  const double t0 = clock.now();
+  ex->run(make_constant(0.5, 30.0, 1.0));
+  stopper.join();
+  EXPECT_LT(clock.now() - t0, 5.0);
+  ex->reset();
+  // Reusable after reset.
+  ex->run(make_constant(0.1, 0.05, 10.0));
+}
+
+TEST(NetworkExerciser, ReportsNetworkResource) {
+  RealClock clock;
+  auto ex = make_network_exerciser(clock, fast_config());
+  EXPECT_EQ(ex->resource(), Resource::kNetwork);
+}
+
+TEST(NetworkExerciser, RejectsBadLinkSpeed) {
+  RealClock clock;
+  EXPECT_THROW(make_network_exerciser(clock, fast_config(), 0.0), Error);
+}
+
+}  // namespace
+}  // namespace uucs

@@ -1,0 +1,110 @@
+#include "exerciser/playback.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace uucs {
+namespace {
+
+ExerciserConfig fast_config() {
+  ExerciserConfig cfg;
+  cfg.subinterval_s = 0.005;
+  cfg.max_threads = 4;
+  return cfg;
+}
+
+TEST(PlaybackEngine, PlaysFullDuration) {
+  RealClock clock;
+  std::atomic<int> busy_calls{0};
+  PlaybackEngine engine(clock, fast_config(), [&](double deadline, unsigned) {
+    ++busy_calls;
+    clock.sleep(std::max(0.0, deadline - clock.now()));
+  });
+  const double played = engine.run(make_constant(1.0, 0.1, 10.0));
+  EXPECT_NEAR(played, 0.1, 0.08);
+  EXPECT_GT(busy_calls.load(), 5);
+}
+
+TEST(PlaybackEngine, EmptyFunctionReturnsZero) {
+  RealClock clock;
+  PlaybackEngine engine(clock, fast_config(), [](double, unsigned) {});
+  EXPECT_DOUBLE_EQ(engine.run(ExerciseFunction()), 0.0);
+}
+
+TEST(PlaybackEngine, StopsPromptly) {
+  RealClock clock;
+  PlaybackEngine engine(clock, fast_config(), [&](double deadline, unsigned) {
+    clock.sleep(std::max(0.0, deadline - clock.now()));
+  });
+  std::thread stopper([&] {
+    clock.sleep(0.05);
+    engine.stop();
+  });
+  const double t0 = clock.now();
+  engine.run(make_constant(1.0, 30.0, 1.0));  // would run 30 s unstopped
+  const double elapsed = clock.now() - t0;
+  stopper.join();
+  EXPECT_LT(elapsed, 5.0);
+  EXPECT_TRUE(engine.stop_requested());
+  engine.reset();
+  EXPECT_FALSE(engine.stop_requested());
+}
+
+TEST(PlaybackEngine, ZeroLevelNeverCallsBusy) {
+  RealClock clock;
+  std::atomic<int> busy_calls{0};
+  PlaybackEngine engine(clock, fast_config(),
+                        [&](double, unsigned) { ++busy_calls; });
+  engine.run(make_constant(0.0, 0.05, 10.0));
+  EXPECT_EQ(busy_calls.load(), 0);
+}
+
+TEST(PlaybackEngine, FractionalDutyIsProportional) {
+  // duty 0.5 should yield roughly half busy subintervals for one worker.
+  RealClock clock;
+  ExerciserConfig cfg = fast_config();
+  cfg.subinterval_s = 0.002;
+  std::atomic<int> busy_calls{0};
+  PlaybackEngine engine(clock, cfg, [&](double deadline, unsigned) {
+    ++busy_calls;
+    clock.sleep(std::max(0.0, deadline - clock.now()));
+  });
+  engine.run(make_constant(0.5, 0.4, 10.0));
+  const int total = static_cast<int>(0.4 / cfg.subinterval_s);
+  EXPECT_GT(busy_calls.load(), total / 5);
+  EXPECT_LT(busy_calls.load(), total);
+}
+
+TEST(PlaybackEngine, MultiThreadWorkerIndices) {
+  RealClock clock;
+  ExerciserConfig cfg = fast_config();
+  std::atomic<unsigned> max_worker{0};
+  PlaybackEngine engine(clock, cfg, [&](double deadline, unsigned worker) {
+    unsigned cur = max_worker.load();
+    while (worker > cur && !max_worker.compare_exchange_weak(cur, worker)) {
+    }
+    clock.sleep(std::max(0.0, deadline - clock.now()));
+  });
+  // Level 2.5 needs 3 workers (indices 0..2).
+  engine.run(make_constant(2.5, 0.1, 10.0));
+  EXPECT_GE(max_worker.load(), 1u);
+  EXPECT_LE(max_worker.load(), 2u);
+}
+
+TEST(PlaybackEngine, ConfigValidation) {
+  RealClock clock;
+  ExerciserConfig bad = fast_config();
+  bad.subinterval_s = 0.0;
+  EXPECT_THROW(PlaybackEngine(clock, bad, [](double, unsigned) {}), Error);
+  ExerciserConfig bad2 = fast_config();
+  bad2.max_threads = 0;
+  EXPECT_THROW(PlaybackEngine(clock, bad2, [](double, unsigned) {}), Error);
+  EXPECT_THROW(PlaybackEngine(clock, fast_config(), nullptr), Error);
+}
+
+}  // namespace
+}  // namespace uucs

@@ -1,0 +1,95 @@
+#include "exerciser/probe.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "testcase/exercise_function.hpp"
+#include "util/error.hpp"
+#include "util/fs.hpp"
+
+namespace uucs {
+namespace {
+
+TEST(CpuProbe, MeasuresPositiveRate) {
+  RealClock clock;
+  const double rate = cpu_probe_rate(clock, 0.05);
+  EXPECT_GT(rate, 1000.0);
+}
+
+TEST(CpuProbe, RejectsNonPositiveWindow) {
+  RealClock clock;
+  EXPECT_THROW(cpu_probe_rate(clock, 0.0), Error);
+}
+
+TEST(DiskProbe, WritesAndCleansUp) {
+  RealClock clock;
+  TempDir dir;
+  const double rate = disk_probe_rate(clock, 0.05, dir.path(), 1u << 20, 16u << 10);
+  EXPECT_GT(rate, 0.0);
+  // The probe file must be unlinked afterwards.
+  EXPECT_TRUE(list_files(dir.path()).empty());
+}
+
+TEST(DiskProbe, ValidatesSizes) {
+  RealClock clock;
+  TempDir dir;
+  EXPECT_THROW(disk_probe_rate(clock, 0.05, dir.path(), 1024, 4096), Error);
+  EXPECT_THROW(disk_probe_rate(clock, -1.0, dir.path(), 1u << 20, 4096), Error);
+}
+
+/// Exerciser double for the orchestration helper: records lifecycle calls.
+class RecordingExerciser final : public ResourceExerciser {
+ public:
+  explicit RecordingExerciser(Clock& clock) : clock_(clock) {}
+  Resource resource() const override { return Resource::kCpu; }
+  double run(const ExerciseFunction& f) override {
+    ran = true;
+    const double start = clock_.now();
+    while (!stopped && clock_.now() - start < f.duration()) {
+      clock_.sleep(0.005);
+    }
+    return clock_.now() - start;
+  }
+  void stop() override { stopped = true; }
+  void reset() override { stopped = false; }
+
+  Clock& clock_;
+  std::atomic<bool> ran{false};
+  std::atomic<bool> stopped{false};
+};
+
+TEST(ProbeUnderContention, RunsProbeWhileExerciserActiveThenStops) {
+  RealClock clock;
+  RecordingExerciser exerciser(clock);
+  bool probe_ran = false;
+  const double rate =
+      probe_rate_under_contention(exerciser, 1.0, 0.05, clock, [&] {
+        probe_ran = true;
+        EXPECT_TRUE(exerciser.ran.load());  // exerciser already spinning
+        return 123.0;
+      });
+  EXPECT_TRUE(probe_ran);
+  EXPECT_DOUBLE_EQ(rate, 123.0);
+  EXPECT_TRUE(exerciser.stopped.load());  // stopped after the measurement
+}
+
+TEST(ProbeUnderContention, ExerciserStoppedEvenIfProbeThrows) {
+  RealClock clock;
+  RecordingExerciser exerciser(clock);
+  EXPECT_THROW(probe_rate_under_contention(
+                   exerciser, 1.0, 0.05, clock,
+                   []() -> double { throw Error("probe exploded"); }),
+               Error);
+  EXPECT_TRUE(exerciser.stopped.load());
+}
+
+TEST(ProbeUnderContention, NullProbeRejected) {
+  RealClock clock;
+  RecordingExerciser exerciser(clock);
+  EXPECT_THROW(probe_rate_under_contention(exerciser, 1.0, 0.05, clock, nullptr),
+               Error);
+}
+
+}  // namespace
+}  // namespace uucs

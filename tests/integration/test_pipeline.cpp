@@ -1,0 +1,128 @@
+/// End-to-end integration: the full UUCS pipeline crossing every module
+/// boundary — study simulation -> client-format records -> wire protocol ->
+/// server text stores -> reload -> analysis -> throttle — with equality
+/// checks at each hop.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "analysis/export.hpp"
+#include "client/client.hpp"
+#include "core/comfort_profile.hpp"
+#include "server/net.hpp"
+#include "study/controlled_study.hpp"
+#include "util/fs.hpp"
+
+namespace uucs {
+namespace {
+
+study::ControlledStudyConfig small_study() {
+  study::ControlledStudyConfig config;
+  config.participants = 8;
+  config.seed = 404;
+  return config;
+}
+
+TEST(Pipeline, StudyResultsSurviveDiskRoundTrip) {
+  TempDir dir;
+  const auto out = study::run_controlled_study(small_study());
+  const std::string path = dir.file("results.txt");
+  out.results.save(path);
+  const ResultStore loaded = ResultStore::load(path);
+  ASSERT_EQ(loaded.size(), out.results.size());
+  // Analysis over the reloaded store is identical.
+  for (Resource r : kStudyResources) {
+    const auto a = analysis::metrics_from_cdf(analysis::aggregate_cdf(out.results, r));
+    const auto b = analysis::metrics_from_cdf(analysis::aggregate_cdf(loaded, r));
+    EXPECT_EQ(a.df_count, b.df_count);
+    EXPECT_EQ(a.ex_count, b.ex_count);
+    if (a.ca && b.ca) EXPECT_DOUBLE_EQ(a.ca->mean, b.ca->mean);
+  }
+}
+
+TEST(Pipeline, StudyResultsThroughWireProtocolToServer) {
+  const auto out = study::run_controlled_study(small_study());
+
+  UucsServer server(9);
+  TcpListener listener(0);
+  std::thread server_thread([&] {
+    auto conn = listener.accept();
+    if (conn) serve_channel(server, *conn);
+  });
+
+  auto channel = TcpChannel::connect("127.0.0.1", listener.port());
+  RemoteServerApi api(*channel);
+  UucsClient client(HostSpec::paper_study_machine());
+  client.ensure_registered(api);
+  for (const auto& rec : out.results.records()) client.record_result(rec);
+  client.hot_sync(api);
+  channel->close();
+  server_thread.join();
+
+  ASSERT_EQ(server.results().size(), out.results.size());
+  // Metrics computed on the server side match the originals exactly.
+  for (Resource r : kStudyResources) {
+    const auto a = analysis::metrics_from_cdf(analysis::aggregate_cdf(out.results, r));
+    const auto b =
+        analysis::metrics_from_cdf(analysis::aggregate_cdf(server.results(), r));
+    EXPECT_EQ(a.df_count, b.df_count);
+    EXPECT_DOUBLE_EQ(a.fd, b.fd);
+  }
+}
+
+TEST(Pipeline, ServerPersistenceKeepsEverything) {
+  TempDir dir;
+  const auto out = study::run_controlled_study(small_study());
+  {
+    UucsServer server(9);
+    const Guid guid = server.register_client(HostSpec::paper_study_machine());
+    SyncRequest req;
+    req.guid = guid;
+    req.results.assign(out.results.records().begin(), out.results.records().end());
+    server.add_testcase(study::controlled_study_testcases(sim::Task::kWord)
+                            .get("cpu-ramp-x7-t120"));
+    server.hot_sync(req);
+    server.save(dir.path());
+  }
+  const UucsServer reloaded = UucsServer::load(dir.path());
+  EXPECT_EQ(reloaded.results().size(), out.results.size());
+  EXPECT_EQ(reloaded.testcases().size(), 1u);
+  EXPECT_EQ(reloaded.client_count(), 1u);
+}
+
+TEST(Pipeline, ProfileFromStudyDrivesThrottleSensibly) {
+  const auto out = study::run_controlled_study(small_study());
+  const auto profile = core::ComfortProfile::from_results(out.results);
+
+  // The paper's §5 ordering must fall out of the data end to end: under a
+  // 5% budget, disk borrowing exceeds CPU borrowing, and the Word context
+  // allows more CPU than the Quake context.
+  const double cpu = profile.max_contention(Resource::kCpu, 0.05);
+  const double disk = profile.max_contention(Resource::kDisk, 0.05);
+  EXPECT_GT(disk, cpu);
+  // Per-context comparison needs a budget above the small fixture's CDF
+  // granularity (1/#runs-per-cell).
+  const double cpu_word = profile.max_contention(Resource::kCpu, 0.30, "word");
+  const double cpu_quake = profile.max_contention(Resource::kCpu, 0.30, "quake");
+  EXPECT_GT(cpu_word, cpu_quake);
+
+  // And the profile itself round-trips through its text form.
+  TempDir dir;
+  kv_save_file(dir.file("profile.txt"), profile.to_records());
+  const auto back =
+      core::ComfortProfile::from_records(kv_load_file(dir.file("profile.txt")));
+  EXPECT_DOUBLE_EQ(back.max_contention(Resource::kCpu, 0.05), cpu);
+}
+
+TEST(Pipeline, CsvExportsParseBack) {
+  const auto out = study::run_controlled_study(small_study());
+  const Csv runs = analysis::export_runs(out.results);
+  const Csv reparsed = Csv::parse(runs.serialize());
+  EXPECT_EQ(reparsed.row_count(), out.results.size() + 1);  // + header
+  const Csv grid = analysis::export_metric_grid(out.results);
+  EXPECT_EQ(Csv::parse(grid.serialize()).row_count(), grid.row_count());
+}
+
+}  // namespace
+}  // namespace uucs

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "monitor/recorder.hpp"
+#include "monitor/sampler.hpp"
+#include "monitor/sysinfo.hpp"
+#include "util/error.hpp"
+
+namespace uucs {
+namespace {
+
+TEST(HostSpec, DetectFindsRealValues) {
+  const HostSpec spec = HostSpec::detect();
+  EXPECT_GE(spec.cpu_count, 1u);
+  EXPECT_GT(spec.memory_bytes, 0u);
+  EXPECT_FALSE(spec.os_name.empty());
+}
+
+TEST(HostSpec, PaperMachineMatchesFigure7) {
+  const HostSpec spec = HostSpec::paper_study_machine();
+  EXPECT_EQ(spec.os_name, "Windows XP");
+  EXPECT_DOUBLE_EQ(spec.cpu_mhz, 2000.0);
+  EXPECT_EQ(spec.memory_bytes, 512ull << 20);
+  EXPECT_DOUBLE_EQ(spec.power_index(), 1.0);
+}
+
+TEST(HostSpec, PowerIndexScalesWithClockAndCores) {
+  HostSpec spec = HostSpec::paper_study_machine();
+  spec.cpu_mhz = 4000.0;
+  EXPECT_DOUBLE_EQ(spec.power_index(), 2.0);
+  spec.cpu_count = 2;
+  EXPECT_DOUBLE_EQ(spec.power_index(), 4.0);
+}
+
+TEST(HostSpec, RecordRoundTrip) {
+  const HostSpec spec = HostSpec::paper_study_machine();
+  const HostSpec back = HostSpec::from_record(spec.to_record());
+  EXPECT_EQ(back.hostname, spec.hostname);
+  EXPECT_EQ(back.os_name, spec.os_name);
+  EXPECT_EQ(back.cpu_model, spec.cpu_model);
+  EXPECT_DOUBLE_EQ(back.cpu_mhz, spec.cpu_mhz);
+  EXPECT_EQ(back.memory_bytes, spec.memory_bytes);
+  EXPECT_EQ(back.extra, spec.extra);
+}
+
+TEST(HostSpec, FromRecordRejectsWrongType) {
+  KvRecord rec("not-host");
+  EXPECT_THROW(HostSpec::from_record(rec), ParseError);
+}
+
+TEST(ProcSampler, ProducesSaneValues) {
+  ProcSampler sampler;
+  const LoadSample first = sampler.sample(0.0);
+  EXPECT_GE(first.mem_used_frac, 0.0);
+  EXPECT_LE(first.mem_used_frac, 1.0);
+  // First sample has no deltas.
+  EXPECT_DOUBLE_EQ(first.cpu_busy_frac, 0.0);
+
+  RealClock clock;
+  clock.sleep(0.05);
+  const LoadSample second = sampler.sample(0.05);
+  EXPECT_GE(second.cpu_busy_frac, 0.0);
+  EXPECT_LE(second.cpu_busy_frac, 1.0);
+  EXPECT_GE(second.disk_bytes_per_s, 0.0);
+}
+
+TEST(ProcessSnapshot, FindsOurselves) {
+  const auto procs = snapshot_processes(4096);
+  EXPECT_FALSE(procs.empty());
+  bool found_self = false;
+  const int self = getpid();
+  for (const auto& p : procs) {
+    if (p.pid == self) found_self = true;
+  }
+  EXPECT_TRUE(found_self);
+}
+
+/// Deterministic sampler for recorder tests.
+class FakeSampler final : public LoadSampler {
+ public:
+  LoadSample sample(double t) override {
+    LoadSample s;
+    s.t = t;
+    s.cpu_busy_frac = 0.5;
+    ++count;
+    return s;
+  }
+  int count = 0;
+};
+
+TEST(LoadRecorder, ManualTicks) {
+  VirtualClock clock;
+  FakeSampler sampler;
+  LoadRecorder recorder(clock, sampler, 1.0);
+  recorder.tick();
+  clock.advance(1.0);
+  recorder.tick();
+  const auto samples = recorder.samples();
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_DOUBLE_EQ(samples[0].t, 0.0);
+  EXPECT_DOUBLE_EQ(samples[1].t, 1.0);
+}
+
+TEST(LoadRecorder, BackgroundSampling) {
+  RealClock clock;
+  FakeSampler sampler;
+  LoadRecorder recorder(clock, sampler, 0.01);
+  recorder.start();
+  clock.sleep(0.08);
+  recorder.stop();
+  EXPECT_GE(recorder.samples().size(), 2u);
+}
+
+TEST(LoadRecorder, ClearResets) {
+  VirtualClock clock;
+  FakeSampler sampler;
+  LoadRecorder recorder(clock, sampler, 1.0);
+  recorder.tick();
+  recorder.clear();
+  EXPECT_TRUE(recorder.samples().empty());
+}
+
+TEST(LoadRecorder, ToRecordSerializesAllSeries) {
+  VirtualClock clock;
+  FakeSampler sampler;
+  LoadRecorder recorder(clock, sampler, 1.0);
+  recorder.tick();
+  clock.advance(2.0);
+  recorder.tick();
+  const KvRecord rec = recorder.to_record();
+  EXPECT_EQ(rec.type(), "load");
+  EXPECT_EQ(rec.get_doubles("t").size(), 2u);
+  EXPECT_EQ(rec.get_doubles("cpu").size(), 2u);
+  EXPECT_EQ(rec.get_doubles("mem").size(), 2u);
+  EXPECT_EQ(rec.get_doubles("disk").size(), 2u);
+}
+
+TEST(LoadRecorder, InvalidIntervalRejected) {
+  VirtualClock clock;
+  FakeSampler sampler;
+  EXPECT_THROW(LoadRecorder(clock, sampler, 0.0), Error);
+}
+
+}  // namespace
+}  // namespace uucs

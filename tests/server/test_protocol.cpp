@@ -1,0 +1,148 @@
+#include "server/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "server/inproc.hpp"
+#include "testcase/suite.hpp"
+#include "util/error.hpp"
+
+namespace uucs {
+namespace {
+
+TEST(Protocol, RegisterRoundTrip) {
+  UucsServer server(1);
+  const std::string request = encode_register_request(HostSpec::paper_study_machine());
+  const std::string response = dispatch_request(server, request);
+  const auto records = kv_parse(response);
+  ASSERT_FALSE(records.empty());
+  ASSERT_EQ(records[0].type(), "register-response");
+  const Guid guid = Guid::parse(records[0].get("guid"));
+  EXPECT_TRUE(server.is_registered(guid));
+}
+
+TEST(Protocol, SyncRoundTripCarriesTestcasesAndResults) {
+  UucsServer server(1, 8);
+  server.add_testcase(make_ramp_testcase(Resource::kCpu, 2.0, 120.0));
+  server.add_testcase(make_blank_testcase(120.0));
+  const Guid guid = server.register_client(HostSpec::paper_study_machine());
+
+  SyncRequest req;
+  req.guid = guid;
+  RunRecord result;
+  result.run_id = "r-1";
+  result.testcase_id = "cpu-ramp-x2-t120";
+  result.task = "quake";
+  result.discomforted = true;
+  result.offset_s = 33.5;
+  result.set_last_levels(Resource::kCpu, {0.5, 0.6});
+  result.metadata["skill.pc"] = "power";
+  req.results.push_back(result);
+
+  const std::string response = dispatch_request(server, encode_sync_request(req));
+  const auto records = kv_parse(response);
+  ASSERT_EQ(records[0].type(), "sync-response");
+  ASSERT_EQ(server.results().size(), 1u);
+  const RunRecord& stored = server.results().at(0);
+  EXPECT_EQ(stored.run_id, "r-1");
+  EXPECT_TRUE(stored.discomforted);
+  EXPECT_DOUBLE_EQ(stored.offset_s, 33.5);
+  EXPECT_EQ(stored.meta("skill.pc"), "power");
+  ASSERT_TRUE(stored.level_at_feedback(Resource::kCpu).has_value());
+  EXPECT_DOUBLE_EQ(*stored.level_at_feedback(Resource::kCpu), 0.6);
+}
+
+TEST(Protocol, MalformedRequestYieldsError) {
+  UucsServer server(1);
+  for (const char* bad : {"", "garbage not kv [", "[unknown-op]\n"}) {
+    const auto records = kv_parse(dispatch_request(server, bad));
+    ASSERT_FALSE(records.empty()) << bad;
+    EXPECT_EQ(records[0].type(), "error") << bad;
+  }
+}
+
+TEST(Protocol, SyncFromUnregisteredClientIsError) {
+  UucsServer server(1);
+  SyncRequest req;
+  req.guid = Guid{9, 9};
+  const auto records = kv_parse(dispatch_request(server, encode_sync_request(req)));
+  EXPECT_EQ(records[0].type(), "error");
+}
+
+TEST(Protocol, ForbiddenIdCharactersRejected) {
+  SyncRequest req;
+  req.guid = Guid{1, 1};
+  req.known_testcase_ids = {"bad,id"};
+  EXPECT_THROW(encode_sync_request(req), ProtocolError);
+}
+
+TEST(RemoteServerApi, FullSessionOverInProcChannel) {
+  UucsServer server(1, 8);
+  server.add_testcase(make_ramp_testcase(Resource::kDisk, 5.0, 120.0));
+
+  InProcChannelPair pair;
+  std::thread server_thread([&] { serve_channel(server, pair.b()); });
+
+  RemoteServerApi api(pair.a());
+  const Guid guid = api.register_client(HostSpec::paper_study_machine());
+  EXPECT_TRUE(server.is_registered(guid));
+
+  SyncRequest req;
+  req.guid = guid;
+  const SyncResponse resp = api.hot_sync(req);
+  EXPECT_EQ(resp.new_testcases.size(), 1u);
+  EXPECT_EQ(resp.server_testcase_count, 1u);
+
+  pair.a().close();
+  server_thread.join();
+}
+
+TEST(RemoteServerApi, ServerErrorSurfacesAsException) {
+  UucsServer server(1);
+  InProcChannelPair pair;
+  std::thread server_thread([&] { serve_channel(server, pair.b()); });
+  RemoteServerApi api(pair.a());
+  SyncRequest req;
+  req.guid = Guid{5, 5};  // not registered
+  EXPECT_THROW(api.hot_sync(req), Error);
+  pair.a().close();
+  server_thread.join();
+}
+
+TEST(RemoteServerApi, ClosedChannelThrowsProtocolError) {
+  InProcChannelPair pair;
+  pair.b().close();
+  RemoteServerApi api(pair.a());
+  EXPECT_THROW(api.register_client(HostSpec::paper_study_machine()), ProtocolError);
+}
+
+TEST(InProcChannel, MessagesArriveInOrder) {
+  InProcChannelPair pair;
+  pair.a().write("one");
+  pair.a().write("two");
+  EXPECT_EQ(pair.b().read(), "one");
+  EXPECT_EQ(pair.b().read(), "two");
+}
+
+TEST(InProcChannel, CloseWakesReader) {
+  InProcChannelPair pair;
+  std::thread closer([&] { pair.a().close(); });
+  EXPECT_EQ(pair.b().read(), std::nullopt);
+  closer.join();
+}
+
+TEST(LocalServerApi, DirectDispatch) {
+  UucsServer server(1, 8);
+  server.add_testcase(make_blank_testcase(120.0));
+  VirtualClock clock(77.0);
+  LocalServerApi api(server, &clock);
+  const Guid guid = api.register_client(HostSpec::paper_study_machine());
+  EXPECT_DOUBLE_EQ(server.registration(guid).registered_at, 77.0);
+  SyncRequest req;
+  req.guid = guid;
+  EXPECT_EQ(api.hot_sync(req).new_testcases.size(), 1u);
+}
+
+}  // namespace
+}  // namespace uucs

@@ -1,0 +1,101 @@
+/// Robustness sweep: the server dispatcher must answer EVERY byte sequence
+/// with a well-formed response ([error] for garbage) and never throw or
+/// corrupt its state — a client cannot take the server down (§2's server
+/// accepts connections from arbitrary Internet hosts).
+
+#include <gtest/gtest.h>
+
+#include "server/protocol.hpp"
+#include "testcase/suite.hpp"
+#include "util/rng.hpp"
+
+namespace uucs {
+namespace {
+
+class ProtocolFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+std::string random_bytes(Rng& rng, std::size_t max_len) {
+  const auto n = static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(max_len)));
+  std::string s(n, '\0');
+  for (auto& c : s) {
+    // Printable-heavy mix with occasional control characters.
+    c = rng.bernoulli(0.9)
+            ? static_cast<char>(rng.uniform_int(32, 126))
+            : static_cast<char>(rng.uniform_int(0, 31));
+    if (c == '\0') c = ' ';
+  }
+  return s;
+}
+
+/// Mutates a valid request: flip, delete or insert characters.
+std::string mutate(const std::string& base, Rng& rng) {
+  std::string s = base;
+  const int edits = static_cast<int>(rng.uniform_int(1, 8));
+  for (int e = 0; e < edits && !s.empty(); ++e) {
+    const auto pos = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(s.size()) - 1));
+    switch (rng.uniform_int(0, 2)) {
+      case 0:
+        s[pos] = static_cast<char>(rng.uniform_int(32, 126));
+        break;
+      case 1:
+        s.erase(pos, 1);
+        break;
+      default:
+        s.insert(pos, 1, static_cast<char>(rng.uniform_int(32, 126)));
+        break;
+    }
+  }
+  return s;
+}
+
+TEST_P(ProtocolFuzz, RandomBytesAlwaysGetAResponse) {
+  UucsServer server(GetParam());
+  server.add_testcase(make_ramp_testcase(Resource::kCpu, 1.0, 10.0));
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const std::string request = random_bytes(rng, 512);
+    std::string response;
+    ASSERT_NO_THROW(response = dispatch_request(server, request)) << request;
+    const auto records = kv_parse(response);  // response itself parses
+    ASSERT_FALSE(records.empty());
+    EXPECT_TRUE(records[0].type() == "error" ||
+                records[0].type() == "register-response" ||
+                records[0].type() == "sync-response");
+  }
+  // Server state intact after the barrage.
+  EXPECT_EQ(server.testcases().size(), 1u);
+}
+
+TEST_P(ProtocolFuzz, MutatedValidRequestsNeverCrash) {
+  UucsServer server(GetParam());
+  server.add_testcase(make_ramp_testcase(Resource::kDisk, 2.0, 10.0));
+  const Guid guid = server.register_client(HostSpec::paper_study_machine());
+  SyncRequest req;
+  req.guid = guid;
+  const std::string valid = encode_sync_request(req);
+  Rng rng(GetParam() ^ 0x777);
+  for (int i = 0; i < 200; ++i) {
+    std::string response;
+    ASSERT_NO_THROW(response = dispatch_request(server, mutate(valid, rng)));
+    ASSERT_FALSE(kv_parse(response).empty());
+  }
+}
+
+TEST_P(ProtocolFuzz, ValidRequestsStillWorkAfterFuzzing) {
+  UucsServer server(GetParam());
+  server.add_testcase(make_ramp_testcase(Resource::kCpu, 1.0, 10.0));
+  Rng rng(GetParam() ^ 0x999);
+  for (int i = 0; i < 50; ++i) {
+    dispatch_request(server, random_bytes(rng, 256));
+  }
+  const std::string response = dispatch_request(
+      server, encode_register_request(HostSpec::paper_study_machine()));
+  EXPECT_EQ(kv_parse(response).at(0).type(), "register-response");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProtocolFuzz, ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace uucs

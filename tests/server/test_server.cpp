@@ -1,0 +1,121 @@
+#include "server/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "testcase/suite.hpp"
+#include "util/error.hpp"
+#include "util/fs.hpp"
+
+namespace uucs {
+namespace {
+
+UucsServer server_with_cases(std::size_t n, std::size_t batch = 4) {
+  UucsServer server(1, batch);
+  for (std::size_t i = 0; i < n; ++i) {
+    server.add_testcase(make_ramp_testcase(Resource::kCpu, 1.0 + i, 120.0));
+  }
+  return server;
+}
+
+RunRecord sample_result(const std::string& id) {
+  RunRecord r;
+  r.run_id = id;
+  r.testcase_id = "cpu-ramp-x1-t120";
+  r.task = "word";
+  r.discomforted = true;
+  r.offset_s = 42.0;
+  r.set_last_levels(Resource::kCpu, {0.1, 0.2, 0.3, 0.4, 0.5});
+  return r;
+}
+
+TEST(UucsServer, RegistrationAssignsUniqueGuids) {
+  UucsServer server(1);
+  const Guid a = server.register_client(HostSpec::paper_study_machine(), 10.0);
+  const Guid b = server.register_client(HostSpec::paper_study_machine(), 20.0);
+  EXPECT_NE(a, b);
+  EXPECT_TRUE(server.is_registered(a));
+  EXPECT_EQ(server.client_count(), 2u);
+  EXPECT_DOUBLE_EQ(server.registration(a).registered_at, 10.0);
+  EXPECT_EQ(server.registration(b).host.os_name, "Windows XP");
+}
+
+TEST(UucsServer, UnknownGuidRejected) {
+  UucsServer server(1);
+  EXPECT_THROW(server.registration(Guid{1, 2}), Error);
+  SyncRequest req;
+  req.guid = Guid{1, 2};
+  EXPECT_THROW(server.hot_sync(req), Error);
+}
+
+TEST(UucsServer, HotSyncDeliversBatchAndStoresResults) {
+  UucsServer server = server_with_cases(10, 4);
+  const Guid guid = server.register_client(HostSpec::paper_study_machine());
+  SyncRequest req;
+  req.guid = guid;
+  req.results.push_back(sample_result("r1"));
+  const SyncResponse resp = server.hot_sync(req);
+  EXPECT_EQ(resp.accepted_results, 1u);
+  EXPECT_EQ(resp.new_testcases.size(), 4u);
+  EXPECT_EQ(resp.server_testcase_count, 10u);
+  EXPECT_EQ(server.results().size(), 1u);
+  EXPECT_EQ(server.results().at(0).run_id, "r1");
+  EXPECT_EQ(server.registration(guid).sync_count, 1u);
+}
+
+TEST(UucsServer, GrowingRandomSampleNeverRepeats) {
+  UucsServer server = server_with_cases(10, 4);
+  const Guid guid = server.register_client(HostSpec::paper_study_machine());
+  std::vector<std::string> known;
+  std::set<std::string> seen;
+  for (int sync = 0; sync < 4; ++sync) {
+    SyncRequest req;
+    req.guid = guid;
+    req.known_testcase_ids = known;
+    const SyncResponse resp = server.hot_sync(req);
+    for (const auto& tc : resp.new_testcases) {
+      EXPECT_TRUE(seen.insert(tc.id()).second) << "duplicate " << tc.id();
+      known.push_back(tc.id());
+    }
+  }
+  // All ten delivered across syncs (4+4+2+0).
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(UucsServer, SaveLoadRoundTrip) {
+  TempDir dir;
+  UucsServer server = server_with_cases(3);
+  const Guid guid = server.register_client(HostSpec::paper_study_machine(), 5.0);
+  SyncRequest req;
+  req.guid = guid;
+  req.results.push_back(sample_result("r1"));
+  server.hot_sync(req);
+  server.save(dir.path());
+
+  const UucsServer loaded = UucsServer::load(dir.path());
+  EXPECT_EQ(loaded.testcases().size(), 3u);
+  EXPECT_EQ(loaded.results().size(), 1u);
+  EXPECT_TRUE(loaded.is_registered(guid));
+  EXPECT_EQ(loaded.registration(guid).sync_count, 1u);
+  EXPECT_DOUBLE_EQ(loaded.registration(guid).registered_at, 5.0);
+}
+
+TEST(UucsServer, TestcasesAddableAnyTime) {
+  UucsServer server = server_with_cases(2, 8);
+  const Guid guid = server.register_client(HostSpec::paper_study_machine());
+  SyncRequest req;
+  req.guid = guid;
+  auto resp = server.hot_sync(req);
+  EXPECT_EQ(resp.new_testcases.size(), 2u);
+  // New testcases appear in later syncs (§2: "new testcases, which can be
+  // added to the server at any time, are downloaded by the client").
+  server.add_testcase(make_blank_testcase(120.0));
+  req.known_testcase_ids = {resp.new_testcases[0].id(), resp.new_testcases[1].id()};
+  resp = server.hot_sync(req);
+  ASSERT_EQ(resp.new_testcases.size(), 1u);
+  EXPECT_EQ(resp.new_testcases[0].id(), "blank-t120");
+}
+
+}  // namespace
+}  // namespace uucs

@@ -1,0 +1,124 @@
+#include "sim/app_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace uucs::sim {
+namespace {
+
+const HostModel& study_host() {
+  static const HostModel host{uucs::HostSpec::paper_study_machine()};
+  return host;
+}
+
+AppModel app_for(Task t) { return AppModel(AppProfile::for_task(t), study_host()); }
+
+/// Property sweep: every (task, resource) degradation curve must be zero at
+/// zero and strictly increasing — the user model's threshold inversion
+/// depends on it.
+class DegradationMonotone
+    : public ::testing::TestWithParam<std::tuple<Task, uucs::Resource>> {};
+
+TEST_P(DegradationMonotone, StrictlyIncreasingFromZero) {
+  const auto [task, resource] = GetParam();
+  const AppModel app = app_for(task);
+  EXPECT_DOUBLE_EQ(app.degradation(resource, 0.0), 0.0);
+  double prev = 0.0;
+  const double cap = resource == uucs::Resource::kMemory ||
+                             resource == uucs::Resource::kNetwork
+                         ? 1.0
+                         : 10.0;
+  for (int i = 1; i <= 200; ++i) {
+    const double c = cap * i / 200.0;
+    const double d = app.degradation(resource, c);
+    EXPECT_GT(d, prev) << task_name(task) << "/" << uucs::resource_name(resource)
+                       << " at c=" << c;
+    prev = d;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCells, DegradationMonotone,
+    ::testing::Combine(::testing::ValuesIn(kAllTasks),
+                       ::testing::Values(uucs::Resource::kCpu,
+                                         uucs::Resource::kMemory,
+                                         uucs::Resource::kDisk,
+                                         uucs::Resource::kNetwork)));
+
+/// Property sweep: contention_for_degradation inverts degradation.
+class DegradationInverse
+    : public ::testing::TestWithParam<std::tuple<Task, uucs::Resource>> {};
+
+TEST_P(DegradationInverse, RoundTrips) {
+  const auto [task, resource] = GetParam();
+  const AppModel app = app_for(task);
+  for (double c : {0.05, 0.3, 0.9, 3.0}) {
+    if (resource == uucs::Resource::kMemory && c > 1.0) continue;
+    const double d = app.degradation(resource, c);
+    const double back = app.contention_for_degradation(resource, d);
+    EXPECT_NEAR(back, c, 1e-6) << task_name(task) << "/"
+                               << uucs::resource_name(resource);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCells, DegradationInverse,
+    ::testing::Combine(::testing::ValuesIn(kAllTasks),
+                       ::testing::Values(uucs::Resource::kCpu,
+                                         uucs::Resource::kMemory,
+                                         uucs::Resource::kDisk)));
+
+TEST(AppProfile, CalibrationNarrativeOrdering) {
+  // §3.2: Word barely reacts to CPU contention; Quake reacts drastically.
+  const double c = 1.0;
+  const double word = app_for(Task::kWord).degradation(uucs::Resource::kCpu, c);
+  const double ppt = app_for(Task::kPowerpoint).degradation(uucs::Resource::kCpu, c);
+  const double quake = app_for(Task::kQuake).degradation(uucs::Resource::kCpu, c);
+  EXPECT_LT(word, ppt);
+  EXPECT_LT(ppt, quake);
+}
+
+TEST(AppProfile, QuakeMemoryPressureKinksEarliest) {
+  // Quake's working set (~75%) overflows before Word's (~18%): the paper
+  // found office apps tolerate memory borrowing once their set forms.
+  const auto word = app_for(Task::kWord);
+  const auto quake = app_for(Task::kQuake);
+  // At 40% borrowed, Quake already pages, Word does not.
+  const double word_d = word.degradation(uucs::Resource::kMemory, 0.4);
+  const double quake_d = quake.degradation(uucs::Resource::kMemory, 0.4);
+  EXPECT_GT(quake_d, 10.0 * word_d);
+}
+
+TEST(AppProfile, FasterHostFeelsLessCpuDegradation) {
+  uucs::HostSpec fast_spec = uucs::HostSpec::paper_study_machine();
+  fast_spec.cpu_mhz = 8000.0;
+  const HostModel fast_host{fast_spec};
+  const AppModel slow_app(AppProfile::for_task(Task::kQuake), study_host());
+  const AppModel fast_app(AppProfile::for_task(Task::kQuake), fast_host);
+  EXPECT_LT(fast_app.degradation(uucs::Resource::kCpu, 1.0),
+            slow_app.degradation(uucs::Resource::kCpu, 1.0));
+}
+
+TEST(AppModel, InverseBeyondRangeIsInfinite) {
+  const AppModel app = app_for(Task::kWord);
+  EXPECT_TRUE(std::isinf(
+      app.contention_for_degradation(uucs::Resource::kMemory, 1e9, 1.0)));
+}
+
+TEST(AppModel, InverseOfZeroIsZero) {
+  const AppModel app = app_for(Task::kWord);
+  EXPECT_DOUBLE_EQ(app.contention_for_degradation(uucs::Resource::kCpu, 0.0), 0.0);
+}
+
+TEST(AppModel, NegativeInputsRejected) {
+  const AppModel app = app_for(Task::kIe);
+  EXPECT_THROW(app.degradation(uucs::Resource::kCpu, -0.1), uucs::Error);
+  EXPECT_THROW(app.contention_for_degradation(uucs::Resource::kCpu, -1.0),
+               uucs::Error);
+}
+
+}  // namespace
+}  // namespace uucs::sim

@@ -1,0 +1,94 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace uucs::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  uucs::VirtualClock clock;
+  EventQueue q(clock);
+  std::vector<int> order;
+  q.schedule_at(3.0, [&] { order.push_back(3); });
+  q.schedule_at(1.0, [&] { order.push_back(1); });
+  q.schedule_at(2.0, [&] { order.push_back(2); });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(clock.now(), 3.0);
+}
+
+TEST(EventQueue, FifoAmongEqualTimes) {
+  uucs::VirtualClock clock;
+  EventQueue q(clock);
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, HandlersCanScheduleMore) {
+  uucs::VirtualClock clock;
+  EventQueue q(clock);
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 4) q.schedule_in(1.0, chain);
+  };
+  q.schedule_in(1.0, chain);
+  q.run_all();
+  EXPECT_EQ(fired, 4);
+  EXPECT_DOUBLE_EQ(clock.now(), 4.0);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  uucs::VirtualClock clock;
+  EventQueue q(clock);
+  int fired = 0;
+  q.schedule_at(1.0, [&] { ++fired; });
+  q.schedule_at(5.0, [&] { ++fired; });
+  q.run_until(3.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(clock.now(), 3.0);
+  EXPECT_EQ(q.pending(), 1u);
+  q.run_until(10.0);
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(clock.now(), 10.0);
+}
+
+TEST(EventQueue, StepReturnsFalseWhenEmpty) {
+  uucs::VirtualClock clock;
+  EventQueue q(clock);
+  EXPECT_FALSE(q.step());
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, SchedulingInPastRejected) {
+  uucs::VirtualClock clock(10.0);
+  EventQueue q(clock);
+  EXPECT_THROW(q.schedule_at(5.0, [] {}), uucs::Error);
+  EXPECT_THROW(q.schedule_in(-1.0, [] {}), uucs::Error);
+  EXPECT_THROW(q.schedule_at(11.0, nullptr), uucs::Error);
+}
+
+TEST(EventQueue, NextTimeOnEmptyThrows) {
+  uucs::VirtualClock clock;
+  EventQueue q(clock);
+  EXPECT_THROW(q.next_time(), uucs::Error);
+}
+
+TEST(EventQueue, RunawayGuardFires) {
+  uucs::VirtualClock clock;
+  EventQueue q(clock);
+  std::function<void()> forever = [&] { q.schedule_in(1.0, forever); };
+  q.schedule_in(1.0, forever);
+  EXPECT_THROW(q.run_all(100), uucs::Error);
+}
+
+}  // namespace
+}  // namespace uucs::sim

@@ -1,0 +1,85 @@
+#include "sim/host_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace uucs::sim {
+namespace {
+
+HostModel study_host() { return HostModel(uucs::HostSpec::paper_study_machine()); }
+
+TEST(HostModel, CpuShareFairSharing) {
+  const HostModel host = study_host();
+  // Uncontended: the app gets its demand.
+  EXPECT_DOUBLE_EQ(host.cpu_share(0.3, 0.0), 0.3);
+  // One competing busy thread: fair share is 1/2; demand below that is met.
+  EXPECT_DOUBLE_EQ(host.cpu_share(0.3, 1.0), 0.3);
+  // A saturating app against one busy thread gets half the CPU.
+  EXPECT_DOUBLE_EQ(host.cpu_share(1.0, 1.0), 0.5);
+  // §2.2's example: contention 1.5 leaves a busy thread 1/(1+1.5) = 40%.
+  EXPECT_NEAR(host.cpu_share(1.0, 1.5), 0.4, 1e-12);
+}
+
+TEST(HostModel, CpuSlowdownMatchesShare) {
+  const HostModel host = study_host();
+  EXPECT_DOUBLE_EQ(host.cpu_slowdown(1.0, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(host.cpu_slowdown(0.2, 1.0), 1.0);  // fits in the share
+  EXPECT_DOUBLE_EQ(host.cpu_slowdown(0.0, 5.0), 1.0);  // idle app unaffected
+}
+
+TEST(HostModel, MultiCoreAbsorbsContention) {
+  uucs::HostSpec spec = uucs::HostSpec::paper_study_machine();
+  spec.cpu_count = 4;
+  const HostModel host{spec};
+  // 1 exerciser thread on 4 cores: the app still gets a full core.
+  EXPECT_DOUBLE_EQ(host.cpu_share(1.0, 1.0), 1.0);
+  // 7 busy threads + app on 4 cores: share = 4/8.
+  EXPECT_DOUBLE_EQ(host.cpu_share(1.0, 7.0), 0.5);
+}
+
+TEST(HostModel, MemoryOverflowKinksAtCapacity) {
+  const HostModel host = study_host();
+  // 30% working set + 15% base: no overflow until borrowing passes 55%.
+  EXPECT_DOUBLE_EQ(host.memory_overflow(0.30, 0.15, 0.50), 0.0);
+  EXPECT_NEAR(host.memory_overflow(0.30, 0.15, 0.65), 0.10 / 0.30, 1e-12);
+  // Contention is a fraction (clamped at 1), and the loss is capped at the
+  // whole working set.
+  EXPECT_DOUBLE_EQ(host.memory_overflow(0.30, 0.15, 5.0), 1.0);
+}
+
+TEST(HostModel, MemoryOverflowCapsAtOne) {
+  const HostModel host = study_host();
+  EXPECT_DOUBLE_EQ(host.memory_overflow(0.10, 0.15, 1.0), 1.0);
+}
+
+TEST(HostModel, MemoryZeroWorkingSetNeverOverflows) {
+  const HostModel host = study_host();
+  EXPECT_DOUBLE_EQ(host.memory_overflow(0.0, 0.5, 1.0), 0.0);
+}
+
+TEST(HostModel, DiskShareAndSlowdown) {
+  const HostModel host = study_host();
+  EXPECT_DOUBLE_EQ(host.disk_share(0.5, 0.0), 0.5);
+  EXPECT_DOUBLE_EQ(host.disk_share(1.0, 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(host.disk_slowdown(1.0, 3.0), 4.0);
+  EXPECT_DOUBLE_EQ(host.disk_slowdown(0.1, 1.0), 1.0);
+}
+
+TEST(HostModel, DomainChecks) {
+  const HostModel host = study_host();
+  EXPECT_THROW(host.cpu_share(1.5, 0.0), uucs::Error);
+  EXPECT_THROW(host.cpu_share(0.5, -1.0), uucs::Error);
+  EXPECT_THROW(host.memory_overflow(-0.1, 0.0, 0.0), uucs::Error);
+  EXPECT_THROW(host.disk_share(2.0, 0.0), uucs::Error);
+}
+
+TEST(HostModel, PowerIndexFromSpec) {
+  EXPECT_DOUBLE_EQ(study_host().power_index(), 1.0);
+  uucs::HostSpec fast = uucs::HostSpec::paper_study_machine();
+  fast.cpu_mhz = 6000.0;
+  EXPECT_DOUBLE_EQ(HostModel{fast}.power_index(), 3.0);
+}
+
+}  // namespace
+}  // namespace uucs::sim

@@ -1,0 +1,43 @@
+#include "sim/network_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace uucs::sim {
+namespace {
+
+TEST(NetworkModel, ForegroundShareSaturates) {
+  const NetworkModel net(100e6);
+  EXPECT_DOUBLE_EQ(net.foreground_share(0.3, 0.0), 0.3);
+  EXPECT_DOUBLE_EQ(net.foreground_share(0.3, 0.5), 0.3);
+  EXPECT_DOUBLE_EQ(net.foreground_share(0.8, 0.5), 0.5);
+  EXPECT_DOUBLE_EQ(net.foreground_share(0.8, 1.0), 0.0);
+}
+
+TEST(NetworkModel, LatencyGrowsTowardSaturation) {
+  const NetworkModel net;
+  EXPECT_DOUBLE_EQ(net.latency_multiplier(0.2, 0.0), 1.0);
+  const double mid = net.latency_multiplier(0.2, 0.4);
+  const double high = net.latency_multiplier(0.2, 0.75);
+  EXPECT_GT(mid, 1.0);
+  EXPECT_GT(high, mid);
+}
+
+TEST(NetworkModel, ExerciserTraffic) {
+  const NetworkModel net(100e6);
+  EXPECT_DOUBLE_EQ(net.exerciser_bytes_per_s(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(net.exerciser_bytes_per_s(1.0), 100e6 / 8.0);
+  EXPECT_DOUBLE_EQ(net.exerciser_bytes_per_s(0.5), 100e6 / 16.0);
+}
+
+TEST(NetworkModel, DomainChecks) {
+  const NetworkModel net;
+  EXPECT_THROW(NetworkModel(0.0), uucs::Error);
+  EXPECT_THROW(net.foreground_share(0.5, 1.5), uucs::Error);
+  EXPECT_THROW(net.exerciser_bytes_per_s(-0.1), uucs::Error);
+  EXPECT_THROW(net.latency_multiplier(1.5, 0.0), uucs::Error);
+}
+
+}  // namespace
+}  // namespace uucs::sim

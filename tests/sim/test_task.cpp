@@ -1,0 +1,36 @@
+#include "sim/task.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace uucs::sim {
+namespace {
+
+TEST(Task, NamesRoundTrip) {
+  for (Task t : kAllTasks) {
+    EXPECT_EQ(parse_task(task_name(t)), t);
+  }
+}
+
+TEST(Task, DisplayNamesMatchPaperTables) {
+  EXPECT_EQ(task_display_name(Task::kWord), "Word");
+  EXPECT_EQ(task_display_name(Task::kPowerpoint), "Powerpoint");
+  EXPECT_EQ(task_display_name(Task::kIe), "IE");
+  EXPECT_EQ(task_display_name(Task::kQuake), "Quake");
+}
+
+TEST(Task, ParseAliases) {
+  EXPECT_EQ(parse_task("PPT"), Task::kPowerpoint);
+  EXPECT_EQ(parse_task("Internet Explorer"), Task::kIe);
+  EXPECT_THROW(parse_task("excel"), uucs::ParseError);
+}
+
+TEST(Task, AllTasksInPaperOrder) {
+  ASSERT_EQ(kAllTasks.size(), 4u);
+  EXPECT_EQ(kAllTasks[0], Task::kWord);
+  EXPECT_EQ(kAllTasks[3], Task::kQuake);
+}
+
+}  // namespace
+}  // namespace uucs::sim

@@ -1,0 +1,65 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testcase/suite.hpp"
+#include "util/error.hpp"
+
+namespace uucs::sim {
+namespace {
+
+const HostModel& study_host() {
+  static const HostModel host{uucs::HostSpec::paper_study_machine()};
+  return host;
+}
+
+TEST(DegradationTrace, FollowsRampShape) {
+  const AppModel app(AppProfile::for_task(Task::kQuake), study_host());
+  const auto f = uucs::make_ramp(1.3, 120.0);
+  const auto trace = degradation_trace(app, uucs::Resource::kCpu, f, 1.0);
+  ASSERT_EQ(trace.degradation.size(), 120u);
+  // Monotone non-decreasing along the ramp, peaking at the end.
+  for (std::size_t i = 1; i < trace.degradation.size(); ++i) {
+    EXPECT_GE(trace.degradation[i], trace.degradation[i - 1]);
+  }
+  EXPECT_DOUBLE_EQ(trace.peak_degradation, trace.degradation.back());
+  EXPECT_GT(trace.peak_degradation, 0.0);
+}
+
+TEST(DegradationTrace, StepShapeHasKink) {
+  const AppModel app(AppProfile::for_task(Task::kIe), study_host());
+  const auto f = uucs::make_step(1.0, 120.0, 40.0);
+  const auto trace = degradation_trace(app, uucs::Resource::kCpu, f, 1.0);
+  EXPECT_DOUBLE_EQ(trace.degradation[10], 0.0);   // before the step
+  EXPECT_GT(trace.degradation[50], 0.0);          // after the step
+  EXPECT_NEAR(trace.degradation[50], trace.degradation[110], 1e-12);  // flat top
+}
+
+TEST(DegradationTrace, StepSizeControlsResolution) {
+  const AppModel app(AppProfile::for_task(Task::kWord), study_host());
+  const auto f = uucs::make_ramp(2.0, 10.0);
+  EXPECT_EQ(degradation_trace(app, uucs::Resource::kCpu, f, 1.0).contention.size(),
+            10u);
+  EXPECT_EQ(degradation_trace(app, uucs::Resource::kCpu, f, 0.5).contention.size(),
+            20u);
+  EXPECT_THROW(degradation_trace(app, uucs::Resource::kCpu, f, 0.0), uucs::Error);
+}
+
+TEST(LatencyConversion, ScalesFromBase) {
+  EXPECT_DOUBLE_EQ(degradation_to_latency_ms(0.0), 100.0);
+  EXPECT_DOUBLE_EQ(degradation_to_latency_ms(1.0), 200.0);
+  EXPECT_DOUBLE_EQ(degradation_to_latency_ms(0.5, 50.0), 75.0);
+  EXPECT_THROW(degradation_to_latency_ms(-1.0), uucs::Error);
+}
+
+TEST(DegradationTrace, QuakeFeelsMoreThanWordAtSameContention) {
+  const AppModel word(AppProfile::for_task(Task::kWord), study_host());
+  const AppModel quake(AppProfile::for_task(Task::kQuake), study_host());
+  const auto f = uucs::make_constant(1.0, 10.0);
+  const auto tw = degradation_trace(word, uucs::Resource::kCpu, f);
+  const auto tq = degradation_trace(quake, uucs::Resource::kCpu, f);
+  EXPECT_GT(tq.peak_degradation, 3.0 * tw.peak_degradation);
+}
+
+}  // namespace
+}  // namespace uucs::sim

@@ -1,0 +1,215 @@
+#include "sim/user_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "testcase/suite.hpp"
+#include "util/error.hpp"
+
+namespace uucs::sim {
+namespace {
+
+const HostModel& study_host() {
+  static const HostModel host{uucs::HostSpec::paper_study_machine()};
+  return host;
+}
+
+RunSimulator quiet_simulator() {
+  return RunSimulator(study_host(), {0.0, 0.0, 0.0, 0.0});
+}
+
+UserProfile user_with_threshold(Task t, uucs::Resource r, double threshold) {
+  UserProfile user;
+  user.user_id = "u";
+  for (Task task : kAllTasks) {
+    for (uucs::Resource res : uucs::kStudyResources) {
+      user.set_threshold(task, res, std::numeric_limits<double>::infinity());
+    }
+  }
+  user.set_threshold(t, r, threshold);
+  user.reaction_delay_s = 0.0;
+  user.surprise_penalty = 0.0;
+  return user;
+}
+
+TEST(SkillNames, RoundTrip) {
+  EXPECT_EQ(parse_skill_rating(skill_rating_name(SkillRating::kPower)),
+            SkillRating::kPower);
+  EXPECT_EQ(skill_category_name(SkillCategory::kQuake), "quake");
+  EXPECT_THROW(parse_skill_rating("wizard"), uucs::ParseError);
+}
+
+TEST(TaskSkillCategory, MapsTasksToOwnRatings) {
+  EXPECT_EQ(task_skill_category(Task::kWord), SkillCategory::kWord);
+  EXPECT_EQ(task_skill_category(Task::kQuake), SkillCategory::kQuake);
+}
+
+TEST(UserProfile, ThresholdAccessors) {
+  UserProfile user;
+  user.set_threshold(Task::kIe, uucs::Resource::kDisk, 2.5);
+  EXPECT_DOUBLE_EQ(user.threshold(Task::kIe, uucs::Resource::kDisk), 2.5);
+  EXPECT_THROW(user.set_threshold(Task::kIe, uucs::Resource::kDisk, -1.0),
+               uucs::Error);
+  EXPECT_THROW(user.threshold(Task::kIe, uucs::Resource::kNetwork), uucs::Error);
+}
+
+TEST(CrossingTime, RampCrossesAtThresholdLevel) {
+  const RunSimulator sim = quiet_simulator();
+  const auto user = user_with_threshold(Task::kQuake, uucs::Resource::kCpu, 0.65);
+  const auto tc = uucs::make_ramp_testcase(uucs::Resource::kCpu, 1.3, 120.0);
+  const double t = sim.crossing_time(user, Task::kQuake, tc, uucs::Resource::kCpu);
+  ASSERT_GE(t, 0.0);
+  // ramp(1.3, 120) reaches 0.65 at ~60 s.
+  EXPECT_NEAR(t, 59.0, 3.0);
+  EXPECT_NEAR(tc.function(uucs::Resource::kCpu)->level_at(t), 0.65, 0.05);
+}
+
+TEST(CrossingTime, NeverCrossesAboveMax) {
+  const RunSimulator sim = quiet_simulator();
+  const auto user = user_with_threshold(Task::kQuake, uucs::Resource::kCpu, 2.0);
+  const auto tc = uucs::make_ramp_testcase(uucs::Resource::kCpu, 1.3, 120.0);
+  EXPECT_LT(sim.crossing_time(user, Task::kQuake, tc, uucs::Resource::kCpu), 0.0);
+}
+
+TEST(CrossingTime, InfiniteThresholdNeverCrosses) {
+  const RunSimulator sim = quiet_simulator();
+  auto user = user_with_threshold(Task::kWord, uucs::Resource::kCpu, 1.0);
+  user.set_threshold(Task::kWord, uucs::Resource::kCpu,
+                     std::numeric_limits<double>::infinity());
+  const auto tc = uucs::make_ramp_testcase(uucs::Resource::kCpu, 7.0, 120.0);
+  EXPECT_LT(sim.crossing_time(user, Task::kWord, tc, uucs::Resource::kCpu), 0.0);
+}
+
+TEST(CrossingTime, StepSurprisePenaltyLowersEffectiveThreshold) {
+  const RunSimulator sim = quiet_simulator();
+  // Threshold 1.1 > step level 1.0: without surprise no crossing...
+  auto user = user_with_threshold(Task::kIe, uucs::Resource::kCpu, 1.1);
+  const auto tc = uucs::make_step_testcase(uucs::Resource::kCpu, 1.0, 120.0, 40.0);
+  EXPECT_LT(sim.crossing_time(user, Task::kIe, tc, uucs::Resource::kCpu), 0.0);
+  // ...but with a 20% penalty the effective threshold 0.88 < 1.0 crosses at
+  // the step onset.
+  user.surprise_penalty = 0.2;
+  const double t = sim.crossing_time(user, Task::kIe, tc, uucs::Resource::kCpu);
+  EXPECT_NEAR(t, 40.0, 1.5);
+}
+
+TEST(CrossingTime, RampDoesNotTriggerSurprise) {
+  const RunSimulator sim = quiet_simulator();
+  // With a ramp the user acclimatizes: crossing happens at the full
+  // threshold even with a large surprise penalty.
+  auto user = user_with_threshold(Task::kWord, uucs::Resource::kDisk, 5.0);
+  user.surprise_penalty = 0.35;
+  const auto tc = uucs::make_ramp_testcase(uucs::Resource::kDisk, 7.0, 120.0);
+  const double t = sim.crossing_time(user, Task::kWord, tc, uucs::Resource::kDisk);
+  ASSERT_GE(t, 0.0);
+  EXPECT_NEAR(tc.function(uucs::Resource::kDisk)->level_at(t), 5.0, 0.15);
+}
+
+TEST(Simulate, ExhaustsWhenNothingTriggers) {
+  const RunSimulator sim = quiet_simulator();
+  const auto user = user_with_threshold(Task::kWord, uucs::Resource::kCpu, 100.0);
+  const auto tc = uucs::make_ramp_testcase(uucs::Resource::kCpu, 7.0, 120.0);
+  uucs::Rng rng(1);
+  const auto out = sim.simulate(user, Task::kWord, tc, rng);
+  EXPECT_FALSE(out.discomforted);
+  EXPECT_DOUBLE_EQ(out.offset_s, 120.0);
+}
+
+TEST(Simulate, ThresholdDiscomfortReportsTriggerResource) {
+  const RunSimulator sim = quiet_simulator();
+  auto user = user_with_threshold(Task::kQuake, uucs::Resource::kMemory, 0.5);
+  const auto tc = uucs::make_ramp_testcase(uucs::Resource::kMemory, 1.0, 120.0);
+  uucs::Rng rng(2);
+  const auto out = sim.simulate(user, Task::kQuake, tc, rng);
+  ASSERT_TRUE(out.discomforted);
+  EXPECT_FALSE(out.noise_triggered);
+  ASSERT_TRUE(out.trigger.has_value());
+  EXPECT_EQ(*out.trigger, uucs::Resource::kMemory);
+  EXPECT_NEAR(out.offset_s, 60.0, 5.0);
+}
+
+TEST(Simulate, ReactionDelayShiftsFeedback) {
+  const RunSimulator sim = quiet_simulator();
+  auto user = user_with_threshold(Task::kQuake, uucs::Resource::kCpu, 0.65);
+  auto delayed = user;
+  delayed.reaction_delay_s = 10.0;
+  const auto tc = uucs::make_ramp_testcase(uucs::Resource::kCpu, 1.3, 120.0);
+  uucs::Rng rng(3);
+  const auto fast = sim.simulate(user, Task::kQuake, tc, rng);
+  const auto slow = sim.simulate(delayed, Task::kQuake, tc, rng);
+  ASSERT_TRUE(fast.discomforted && slow.discomforted);
+  EXPECT_NEAR(slow.offset_s - fast.offset_s, 10.0, 1.0);
+}
+
+TEST(Simulate, NoiseFloorFiresOnBlanks) {
+  RunSimulator sim(study_host(), {0.0, 0.0, 0.0, 0.05});  // heavy quake noise
+  UserProfile user = user_with_threshold(Task::kQuake, uucs::Resource::kCpu, 1e9);
+  const uucs::Testcase blank = uucs::make_blank_testcase(120.0);
+  uucs::Rng rng(4);
+  int discomforts = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto out = sim.simulate(user, Task::kQuake, blank, rng);
+    if (out.discomforted) {
+      ++discomforts;
+      EXPECT_TRUE(out.noise_triggered);
+      EXPECT_LT(out.offset_s, 120.0);
+    }
+  }
+  // P(discomfort) = 1 - exp(-0.05*120) ~ 0.998.
+  EXPECT_GT(discomforts, 190);
+}
+
+TEST(Simulate, NonblankNoiseScaleReducesNoise) {
+  RunSimulator sim(study_host(), {0.0, 0.0, 0.0, 0.01});
+  sim.set_nonblank_noise_scale(0.0);  // fully suppressed during borrowing
+  UserProfile user = user_with_threshold(Task::kQuake, uucs::Resource::kCpu, 1e9);
+  const auto tc = uucs::make_ramp_testcase(uucs::Resource::kCpu, 1.3, 120.0);
+  uucs::Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(sim.simulate(user, Task::kQuake, tc, rng).discomforted);
+  }
+  EXPECT_THROW(sim.set_nonblank_noise_scale(1.5), uucs::Error);
+}
+
+TEST(Simulate, FasterHostRaisesEffectiveCpuThreshold) {
+  uucs::HostSpec fast_spec = uucs::HostSpec::paper_study_machine();
+  fast_spec.cpu_mhz = 4000.0;  // power 2x
+  const HostModel fast_host{fast_spec};
+  RunSimulator fast_sim(fast_host, {0.0, 0.0, 0.0, 0.0});
+  const RunSimulator ref_sim = quiet_simulator();
+
+  const auto user = user_with_threshold(Task::kQuake, uucs::Resource::kCpu, 0.5);
+  const auto tc = uucs::make_ramp_testcase(uucs::Resource::kCpu, 1.3, 120.0);
+  const double t_ref =
+      ref_sim.crossing_time(user, Task::kQuake, tc, uucs::Resource::kCpu);
+  const double t_fast =
+      fast_sim.crossing_time(user, Task::kQuake, tc, uucs::Resource::kCpu);
+  ASSERT_GE(t_ref, 0.0);
+  // The same user on a 2x machine tolerates visibly more contention.
+  EXPECT_TRUE(t_fast < 0 || t_fast > t_ref + 10.0);
+}
+
+TEST(SimulateRecord, FillsClientFormat) {
+  const RunSimulator sim = quiet_simulator();
+  auto user = user_with_threshold(Task::kPowerpoint, uucs::Resource::kCpu, 1.0);
+  user.ratings[static_cast<std::size_t>(SkillCategory::kQuake)] =
+      SkillRating::kPower;
+  const auto tc = uucs::make_ramp_testcase(uucs::Resource::kCpu, 2.0, 120.0);
+  uucs::Rng rng(6);
+  const auto rec = sim.simulate_record(user, Task::kPowerpoint, tc, rng, "r-1");
+  EXPECT_EQ(rec.run_id, "r-1");
+  EXPECT_EQ(rec.user_id, "u");
+  EXPECT_EQ(rec.task, "powerpoint");
+  EXPECT_TRUE(rec.discomforted);
+  const auto level = rec.level_at_feedback(uucs::Resource::kCpu);
+  ASSERT_TRUE(level.has_value());
+  EXPECT_NEAR(*level, 1.0, 0.1);
+  EXPECT_EQ(rec.meta("skill.quake"), "power");
+  EXPECT_EQ(rec.meta("trigger"), "cpu");
+  EXPECT_EQ(rec.meta("noise_triggered"), "false");
+  EXPECT_DOUBLE_EQ(rec.meta_double("host.power", 0.0), 1.0);
+}
+
+}  // namespace
+}  // namespace uucs::sim

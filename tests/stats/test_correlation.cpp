@@ -1,0 +1,69 @@
+#include "stats/correlation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace uucs::stats {
+namespace {
+
+TEST(Pearson, PerfectLinear) {
+  EXPECT_NEAR(pearson_correlation({1, 2, 3, 4}, {2, 4, 6, 8}), 1.0, 1e-12);
+  EXPECT_NEAR(pearson_correlation({1, 2, 3, 4}, {8, 6, 4, 2}), -1.0, 1e-12);
+}
+
+TEST(Pearson, IndependentNearZero) {
+  uucs::Rng rng(1);
+  std::vector<double> x(5000), y(5000);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.normal();
+    y[i] = rng.normal();
+  }
+  EXPECT_NEAR(pearson_correlation(x, y), 0.0, 0.05);
+}
+
+TEST(Pearson, ConstantInputGivesZero) {
+  EXPECT_DOUBLE_EQ(pearson_correlation({1, 1, 1}, {1, 2, 3}), 0.0);
+}
+
+TEST(Pearson, Validation) {
+  EXPECT_THROW(pearson_correlation({1, 2}, {1}), uucs::Error);
+  EXPECT_THROW(pearson_correlation({1}, {1}), uucs::Error);
+}
+
+TEST(Midranks, TiesAveraged) {
+  const auto r = midranks({10.0, 20.0, 20.0, 30.0});
+  ASSERT_EQ(r.size(), 4u);
+  EXPECT_DOUBLE_EQ(r[0], 1.0);
+  EXPECT_DOUBLE_EQ(r[1], 2.5);
+  EXPECT_DOUBLE_EQ(r[2], 2.5);
+  EXPECT_DOUBLE_EQ(r[3], 4.0);
+}
+
+TEST(Spearman, MonotoneNonlinearIsPerfect) {
+  std::vector<double> x, y;
+  for (int i = 1; i <= 20; ++i) {
+    x.push_back(i);
+    y.push_back(std::exp(0.3 * i));  // nonlinear but monotone
+  }
+  EXPECT_NEAR(spearman_correlation(x, y), 1.0, 1e-12);
+  // Pearson sees less than 1 on the same data.
+  EXPECT_LT(pearson_correlation(x, y), 0.99);
+}
+
+TEST(Spearman, NoisyMonotoneStrongPositive) {
+  uucs::Rng rng(2);
+  std::vector<double> x, y;
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.uniform(0.0, 10.0);
+    x.push_back(v);
+    y.push_back(v * v + rng.normal(0.0, 5.0));
+  }
+  EXPECT_GT(spearman_correlation(x, y), 0.8);
+}
+
+}  // namespace
+}  // namespace uucs::stats

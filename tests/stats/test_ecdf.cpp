@@ -1,0 +1,160 @@
+#include "stats/ecdf.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace uucs::stats {
+namespace {
+
+TEST(EmpiricalCdf, AtAndQuantile) {
+  EmpiricalCdf cdf({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.at(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 4.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.01), 1.0);
+}
+
+TEST(EmpiricalCdf, EmptyThrows) {
+  EXPECT_THROW(EmpiricalCdf({}), uucs::Error);
+}
+
+TEST(DiscomfortCdf, FractionDiscomforted) {
+  DiscomfortCdf cdf;
+  cdf.add_discomfort(1.0);
+  cdf.add_discomfort(2.0);
+  cdf.add_exhausted();
+  cdf.add_exhausted();
+  EXPECT_EQ(cdf.discomfort_count(), 2u);
+  EXPECT_EQ(cdf.exhausted_count(), 2u);
+  EXPECT_DOUBLE_EQ(cdf.fraction_discomforted(), 0.5);
+}
+
+TEST(DiscomfortCdf, CurveSaturatesAtFd) {
+  DiscomfortCdf cdf;
+  for (double l : {0.5, 1.0, 1.5}) cdf.add_discomfort(l);
+  cdf.add_exhausted();
+  EXPECT_DOUBLE_EQ(cdf.fraction_at(0.4), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at(1.0), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at(100.0), 0.75);  // == f_d, never 1.0
+}
+
+TEST(DiscomfortCdf, LevelAtFraction) {
+  DiscomfortCdf cdf;
+  // 20 runs: discomfort at 1..10, plus 10 exhausted.
+  for (int i = 1; i <= 10; ++i) cdf.add_discomfort(i);
+  for (int i = 0; i < 10; ++i) cdf.add_exhausted();
+  // 5% of 20 runs = 1 run -> first discomfort level.
+  EXPECT_DOUBLE_EQ(*cdf.level_at_fraction(0.05), 1.0);
+  EXPECT_DOUBLE_EQ(*cdf.level_at_fraction(0.5), 10.0);
+  // Beyond f_d = 0.5 there is no level: censored region.
+  EXPECT_FALSE(cdf.level_at_fraction(0.6).has_value());
+}
+
+TEST(DiscomfortCdf, LevelAtFractionEmpty) {
+  DiscomfortCdf cdf;
+  EXPECT_FALSE(cdf.level_at_fraction(0.05).has_value());
+}
+
+TEST(DiscomfortCdf, MeanDiscomfortLevel) {
+  DiscomfortCdf cdf;
+  for (double l : {1.0, 2.0, 3.0}) cdf.add_discomfort(l);
+  cdf.add_exhausted();  // must not affect the mean of observed levels
+  const auto ci = cdf.mean_discomfort_level();
+  ASSERT_TRUE(ci.has_value());
+  EXPECT_NEAR(ci->mean, 2.0, 1e-12);
+  EXPECT_EQ(ci->n, 3u);
+  EXPECT_LT(ci->lo, 2.0);
+  EXPECT_GT(ci->hi, 2.0);
+}
+
+TEST(DiscomfortCdf, MeanAbsentWithoutDiscomfort) {
+  DiscomfortCdf cdf;
+  cdf.add_exhausted();
+  EXPECT_FALSE(cdf.mean_discomfort_level().has_value());
+}
+
+TEST(DiscomfortCdf, MergeAggregates) {
+  DiscomfortCdf a, b;
+  a.add_discomfort(1.0);
+  a.add_exhausted();
+  b.add_discomfort(2.0);
+  b.add_exhausted();
+  b.add_exhausted();
+  a.merge(b);
+  EXPECT_EQ(a.run_count(), 5u);
+  EXPECT_EQ(a.discomfort_count(), 2u);
+  EXPECT_DOUBLE_EQ(a.fraction_discomforted(), 0.4);
+}
+
+TEST(DiscomfortCdf, CurvePointsMonotone) {
+  uucs::Rng rng(5);
+  DiscomfortCdf cdf;
+  for (int i = 0; i < 200; ++i) cdf.add_discomfort(rng.uniform(0.0, 5.0));
+  for (int i = 0; i < 50; ++i) cdf.add_exhausted();
+  const auto pts = cdf.curve_points();
+  ASSERT_FALSE(pts.empty());
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_GE(pts[i].first, pts[i - 1].first);
+    EXPECT_GE(pts[i].second, pts[i - 1].second);
+  }
+  EXPECT_NEAR(pts.back().second, 0.8, 1e-12);
+}
+
+TEST(DiscomfortCdf, CurvePointsCollapseTies) {
+  DiscomfortCdf cdf;
+  cdf.add_discomfort(2.0);
+  cdf.add_discomfort(2.0);
+  cdf.add_discomfort(2.0);
+  const auto pts = cdf.curve_points();
+  // One anchor at (2,0) then a single point at (2,1).
+  ASSERT_EQ(pts.size(), 2u);
+  EXPECT_DOUBLE_EQ(pts[1].second, 1.0);
+}
+
+TEST(DiscomfortCdf, NegativeLevelRejected) {
+  DiscomfortCdf cdf;
+  EXPECT_THROW(cdf.add_discomfort(-0.1), uucs::Error);
+}
+
+TEST(DiscomfortCdf, DkwBandShrinksWithSamples) {
+  DiscomfortCdf small, large;
+  for (int i = 0; i < 20; ++i) small.add_discomfort(1.0);
+  for (int i = 0; i < 2000; ++i) large.add_discomfort(1.0);
+  EXPECT_GT(small.dkw_half_width(), large.dkw_half_width());
+  // n=20, alpha=0.05: sqrt(ln 40 / 40) ~ 0.3036.
+  EXPECT_NEAR(small.dkw_half_width(), 0.3036, 1e-3);
+  // Censored runs count toward n: they are observations of the curve too.
+  small.add_exhausted();
+  EXPECT_LT(small.dkw_half_width(), 0.3036);
+}
+
+TEST(DiscomfortCdf, DkwValidation) {
+  DiscomfortCdf cdf;
+  EXPECT_DOUBLE_EQ(cdf.dkw_half_width(), 0.0);  // empty
+  cdf.add_discomfort(1.0);
+  EXPECT_THROW(cdf.dkw_half_width(0.0), uucs::Error);
+  EXPECT_THROW(cdf.dkw_half_width(1.0), uucs::Error);
+}
+
+TEST(DiscomfortCdf, AsciiPlotContainsCounts) {
+  DiscomfortCdf cdf;
+  cdf.add_discomfort(1.0);
+  cdf.add_exhausted();
+  const std::string plot = cdf.ascii_plot(40, 8, "CPU");
+  EXPECT_NE(plot.find("CPU"), std::string::npos);
+  EXPECT_NE(plot.find("DfCount=1"), std::string::npos);
+  EXPECT_NE(plot.find("ExCount=1"), std::string::npos);
+}
+
+TEST(DiscomfortCdf, AsciiPlotEmptyGraceful) {
+  DiscomfortCdf cdf;
+  cdf.add_exhausted();
+  EXPECT_NE(cdf.ascii_plot().find("no discomfort"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace uucs::stats

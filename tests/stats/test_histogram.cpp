@@ -1,0 +1,80 @@
+#include "stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace uucs::stats {
+namespace {
+
+TEST(Histogram, BinsValues) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bin 0
+  h.add(3.0);   // bin 1
+  h.add(9.99);  // bin 4
+  EXPECT_EQ(h.bin(0), 1u);
+  EXPECT_EQ(h.bin(1), 1u);
+  EXPECT_EQ(h.bin(4), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, UnderOverflow) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(-0.1);
+  h.add(1.0);  // hi edge counts as overflow (range is [lo, hi))
+  h.add(5.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+}
+
+TEST(Histogram, BinRange) {
+  Histogram h(0.0, 10.0, 5);
+  const auto [a, b] = h.bin_range(2);
+  EXPECT_DOUBLE_EQ(a, 4.0);
+  EXPECT_DOUBLE_EQ(b, 6.0);
+  EXPECT_THROW(h.bin_range(5), uucs::Error);
+}
+
+TEST(Histogram, LowerEdgeInclusive) {
+  Histogram h(1.0, 2.0, 4);
+  h.add(1.0);
+  EXPECT_EQ(h.bin(0), 1u);
+}
+
+TEST(Histogram, InvalidConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 3), uucs::Error);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), uucs::Error);
+}
+
+TEST(Histogram, AsciiRenderHasBars) {
+  Histogram h(0.0, 2.0, 2);
+  for (int i = 0; i < 8; ++i) h.add(0.5);
+  h.add(1.5);
+  const std::string out = h.ascii_render(10);
+  EXPECT_NE(out.find("##########"), std::string::npos);
+}
+
+TEST(Bootstrap, CoversTrueMean) {
+  std::vector<double> xs;
+  for (int i = 0; i < 200; ++i) xs.push_back(static_cast<double>(i % 10));
+  const auto ci = bootstrap_mean_ci(xs, 0.95, 500, 42);
+  EXPECT_NEAR(ci.estimate, 4.5, 1e-9);
+  EXPECT_LT(ci.lo, 4.5);
+  EXPECT_GT(ci.hi, 4.5);
+  EXPECT_LT(ci.hi - ci.lo, 2.0);
+}
+
+TEST(Bootstrap, DeterministicForSeed) {
+  const std::vector<double> xs{1, 2, 3, 4, 5, 6, 7, 8};
+  const auto a = bootstrap_mean_ci(xs, 0.9, 200, 7);
+  const auto b = bootstrap_mean_ci(xs, 0.9, 200, 7);
+  EXPECT_DOUBLE_EQ(a.lo, b.lo);
+  EXPECT_DOUBLE_EQ(a.hi, b.hi);
+}
+
+TEST(Bootstrap, EmptyThrows) {
+  EXPECT_THROW(bootstrap_mean_ci({}, 0.95, 10, 1), uucs::Error);
+}
+
+}  // namespace
+}  // namespace uucs::stats

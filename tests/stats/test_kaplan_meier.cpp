@@ -1,0 +1,108 @@
+#include "stats/kaplan_meier.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace uucs::stats {
+namespace {
+
+TEST(KaplanMeier, NoCensoringMatchesEmpiricalCdf) {
+  KaplanMeier km;
+  for (double l : {1.0, 2.0, 3.0, 4.0}) km.add_event(l);
+  EXPECT_DOUBLE_EQ(km.discomfort_probability(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(km.discomfort_probability(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(km.discomfort_probability(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(km.discomfort_probability(10.0), 1.0);
+}
+
+TEST(KaplanMeier, TextbookCensoredExample) {
+  // Events at 1, 3; censored at 2. Risk sets: at 1 -> 3, at 3 -> 1.
+  // S(1) = 2/3; S(3) = 2/3 * 0 = 0.
+  KaplanMeier km;
+  km.add_event(1.0);
+  km.add_censored(2.0);
+  km.add_event(3.0);
+  EXPECT_NEAR(km.discomfort_probability(1.0), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(km.discomfort_probability(2.5), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(km.discomfort_probability(3.0), 1.0, 1e-12);
+}
+
+TEST(KaplanMeier, CensoredAtEventLevelStaysAtRisk) {
+  // Event and censoring at the same level: the censored run counts in the
+  // risk set for that event.
+  KaplanMeier km;
+  km.add_event(2.0);
+  km.add_censored(2.0);
+  EXPECT_NEAR(km.discomfort_probability(2.0), 0.5, 1e-12);
+}
+
+TEST(KaplanMeier, LevelAtProbability) {
+  KaplanMeier km;
+  for (int i = 1; i <= 10; ++i) km.add_event(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(*km.level_at_probability(0.05), 1.0);
+  EXPECT_DOUBLE_EQ(*km.level_at_probability(0.5), 5.0);
+  // Heavily censored curve that never reaches 90%.
+  KaplanMeier censored;
+  censored.add_event(1.0);
+  for (int i = 0; i < 9; ++i) censored.add_censored(1.0);
+  EXPECT_FALSE(censored.level_at_probability(0.9).has_value());
+  EXPECT_THROW(censored.level_at_probability(0.0), uucs::Error);
+}
+
+TEST(KaplanMeier, CorrectsDifferentialCensoringBias) {
+  // Population thresholds uniform on (0, 10). Group A explores to 10
+  // (events observable everywhere); group B censors at 2. The naive pooled
+  // CDF under-estimates P(discomfort <= 5); KM recovers it.
+  uucs::Rng rng(1);
+  KaplanMeier km;
+  std::size_t naive_events_le5 = 0, naive_total = 0;
+  for (int i = 0; i < 4000; ++i) {
+    const double threshold = rng.uniform(0.0, 10.0);
+    const bool in_b = i % 2 == 0;
+    const double cap = in_b ? 2.0 : 10.0;
+    ++naive_total;
+    if (threshold <= cap) {
+      km.add_event(threshold);
+      if (threshold <= 5.0) ++naive_events_le5;
+    } else {
+      km.add_censored(cap);
+    }
+  }
+  const double naive =
+      static_cast<double>(naive_events_le5) / static_cast<double>(naive_total);
+  const double corrected = km.discomfort_probability(5.0);
+  EXPECT_NEAR(corrected, 0.5, 0.04);  // the truth
+  EXPECT_LT(naive, 0.40);             // the biased naive estimate
+}
+
+TEST(KaplanMeier, CurveMonotone) {
+  uucs::Rng rng(2);
+  KaplanMeier km;
+  for (int i = 0; i < 500; ++i) {
+    const double l = rng.lognormal(0.0, 0.7);
+    if (rng.bernoulli(0.3)) {
+      km.add_censored(l);
+    } else {
+      km.add_event(l);
+    }
+  }
+  const auto points = km.curve_points();
+  ASSERT_FALSE(points.empty());
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GT(points[i].first, points[i - 1].first);
+    EXPECT_GE(points[i].second, points[i - 1].second);
+  }
+  EXPECT_LE(points.back().second, 1.0 + 1e-12);
+}
+
+TEST(KaplanMeier, Validation) {
+  KaplanMeier km;
+  EXPECT_THROW(km.add_event(-1.0), uucs::Error);
+  EXPECT_THROW(km.add_censored(-0.5), uucs::Error);
+  EXPECT_DOUBLE_EQ(km.discomfort_probability(1.0), 0.0);  // empty: no events
+}
+
+}  // namespace
+}  // namespace uucs::stats

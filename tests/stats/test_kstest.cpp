@@ -1,0 +1,86 @@
+#include "stats/kstest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/special.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace uucs::stats {
+namespace {
+
+TEST(KolmogorovQ, KnownValues) {
+  EXPECT_DOUBLE_EQ(kolmogorov_q(0.0), 1.0);
+  // Q(1.36) ~ 0.049: the classic 5% critical value.
+  EXPECT_NEAR(kolmogorov_q(1.36), 0.049, 0.002);
+  EXPECT_LT(kolmogorov_q(2.0), 0.001);
+  EXPECT_GT(kolmogorov_q(0.5), 0.95);
+}
+
+TEST(KsTest, UniformSampleAgainstUniformCdf) {
+  uucs::Rng rng(1);
+  std::vector<double> xs(2000);
+  for (auto& x : xs) x = rng.uniform();
+  const auto r = ks_test(xs, [](double x) { return std::clamp(x, 0.0, 1.0); });
+  EXPECT_GT(r.p_value, 0.01);
+  EXPECT_LT(r.statistic, 0.05);
+}
+
+TEST(KsTest, DetectsWrongDistribution) {
+  uucs::Rng rng(2);
+  std::vector<double> xs(2000);
+  for (auto& x : xs) x = rng.uniform() * rng.uniform();  // not uniform
+  const auto r = ks_test(xs, [](double x) { return std::clamp(x, 0.0, 1.0); });
+  EXPECT_LT(r.p_value, 1e-6);
+}
+
+TEST(KsTest, NormalSampleAgainstNormalCdf) {
+  uucs::Rng rng(3);
+  std::vector<double> xs(3000);
+  for (auto& x : xs) x = rng.normal(2.0, 0.5);
+  const auto r =
+      ks_test(xs, [](double x) { return normal_cdf((x - 2.0) / 0.5); });
+  EXPECT_GT(r.p_value, 0.01);
+}
+
+TEST(KsTest, CalibratedFalsePositiveRate) {
+  // Under the null, p < 0.1 should happen ~10% of the time.
+  uucs::Rng rng(4);
+  int rejections = 0;
+  const int trials = 300;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<double> xs(100);
+    for (auto& x : xs) x = rng.uniform();
+    if (ks_test(xs, [](double x) { return std::clamp(x, 0.0, 1.0); }).p_value <
+        0.1) {
+      ++rejections;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(rejections) / trials, 0.10, 0.06);
+}
+
+TEST(KsTestTwoSample, SameDistributionNotRejected) {
+  uucs::Rng rng(5);
+  std::vector<double> a(800), b(800);
+  for (auto& x : a) x = rng.normal();
+  for (auto& x : b) x = rng.normal();
+  EXPECT_GT(ks_test_two_sample(a, b).p_value, 0.01);
+}
+
+TEST(KsTestTwoSample, ShiftDetected) {
+  uucs::Rng rng(6);
+  std::vector<double> a(500), b(500);
+  for (auto& x : a) x = rng.normal(0.0, 1.0);
+  for (auto& x : b) x = rng.normal(0.5, 1.0);
+  EXPECT_LT(ks_test_two_sample(a, b).p_value, 1e-4);
+}
+
+TEST(KsTest, EmptyRejected) {
+  EXPECT_THROW(ks_test({}, [](double) { return 0.5; }), uucs::Error);
+  EXPECT_THROW(ks_test_two_sample({}, {1.0}), uucs::Error);
+}
+
+}  // namespace
+}  // namespace uucs::stats

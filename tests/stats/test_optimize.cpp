@@ -1,0 +1,83 @@
+#include "stats/optimize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace uucs::stats {
+namespace {
+
+TEST(NelderMead, MinimizesQuadratic) {
+  const auto r = nelder_mead(
+      [](const std::vector<double>& x) {
+        return (x[0] - 3.0) * (x[0] - 3.0) + (x[1] + 1.0) * (x[1] + 1.0);
+      },
+      {0.0, 0.0});
+  EXPECT_NEAR(r.x[0], 3.0, 1e-4);
+  EXPECT_NEAR(r.x[1], -1.0, 1e-4);
+  EXPECT_LT(r.value, 1e-8);
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(NelderMead, MinimizesRosenbrock) {
+  const auto r = nelder_mead(
+      [](const std::vector<double>& x) {
+        const double a = 1.0 - x[0];
+        const double b = x[1] - x[0] * x[0];
+        return a * a + 100.0 * b * b;
+      },
+      {-1.2, 1.0}, 0.5, 20000, 1e-14);
+  EXPECT_NEAR(r.x[0], 1.0, 1e-3);
+  EXPECT_NEAR(r.x[1], 1.0, 1e-3);
+}
+
+TEST(NelderMead, OneDimension) {
+  const auto r = nelder_mead(
+      [](const std::vector<double>& x) { return std::cosh(x[0] - 2.0); }, {0.0});
+  EXPECT_NEAR(r.x[0], 2.0, 1e-4);
+}
+
+TEST(NelderMead, EmptyStartRejected) {
+  EXPECT_THROW(nelder_mead([](const std::vector<double>&) { return 0.0; }, {}),
+               uucs::Error);
+}
+
+TEST(NelderMead, RespectsEvaluationBudget) {
+  std::size_t calls = 0;
+  nelder_mead(
+      [&](const std::vector<double>& x) {
+        ++calls;
+        return std::sin(x[0]) + x[1] * x[1];
+      },
+      {0.0, 5.0}, 0.5, 50);
+  EXPECT_LE(calls, 60u);  // budget plus the final shrink overshoot
+}
+
+TEST(GoldenSection, FindsUnimodalMinimum) {
+  const double x = golden_section([](double v) { return (v - 1.5) * (v - 1.5); },
+                                  -10.0, 10.0);
+  EXPECT_NEAR(x, 1.5, 1e-6);
+}
+
+TEST(GoldenSection, InvalidBracketRejected) {
+  EXPECT_THROW(golden_section([](double v) { return v; }, 1.0, 0.0), uucs::Error);
+}
+
+TEST(BisectRoot, FindsRoot) {
+  const double x = bisect_root([](double v) { return v * v * v - 8.0; }, 0.0, 10.0);
+  EXPECT_NEAR(x, 2.0, 1e-9);
+}
+
+TEST(BisectRoot, EndpointRoot) {
+  EXPECT_DOUBLE_EQ(bisect_root([](double v) { return v; }, 0.0, 1.0), 0.0);
+}
+
+TEST(BisectRoot, NoSignChangeRejected) {
+  EXPECT_THROW(bisect_root([](double v) { return v * v + 1.0; }, -1.0, 1.0),
+               uucs::Error);
+}
+
+}  // namespace
+}  // namespace uucs::stats

@@ -1,0 +1,103 @@
+#include "stats/special.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace uucs::stats {
+namespace {
+
+TEST(Special, IncompleteBetaBoundaries) {
+  EXPECT_DOUBLE_EQ(incomplete_beta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(incomplete_beta(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(Special, IncompleteBetaUniformCase) {
+  // I_x(1,1) = x.
+  for (double x : {0.1, 0.3, 0.5, 0.9}) {
+    EXPECT_NEAR(incomplete_beta(1.0, 1.0, x), x, 1e-12);
+  }
+}
+
+TEST(Special, IncompleteBetaSymmetry) {
+  // I_x(a,b) = 1 - I_{1-x}(b,a).
+  EXPECT_NEAR(incomplete_beta(2.5, 4.0, 0.3),
+              1.0 - incomplete_beta(4.0, 2.5, 0.7), 1e-12);
+}
+
+TEST(Special, IncompleteBetaKnownValue) {
+  // I_{0.5}(2,2) = 0.5 by symmetry; I_{0.25}(2,2) = 3x^2-2x^3 at 0.25.
+  EXPECT_NEAR(incomplete_beta(2.0, 2.0, 0.5), 0.5, 1e-12);
+  const double x = 0.25;
+  EXPECT_NEAR(incomplete_beta(2.0, 2.0, x), 3 * x * x - 2 * x * x * x, 1e-12);
+}
+
+TEST(Special, IncompleteBetaDomainChecks) {
+  EXPECT_THROW(incomplete_beta(0.0, 1.0, 0.5), uucs::Error);
+  EXPECT_THROW(incomplete_beta(1.0, 1.0, 1.5), uucs::Error);
+}
+
+TEST(Special, IncompleteGammaExponentialCase) {
+  // P(1, x) = 1 - exp(-x).
+  for (double x : {0.1, 1.0, 3.0, 10.0}) {
+    EXPECT_NEAR(incomplete_gamma_p(1.0, x), 1.0 - std::exp(-x), 1e-12);
+  }
+}
+
+TEST(Special, IncompleteGammaChiSquare) {
+  // Chi-square(2) CDF at its median ~1.386 is 0.5; P(1, 0.6931...) = 0.5.
+  EXPECT_NEAR(incomplete_gamma_p(1.0, std::log(2.0)), 0.5, 1e-12);
+}
+
+TEST(Special, NormalCdfKnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-15);
+  EXPECT_NEAR(normal_cdf(1.959963984540054), 0.975, 1e-9);
+  EXPECT_NEAR(normal_cdf(-1.959963984540054), 0.025, 1e-9);
+}
+
+TEST(Special, NormalQuantileInvertsCdf) {
+  for (double p : {0.001, 0.025, 0.05, 0.5, 0.95, 0.975, 0.999}) {
+    EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-10);
+  }
+}
+
+TEST(Special, NormalQuantileDomain) {
+  EXPECT_THROW(normal_quantile(0.0), uucs::Error);
+  EXPECT_THROW(normal_quantile(1.0), uucs::Error);
+}
+
+TEST(Special, StudentTCdfSymmetry) {
+  EXPECT_NEAR(student_t_cdf(0.0, 5.0), 0.5, 1e-12);
+  EXPECT_NEAR(student_t_cdf(1.3, 7.0) + student_t_cdf(-1.3, 7.0), 1.0, 1e-12);
+}
+
+TEST(Special, StudentTCdfKnownValue) {
+  // For nu=1 (Cauchy): CDF(1) = 3/4.
+  EXPECT_NEAR(student_t_cdf(1.0, 1.0), 0.75, 1e-10);
+  // Large nu approaches the normal CDF.
+  EXPECT_NEAR(student_t_cdf(1.96, 1e6), normal_cdf(1.96), 1e-5);
+}
+
+TEST(Special, StudentTTwoSidedP) {
+  // nu=10, t=2.228 is the classic 5% critical value.
+  EXPECT_NEAR(student_t_two_sided_p(2.228, 10.0), 0.05, 1e-3);
+  EXPECT_NEAR(student_t_two_sided_p(0.0, 10.0), 1.0, 1e-12);
+}
+
+TEST(Special, StudentTQuantileInverts) {
+  for (double nu : {1.0, 4.0, 30.0}) {
+    for (double p : {0.05, 0.5, 0.975}) {
+      EXPECT_NEAR(student_t_cdf(student_t_quantile(p, nu), nu), p, 1e-9);
+    }
+  }
+}
+
+TEST(Special, StudentTQuantileKnownCriticalValue) {
+  // t_{0.975, 10} = 2.228.
+  EXPECT_NEAR(student_t_quantile(0.975, 10.0), 2.228, 1e-3);
+}
+
+}  // namespace
+}  // namespace uucs::stats

@@ -1,0 +1,106 @@
+#include "stats/summary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace uucs::stats {
+namespace {
+
+TEST(RunningStat, BasicMoments) {
+  RunningStat rs;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) rs.add(x);
+  EXPECT_EQ(rs.count(), 8u);
+  EXPECT_NEAR(rs.mean(), 5.0, 1e-12);
+  // Sample variance of this classic dataset is 32/7.
+  EXPECT_NEAR(rs.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+  EXPECT_NEAR(rs.sum(), 40.0, 1e-9);
+}
+
+TEST(RunningStat, VarianceNeedsTwoSamples) {
+  RunningStat rs;
+  rs.add(3.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+}
+
+TEST(RunningStat, EmptyMinMaxThrows) {
+  RunningStat rs;
+  EXPECT_THROW(rs.min(), uucs::Error);
+  EXPECT_THROW(rs.max(), uucs::Error);
+}
+
+TEST(RunningStat, MergeEqualsSequential) {
+  RunningStat all, a, b;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10;
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStat, MergeWithEmpty) {
+  RunningStat a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_NEAR(a.mean(), mean, 1e-15);
+  RunningStat b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+}
+
+TEST(MeanCi, CoversKnownExample) {
+  // n=4, mean=5, sd=2: CI half-width = t(0.975,3)*2/2 = 3.182*1 = 3.182.
+  const MeanCi ci = mean_confidence_interval({3, 4, 6, 7}, 0.95);
+  EXPECT_NEAR(ci.mean, 5.0, 1e-12);
+  EXPECT_NEAR(ci.hi - ci.mean, 3.182 * std::sqrt(10.0 / 3.0) / 2.0, 2e-3);
+  EXPECT_NEAR(ci.mean - ci.lo, ci.hi - ci.mean, 1e-12);
+}
+
+TEST(MeanCi, DegenerateSmallSample) {
+  const MeanCi ci = mean_confidence_interval({4.0}, 0.95);
+  EXPECT_DOUBLE_EQ(ci.lo, 4.0);
+  EXPECT_DOUBLE_EQ(ci.hi, 4.0);
+}
+
+TEST(MeanCi, WiderAtHigherConfidence) {
+  const std::vector<double> xs{1, 2, 3, 4, 5, 6};
+  const MeanCi c90 = mean_confidence_interval(xs, 0.90);
+  const MeanCi c99 = mean_confidence_interval(xs, 0.99);
+  EXPECT_LT(c90.hi - c90.lo, c99.hi - c99.lo);
+}
+
+TEST(Quantile, InterpolatesType7) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+  EXPECT_NEAR(quantile(xs, 1.0 / 3.0), 2.0, 1e-12);
+}
+
+TEST(Quantile, UnsortedInput) {
+  EXPECT_DOUBLE_EQ(quantile({9, 1, 5}, 0.5), 5.0);
+}
+
+TEST(Quantile, EmptyThrows) {
+  EXPECT_THROW(quantile({}, 0.5), uucs::Error);
+}
+
+TEST(MeanOf, Basics) {
+  EXPECT_DOUBLE_EQ(mean_of({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean_of({2, 4}), 3.0);
+}
+
+}  // namespace
+}  // namespace uucs::stats

@@ -1,0 +1,133 @@
+#include "stats/ttest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace uucs::stats {
+namespace {
+
+TEST(Welch, IdenticalGroupsNotSignificant) {
+  uucs::Rng rng(1);
+  std::vector<double> a, b;
+  for (int i = 0; i < 100; ++i) {
+    a.push_back(rng.normal(5.0, 1.0));
+    b.push_back(rng.normal(5.0, 1.0));
+  }
+  const auto r = welch_t_test(a, b);
+  ASSERT_TRUE(r.valid);
+  EXPECT_GT(r.p_two_sided, 0.01);
+}
+
+TEST(Welch, SeparatedGroupsSignificant) {
+  uucs::Rng rng(2);
+  std::vector<double> a, b;
+  for (int i = 0; i < 50; ++i) {
+    a.push_back(rng.normal(5.0, 1.0));
+    b.push_back(rng.normal(4.0, 1.0));
+  }
+  const auto r = welch_t_test(a, b);
+  ASSERT_TRUE(r.valid);
+  EXPECT_LT(r.p_two_sided, 0.001);
+  EXPECT_NEAR(r.difference, 1.0, 0.5);
+}
+
+TEST(Welch, HandComputedValue) {
+  // a: mean 2.5, s^2 = 5/3; b: mean 5, s^2 = 20/3, both n=4.
+  // se^2 = 5/12 + 20/12 = 25/12, t = -2.5 / sqrt(25/12) = -sqrt(3).
+  // dof = (25/12)^2 / ((5/12)^2/3 + (20/12)^2/3) = 625/425*3 = 75/17.
+  const std::vector<double> a{1, 2, 3, 4};
+  const std::vector<double> b{2, 4, 6, 8};
+  const auto r = welch_t_test(a, b);
+  ASSERT_TRUE(r.valid);
+  EXPECT_NEAR(r.t, -std::sqrt(3.0), 1e-12);
+  EXPECT_NEAR(r.dof, 75.0 / 17.0, 1e-12);
+  EXPECT_NEAR(r.difference, -2.5, 1e-12);
+  EXPECT_GT(r.p_two_sided, 0.1);
+  EXPECT_LT(r.p_two_sided, 0.2);
+}
+
+TEST(Welch, TooSmallGroupsInvalid) {
+  EXPECT_FALSE(welch_t_test({1.0}, {1.0, 2.0}).valid);
+  EXPECT_FALSE(welch_t_test({}, {}).valid);
+}
+
+TEST(Welch, ConstantGroupsInvalid) {
+  EXPECT_FALSE(welch_t_test({2.0, 2.0, 2.0}, {2.0, 2.0}).valid);
+}
+
+TEST(Pooled, AgreesWithWelchOnEqualVariances) {
+  uucs::Rng rng(3);
+  std::vector<double> a, b;
+  for (int i = 0; i < 200; ++i) {
+    a.push_back(rng.normal(1.0, 2.0));
+    b.push_back(rng.normal(1.3, 2.0));
+  }
+  const auto w = welch_t_test(a, b);
+  const auto p = pooled_t_test(a, b);
+  ASSERT_TRUE(w.valid && p.valid);
+  EXPECT_NEAR(w.t, p.t, 0.05);
+  EXPECT_NEAR(p.dof, 398.0, 1e-9);
+}
+
+TEST(OneSample, DetectsShift) {
+  uucs::Rng rng(4);
+  std::vector<double> xs;
+  for (int i = 0; i < 60; ++i) xs.push_back(rng.normal(0.22, 0.1));
+  const auto r = one_sample_t_test(xs, 0.0);
+  ASSERT_TRUE(r.valid);
+  EXPECT_LT(r.p_two_sided, 1e-4);
+  EXPECT_NEAR(r.difference, 0.22, 0.05);
+}
+
+TEST(OneSample, NullTrueNotSignificant) {
+  uucs::Rng rng(5);
+  std::vector<double> xs;
+  for (int i = 0; i < 60; ++i) xs.push_back(rng.normal(1.0, 0.5));
+  const auto r = one_sample_t_test(xs, 1.0);
+  ASSERT_TRUE(r.valid);
+  EXPECT_GT(r.p_two_sided, 0.01);
+}
+
+TEST(Paired, RemovesSharedVariance) {
+  uucs::Rng rng(6);
+  std::vector<double> a, b;
+  for (int i = 0; i < 40; ++i) {
+    const double subject = rng.normal(0.0, 5.0);  // large between-subject noise
+    a.push_back(subject + rng.normal(0.3, 0.1));
+    b.push_back(subject + rng.normal(0.0, 0.1));
+  }
+  const auto unpaired = welch_t_test(a, b);
+  const auto paired = paired_t_test(a, b);
+  ASSERT_TRUE(paired.valid);
+  EXPECT_LT(paired.p_two_sided, 1e-6);
+  // The unpaired test drowns in subject variance.
+  EXPECT_GT(unpaired.p_two_sided, paired.p_two_sided);
+}
+
+TEST(Paired, LengthMismatchThrows) {
+  EXPECT_THROW(paired_t_test({1.0, 2.0}, {1.0}), uucs::Error);
+}
+
+TEST(TTest, PValueCalibrationUnderNull) {
+  // Under the null, p-values should be roughly uniform: check the rejection
+  // rate at alpha=0.1 over many repetitions.
+  uucs::Rng rng(7);
+  int rejections = 0;
+  const int trials = 400;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<double> a, b;
+    for (int i = 0; i < 20; ++i) {
+      a.push_back(rng.normal(0.0, 1.0));
+      b.push_back(rng.normal(0.0, 1.0));
+    }
+    if (welch_t_test(a, b).p_two_sided < 0.1) ++rejections;
+  }
+  EXPECT_NEAR(static_cast<double>(rejections) / trials, 0.1, 0.05);
+}
+
+}  // namespace
+}  // namespace uucs::stats

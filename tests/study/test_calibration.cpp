@@ -1,0 +1,152 @@
+#include "study/calibration.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace uucs::study {
+namespace {
+
+/// Shared calibration: expensive, computed once for the whole suite.
+const PopulationParams& params() {
+  static const PopulationParams p = calibrate_population();
+  return p;
+}
+
+TEST(MixtureStats, NoNoisePureThresholds) {
+  // mu = ln(1), sigma small: everyone's threshold ~1 on a ramp to 2.
+  const MixtureStats m = ramp_mixture_stats(0.0, 0.05, 2.0, 120.0, 0.0);
+  EXPECT_NEAR(m.fd, 1.0, 1e-6);
+  EXPECT_NEAR(m.ca, 1.0, 0.01);
+  // 5th percentile of lognormal(0, 0.05) = exp(-1.645 * 0.05) ~ 0.921.
+  EXPECT_NEAR(m.c05, 0.921, 0.02);
+}
+
+TEST(MixtureStats, PureNoiseFloor) {
+  // Thresholds far above the ramp: only the hazard discomforts.
+  const double lambda = 0.005;
+  const MixtureStats m = ramp_mixture_stats(std::log(100.0), 0.1, 2.0, 120.0, lambda);
+  EXPECT_NEAR(m.fd, 1.0 - std::exp(-lambda * 120.0), 1e-3);
+}
+
+TEST(MixtureStats, FdIncreasesWithNoise) {
+  const MixtureStats quiet = ramp_mixture_stats(0.5, 0.5, 2.0, 120.0, 0.0);
+  const MixtureStats noisy = ramp_mixture_stats(0.5, 0.5, 2.0, 120.0, 0.003);
+  EXPECT_GT(noisy.fd, quiet.fd);
+  EXPECT_LT(noisy.c05, quiet.c05);
+}
+
+TEST(MixtureStats, DomainChecks) {
+  EXPECT_THROW(ramp_mixture_stats(0.0, 0.0, 2.0, 120.0, 0.0), uucs::Error);
+  EXPECT_THROW(ramp_mixture_stats(0.0, 1.0, 0.0, 120.0, 0.0), uucs::Error);
+}
+
+TEST(FitCell, ZeroFdGivesNeverCell) {
+  PaperCell target{0.0, std::nan(""), std::nan(""), std::nan(""), std::nan("")};
+  const CellFit fit = fit_cell(target, 1.0, 120.0, 0.0);
+  EXPECT_TRUE(fit.never);
+  EXPECT_TRUE(std::isinf(fit.threshold_at(0.0)));
+}
+
+TEST(FitCell, RecoversSyntheticCell) {
+  // Generate targets from a known lognormal, then fit and compare.
+  const double mu = 0.3, sigma = 0.4, xmax = 3.0, lambda = 0.001;
+  const MixtureStats truth = ramp_mixture_stats(mu, sigma, xmax, 120.0, lambda);
+  PaperCell target{truth.fd, truth.c05, truth.ca, 0.0, 0.0};
+  const CellFit fit = fit_cell(target, xmax, 120.0, lambda);
+  ASSERT_FALSE(fit.never);
+  const MixtureStats refit =
+      ramp_mixture_stats(fit.mu, fit.sigma, xmax, 120.0, lambda);
+  EXPECT_NEAR(refit.fd, truth.fd, 0.02);
+  EXPECT_NEAR(refit.c05, truth.c05, 0.05);
+  EXPECT_NEAR(refit.ca, truth.ca, 0.05);
+}
+
+TEST(CellFit, ThresholdAtQuantiles) {
+  CellFit fit;
+  fit.mu = 1.0;
+  fit.sigma = 0.5;
+  EXPECT_DOUBLE_EQ(fit.threshold_at(0.0), std::exp(1.0));
+  EXPECT_GT(fit.threshold_at(1.0), fit.threshold_at(0.0));
+  EXPECT_LT(fit.threshold_at(-1.0), fit.threshold_at(0.0));
+}
+
+/// Calibrated cells must reproduce the paper targets within tolerance when
+/// pushed back through the mixture model. Parameterized over all cells.
+class CalibrationQuality
+    : public ::testing::TestWithParam<std::tuple<Task, uucs::Resource>> {};
+
+TEST_P(CalibrationQuality, ModelStatsNearPaperTargets) {
+  const auto [task, resource] = GetParam();
+  const PaperCell& target = paper_cell(task, resource);
+  const CellFit& fit = params().cell(task, resource);
+  if (target.fd <= 0.0) {
+    EXPECT_TRUE(fit.never);
+    return;
+  }
+  ASSERT_FALSE(fit.never);
+  const double lambda = params().noise_rates[static_cast<std::size_t>(task)] *
+                        params().nonblank_noise_scale;
+  const double xmax = ramp_max(task, resource);
+  const MixtureStats m = ramp_mixture_stats(fit.mu, fit.sigma, xmax, 120.0, lambda);
+  EXPECT_NEAR(m.fd, target.fd, 0.06) << "fd";
+  if (target.has_c05()) {
+    // Relative to the ramp range; quake/disk sits on the noise floor and is
+    // the loosest cell (see DESIGN.md §6).
+    EXPECT_NEAR(m.c05, target.c05, 0.2 * xmax) << "c05";
+  }
+  if (target.has_ca()) {
+    // Quake/disk is the documented exception (DESIGN.md §6): its fd target
+    // (0.29) sits below what the Fig 9 noise floor alone produces over a
+    // 5x ramp, and noise presses land at uniform (hence high-mean) levels,
+    // so no threshold distribution can pull ca down to 1.19.
+    const bool quake_disk =
+        task == Task::kQuake && resource == uucs::Resource::kDisk;
+    const double tol =
+        quake_disk ? 1.1 : 0.25 * std::max(1.0, target.ca);
+    EXPECT_NEAR(m.ca, target.ca, tol) << "ca";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCells, CalibrationQuality,
+    ::testing::Combine(::testing::ValuesIn(uucs::sim::kAllTasks),
+                       ::testing::Values(uucs::Resource::kCpu,
+                                         uucs::Resource::kMemory,
+                                         uucs::Resource::kDisk)));
+
+TEST(Calibration, NoiseRatesMatchPaper) {
+  EXPECT_DOUBLE_EQ(params().noise_rates[0], 0.0);
+  EXPECT_DOUBLE_EQ(params().noise_rates[1], 0.0);
+  EXPECT_GT(params().noise_rates[3], params().noise_rates[2]);
+}
+
+TEST(Calibration, SkillLoadingsKeepCopulaValid) {
+  const double a = params().sensitivity_loading;
+  for (Task t : uucs::sim::kAllTasks) {
+    for (uucs::Resource r : uucs::kStudyResources) {
+      const double b = params().skill_loading(t, r);
+      EXPECT_GE(b, 0.0);
+      EXPECT_LE(a * a + b * b, 1.0);
+    }
+  }
+  // Quake/CPU carries the strongest skill effect (Fig 17).
+  EXPECT_GT(params().skill_loading(Task::kQuake, uucs::Resource::kCpu),
+            params().skill_loading(Task::kWord, uucs::Resource::kCpu));
+}
+
+TEST(Calibration, Deterministic) {
+  const PopulationParams a = calibrate_population();
+  const PopulationParams b = calibrate_population();
+  for (Task t : uucs::sim::kAllTasks) {
+    for (uucs::Resource r : uucs::kStudyResources) {
+      EXPECT_DOUBLE_EQ(a.cell(t, r).mu, b.cell(t, r).mu);
+      EXPECT_DOUBLE_EQ(a.cell(t, r).sigma, b.cell(t, r).sigma);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace uucs::study

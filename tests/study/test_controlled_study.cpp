@@ -1,0 +1,164 @@
+#include "study/controlled_study.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/breakdown.hpp"
+#include "analysis/dynamics.hpp"
+#include "analysis/metrics.hpp"
+
+namespace uucs::study {
+namespace {
+
+const PopulationParams& params() {
+  static const PopulationParams p = calibrate_population();
+  return p;
+}
+
+const ControlledStudyOutput& study() {
+  static const ControlledStudyOutput out =
+      run_controlled_study(ControlledStudyConfig{}, params());
+  return out;
+}
+
+TEST(StudyTestcases, Figure8SetPerTask) {
+  const auto store = controlled_study_testcases(Task::kPowerpoint);
+  EXPECT_EQ(store.size(), 8u);  // 3 ramps + 3 steps + 2 blanks
+  EXPECT_TRUE(store.contains("cpu-ramp-x2-t120"));
+  EXPECT_TRUE(store.contains("cpu-step-x0.98-t120-b40"));
+  EXPECT_TRUE(store.contains("disk-ramp-x8-t120"));
+  EXPECT_TRUE(store.contains("memory-ramp-x1-t120"));
+  EXPECT_TRUE(store.contains("blank-t120-a"));
+  EXPECT_TRUE(store.contains("blank-t120-b"));
+}
+
+TEST(ControlledStudy, PopulationSizeMatchesConfig) {
+  EXPECT_EQ(study().users.size(), kParticipants);
+}
+
+TEST(ControlledStudy, EveryRunBelongsToAKnownUserAndTask) {
+  for (const auto& run : study().results.records()) {
+    EXPECT_FALSE(run.user_id.empty());
+    EXPECT_NO_THROW(uucs::sim::parse_task(run.task));
+    EXPECT_FALSE(run.run_id.empty());
+  }
+}
+
+TEST(ControlledStudy, SessionsRespectBudget) {
+  // Per user/task, the sum of run offsets must fit in 16 minutes.
+  std::map<std::string, double> session_time;
+  for (const auto& run : study().results.records()) {
+    session_time[run.user_id + "/" + run.task] += run.offset_s;
+  }
+  for (const auto& [key, total] : session_time) {
+    EXPECT_LE(total, kSessionSeconds + 1e-9) << key;
+  }
+}
+
+TEST(ControlledStudy, DeterministicForSeed) {
+  ControlledStudyConfig cfg;
+  cfg.participants = 5;
+  const auto a = run_controlled_study(cfg, params());
+  const auto b = run_controlled_study(cfg, params());
+  ASSERT_EQ(a.results.size(), b.results.size());
+  for (std::size_t i = 0; i < a.results.size(); ++i) {
+    EXPECT_EQ(a.results.at(i).testcase_id, b.results.at(i).testcase_id);
+    EXPECT_EQ(a.results.at(i).discomforted, b.results.at(i).discomforted);
+    EXPECT_DOUBLE_EQ(a.results.at(i).offset_s, b.results.at(i).offset_s);
+  }
+}
+
+TEST(ControlledStudy, SeedChangesOutcome) {
+  ControlledStudyConfig cfg;
+  cfg.participants = 5;
+  ControlledStudyConfig cfg2 = cfg;
+  cfg2.seed = cfg.seed + 1;
+  const auto a = run_controlled_study(cfg, params());
+  const auto b = run_controlled_study(cfg2, params());
+  bool any_diff = a.results.size() != b.results.size();
+  for (std::size_t i = 0; !any_diff && i < a.results.size(); ++i) {
+    any_diff = a.results.at(i).testcase_id != b.results.at(i).testcase_id ||
+               a.results.at(i).offset_s != b.results.at(i).offset_s;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(ControlledStudy, WordAndPowerpointBlanksNeverDiscomfort) {
+  // The paper's noise floor is zero for Word and Powerpoint (Fig 9).
+  for (const auto& run : study().results.records()) {
+    if ((run.task == "word" || run.task == "powerpoint") &&
+        analysis::is_blank_run(run)) {
+      EXPECT_FALSE(run.discomforted) << run.run_id;
+    }
+  }
+}
+
+TEST(ControlledStudy, Figure9ShapeReproduced) {
+  const auto table = analysis::compute_breakdown_table(study().results);
+  // Quake generates the most CPU+blank runs (early discomfort frees time),
+  // Word the most exhausted blanks; IE and Quake show a noise floor.
+  const auto& word = table.per_task[0];
+  const auto& ie = table.per_task[2];
+  const auto& quake = table.per_task[3];
+  EXPECT_GT(quake.nonblank_discomforted, word.nonblank_discomforted);
+  EXPECT_GT(ie.blank_discomfort_probability(), 0.05);
+  EXPECT_GT(quake.blank_discomfort_probability(), 0.1);
+  // Totals in the right ballpark (paper: 33/245 ~ 13% blank discomfort).
+  EXPECT_NEAR(table.total.blank_discomfort_probability(), 0.13, 0.08);
+}
+
+TEST(ControlledStudy, AggregateMetricsNearPaperTotals) {
+  // The headline reproduction: aggregated f_d and c05 per resource
+  // (Figs 10-12 / 14-15 totals), within study-size tolerances.
+  const uucs::ResultStore& results = study().results;
+  const auto cpu = analysis::metrics_from_cdf(
+      analysis::aggregate_cdf(results, uucs::Resource::kCpu));
+  EXPECT_NEAR(cpu.fd, 0.86, 0.10);
+  ASSERT_TRUE(cpu.c05.has_value());
+  EXPECT_NEAR(*cpu.c05, 0.35, 0.25);
+
+  const auto mem = analysis::metrics_from_cdf(
+      analysis::aggregate_cdf(results, uucs::Resource::kMemory));
+  EXPECT_NEAR(mem.fd, 0.21, 0.12);
+
+  const auto disk = analysis::metrics_from_cdf(
+      analysis::aggregate_cdf(results, uucs::Resource::kDisk));
+  EXPECT_NEAR(disk.fd, 0.33, 0.12);
+  ASSERT_TRUE(disk.ca.has_value());
+  EXPECT_NEAR(disk.ca->mean, 2.97, 1.0);
+}
+
+TEST(ControlledStudy, OrderingAcrossResourcesMatchesHeadline)  {
+  // "Borrow disk and memory aggressively, CPU less so": disk tolerates the
+  // highest absolute contention; CPU discomforts most often.
+  const uucs::ResultStore& results = study().results;
+  const auto cpu = analysis::metrics_from_cdf(
+      analysis::aggregate_cdf(results, uucs::Resource::kCpu));
+  const auto mem = analysis::metrics_from_cdf(
+      analysis::aggregate_cdf(results, uucs::Resource::kMemory));
+  const auto disk = analysis::metrics_from_cdf(
+      analysis::aggregate_cdf(results, uucs::Resource::kDisk));
+  EXPECT_GT(cpu.fd, mem.fd);
+  EXPECT_GT(cpu.fd, disk.fd);
+  ASSERT_TRUE(cpu.ca && disk.ca);
+  EXPECT_GT(disk.ca->mean, cpu.ca->mean);
+}
+
+TEST(ControlledStudy, FrogInThePotReproduced) {
+  const auto cmp = analysis::compare_ramp_vs_step(
+      study().results, Task::kPowerpoint, uucs::Resource::kCpu);
+  ASSERT_GT(cmp.pairs, 5u);
+  EXPECT_GT(cmp.frac_ramp_higher, 0.8);       // paper: 0.96
+  EXPECT_NEAR(cmp.mean_difference, 0.22, 0.12);
+  ASSERT_TRUE(cmp.ttest.valid);
+  EXPECT_LT(cmp.ttest.p_two_sided, 0.01);     // paper: 0.0001
+}
+
+TEST(ControlledStudy, WordMemoryCellStaysStarred) {
+  const auto m = analysis::compute_cell(study().results, "word",
+                                        uucs::Resource::kMemory);
+  EXPECT_DOUBLE_EQ(m.fd, 0.0);
+  EXPECT_FALSE(m.ca.has_value());
+}
+
+}  // namespace
+}  // namespace uucs::study

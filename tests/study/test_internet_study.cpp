@@ -1,0 +1,115 @@
+#include "study/internet_study.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "stats/summary.hpp"
+
+namespace uucs::study {
+namespace {
+
+const PopulationParams& params() {
+  static const PopulationParams p = calibrate_population();
+  return p;
+}
+
+InternetStudyConfig small_config() {
+  InternetStudyConfig cfg;
+  cfg.clients = 12;
+  cfg.duration_s = 2.0 * 24 * 3600;
+  cfg.mean_run_interarrival_s = 3600.0;
+  cfg.sync_interval_s = 6 * 3600.0;
+  cfg.seed = 99;
+  // Shrink the suite so the test stays fast.
+  cfg.suite.steps_per_resource = 4;
+  cfg.suite.ramps_per_resource = 4;
+  cfg.suite.sines_per_resource = 2;
+  cfg.suite.saws_per_resource = 2;
+  cfg.suite.expexp_per_resource = 6;
+  cfg.suite.exppar_per_resource = 6;
+  cfg.suite.blanks = 4;
+  return cfg;
+}
+
+const InternetStudyOutput& deployment() {
+  static const InternetStudyOutput out = run_internet_study(small_config(), params());
+  return out;
+}
+
+TEST(InternetStudy, AllClientsRegister) {
+  EXPECT_EQ(deployment().server->client_count(), 12u);
+}
+
+TEST(InternetStudy, RunsHappenAndUpload) {
+  EXPECT_GT(deployment().total_runs, 100u);
+  // Final syncs flush everything to the server.
+  EXPECT_EQ(deployment().server->results().size(), deployment().total_runs);
+  EXPECT_GT(deployment().total_syncs, 12u * 4u);
+}
+
+TEST(InternetStudy, ResultsCoverManyTestcases) {
+  EXPECT_GT(deployment().distinct_testcases_run, 20u);
+}
+
+TEST(InternetStudy, HostsAreHeterogeneous) {
+  std::set<std::string> powers;
+  for (const auto& run : deployment().server->results().records()) {
+    powers.insert(run.meta("host.power"));
+  }
+  EXPECT_GT(powers.size(), 6u);
+  for (const auto& run : deployment().server->results().records()) {
+    const double p = run.meta_double("host.power", -1.0);
+    EXPECT_GE(p, small_config().power_min - 1e-9);
+    EXPECT_LE(p, small_config().power_max + 1e-9);
+  }
+}
+
+TEST(InternetStudy, RunsSpreadAcrossTasksAndUsers) {
+  std::set<std::string> tasks, users;
+  for (const auto& run : deployment().server->results().records()) {
+    tasks.insert(run.task);
+    users.insert(run.user_id);
+  }
+  EXPECT_EQ(tasks.size(), 4u);
+  EXPECT_GT(users.size(), 10u);
+}
+
+TEST(InternetStudy, Deterministic) {
+  const auto a = run_internet_study(small_config(), params());
+  const auto b = run_internet_study(small_config(), params());
+  EXPECT_EQ(a.total_runs, b.total_runs);
+  EXPECT_EQ(a.total_syncs, b.total_syncs);
+  ASSERT_EQ(a.server->results().size(), b.server->results().size());
+  for (std::size_t i = 0; i < a.server->results().size(); ++i) {
+    EXPECT_EQ(a.server->results().at(i).testcase_id,
+              b.server->results().at(i).testcase_id);
+  }
+}
+
+TEST(InternetStudy, FasterHostsTolerateMoreCpuContention) {
+  // Question 6 of the paper: raw host power matters. Split discomforted
+  // CPU-testcase runs by host power and compare discomfort levels.
+  InternetStudyConfig cfg = small_config();
+  cfg.clients = 60;
+  cfg.duration_s = 4.0 * 24 * 3600;
+  const auto out = run_internet_study(cfg, params());
+  std::vector<double> slow_levels, fast_levels;
+  for (const auto& run : out.server->results().records()) {
+    if (!run.discomforted) continue;
+    const auto level = run.level_at_feedback(uucs::Resource::kCpu);
+    if (!level) continue;
+    const double power = run.meta_double("host.power", 1.0);
+    if (power < 1.0) {
+      slow_levels.push_back(*level);
+    } else if (power > 2.0) {
+      fast_levels.push_back(*level);
+    }
+  }
+  ASSERT_GT(slow_levels.size(), 20u);
+  ASSERT_GT(fast_levels.size(), 20u);
+  EXPECT_GT(uucs::stats::mean_of(fast_levels), uucs::stats::mean_of(slow_levels));
+}
+
+}  // namespace
+}  // namespace uucs::study

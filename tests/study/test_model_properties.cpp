@@ -1,0 +1,141 @@
+/// Property sweeps over the whole model surface: the identities the
+/// calibration relies on must hold for every (task, resource) cell, not
+/// just the ones unit tests happen to pick.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/host_model.hpp"
+#include "study/controlled_study.hpp"
+#include "study/paper_constants.hpp"
+
+namespace uucs::study {
+namespace {
+
+using CellParam = std::tuple<Task, uucs::Resource>;
+
+const sim::HostModel& study_host() {
+  static const sim::HostModel host{uucs::HostSpec::paper_study_machine()};
+  return host;
+}
+
+sim::RunSimulator quiet_simulator() {
+  return sim::RunSimulator(study_host(), {0.0, 0.0, 0.0, 0.0});
+}
+
+/// The crossing identity: on the reference host, a user with contention
+/// threshold T pressed during a ramp at level ~T (within one sample plus
+/// the ramp's per-second increment). This is what lets the calibrator work
+/// in contention space while the degradation model runs the show.
+class CrossingIdentity : public ::testing::TestWithParam<CellParam> {};
+
+TEST_P(CrossingIdentity, RampCrossingMatchesThreshold) {
+  const auto [task, resource] = GetParam();
+  const double xmax = ramp_max(task, resource);
+  const auto tc = uucs::Testcase("sweep", 0.0);
+  const auto ramp = uucs::make_ramp(xmax, kRunDuration);
+  uucs::Testcase testcase("sweep");
+  testcase.set_function(resource, ramp);
+
+  const sim::RunSimulator simulator = quiet_simulator();
+  for (double frac : {0.2, 0.5, 0.8}) {
+    const double threshold = frac * xmax;
+    sim::UserProfile user;
+    user.user_id = "sweep";
+    user.reaction_delay_s = 0.0;
+    user.surprise_penalty = 0.0;
+    for (Task t : sim::kAllTasks) {
+      for (uucs::Resource r : uucs::kStudyResources) {
+        user.set_threshold(t, r, std::numeric_limits<double>::infinity());
+      }
+    }
+    user.set_threshold(task, resource, threshold);
+    const double t_cross = simulator.crossing_time(user, task, testcase, resource);
+    ASSERT_GE(t_cross, 0.0) << "threshold " << threshold;
+    const double level = ramp.level_at(t_cross);
+    EXPECT_NEAR(level, threshold, xmax / kRunDuration + 1e-9)
+        << sim::task_name(task) << "/" << uucs::resource_name(resource)
+        << " threshold " << threshold;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCells, CrossingIdentity,
+    ::testing::Combine(::testing::ValuesIn(sim::kAllTasks),
+                       ::testing::Values(uucs::Resource::kCpu,
+                                         uucs::Resource::kMemory,
+                                         uucs::Resource::kDisk)));
+
+/// Mixture-model monotonicity: the calibrator's objective landscape relies
+/// on fd falling as mu rises (more tolerant population) at fixed sigma.
+class MixtureMonotone : public ::testing::TestWithParam<CellParam> {};
+
+TEST_P(MixtureMonotone, FdDecreasesInMu) {
+  const auto [task, resource] = GetParam();
+  const double xmax = ramp_max(task, resource);
+  const double lambda = noise_rate_per_s(task) * 0.6;
+  double prev_fd = 1.1;
+  for (double mu : {-1.0, -0.3, 0.3, 1.0, 1.7}) {
+    const auto stats = ramp_mixture_stats(mu, 0.5, xmax, kRunDuration, lambda);
+    EXPECT_LT(stats.fd, prev_fd) << "mu=" << mu;
+    prev_fd = stats.fd;
+  }
+}
+
+TEST_P(MixtureMonotone, CaWithinRampRange) {
+  const auto [task, resource] = GetParam();
+  const double xmax = ramp_max(task, resource);
+  for (double mu : {-0.5, 0.5}) {
+    const auto stats = ramp_mixture_stats(mu, 0.6, xmax, kRunDuration, 0.002);
+    ASSERT_FALSE(std::isnan(stats.ca));
+    EXPECT_GT(stats.ca, 0.0);
+    EXPECT_LE(stats.ca, xmax);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCells, MixtureMonotone,
+    ::testing::Combine(::testing::ValuesIn(sim::kAllTasks),
+                       ::testing::Values(uucs::Resource::kCpu,
+                                         uucs::Resource::kMemory,
+                                         uucs::Resource::kDisk)));
+
+/// Study-level invariants that must hold for any seed.
+class StudyInvariants : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StudyInvariants, HoldForAnySeed) {
+  ControlledStudyConfig config;
+  config.participants = 6;
+  config.seed = GetParam();
+  static const PopulationParams params = calibrate_population();
+  const auto out = run_controlled_study(config, params);
+  for (const auto& run : out.results.records()) {
+    // Offsets lie within the testcase.
+    EXPECT_GE(run.offset_s, 0.0);
+    EXPECT_LE(run.offset_s, kRunDuration + 1e-9);
+    // Exhausted runs always report the full duration.
+    if (!run.discomforted) EXPECT_DOUBLE_EQ(run.offset_s, kRunDuration);
+    // Levels at feedback never exceed the cell's ramp/step parameter range.
+    for (uucs::Resource r : uucs::kStudyResources) {
+      const auto level = run.level_at_feedback(r);
+      if (!level) continue;
+      const auto task = sim::parse_task(run.task);
+      const double cap =
+          std::max(ramp_max(task, r), step_level(task, r)) + 1e-9;
+      EXPECT_LE(*level, cap) << run.testcase_id;
+      EXPECT_GE(*level, 0.0);
+    }
+    // Word and Powerpoint blanks never discomfort (zero noise floor).
+    if ((run.task == "word" || run.task == "powerpoint") &&
+        run.testcase_id.rfind("blank", 0) == 0) {
+      EXPECT_FALSE(run.discomforted);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StudyInvariants,
+                         ::testing::Values(1, 7, 42, 1001, 77777));
+
+}  // namespace
+}  // namespace uucs::study

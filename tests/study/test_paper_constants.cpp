@@ -1,0 +1,98 @@
+#include "study/paper_constants.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace uucs::study {
+namespace {
+
+TEST(PaperConstants, Figure8Parameters) {
+  // Spot checks straight from the paper's Fig 8.
+  EXPECT_DOUBLE_EQ(ramp_max(Task::kWord, uucs::Resource::kCpu), 7.0);
+  EXPECT_DOUBLE_EQ(ramp_max(Task::kQuake, uucs::Resource::kCpu), 1.3);
+  EXPECT_DOUBLE_EQ(ramp_max(Task::kPowerpoint, uucs::Resource::kDisk), 8.0);
+  for (Task t : uucs::sim::kAllTasks) {
+    EXPECT_DOUBLE_EQ(ramp_max(t, uucs::Resource::kMemory), 1.0);
+    EXPECT_DOUBLE_EQ(step_level(t, uucs::Resource::kMemory), 1.0);
+  }
+  EXPECT_DOUBLE_EQ(step_level(Task::kPowerpoint, uucs::Resource::kCpu), 0.98);
+  EXPECT_DOUBLE_EQ(step_level(Task::kQuake, uucs::Resource::kCpu), 0.5);
+}
+
+TEST(PaperConstants, Figure9CountsAndTotals) {
+  // Per-task rows must add to the published totals.
+  std::size_t nb_df = 0, nb_ex = 0, b_df = 0, b_ex = 0;
+  for (Task t : uucs::sim::kAllTasks) {
+    const auto& row = paper_breakdown(t);
+    nb_df += row.nonblank_df;
+    nb_ex += row.nonblank_ex;
+    b_df += row.blank_df;
+    b_ex += row.blank_ex;
+  }
+  const auto& total = paper_breakdown_total();
+  EXPECT_EQ(nb_df, total.nonblank_df);   // 295
+  EXPECT_EQ(nb_ex, total.nonblank_ex);   // 47
+  EXPECT_EQ(b_df, total.blank_df);       // 33
+  EXPECT_EQ(b_ex, total.blank_ex);       // 212
+  EXPECT_EQ(total.nonblank_df, 295u);
+  EXPECT_EQ(total.blank_ex, 212u);
+}
+
+TEST(PaperConstants, Figure14To16Cells) {
+  const auto& quake_cpu = paper_cell(Task::kQuake, uucs::Resource::kCpu);
+  EXPECT_DOUBLE_EQ(quake_cpu.fd, 0.95);
+  EXPECT_DOUBLE_EQ(quake_cpu.c05, 0.18);
+  EXPECT_DOUBLE_EQ(quake_cpu.ca, 0.64);
+  EXPECT_DOUBLE_EQ(quake_cpu.ca_lo, 0.58);
+  EXPECT_DOUBLE_EQ(quake_cpu.ca_hi, 0.69);
+
+  const auto& word_mem = paper_cell(Task::kWord, uucs::Resource::kMemory);
+  EXPECT_DOUBLE_EQ(word_mem.fd, 0.0);
+  EXPECT_FALSE(word_mem.has_c05());
+  EXPECT_FALSE(word_mem.has_ca());
+
+  EXPECT_DOUBLE_EQ(paper_total(uucs::Resource::kCpu).c05, 0.35);
+  EXPECT_DOUBLE_EQ(paper_total(uucs::Resource::kMemory).c05, 0.33);
+  EXPECT_DOUBLE_EQ(paper_total(uucs::Resource::kDisk).c05, 1.11);
+}
+
+TEST(PaperConstants, Figure13Grades) {
+  EXPECT_EQ(paper_sensitivity(Task::kWord, uucs::Resource::kCpu), 'L');
+  EXPECT_EQ(paper_sensitivity(Task::kQuake, uucs::Resource::kCpu), 'H');
+  EXPECT_EQ(paper_sensitivity(Task::kIe, uucs::Resource::kDisk), 'H');
+  EXPECT_EQ(paper_sensitivity(Task::kQuake, uucs::Resource::kDisk), 'M');
+}
+
+TEST(PaperConstants, Figure17Rows) {
+  const auto& rows = paper_skill_rows();
+  ASSERT_EQ(rows.size(), 6u);
+  EXPECT_EQ(rows[2].category, uucs::sim::SkillCategory::kQuake);
+  EXPECT_DOUBLE_EQ(rows[2].p, 0.001);
+  EXPECT_DOUBLE_EQ(rows[2].diff, 0.224);
+  EXPECT_DOUBLE_EQ(rows[4].diff, 1.114);
+}
+
+TEST(PaperConstants, NoiseRatesFromBlankProbabilities) {
+  EXPECT_DOUBLE_EQ(noise_rate_per_s(Task::kWord), 0.0);
+  EXPECT_DOUBLE_EQ(noise_rate_per_s(Task::kPowerpoint), 0.0);
+  // 1 - exp(-lambda * 120) must equal the blank probability.
+  for (Task t : {Task::kIe, Task::kQuake}) {
+    const double lambda = noise_rate_per_s(t);
+    EXPECT_GT(lambda, 0.0);
+    EXPECT_NEAR(1.0 - std::exp(-lambda * kRunDuration),
+                paper_breakdown(t).blank_prob, 1e-12);
+  }
+}
+
+TEST(PaperConstants, ResourceIndexRoundTrip) {
+  for (std::size_t i = 0; i < kResources; ++i) {
+    EXPECT_EQ(resource_index(resource_at(i)), i);
+  }
+  EXPECT_THROW(resource_index(uucs::Resource::kNetwork), uucs::Error);
+}
+
+}  // namespace
+}  // namespace uucs::study

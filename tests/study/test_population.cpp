@@ -1,0 +1,154 @@
+#include "study/population.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/kstest.hpp"
+#include "stats/special.hpp"
+#include "stats/summary.hpp"
+
+namespace uucs::study {
+namespace {
+
+const PopulationParams& params() {
+  static const PopulationParams p = calibrate_population();
+  return p;
+}
+
+TEST(Population, DeterministicForSeed) {
+  uucs::Rng r1(5), r2(5);
+  const auto a = draw_user(params(), r1, "u");
+  const auto b = draw_user(params(), r2, "u");
+  EXPECT_EQ(a.latent_skill, b.latent_skill);
+  for (Task t : uucs::sim::kAllTasks) {
+    for (uucs::Resource r : uucs::kStudyResources) {
+      EXPECT_DOUBLE_EQ(a.threshold(t, r), b.threshold(t, r));
+    }
+  }
+}
+
+TEST(Population, WordMemoryNeverDiscomforts) {
+  uucs::Rng rng(1);
+  for (const auto& user : generate_population(params(), 50, rng)) {
+    EXPECT_TRUE(std::isinf(user.threshold(Task::kWord, uucs::Resource::kMemory)));
+  }
+}
+
+TEST(Population, MarginalThresholdsMatchFittedLognormal) {
+  // The Gaussian copula must leave each cell's marginal exactly lognormal:
+  // check the median of quake/cpu thresholds against exp(mu).
+  uucs::Rng rng(2);
+  const auto users = generate_population(params(), 4000, rng);
+  std::vector<double> thresholds;
+  for (const auto& u : users) {
+    thresholds.push_back(u.threshold(Task::kQuake, uucs::Resource::kCpu));
+  }
+  const CellFit& fit = params().cell(Task::kQuake, uucs::Resource::kCpu);
+  EXPECT_NEAR(uucs::stats::quantile(thresholds, 0.5), std::exp(fit.mu),
+              0.06 * std::exp(fit.mu));
+  // And the 16th percentile ~ exp(mu - sigma).
+  EXPECT_NEAR(uucs::stats::quantile(thresholds, 0.1587),
+              std::exp(fit.mu - fit.sigma), 0.1 * std::exp(fit.mu));
+}
+
+TEST(Population, MarginalsPassKolmogorovSmirnov) {
+  // The Gaussian copula must leave every populated cell's marginal exactly
+  // its fitted lognormal — verified distribution-wide with a KS test, not
+  // just at two quantiles.
+  uucs::Rng rng(11);
+  const auto users = generate_population(params(), 3000, rng);
+  for (Task t : {Task::kQuake, Task::kIe}) {
+    for (uucs::Resource r : uucs::kStudyResources) {
+      const CellFit& fit = params().cell(t, r);
+      if (fit.never) continue;
+      std::vector<double> thresholds;
+      thresholds.reserve(users.size());
+      for (const auto& u : users) thresholds.push_back(u.threshold(t, r));
+      const auto ks = uucs::stats::ks_test(thresholds, [&](double x) {
+        return x <= 0 ? 0.0
+                      : uucs::stats::normal_cdf((std::log(x) - fit.mu) / fit.sigma);
+      });
+      EXPECT_GT(ks.p_value, 1e-3)
+          << uucs::sim::task_name(t) << "/" << uucs::resource_name(r)
+          << " D=" << ks.statistic;
+    }
+  }
+}
+
+TEST(Population, RatingsRoughlyTertiled) {
+  uucs::Rng rng(3);
+  const auto users = generate_population(params(), 3000, rng);
+  int counts[3] = {0, 0, 0};
+  for (const auto& u : users) {
+    ++counts[static_cast<int>(u.rating(uucs::sim::SkillCategory::kPc))];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / 3000.0, 1.0 / 3.0, 0.04);
+  }
+}
+
+TEST(Population, ExpertsLessTolerantOnQuakeCpu) {
+  uucs::Rng rng(4);
+  const auto users = generate_population(params(), 3000, rng);
+  std::vector<double> power, beginner;
+  for (const auto& u : users) {
+    const double t = u.threshold(Task::kQuake, uucs::Resource::kCpu);
+    switch (u.rating(uucs::sim::SkillCategory::kQuake)) {
+      case uucs::sim::SkillRating::kPower:
+        power.push_back(t);
+        break;
+      case uucs::sim::SkillRating::kBeginner:
+        beginner.push_back(t);
+        break;
+      default:
+        break;
+    }
+  }
+  EXPECT_LT(uucs::stats::mean_of(power), uucs::stats::mean_of(beginner));
+}
+
+TEST(Population, RatingsCorrelateAcrossCategories) {
+  // A PC power user should be a Quake power user far more often than 1/3.
+  uucs::Rng rng(5);
+  const auto users = generate_population(params(), 3000, rng);
+  int pc_power = 0, both_power = 0;
+  for (const auto& u : users) {
+    if (u.rating(uucs::sim::SkillCategory::kPc) == uucs::sim::SkillRating::kPower) {
+      ++pc_power;
+      if (u.rating(uucs::sim::SkillCategory::kQuake) ==
+          uucs::sim::SkillRating::kPower) {
+        ++both_power;
+      }
+    }
+  }
+  ASSERT_GT(pc_power, 0);
+  EXPECT_GT(static_cast<double>(both_power) / pc_power, 0.45);
+}
+
+TEST(Population, NoiseMultiplierMeanNearOne) {
+  uucs::Rng rng(6);
+  const auto users = generate_population(params(), 5000, rng);
+  double sum = 0;
+  for (const auto& u : users) sum += u.noise_multiplier;
+  EXPECT_NEAR(sum / 5000.0, 1.0, 0.03);
+}
+
+TEST(Population, ReactionDelaysPositiveAndPlausible) {
+  uucs::Rng rng(7);
+  const auto users = generate_population(params(), 500, rng);
+  for (const auto& u : users) {
+    EXPECT_GT(u.reaction_delay_s, 0.0);
+    EXPECT_LT(u.reaction_delay_s, 30.0);
+  }
+}
+
+TEST(Population, UserIdsAssigned) {
+  uucs::Rng rng(8);
+  const auto users = generate_population(params(), 3, rng);
+  EXPECT_EQ(users[0].user_id, "user-000");
+  EXPECT_EQ(users[2].user_id, "user-002");
+}
+
+}  // namespace
+}  // namespace uucs::study

@@ -1,0 +1,106 @@
+/// Property tests: the text codec round-trips arbitrary generated
+/// testcases and run records bit-exactly, across a sweep of seeds.
+
+#include <gtest/gtest.h>
+
+#include "testcase/run_record.hpp"
+#include "testcase/suite.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace uucs {
+namespace {
+
+Testcase random_testcase(Rng& rng) {
+  Testcase tc(strprintf("prop-%llu", static_cast<unsigned long long>(rng())));
+  const int kinds = static_cast<int>(rng.uniform_int(0, 3));  // 0 = blank
+  if (kinds == 0) {
+    tc = Testcase(tc.id(), rng.uniform(1.0, 300.0));
+    return tc;
+  }
+  for (int k = 0; k < kinds; ++k) {
+    const auto r = static_cast<Resource>(rng.uniform_int(0, 3));
+    const double rate = rng.uniform(0.5, 10.0);
+    const auto n = static_cast<std::size_t>(rng.uniform_int(1, 400));
+    std::vector<double> values(n);
+    for (auto& v : values) v = rng.uniform(0.0, 10.0);
+    tc.set_function(r, ExerciseFunction(rate, std::move(values)));
+  }
+  return tc;
+}
+
+RunRecord random_record(Rng& rng) {
+  RunRecord rec;
+  rec.run_id = strprintf("r-%llu", static_cast<unsigned long long>(rng()));
+  rec.client_guid = strprintf("%016llx", static_cast<unsigned long long>(rng()));
+  rec.user_id = strprintf("u-%lld", static_cast<long long>(rng.uniform_int(0, 99)));
+  rec.testcase_id = "cpu-ramp-x1-t1";
+  rec.task = rng.bernoulli(0.5) ? "quake" : "word";
+  rec.discomforted = rng.bernoulli(0.6);
+  rec.offset_s = rng.uniform(0.0, 120.0);
+  const auto levels = static_cast<std::size_t>(rng.uniform_int(0, 5));
+  std::vector<double> last(levels);
+  for (auto& v : last) v = rng.uniform(0.0, 8.0);
+  if (!last.empty()) rec.set_last_levels(Resource::kCpu, last);
+  const auto metas = static_cast<std::size_t>(rng.uniform_int(0, 4));
+  for (std::size_t m = 0; m < metas; ++m) {
+    rec.metadata[strprintf("key%zu", m)] =
+        strprintf("value %g with spaces = and symbols", rng.uniform(0.0, 1.0));
+  }
+  return rec;
+}
+
+class CodecProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CodecProperty, TestcaseRoundTripsExactly) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 20; ++i) {
+    const Testcase tc = random_testcase(rng);
+    const std::string text = kv_serialize({tc.to_record()});
+    const Testcase back = Testcase::from_record(kv_parse(text).at(0));
+    EXPECT_EQ(back.id(), tc.id());
+    EXPECT_DOUBLE_EQ(back.duration(), tc.duration());
+    EXPECT_EQ(back.resources().size(), tc.resources().size());
+    for (Resource r : tc.resources()) {
+      ASSERT_NE(back.function(r), nullptr);
+      EXPECT_EQ(back.function(r)->values(), tc.function(r)->values());
+      EXPECT_DOUBLE_EQ(back.function(r)->sample_rate_hz(),
+                       tc.function(r)->sample_rate_hz());
+    }
+  }
+}
+
+TEST_P(CodecProperty, RunRecordRoundTripsExactly) {
+  Rng rng(GetParam() ^ 0xabcdef);
+  for (int i = 0; i < 20; ++i) {
+    const RunRecord rec = random_record(rng);
+    const RunRecord back = RunRecord::from_record(
+        kv_parse(kv_serialize({rec.to_record()})).at(0));
+    EXPECT_EQ(back.run_id, rec.run_id);
+    EXPECT_EQ(back.discomforted, rec.discomforted);
+    EXPECT_DOUBLE_EQ(back.offset_s, rec.offset_s);
+    EXPECT_EQ(back.last_levels, rec.last_levels);
+    EXPECT_EQ(back.metadata, rec.metadata);
+  }
+}
+
+TEST_P(CodecProperty, StoreRoundTripsManyRecords) {
+  Rng rng(GetParam() ^ 0x5a5a);
+  TestcaseStore store;
+  for (int i = 0; i < 15; ++i) store.add(random_testcase(rng));
+  const std::string text = kv_serialize([&] {
+    std::vector<KvRecord> recs;
+    for (const auto& id : store.ids()) recs.push_back(store.get(id).to_record());
+    return recs;
+  }());
+  const auto records = kv_parse(text);
+  TestcaseStore back;
+  for (const auto& rec : records) back.add(Testcase::from_record(rec));
+  EXPECT_EQ(back.ids(), store.ids());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace uucs

@@ -1,0 +1,166 @@
+#include "testcase/exercise_function.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace uucs {
+namespace {
+
+TEST(ExerciseFunction, PaperExampleSemantics) {
+  // §2.1: rate 1 Hz, [0, 0.5, 1.0, 1.5, 2.0] spans 0..5 s; from 3 to 4
+  // seconds the contention is 1.5, then 2.0 in the next second.
+  ExerciseFunction f(1.0, {0.0, 0.5, 1.0, 1.5, 2.0});
+  EXPECT_DOUBLE_EQ(f.duration(), 5.0);
+  EXPECT_DOUBLE_EQ(f.level_at(3.5), 1.5);
+  EXPECT_DOUBLE_EQ(f.level_at(4.0), 2.0);
+  EXPECT_DOUBLE_EQ(f.level_at(4.99), 2.0);
+  EXPECT_DOUBLE_EQ(f.level_at(5.0), 0.0);   // run over
+  EXPECT_DOUBLE_EQ(f.level_at(-1.0), 0.0);  // before start
+}
+
+TEST(ExerciseFunction, RejectsBadInput) {
+  EXPECT_THROW(ExerciseFunction(0.0, {1.0}), Error);
+  EXPECT_THROW(ExerciseFunction(1.0, {-0.5}), Error);
+  EXPECT_THROW(ExerciseFunction(1.0, {std::nan("")}), Error);
+}
+
+TEST(ExerciseFunction, MaxAndMeanLevel) {
+  ExerciseFunction f(2.0, {1.0, 3.0, 2.0});
+  EXPECT_DOUBLE_EQ(f.max_level(), 3.0);
+  EXPECT_DOUBLE_EQ(f.mean_level(), 2.0);
+  EXPECT_DOUBLE_EQ(ExerciseFunction().max_level(), 0.0);
+}
+
+TEST(ExerciseFunction, LastValuesBeforeMatchesPaperRecording) {
+  // §2.3: the run result records the last five contention values at the
+  // point of user feedback.
+  ExerciseFunction f(1.0, {0, 1, 2, 3, 4, 5, 6, 7});
+  const auto last = f.last_values_before(6.2, 5);
+  ASSERT_EQ(last.size(), 5u);
+  EXPECT_DOUBLE_EQ(last.front(), 2.0);
+  EXPECT_DOUBLE_EQ(last.back(), 6.0);
+}
+
+TEST(ExerciseFunction, LastValuesTruncatedEarly) {
+  ExerciseFunction f(1.0, {0, 1, 2});
+  const auto last = f.last_values_before(1.5, 5);
+  ASSERT_EQ(last.size(), 2u);
+  EXPECT_DOUBLE_EQ(last.back(), 1.0);
+}
+
+TEST(ExerciseFunction, FirstTimeAtLevel) {
+  const auto f = make_ramp(2.0, 120.0);
+  const double t = f.first_time_at_level(1.0);
+  EXPECT_GE(t, 0.0);
+  EXPECT_NEAR(t, 59.0, 1.5);  // ramp reaches half its max mid-run
+  EXPECT_LT(f.first_time_at_level(5.0), 0.0);
+}
+
+TEST(Step, MatchesPaperFigure4) {
+  // step(2.0, 120, 40): zero until 40 s, then 2.0 until 120 s.
+  const auto f = make_step(2.0, 120.0, 40.0);
+  EXPECT_DOUBLE_EQ(f.duration(), 120.0);
+  EXPECT_DOUBLE_EQ(f.level_at(10.0), 0.0);
+  EXPECT_DOUBLE_EQ(f.level_at(39.9), 0.0);
+  EXPECT_DOUBLE_EQ(f.level_at(40.0), 2.0);
+  EXPECT_DOUBLE_EQ(f.level_at(119.0), 2.0);
+}
+
+TEST(Step, RejectsBadBreakpoint) {
+  EXPECT_THROW(make_step(1.0, 100.0, 150.0), Error);
+  EXPECT_THROW(make_step(-1.0, 100.0, 0.0), Error);
+}
+
+TEST(Ramp, MatchesPaperFigure4) {
+  // ramp(2.0, 120): linear from 0 to 2.0 over 120 s.
+  const auto f = make_ramp(2.0, 120.0);
+  EXPECT_DOUBLE_EQ(f.duration(), 120.0);
+  EXPECT_NEAR(f.level_at(60.0), 1.0, 0.05);
+  EXPECT_DOUBLE_EQ(f.max_level(), 2.0);
+  // Monotone non-decreasing.
+  for (std::size_t i = 1; i < f.values().size(); ++i) {
+    EXPECT_GE(f.values()[i], f.values()[i - 1]);
+  }
+}
+
+TEST(Sine, StaysNonNegativeAndPeaksAtAmplitude) {
+  const auto f = make_sine(2.0, 30.0, 120.0);
+  double peak = 0.0;
+  for (double v : f.values()) {
+    EXPECT_GE(v, 0.0);
+    peak = std::max(peak, v);
+  }
+  EXPECT_NEAR(peak, 2.0, 0.05);
+}
+
+TEST(Sawtooth, ResetsEachPeriod) {
+  const auto f = make_sawtooth(3.0, 10.0, 30.0);
+  EXPECT_DOUBLE_EQ(f.level_at(0.0), 0.0);
+  EXPECT_NEAR(f.level_at(9.0), 2.7, 1e-9);
+  EXPECT_NEAR(f.level_at(10.0), 0.0, 1e-9);
+  EXPECT_NEAR(f.level_at(19.0), 2.7, 1e-9);
+}
+
+TEST(ExpExp, MeanNumberInSystemMatchesMm1) {
+  // M/M/1 with rho = 0.5 has mean number in system rho/(1-rho) = 1.
+  Rng rng(42);
+  const auto f = make_expexp(2.0, 1.0, 20000.0, rng, 1.0);
+  EXPECT_NEAR(f.mean_level(), 1.0, 0.15);
+  for (double v : f.values()) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_DOUBLE_EQ(v, std::floor(v));  // integer occupancy
+  }
+}
+
+TEST(ExpExp, Deterministic) {
+  Rng r1(7), r2(7);
+  const auto a = make_expexp(5.0, 2.0, 120.0, r1);
+  const auto b = make_expexp(5.0, 2.0, 120.0, r2);
+  EXPECT_EQ(a.values(), b.values());
+}
+
+TEST(ExpPar, HeavyTailProducesBursts) {
+  Rng rng(11);
+  // M/G/1 with Pareto alpha=1.5: occasional very large jobs pile the queue.
+  const auto f = make_exppar(4.0, 2.0, 1.5, 20000.0, rng, 1.0);
+  EXPECT_GT(f.max_level(), 4.0);
+  EXPECT_GT(f.mean_level(), 0.1);
+}
+
+TEST(ExpPar, RejectsAlphaAtMostOne) {
+  Rng rng(1);
+  EXPECT_THROW(make_exppar(1.0, 1.0, 1.0, 10.0, rng), Error);
+}
+
+TEST(Constant, UniformLevel) {
+  const auto f = make_constant(1.5, 10.0, 2.0);
+  EXPECT_EQ(f.sample_count(), 20u);
+  for (double v : f.values()) EXPECT_DOUBLE_EQ(v, 1.5);
+}
+
+TEST(AddFunctions, PointwiseSumWithLengthMismatch) {
+  const auto a = make_constant(1.0, 5.0);
+  const auto b = make_constant(2.0, 3.0);
+  const auto sum = add_functions(a, b);
+  EXPECT_DOUBLE_EQ(sum.level_at(1.0), 3.0);
+  EXPECT_DOUBLE_EQ(sum.level_at(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(sum.duration(), 5.0);
+}
+
+TEST(AddFunctions, RateMismatchThrows) {
+  EXPECT_THROW(
+      add_functions(make_constant(1, 5, 1.0), make_constant(1, 5, 2.0)), Error);
+}
+
+TEST(ClampLevels, CapsMemoryStyle) {
+  const auto f = clamp_levels(make_ramp(3.0, 10.0), 1.0);
+  EXPECT_DOUBLE_EQ(f.max_level(), 1.0);
+  EXPECT_LT(f.level_at(1.0), 1.0);
+}
+
+}  // namespace
+}  // namespace uucs

@@ -1,0 +1,39 @@
+#include "testcase/resource.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace uucs {
+namespace {
+
+TEST(Resource, NamesRoundTrip) {
+  for (std::size_t i = 0; i < kResourceCount; ++i) {
+    const auto r = static_cast<Resource>(i);
+    EXPECT_EQ(parse_resource(resource_name(r)), r);
+  }
+}
+
+TEST(Resource, ParseAliasesAndCase) {
+  EXPECT_EQ(parse_resource("CPU"), Resource::kCpu);
+  EXPECT_EQ(parse_resource("mem"), Resource::kMemory);
+  EXPECT_EQ(parse_resource(" net "), Resource::kNetwork);
+}
+
+TEST(Resource, ParseRejectsUnknown) {
+  EXPECT_THROW(parse_resource("gpu"), ParseError);
+}
+
+TEST(Resource, StudyResourcesExcludeNetwork) {
+  for (Resource r : kStudyResources) EXPECT_NE(r, Resource::kNetwork);
+  EXPECT_EQ(kStudyResources.size(), 3u);
+}
+
+TEST(Resource, SemanticsNonEmpty) {
+  for (std::size_t i = 0; i < kResourceCount; ++i) {
+    EXPECT_FALSE(contention_semantics(static_cast<Resource>(i)).empty());
+  }
+}
+
+}  // namespace
+}  // namespace uucs

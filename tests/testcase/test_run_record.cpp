@@ -1,0 +1,100 @@
+#include "testcase/run_record.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/fs.hpp"
+
+namespace uucs {
+namespace {
+
+RunRecord sample() {
+  RunRecord r;
+  r.run_id = "guid-1/7";
+  r.client_guid = "abc";
+  r.user_id = "user-03";
+  r.testcase_id = "cpu-ramp-x2-t120";
+  r.task = "quake";
+  r.discomforted = true;
+  r.offset_s = 61.25;
+  r.set_last_levels(Resource::kCpu, {0.9, 0.95, 1.0, 1.05, 1.1});
+  r.metadata["skill.quake"] = "power";
+  r.metadata["host.power"] = "1.5";
+  return r;
+}
+
+TEST(RunRecord, LevelAtFeedbackIsLastValue) {
+  const RunRecord r = sample();
+  const auto level = r.level_at_feedback(Resource::kCpu);
+  ASSERT_TRUE(level.has_value());
+  EXPECT_DOUBLE_EQ(*level, 1.1);
+  EXPECT_FALSE(r.level_at_feedback(Resource::kDisk).has_value());
+}
+
+TEST(RunRecord, MetaAccessors) {
+  const RunRecord r = sample();
+  EXPECT_EQ(r.meta("skill.quake"), "power");
+  EXPECT_EQ(r.meta("absent", "dflt"), "dflt");
+  EXPECT_DOUBLE_EQ(r.meta_double("host.power", 0.0), 1.5);
+  EXPECT_DOUBLE_EQ(r.meta_double("skill.quake", 9.0), 9.0);  // non-numeric
+}
+
+TEST(RunRecord, RecordRoundTrip) {
+  const RunRecord r = sample();
+  const RunRecord back = RunRecord::from_record(r.to_record());
+  EXPECT_EQ(back.run_id, r.run_id);
+  EXPECT_EQ(back.client_guid, r.client_guid);
+  EXPECT_EQ(back.user_id, r.user_id);
+  EXPECT_EQ(back.testcase_id, r.testcase_id);
+  EXPECT_EQ(back.task, r.task);
+  EXPECT_EQ(back.discomforted, r.discomforted);
+  EXPECT_DOUBLE_EQ(back.offset_s, r.offset_s);
+  EXPECT_EQ(back.last_levels, r.last_levels);
+  EXPECT_EQ(back.metadata, r.metadata);
+}
+
+TEST(RunRecord, FromRecordRejectsWrongType) {
+  KvRecord rec("testcase");
+  EXPECT_THROW(RunRecord::from_record(rec), ParseError);
+}
+
+TEST(ResultStore, AddFilterDrain) {
+  ResultStore store;
+  RunRecord a = sample();
+  RunRecord b = sample();
+  b.task = "word";
+  b.testcase_id = "blank-t120-a";
+  store.add(a);
+  store.add(b);
+  EXPECT_EQ(store.filter("quake").size(), 1u);
+  EXPECT_EQ(store.filter("").size(), 2u);
+  EXPECT_EQ(store.filter("word", "blank").size(), 1u);
+  EXPECT_EQ(store.filter("word", "cpu-").size(), 0u);
+
+  const auto drained = store.drain();
+  EXPECT_EQ(drained.size(), 2u);
+  EXPECT_TRUE(store.empty());
+}
+
+TEST(ResultStore, FileRoundTrip) {
+  TempDir dir;
+  ResultStore store;
+  store.add(sample());
+  const std::string path = dir.file("results.txt");
+  store.save(path);
+  const ResultStore loaded = ResultStore::load(path);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded.at(0).run_id, "guid-1/7");
+  EXPECT_EQ(loaded.at(0).meta("skill.quake"), "power");
+}
+
+TEST(ResultStore, MergeAppends) {
+  ResultStore a, b;
+  a.add(sample());
+  b.add(sample());
+  a.merge(b);
+  EXPECT_EQ(a.size(), 2u);
+}
+
+}  // namespace
+}  // namespace uucs

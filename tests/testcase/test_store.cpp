@@ -1,0 +1,109 @@
+#include "testcase/store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "testcase/suite.hpp"
+#include "util/error.hpp"
+#include "util/fs.hpp"
+#include "util/rng.hpp"
+
+namespace uucs {
+namespace {
+
+TestcaseStore make_store(int n) {
+  TestcaseStore s;
+  for (int i = 0; i < n; ++i) {
+    s.add(make_ramp_testcase(Resource::kCpu, 1.0 + i, 120.0));
+  }
+  return s;
+}
+
+TEST(TestcaseStore, AddGetContains) {
+  TestcaseStore s;
+  s.add(make_blank_testcase(120.0));
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_TRUE(s.contains("blank-t120"));
+  EXPECT_EQ(s.get("blank-t120").duration(), 120.0);
+  EXPECT_THROW(s.get("absent"), Error);
+}
+
+TEST(TestcaseStore, AddReplacesSameId) {
+  TestcaseStore s;
+  Testcase a("x", 10.0);
+  Testcase b("x", 20.0);
+  s.add(a);
+  s.add(b);
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.get("x").duration(), 20.0);
+}
+
+TEST(TestcaseStore, IdsSorted) {
+  const auto s = make_store(5);
+  const auto ids = s.ids();
+  EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end()));
+  EXPECT_EQ(ids.size(), 5u);
+}
+
+TEST(TestcaseStore, IdsNotIn) {
+  const auto s = make_store(4);
+  const auto all = s.ids();
+  const auto fresh = s.ids_not_in({all[0], all[2]});
+  EXPECT_EQ(fresh.size(), 2u);
+  EXPECT_EQ(std::count(fresh.begin(), fresh.end(), all[0]), 0);
+}
+
+TEST(TestcaseStore, RandomSampleWithoutReplacement) {
+  const auto s = make_store(20);
+  Rng rng(1);
+  const auto sample = s.random_sample(8, rng);
+  EXPECT_EQ(sample.size(), 8u);
+  const std::set<std::string> uniq(sample.begin(), sample.end());
+  EXPECT_EQ(uniq.size(), 8u);
+}
+
+TEST(TestcaseStore, RandomSampleGrowsWithExclusion) {
+  // Models the client's growing random sample across hot syncs: each sync
+  // excludes what it already has and gets fresh ids.
+  const auto s = make_store(10);
+  Rng rng(2);
+  auto have = s.random_sample(4, rng);
+  const auto more = s.random_sample(4, rng, have);
+  for (const auto& id : more) {
+    EXPECT_EQ(std::count(have.begin(), have.end(), id), 0);
+  }
+  have.insert(have.end(), more.begin(), more.end());
+  const auto rest = s.random_sample(100, rng, have);
+  EXPECT_EQ(rest.size(), 2u);
+}
+
+TEST(TestcaseStore, SampleLargerThanPool) {
+  const auto s = make_store(3);
+  Rng rng(3);
+  EXPECT_EQ(s.random_sample(10, rng).size(), 3u);
+}
+
+TEST(TestcaseStore, FileRoundTrip) {
+  TempDir dir;
+  auto s = make_store(6);
+  s.add(make_blank_testcase(120.0));
+  const std::string path = dir.file("testcases.txt");
+  s.save(path);
+  const auto loaded = TestcaseStore::load(path);
+  EXPECT_EQ(loaded.size(), s.size());
+  EXPECT_EQ(loaded.ids(), s.ids());
+  EXPECT_TRUE(loaded.get("blank-t120").is_blank());
+}
+
+TEST(TestcaseStore, MergeUnions) {
+  auto a = make_store(3);
+  TestcaseStore b;
+  b.add(make_blank_testcase(60.0));
+  a.merge(b);
+  EXPECT_EQ(a.size(), 4u);
+}
+
+}  // namespace
+}  // namespace uucs

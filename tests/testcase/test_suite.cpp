@@ -1,0 +1,106 @@
+#include "testcase/suite.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace uucs {
+namespace {
+
+TEST(SuiteBuilders, RampTestcaseNamedAndShaped) {
+  const auto tc = make_ramp_testcase(Resource::kCpu, 7.0, 120.0);
+  EXPECT_EQ(tc.id(), "cpu-ramp-x7-t120");
+  EXPECT_DOUBLE_EQ(tc.max_level(Resource::kCpu), 7.0);
+  EXPECT_DOUBLE_EQ(tc.duration(), 120.0);
+  EXPECT_NE(tc.description().find("ramp(7,120)"), std::string::npos);
+}
+
+TEST(SuiteBuilders, StepTestcaseNamedAndShaped) {
+  const auto tc = make_step_testcase(Resource::kDisk, 5.0, 120.0, 40.0);
+  EXPECT_EQ(tc.id(), "disk-step-x5-t120-b40");
+  EXPECT_DOUBLE_EQ(tc.function(Resource::kDisk)->level_at(39.0), 0.0);
+  EXPECT_DOUBLE_EQ(tc.function(Resource::kDisk)->level_at(41.0), 5.0);
+}
+
+TEST(SuiteBuilders, BlankSuffixDistinguishes) {
+  const auto a = make_blank_testcase(120.0, "a");
+  const auto b = make_blank_testcase(120.0, "b");
+  EXPECT_NE(a.id(), b.id());
+}
+
+TEST(InternetSuite, MatchesPaperScale) {
+  // §2.1: "we currently have over 2000 testcases ... predominantly from the
+  // M/M/1 and M/G/1 models".
+  SuiteSpec spec;
+  Rng rng(1);
+  const auto store = generate_internet_suite(spec, rng);
+  EXPECT_GT(store.size(), 2000u);
+
+  std::size_t queueing = 0;
+  for (const auto& id : store.ids()) {
+    if (id.find("expexp") != std::string::npos ||
+        id.find("exppar") != std::string::npos) {
+      ++queueing;
+    }
+  }
+  EXPECT_GT(queueing, store.size() / 2);
+}
+
+TEST(InternetSuite, MemoryLevelsCappedAtOne) {
+  SuiteSpec spec;
+  spec.steps_per_resource = 5;
+  spec.ramps_per_resource = 5;
+  spec.sines_per_resource = 2;
+  spec.saws_per_resource = 2;
+  spec.expexp_per_resource = 10;
+  spec.exppar_per_resource = 10;
+  spec.blanks = 2;
+  Rng rng(2);
+  const auto store = generate_internet_suite(spec, rng);
+  for (const auto& id : store.ids()) {
+    const auto& tc = store.get(id);
+    EXPECT_LE(tc.max_level(Resource::kMemory), 1.0 + 1e-12) << id;
+  }
+}
+
+TEST(InternetSuite, DeterministicForSeed) {
+  SuiteSpec spec;
+  spec.steps_per_resource = 3;
+  spec.ramps_per_resource = 3;
+  spec.sines_per_resource = 1;
+  spec.saws_per_resource = 1;
+  spec.expexp_per_resource = 3;
+  spec.exppar_per_resource = 3;
+  spec.blanks = 1;
+  Rng r1(9), r2(9);
+  const auto a = generate_internet_suite(spec, r1);
+  const auto b = generate_internet_suite(spec, r2);
+  ASSERT_EQ(a.ids(), b.ids());
+  for (const auto& id : a.ids()) {
+    const auto* fa = a.get(id).function(Resource::kCpu);
+    const auto* fb = b.get(id).function(Resource::kCpu);
+    ASSERT_EQ(fa == nullptr, fb == nullptr);
+    if (fa) {
+      EXPECT_EQ(fa->values(), fb->values());
+    }
+  }
+}
+
+TEST(InternetSuite, EveryTestcaseHasPaperDuration) {
+  SuiteSpec spec;
+  spec.steps_per_resource = 2;
+  spec.ramps_per_resource = 2;
+  spec.sines_per_resource = 1;
+  spec.saws_per_resource = 1;
+  spec.expexp_per_resource = 2;
+  spec.exppar_per_resource = 2;
+  spec.blanks = 1;
+  Rng rng(3);
+  const auto store = generate_internet_suite(spec, rng);
+  for (const auto& id : store.ids()) {
+    EXPECT_NEAR(store.get(id).duration(), spec.duration, 1e-9) << id;
+  }
+}
+
+}  // namespace
+}  // namespace uucs

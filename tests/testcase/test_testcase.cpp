@@ -1,0 +1,90 @@
+#include "testcase/testcase.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace uucs {
+namespace {
+
+TEST(Testcase, BlankTestcase) {
+  Testcase tc("blank-1", 120.0);
+  EXPECT_TRUE(tc.is_blank());
+  EXPECT_DOUBLE_EQ(tc.duration(), 120.0);
+  EXPECT_EQ(tc.function(Resource::kCpu), nullptr);
+  EXPECT_DOUBLE_EQ(tc.max_level(Resource::kCpu), 0.0);
+}
+
+TEST(Testcase, EmptyIdRejected) {
+  EXPECT_THROW(Testcase(""), Error);
+}
+
+TEST(Testcase, SingleResource) {
+  Testcase tc("cpu-ramp");
+  tc.set_function(Resource::kCpu, make_ramp(2.0, 120.0));
+  EXPECT_FALSE(tc.is_blank());
+  EXPECT_DOUBLE_EQ(tc.duration(), 120.0);
+  ASSERT_NE(tc.function(Resource::kCpu), nullptr);
+  EXPECT_DOUBLE_EQ(tc.max_level(Resource::kCpu), 2.0);
+  ASSERT_EQ(tc.resources().size(), 1u);
+  EXPECT_EQ(tc.resources()[0], Resource::kCpu);
+}
+
+TEST(Testcase, MultiResourceDurationIsMax) {
+  Testcase tc("multi");
+  tc.set_function(Resource::kCpu, make_ramp(1.0, 60.0));
+  tc.set_function(Resource::kDisk, make_step(2.0, 120.0, 40.0));
+  EXPECT_DOUBLE_EQ(tc.duration(), 120.0);
+  EXPECT_EQ(tc.resources().size(), 2u);
+}
+
+TEST(Testcase, RecordRoundTrip) {
+  Testcase tc("tc-7");
+  tc.set_description("step(5.5,120,40) cpu");
+  tc.set_function(Resource::kCpu, make_step(5.5, 120.0, 40.0));
+  tc.set_function(Resource::kMemory, make_ramp(1.0, 120.0));
+
+  const Testcase back = Testcase::from_record(tc.to_record());
+  EXPECT_EQ(back.id(), "tc-7");
+  EXPECT_EQ(back.description(), "step(5.5,120,40) cpu");
+  ASSERT_NE(back.function(Resource::kCpu), nullptr);
+  ASSERT_NE(back.function(Resource::kMemory), nullptr);
+  EXPECT_EQ(back.function(Resource::kCpu)->values(),
+            tc.function(Resource::kCpu)->values());
+  EXPECT_DOUBLE_EQ(back.function(Resource::kMemory)->sample_rate_hz(), 1.0);
+}
+
+TEST(Testcase, BlankRecordRoundTrip) {
+  const Testcase back = Testcase::from_record(Testcase("b", 90.0).to_record());
+  EXPECT_TRUE(back.is_blank());
+  EXPECT_DOUBLE_EQ(back.duration(), 90.0);
+}
+
+TEST(Testcase, FromRecordValidations) {
+  KvRecord rec("testcase");
+  rec.set("id", "x");
+  rec.set_double("cpu.rate", 0.0);
+  rec.set_doubles("cpu.values", {1.0});
+  EXPECT_THROW(Testcase::from_record(rec), ParseError);
+
+  KvRecord rec2("wrong-type");
+  rec2.set("id", "x");
+  EXPECT_THROW(Testcase::from_record(rec2), ParseError);
+
+  KvRecord rec3("testcase");
+  rec3.set("id", "x");
+  rec3.set_double("cpu.rate", 1.0);
+  rec3.set_doubles("cpu.values", {-1.0});
+  EXPECT_THROW(Testcase::from_record(rec3), ParseError);
+}
+
+TEST(Testcase, ReplacingFunctionKeepsLatest) {
+  Testcase tc("r");
+  tc.set_function(Resource::kDisk, make_constant(1.0, 10.0));
+  tc.set_function(Resource::kDisk, make_constant(2.0, 10.0));
+  EXPECT_DOUBLE_EQ(tc.max_level(Resource::kDisk), 2.0);
+  EXPECT_EQ(tc.resources().size(), 1u);
+}
+
+}  // namespace
+}  // namespace uucs

@@ -1,0 +1,57 @@
+#include "util/clock.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace uucs {
+namespace {
+
+TEST(VirtualClock, StartsAtGivenTime) {
+  VirtualClock c(5.0);
+  EXPECT_DOUBLE_EQ(c.now(), 5.0);
+}
+
+TEST(VirtualClock, AdvanceAccumulates) {
+  VirtualClock c;
+  c.advance(1.5);
+  c.advance(2.5);
+  EXPECT_DOUBLE_EQ(c.now(), 4.0);
+}
+
+TEST(VirtualClock, SleepAdvances) {
+  VirtualClock c;
+  c.sleep(3.0);
+  EXPECT_DOUBLE_EQ(c.now(), 3.0);
+}
+
+TEST(VirtualClock, AdvanceToAbsolute) {
+  VirtualClock c(1.0);
+  c.advance_to(10.0);
+  EXPECT_DOUBLE_EQ(c.now(), 10.0);
+}
+
+TEST(VirtualClock, RejectsBackwardMotion) {
+  VirtualClock c(5.0);
+  EXPECT_THROW(c.advance(-1.0), Error);
+  EXPECT_THROW(c.advance_to(4.0), Error);
+}
+
+TEST(RealClock, MonotoneAndRoughlyAccurate) {
+  RealClock c;
+  const double t0 = c.now();
+  c.sleep(0.02);
+  const double t1 = c.now();
+  EXPECT_GE(t1, t0 + 0.015);
+  EXPECT_LT(t1, t0 + 2.0);  // generous bound for loaded CI machines
+}
+
+TEST(RealClock, NegativeSleepReturnsImmediately) {
+  RealClock c;
+  const double t0 = c.now();
+  c.sleep(-5.0);
+  EXPECT_LT(c.now() - t0, 0.5);
+}
+
+}  // namespace
+}  // namespace uucs

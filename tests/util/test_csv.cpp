@@ -1,0 +1,75 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/fs.hpp"
+
+namespace uucs {
+namespace {
+
+TEST(Csv, BasicRoundTrip) {
+  Csv csv;
+  csv.add_row({"a", "b", "c"});
+  csv.add_row({"1", "2", "3"});
+  const Csv parsed = Csv::parse(csv.serialize());
+  ASSERT_EQ(parsed.row_count(), 2u);
+  EXPECT_EQ(parsed.row(0)[1], "b");
+  EXPECT_EQ(parsed.row(1)[2], "3");
+}
+
+TEST(Csv, QuotingSpecialCharacters) {
+  Csv csv;
+  csv.add_row({"has,comma", "has\"quote", "has\nnewline", "plain"});
+  const Csv parsed = Csv::parse(csv.serialize());
+  ASSERT_EQ(parsed.row_count(), 1u);
+  EXPECT_EQ(parsed.row(0)[0], "has,comma");
+  EXPECT_EQ(parsed.row(0)[1], "has\"quote");
+  EXPECT_EQ(parsed.row(0)[2], "has\nnewline");
+  EXPECT_EQ(parsed.row(0)[3], "plain");
+}
+
+TEST(Csv, EmptyFieldsPreserved) {
+  const Csv parsed = Csv::parse("a,,c\n,,\n");
+  ASSERT_EQ(parsed.row_count(), 2u);
+  EXPECT_EQ(parsed.row(0)[1], "");
+  ASSERT_EQ(parsed.row(1).size(), 3u);
+}
+
+TEST(Csv, CrLfLineEndings) {
+  const Csv parsed = Csv::parse("a,b\r\nc,d\r\n");
+  ASSERT_EQ(parsed.row_count(), 2u);
+  EXPECT_EQ(parsed.row(1)[0], "c");
+}
+
+TEST(Csv, MissingTrailingNewline) {
+  const Csv parsed = Csv::parse("a,b\nc,d");
+  ASSERT_EQ(parsed.row_count(), 2u);
+  EXPECT_EQ(parsed.row(1)[1], "d");
+}
+
+TEST(Csv, UnterminatedQuoteThrows) {
+  EXPECT_THROW(Csv::parse("\"abc\n"), ParseError);
+}
+
+TEST(Csv, DoubleRows) {
+  Csv csv;
+  csv.add_row_doubles({1.5, 2.25});
+  const Csv parsed = Csv::parse(csv.serialize());
+  EXPECT_EQ(parsed.row(0)[0], "1.5");
+  EXPECT_EQ(parsed.row(0)[1], "2.25");
+}
+
+TEST(Csv, FileRoundTrip) {
+  TempDir dir;
+  Csv csv;
+  csv.add_row({"x", "y"});
+  const std::string path = dir.file("t.csv");
+  csv.save(path);
+  const Csv loaded = Csv::load(path);
+  ASSERT_EQ(loaded.row_count(), 1u);
+  EXPECT_EQ(loaded.row(0)[0], "x");
+}
+
+}  // namespace
+}  // namespace uucs

@@ -1,0 +1,73 @@
+#include "util/fs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace uucs {
+namespace {
+
+TEST(Fs, WriteReadRoundTrip) {
+  TempDir dir;
+  const std::string path = dir.file("data.txt");
+  write_file(path, "hello\nworld\n");
+  EXPECT_EQ(read_file(path), "hello\nworld\n");
+}
+
+TEST(Fs, ReadMissingThrows) {
+  EXPECT_THROW(read_file("/no/such/uucs/file"), SystemError);
+}
+
+TEST(Fs, PathExists) {
+  TempDir dir;
+  EXPECT_TRUE(path_exists(dir.path()));
+  EXPECT_FALSE(path_exists(dir.file("absent")));
+  write_file(dir.file("present"), "x");
+  EXPECT_TRUE(path_exists(dir.file("present")));
+}
+
+TEST(Fs, MakeDirsRecursive) {
+  TempDir dir;
+  const std::string nested = dir.file("a/b/c");
+  make_dirs(nested);
+  EXPECT_TRUE(path_exists(nested));
+  make_dirs(nested);  // idempotent
+}
+
+TEST(Fs, ListFilesSortedRegularOnly) {
+  TempDir dir;
+  write_file(dir.file("b.txt"), "1");
+  write_file(dir.file("a.txt"), "2");
+  make_dirs(dir.file("subdir"));
+  const auto files = list_files(dir.path());
+  ASSERT_EQ(files.size(), 2u);
+  EXPECT_EQ(files[0], "a.txt");
+  EXPECT_EQ(files[1], "b.txt");
+}
+
+TEST(Fs, TempDirRemovedOnDestruction) {
+  std::string path;
+  {
+    TempDir dir;
+    path = dir.path();
+    write_file(dir.file("x"), "y");
+    EXPECT_TRUE(path_exists(path));
+  }
+  EXPECT_FALSE(path_exists(path));
+}
+
+TEST(Fs, TempDirsAreUnique) {
+  TempDir a, b;
+  EXPECT_NE(a.path(), b.path());
+}
+
+TEST(Fs, WriteIsAtomicNoTmpLeftBehind) {
+  TempDir dir;
+  write_file(dir.file("f.txt"), "data");
+  const auto files = list_files(dir.path());
+  ASSERT_EQ(files.size(), 1u);
+  EXPECT_EQ(files[0], "f.txt");
+}
+
+}  // namespace
+}  // namespace uucs

@@ -1,0 +1,62 @@
+#include "util/guid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace uucs {
+namespace {
+
+TEST(Guid, GenerateUnique) {
+  Rng rng(1);
+  std::set<std::string> seen;
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(seen.insert(Guid::generate(rng).to_string()).second);
+  }
+}
+
+TEST(Guid, RoundTrip) {
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    const Guid g = Guid::generate(rng);
+    EXPECT_EQ(Guid::parse(g.to_string()), g);
+  }
+}
+
+TEST(Guid, CanonicalFormat) {
+  Guid g;
+  g.hi = 0x0011aabbccddeeffULL;
+  g.lo = 0x0123456789abcdefULL;
+  EXPECT_EQ(g.to_string(), "0011aabb-ccdd-eeff-0123-456789abcdef");
+}
+
+TEST(Guid, ParseAcceptsNoDashes) {
+  const Guid g = Guid::parse("0011aabbccddeeff0123456789abcdef");
+  EXPECT_EQ(g.to_string(), "0011aabb-ccdd-eeff-0123-456789abcdef");
+}
+
+TEST(Guid, ParseRejectsGarbage) {
+  EXPECT_THROW(Guid::parse("not-a-guid"), ParseError);
+  EXPECT_THROW(Guid::parse("0011aabb-ccdd-eeff-0123-456789abcde"), ParseError);
+  EXPECT_THROW(Guid::parse("0011aabb-ccdd-eeff-0123-456789abcdeg"), ParseError);
+}
+
+TEST(Guid, NilDetection) {
+  Guid g;
+  EXPECT_TRUE(g.is_nil());
+  Rng rng(3);
+  EXPECT_FALSE(Guid::generate(rng).is_nil());
+}
+
+TEST(Guid, Ordering) {
+  Guid a, b;
+  a.hi = 1;
+  b.hi = 2;
+  EXPECT_LT(a, b);
+}
+
+}  // namespace
+}  // namespace uucs

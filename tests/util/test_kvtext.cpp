@@ -1,0 +1,130 @@
+#include "util/kvtext.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/fs.hpp"
+
+namespace uucs {
+namespace {
+
+TEST(KvRecord, SetGetTyped) {
+  KvRecord rec("testcase");
+  rec.set("id", "tc-1");
+  rec.set_double("rate", 1.5);
+  rec.set_int("count", 42);
+  rec.set_bool("blank", false);
+  rec.set_doubles("values", {0.0, 0.5, 1.0});
+
+  EXPECT_EQ(rec.get("id"), "tc-1");
+  EXPECT_DOUBLE_EQ(rec.get_double("rate"), 1.5);
+  EXPECT_EQ(rec.get_int("count"), 42);
+  EXPECT_FALSE(rec.get_bool("blank"));
+  const auto vals = rec.get_doubles("values");
+  ASSERT_EQ(vals.size(), 3u);
+  EXPECT_DOUBLE_EQ(vals[1], 0.5);
+}
+
+TEST(KvRecord, MissingKeyThrows) {
+  KvRecord rec("r");
+  EXPECT_THROW(rec.get("absent"), ParseError);
+  EXPECT_THROW(rec.get_double("absent"), ParseError);
+}
+
+TEST(KvRecord, MalformedValueThrows) {
+  KvRecord rec("r");
+  rec.set("x", "not-a-number");
+  EXPECT_THROW(rec.get_double("x"), ParseError);
+  EXPECT_THROW(rec.get_int("x"), ParseError);
+  EXPECT_THROW(rec.get_bool("x"), ParseError);
+}
+
+TEST(KvRecord, LenientGetters) {
+  KvRecord rec("r");
+  rec.set_double("a", 2.0);
+  EXPECT_DOUBLE_EQ(rec.get_double_or("a", 9.0), 2.0);
+  EXPECT_DOUBLE_EQ(rec.get_double_or("b", 9.0), 9.0);
+  EXPECT_EQ(rec.get_int_or("c", 3), 3);
+  EXPECT_EQ(rec.get_or("d", "dflt"), "dflt");
+  EXPECT_FALSE(rec.find("zzz").has_value());
+}
+
+TEST(KvRecord, RejectsInvalidKeys) {
+  KvRecord rec("r");
+  EXPECT_THROW(rec.set("a=b", "v"), Error);
+  EXPECT_THROW(rec.set("", "v"), Error);
+  EXPECT_THROW(rec.set("ok", "line1\nline2"), Error);
+}
+
+TEST(KvRecord, KeysPreserveInsertionOrder) {
+  KvRecord rec("r");
+  rec.set("z", "1");
+  rec.set("a", "2");
+  rec.set("m", "3");
+  ASSERT_EQ(rec.keys().size(), 3u);
+  EXPECT_EQ(rec.keys()[0], "z");
+  EXPECT_EQ(rec.keys()[1], "a");
+  EXPECT_EQ(rec.keys()[2], "m");
+}
+
+TEST(KvText, SerializeParseRoundTrip) {
+  KvRecord a("testcase");
+  a.set("id", "tc-1");
+  a.set_doubles("cpu.values", {0, 1, 2.5});
+  KvRecord b("result");
+  b.set("id", "r-9");
+  b.set("note", "has spaces = and more");
+
+  const std::string text = kv_serialize({a, b});
+  const auto records = kv_parse(text);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].type(), "testcase");
+  EXPECT_EQ(records[0].get("id"), "tc-1");
+  EXPECT_EQ(records[1].type(), "result");
+  // Values may themselves contain '='; the codec splits on the first one.
+  EXPECT_EQ(records[1].get("note"), "has spaces = and more");
+  const auto vals = records[0].get_doubles("cpu.values");
+  ASSERT_EQ(vals.size(), 3u);
+  EXPECT_DOUBLE_EQ(vals[2], 2.5);
+}
+
+TEST(KvText, ParseSkipsCommentsAndBlankLines) {
+  const auto records = kv_parse("# a comment\n\n[r]\n# another\nkey = v\n\n");
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].get("key"), "v");
+}
+
+TEST(KvText, ParseErrors) {
+  EXPECT_THROW(kv_parse("key = value\n"), ParseError);       // kv before record
+  EXPECT_THROW(kv_parse("[r]\nno-equals-here\n"), ParseError);
+  EXPECT_THROW(kv_parse("[unterminated\n"), ParseError);
+  EXPECT_THROW(kv_parse("[]\n"), ParseError);                // empty type
+  EXPECT_THROW(kv_parse("[r]\n = v\n"), ParseError);         // empty key
+  EXPECT_THROW(kv_parse("[r]\nk = 1\nk = 2\n"), ParseError); // duplicate
+}
+
+TEST(KvText, FileRoundTrip) {
+  TempDir dir;
+  KvRecord rec("reg");
+  rec.set("guid", "abc");
+  const std::string path = dir.file("store.txt");
+  kv_save_file(path, {rec});
+  const auto loaded = kv_load_file(path);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded[0].get("guid"), "abc");
+}
+
+TEST(KvText, LoadMissingFileThrows) {
+  EXPECT_THROW(kv_load_file("/nonexistent/uucs/file.txt"), SystemError);
+}
+
+TEST(KvText, DoubleRoundTripIsExact) {
+  KvRecord rec("r");
+  const double v = 0.1234567890123456789;
+  rec.set_double("x", v);
+  const auto parsed = kv_parse(kv_serialize({rec}));
+  EXPECT_DOUBLE_EQ(parsed[0].get_double("x"), v);
+}
+
+}  // namespace
+}  // namespace uucs

@@ -1,0 +1,94 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace uucs {
+namespace {
+
+TEST(Strings, TrimStripsBothEnds) {
+  EXPECT_EQ(trim("  hello \t\n"), "hello");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto parts = split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(Strings, SplitEmptyStringYieldsOneField) {
+  const auto parts = split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(Strings, SplitTrailingSeparator) {
+  const auto parts = split("a,b,", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(Strings, SplitWsDropsEmpties) {
+  const auto parts = split_ws("  a \t b\nc  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, JoinRoundTrip) {
+  const std::vector<std::string> parts{"x", "y", "z"};
+  EXPECT_EQ(join(parts, ", "), "x, y, z");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("cpu.values", "cpu."));
+  EXPECT_FALSE(starts_with("cpu", "cpu."));
+}
+
+TEST(Strings, ToLower) { EXPECT_EQ(to_lower("CPU Mem"), "cpu mem"); }
+
+TEST(Strings, ParseDoubleStrict) {
+  EXPECT_DOUBLE_EQ(*parse_double("1.5"), 1.5);
+  EXPECT_DOUBLE_EQ(*parse_double("  -2e3 "), -2000.0);
+  EXPECT_FALSE(parse_double("1.5x").has_value());
+  EXPECT_FALSE(parse_double("").has_value());
+  EXPECT_FALSE(parse_double("abc").has_value());
+}
+
+TEST(Strings, ParseIntStrict) {
+  EXPECT_EQ(*parse_int("42"), 42);
+  EXPECT_EQ(*parse_int(" -7 "), -7);
+  EXPECT_FALSE(parse_int("4.2").has_value());
+  EXPECT_FALSE(parse_int("").has_value());
+}
+
+TEST(Strings, ParseBoolForms) {
+  EXPECT_TRUE(*parse_bool("true"));
+  EXPECT_TRUE(*parse_bool("YES"));
+  EXPECT_TRUE(*parse_bool("1"));
+  EXPECT_FALSE(*parse_bool("false"));
+  EXPECT_FALSE(*parse_bool("no"));
+  EXPECT_FALSE(*parse_bool("0"));
+  EXPECT_FALSE(parse_bool("maybe").has_value());
+}
+
+TEST(Strings, Strprintf) {
+  EXPECT_EQ(strprintf("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(strprintf("%.2f", 1.5), "1.50");
+}
+
+TEST(Strings, FormatCompactTrimsZeros) {
+  EXPECT_EQ(format_compact(1.5), "1.5");
+  EXPECT_EQ(format_compact(3.0), "3");
+  EXPECT_EQ(format_compact(0.05), "0.05");
+  EXPECT_EQ(format_compact(-0.0), "0");
+}
+
+}  // namespace
+}  // namespace uucs

@@ -1,0 +1,72 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace uucs {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t;
+  t.set_header({"Task", "CPU", "Memory"});
+  t.add_row({"Word", "0.71", "0.00"});
+  t.add_row({"Quake", "0.95", "0.45"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("Task"), std::string::npos);
+  EXPECT_NE(out.find("Quake"), std::string::npos);
+  EXPECT_NE(out.find("0.45"), std::string::npos);
+}
+
+TEST(TextTable, ColumnsAligned) {
+  TextTable t;
+  t.set_header({"name", "value"});
+  t.add_row({"short", "1"});
+  t.add_row({"much-longer-name", "2"});
+  const std::string out = t.render();
+  // Each line should have the same width.
+  std::size_t prev = std::string::npos;
+  std::size_t start = 0;
+  while (start < out.size()) {
+    const auto end = out.find('\n', start);
+    const auto len = end - start;
+    if (prev != std::string::npos) {
+      EXPECT_EQ(len, prev);
+    }
+    prev = len;
+    start = end + 1;
+  }
+}
+
+TEST(TextTable, RaggedRowsPadded) {
+  TextTable t;
+  t.add_row({"a"});
+  t.add_row({"b", "c", "d"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("d"), std::string::npos);
+}
+
+TEST(TextTable, RuleInserted) {
+  TextTable t;
+  t.add_row({"x", "y"});
+  t.add_rule();
+  t.add_row({"total", "3"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("--"), std::string::npos);
+}
+
+TEST(TextTable, NumericCellsRightAligned) {
+  TextTable t;
+  t.set_header({"col"});
+  t.add_row({"wide-text-cell"});
+  t.add_row({"3.5"});
+  const std::string out = t.render();
+  // The numeric row should have leading spaces before "3.5".
+  EXPECT_NE(out.find("  3.5"), std::string::npos);
+}
+
+TEST(TextTable, EmptyTableRendersNothingFatal) {
+  TextTable t;
+  EXPECT_EQ(t.render(), "");
+}
+
+}  // namespace
+}  // namespace uucs

@@ -1,0 +1,119 @@
+/// The deployable UUCS client (§2): registers with a server, keeps local
+/// text stores, downloads growing random samples of testcases via hot
+/// syncs, executes them at Poisson arrival times with the REAL resource
+/// exercisers while you use the machine, and uploads results. Express
+/// discomfort with `kill -USR1 <pid>` — the headless stand-in for the
+/// paper's tray icon / F11 hot-key. Ctrl-C exits after saving state.
+///
+/// Usage: uucs_client [--server HOST] [--port P] [--dir STATE_DIR]
+///                    [--task LABEL] [--interarrival SECONDS]
+///                    [--sync SECONDS] [--duration SECONDS]
+
+#include <csignal>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "client/daemon.hpp"
+#include "server/net.hpp"
+#include "util/fs.hpp"
+#include "util/logging.hpp"
+
+namespace {
+
+uucs::ClientDaemon* g_daemon = nullptr;
+
+void on_signal(int) {
+  if (g_daemon) g_daemon->stop();
+}
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: uucs_client [--server HOST] [--port P] [--dir DIR] "
+               "[--task LABEL] [--interarrival S] [--sync S] [--duration S]\n");
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace uucs;
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 9120;
+  std::string dir = "uucs_client_state";
+  std::string task = "desktop";
+  ClientConfig config;
+  config.mean_run_interarrival_s = 600.0;
+  config.sync_interval_s = 1800.0;
+  double duration = 0.0;  // 0 = run until Ctrl-C
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (++i >= argc) usage();
+      return argv[i];
+    };
+    if (arg == "--server") {
+      host = next();
+    } else if (arg == "--port") {
+      port = static_cast<std::uint16_t>(std::stoul(next()));
+    } else if (arg == "--dir") {
+      dir = next();
+    } else if (arg == "--task") {
+      task = next();
+    } else if (arg == "--interarrival") {
+      config.mean_run_interarrival_s = std::stod(next());
+    } else if (arg == "--sync") {
+      config.sync_interval_s = std::stod(next());
+    } else if (arg == "--duration") {
+      duration = std::stod(next());
+    } else {
+      usage();
+    }
+  }
+
+  // Local state: resume a previous identity or register fresh (§2).
+  std::unique_ptr<UucsClient> client;
+  if (path_exists(dir + "/client.txt")) {
+    client = std::make_unique<UucsClient>(UucsClient::load(dir, config));
+    std::printf("resumed client %s with %zu local testcases\n",
+                client->registered() ? client->guid().to_string().c_str() : "(new)",
+                client->testcases().size());
+  } else {
+    client = std::make_unique<UucsClient>(HostSpec::detect(), config);
+    std::printf("new client on %s\n", client->host().hostname.c_str());
+  }
+
+  auto channel = TcpChannel::connect(host, port);
+  RemoteServerApi api(*channel);
+
+  RealClock clock;
+  ExerciserConfig exerciser_config;
+  exerciser_config.subinterval_s = 0.01;
+  ExerciserSet exercisers(clock, exerciser_config);
+  SignalFeedback feedback;  // SIGUSR1 = discomfort
+  ProcSampler sampler;
+  LoadRecorder recorder(clock, sampler, 1.0);
+  RunExecutor executor(clock, exercisers, feedback, &recorder);
+
+  ClientDaemon daemon(clock, *client, api, executor, task);
+  daemon.set_event_callback([](const ClientDaemon::Event& e) {
+    std::printf("[%s] %s\n",
+                e.kind == ClientDaemon::Event::Kind::kRun ? "run" : "sync",
+                e.detail.c_str());
+  });
+  g_daemon = &daemon;
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  std::printf("uucs_client pid %d — express discomfort with: kill -USR1 %d\n",
+              ::getpid(), ::getpid());
+  const std::size_t runs = daemon.run(duration);
+  std::printf("stopping after %zu runs, %zu syncs\n", runs,
+              daemon.syncs_completed());
+  client->save(dir);
+  std::printf("state saved under %s\n", dir.c_str());
+  return 0;
+}

@@ -1,0 +1,132 @@
+/// The deployable UUCS server (§2): loads (or creates) its text stores,
+/// listens for client registrations and hot syncs over TCP, and persists
+/// after every mutation. Ctrl-C (SIGINT/SIGTERM) shuts it down cleanly.
+///
+/// Usage: uucs_server [--port P] [--dir STATE_DIR] [--testcases FILE]
+///                    [--batch N] [--seed-suite]
+///
+///   --dir        state directory (testcases/results/registrations .txt)
+///   --testcases  merge an additional testcase file into the catalog
+///   --seed-suite generate the 2000+ Internet suite into an empty catalog
+///   --batch      testcases handed out per hot sync (default 16)
+
+#include <csignal>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/net.hpp"
+#include "testcase/suite.hpp"
+#include "util/fs.hpp"
+#include "util/logging.hpp"
+
+namespace {
+
+std::atomic<bool> g_shutdown{false};
+uucs::TcpListener* g_listener = nullptr;
+
+void on_signal(int) {
+  g_shutdown.store(true);
+  if (g_listener) g_listener->shutdown();
+}
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: uucs_server [--port P] [--dir DIR] [--testcases FILE] "
+               "[--batch N] [--seed-suite]\n");
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace uucs;
+  std::uint16_t port = 9120;
+  std::string dir = "uucs_server_state";
+  std::string extra_testcases;
+  std::size_t batch = 16;
+  bool seed_suite = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (++i >= argc) usage();
+      return argv[i];
+    };
+    if (arg == "--port") {
+      port = static_cast<std::uint16_t>(std::stoul(next()));
+    } else if (arg == "--dir") {
+      dir = next();
+    } else if (arg == "--testcases") {
+      extra_testcases = next();
+    } else if (arg == "--batch") {
+      batch = std::stoul(next());
+    } else if (arg == "--seed-suite") {
+      seed_suite = true;
+    } else {
+      usage();
+    }
+  }
+
+  // Load or initialize state.
+  std::unique_ptr<UucsServer> server;
+  if (path_exists(dir + "/testcases.txt")) {
+    server = std::make_unique<UucsServer>(UucsServer::load(dir));
+    std::printf("loaded state from %s: %zu testcases, %zu results, %zu clients\n",
+                dir.c_str(), server->testcases().size(), server->results().size(),
+                server->client_count());
+  } else {
+    server = std::make_unique<UucsServer>(
+        static_cast<std::uint64_t>(::getpid()) * 2654435761u, batch);
+    std::printf("fresh state in %s\n", dir.c_str());
+  }
+  if (!extra_testcases.empty()) {
+    server->add_testcases(TestcaseStore::load(extra_testcases));
+    std::printf("merged %s into the catalog (%zu testcases)\n",
+                extra_testcases.c_str(), server->testcases().size());
+  }
+  if (seed_suite && server->testcases().empty()) {
+    Rng rng(1);
+    server->add_testcases(generate_internet_suite(SuiteSpec{}, rng));
+    std::printf("seeded the Internet suite: %zu testcases\n",
+                server->testcases().size());
+  }
+
+  TcpListener listener(port);
+  g_listener = &listener;
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  std::printf("uucs_server listening on 127.0.0.1:%u (Ctrl-C to stop)\n",
+              listener.port());
+
+  std::mutex server_mu;  // one server object, many connection threads
+  std::vector<std::thread> connections;
+  while (auto conn = listener.accept()) {
+    connections.emplace_back(
+        [&server, &server_mu, &dir, channel = std::shared_ptr<TcpChannel>(
+                                        std::move(conn))]() mutable {
+          while (const auto request = channel->read()) {
+            std::string response;
+            {
+              std::lock_guard<std::mutex> lock(server_mu);
+              response = dispatch_request(*server, *request);
+              server->save(dir);  // text stores, durable after each mutation
+            }
+            channel->write(response);
+          }
+        });
+  }
+
+  for (auto& t : connections) t.join();
+  {
+    std::lock_guard<std::mutex> lock(server_mu);
+    server->save(dir);
+  }
+  std::printf("shut down; state saved under %s\n", dir.c_str());
+  return 0;
+}

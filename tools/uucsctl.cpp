@@ -1,0 +1,208 @@
+/// uucsctl — the paper's Fig 2 tooling in one CLI: create, view and
+/// manipulate testcase stores, inspect result stores, compute the analysis
+/// grids, and distill comfort profiles for the throttle.
+///
+///   uucsctl list    STORE.txt                  list testcases
+///   uucsctl show    STORE.txt ID               ASCII-plot one testcase
+///   uucsctl make    STORE.txt SPEC...          add a testcase and save
+///   uucsctl results RESULTS.txt                per-task run summary
+///   uucsctl metrics RESULTS.txt                fd / c05 / ca grid (CSV)
+///   uucsctl cdf     RESULTS.txt RES [TASK]     ASCII discomfort CDF
+///   uucsctl profile RESULTS.txt OUT.txt        write a ComfortProfile
+///   uucsctl suite   OUT.txt [SEED]             generate the Internet suite
+///
+/// SPEC for `make`: ramp RESOURCE X T | step RESOURCE X T B | blank T
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/breakdown.hpp"
+#include "analysis/export.hpp"
+#include "core/comfort_profile.hpp"
+#include "testcase/suite.hpp"
+#include "util/fs.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace uucs;
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: uucsctl list|show|make|results|metrics|cdf|profile|suite ...\n"
+               "  list    STORE.txt\n"
+               "  show    STORE.txt ID\n"
+               "  make    STORE.txt ramp RES X T | step RES X T B | blank T\n"
+               "  results RESULTS.txt\n"
+               "  metrics RESULTS.txt\n"
+               "  profile RESULTS.txt OUT.txt\n");
+  std::exit(2);
+}
+
+int cmd_list(const std::string& path) {
+  const TestcaseStore store = TestcaseStore::load(path);
+  std::printf("%zu testcases in %s\n", store.size(), path.c_str());
+  for (const auto& id : store.ids()) {
+    const Testcase& tc = store.get(id);
+    std::string resources;
+    for (Resource r : tc.resources()) {
+      if (!resources.empty()) resources += ",";
+      resources += resource_name(r);
+    }
+    std::printf("  %-36s %6.0fs  %-16s %s\n", id.c_str(), tc.duration(),
+                resources.empty() ? "(blank)" : resources.c_str(),
+                tc.description().c_str());
+  }
+  return 0;
+}
+
+int cmd_show(const std::string& path, const std::string& id) {
+  const TestcaseStore store = TestcaseStore::load(path);
+  const Testcase& tc = store.get(id);
+  std::printf("%s: %s (%.0f s)\n", tc.id().c_str(), tc.description().c_str(),
+              tc.duration());
+  if (tc.is_blank()) {
+    std::printf("(blank testcase — no exercise functions)\n");
+    return 0;
+  }
+  constexpr int kWidth = 64;
+  constexpr int kHeight = 10;
+  for (Resource r : tc.resources()) {
+    const ExerciseFunction* f = tc.function(r);
+    const double ymax = std::max(1e-9, f->max_level());
+    std::printf("\n%s (max %.2f, rate %.1f Hz):\n", resource_name(r).c_str(),
+                f->max_level(), f->sample_rate_hz());
+    std::vector<std::string> grid(kHeight, std::string(kWidth, ' '));
+    for (int col = 0; col < kWidth; ++col) {
+      const double t = f->duration() * col / (kWidth - 1);
+      const double level = f->level_at(std::min(t, f->duration() - 1e-9));
+      int row = static_cast<int>(level / ymax * (kHeight - 1) + 0.5);
+      row = std::clamp(row, 0, kHeight - 1);
+      grid[static_cast<std::size_t>(kHeight - 1 - row)]
+          [static_cast<std::size_t>(col)] = '*';
+    }
+    for (const auto& line : grid) std::printf("  |%s\n", line.c_str());
+    std::printf("  +%s (0..%.0f s)\n", std::string(kWidth, '-').c_str(),
+                f->duration());
+  }
+  return 0;
+}
+
+int cmd_make(const std::string& path, const std::vector<std::string>& spec) {
+  TestcaseStore store;
+  if (path_exists(path)) store = TestcaseStore::load(path);
+  if (spec.empty()) usage();
+  Testcase tc("pending");
+  if (spec[0] == "ramp" && spec.size() == 4) {
+    tc = make_ramp_testcase(parse_resource(spec[1]), std::stod(spec[2]),
+                            std::stod(spec[3]));
+  } else if (spec[0] == "step" && spec.size() == 5) {
+    tc = make_step_testcase(parse_resource(spec[1]), std::stod(spec[2]),
+                            std::stod(spec[3]), std::stod(spec[4]));
+  } else if (spec[0] == "blank" && spec.size() == 2) {
+    tc = make_blank_testcase(std::stod(spec[1]));
+  } else {
+    usage();
+  }
+  store.add(tc);
+  store.save(path);
+  std::printf("added %s; %s now holds %zu testcases\n", tc.id().c_str(),
+              path.c_str(), store.size());
+  return 0;
+}
+
+int cmd_results(const std::string& path) {
+  const ResultStore results = ResultStore::load(path);
+  std::printf("%zu runs in %s\n", results.size(), path.c_str());
+  const auto table = analysis::compute_breakdown_table(
+      results, analysis::BreakdownScope::kAllRuns);
+  for (sim::Task t : sim::kAllTasks) {
+    const auto& b = table.per_task[static_cast<std::size_t>(t)];
+    if (b.total() == 0) continue;
+    std::printf("  %-11s runs %4zu  discomforted %4zu  blank-noise %.2f\n",
+                sim::task_display_name(t).c_str(), b.total(),
+                b.nonblank_discomforted + b.blank_discomforted,
+                b.blank_discomfort_probability());
+  }
+  return 0;
+}
+
+int cmd_metrics(const std::string& path) {
+  const ResultStore results = ResultStore::load(path);
+  std::printf("%s", analysis::export_metric_grid(results).serialize().c_str());
+  return 0;
+}
+
+int cmd_cdf(const std::string& path, const std::string& resource,
+            const std::string& task) {
+  const ResultStore results = ResultStore::load(path);
+  const Resource r = parse_resource(resource);
+  const auto cdf = analysis::build_discomfort_cdf(
+      analysis::select_ramp_runs(results, task, r), r);
+  const std::string title =
+      (task.empty() ? std::string("all tasks") : task) + " / " + resource_name(r);
+  std::printf("%s", cdf.ascii_plot(60, 16, title).c_str());
+  const auto m = analysis::metrics_from_cdf(cdf);
+  std::printf("fd=%.2f c05=%s ca=%s\n", m.fd,
+              m.c05 ? strprintf("%.2f", *m.c05).c_str() : "*",
+              m.ca ? strprintf("%.2f", m.ca->mean).c_str() : "*");
+  const auto ci = analysis::bootstrap_level_ci(cdf);
+  if (ci.valid) {
+    std::printf("c05 bootstrap 95%% CI: [%.2f, %.2f]\n", ci.lo, ci.hi);
+  }
+  return 0;
+}
+
+int cmd_profile(const std::string& path, const std::string& out) {
+  const ResultStore results = ResultStore::load(path);
+  const auto profile = core::ComfortProfile::from_results(results);
+  kv_save_file(out, profile.to_records());
+  std::printf("wrote %zu comfort curves to %s\n", profile.curve_count(),
+              out.c_str());
+  std::printf("aggregated 5%%-budget contention: cpu %.2f, memory %.2f, disk %.2f\n",
+              profile.max_contention(Resource::kCpu, 0.05),
+              profile.max_contention(Resource::kMemory, 0.05),
+              profile.max_contention(Resource::kDisk, 0.05));
+  return 0;
+}
+
+int cmd_suite(const std::string& out, std::uint64_t seed) {
+  Rng rng(seed);
+  const TestcaseStore store = generate_internet_suite(SuiteSpec{}, rng);
+  store.save(out);
+  std::printf("generated %zu testcases (seed %llu) into %s\n", store.size(),
+              static_cast<unsigned long long>(seed), out.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "list") return cmd_list(argv[2]);
+    if (cmd == "show" && argc >= 4) return cmd_show(argv[2], argv[3]);
+    if (cmd == "make" && argc >= 4) {
+      return cmd_make(argv[2], {argv + 3, argv + argc});
+    }
+    if (cmd == "results") return cmd_results(argv[2]);
+    if (cmd == "metrics") return cmd_metrics(argv[2]);
+    if (cmd == "cdf" && argc >= 4) {
+      return cmd_cdf(argv[2], argv[3], argc >= 5 ? argv[4] : "");
+    }
+    if (cmd == "profile" && argc >= 4) return cmd_profile(argv[2], argv[3]);
+    if (cmd == "suite") {
+      return cmd_suite(argv[2], argc >= 4 ? std::stoull(argv[3]) : 1);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "uucsctl: %s\n", e.what());
+    return 1;
+  }
+  usage();
+}

@@ -34,12 +34,15 @@ struct VariantReport {
   std::optional<double> quake_cpu_c05;
   std::size_t skill_rows_330 = 0;
   double consistency = 0.0;
+  uucs::engine::EngineStats engine;
 };
 
 VariantReport run_variant(const std::string& name,
-                          uucs::study::PopulationParams params) {
+                          uucs::study::PopulationParams params,
+                          std::size_t jobs) {
   using namespace uucs;
   study::ControlledStudyConfig config;
+  config.jobs = jobs;
   const auto out = study::run_controlled_study(config, params);
 
   VariantReport report;
@@ -69,39 +72,42 @@ VariantReport run_variant(const std::string& name,
       analysis::significant_skill_differences(big_out.results, 0.01).size();
   const auto consistency = analysis::user_consistency(big_out.results);
   report.consistency = consistency.valid ? consistency.spearman : 0.0;
+  report.engine = out.engine;
+  report.engine.merge(big_out.engine);
   return report;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace uucs;
+  const std::size_t jobs = bench::parse_jobs(argc, argv);
   const auto base_params = study::calibrate_population();
 
   std::printf("=== population-model ablations (full study rerun per variant) ===\n");
 
   std::vector<VariantReport> reports;
-  reports.push_back(run_variant("full-model", base_params));
+  reports.push_back(run_variant("full-model", base_params, jobs));
 
   {
     auto p = base_params;
     p.surprise_penalty = 0.0;
-    reports.push_back(run_variant("no-surprise", p));
+    reports.push_back(run_variant("no-surprise", p, jobs));
   }
   {
     auto p = base_params;
     p.noise_rates = {0.0, 0.0, 0.0, 0.0};
-    reports.push_back(run_variant("no-noise", p));
+    reports.push_back(run_variant("no-noise", p, jobs));
   }
   {
     auto p = base_params;
     for (auto& row : p.skill_loadings) row = {0.0, 0.0, 0.0};
-    reports.push_back(run_variant("no-skill", p));
+    reports.push_back(run_variant("no-skill", p, jobs));
   }
   {
     auto p = base_params;
     p.sensitivity_loading = 0.0;
-    reports.push_back(run_variant("no-correlation", p));
+    reports.push_back(run_variant("no-correlation", p, jobs));
   }
 
   TextTable t;
@@ -128,5 +134,8 @@ int main() {
       "alpha=0.01), and user consistency is fed by BOTH correlation "
       "mechanisms (shared sensitivity and shared expertise), so it halves "
       "under either ablation rather than vanishing under one.\n");
+  engine::EngineStats total;
+  for (const auto& r : reports) total.merge(r.engine);
+  std::printf("\n%s", total.summary().render().c_str());
   return 0;
 }

@@ -11,76 +11,116 @@
 /// Fig 13 (CPU for Quake/PPT, disk gaining share for IE).
 
 #include <cstdio>
+#include <cstdlib>
 #include <map>
+#include <optional>
 
 #include "common.hpp"
+#include "engine/session_engine.hpp"
 #include "sim/host_model.hpp"
 #include "study/paper_constants.hpp"
 #include "study/population.hpp"
+#include "util/rng_streams.hpp"
 #include "util/table.hpp"
 
-int main() {
+namespace {
+
+/// One experiment cell: a task facing either one resource's Fig 8 ramp or
+/// all three at once. Each cell runs as one engine job with its pre-forked
+/// stream; cells are declared in the historical fork order (per task: the
+/// three single-resource cells, then the combined cell).
+struct Cell {
+  uucs::sim::Task task;
+  std::optional<uucs::Resource> single;  ///< nullopt = combined cell
+  uucs::Rng rng;
+};
+
+struct CellResult {
+  std::size_t df = 0;
+  std::size_t noise = 0;
+  std::map<uucs::Resource, std::size_t> trigger;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace uucs;
+  const std::size_t jobs = bench::parse_jobs(argc, argv);
+
   const auto params = study::calibrate_population();
   Rng root(1234);
-  Rng pop_rng = root.fork(1);
+  Rng pop_rng = root.fork(streams::kBenchPopulation);
   const auto users = study::generate_population(params, 200, pop_rng);
 
   const sim::HostModel host(HostSpec::paper_study_machine());
-  sim::RunSimulator simulator(
-      host, {params.noise_rates[0], params.noise_rates[1], params.noise_rates[2],
-             params.noise_rates[3]});
-  simulator.set_nonblank_noise_scale(params.nonblank_noise_scale);
+  const sim::RunSimulator simulator(
+      host,
+      {params.noise_rates[0], params.noise_rates[1], params.noise_rates[2],
+       params.noise_rates[3]},
+      params.nonblank_noise_scale);
+
+  std::vector<Cell> cells;
+  for (sim::Task task : sim::kAllTasks) {
+    const auto ti = static_cast<std::size_t>(task);
+    for (Resource r : kStudyResources) {
+      cells.push_back(Cell{task, r,
+                           root.fork(streams::bench_single(
+                               ti, static_cast<std::size_t>(r)))});
+    }
+    cells.push_back(Cell{task, std::nullopt, root.fork(streams::bench_combined(ti))});
+  }
+
+  engine::SessionEngine eng(engine::EngineConfig{jobs});
+  const std::vector<CellResult> results = eng.map<CellResult>(
+      cells.size(), [&](engine::JobContext& ctx) {
+        Cell& cell = cells[ctx.index()];
+        Testcase tc(cell.single
+                        ? "single-" + resource_name(*cell.single)
+                        : "combined-" + sim::task_name(cell.task));
+        for (Resource r : kStudyResources) {
+          if (cell.single && r != *cell.single) continue;
+          tc.set_function(
+              r, make_ramp(study::ramp_max(cell.task, r), study::kRunDuration));
+        }
+        CellResult out;
+        for (const auto& user : users) {
+          const auto outcome = simulator.simulate(user, cell.task, tc, cell.rng);
+          if (!outcome.discomforted) continue;
+          ++out.df;
+          if (outcome.noise_triggered) {
+            ++out.noise;
+          } else if (outcome.trigger) {
+            ++out.trigger[*outcome.trigger];
+          }
+        }
+        ctx.count_runs(users.size());
+        return out;
+      });
 
   bench::heading("question 2 extension: combined-resource borrowing (200 users)");
   TextTable t;
   t.set_header({"Task", "fd worst single", "fd combined", "trigger cpu/mem/disk",
                 "noise"});
+  const std::size_t cells_per_task = kStudyResources.size() + 1;
   for (sim::Task task : sim::kAllTasks) {
-    // The combined testcase: all three Fig 8 ramps at once.
-    Testcase combined("combined-" + sim::task_name(task));
-    for (Resource r : kStudyResources) {
-      combined.set_function(
-          r, make_ramp(study::ramp_max(task, r), study::kRunDuration));
-    }
-
+    const std::size_t base = static_cast<std::size_t>(task) * cells_per_task;
     double worst_single = 0.0;
-    for (Resource r : kStudyResources) {
-      Testcase single("single-" + resource_name(r));
-      single.set_function(
-          r, make_ramp(study::ramp_max(task, r), study::kRunDuration));
-      std::size_t df = 0;
-      Rng rng = root.fork(100 + static_cast<std::size_t>(task) * 8 +
-                          static_cast<std::size_t>(r));
-      for (const auto& user : users) {
-        if (simulator.simulate(user, task, single, rng).discomforted) ++df;
-      }
-      worst_single =
-          std::max(worst_single, static_cast<double>(df) / users.size());
+    for (std::size_t s = 0; s < kStudyResources.size(); ++s) {
+      worst_single = std::max(
+          worst_single, static_cast<double>(results[base + s].df) / users.size());
     }
-
-    std::size_t df = 0, noise = 0;
-    std::map<Resource, std::size_t> trigger;
-    Rng rng = root.fork(200 + static_cast<std::size_t>(task));
-    for (const auto& user : users) {
-      const auto outcome = simulator.simulate(user, task, combined, rng);
-      if (!outcome.discomforted) continue;
-      ++df;
-      if (outcome.noise_triggered) {
-        ++noise;
-      } else if (outcome.trigger) {
-        ++trigger[*outcome.trigger];
-      }
-    }
+    const CellResult& combined = results[base + kStudyResources.size()];
+    auto trigger = combined.trigger;
     t.add_row({sim::task_display_name(task), bench::fmt(worst_single),
-               bench::fmt(static_cast<double>(df) / users.size()),
+               bench::fmt(static_cast<double>(combined.df) / users.size()),
                strprintf("%zu/%zu/%zu", trigger[Resource::kCpu],
                          trigger[Resource::kMemory], trigger[Resource::kDisk]),
-               std::to_string(noise)});
+               std::to_string(combined.noise)});
   }
   std::printf("%s", t.render().c_str());
   std::printf("\n(each combined run borrows all three resources on the Fig 8 "
               "ramps simultaneously; discomfort fires at the first threshold "
               "crossed)\n");
+  std::printf("\n%s", eng.stats().summary().render().c_str());
   return 0;
 }

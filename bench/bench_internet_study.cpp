@@ -9,6 +9,7 @@
 
 #include "analysis/export.hpp"
 #include "analysis/metrics.hpp"
+#include "common.hpp"
 #include "stats/correlation.hpp"
 #include "stats/summary.hpp"
 #include "study/controlled_study.hpp"
@@ -17,18 +18,20 @@
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace uucs;
   Logger::instance().set_level(LogLevel::kWarn);
   study::InternetStudyConfig config;
   config.clients = 100;
   config.duration_s = 7.0 * 24 * 3600;
+  config.jobs = bench::parse_jobs(argc, argv);
 
   std::printf("=== §4: Internet-wide study simulation ===\n");
   std::printf("simulating %zu clients for %.0f days...\n", config.clients,
               config.duration_s / 86400.0);
   const auto out = study::run_internet_study(config);
 
+  std::printf("%s", out.engine.summary().render().c_str());
   std::printf("registered clients:        %zu\n", out.server->client_count());
   std::printf("testcases on server:       %zu\n", out.server->testcases().size());
   std::printf("runs executed:             %zu\n", out.total_runs);
@@ -94,8 +97,10 @@ int main() {
   // Internet deployment's ramp runs give a tighter c_0.05 estimate than the
   // 33-user controlled study — compare bootstrap intervals.
   std::printf("\n--- improved CDF estimates (bootstrap 95%% CI on c_0.05) ---\n");
-  const auto controlled = study::run_controlled_study(
-      study::ControlledStudyConfig{}, out.params);
+  study::ControlledStudyConfig controlled_config;
+  controlled_config.jobs = config.jobs;
+  const auto controlled =
+      study::run_controlled_study(controlled_config, out.params);
   TextTable ci_table;
   ci_table.set_header({"resource", "controlled (n=33)", "internet (100 clients)"});
   for (Resource r : kStudyResources) {

@@ -5,14 +5,20 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+
 #include "analysis/metrics.hpp"
+#include "engine/session_engine.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/user_model.hpp"
 #include "stats/ecdf.hpp"
 #include "stats/special.hpp"
+#include "study/controlled_study.hpp"
+#include "study/population.hpp"
 #include "testcase/suite.hpp"
 #include "util/kvtext.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -109,6 +115,46 @@ void BM_SimulatedRun(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SimulatedRun);
+
+void BM_ThreadPoolDispatch(benchmark::State& state) {
+  // Per-task dispatch overhead of the bounded work queue: submit trivial
+  // tasks and wait for the pool to drain. items/s ~ dispatch throughput.
+  uucs::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  constexpr int kBatch = 4096;
+  for (auto _ : state) {
+    std::atomic<int> done{0};
+    for (int i = 0; i < kBatch; ++i) {
+      pool.submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.wait_idle();
+    benchmark::DoNotOptimize(done.load());
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_ThreadPoolDispatch)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EngineSessionsPerSec(benchmark::State& state) {
+  // End-to-end controlled-study session throughput through the
+  // SessionEngine at 1/2/4/8 workers. Output is bit-identical across
+  // worker counts; only wall-clock should move (on multi-core hosts).
+  static const uucs::study::PopulationParams params =
+      uucs::study::calibrate_population();
+  uucs::study::ControlledStudyConfig config;
+  config.participants = 64;
+  config.seed = 7;
+  config.jobs = static_cast<std::size_t>(state.range(0));
+  std::size_t sessions = 0;
+  for (auto _ : state) {
+    const auto out = uucs::study::run_controlled_study(config, params);
+    sessions = out.engine.jobs_executed;
+    benchmark::DoNotOptimize(out.results.size());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(sessions));
+  state.SetLabel(std::to_string(state.range(0)) + " workers");
+}
+BENCHMARK(BM_EngineSessionsPerSec)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

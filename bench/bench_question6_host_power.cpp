@@ -12,19 +12,23 @@
 #include "study/paper_constants.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace uucs;
+  const std::size_t jobs = bench::parse_jobs(argc, argv);
   const auto params = study::calibrate_population();
 
   bench::heading("question 6: tolerated contention vs raw host power");
   TextTable t;
   t.set_header({"host power", "quake/cpu c05", "quake/cpu ca", "quake/cpu fd",
                 "memory fd (all tasks)"});
+  engine::EngineStats total;
   for (double power : {0.5, 1.0, 2.0, 4.0}) {
     study::ControlledStudyConfig config;
     config.host = HostSpec::paper_study_machine();
     config.host.cpu_mhz = 2000.0 * power;
+    config.jobs = jobs;
     const auto out = study::run_controlled_study(config, params);
+    total.merge(out.engine);
     const auto quake_cpu =
         analysis::compute_cell(out.results, "quake", Resource::kCpu);
     const auto mem = analysis::metrics_from_cdf(
@@ -45,5 +49,6 @@ int main() {
       "events at time-uniform (hence low) ramp levels, so c05/c_a become "
       "noise-dominated rather than comfort-driven. Memory is capacity-based "
       "and stays flat throughout, as expected.\n");
+  std::printf("\n%s", total.summary().render().c_str());
   return 0;
 }

@@ -20,7 +20,7 @@
 #include "common.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace uucs;
   const auto& study_out = bench::default_study();
   const auto profile = core::ComfortProfile::from_results(study_out.results);
@@ -28,6 +28,7 @@ int main() {
   core::PolicyEvalConfig config;
   config.session_s = 2.0 * 3600;
   config.dt_s = 1.0;
+  config.jobs = bench::parse_jobs(argc, argv);
 
   bench::heading("§5 / future work: borrowing policy ablation");
   std::printf("population: %zu users x 4 task sessions x %.1f h each\n",
@@ -36,8 +37,10 @@ int main() {
   TextTable t;
   t.set_header({"policy", "borrowed (contention-hours)", "cpu", "mem", "disk",
                 "presses", "presses/user-hour"});
+  engine::EngineStats total;
   auto report = [&](core::ThrottlePolicy& policy) {
     const auto r = core::evaluate_policy(policy, study_out.users, config);
+    total.merge(r.engine);
     t.add_row({r.policy, strprintf("%.1f", r.total_borrowed() / 3600.0),
                strprintf("%.1f", r.borrowed_contention_s[0] / 3600.0),
                strprintf("%.1f", r.borrowed_contention_s[1] / 3600.0),
@@ -61,5 +64,6 @@ int main() {
   std::printf("\n(all policies face identical user presence traces and "
               "thresholds; 'borrowed' integrates allowed contention over "
               "time)\n");
+  std::printf("\n%s", total.summary().render().c_str());
   return 0;
 }

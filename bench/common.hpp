@@ -5,6 +5,7 @@
 /// and prints the paper's published numbers next to the reproduced ones.
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "analysis/metrics.hpp"
@@ -12,6 +13,17 @@
 #include "util/strings.hpp"
 
 namespace uucs::bench {
+
+/// Session-engine worker count from a `--jobs N` flag; 0 (the default)
+/// means one worker per hardware thread. Any value is bit-identical.
+inline std::size_t parse_jobs(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--jobs") {
+      return std::strtoul(argv[i + 1], nullptr, 10);
+    }
+  }
+  return 0;
+}
 
 /// One calibration + controlled study per process, reused by every section
 /// of a bench binary.

@@ -2,7 +2,7 @@
 /// the calibrated synthetic population) and writes every analysis artifact:
 /// the run log, the per-cell metric grid, and the aggregated CDFs.
 ///
-/// Usage: controlled_study [--participants N] [--seed S] [--out DIR]
+/// Usage: controlled_study [--participants N] [--seed S] [--jobs J] [--out DIR]
 
 #include <cstdio>
 #include <cstdlib>
@@ -18,7 +18,8 @@ namespace {
 
 [[noreturn]] void usage() {
   std::fprintf(stderr,
-               "usage: controlled_study [--participants N] [--seed S] [--out DIR]\n");
+               "usage: controlled_study [--participants N] [--seed S] "
+               "[--jobs J] [--out DIR]\n");
   std::exit(2);
 }
 
@@ -38,6 +39,8 @@ int main(int argc, char** argv) {
       config.participants = static_cast<std::size_t>(std::stoul(next()));
     } else if (arg == "--seed") {
       config.seed = std::stoull(next());
+    } else if (arg == "--jobs") {
+      config.jobs = static_cast<std::size_t>(std::stoul(next()));
     } else if (arg == "--out") {
       out_dir = next();
     } else {
@@ -50,6 +53,7 @@ int main(int argc, char** argv) {
   std::printf("ran %zu testcase runs for %zu participants (seed %llu)\n",
               output.results.size(), output.users.size(),
               static_cast<unsigned long long>(config.seed));
+  std::printf("%s", output.engine.summary().render().c_str());
 
   const auto table = analysis::compute_breakdown_table(output.results);
   std::printf("blank-testcase discomfort probability overall: %.2f\n",

@@ -4,7 +4,8 @@
 /// their users work, and uploading the results. The server's stores are
 /// written out as the same text files a real deployment would keep.
 ///
-/// Usage: internet_study [--clients N] [--days D] [--seed S] [--out DIR]
+/// Usage: internet_study [--clients N] [--days D] [--seed S] [--jobs J]
+///        [--out DIR]
 
 #include <cstdio>
 #include <cstdlib>
@@ -18,7 +19,8 @@ namespace {
 
 [[noreturn]] void usage() {
   std::fprintf(stderr,
-               "usage: internet_study [--clients N] [--days D] [--seed S] [--out DIR]\n");
+               "usage: internet_study [--clients N] [--days D] [--seed S] "
+               "[--jobs J] [--out DIR]\n");
   std::exit(2);
 }
 
@@ -42,6 +44,8 @@ int main(int argc, char** argv) {
       config.duration_s = std::stod(next()) * 24 * 3600;
     } else if (arg == "--seed") {
       config.seed = std::stoull(next());
+    } else if (arg == "--jobs") {
+      config.jobs = static_cast<std::size_t>(std::stoul(next()));
     } else if (arg == "--out") {
       out_dir = next();
     } else {
@@ -52,6 +56,7 @@ int main(int argc, char** argv) {
   std::printf("simulating %zu clients over %.1f days...\n", config.clients,
               config.duration_s / 86400.0);
   const auto out = study::run_internet_study(config);
+  std::printf("%s", out.engine.summary().render().c_str());
   std::printf("clients registered: %zu\n", out.server->client_count());
   std::printf("runs executed:      %zu\n", out.total_runs);
   std::printf("hot syncs:          %zu\n", out.total_syncs);

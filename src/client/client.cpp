@@ -45,10 +45,7 @@ std::size_t UucsClient::hot_sync(ServerApi& server) {
 }
 
 std::optional<std::string> UucsClient::choose_testcase_id(Rng& rng) const {
-  if (testcases_.empty()) return std::nullopt;
-  const auto ids = testcases_.ids();
-  return ids[static_cast<std::size_t>(
-      rng.uniform_int(0, static_cast<std::int64_t>(ids.size()) - 1))];
+  return testcases_.random_id(rng);
 }
 
 double UucsClient::next_run_delay(Rng& rng) const {

@@ -4,6 +4,7 @@
 
 #include "util/error.hpp"
 #include "util/rng.hpp"
+#include "util/rng_streams.hpp"
 
 namespace uucs::core {
 
@@ -39,6 +40,61 @@ std::size_t resource_slot(Resource r) {
   throw Error("network is not evaluated");
 }
 
+/// Per-session partial sums, merged into the result in session order.
+struct SessionTotals {
+  std::array<double, 3> borrowed{};
+  std::array<std::size_t, 3> events{};
+};
+
+/// One (user, task) session stepped in dt slices: the body of an engine
+/// job. `start_s` keeps the continuous policy clock the sequential harness
+/// exposed (session k starts at k * session_s).
+SessionTotals run_policy_session(ThrottlePolicy& policy,
+                                 const sim::UserProfile& user, sim::Task task,
+                                 double start_s, const PolicyEvalConfig& config,
+                                 Rng& rng) {
+  SessionTotals totals;
+
+  // Presence trace: alternating active/away periods.
+  bool active = true;
+  double phase_left = rng.exponential(config.mean_active_s);
+
+  std::array<double, 3> press_block{};   // next time a press is allowed
+  std::array<double, 3> paused_until{};  // borrowing pause after press
+
+  for (double t = 0; t < config.session_s; t += config.dt_s) {
+    const double now = start_s + t;
+    phase_left -= config.dt_s;
+    if (phase_left <= 0) {
+      active = !active;
+      phase_left =
+          rng.exponential(active ? config.mean_active_s : config.mean_away_s);
+    }
+    BorrowContext ctx;
+    ctx.task = sim::task_name(task);
+    ctx.user_active = active;
+    ctx.now_s = now;
+
+    for (Resource r : kStudyResources) {
+      const auto slot = resource_slot(r);
+      if (now < paused_until[slot]) continue;  // backed off after a press
+      const double c = policy.allowed_contention(r, ctx);
+      if (c <= 0) continue;
+      totals.borrowed[slot] += c * config.dt_s;
+      if (!active) continue;  // nobody there to be annoyed
+      const double threshold = user.threshold(task, r);
+      if (std::isfinite(threshold) && c >= threshold &&
+          now >= press_block[slot]) {
+        ++totals.events[slot];
+        policy.on_feedback(r, ctx);
+        press_block[slot] = now + config.feedback_cooldown_s;
+        paused_until[slot] = now + config.pause_after_feedback_s;
+      }
+    }
+  }
+  return totals;
+}
+
 }  // namespace
 
 PolicyEvalResult evaluate_policy(ThrottlePolicy& policy,
@@ -48,55 +104,48 @@ PolicyEvalResult evaluate_policy(ThrottlePolicy& policy,
   PolicyEvalResult result;
   result.policy = policy.name();
 
+  // Per-session streams fork from the root in session order before any job
+  // runs; each job gets its own policy clone, so sessions are independent
+  // and the engine may execute them on any thread.
   Rng root(config.seed);
-  double global_now = 0.0;  // policies see continuous time across sessions
-
+  struct Session {
+    const sim::UserProfile* user;
+    sim::Task task;
+    double start_s;
+    Rng rng;
+  };
+  std::vector<Session> sessions;
+  sessions.reserve(users.size() * sim::kAllTasks.size());
   for (std::size_t ui = 0; ui < users.size(); ++ui) {
-    const sim::UserProfile& user = users[ui];
     for (sim::Task task : sim::kAllTasks) {
-      Rng rng = root.fork(ui * 16 + static_cast<std::size_t>(task));
-
-      // Presence trace: alternating active/away periods.
-      bool active = true;
-      double phase_left = rng.exponential(config.mean_active_s);
-
-      std::array<double, 3> press_block{};     // next time a press is allowed
-      std::array<double, 3> paused_until{};    // borrowing pause after press
-
-      for (double t = 0; t < config.session_s; t += config.dt_s) {
-        const double now = global_now + t;
-        phase_left -= config.dt_s;
-        if (phase_left <= 0) {
-          active = !active;
-          phase_left = rng.exponential(active ? config.mean_active_s
-                                              : config.mean_away_s);
-        }
-        BorrowContext ctx;
-        ctx.task = sim::task_name(task);
-        ctx.user_active = active;
-        ctx.now_s = now;
-
-        for (Resource r : kStudyResources) {
-          const auto slot = resource_slot(r);
-          if (now < paused_until[slot]) continue;  // backed off after a press
-          const double c = policy.allowed_contention(r, ctx);
-          if (c <= 0) continue;
-          result.borrowed_contention_s[slot] += c * config.dt_s;
-          if (!active) continue;  // nobody there to be annoyed
-          const double threshold = user.threshold(task, r);
-          if (std::isfinite(threshold) && c >= threshold &&
-              now >= press_block[slot]) {
-            ++result.discomfort_events[slot];
-            policy.on_feedback(r, ctx);
-            press_block[slot] = now + config.feedback_cooldown_s;
-            paused_until[slot] = now + config.pause_after_feedback_s;
-          }
-        }
-      }
-      global_now += config.session_s;
-      result.user_hours += config.session_s / 3600.0;
+      Session s{&users[ui], task,
+                static_cast<double>(sessions.size()) * config.session_s,
+                root.fork(streams::policy_session(
+                    ui, static_cast<std::size_t>(task)))};
+      sessions.push_back(std::move(s));
     }
   }
+
+  engine::SessionEngine eng(engine::EngineConfig{config.jobs});
+  std::vector<SessionTotals> shards = eng.map<SessionTotals>(
+      sessions.size(), [&](engine::JobContext& ctx) {
+        Session& s = sessions[ctx.index()];
+        std::unique_ptr<ThrottlePolicy> local = policy.clone();
+        SessionTotals totals = run_policy_session(*local, *s.user, s.task,
+                                                  s.start_s, config, s.rng);
+        ctx.count_runs();  // one dt-stepped session per job
+        return totals;
+      });
+
+  // Deterministic merge in session order.
+  for (const SessionTotals& totals : shards) {
+    for (std::size_t slot = 0; slot < 3; ++slot) {
+      result.borrowed_contention_s[slot] += totals.borrowed[slot];
+      result.discomfort_events[slot] += totals.events[slot];
+    }
+    result.user_hours += config.session_s / 3600.0;
+  }
+  result.engine = eng.stats();
   return result;
 }
 

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/throttle.hpp"
+#include "engine/session_engine.hpp"
 #include "sim/user_model.hpp"
 
 namespace uucs::core {
@@ -20,6 +21,12 @@ struct PolicyEvalConfig {
   double feedback_cooldown_s = 120.0;  ///< min spacing between presses
   double pause_after_feedback_s = 60.0;///< borrowing stops after a press
   std::uint64_t seed = 31337;
+
+  /// SessionEngine worker threads (0 = hardware concurrency). Each
+  /// (user, task) session runs as one job against its own clone of the
+  /// policy; shard results merge in session order, so any value is
+  /// deterministic for one seed.
+  std::size_t jobs = 0;
 };
 
 /// What a policy achieved over the evaluation.
@@ -30,6 +37,7 @@ struct PolicyEvalResult {
   /// Discomfort presses per resource.
   std::array<std::size_t, 3> discomfort_events{};
   double user_hours = 0.0;  ///< total simulated session time
+  engine::EngineStats engine;  ///< session-engine instrumentation
 
   double total_borrowed() const;
   std::size_t total_events() const;
@@ -39,7 +47,10 @@ struct PolicyEvalResult {
 
 /// Runs `policy` against every (user, task) session. The activity traces
 /// and user draws depend only on `config.seed`, so different policies face
-/// identical conditions and results are directly comparable.
+/// identical conditions and results are directly comparable. Each session
+/// evaluates an independent clone of `policy` (sessions are different
+/// users, so adaptive state never carried meaningfully between them), which
+/// is what lets sessions execute as parallel SessionEngine jobs.
 PolicyEvalResult evaluate_policy(ThrottlePolicy& policy,
                                  const std::vector<sim::UserProfile>& users,
                                  const PolicyEvalConfig& config = {});

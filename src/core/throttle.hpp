@@ -30,6 +30,11 @@ class ThrottlePolicy {
 
   /// Human-readable policy name for reports.
   virtual std::string name() const = 0;
+
+  /// Deep copy carrying the policy's current adaptive state. The policy
+  /// evaluation harness clones the policy once per (user, task) session so
+  /// independent sessions can run as parallel SessionEngine jobs.
+  virtual std::unique_ptr<ThrottlePolicy> clone() const = 0;
 };
 
 /// The conservative baseline the paper attributes to Condor, Sprite and
@@ -42,6 +47,9 @@ class ConservativePolicy final : public ThrottlePolicy {
   double allowed_contention(Resource r, const BorrowContext& ctx) override;
   void on_feedback(Resource r, const BorrowContext& ctx) override;
   std::string name() const override { return "conservative"; }
+  std::unique_ptr<ThrottlePolicy> clone() const override {
+    return std::make_unique<ConservativePolicy>(*this);
+  }
 
  private:
   double away_contention_;
@@ -60,6 +68,9 @@ class CdfThrottle final : public ThrottlePolicy {
   double allowed_contention(Resource r, const BorrowContext& ctx) override;
   void on_feedback(Resource r, const BorrowContext& ctx) override;
   std::string name() const override;
+  std::unique_ptr<ThrottlePolicy> clone() const override {
+    return std::make_unique<CdfThrottle>(*this);
+  }
 
   const ComfortProfile& profile() const { return profile_; }
 
@@ -84,6 +95,9 @@ class AdaptiveThrottle final : public ThrottlePolicy {
   double allowed_contention(Resource r, const BorrowContext& ctx) override;
   void on_feedback(Resource r, const BorrowContext& ctx) override;
   std::string name() const override { return "adaptive"; }
+  std::unique_ptr<ThrottlePolicy> clone() const override {
+    return std::make_unique<AdaptiveThrottle>(*this);
+  }
 
   /// Current cap multiplier in (0, 1] for diagnostics.
   double cap_multiplier(Resource r, const std::string& task) const;

@@ -1,0 +1,118 @@
+#include "engine/session_engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <ctime>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace uucs::engine {
+
+namespace {
+
+double process_cpu_seconds() {
+  timespec ts{};
+  if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) != 0) return 0.0;
+  return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+}  // namespace
+
+std::size_t effective_jobs(std::size_t jobs) {
+  if (jobs > 0) return jobs;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+void EngineStats::merge(const EngineStats& other) {
+  workers = std::max(workers, other.workers);
+  jobs_executed += other.jobs_executed;
+  runs_simulated += other.runs_simulated;
+  wall_s += other.wall_s;
+  cpu_s += other.cpu_s;
+}
+
+TextTable EngineStats::summary() const {
+  TextTable t;
+  t.set_header({"engine metric", "value"});
+  t.add_row({"workers", std::to_string(workers)});
+  t.add_row({"session jobs", std::to_string(jobs_executed)});
+  t.add_row({"runs simulated", std::to_string(runs_simulated)});
+  t.add_row({"wall time (s)", strprintf("%.3f", wall_s)});
+  t.add_row({"cpu time (s)", strprintf("%.3f", cpu_s)});
+  t.add_row({"sessions/s", strprintf("%.1f", jobs_per_s())});
+  t.add_row({"runs/s", strprintf("%.1f", runs_per_s())});
+  if (workers > 0 && wall_s > 0) {
+    t.add_row({"parallel efficiency",
+               strprintf("%.2f", cpu_s / (wall_s * static_cast<double>(workers)))});
+  }
+  return t;
+}
+
+std::vector<SessionJob> make_user_session_jobs(
+    const std::vector<sim::UserProfile>& users, Rng& root,
+    std::uint64_t (*stream_of)(std::size_t)) {
+  std::vector<SessionJob> jobs;
+  jobs.reserve(users.size());
+  for (std::size_t ui = 0; ui < users.size(); ++ui) {
+    SessionJob job;
+    job.index = ui;
+    job.user = &users[ui];
+    job.tasks.assign(sim::kAllTasks.begin(), sim::kAllTasks.end());
+    job.rng = root.fork(stream_of(ui));
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+void JobContext::count_runs(std::size_t n) {
+  engine_.runs_.fetch_add(n, std::memory_order_relaxed);
+}
+
+SessionEngine::SessionEngine(EngineConfig config)
+    : config_(config), workers_(effective_jobs(config.jobs)) {
+  stats_.workers = workers_;
+}
+
+SessionEngine::~SessionEngine() = default;
+
+void SessionEngine::run_tasks(std::size_t n,
+                              const std::function<void(std::size_t)>& task) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  const double cpu_start = process_cpu_seconds();
+  const std::size_t runs_start = runs_.load(std::memory_order_relaxed);
+
+  if (workers_ == 1) {
+    for (std::size_t i = 0; i < n; ++i) task(i);
+  } else {
+    if (!pool_) pool_ = std::make_unique<ThreadPool>(workers_);
+    std::mutex error_mu;
+    std::exception_ptr first_error;
+    for (std::size_t i = 0; i < n; ++i) {
+      pool_->submit([&, i] {
+        try {
+          task(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+      });
+    }
+    pool_->wait_idle();
+    if (first_error) std::rethrow_exception(first_error);
+  }
+
+  stats_.jobs_executed += n;
+  stats_.runs_simulated +=
+      runs_.load(std::memory_order_relaxed) - runs_start;
+  stats_.wall_s += std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - wall_start)
+                       .count();
+  stats_.cpu_s += process_cpu_seconds() - cpu_start;
+}
+
+}  // namespace uucs::engine

@@ -1,0 +1,132 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/user_model.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace uucs::engine {
+
+/// Resolves a `jobs` knob: 0 means "one worker per hardware thread".
+std::size_t effective_jobs(std::size_t jobs);
+
+/// Engine knobs shared by every driver that simulates sessions.
+struct EngineConfig {
+  /// Worker threads. 0 = hardware concurrency, 1 = run inline on the
+  /// caller's thread (the exact sequential path).
+  std::size_t jobs = 0;
+};
+
+/// Lightweight instrumentation the engine gathers per run: future PRs track
+/// scaling with these numbers (see BENCH_engine.json for the baseline).
+struct EngineStats {
+  std::size_t workers = 0;         ///< threads used by the last map()
+  std::size_t jobs_executed = 0;   ///< session jobs completed
+  std::size_t runs_simulated = 0;  ///< individual runs reported by jobs
+  double wall_s = 0.0;             ///< wall-clock time inside map()
+  double cpu_s = 0.0;              ///< process CPU time inside map()
+
+  double jobs_per_s() const { return wall_s > 0 ? jobs_executed / wall_s : 0.0; }
+  double runs_per_s() const { return wall_s > 0 ? runs_simulated / wall_s : 0.0; }
+
+  /// Accumulates another phase's numbers (workers = max of the two).
+  void merge(const EngineStats& other);
+
+  /// Two-column metric/value table for console reports.
+  TextTable summary() const;
+};
+
+/// The unit of work the engine schedules: one synthetic user working
+/// through a sequence of task sessions, with a pre-forked Rng stream. Jobs
+/// are independent by construction — the stream is forked from the driver's
+/// root before any job runs (see util/rng_streams.hpp for the contract) —
+/// so they can execute on any worker in any order.
+struct SessionJob {
+  std::size_t index = 0;               ///< global job index; the merge key
+  const sim::UserProfile* user = nullptr;
+  std::vector<sim::Task> tasks;        ///< task sessions, in session order
+  Rng rng;                             ///< this job's private stream
+};
+
+/// Builds one SessionJob per user covering all four tasks, forking
+/// `stream_of(user_index)` from `root` in ascending user order — the same
+/// fork sequence a hand-rolled sequential driver performs, so outputs stay
+/// bit-identical to the historical per-user loops.
+std::vector<SessionJob> make_user_session_jobs(
+    const std::vector<sim::UserProfile>& users, Rng& root,
+    std::uint64_t (*stream_of)(std::size_t));
+
+class SessionEngine;
+
+/// Passed to each job while it runs.
+class JobContext {
+ public:
+  JobContext(std::size_t index, SessionEngine& engine)
+      : index_(index), engine_(engine) {}
+
+  std::size_t index() const { return index_; }
+
+  /// Reports simulated runs for the engine's throughput instrumentation.
+  void count_runs(std::size_t n = 1);
+
+ private:
+  std::size_t index_;
+  SessionEngine& engine_;
+};
+
+/// Deterministic parallel session executor shared by the controlled study,
+/// the Internet study, the policy-evaluation harness and the heavy benches.
+///
+/// Determinism contract: `map` returns results indexed by job, regardless
+/// of which worker ran which job or in what order they finished. Drivers
+/// merge shard results in ascending job index, so a run with `jobs = N` is
+/// bit-identical to the sequential run with the same seed. The other half
+/// of the contract is RNG stream pre-forking — see util/rng_streams.hpp.
+class SessionEngine {
+ public:
+  explicit SessionEngine(EngineConfig config = {});
+  ~SessionEngine();
+
+  SessionEngine(const SessionEngine&) = delete;
+  SessionEngine& operator=(const SessionEngine&) = delete;
+
+  std::size_t workers() const { return workers_; }
+
+  /// Runs `fn(ctx)` for job indices 0..n_jobs-1 across the worker pool and
+  /// returns the results in job-index order. `fn` must be safe to call
+  /// concurrently from multiple threads (share only immutable state; keep
+  /// mutable state inside the job). The first exception thrown by any job
+  /// is rethrown here after all jobs finish. With workers() == 1 the jobs
+  /// run inline, in order, on the caller's thread.
+  template <typename R, typename Fn>
+  std::vector<R> map(std::size_t n_jobs, Fn&& fn) {
+    std::vector<R> results(n_jobs);
+    run_tasks(n_jobs, [&](std::size_t i) {
+      JobContext ctx(i, *this);
+      results[i] = fn(ctx);
+    });
+    return results;
+  }
+
+  /// Instrumentation accumulated over every map() on this engine.
+  const EngineStats& stats() const { return stats_; }
+
+ private:
+  friend class JobContext;
+  void run_tasks(std::size_t n, const std::function<void(std::size_t)>& task);
+
+  EngineConfig config_;
+  std::size_t workers_ = 1;
+  std::unique_ptr<ThreadPool> pool_;  ///< created lazily on first parallel map
+  EngineStats stats_;
+  std::atomic<std::size_t> runs_{0};
+};
+
+}  // namespace uucs::engine

@@ -90,6 +90,13 @@ RunSimulator::RunSimulator(const HostModel& host,
   for (double r : noise_rates_) UUCS_CHECK_MSG(r >= 0, "noise rate must be >= 0");
 }
 
+RunSimulator::RunSimulator(const HostModel& host,
+                           std::array<double, kTaskCount> noise_rates,
+                           double nonblank_noise_scale)
+    : RunSimulator(host, noise_rates) {
+  set_nonblank_noise_scale(nonblank_noise_scale);
+}
+
 const AppModel& RunSimulator::app(Task t) const {
   return apps_[static_cast<std::size_t>(t)];
 }

@@ -75,6 +75,13 @@ class RunSimulator {
   /// calibration derives them from Fig 9's blank-testcase probabilities.
   RunSimulator(const HostModel& host, std::array<double, kTaskCount> noise_rates);
 
+  /// Fully-configured constructor: a simulator built this way needs no
+  /// further mutation, so it can be declared const and shared read-only
+  /// across SessionEngine shards (simulate()/simulate_record() are const
+  /// and keep all per-run state in the caller's Rng).
+  RunSimulator(const HostModel& host, std::array<double, kTaskCount> noise_rates,
+               double nonblank_noise_scale);
+
   const HostModel& host() const { return host_; }
   const AppModel& app(Task t) const;
   double noise_rate(Task t) const;

@@ -1,10 +1,13 @@
 #include "study/controlled_study.hpp"
 
 #include <algorithm>
+#include <array>
+#include <cmath>
 
 #include "sim/host_model.hpp"
 #include "testcase/suite.hpp"
 #include "util/error.hpp"
+#include "util/rng_streams.hpp"
 #include "util/strings.hpp"
 
 namespace uucs::study {
@@ -21,6 +24,60 @@ uucs::TestcaseStore controlled_study_testcases(Task t) {
   return store;
 }
 
+namespace {
+
+/// One user's four task sessions: the body of a SessionJob. Runs against
+/// shared immutable state (simulator, per-task testcase stores) and keeps
+/// all mutable state in the job's own Rng and the shard ResultStore.
+uucs::ResultStore run_user_sessions(
+    const engine::SessionJob& job, const ControlledStudyConfig& config,
+    const uucs::sim::RunSimulator& simulator,
+    const std::array<uucs::TestcaseStore, uucs::sim::kTaskCount>& testcases,
+    uucs::Rng& rng) {
+  uucs::ResultStore shard;
+  std::size_t local_serial = 0;
+  for (Task task : job.tasks) {
+    const uucs::TestcaseStore& store =
+        testcases[static_cast<std::size_t>(task)];
+    // All eight testcases in random order; when the pass completes with
+    // session budget to spare (frequent discomfort ends runs early),
+    // further random testcases fill the remainder.
+    std::vector<std::string> order = store.ids();
+    rng.shuffle(order);
+    double elapsed = 0.0;
+    std::size_t next = 0;
+    bool first_run = true;
+    while (true) {
+      if (next == order.size()) {
+        rng.shuffle(order);
+        next = 0;
+      }
+      const uucs::Testcase& tc = store.get(order[next++]);
+      // Setup gap before this run (form reset, task re-engagement). Drawn
+      // before the budget check so a session can never charge time past
+      // its budget: previously the gap was added to `elapsed` only after
+      // a run committed, letting the final gap overshoot `session_s`
+      // unchecked.
+      const double gap =
+          first_run ? 0.0
+                    : rng.lognormal(
+                          std::log(std::max(config.mean_gap_s, 1e-9)) -
+                              config.gap_sigma * config.gap_sigma / 2.0,
+                          config.gap_sigma);
+      if (elapsed + gap + tc.duration() > config.session_s) break;
+      elapsed += gap;
+      uucs::RunRecord rec = simulator.simulate_record(
+          *job.user, task, tc, rng,
+          uucs::strprintf("job-%05zu-%04zu", job.index, local_serial++));
+      elapsed += rec.offset_s;
+      shard.add(std::move(rec));
+      first_run = false;
+    }
+  }
+  return shard;
+}
+
+}  // namespace
 
 ControlledStudyOutput run_controlled_study(const ControlledStudyConfig& config) {
   return run_controlled_study(config, calibrate_population());
@@ -35,47 +92,47 @@ ControlledStudyOutput run_controlled_study(const ControlledStudyConfig& config,
   out.params = params;
 
   uucs::Rng root(config.seed);
-  uucs::Rng pop_rng = root.fork(1);
+  uucs::Rng pop_rng = root.fork(streams::kControlledPopulation);
   out.users = generate_population(params, config.participants, pop_rng);
 
+  // Shared immutable world: one host model and one fully-configured
+  // simulator serve every shard concurrently.
   const uucs::sim::HostModel host(config.host);
-  uucs::sim::RunSimulator simulator(
-      host, {params.noise_rates[0], params.noise_rates[1], params.noise_rates[2],
-             params.noise_rates[3]});
-  simulator.set_nonblank_noise_scale(params.nonblank_noise_scale);
+  const uucs::sim::RunSimulator simulator(
+      host,
+      {params.noise_rates[0], params.noise_rates[1], params.noise_rates[2],
+       params.noise_rates[3]},
+      params.nonblank_noise_scale);
+  std::array<uucs::TestcaseStore, uucs::sim::kTaskCount> testcases;
+  for (Task task : uucs::sim::kAllTasks) {
+    testcases[static_cast<std::size_t>(task)] = controlled_study_testcases(task);
+  }
 
+  // Per-user streams fork from the root in user order *before* any job
+  // runs — the determinism half the engine cannot provide by itself.
+  std::vector<engine::SessionJob> jobs =
+      engine::make_user_session_jobs(out.users, root, streams::controlled_user);
+
+  engine::SessionEngine eng(engine::EngineConfig{config.jobs});
+  std::vector<uucs::ResultStore> shards = eng.map<uucs::ResultStore>(
+      jobs.size(), [&](engine::JobContext& ctx) {
+        engine::SessionJob& job = jobs[ctx.index()];
+        uucs::ResultStore shard =
+            run_user_sessions(job, config, simulator, testcases, job.rng);
+        ctx.count_runs(shard.size());
+        return shard;
+      });
+
+  // Deterministic merge: shards append in job (= user) order and runs are
+  // renumbered globally, reproducing the sequential driver's ids exactly.
   std::size_t run_serial = 0;
-  for (std::size_t ui = 0; ui < out.users.size(); ++ui) {
-    const auto& user = out.users[ui];
-    uucs::Rng user_rng = root.fork(1000 + ui);
-    for (Task task : uucs::sim::kAllTasks) {
-      const uucs::TestcaseStore testcases = controlled_study_testcases(task);
-      // All eight testcases in random order; when the pass completes with
-      // session budget to spare (frequent discomfort ends runs early),
-      // further random testcases fill the remainder.
-      std::vector<std::string> order = testcases.ids();
-      user_rng.shuffle(order);
-      double elapsed = 0.0;
-      std::size_t next = 0;
-      while (true) {
-        if (next == order.size()) {
-          user_rng.shuffle(order);
-          next = 0;
-        }
-        const uucs::Testcase& tc = testcases.get(order[next++]);
-        if (elapsed + tc.duration() > config.session_s) break;
-        uucs::RunRecord rec = simulator.simulate_record(
-            user, task, tc, user_rng, uucs::strprintf("run-%05zu", run_serial++));
-        elapsed += rec.offset_s;
-        // Setup gap before the next run (form reset, task re-engagement).
-        elapsed += user_rng.lognormal(
-            std::log(std::max(config.mean_gap_s, 1e-9)) -
-                config.gap_sigma * config.gap_sigma / 2.0,
-            config.gap_sigma);
-        out.results.add(std::move(rec));
-      }
+  for (uucs::ResultStore& shard : shards) {
+    for (uucs::RunRecord& rec : shard.drain()) {
+      rec.run_id = uucs::strprintf("run-%05zu", run_serial++);
+      out.results.add(std::move(rec));
     }
   }
+  out.engine = eng.stats();
   return out;
 }
 

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "engine/session_engine.hpp"
 #include "monitor/sysinfo.hpp"
 #include "study/population.hpp"
 #include "testcase/run_record.hpp"
@@ -23,6 +24,11 @@ struct ControlledStudyConfig {
   double mean_gap_s = 12.0;            ///< setup gap between runs
   double gap_sigma = 0.35;             ///< lognormal spread of the gap
 
+  /// SessionEngine worker threads (0 = hardware concurrency, 1 = the exact
+  /// sequential path). Any value yields bit-identical output for one seed:
+  /// per-user sessions run as independent jobs and merge in user order.
+  std::size_t jobs = 0;
+
   uucs::HostSpec host = uucs::HostSpec::paper_study_machine();
 };
 
@@ -35,13 +41,14 @@ struct ControlledStudyOutput {
   uucs::ResultStore results;
   std::vector<uucs::sim::UserProfile> users;
   PopulationParams params;
+  engine::EngineStats engine;  ///< instrumentation of the session engine
 };
 
 /// Runs the full controlled study in virtual time: draws the participant
 /// population from the calibrated model, then for each user and each of the
 /// four 16-minute task sessions executes randomly ordered Fig 8 testcases
 /// (blanks over-weighted) with setup gaps, ending runs early on discomfort.
-/// Deterministic in `config.seed`.
+/// Deterministic in `config.seed` regardless of `config.jobs`.
 ControlledStudyOutput run_controlled_study(const ControlledStudyConfig& config = {});
 
 /// Variant reusing an existing calibration (saves ~100 ms per call).

@@ -1,11 +1,13 @@
 #include "study/internet_study.hpp"
 
+#include <algorithm>
+#include <limits>
 #include <set>
 
 #include "client/client.hpp"
-#include "sim/event_queue.hpp"
 #include "sim/host_model.hpp"
 #include "util/error.hpp"
+#include "util/rng_streams.hpp"
 #include "util/strings.hpp"
 
 namespace uucs::study {
@@ -13,8 +15,8 @@ namespace uucs::study {
 namespace {
 
 /// One simulated deployment site: a client machine, its user, and the glue
-/// the event handlers need. Heap-allocated so the RunSimulator's reference
-/// to the HostModel stays valid.
+/// the replay needs. Heap-allocated so the RunSimulator's reference to the
+/// HostModel stays valid.
 struct Site {
   Site(uucs::HostSpec spec, const uucs::ClientConfig& cc,
        std::array<double, uucs::sim::kTaskCount> noise, double nonblank_scale,
@@ -43,12 +45,55 @@ uucs::HostSpec make_host(double power, std::size_t index) {
   return spec;
 }
 
+/// A hot sync fired during the replayed schedule.
+struct SyncEvent {
+  double t;
+  std::size_t site;
+};
+
+/// Testcases a sync delivered to one site, by id (bodies live in the
+/// server's catalog, which is immutable during the run phase).
+struct SyncDelivery {
+  double t;
+  std::vector<std::string> ids;
+};
+
+/// Everything one site produced during the parallel run phase.
+struct SiteShard {
+  struct TimedRun {
+    double t;
+    uucs::RunRecord rec;
+  };
+  std::vector<TimedRun> runs;
+  std::set<std::string> distinct;
+};
+
 }  // namespace
 
 InternetStudyOutput run_internet_study(const InternetStudyConfig& config) {
   return run_internet_study(config, calibrate_population());
 }
 
+/// The fleet simulation runs in three phases that together replay the exact
+/// event-queue interleaving of the sequential discrete-event driver:
+///
+///  A. (sequential) Sync replay. Sync times depend only on each site's
+///     setup draws (stagger + fixed interval), never on runs, and the
+///     server's RNG consumption per sync depends only on the sync order and
+///     each client's known-testcase set, never on uploaded result content.
+///     Replaying registrations and testcase-sample handouts in global sync
+///     order therefore reproduces the server state stream exactly, and
+///     yields each site's delivery log (when which testcases arrived).
+///  B. (parallel) Run replay. A site's RNG is consumed only by its own run
+///     events, and what a run sees locally is fully determined by the
+///     delivery log, so sites simulate independently as engine jobs.
+///  C. (sequential) Upload merge. Walking the fired syncs in order and
+///     appending each site's runs recorded before that sync reconstructs
+///     the server's result store in upload order; the trailing flush syncs
+///     then run against the real server, exactly like the event version.
+///
+/// Event-time ties (a sync and a run at the same instant) are resolved as
+/// sync-first; times are continuous draws, so ties have measure zero.
 InternetStudyOutput run_internet_study(const InternetStudyConfig& config,
                                        const PopulationParams& params) {
   UUCS_CHECK_MSG(config.clients > 0, "need at least one client");
@@ -60,9 +105,10 @@ InternetStudyOutput run_internet_study(const InternetStudyConfig& config,
   out.params = params;
   uucs::Rng root(config.seed);
 
-  out.server = std::make_unique<uucs::UucsServer>(root.fork(1)(), /*sample_batch=*/32);
+  out.server = std::make_unique<uucs::UucsServer>(
+      root.fork(streams::kInternetServer)(), /*sample_batch=*/32);
   {
-    uucs::Rng suite_rng = root.fork(2);
+    uucs::Rng suite_rng = root.fork(streams::kInternetSuite);
     out.server->add_testcases(uucs::generate_internet_suite(config.suite, suite_rng));
   }
   uucs::LocalServerApi api(*out.server);
@@ -71,7 +117,7 @@ InternetStudyOutput run_internet_study(const InternetStudyConfig& config,
       params.noise_rates[0], params.noise_rates[1], params.noise_rates[2],
       params.noise_rates[3]};
 
-  uucs::Rng pop_rng = root.fork(3);
+  uucs::Rng pop_rng = root.fork(streams::kInternetPopulation);
   std::vector<std::unique_ptr<Site>> sites;
   sites.reserve(config.clients);
   for (std::size_t i = 0; i < config.clients; ++i) {
@@ -88,56 +134,151 @@ InternetStudyOutput run_internet_study(const InternetStudyConfig& config,
                                            std::move(user), pop_rng()));
   }
 
-  uucs::VirtualClock clock;
-  uucs::sim::EventQueue events(clock);
-  std::set<std::string> distinct_testcases;
-
-  // Event handlers. Syncs and runs reschedule themselves until the horizon.
-  std::function<void(Site&)> do_sync = [&](Site& site) {
-    site.client.hot_sync(api);
-    ++out.total_syncs;
-    if (clock.now() + site.client.sync_interval_s() < config.duration_s) {
-      events.schedule_in(site.client.sync_interval_s(), [&] { do_sync(site); });
-    }
-  };
-
-  std::function<void(Site&)> do_run = [&](Site& site) {
-    if (const auto id = site.client.choose_testcase_id(site.rng)) {
-      const uucs::Testcase& tc = site.client.testcases().get(*id);
-      // Task context at this moment, drawn from the configured mix.
-      const std::vector<double> weights(config.task_weights.begin(),
-                                        config.task_weights.end());
-      const auto task = static_cast<uucs::sim::Task>(site.rng.weighted_index(weights));
-      uucs::RunRecord rec = site.simulator.simulate_record(
-          site.user, task, tc, site.rng, site.client.next_run_id());
-      site.client.record_result(std::move(rec));
-      ++out.total_runs;
-      distinct_testcases.insert(*id);
-    }
-    const double delay = site.client.next_run_delay(site.rng);
-    if (clock.now() + delay < config.duration_s) {
-      events.schedule_in(delay, [&] { do_run(site); });
-    }
-  };
-
-  for (auto& site_ptr : sites) {
-    Site& site = *site_ptr;
-    // Stagger initial contact across the first sync interval.
-    events.schedule_in(site.rng.uniform(0.0, config.sync_interval_s),
-                       [&] { do_sync(site); });
-    events.schedule_in(site.client.next_run_delay(site.rng), [&] { do_run(site); });
+  // Setup draws, in site order: initial sync stagger across the first
+  // interval, then the delay before the first run.
+  std::vector<double> stagger(sites.size());
+  std::vector<double> first_run(sites.size());
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    stagger[i] = sites[i]->rng.uniform(0.0, config.sync_interval_s);
+    first_run[i] = sites[i]->client.next_run_delay(sites[i]->rng);
   }
 
-  events.run_until(config.duration_s);
+  // Phase A: replay the sync schedule. A sync fires at its stagger (if
+  // within the horizon) and every interval after that while the next one
+  // would still land strictly inside the horizon — the self-rescheduling
+  // rule of the event-queue driver.
+  std::vector<SyncEvent> syncs;
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    if (stagger[i] > config.duration_s) continue;
+    double t = stagger[i];
+    while (true) {
+      syncs.push_back(SyncEvent{t, i});
+      if (t + config.sync_interval_s < config.duration_s) {
+        t += config.sync_interval_s;
+      } else {
+        break;
+      }
+    }
+  }
+  std::sort(syncs.begin(), syncs.end(), [](const SyncEvent& a, const SyncEvent& b) {
+    return a.t != b.t ? a.t < b.t : a.site < b.site;
+  });
+
+  std::vector<std::vector<SyncDelivery>> deliveries(sites.size());
+  for (const SyncEvent& ev : syncs) {
+    uucs::UucsClient& client = sites[ev.site]->client;
+    // Same server interaction as UucsClient::hot_sync with no pending
+    // results (runs have not been simulated yet, and upload content never
+    // influences the server's draws).
+    client.ensure_registered(api);
+    uucs::SyncRequest request;
+    request.guid = client.guid();
+    request.known_testcase_ids = client.testcases().ids();
+    uucs::SyncResponse response = api.hot_sync(request);
+    SyncDelivery delivery{ev.t, {}};
+    delivery.ids.reserve(response.new_testcases.size());
+    for (auto& tc : response.new_testcases) {
+      delivery.ids.push_back(tc.id());
+      client.mutable_testcases().add(std::move(tc));
+    }
+    deliveries[ev.site].push_back(std::move(delivery));
+    ++out.total_syncs;
+  }
+
+  // Phase B: simulate each site's runs as an engine job.
+  const uucs::TestcaseStore& catalog = out.server->testcases();
+  engine::SessionEngine eng(engine::EngineConfig{config.jobs});
+  std::vector<SiteShard> shards = eng.map<SiteShard>(
+      sites.size(), [&](engine::JobContext& ctx) {
+        const std::size_t i = ctx.index();
+        Site& site = *sites[i];
+        SiteShard shard;
+        double t = first_run[i];
+        if (t > config.duration_s) return shard;
+
+        const std::vector<double> weights(config.task_weights.begin(),
+                                          config.task_weights.end());
+        // Guid as the client saw it at each instant: nil until the first
+        // sync registered it (record_result stamps at record time).
+        const std::string nil_guid = uucs::Guid().to_string();
+        const std::string real_guid = site.client.guid().to_string();
+        const double first_sync = deliveries[i].empty()
+                                      ? std::numeric_limits<double>::infinity()
+                                      : stagger[i];
+        uucs::TestcaseStore known;
+        std::size_t next_delivery = 0;
+        std::uint64_t run_serial = 0;
+        while (true) {
+          while (next_delivery < deliveries[i].size() &&
+                 deliveries[i][next_delivery].t <= t) {
+            for (const std::string& id : deliveries[i][next_delivery].ids) {
+              known.add(catalog.get(id));
+            }
+            ++next_delivery;
+          }
+          const std::string& guid = t >= first_sync ? real_guid : nil_guid;
+          if (const auto id = known.random_id(site.rng)) {
+            // Task context at this moment, drawn from the configured mix.
+            const auto task =
+                static_cast<uucs::sim::Task>(site.rng.weighted_index(weights));
+            uucs::RunRecord rec = site.simulator.simulate_record(
+                site.user, task, known.get(*id), site.rng,
+                uucs::strprintf("%s/%llu", guid.c_str(),
+                                static_cast<unsigned long long>(run_serial++)));
+            rec.client_guid = guid;
+            shard.runs.push_back(SiteShard::TimedRun{t, std::move(rec)});
+            shard.distinct.insert(*id);
+          }
+          const double delay = site.client.next_run_delay(site.rng);
+          if (t + delay < config.duration_s) {
+            t += delay;
+          } else {
+            break;
+          }
+        }
+        ctx.count_runs(shard.runs.size());
+        return shard;
+      });
+
+  // Phase C: reconstruct the server's result store in upload order — each
+  // fired sync carried the site's runs recorded since its previous sync.
+  std::vector<std::size_t> uploaded(sites.size(), 0);
+  for (const SyncEvent& ev : syncs) {
+    SiteShard& shard = shards[ev.site];
+    std::size_t& next = uploaded[ev.site];
+    while (next < shard.runs.size() && shard.runs[next].t < ev.t) {
+      out.server->mutable_results().add(std::move(shard.runs[next].rec));
+      ++next;
+    }
+  }
 
   // Final sync so the last results reach the server.
-  for (auto& site_ptr : sites) {
-    if (!site_ptr->client.pending_results().empty()) {
-      site_ptr->client.hot_sync(api);
-      ++out.total_syncs;
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    SiteShard& shard = shards[i];
+    std::size_t& next = uploaded[i];
+    if (next == shard.runs.size()) continue;
+    uucs::UucsClient& client = sites[i]->client;
+    client.ensure_registered(api);
+    uucs::SyncRequest request;
+    request.guid = client.guid();
+    request.known_testcase_ids = client.testcases().ids();
+    for (; next < shard.runs.size(); ++next) {
+      request.results.push_back(std::move(shard.runs[next].rec));
     }
+    uucs::SyncResponse response = api.hot_sync(request);
+    for (auto& tc : response.new_testcases) {
+      client.mutable_testcases().add(std::move(tc));
+    }
+    ++out.total_syncs;
+  }
+
+  std::set<std::string> distinct_testcases;
+  for (const SiteShard& shard : shards) {
+    out.total_runs += shard.runs.size();
+    distinct_testcases.insert(shard.distinct.begin(), shard.distinct.end());
   }
   out.distinct_testcases_run = distinct_testcases.size();
+  out.engine = eng.stats();
   return out;
 }
 

@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "engine/session_engine.hpp"
 #include "server/server.hpp"
 #include "study/population.hpp"
 #include "testcase/suite.hpp"
@@ -31,6 +32,12 @@ struct InternetStudyConfig {
   /// The server's testcase catalog (defaults to the paper-scale 2000+
   /// suite; shrink for quick runs).
   uucs::SuiteSpec suite;
+
+  /// SessionEngine worker threads for the per-site run simulation phase
+  /// (0 = hardware concurrency). Any value produces bit-identical output
+  /// for one seed: sync traffic is replayed deterministically first, then
+  /// sites simulate independently and merge in site order.
+  std::size_t jobs = 0;
 };
 
 /// Summary of a simulated deployment.
@@ -40,6 +47,7 @@ struct InternetStudyOutput {
   std::size_t total_syncs = 0;
   std::size_t distinct_testcases_run = 0;
   PopulationParams params;
+  engine::EngineStats engine;  ///< session-engine instrumentation
 };
 
 /// Runs the fleet simulation in virtual time (discrete-event). Clients

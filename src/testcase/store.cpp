@@ -47,6 +47,13 @@ std::vector<std::string> TestcaseStore::random_sample(
   return pool;
 }
 
+std::optional<std::string> TestcaseStore::random_id(Rng& rng) const {
+  if (cases_.empty()) return std::nullopt;
+  const auto all = ids();
+  return all[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(all.size()) - 1))];
+}
+
 void TestcaseStore::save(const std::string& path) const {
   std::vector<KvRecord> records;
   records.reserve(cases_.size());

@@ -43,6 +43,11 @@ class TestcaseStore {
   std::vector<std::string> random_sample(std::size_t n, Rng& rng,
                                          const std::vector<std::string>& exclude = {}) const;
 
+  /// One uniformly random id, or nullopt when empty — the client's local
+  /// random choice of the next testcase to run. Shared by UucsClient and
+  /// the Internet-study session engine so both consume `rng` identically.
+  std::optional<std::string> random_id(Rng& rng) const;
+
   /// Writes every testcase to `path` as a multi-record text file.
   void save(const std::string& path) const;
 

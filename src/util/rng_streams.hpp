@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+
+namespace uucs::streams {
+
+/// Central registry of `Rng::fork` stream ids.
+///
+/// Determinism contract
+/// --------------------
+/// `Rng::fork(stream)` mixes the *parent's own output* with the stream id,
+/// so a forked stream depends on (a) the parent seed, (b) the stream id and
+/// (c) how many times the parent has been advanced before the fork. Two
+/// rules follow, and every driver in the tree observes them:
+///
+///  1. Stream ids are scoped per root seed. Two drivers may reuse the same
+///     numeric id as long as they never share a root `Rng` — e.g. the
+///     controlled study's population stream and the Internet study's server
+///     stream are both 1, but hang off different roots.
+///  2. Within one root, every fork must use a distinct id from this header
+///     and the forks must happen in a fixed, documented order (usually the
+///     declaration order below, then ascending per-entity index). The
+///     SessionEngine relies on this: per-job streams are pre-forked
+///     sequentially from the root before any job runs, so a parallel run
+///     sees exactly the streams a sequential run would.
+///
+/// Collision audit (2026-08): no two forks of the same root share an id
+/// anywhere in the tree. The near-miss the bases below guard against is a
+/// population stream (small constants) colliding with per-user streams
+/// (base + user index) once populations grow; keep per-entity bases >= 100
+/// and small constants < 100.
+
+// --- Controlled study (root = ControlledStudyConfig::seed) ---------------
+
+/// Population draw for the study participants.
+inline constexpr std::uint64_t kControlledPopulation = 1;
+
+/// Per-user session stream: base + participant index. The base leaves room
+/// for any future small-constant streams without colliding even though
+/// populations of 10k+ users are routine.
+inline constexpr std::uint64_t kControlledUserBase = 1000;
+constexpr std::uint64_t controlled_user(std::size_t user_index) {
+  return kControlledUserBase + user_index;
+}
+
+// --- Internet study (root = InternetStudyConfig::seed) -------------------
+
+inline constexpr std::uint64_t kInternetServer = 1;      ///< server's own RNG seed
+inline constexpr std::uint64_t kInternetSuite = 2;       ///< testcase suite generation
+inline constexpr std::uint64_t kInternetPopulation = 3;  ///< site hosts + users
+
+// --- Policy evaluation (root = PolicyEvalConfig::seed) -------------------
+
+/// One stream per (user, task) session: user * stride + task. The stride
+/// must stay above sim::kTaskCount (4); 16 keeps the historical values.
+inline constexpr std::uint64_t kPolicySessionStride = 16;
+constexpr std::uint64_t policy_session(std::size_t user_index, std::size_t task_index) {
+  return user_index * kPolicySessionStride + task_index;
+}
+
+// --- bench_combined_resources (root seed 1234) ---------------------------
+
+inline constexpr std::uint64_t kBenchPopulation = 1;
+/// Single-resource cells: base + task * stride + resource.
+inline constexpr std::uint64_t kBenchSingleBase = 100;
+inline constexpr std::uint64_t kBenchSingleStride = 8;
+constexpr std::uint64_t bench_single(std::size_t task_index, std::size_t resource_index) {
+  return kBenchSingleBase + task_index * kBenchSingleStride + resource_index;
+}
+/// Combined-resource cells: base + task.
+inline constexpr std::uint64_t kBenchCombinedBase = 200;
+constexpr std::uint64_t bench_combined(std::size_t task_index) {
+  return kBenchCombinedBase + task_index;
+}
+
+}  // namespace uucs::streams

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace uucs {
+
+/// Fixed-size worker pool over a bounded FIFO work queue. `submit` blocks
+/// once `queue_capacity` tasks are waiting, giving natural backpressure when
+/// a producer enqueues faster than the workers drain — the SessionEngine
+/// submits thousands of session jobs through this without ever building an
+/// unbounded backlog.
+///
+/// The pool makes no ordering promise between tasks running on different
+/// workers; callers that need deterministic output must merge results by a
+/// task-supplied key (see engine::SessionEngine).
+class ThreadPool {
+ public:
+  /// Starts `threads` workers (>= 1). `queue_capacity` bounds the number of
+  /// tasks waiting to run (0 picks 4x the thread count).
+  explicit ThreadPool(std::size_t threads, std::size_t queue_capacity = 0);
+
+  /// Waits for all submitted work, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task`; blocks while the queue is at capacity.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished running.
+  void wait_idle();
+
+  std::size_t thread_count() const { return workers_.size(); }
+  std::size_t queue_capacity() const { return capacity_; }
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable task_ready_;   ///< workers wait for work
+  std::condition_variable space_ready_;  ///< producers wait for queue space
+  std::condition_variable idle_;         ///< wait_idle() waits here
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t capacity_ = 0;
+  std::size_t in_flight_ = 0;  ///< queued + currently executing
+  bool stopping_ = false;
+};
+
+}  // namespace uucs

@@ -1,0 +1,168 @@
+#include "engine/session_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "analysis/export.hpp"
+#include "core/policy_eval.hpp"
+#include "core/throttle.hpp"
+#include "study/calibration.hpp"
+#include "study/controlled_study.hpp"
+#include "study/internet_study.hpp"
+#include "study/population.hpp"
+#include "util/rng.hpp"
+#include "util/rng_streams.hpp"
+
+namespace uucs::engine {
+namespace {
+
+TEST(SessionEngine, EffectiveJobsResolvesZeroToHardware) {
+  EXPECT_GE(effective_jobs(0), 1u);
+  EXPECT_EQ(effective_jobs(1), 1u);
+  EXPECT_EQ(effective_jobs(8), 8u);
+}
+
+TEST(SessionEngine, MapReturnsResultsInJobIndexOrder) {
+  SessionEngine eng(EngineConfig{4});
+  const auto out = eng.map<std::size_t>(64, [](JobContext& ctx) {
+    // Busy-skew the jobs so completion order differs from submission order.
+    volatile std::size_t spin = (ctx.index() % 7) * 1000;
+    while (spin > 0) --spin;
+    return ctx.index() * 10;
+  });
+  ASSERT_EQ(out.size(), 64u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * 10);
+}
+
+TEST(SessionEngine, StatsCountJobsAndRuns) {
+  SessionEngine eng(EngineConfig{2});
+  (void)eng.map<int>(10, [](JobContext& ctx) {
+    ctx.count_runs(3);
+    return 0;
+  });
+  EXPECT_EQ(eng.stats().jobs_executed, 10u);
+  EXPECT_EQ(eng.stats().runs_simulated, 30u);
+  EXPECT_EQ(eng.stats().workers, 2u);
+  EXPECT_GE(eng.stats().wall_s, 0.0);
+}
+
+TEST(SessionEngine, StatsAccumulateAcrossMaps) {
+  SessionEngine eng(EngineConfig{1});
+  (void)eng.map<int>(4, [](JobContext&) { return 0; });
+  (void)eng.map<int>(6, [](JobContext&) { return 0; });
+  EXPECT_EQ(eng.stats().jobs_executed, 10u);
+}
+
+TEST(SessionEngine, JobExceptionPropagatesToCaller) {
+  for (std::size_t jobs : {std::size_t{1}, std::size_t{4}}) {
+    SessionEngine eng(EngineConfig{jobs});
+    EXPECT_THROW(
+        (void)eng.map<int>(8,
+                           [](JobContext& ctx) -> int {
+                             if (ctx.index() == 5) throw std::runtime_error("boom");
+                             return 0;
+                           }),
+        std::runtime_error);
+  }
+}
+
+TEST(SessionEngine, MakeUserSessionJobsForksInAscendingUserOrder) {
+  std::vector<sim::UserProfile> users(3);
+  for (std::size_t i = 0; i < users.size(); ++i) {
+    users[i].user_id = "u" + std::to_string(i);
+  }
+
+  Rng root_a(77);
+  auto jobs = make_user_session_jobs(users, root_a, streams::controlled_user);
+
+  // A hand-rolled sequential driver forks exactly the same streams in the
+  // same order, so the job streams must produce identical draws.
+  Rng root_b(77);
+  for (std::size_t i = 0; i < users.size(); ++i) {
+    Rng expected = root_b.fork(streams::controlled_user(i));
+    ASSERT_EQ(jobs[i].index, i);
+    EXPECT_EQ(jobs[i].user, &users[i]);
+    EXPECT_EQ(jobs[i].tasks.size(), sim::kTaskCount);
+    for (int d = 0; d < 8; ++d) EXPECT_EQ(jobs[i].rng(), expected());
+  }
+  // Both roots must be left in the same state too.
+  EXPECT_EQ(root_a(), root_b());
+}
+
+// --- Golden determinism: parallel output is bit-identical to sequential ---
+
+const study::PopulationParams& params() {
+  static const study::PopulationParams p = study::calibrate_population();
+  return p;
+}
+
+TEST(SessionEngineGolden, ControlledStudyParallelMatchesSequential) {
+  study::ControlledStudyConfig cfg;
+  cfg.participants = 12;
+  cfg.seed = 555;
+
+  cfg.jobs = 1;
+  const auto seq = study::run_controlled_study(cfg, params());
+  cfg.jobs = 8;
+  const auto par = study::run_controlled_study(cfg, params());
+
+  ASSERT_EQ(seq.results.size(), par.results.size());
+  // Byte-identical exported run records — the determinism contract.
+  EXPECT_EQ(analysis::export_runs(seq.results).serialize(),
+            analysis::export_runs(par.results).serialize());
+  EXPECT_EQ(par.engine.jobs_executed, 12u);
+  EXPECT_EQ(par.engine.runs_simulated, par.results.size());
+}
+
+TEST(SessionEngineGolden, InternetStudyParallelMatchesSequential) {
+  study::InternetStudyConfig cfg;
+  cfg.clients = 10;
+  cfg.duration_s = 1.5 * 24 * 3600;
+  cfg.mean_run_interarrival_s = 3600.0;
+  cfg.sync_interval_s = 6 * 3600.0;
+  cfg.seed = 1234;
+  cfg.suite.steps_per_resource = 4;
+  cfg.suite.ramps_per_resource = 4;
+  cfg.suite.sines_per_resource = 2;
+  cfg.suite.saws_per_resource = 2;
+  cfg.suite.expexp_per_resource = 4;
+  cfg.suite.exppar_per_resource = 4;
+  cfg.suite.blanks = 3;
+
+  cfg.jobs = 1;
+  const auto seq = study::run_internet_study(cfg, params());
+  cfg.jobs = 8;
+  const auto par = study::run_internet_study(cfg, params());
+
+  EXPECT_EQ(seq.total_runs, par.total_runs);
+  EXPECT_EQ(seq.total_syncs, par.total_syncs);
+  EXPECT_EQ(seq.distinct_testcases_run, par.distinct_testcases_run);
+  EXPECT_EQ(analysis::export_runs(seq.server->results()).serialize(),
+            analysis::export_runs(par.server->results()).serialize());
+}
+
+TEST(SessionEngineGolden, PolicyEvalParallelMatchesSequential) {
+  Rng rng(9);
+  const auto users = study::generate_population(params(), 3, rng);
+
+  core::PolicyEvalConfig cfg;
+  cfg.session_s = 900.0;
+  cfg.seed = 4242;
+
+  cfg.jobs = 1;
+  core::ConservativePolicy seq_policy;
+  const auto seq = core::evaluate_policy(seq_policy, users, cfg);
+  cfg.jobs = 8;
+  core::ConservativePolicy par_policy;
+  const auto par = core::evaluate_policy(par_policy, users, cfg);
+
+  EXPECT_EQ(seq.borrowed_contention_s, par.borrowed_contention_s);
+  EXPECT_EQ(seq.discomfort_events, par.discomfort_events);
+  EXPECT_EQ(seq.user_hours, par.user_hours);
+}
+
+}  // namespace
+}  // namespace uucs::engine

@@ -1,0 +1,108 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace uucs {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.submit([&] { counter.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 1000);
+}
+
+TEST(ThreadPool, WaitIdleOnFreshPoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // nothing submitted: must not hang
+  EXPECT_EQ(pool.thread_count(), 2u);
+}
+
+TEST(ThreadPool, DefaultQueueCapacityScalesWithThreads) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.queue_capacity(), 12u);
+  ThreadPool sized(2, 5);
+  EXPECT_EQ(sized.queue_capacity(), 5u);
+}
+
+TEST(ThreadPool, BoundedQueueBlocksProducerInsteadOfGrowing) {
+  // One worker pinned by a slow task; the queue holds 2 more. The 4th
+  // submit must block until the worker frees a slot, so all tasks still
+  // run exactly once.
+  ThreadPool pool(1, 2);
+  std::atomic<int> ran{0};
+  std::atomic<bool> release{false};
+  pool.submit([&] {
+    while (!release.load()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    ran.fetch_add(1);
+  });
+  pool.submit([&] { ran.fetch_add(1); });
+  pool.submit([&] { ran.fetch_add(1); });
+
+  std::atomic<bool> fourth_submitted{false};
+  std::thread producer([&] {
+    pool.submit([&] { ran.fetch_add(1); });
+    fourth_submitted.store(true);
+  });
+  // The producer should be stuck while the queue is full.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(fourth_submitted.load());
+
+  release.store(true);
+  producer.join();
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 4);
+}
+
+TEST(ThreadPool, TasksRunOnWorkerThreads) {
+  ThreadPool pool(2);
+  std::mutex mu;
+  std::set<std::thread::id> ids;
+  for (int i = 0; i < 64; ++i) {
+    pool.submit([&] {
+      std::lock_guard<std::mutex> lock(mu);
+      ids.insert(std::this_thread::get_id());
+    });
+  }
+  pool.wait_idle();
+  EXPECT_FALSE(ids.count(std::this_thread::get_id()));
+  EXPECT_GE(ids.size(), 1u);
+  EXPECT_LE(ids.size(), 2u);
+}
+
+TEST(ThreadPool, WaitIdleCanBeReusedAcrossBatches) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int batch = 0; batch < 3; ++batch) {
+    for (int i = 0; i < 10; ++i) {
+      pool.submit([&] { counter.fetch_add(1); });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(counter.load(), (batch + 1) * 10);
+  }
+}
+
+TEST(ThreadPool, DestructorJoinsWithTasksInFlight) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i) {
+      pool.submit([&] { counter.fetch_add(1); });
+    }
+    pool.wait_idle();
+  }
+  EXPECT_EQ(counter.load(), 100);
+}
+
+}  // namespace
+}  // namespace uucs

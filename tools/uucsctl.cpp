@@ -10,6 +10,7 @@
 ///   uucsctl cdf     RESULTS.txt RES [TASK]     ASCII discomfort CDF
 ///   uucsctl profile RESULTS.txt OUT.txt        write a ComfortProfile
 ///   uucsctl suite   OUT.txt [SEED]             generate the Internet suite
+///   uucsctl study   OUT.txt [N [SEED [JOBS]]]  run the controlled study
 ///
 /// SPEC for `make`: ramp RESOURCE X T | step RESOURCE X T B | blank T
 
@@ -23,6 +24,7 @@
 #include "analysis/breakdown.hpp"
 #include "analysis/export.hpp"
 #include "core/comfort_profile.hpp"
+#include "study/controlled_study.hpp"
 #include "testcase/suite.hpp"
 #include "util/fs.hpp"
 #include "util/rng.hpp"
@@ -40,7 +42,11 @@ using namespace uucs;
                "  make    STORE.txt ramp RES X T | step RES X T B | blank T\n"
                "  results RESULTS.txt\n"
                "  metrics RESULTS.txt\n"
-               "  profile RESULTS.txt OUT.txt\n");
+               "  profile RESULTS.txt OUT.txt\n"
+               "  suite   OUT.txt [SEED]\n"
+               "  study   OUT.txt [PARTICIPANTS [SEED [JOBS]]]\n"
+               "          (JOBS: engine workers; 0 = hardware concurrency, "
+               "any value is bit-identical)\n");
   std::exit(2);
 }
 
@@ -180,6 +186,20 @@ int cmd_suite(const std::string& out, std::uint64_t seed) {
   return 0;
 }
 
+int cmd_study(const std::string& out, const std::vector<std::string>& args) {
+  study::ControlledStudyConfig config;
+  if (args.size() >= 1) config.participants = std::stoul(args[0]);
+  if (args.size() >= 2) config.seed = std::stoull(args[1]);
+  if (args.size() >= 3) config.jobs = std::stoul(args[2]);
+  const auto output = study::run_controlled_study(config);
+  output.results.save(out);
+  std::printf("ran %zu runs for %zu participants (seed %llu) into %s\n",
+              output.results.size(), output.users.size(),
+              static_cast<unsigned long long>(config.seed), out.c_str());
+  std::printf("%s", output.engine.summary().render().c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -199,6 +219,9 @@ int main(int argc, char** argv) {
     if (cmd == "profile" && argc >= 4) return cmd_profile(argv[2], argv[3]);
     if (cmd == "suite") {
       return cmd_suite(argv[2], argc >= 4 ? std::stoull(argv[3]) : 1);
+    }
+    if (cmd == "study") {
+      return cmd_study(argv[2], {argv + 3, argv + argc});
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "uucsctl: %s\n", e.what());

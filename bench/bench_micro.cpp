@@ -5,7 +5,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <array>
 #include <atomic>
+#include <limits>
 
 #include "analysis/metrics.hpp"
 #include "engine/session_engine.hpp"
@@ -74,6 +76,32 @@ void BM_EventQueueChurn(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_EventQueueChurn)->Arg(1000)->Arg(10000);
+
+void BM_EventQueueScheduleStep(benchmark::State& state) {
+  // Steady-state schedule+step pairs through the (time, class, seq) keyed
+  // heap — the self-rescheduling shape every ported driver uses. range(0)
+  // is the standing queue depth the new event competes against.
+  uucs::VirtualClock clock;
+  uucs::sim::EventQueue queue(clock);
+  queue.set_max_events(std::numeric_limits<std::size_t>::max());
+  uucs::Rng rng(3);
+  for (int i = 0; i < state.range(0); ++i) {
+    queue.schedule_in(1e12 + i, [] {});  // standing backlog, never fires
+  }
+  const std::array<uucs::sim::EventClass, 4> classes = {
+      uucs::sim::EventClass::kSync, uucs::sim::EventClass::kRunStart,
+      uucs::sim::EventClass::kFeedback, uucs::sim::EventClass::kRunEnd};
+  std::size_t fired = 0;
+  std::size_t n = 0;
+  for (auto _ : state) {
+    queue.schedule_in(rng.uniform(0.0, 1.0), classes[n++ % classes.size()],
+                      [&fired] { ++fired; });
+    queue.step();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(fired));
+}
+BENCHMARK(BM_EventQueueScheduleStep)->Arg(0)->Arg(1000)->Arg(100000);
 
 void BM_DiscomfortCdfMetrics(benchmark::State& state) {
   uucs::Rng rng(5);
@@ -154,6 +182,31 @@ void BM_EngineSessionsPerSec(benchmark::State& state) {
   state.SetLabel(std::to_string(state.range(0)) + " workers");
 }
 BENCHMARK(BM_EngineSessionsPerSec)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ControlledStudyEventDriven(benchmark::State& state) {
+  // The full event-driven controlled study on one worker — every run is a
+  // run-start/run-end event pair through sim::Simulation. Arg toggles the
+  // trace layer, so the delta is the cost of recording (label formatting +
+  // trace vector) per event; with tracing off it must price like the old
+  // hand-rolled loop.
+  static const uucs::study::PopulationParams params =
+      uucs::study::calibrate_population();
+  uucs::study::ControlledStudyConfig config;
+  config.participants = 16;
+  config.seed = 7;
+  config.jobs = 1;
+  config.trace = state.range(0) != 0;
+  std::size_t runs = 0;
+  for (auto _ : state) {
+    const auto out = uucs::study::run_controlled_study(config, params);
+    runs = out.results.size();
+    benchmark::DoNotOptimize(out.results.size());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(runs));
+  state.SetLabel(config.trace ? "traced" : "untraced");
+}
+BENCHMARK(BM_ControlledStudyEventDriven)->Arg(0)->Arg(1)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

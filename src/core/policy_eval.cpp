@@ -2,9 +2,11 @@
 
 #include <cmath>
 
+#include "sim/simulation.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 #include "util/rng_streams.hpp"
+#include "util/strings.hpp"
 
 namespace uucs::core {
 
@@ -46,13 +48,17 @@ struct SessionTotals {
   std::array<std::size_t, 3> events{};
 };
 
-/// One (user, task) session stepped in dt slices: the body of an engine
-/// job. `start_s` keeps the continuous policy clock the sequential harness
+/// One (user, task) session as a discrete-event tick chain: the body of an
+/// engine job, driven by the job's own sim::Simulation. Each dt slice is a
+/// self-rescheduling run-start event; a discomfort press stays inline in
+/// its tick (the policy's on_feedback must land before the next resource
+/// check of the same slice) and is recorded as a feedback trace note.
+/// `start_s` keeps the continuous policy clock the sequential harness
 /// exposed (session k starts at k * session_s).
 SessionTotals run_policy_session(ThrottlePolicy& policy,
                                  const sim::UserProfile& user, sim::Task task,
                                  double start_s, const PolicyEvalConfig& config,
-                                 Rng& rng) {
+                                 Rng& rng, sim::Simulation& sim) {
   SessionTotals totals;
 
   // Presence trace: alternating active/away periods.
@@ -62,7 +68,10 @@ SessionTotals run_policy_session(ThrottlePolicy& policy,
   std::array<double, 3> press_block{};   // next time a press is allowed
   std::array<double, 3> paused_until{};  // borrowing pause after press
 
-  for (double t = 0; t < config.session_s; t += config.dt_s) {
+  // The tick carries its own accumulated `t` (not sim.now() arithmetic) so
+  // the floating-point sequence 0, dt, 2·dt… is bit-identical to the
+  // historical `for (t += dt)` loop.
+  std::function<void(double)> tick = [&](double t) {
     const double now = start_s + t;
     phase_left -= config.dt_s;
     if (phase_left <= 0) {
@@ -87,11 +96,30 @@ SessionTotals run_policy_session(ThrottlePolicy& policy,
           now >= press_block[slot]) {
         ++totals.events[slot];
         policy.on_feedback(r, ctx);
+        sim.note(sim::EventClass::kFeedback,
+                 sim.tracing()
+                     ? strprintf("press %s task=%s", resource_name(r).c_str(),
+                                 ctx.task.c_str())
+                     : std::string());
         press_block[slot] = now + config.feedback_cooldown_s;
         paused_until[slot] = now + config.pause_after_feedback_s;
       }
     }
+
+    const double t_next = t + config.dt_s;
+    if (t_next < config.session_s) {
+      sim.schedule_at(t_next, sim::EventClass::kRunStart,
+                      sim.tracing() ? strprintf("tick t=%.1f", t_next)
+                                    : std::string(),
+                      [&tick, t_next] { tick(t_next); });
+    }
+  };
+  if (config.session_s > 0) {
+    sim.schedule_at(0.0, sim::EventClass::kRunStart,
+                    sim.tracing() ? std::string("tick t=0.0") : std::string(),
+                    [&tick] { tick(0.0); });
   }
+  sim.run_all();
   return totals;
 }
 
@@ -126,13 +154,14 @@ PolicyEvalResult evaluate_policy(ThrottlePolicy& policy,
     }
   }
 
-  engine::SessionEngine eng(engine::EngineConfig{config.jobs});
+  engine::SessionEngine eng(engine::EngineConfig{config.jobs, config.trace});
   std::vector<SessionTotals> shards = eng.map<SessionTotals>(
       sessions.size(), [&](engine::JobContext& ctx) {
         Session& s = sessions[ctx.index()];
         std::unique_ptr<ThrottlePolicy> local = policy.clone();
-        SessionTotals totals = run_policy_session(*local, *s.user, s.task,
-                                                  s.start_s, config, s.rng);
+        SessionTotals totals =
+            run_policy_session(*local, *s.user, s.task, s.start_s, config,
+                               s.rng, ctx.simulation());
         ctx.count_runs();  // one dt-stepped session per job
         return totals;
       });
@@ -146,6 +175,7 @@ PolicyEvalResult evaluate_policy(ThrottlePolicy& policy,
     result.user_hours += config.session_s / 3600.0;
   }
   result.engine = eng.stats();
+  if (config.trace) result.trace = eng.merged_trace();
   return result;
 }
 

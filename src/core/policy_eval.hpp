@@ -27,6 +27,12 @@ struct PolicyEvalConfig {
   /// policy; shard results merge in session order, so any value is
   /// deterministic for one seed.
   std::size_t jobs = 0;
+
+  /// Record every simulation event (policy ticks, feedback presses) into
+  /// PolicyEvalResult::trace, merged in session order. Observability
+  /// only — never changes results. Expect ~session_s/dt_s events per
+  /// session.
+  bool trace = false;
 };
 
 /// What a policy achieved over the evaluation.
@@ -38,6 +44,7 @@ struct PolicyEvalResult {
   std::array<std::size_t, 3> discomfort_events{};
   double user_hours = 0.0;  ///< total simulated session time
   engine::EngineStats engine;  ///< session-engine instrumentation
+  sim::EventTrace trace;       ///< fired events, when config.trace was set
 
   double total_borrowed() const;
   std::size_t total_events() const;

@@ -69,8 +69,23 @@ std::vector<SessionJob> make_user_session_jobs(
   return jobs;
 }
 
+sim::Simulation& JobContext::simulation() {
+  if (!sim_) {
+    sim::SimulationConfig config;
+    config.trace = engine_.config_.trace;
+    sim_ = std::make_unique<sim::Simulation>(config);
+  }
+  return *sim_;
+}
+
 void JobContext::count_runs(std::size_t n) {
   engine_.runs_.fetch_add(n, std::memory_order_relaxed);
+}
+
+sim::EventTrace SessionEngine::merged_trace() const {
+  sim::EventTrace merged;
+  for (const sim::EventTrace& t : job_traces_) merged.append(t);
+  return merged;
 }
 
 SessionEngine::SessionEngine(EngineConfig config)

@@ -7,6 +7,7 @@
 #include <memory>
 #include <vector>
 
+#include "sim/simulation.hpp"
 #include "sim/user_model.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -22,6 +23,12 @@ struct EngineConfig {
   /// Worker threads. 0 = hardware concurrency, 1 = run inline on the
   /// caller's thread (the exact sequential path).
   std::size_t jobs = 0;
+
+  /// When true, each job's Simulation records an EventTrace of every fired
+  /// event; traces are collected per job and merged in job order (see
+  /// job_traces()/merged_trace()). Tracing never changes simulation
+  /// output — only observability.
+  bool trace = false;
 };
 
 /// Lightweight instrumentation the engine gathers per run: future PRs track
@@ -73,12 +80,25 @@ class JobContext {
 
   std::size_t index() const { return index_; }
 
+  /// This job's discrete-event simulation context, created lazily with the
+  /// engine's trace setting. One Simulation per SessionJob: all of the
+  /// job's scheduling (runs, syncs, feedback, policy ticks) goes through
+  /// it, and its trace is collected by the engine after the job returns.
+  sim::Simulation& simulation();
+
   /// Reports simulated runs for the engine's throughput instrumentation.
   void count_runs(std::size_t n = 1);
+
+  /// The job's trace (empty when tracing is off or no simulation was
+  /// created). Called by the engine after the job body returns.
+  sim::EventTrace take_trace() {
+    return sim_ ? sim_->take_trace() : sim::EventTrace{};
+  }
 
  private:
   std::size_t index_;
   SessionEngine& engine_;
+  std::unique_ptr<sim::Simulation> sim_;
 };
 
 /// Deterministic parallel session executor shared by the controlled study,
@@ -107,13 +127,25 @@ class SessionEngine {
   /// run inline, in order, on the caller's thread.
   template <typename R, typename Fn>
   std::vector<R> map(std::size_t n_jobs, Fn&& fn) {
+    if (config_.trace) job_traces_.assign(n_jobs, {});
     std::vector<R> results(n_jobs);
     run_tasks(n_jobs, [&](std::size_t i) {
       JobContext ctx(i, *this);
       results[i] = fn(ctx);
+      // Each job writes only its own pre-sized slot; no synchronization
+      // needed beyond run_tasks' completion barrier.
+      if (config_.trace) job_traces_[i] = ctx.take_trace();
     });
     return results;
   }
+
+  /// Per-job event traces from the last map() (empty unless
+  /// EngineConfig::trace was set), indexed by job.
+  const std::vector<sim::EventTrace>& job_traces() const { return job_traces_; }
+
+  /// All job traces concatenated in ascending job index — the
+  /// deterministic merge order every driver uses for results too.
+  sim::EventTrace merged_trace() const;
 
   /// Instrumentation accumulated over every map() on this engine.
   const EngineStats& stats() const { return stats_; }
@@ -126,6 +158,7 @@ class SessionEngine {
   std::size_t workers_ = 1;
   std::unique_ptr<ThreadPool> pool_;  ///< created lazily on first parallel map
   EngineStats stats_;
+  std::vector<sim::EventTrace> job_traces_;
   std::atomic<std::size_t> runs_{0};
 };
 

@@ -1,18 +1,43 @@
 #include "sim/event_queue.hpp"
 
+#include <array>
+
 #include "util/error.hpp"
+#include "util/strings.hpp"
 
 namespace uucs::sim {
 
-void EventQueue::schedule_at(double t, Handler h) {
-  UUCS_CHECK_MSG(t >= clock_.now(), "cannot schedule an event in the past");
-  UUCS_CHECK(h != nullptr);
-  queue_.push(Event{t, next_seq_++, std::move(h)});
+namespace {
+const std::array<std::string, kEventClassCount> kClassNames = {
+    "sync", "run-start", "feedback", "run-end", "generic"};
+}  // namespace
+
+const std::string& event_class_name(EventClass c) {
+  const auto i = static_cast<std::size_t>(c);
+  UUCS_CHECK_MSG(i < kEventClassCount, "unknown event class");
+  return kClassNames[i];
 }
 
-void EventQueue::schedule_in(double delay, Handler h) {
+EventClass parse_event_class(const std::string& name) {
+  for (std::size_t i = 0; i < kEventClassCount; ++i) {
+    if (kClassNames[i] == name) return static_cast<EventClass>(i);
+  }
+  throw Error("unknown event class: " + name);
+}
+
+void EventQueue::schedule_at(double t, EventClass cls, Handler h) {
+  if (t < clock_.now()) {
+    throw Error(strprintf(
+        "cannot schedule an event in the past: t=%.9g is before now=%.9g",
+        t, clock_.now()));
+  }
+  UUCS_CHECK(h != nullptr);
+  queue_.push(Event{t, cls, next_seq_++, std::move(h)});
+}
+
+void EventQueue::schedule_in(double delay, EventClass cls, Handler h) {
   UUCS_CHECK_MSG(delay >= 0, "delay must be non-negative");
-  schedule_at(clock_.now() + delay, std::move(h));
+  schedule_at(clock_.now() + delay, cls, std::move(h));
 }
 
 double EventQueue::next_time() const {
@@ -35,10 +60,18 @@ void EventQueue::run_until(double t_end) {
   if (clock_.now() < t_end) clock_.advance_to(t_end);
 }
 
+void EventQueue::run_all() { run_all(max_events_); }
+
 void EventQueue::run_all(std::size_t max_events) {
   std::size_t n = 0;
   while (step()) {
-    UUCS_CHECK_MSG(++n <= max_events, "event budget exhausted (runaway schedule?)");
+    if (++n > max_events) {
+      throw Error(strprintf(
+          "event budget exhausted: %zu events fired (cap %zu, virtual time "
+          "%.9g) — runaway self-rescheduling? Raise the cap with "
+          "EventQueue::set_max_events",
+          n, max_events, clock_.now()));
+    }
   }
 }
 

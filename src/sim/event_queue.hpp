@@ -3,28 +3,60 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <string>
 #include <vector>
 
 #include "util/clock.hpp"
 
 namespace uucs::sim {
 
+/// Priority classes for events scheduled at equal virtual times. Lower
+/// values fire first, encoding the tie-breaking contract every study driver
+/// shares (previously an informal comment in internet_study.cpp):
+///
+///  - a hot sync at time t is visible to a run starting at t (sync < run),
+///  - a user's feedback at time t is registered before the run it belongs
+///    to is finalized (feedback < run-end),
+///  - run bookkeeping (upload, budget accounting) happens last.
+///
+/// Among events with equal (time, class), insertion order (FIFO) decides.
+enum class EventClass : std::uint8_t {
+  kSync = 0,      ///< client/server hot-sync traffic, testcase delivery
+  kRunStart = 1,  ///< a testcase run (or policy tick) begins
+  kFeedback = 2,  ///< user discomfort press / throttle feedback
+  kRunEnd = 3,    ///< a run completes; results are recorded
+  kGeneric = 4,   ///< anything else
+};
+inline constexpr std::size_t kEventClassCount = 5;
+
+const std::string& event_class_name(EventClass c);
+EventClass parse_event_class(const std::string& name);
+
 /// Discrete-event engine over a VirtualClock. Events are callbacks scheduled
-/// at absolute virtual times; run() pops them in (time, insertion) order and
-/// advances the clock, so multi-hour studies execute in milliseconds. The
-/// Internet-study driver schedules client hot-syncs and Poisson testcase
-/// arrivals through this queue.
+/// at absolute virtual times; run_all()/step() pop them in
+/// (time, EventClass, insertion) order and advance the clock, so multi-hour
+/// studies execute in milliseconds. All three study drivers — the controlled
+/// study's run/gap/session loops, the Internet study's hot-sync and Poisson
+/// arrival schedules, and the policy-evaluation tick chains — schedule
+/// through this queue via sim::Simulation.
 class EventQueue {
  public:
   using Handler = std::function<void()>;
 
   explicit EventQueue(uucs::VirtualClock& clock) : clock_(clock) {}
 
-  /// Schedules `h` at absolute time `t` (must be >= now).
-  void schedule_at(double t, Handler h);
+  /// Schedules `h` at absolute time `t` (must be >= now; scheduling in the
+  /// past throws with the offending times in the message).
+  void schedule_at(double t, Handler h) {
+    schedule_at(t, EventClass::kGeneric, std::move(h));
+  }
+  void schedule_at(double t, EventClass cls, Handler h);
 
   /// Schedules `h` after `delay` seconds (>= 0).
-  void schedule_in(double delay, Handler h);
+  void schedule_in(double delay, Handler h) {
+    schedule_in(delay, EventClass::kGeneric, std::move(h));
+  }
+  void schedule_in(double delay, EventClass cls, Handler h);
 
   /// Number of pending events.
   std::size_t pending() const { return queue_.size(); }
@@ -41,28 +73,38 @@ class EventQueue {
   /// `t_end`; finally advances the clock to `t_end` if it is later.
   void run_until(double t_end);
 
-  /// Runs all events to exhaustion (handlers may schedule more); capped at
-  /// `max_events` as a runaway guard.
-  void run_all(std::size_t max_events = 10'000'000);
+  /// Runs all events to exhaustion (handlers may schedule more), capped at
+  /// max_events() as a runaway guard; the error message surfaces the cap
+  /// and the virtual time reached. Pass a cap to override the configured
+  /// one for this call.
+  void run_all();
+  void run_all(std::size_t max_events);
+
+  /// Runaway-guard budget for run_all(); defaults to 10M events.
+  void set_max_events(std::size_t cap) { max_events_ = cap; }
+  std::size_t max_events() const { return max_events_; }
 
   uucs::VirtualClock& clock() { return clock_; }
 
  private:
   struct Event {
     double t;
+    EventClass cls;
     std::uint64_t seq;
     Handler h;
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
       if (a.t != b.t) return a.t > b.t;
-      return a.seq > b.seq;  // FIFO among equal times
+      if (a.cls != b.cls) return a.cls > b.cls;  // priority among equal times
+      return a.seq > b.seq;                      // FIFO among equal classes
     }
   };
 
   uucs::VirtualClock& clock_;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   std::uint64_t next_seq_ = 0;
+  std::size_t max_events_ = 10'000'000;
 };
 
 }  // namespace uucs::sim

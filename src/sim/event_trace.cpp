@@ -1,0 +1,89 @@
+#include "sim/event_trace.hpp"
+
+#include <array>
+#include <cstdlib>
+
+#include "sim/simulation.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace uucs::sim {
+
+void EventTrace::record(double t, EventClass cls, std::string label) {
+  events_.push_back(TraceEvent{t, cls, std::move(label)});
+}
+
+void EventTrace::append(const EventTrace& other) {
+  events_.insert(events_.end(), other.events_.begin(), other.events_.end());
+}
+
+void EventTrace::append(EventTrace&& other) {
+  events_.insert(events_.end(),
+                 std::make_move_iterator(other.events_.begin()),
+                 std::make_move_iterator(other.events_.end()));
+  other.events_.clear();
+}
+
+std::string EventTrace::serialize() const {
+  std::string out;
+  for (const TraceEvent& ev : events_) {
+    out += strprintf("%a %s %s\n", ev.t, event_class_name(ev.cls).c_str(),
+                     ev.label.c_str());
+  }
+  return out;
+}
+
+EventTrace EventTrace::parse(const std::string& text) {
+  EventTrace trace;
+  for (const std::string& line : split(text, '\n')) {
+    if (trim(line).empty()) continue;
+    const auto t_end = line.find(' ');
+    UUCS_CHECK_MSG(t_end != std::string::npos, "malformed trace line");
+    const auto cls_end = line.find(' ', t_end + 1);
+    UUCS_CHECK_MSG(cls_end != std::string::npos, "malformed trace line");
+    // parse_double rejects hexfloats; strtod accepts them.
+    char* end = nullptr;
+    const std::string t_text = line.substr(0, t_end);
+    const double t = std::strtod(t_text.c_str(), &end);
+    UUCS_CHECK_MSG(end && *end == '\0', "malformed trace time");
+    trace.events_.push_back(TraceEvent{
+        t, parse_event_class(line.substr(t_end + 1, cls_end - t_end - 1)),
+        line.substr(cls_end + 1)});
+  }
+  return trace;
+}
+
+EventTrace EventTrace::replay() const {
+  SimulationConfig config;
+  config.trace = true;
+  if (!events_.empty()) config.start = events_.front().t;
+  config.max_events = events_.size() + 1;
+  Simulation sim(config);
+  for (const TraceEvent& ev : events_) {
+    sim.schedule_at(ev.t, ev.cls, ev.label, [] {});
+  }
+  sim.run_all();
+  return sim.take_trace();
+}
+
+TextTable EventTrace::summary() const {
+  std::array<std::size_t, kEventClassCount> counts{};
+  for (const TraceEvent& ev : events_) {
+    ++counts[static_cast<std::size_t>(ev.cls)];
+  }
+  TextTable t;
+  t.set_header({"event class", "count"});
+  for (std::size_t i = 0; i < kEventClassCount; ++i) {
+    if (counts[i] == 0) continue;
+    t.add_row({event_class_name(static_cast<EventClass>(i)),
+               std::to_string(counts[i])});
+  }
+  t.add_row({"total", std::to_string(events_.size())});
+  if (!events_.empty()) {
+    t.add_row({"time span (s)",
+               strprintf("%.1f", events_.back().t - events_.front().t)});
+  }
+  return t;
+}
+
+}  // namespace uucs::sim

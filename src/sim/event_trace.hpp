@@ -1,0 +1,62 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "util/table.hpp"
+
+namespace uucs::sim {
+
+/// One fired simulation event, as recorded by sim::Simulation when tracing
+/// is enabled: the virtual time, the priority class, and a human-readable
+/// label supplied at scheduling time.
+struct TraceEvent {
+  double t = 0.0;
+  EventClass cls = EventClass::kGeneric;
+  std::string label;
+
+  bool operator==(const TraceEvent& other) const {
+    return t == other.t && cls == other.cls && label == other.label;
+  }
+};
+
+/// Recorded event stream of a simulation, in fire order. Serializes to a
+/// lossless text form (hexfloat times) for replay/debugging: parse() plus
+/// replay() reconstructs the exact event order, which is what the
+/// determinism contract promises and the round-trip test pins.
+class EventTrace {
+ public:
+  void record(double t, EventClass cls, std::string label);
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+  void clear() { events_.clear(); }
+
+  /// Appends `other`'s events (e.g. merging per-job traces in job order).
+  void append(const EventTrace& other);
+  void append(EventTrace&& other);
+
+  /// One line per event: "<hexfloat-t> <class-name> <label>". The label may
+  /// contain spaces; it runs to the end of the line.
+  std::string serialize() const;
+  static EventTrace parse(const std::string& text);
+
+  /// Re-executes the recorded schedule through a fresh Simulation (no-op
+  /// handlers, recorded insertion order) and returns the trace that run
+  /// produces. A faithful recording replays to an identical event order.
+  /// Meaningful for a single simulation context's trace; a merged
+  /// multi-job trace concatenates independent virtual timelines and must
+  /// be replayed per job.
+  EventTrace replay() const;
+
+  /// Event counts per class plus the time span — the quick look uucsctl
+  /// prints before dumping a trace file.
+  TextTable summary() const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace uucs::sim

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "sim/event_queue.hpp"
+#include "sim/event_trace.hpp"
+#include "util/clock.hpp"
+
+namespace uucs::sim {
+
+/// Knobs for one Simulation context.
+struct SimulationConfig {
+  double start = 0.0;        ///< initial virtual time
+  bool trace = false;        ///< record every fired event into trace()
+  std::size_t max_events = 10'000'000;  ///< run_all runaway cap
+};
+
+/// The discrete-event simulation context every study driver runs on: it
+/// owns the VirtualClock, the EventQueue with its deterministic
+/// (time, EventClass, insertion) tie-breaking, and an optional EventTrace
+/// of fired events for replay and debugging.
+///
+/// Drivers create one Simulation per engine::SessionJob (plus one per
+/// sequential driver phase), schedule their work as events — hot syncs,
+/// run starts, user feedback, run ends, policy ticks — and call run_all().
+/// Determinism: given the same schedule calls and the same pre-forked Rng
+/// streams (util/rng_streams.hpp), the fired-event order and therefore the
+/// RNG draw order are identical regardless of worker count or tracing.
+class Simulation {
+ public:
+  explicit Simulation(SimulationConfig config = {})
+      : config_(config), clock_(config.start), queue_(clock_) {
+    queue_.set_max_events(config.max_events);
+  }
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  uucs::VirtualClock& clock() { return clock_; }
+  double now() const { return clock_.now(); }
+  EventQueue& queue() { return queue_; }
+
+  /// Schedules `h` at absolute virtual time `t`. The label is kept only
+  /// when tracing; an untraced simulation pays no per-event string cost
+  /// beyond the argument itself.
+  void schedule_at(double t, EventClass cls, std::string label,
+                   EventQueue::Handler h) {
+    if (!config_.trace) {
+      queue_.schedule_at(t, cls, std::move(h));
+      return;
+    }
+    queue_.schedule_at(
+        t, cls, [this, cls, label = std::move(label), h = std::move(h)] {
+          trace_.record(clock_.now(), cls, label);
+          h();
+        });
+  }
+
+  void schedule_in(double delay, EventClass cls, std::string label,
+                   EventQueue::Handler h) {
+    schedule_at(clock_.now() + delay, cls, std::move(label), std::move(h));
+  }
+
+  /// Appends a trace-only annotation at the current time without scheduling
+  /// an event — for actions that must stay inline in their handler (e.g. a
+  /// throttle's on_feedback between two resource checks of one tick).
+  void note(EventClass cls, std::string label) {
+    if (config_.trace) trace_.record(clock_.now(), cls, std::move(label));
+  }
+
+  bool step() { return queue_.step(); }
+  void run_until(double t_end) { queue_.run_until(t_end); }
+  void run_all() { queue_.run_all(); }
+
+  bool tracing() const { return config_.trace; }
+  const EventTrace& trace() const { return trace_; }
+  EventTrace take_trace() { return std::move(trace_); }
+
+ private:
+  SimulationConfig config_;
+  uucs::VirtualClock clock_;
+  EventQueue queue_;
+  EventTrace trace_;
+};
+
+}  // namespace uucs::sim

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "sim/host_model.hpp"
+#include "sim/simulation.hpp"
 #include "testcase/suite.hpp"
 #include "util/error.hpp"
 #include "util/rng_streams.hpp"
@@ -26,56 +27,134 @@ uucs::TestcaseStore controlled_study_testcases(Task t) {
 
 namespace {
 
-/// One user's four task sessions: the body of a SessionJob. Runs against
-/// shared immutable state (simulator, per-task testcase stores) and keeps
-/// all mutable state in the job's own Rng and the shard ResultStore.
-uucs::ResultStore run_user_sessions(
-    const engine::SessionJob& job, const ControlledStudyConfig& config,
-    const uucs::sim::RunSimulator& simulator,
-    const std::array<uucs::TestcaseStore, uucs::sim::kTaskCount>& testcases,
-    uucs::Rng& rng) {
-  uucs::ResultStore shard;
-  std::size_t local_serial = 0;
-  for (Task task : job.tasks) {
-    const uucs::TestcaseStore& store =
-        testcases[static_cast<std::size_t>(task)];
-    // All eight testcases in random order; when the pass completes with
-    // session budget to spare (frequent discomfort ends runs early),
-    // further random testcases fill the remainder.
-    std::vector<std::string> order = store.ids();
-    rng.shuffle(order);
-    double elapsed = 0.0;
-    std::size_t next = 0;
-    bool first_run = true;
-    while (true) {
-      if (next == order.size()) {
-        rng.shuffle(order);
-        next = 0;
-      }
-      const uucs::Testcase& tc = store.get(order[next++]);
-      // Setup gap before this run (form reset, task re-engagement). Drawn
-      // before the budget check so a session can never charge time past
-      // its budget: previously the gap was added to `elapsed` only after
-      // a run committed, letting the final gap overshoot `session_s`
-      // unchecked.
-      const double gap =
-          first_run ? 0.0
-                    : rng.lognormal(
-                          std::log(std::max(config.mean_gap_s, 1e-9)) -
-                              config.gap_sigma * config.gap_sigma / 2.0,
-                          config.gap_sigma);
-      if (elapsed + gap + tc.duration() > config.session_s) break;
-      elapsed += gap;
-      uucs::RunRecord rec = simulator.simulate_record(
-          *job.user, task, tc, rng,
-          uucs::strprintf("job-%05zu-%04zu", job.index, local_serial++));
-      elapsed += rec.offset_s;
-      shard.add(std::move(rec));
-      first_run = false;
-    }
+/// One user's four task sessions as a discrete-event schedule: the body of
+/// a SessionJob, driven by the job's own sim::Simulation. Each run is a
+/// run-start event; its completion is a run-end event at start + offset; a
+/// discomfort press is a feedback event between them (same timestamp as the
+/// run end, earlier priority class). Runs against shared immutable state
+/// (simulator, per-task testcase stores) and keeps all mutable state in the
+/// job's own Rng and this driver.
+///
+/// The session budget is tracked as an explicit `elapsed` accumulator (not
+/// `now() - session_start`) so the floating-point sums — and therefore the
+/// break decisions — are bit-identical to the historical sequential loop.
+class UserSessionDriver {
+ public:
+  UserSessionDriver(
+      const engine::SessionJob& job, const ControlledStudyConfig& config,
+      const uucs::sim::RunSimulator& simulator,
+      const std::array<uucs::TestcaseStore, uucs::sim::kTaskCount>& testcases,
+      uucs::Rng& rng, uucs::sim::Simulation& sim)
+      : job_(job), config_(config), simulator_(simulator),
+        testcases_(testcases), rng_(rng), sim_(sim) {}
+
+  uucs::ResultStore run() {
+    if (!job_.tasks.empty()) begin_session();
+    sim_.run_all();
+    return std::move(shard_);
   }
-  return shard;
-}
+
+ private:
+  Task task() const { return job_.tasks[task_idx_]; }
+  const uucs::TestcaseStore& store() const {
+    return testcases_[static_cast<std::size_t>(task())];
+  }
+
+  /// Starts the current task session: all eight testcases in random order;
+  /// when the pass completes with session budget to spare (frequent
+  /// discomfort ends runs early), further random testcases fill the
+  /// remainder.
+  void begin_session() {
+    order_ = store().ids();
+    rng_.shuffle(order_);
+    next_ = 0;
+    elapsed_ = 0.0;
+    first_run_ = true;
+    schedule_next_run();
+  }
+
+  /// Picks the next testcase and setup gap; schedules the run-start event
+  /// if it fits the session budget, otherwise ends the session.
+  void schedule_next_run() {
+    if (next_ == order_.size()) {
+      rng_.shuffle(order_);
+      next_ = 0;
+    }
+    const uucs::Testcase& tc = store().get(order_[next_++]);
+    // Setup gap before this run (form reset, task re-engagement). Drawn
+    // before the budget check so a session can never charge time past its
+    // budget.
+    const double gap =
+        first_run_ ? 0.0
+                   : rng_.lognormal(
+                         std::log(std::max(config_.mean_gap_s, 1e-9)) -
+                             config_.gap_sigma * config_.gap_sigma / 2.0,
+                         config_.gap_sigma);
+    if (elapsed_ + gap + tc.duration() > config_.session_s) {
+      end_session();
+      return;
+    }
+    elapsed_ += gap;
+    sim_.schedule_in(
+        gap, uucs::sim::EventClass::kRunStart,
+        sim_.tracing() ? uucs::strprintf("user=%zu task=%s tc=%s",
+                                         job_.index,
+                                         uucs::sim::task_name(task()).c_str(),
+                                         tc.id().c_str())
+                       : std::string(),
+        [this, tcp = &tc] { start_run(*tcp); });  // store-owned, outlives us
+  }
+
+  /// Run-start event: simulate the run; its completion is a run-end event
+  /// at start + offset, preceded by a feedback event when the simulated
+  /// user pressed the discomfort key at that moment.
+  void start_run(const uucs::Testcase& tc) {
+    uucs::RunRecord rec = simulator_.simulate_record(
+        *job_.user, task(), tc, rng_,
+        uucs::strprintf("job-%05zu-%04zu", job_.index, local_serial_++));
+    const double offset = rec.offset_s;
+    // Label built before the handler's move-capture of rec (argument
+    // evaluation order would otherwise empty run_id under the move).
+    const std::string label =
+        sim_.tracing() ? uucs::strprintf("user=%zu run=%s", job_.index,
+                                         rec.run_id.c_str())
+                       : std::string();
+    if (sim_.tracing() && rec.discomforted) {
+      sim_.schedule_in(offset, uucs::sim::EventClass::kFeedback, label, [] {});
+    }
+    sim_.schedule_in(
+        offset, uucs::sim::EventClass::kRunEnd, label,
+        [this, rec = std::move(rec)]() mutable { end_run(std::move(rec)); });
+  }
+
+  /// Run-end event: commit the record, charge the session budget, continue.
+  void end_run(uucs::RunRecord rec) {
+    elapsed_ += rec.offset_s;
+    shard_.add(std::move(rec));
+    first_run_ = false;
+    schedule_next_run();
+  }
+
+  void end_session() {
+    if (++task_idx_ < job_.tasks.size()) begin_session();
+    // Otherwise nothing is scheduled and run_all() drains.
+  }
+
+  const engine::SessionJob& job_;
+  const ControlledStudyConfig& config_;
+  const uucs::sim::RunSimulator& simulator_;
+  const std::array<uucs::TestcaseStore, uucs::sim::kTaskCount>& testcases_;
+  uucs::Rng& rng_;
+  uucs::sim::Simulation& sim_;
+
+  uucs::ResultStore shard_;
+  std::size_t task_idx_ = 0;
+  std::vector<std::string> order_;
+  std::size_t next_ = 0;
+  double elapsed_ = 0.0;
+  bool first_run_ = true;
+  std::size_t local_serial_ = 0;
+};
 
 }  // namespace
 
@@ -113,12 +192,13 @@ ControlledStudyOutput run_controlled_study(const ControlledStudyConfig& config,
   std::vector<engine::SessionJob> jobs =
       engine::make_user_session_jobs(out.users, root, streams::controlled_user);
 
-  engine::SessionEngine eng(engine::EngineConfig{config.jobs});
+  engine::SessionEngine eng(engine::EngineConfig{config.jobs, config.trace});
   std::vector<uucs::ResultStore> shards = eng.map<uucs::ResultStore>(
       jobs.size(), [&](engine::JobContext& ctx) {
         engine::SessionJob& job = jobs[ctx.index()];
-        uucs::ResultStore shard =
-            run_user_sessions(job, config, simulator, testcases, job.rng);
+        UserSessionDriver driver(job, config, simulator, testcases, job.rng,
+                                 ctx.simulation());
+        uucs::ResultStore shard = driver.run();
         ctx.count_runs(shard.size());
         return shard;
       });
@@ -133,6 +213,7 @@ ControlledStudyOutput run_controlled_study(const ControlledStudyConfig& config,
     }
   }
   out.engine = eng.stats();
+  if (config.trace) out.trace = eng.merged_trace();
   return out;
 }
 

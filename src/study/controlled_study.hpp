@@ -29,6 +29,11 @@ struct ControlledStudyConfig {
   /// per-user sessions run as independent jobs and merge in user order.
   std::size_t jobs = 0;
 
+  /// Record every simulation event (run starts, feedback, run ends) into
+  /// ControlledStudyOutput::trace, merged in user order. Observability
+  /// only — never changes results.
+  bool trace = false;
+
   uucs::HostSpec host = uucs::HostSpec::paper_study_machine();
 };
 
@@ -42,6 +47,7 @@ struct ControlledStudyOutput {
   std::vector<uucs::sim::UserProfile> users;
   PopulationParams params;
   engine::EngineStats engine;  ///< instrumentation of the session engine
+  sim::EventTrace trace;       ///< fired events, when config.trace was set
 };
 
 /// Runs the full controlled study in virtual time: draws the participant

@@ -1,11 +1,12 @@
 #include "study/internet_study.hpp"
 
 #include <algorithm>
-#include <limits>
+#include <functional>
 #include <set>
 
 #include "client/client.hpp"
 #include "sim/host_model.hpp"
+#include "sim/simulation.hpp"
 #include "util/error.hpp"
 #include "util/rng_streams.hpp"
 #include "util/strings.hpp"
@@ -45,7 +46,7 @@ uucs::HostSpec make_host(double power, std::size_t index) {
   return spec;
 }
 
-/// A hot sync fired during the replayed schedule.
+/// A hot sync fired during the event-driven sync phase, in fire order.
 struct SyncEvent {
   double t;
   std::size_t site;
@@ -74,26 +75,30 @@ InternetStudyOutput run_internet_study(const InternetStudyConfig& config) {
   return run_internet_study(config, calibrate_population());
 }
 
-/// The fleet simulation runs in three phases that together replay the exact
-/// event-queue interleaving of the sequential discrete-event driver:
+/// The fleet simulation runs as three discrete-event phases that share one
+/// determinism contract (sim::EventClass: sync < run-start < feedback <
+/// run-end, FIFO among equals — the tie-breaking the old driver left to a
+/// "ties have measure zero" comment):
 ///
-///  A. (sequential) Sync replay. Sync times depend only on each site's
-///     setup draws (stagger + fixed interval), never on runs, and the
-///     server's RNG consumption per sync depends only on the sync order and
-///     each client's known-testcase set, never on uploaded result content.
-///     Replaying registrations and testcase-sample handouts in global sync
-///     order therefore reproduces the server state stream exactly, and
-///     yields each site's delivery log (when which testcases arrived).
-///  B. (parallel) Run replay. A site's RNG is consumed only by its own run
-///     events, and what a run sees locally is fully determined by the
-///     delivery log, so sites simulate independently as engine jobs.
-///  C. (sequential) Upload merge. Walking the fired syncs in order and
-///     appending each site's runs recorded before that sync reconstructs
-///     the server's result store in upload order; the trailing flush syncs
-///     then run against the real server, exactly like the event version.
-///
-/// Event-time ties (a sync and a run at the same instant) are resolved as
-/// sync-first; times are continuous draws, so ties have measure zero.
+///  A. (sequential) Sync schedule. One Simulation drives every site's
+///     self-rescheduling hot-sync events. Sync times depend only on each
+///     site's setup draws (stagger + fixed interval), never on runs, and
+///     the server's RNG consumption per sync depends only on the sync
+///     order and each client's known-testcase set, never on uploaded
+///     result content — so syncs can fire before any run is simulated,
+///     yielding each site's delivery log (when which testcases arrived).
+///  B. (parallel) Run phase. Each site is an engine job with its own
+///     Simulation: its deliveries become sync events, its Poisson run
+///     arrivals become self-rescheduling run-start events. A delivery and
+///     a run at the same instant resolve sync-first by EventClass, so the
+///     run sees the freshly delivered testcases — exactly the old replay's
+///     "apply deliveries with t <= now" rule.
+///  C. (sequential) Upload phase. One Simulation replays each site's
+///     recorded runs as run-end events against the fired syncs as sync
+///     events; each sync uploads the site's runs recorded strictly before
+///     it (a run at the sync's own instant loses the tie and waits,
+///     because sync < run-end). The trailing flush syncs then run against
+///     the real server, exactly like before.
 InternetStudyOutput run_internet_study(const InternetStudyConfig& config,
                                        const PopulationParams& params) {
   UUCS_CHECK_MSG(config.clients > 0, "need at least one client");
@@ -143,128 +148,184 @@ InternetStudyOutput run_internet_study(const InternetStudyConfig& config,
     first_run[i] = sites[i]->client.next_run_delay(sites[i]->rng);
   }
 
-  // Phase A: replay the sync schedule. A sync fires at its stagger (if
-  // within the horizon) and every interval after that while the next one
-  // would still land strictly inside the horizon — the self-rescheduling
-  // rule of the event-queue driver.
-  std::vector<SyncEvent> syncs;
-  for (std::size_t i = 0; i < sites.size(); ++i) {
-    if (stagger[i] > config.duration_s) continue;
-    double t = stagger[i];
-    while (true) {
-      syncs.push_back(SyncEvent{t, i});
-      if (t + config.sync_interval_s < config.duration_s) {
-        t += config.sync_interval_s;
-      } else {
-        break;
-      }
-    }
-  }
-  std::sort(syncs.begin(), syncs.end(), [](const SyncEvent& a, const SyncEvent& b) {
-    return a.t != b.t ? a.t < b.t : a.site < b.site;
-  });
-
+  // Phase A: the sync schedule as self-rescheduling events. A sync fires
+  // at its stagger (if within the horizon) and every interval after that
+  // while the next one would still land strictly inside the horizon.
+  // Initial events are scheduled in site order, so equal-time syncs fire
+  // in site order (FIFO among equal keys), and rescheduling preserves it.
+  std::vector<SyncEvent> syncs;  ///< fired syncs, in fire order
   std::vector<std::vector<SyncDelivery>> deliveries(sites.size());
-  for (const SyncEvent& ev : syncs) {
-    uucs::UucsClient& client = sites[ev.site]->client;
-    // Same server interaction as UucsClient::hot_sync with no pending
-    // results (runs have not been simulated yet, and upload content never
-    // influences the server's draws).
-    client.ensure_registered(api);
-    uucs::SyncRequest request;
-    request.guid = client.guid();
-    request.known_testcase_ids = client.testcases().ids();
-    uucs::SyncResponse response = api.hot_sync(request);
-    SyncDelivery delivery{ev.t, {}};
-    delivery.ids.reserve(response.new_testcases.size());
-    for (auto& tc : response.new_testcases) {
-      delivery.ids.push_back(tc.id());
-      client.mutable_testcases().add(std::move(tc));
+  {
+    uucs::sim::SimulationConfig sim_config;
+    sim_config.trace = config.trace;
+    uucs::sim::Simulation sync_sim(sim_config);
+    std::function<void(std::size_t)> fire_sync = [&](std::size_t i) {
+      const double t = sync_sim.now();
+      syncs.push_back(SyncEvent{t, i});
+      uucs::UucsClient& client = sites[i]->client;
+      // Same server interaction as UucsClient::hot_sync with no pending
+      // results (runs have not been simulated yet, and upload content
+      // never influences the server's draws).
+      client.ensure_registered(api);
+      uucs::SyncRequest request;
+      request.guid = client.guid();
+      request.known_testcase_ids = client.testcases().ids();
+      uucs::SyncResponse response = api.hot_sync(request);
+      SyncDelivery delivery{t, {}};
+      delivery.ids.reserve(response.new_testcases.size());
+      for (auto& tc : response.new_testcases) {
+        delivery.ids.push_back(tc.id());
+        client.mutable_testcases().add(std::move(tc));
+      }
+      deliveries[i].push_back(std::move(delivery));
+      ++out.total_syncs;
+      if (t + config.sync_interval_s < config.duration_s) {
+        sync_sim.schedule_in(
+            config.sync_interval_s, uucs::sim::EventClass::kSync,
+            sync_sim.tracing() ? uucs::strprintf("hot-sync site=%zu", i)
+                               : std::string(),
+            [&fire_sync, i] { fire_sync(i); });
+      }
+    };
+    for (std::size_t i = 0; i < sites.size(); ++i) {
+      if (stagger[i] > config.duration_s) continue;
+      sync_sim.schedule_at(
+          stagger[i], uucs::sim::EventClass::kSync,
+          sync_sim.tracing() ? uucs::strprintf("hot-sync site=%zu", i)
+                             : std::string(),
+          [&fire_sync, i] { fire_sync(i); });
     }
-    deliveries[ev.site].push_back(std::move(delivery));
-    ++out.total_syncs;
+    sync_sim.run_all();
+    if (config.trace) out.trace.append(sync_sim.take_trace());
   }
 
-  // Phase B: simulate each site's runs as an engine job.
+  // Phase B: each site's run schedule as an engine job with its own
+  // Simulation — deliveries as sync events, Poisson arrivals as
+  // self-rescheduling run-start events.
   const uucs::TestcaseStore& catalog = out.server->testcases();
-  engine::SessionEngine eng(engine::EngineConfig{config.jobs});
+  engine::SessionEngine eng(engine::EngineConfig{config.jobs, config.trace});
   std::vector<SiteShard> shards = eng.map<SiteShard>(
       sites.size(), [&](engine::JobContext& ctx) {
         const std::size_t i = ctx.index();
         Site& site = *sites[i];
         SiteShard shard;
-        double t = first_run[i];
-        if (t > config.duration_s) return shard;
+        if (first_run[i] > config.duration_s) return shard;
+        uucs::sim::Simulation& sim = ctx.simulation();
 
         const std::vector<double> weights(config.task_weights.begin(),
                                           config.task_weights.end());
         // Guid as the client saw it at each instant: nil until the first
-        // sync registered it (record_result stamps at record time).
+        // sync registered it (record_result stamps at record time). The
+        // first sync event flips it, and a run at that same instant sees
+        // the real guid because sync < run-start.
         const std::string nil_guid = uucs::Guid().to_string();
         const std::string real_guid = site.client.guid().to_string();
-        const double first_sync = deliveries[i].empty()
-                                      ? std::numeric_limits<double>::infinity()
-                                      : stagger[i];
+        bool synced = false;
         uucs::TestcaseStore known;
-        std::size_t next_delivery = 0;
         std::uint64_t run_serial = 0;
-        while (true) {
-          while (next_delivery < deliveries[i].size() &&
-                 deliveries[i][next_delivery].t <= t) {
-            for (const std::string& id : deliveries[i][next_delivery].ids) {
-              known.add(catalog.get(id));
-            }
-            ++next_delivery;
-          }
-          const std::string& guid = t >= first_sync ? real_guid : nil_guid;
+
+        for (const SyncDelivery& delivery : deliveries[i]) {
+          sim.schedule_at(
+              delivery.t, uucs::sim::EventClass::kSync,
+              sim.tracing()
+                  ? uucs::strprintf("delivery site=%zu n=%zu", i,
+                                    delivery.ids.size())
+                  : std::string(),
+              [&, dp = &delivery] {
+                synced = true;
+                for (const std::string& id : dp->ids) known.add(catalog.get(id));
+              });
+        }
+
+        std::function<void()> fire_run = [&] {
+          const double t = sim.now();
           if (const auto id = known.random_id(site.rng)) {
             // Task context at this moment, drawn from the configured mix.
             const auto task =
                 static_cast<uucs::sim::Task>(site.rng.weighted_index(weights));
+            const std::string& guid = synced ? real_guid : nil_guid;
             uucs::RunRecord rec = site.simulator.simulate_record(
                 site.user, task, known.get(*id), site.rng,
                 uucs::strprintf("%s/%llu", guid.c_str(),
                                 static_cast<unsigned long long>(run_serial++)));
             rec.client_guid = guid;
-            shard.runs.push_back(SiteShard::TimedRun{t, std::move(rec)});
+            if (sim.tracing() && rec.discomforted) {
+              sim.schedule_in(rec.offset_s, uucs::sim::EventClass::kFeedback,
+                              uucs::strprintf("site=%zu run=%s", i,
+                                              rec.run_id.c_str()),
+                              [] {});
+            }
             shard.distinct.insert(*id);
+            shard.runs.push_back(SiteShard::TimedRun{t, std::move(rec)});
           }
           const double delay = site.client.next_run_delay(site.rng);
           if (t + delay < config.duration_s) {
-            t += delay;
-          } else {
-            break;
+            sim.schedule_in(
+                delay, uucs::sim::EventClass::kRunStart,
+                sim.tracing() ? uucs::strprintf("run site=%zu", i)
+                              : std::string(),
+                fire_run);
           }
-        }
+        };
+        sim.schedule_at(first_run[i], uucs::sim::EventClass::kRunStart,
+                        sim.tracing() ? uucs::strprintf("run site=%zu", i)
+                                      : std::string(),
+                        fire_run);
+        sim.run_all();
         ctx.count_runs(shard.runs.size());
         return shard;
       });
 
-  // Phase C: reconstruct the server's result store in upload order — each
-  // fired sync carried the site's runs recorded since its previous sync.
-  std::vector<std::size_t> uploaded(sites.size(), 0);
-  for (const SyncEvent& ev : syncs) {
-    SiteShard& shard = shards[ev.site];
-    std::size_t& next = uploaded[ev.site];
-    while (next < shard.runs.size() && shard.runs[next].t < ev.t) {
-      out.server->mutable_results().add(std::move(shard.runs[next].rec));
-      ++next;
+  if (config.trace) out.trace.append(eng.merged_trace());
+
+  // Phase C: the server's result store in upload order — each fired sync
+  // carries the site's runs recorded strictly before it.
+  std::vector<std::vector<uucs::RunRecord>> pending(sites.size());
+  {
+    uucs::sim::SimulationConfig sim_config;
+    sim_config.trace = config.trace;
+    uucs::sim::Simulation upload_sim(sim_config);
+    for (std::size_t i = 0; i < sites.size(); ++i) {
+      for (SiteShard::TimedRun& run : shards[i].runs) {
+        upload_sim.schedule_at(
+            run.t, uucs::sim::EventClass::kRunEnd,
+            upload_sim.tracing()
+                ? uucs::strprintf("record site=%zu run=%s", i,
+                                  run.rec.run_id.c_str())
+                : std::string(),
+            [&pending, i, rp = &run] {
+              pending[i].push_back(std::move(rp->rec));
+            });
+      }
     }
+    for (const SyncEvent& ev : syncs) {
+      upload_sim.schedule_at(
+          ev.t, uucs::sim::EventClass::kSync,
+          upload_sim.tracing() ? uucs::strprintf("upload site=%zu", ev.site)
+                               : std::string(),
+          [&, site = ev.site] {
+            for (uucs::RunRecord& rec : pending[site]) {
+              out.server->mutable_results().add(std::move(rec));
+            }
+            pending[site].clear();
+          });
+    }
+    upload_sim.run_all();
+    if (config.trace) out.trace.append(upload_sim.take_trace());
   }
 
   // Final sync so the last results reach the server.
   for (std::size_t i = 0; i < sites.size(); ++i) {
-    SiteShard& shard = shards[i];
-    std::size_t& next = uploaded[i];
-    if (next == shard.runs.size()) continue;
+    if (pending[i].empty()) continue;
     uucs::UucsClient& client = sites[i]->client;
     client.ensure_registered(api);
     uucs::SyncRequest request;
     request.guid = client.guid();
     request.known_testcase_ids = client.testcases().ids();
-    for (; next < shard.runs.size(); ++next) {
-      request.results.push_back(std::move(shard.runs[next].rec));
+    for (uucs::RunRecord& rec : pending[i]) {
+      request.results.push_back(std::move(rec));
     }
+    pending[i].clear();
     uucs::SyncResponse response = api.hot_sync(request);
     for (auto& tc : response.new_testcases) {
       client.mutable_testcases().add(std::move(tc));

@@ -35,9 +35,14 @@ struct InternetStudyConfig {
 
   /// SessionEngine worker threads for the per-site run simulation phase
   /// (0 = hardware concurrency). Any value produces bit-identical output
-  /// for one seed: sync traffic is replayed deterministically first, then
+  /// for one seed: sync traffic is simulated deterministically first, then
   /// sites simulate independently and merge in site order.
   std::size_t jobs = 0;
+
+  /// Record every simulation event into InternetStudyOutput::trace, in
+  /// phase order (sync schedule, per-site runs in site order, uploads).
+  /// Observability only — never changes results.
+  bool trace = false;
 };
 
 /// Summary of a simulated deployment.
@@ -48,6 +53,7 @@ struct InternetStudyOutput {
   std::size_t distinct_testcases_run = 0;
   PopulationParams params;
   engine::EngineStats engine;  ///< session-engine instrumentation
+  sim::EventTrace trace;       ///< fired events, when config.trace was set
 };
 
 /// Runs the fleet simulation in virtual time (discrete-event). Clients

@@ -32,6 +32,46 @@ TEST(EventQueue, FifoAmongEqualTimes) {
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
 }
 
+TEST(EventQueue, PriorityClassesBreakTiesAtEqualTimes) {
+  // The determinism contract every driver shares: at one instant, a hot
+  // sync is visible to a run starting then, and a user's feedback lands
+  // before the run is finalized — sync < run-start < feedback < run-end,
+  // regardless of scheduling order.
+  uucs::VirtualClock clock;
+  EventQueue q(clock);
+  std::vector<std::string> order;
+  q.schedule_at(1.0, EventClass::kRunEnd, [&] { order.push_back("run-end"); });
+  q.schedule_at(1.0, EventClass::kFeedback, [&] { order.push_back("feedback"); });
+  q.schedule_at(1.0, EventClass::kGeneric, [&] { order.push_back("generic"); });
+  q.schedule_at(1.0, EventClass::kRunStart, [&] { order.push_back("run-start"); });
+  q.schedule_at(1.0, EventClass::kSync, [&] { order.push_back("sync"); });
+  // An earlier event outranks any priority class.
+  q.schedule_at(0.5, EventClass::kGeneric, [&] { order.push_back("first"); });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<std::string>{"first", "sync", "run-start",
+                                             "feedback", "run-end", "generic"}));
+}
+
+TEST(EventQueue, FifoWithinOnePriorityClass) {
+  uucs::VirtualClock clock;
+  EventQueue q(clock);
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i) {
+    q.schedule_at(2.0, EventClass::kSync, [&order, i] { order.push_back(i); });
+  }
+  q.schedule_at(2.0, EventClass::kRunStart, [&order] { order.push_back(99); });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 99}));
+}
+
+TEST(EventQueue, EventClassNamesRoundTrip) {
+  for (std::size_t i = 0; i < kEventClassCount; ++i) {
+    const auto cls = static_cast<EventClass>(i);
+    EXPECT_EQ(parse_event_class(event_class_name(cls)), cls);
+  }
+  EXPECT_THROW(parse_event_class("bogus"), uucs::Error);
+}
+
 TEST(EventQueue, HandlersCanScheduleMore) {
   uucs::VirtualClock clock;
   EventQueue q(clock);
@@ -88,6 +128,37 @@ TEST(EventQueue, RunawayGuardFires) {
   std::function<void()> forever = [&] { q.schedule_in(1.0, forever); };
   q.schedule_in(1.0, forever);
   EXPECT_THROW(q.run_all(100), uucs::Error);
+}
+
+TEST(EventQueue, RunawayGuardIsConfigurableAndSurfacedInError) {
+  uucs::VirtualClock clock;
+  EventQueue q(clock);
+  EXPECT_EQ(q.max_events(), 10'000'000u);  // default
+  q.set_max_events(50);
+  std::function<void()> forever = [&] { q.schedule_in(1.0, forever); };
+  q.schedule_in(1.0, forever);
+  try {
+    q.run_all();
+    FAIL() << "expected the configured cap to fire";
+  } catch (const uucs::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("cap 50"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("set_max_events"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(EventQueue, PastSchedulingErrorNamesBothTimes) {
+  uucs::VirtualClock clock(10.0);
+  EventQueue q(clock);
+  try {
+    q.schedule_at(5.0, [] {});
+    FAIL() << "expected a past-scheduling error";
+  } catch (const uucs::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("t=5"), std::string::npos) << e.what();
+    EXPECT_NE(std::string(e.what()).find("now=10"), std::string::npos)
+        << e.what();
+  }
 }
 
 }  // namespace

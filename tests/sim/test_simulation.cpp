@@ -1,0 +1,139 @@
+#include "sim/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace uucs::sim {
+namespace {
+
+TEST(Simulation, RecordsFiredEventsInOrderWhenTracing) {
+  Simulation sim({.start = 0.0, .trace = true});
+  std::vector<std::string> fired;
+  // Scheduled out of order and all at t=5: priority classes decide.
+  sim.schedule_at(5.0, EventClass::kRunEnd, "end r1",
+                  [&] { fired.push_back("end"); });
+  sim.schedule_at(5.0, EventClass::kSync, "sync s1",
+                  [&] { fired.push_back("sync"); });
+  sim.schedule_at(5.0, EventClass::kRunStart, "start r1",
+                  [&] { fired.push_back("start"); });
+  sim.schedule_at(2.0, EventClass::kGeneric, "warmup", [&] {
+    fired.push_back("warmup");
+    sim.note(EventClass::kFeedback, "inline press");
+  });
+  sim.run_all();
+
+  EXPECT_EQ(fired,
+            (std::vector<std::string>{"warmup", "sync", "start", "end"}));
+  ASSERT_EQ(sim.trace().size(), 5u);  // 4 events + 1 note
+  const auto& ev = sim.trace().events();
+  EXPECT_EQ(ev[0].label, "warmup");
+  EXPECT_EQ(ev[1].label, "inline press");
+  EXPECT_EQ(ev[1].cls, EventClass::kFeedback);
+  EXPECT_DOUBLE_EQ(ev[1].t, 2.0);
+  EXPECT_EQ(ev[2].label, "sync s1");
+  EXPECT_EQ(ev[3].label, "start r1");
+  EXPECT_EQ(ev[4].label, "end r1");
+}
+
+TEST(Simulation, UntracedSimulationRecordsNothing) {
+  Simulation sim;
+  EXPECT_FALSE(sim.tracing());
+  int fired = 0;
+  sim.schedule_in(1.0, EventClass::kRunStart, "ignored", [&] { ++fired; });
+  sim.note(EventClass::kFeedback, "also ignored");
+  sim.run_all();
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.trace().empty());
+}
+
+TEST(Simulation, ConfigMaxEventsIsHonored) {
+  Simulation sim({.start = 0.0, .trace = false, .max_events = 10});
+  std::function<void()> forever = [&] {
+    sim.schedule_in(1.0, EventClass::kGeneric, "", forever);
+  };
+  sim.schedule_in(1.0, EventClass::kGeneric, "", forever);
+  EXPECT_THROW(sim.run_all(), uucs::Error);
+}
+
+TEST(Simulation, StartTimeSetsTheClock) {
+  Simulation sim({.start = 100.0});
+  EXPECT_DOUBLE_EQ(sim.now(), 100.0);
+  double seen = -1;
+  sim.schedule_in(2.5, EventClass::kGeneric, "", [&] { seen = sim.now(); });
+  sim.run_all();
+  EXPECT_DOUBLE_EQ(seen, 102.5);
+}
+
+TEST(EventTraceTest, SerializeParseRoundTripIsLossless) {
+  EventTrace trace;
+  // Awkward doubles (non-representable decimals, tiny offsets) and labels
+  // with spaces — exactly what study traces contain.
+  trace.record(0.1 + 0.2, EventClass::kSync, "site 3 sync #2");
+  trace.record(1800.000001, EventClass::kRunStart, "job-00001-0007");
+  trace.record(1800.000001, EventClass::kFeedback, "press cpu task=movie");
+  trace.record(1800.000001, EventClass::kRunEnd, "");
+  const std::string text = trace.serialize();
+  const EventTrace back = EventTrace::parse(text);
+  ASSERT_EQ(back.size(), trace.size());
+  EXPECT_TRUE(back.events() == trace.events());
+  // And parse(serialize(parse(x))) is a fixed point.
+  EXPECT_EQ(back.serialize(), text);
+}
+
+TEST(EventTraceTest, ReplayReproducesIdenticalOrder) {
+  // Record a schedule whose fire order depends on all three tie-break
+  // levels (time, class, FIFO), then replay it through a fresh Simulation.
+  Simulation sim({.start = 0.0, .trace = true});
+  sim.schedule_at(4.0, EventClass::kRunEnd, "e1", [] {});
+  sim.schedule_at(4.0, EventClass::kSync, "s1", [] {});
+  sim.schedule_at(4.0, EventClass::kSync, "s2", [] {});
+  sim.schedule_at(1.0, EventClass::kGeneric, "g1", [&] {
+    sim.schedule_at(4.0, EventClass::kRunStart, "r1", [] {});
+  });
+  sim.run_all();
+
+  const EventTrace recorded = sim.trace();
+  const EventTrace replayed = recorded.replay();
+  ASSERT_EQ(replayed.size(), recorded.size());
+  EXPECT_TRUE(replayed.events() == recorded.events());
+
+  // Round-trip through text and replay again: still identical.
+  const EventTrace reparsed = EventTrace::parse(recorded.serialize());
+  EXPECT_TRUE(reparsed.replay().events() == recorded.events());
+}
+
+TEST(EventTraceTest, AppendKeepsJobOrder) {
+  EventTrace a, b;
+  a.record(1.0, EventClass::kRunStart, "job0");
+  b.record(0.5, EventClass::kRunStart, "job1");
+  EventTrace merged;
+  merged.append(a);
+  merged.append(std::move(b));
+  ASSERT_EQ(merged.size(), 2u);
+  // Merge is concatenation in job order, not a time-sort: each job is an
+  // independent virtual timeline.
+  EXPECT_EQ(merged.events()[0].label, "job0");
+  EXPECT_EQ(merged.events()[1].label, "job1");
+}
+
+TEST(EventTraceTest, ParseRejectsMalformedLines) {
+  EXPECT_THROW(EventTrace::parse("not-a-number sync hi\n"), uucs::Error);
+  EXPECT_THROW(EventTrace::parse("0x1p+0 no-such-class hi\n"), uucs::Error);
+}
+
+TEST(EventTraceTest, SummaryCountsPerClass) {
+  EventTrace trace;
+  trace.record(0.0, EventClass::kSync, "a");
+  trace.record(1.0, EventClass::kRunStart, "b");
+  trace.record(2.0, EventClass::kRunStart, "c");
+  const std::string s = trace.summary().render();
+  EXPECT_NE(s.find("sync"), std::string::npos);
+  EXPECT_NE(s.find("run-start"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace uucs::sim

@@ -1,0 +1,143 @@
+/// Golden equivalence: the event-driven drivers must produce byte-identical
+/// output to the pre-refactor (hand-rolled virtual time) drivers at fixed
+/// seeds. The fixtures under tests/golden/ were captured from the last
+/// sequential implementations before the sim::Simulation port; regenerate
+/// them with tools/capture_golden only after an *intentional* behavior
+/// change, documented in EXPERIMENTS.md.
+///
+/// Configurations here must stay byte-for-byte in sync with
+/// tools/capture_golden.cpp.
+
+#include <gtest/gtest.h>
+
+#include "core/comfort_profile.hpp"
+#include "core/policy_eval.hpp"
+#include "core/throttle.hpp"
+#include "study/controlled_study.hpp"
+#include "study/internet_study.hpp"
+#include "util/fs.hpp"
+#include "util/kvtext.hpp"
+#include "util/strings.hpp"
+
+#ifndef UUCS_GOLDEN_DIR
+#error "UUCS_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace uucs::study {
+namespace {
+
+const PopulationParams& params() {
+  static const PopulationParams p = calibrate_population();
+  return p;
+}
+
+ControlledStudyConfig golden_controlled_config() {
+  ControlledStudyConfig cfg;
+  cfg.participants = 6;
+  cfg.seed = 2004;
+  cfg.jobs = 1;
+  return cfg;
+}
+
+InternetStudyConfig golden_internet_config() {
+  InternetStudyConfig cfg;
+  cfg.clients = 6;
+  cfg.duration_s = 1.0 * 24 * 3600;
+  cfg.mean_run_interarrival_s = 1800.0;
+  cfg.sync_interval_s = 6 * 3600.0;
+  cfg.seed = 99;
+  cfg.suite.steps_per_resource = 4;
+  cfg.suite.ramps_per_resource = 4;
+  cfg.suite.sines_per_resource = 2;
+  cfg.suite.saws_per_resource = 2;
+  cfg.suite.expexp_per_resource = 6;
+  cfg.suite.exppar_per_resource = 6;
+  cfg.suite.blanks = 4;
+  cfg.jobs = 1;
+  return cfg;
+}
+
+core::PolicyEvalConfig golden_policy_config() {
+  core::PolicyEvalConfig cfg;
+  cfg.session_s = 1800.0;
+  cfg.dt_s = 1.0;
+  cfg.seed = 31337;
+  cfg.jobs = 1;
+  return cfg;
+}
+
+std::string serialize_results(const ResultStore& results) {
+  std::vector<KvRecord> recs;
+  recs.reserve(results.size());
+  for (const auto& r : results.records()) recs.push_back(r.to_record());
+  return kv_serialize(recs);
+}
+
+std::string serialize_policy_result(const core::PolicyEvalResult& r) {
+  std::string out = "policy=" + r.policy + "\n";
+  for (std::size_t slot = 0; slot < 3; ++slot) {
+    out += strprintf("borrowed[%zu]=%a\n", slot, r.borrowed_contention_s[slot]);
+    out += strprintf("events[%zu]=%zu\n", slot, r.discomfort_events[slot]);
+  }
+  out += strprintf("user_hours=%a\n", r.user_hours);
+  return out;
+}
+
+std::string golden(const std::string& name) {
+  return read_file(std::string(UUCS_GOLDEN_DIR) + "/" + name);
+}
+
+TEST(GoldenEquivalence, ControlledStudyJobs1And8) {
+  const std::string expected = golden("controlled_study.txt");
+  ControlledStudyConfig cfg = golden_controlled_config();
+  EXPECT_EQ(serialize_results(run_controlled_study(cfg, params()).results),
+            expected);
+  cfg.jobs = 8;
+  EXPECT_EQ(serialize_results(run_controlled_study(cfg, params()).results),
+            expected);
+}
+
+TEST(GoldenEquivalence, InternetStudyJobs1And8) {
+  const std::string expected = golden("internet_study.txt");
+  InternetStudyConfig cfg = golden_internet_config();
+  EXPECT_EQ(
+      serialize_results(run_internet_study(cfg, params()).server->results()),
+      expected);
+  cfg.jobs = 8;
+  EXPECT_EQ(
+      serialize_results(run_internet_study(cfg, params()).server->results()),
+      expected);
+}
+
+TEST(GoldenEquivalence, PolicyEvalJobs1And8) {
+  const std::string expected = golden("policy_eval.txt");
+  const auto controlled =
+      run_controlled_study(golden_controlled_config(), params());
+  const std::vector<sim::UserProfile> users(controlled.users.begin(),
+                                            controlled.users.begin() + 3);
+  core::AdaptiveThrottle policy(
+      core::ComfortProfile::from_results(controlled.results), /*budget=*/0.5);
+  core::PolicyEvalConfig cfg = golden_policy_config();
+  EXPECT_EQ(serialize_policy_result(core::evaluate_policy(policy, users, cfg)),
+            expected);
+  cfg.jobs = 8;
+  EXPECT_EQ(serialize_policy_result(core::evaluate_policy(policy, users, cfg)),
+            expected);
+}
+
+TEST(GoldenEquivalence, TracingNeverChangesResults) {
+  // The trace layer is pure observability: the same bytes come out with it
+  // on, and the trace itself is deterministic across worker counts.
+  ControlledStudyConfig cfg = golden_controlled_config();
+  cfg.trace = true;
+  const auto traced = run_controlled_study(cfg, params());
+  EXPECT_EQ(serialize_results(traced.results), golden("controlled_study.txt"));
+  EXPECT_GT(traced.trace.size(), 2 * traced.results.size());  // start+end per run
+  cfg.jobs = 8;
+  const auto traced8 = run_controlled_study(cfg, params());
+  ASSERT_EQ(traced8.trace.size(), traced.trace.size());
+  EXPECT_TRUE(traced8.trace.events() == traced.trace.events());
+}
+
+}  // namespace
+}  // namespace uucs::study

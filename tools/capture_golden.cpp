@@ -1,0 +1,124 @@
+/// capture_golden — regenerates the golden equivalence fixtures under
+/// tests/golden/. The fixtures pin the exact bytes the three study drivers
+/// produce at fixed seeds; tests/study/test_golden_equivalence.cpp compares
+/// fresh driver output against them at jobs=1 and jobs=8, so any
+/// *unintentional* behavior change (RNG draw order, tie-breaking, merge
+/// order) fails loudly. Re-run this tool only after an intentional change,
+/// and document the delta in EXPERIMENTS.md.
+///
+///   capture_golden DIR     write the three fixture files into DIR
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/comfort_profile.hpp"
+#include "core/policy_eval.hpp"
+#include "core/throttle.hpp"
+#include "study/controlled_study.hpp"
+#include "study/internet_study.hpp"
+#include "util/fs.hpp"
+#include "util/kvtext.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace uucs;
+
+// Fixture configurations. Keep these byte-for-byte in sync with
+// tests/study/test_golden_equivalence.cpp.
+
+study::ControlledStudyConfig golden_controlled_config() {
+  study::ControlledStudyConfig cfg;
+  cfg.participants = 6;
+  cfg.seed = 2004;
+  cfg.jobs = 1;
+  return cfg;
+}
+
+study::InternetStudyConfig golden_internet_config() {
+  study::InternetStudyConfig cfg;
+  cfg.clients = 6;
+  cfg.duration_s = 1.0 * 24 * 3600;
+  cfg.mean_run_interarrival_s = 1800.0;
+  cfg.sync_interval_s = 6 * 3600.0;
+  cfg.seed = 99;
+  cfg.suite.steps_per_resource = 4;
+  cfg.suite.ramps_per_resource = 4;
+  cfg.suite.sines_per_resource = 2;
+  cfg.suite.saws_per_resource = 2;
+  cfg.suite.expexp_per_resource = 6;
+  cfg.suite.exppar_per_resource = 6;
+  cfg.suite.blanks = 4;
+  cfg.jobs = 1;
+  return cfg;
+}
+
+core::PolicyEvalConfig golden_policy_config() {
+  core::PolicyEvalConfig cfg;
+  cfg.session_s = 1800.0;
+  cfg.dt_s = 1.0;
+  cfg.seed = 31337;
+  cfg.jobs = 1;
+  return cfg;
+}
+
+std::string serialize_results(const ResultStore& results) {
+  std::vector<KvRecord> recs;
+  recs.reserve(results.size());
+  for (const auto& r : results.records()) recs.push_back(r.to_record());
+  return kv_serialize(recs);
+}
+
+/// Hexfloat dump of a policy-eval result: every bit of every double
+/// matters, so the text form must be lossless.
+std::string serialize_policy_result(const core::PolicyEvalResult& r) {
+  std::string out = "policy=" + r.policy + "\n";
+  for (std::size_t slot = 0; slot < 3; ++slot) {
+    out += strprintf("borrowed[%zu]=%a\n", slot, r.borrowed_contention_s[slot]);
+    out += strprintf("events[%zu]=%zu\n", slot, r.discomfort_events[slot]);
+  }
+  out += strprintf("user_hours=%a\n", r.user_hours);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: capture_golden DIR\n");
+    return 2;
+  }
+  const std::string dir = argv[1];
+  try {
+    const auto params = study::calibrate_population();
+
+    const auto controlled =
+        study::run_controlled_study(golden_controlled_config(), params);
+    write_file(dir + "/controlled_study.txt",
+               serialize_results(controlled.results));
+    std::printf("controlled_study.txt: %zu runs\n", controlled.results.size());
+
+    const auto internet =
+        study::run_internet_study(golden_internet_config(), params);
+    write_file(dir + "/internet_study.txt",
+               serialize_results(internet.server->results()));
+    std::printf("internet_study.txt: %zu runs\n",
+                internet.server->results().size());
+
+    // The adaptive throttle at a deliberately reckless 50% discomfort
+    // budget: the fixture must exercise the feedback path (cap backoff and
+    // recovery), which the conservative baseline or a 5% budget rarely hits
+    // in a short session.
+    core::AdaptiveThrottle policy(
+        core::ComfortProfile::from_results(controlled.results), /*budget=*/0.5);
+    const std::vector<sim::UserProfile> users(controlled.users.begin(),
+                                              controlled.users.begin() + 3);
+    const auto eval = core::evaluate_policy(policy, users, golden_policy_config());
+    write_file(dir + "/policy_eval.txt", serialize_policy_result(eval));
+    std::printf("policy_eval.txt: %zu discomfort events\n", eval.total_events());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "capture_golden: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -10,7 +10,10 @@
 ///   uucsctl cdf     RESULTS.txt RES [TASK]     ASCII discomfort CDF
 ///   uucsctl profile RESULTS.txt OUT.txt        write a ComfortProfile
 ///   uucsctl suite   OUT.txt [SEED]             generate the Internet suite
-///   uucsctl study   OUT.txt [N [SEED [JOBS]]]  run the controlled study
+///   uucsctl study   OUT.txt [N [SEED [JOBS]]] [--trace[=FILE]]
+///                                              run the controlled study;
+///                                              --trace records every
+///                                              simulation event
 ///
 /// SPEC for `make`: ramp RESOURCE X T | step RESOURCE X T B | blank T
 
@@ -44,9 +47,11 @@ using namespace uucs;
                "  metrics RESULTS.txt\n"
                "  profile RESULTS.txt OUT.txt\n"
                "  suite   OUT.txt [SEED]\n"
-               "  study   OUT.txt [PARTICIPANTS [SEED [JOBS]]]\n"
+               "  study   OUT.txt [PARTICIPANTS [SEED [JOBS]]] [--trace[=FILE]]\n"
                "          (JOBS: engine workers; 0 = hardware concurrency, "
-               "any value is bit-identical)\n");
+               "any value is bit-identical;\n"
+               "           --trace writes the fired-event log, default "
+               "OUT.txt.trace)\n");
   std::exit(2);
 }
 
@@ -186,8 +191,21 @@ int cmd_suite(const std::string& out, std::uint64_t seed) {
   return 0;
 }
 
-int cmd_study(const std::string& out, const std::vector<std::string>& args) {
+int cmd_study(const std::string& out, const std::vector<std::string>& raw) {
   study::ControlledStudyConfig config;
+  std::string trace_path;
+  std::vector<std::string> args;
+  for (const std::string& a : raw) {
+    if (a == "--trace") {
+      config.trace = true;
+      trace_path = out + ".trace";
+    } else if (a.rfind("--trace=", 0) == 0) {
+      config.trace = true;
+      trace_path = a.substr(std::string("--trace=").size());
+    } else {
+      args.push_back(a);
+    }
+  }
   if (args.size() >= 1) config.participants = std::stoul(args[0]);
   if (args.size() >= 2) config.seed = std::stoull(args[1]);
   if (args.size() >= 3) config.jobs = std::stoul(args[2]);
@@ -197,6 +215,12 @@ int cmd_study(const std::string& out, const std::vector<std::string>& args) {
               output.results.size(), output.users.size(),
               static_cast<unsigned long long>(config.seed), out.c_str());
   std::printf("%s", output.engine.summary().render().c_str());
+  if (config.trace) {
+    write_file(trace_path, output.trace.serialize());
+    std::printf("wrote %zu simulation events to %s\n", output.trace.size(),
+                trace_path.c_str());
+    std::printf("%s", output.trace.summary().render().c_str());
+  }
   return 0;
 }
 

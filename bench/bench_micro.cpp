@@ -11,6 +11,9 @@
 
 #include "analysis/metrics.hpp"
 #include "engine/session_engine.hpp"
+#include "server/fault_injection.hpp"
+#include "server/inproc.hpp"
+#include "server/server.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/user_model.hpp"
 #include "stats/ecdf.hpp"
@@ -18,6 +21,8 @@
 #include "study/controlled_study.hpp"
 #include "study/population.hpp"
 #include "testcase/suite.hpp"
+#include "util/fs.hpp"
+#include "util/journal.hpp"
 #include "util/kvtext.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -208,6 +213,106 @@ void BM_ControlledStudyEventDriven(benchmark::State& state) {
 }
 BENCHMARK(BM_ControlledStudyEventDriven)->Arg(0)->Arg(1)
     ->Unit(benchmark::kMillisecond);
+
+void BM_JournalAppend(benchmark::State& state) {
+  // Durable-append cost: frame + CRC + write + fsync per entry. The fsync
+  // dominates, and it is the price every run record / accepted result pays
+  // before it is acknowledged. range(0) is the payload size in bytes.
+  uucs::TempDir dir;
+  uucs::Journal journal = uucs::Journal::open(dir.file("bench.journal"));
+  const std::string payload(static_cast<std::size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    journal.append(payload);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_JournalAppend)->Arg(64)->Arg(1024)->Unit(benchmark::kMicrosecond);
+
+void BM_JournalRecover(benchmark::State& state) {
+  // Crash-recovery cost: reopen a journal of range(0) entries and CRC-check
+  // every frame. This is the startup tax after an unclean shutdown.
+  uucs::TempDir dir;
+  const std::string path = dir.file("bench.journal");
+  {
+    uucs::Journal journal = uucs::Journal::open(path);
+    std::vector<std::string> batch;
+    for (int i = 0; i < state.range(0); ++i) {
+      batch.push_back("entry " + std::to_string(i) + std::string(100, 'y'));
+    }
+    journal.append_batch(batch);
+  }
+  for (auto _ : state) {
+    uucs::Journal journal = uucs::Journal::open(path);
+    benchmark::DoNotOptimize(journal.entries().size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_JournalRecover)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_FaultyChannelCleanOverhead(benchmark::State& state) {
+  // What the fault decorator costs when no fault fires: one RNG draw and a
+  // counter bump per op, on top of the in-process queue round trip. The
+  // baseline (Arg 0) is the bare channel; Arg 1 wraps it in a FaultyChannel
+  // drawing from a seeded schedule whose probabilities are all zero.
+  class Borrowed final : public uucs::MessageChannel {
+   public:
+    explicit Borrowed(uucs::MessageChannel& inner) : inner_(inner) {}
+    void write(const std::string& m) override { inner_.write(m); }
+    std::optional<std::string> read() override { return inner_.read(); }
+    void close() override { inner_.close(); }
+
+   private:
+    uucs::MessageChannel& inner_;
+  };
+  uucs::InProcChannelPair pair;
+  std::unique_ptr<uucs::MessageChannel> channel =
+      std::make_unique<Borrowed>(pair.a());
+  if (state.range(0) != 0) {
+    auto schedule = std::make_shared<uucs::FaultSchedule>(
+        uucs::FaultSchedule::seeded(1, uucs::FaultProfile{}));
+    channel = std::make_unique<uucs::FaultyChannel>(std::move(channel),
+                                                    std::move(schedule));
+  }
+  const std::string request(256, 'q');
+  for (auto _ : state) {
+    channel->write(request);
+    benchmark::DoNotOptimize(pair.b().read());
+    pair.b().write(request);
+    benchmark::DoNotOptimize(channel->read());
+  }
+  state.SetLabel(state.range(0) ? "faulty (no faults)" : "bare channel");
+}
+BENCHMARK(BM_FaultyChannelCleanOverhead)->Arg(0)->Arg(1);
+
+void BM_HotSyncDispatch(benchmark::State& state) {
+  // Server-side hot sync with two fresh results per request, with (Arg 1)
+  // and without (Arg 0) the fsync'd journal attached — the durability tax
+  // on the accept path.
+  uucs::TempDir dir;
+  uucs::UucsServer server(1, 4);
+  server.add_testcase(uucs::make_ramp_testcase(uucs::Resource::kCpu, 1.0, 120.0));
+  if (state.range(0) != 0) server.attach_journal(dir.file("server.journal"));
+  const uucs::Guid guid =
+      server.register_client(uucs::HostSpec::paper_study_machine(), 0.0);
+  std::uint64_t serial = 0;
+  for (auto _ : state) {
+    uucs::SyncRequest request;
+    request.guid = guid;
+    request.sync_seq = serial + 1;
+    for (int i = 0; i < 2; ++i) {
+      uucs::RunRecord r;
+      r.run_id = "bench/" + std::to_string(serial++);
+      r.testcase_id = "cpu-ramp-x1-t120";
+      r.task = "bench";
+      r.offset_s = 1.0;
+      request.results.push_back(std::move(r));
+    }
+    benchmark::DoNotOptimize(server.hot_sync(request).accepted_results);
+  }
+  state.SetLabel(state.range(0) ? "journaled" : "in-memory");
+}
+BENCHMARK(BM_HotSyncDispatch)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 

@@ -1,11 +1,21 @@
 #include "client/client.hpp"
 
+#include <unordered_set>
+
 #include "util/error.hpp"
 #include "util/fs.hpp"
 #include "util/logging.hpp"
 #include "util/strings.hpp"
 
 namespace uucs {
+
+namespace {
+
+bool has_prefix(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+}  // namespace
 
 UucsClient::UucsClient(HostSpec host, const ClientConfig& config)
     : host_(std::move(host)), config_(config), rng_(config.seed) {
@@ -17,11 +27,13 @@ UucsClient::UucsClient(HostSpec host, const ClientConfig& config)
 void UucsClient::ensure_registered(ServerApi& server) {
   if (registered()) return;
   guid_ = server.register_client(host_);
+  if (journal_) journal_->append("guid " + guid_.to_string());
   log_info("client", "registered as " + guid_.to_string());
 }
 
 void UucsClient::record_result(RunRecord rec) {
   rec.client_guid = guid_.to_string();
+  if (journal_) journal_->append(kv_serialize({rec.to_record()}));
   pending_results_.add(std::move(rec));
 }
 
@@ -29,19 +41,105 @@ std::size_t UucsClient::hot_sync(ServerApi& server) {
   ensure_registered(server);
   SyncRequest request;
   request.guid = guid_;
+  request.sync_seq = sync_seq_ + 1;
   request.known_testcase_ids = testcases_.ids();
-  request.results = pending_results_.drain();
-  SyncResponse response;
-  try {
-    response = server.hot_sync(request);
-  } catch (...) {
-    // The sync failed: keep the results for the next attempt (the client
-    // must operate disconnected, §2).
-    for (auto& r : request.results) pending_results_.add(std::move(r));
-    throw;
+  // Copies, not a drain: pending records stay queued until the server acks
+  // their run_ids, so a failure anywhere below leaves nothing to restore.
+  request.results = pending_results_.records();
+  const SyncResponse response = server.hot_sync(request);
+  sync_seq_ = request.sync_seq;
+  if (!request.results.empty()) {
+    pending_results_.remove_ids(response.stored_run_ids);
+    // Records without a run_id cannot be acked individually; they keep the
+    // old upload-and-clear semantics (they were all in this request).
+    auto rest = pending_results_.drain();
+    for (auto& r : rest) {
+      if (!r.run_id.empty()) pending_results_.add(std::move(r));
+    }
+    if (journal_ && !response.stored_run_ids.empty()) {
+      std::vector<std::string> acks;
+      acks.reserve(response.stored_run_ids.size());
+      for (const auto& id : response.stored_run_ids) acks.push_back("ack " + id);
+      journal_->append_batch(acks);
+      compact_journal_if_needed();
+    }
   }
   for (auto& tc : response.new_testcases) testcases_.add(std::move(tc));
   return response.new_testcases.size();
+}
+
+void UucsClient::bump_serial_from_run_id(const std::string& run_id) {
+  const auto slash = run_id.rfind('/');
+  if (slash == std::string::npos) return;
+  const auto n = parse_int(run_id.substr(slash + 1));
+  if (n && *n >= 0 && static_cast<std::uint64_t>(*n) >= run_serial_) {
+    run_serial_ = static_cast<std::uint64_t>(*n) + 1;
+  }
+}
+
+void UucsClient::replay_journal_entry(const std::string& entry) {
+  if (has_prefix(entry, "ack ")) {
+    const std::string id = entry.substr(4);
+    pending_results_.remove_ids({id});
+    bump_serial_from_run_id(id);
+    return;
+  }
+  if (has_prefix(entry, "guid ")) {
+    guid_ = Guid::parse(entry.substr(5));
+    return;
+  }
+  if (has_prefix(entry, "serial ")) {
+    const auto n = parse_int(entry.substr(7));
+    if (n && *n >= 0 && static_cast<std::uint64_t>(*n) > run_serial_) {
+      run_serial_ = static_cast<std::uint64_t>(*n);
+    }
+    return;
+  }
+  const auto records = kv_parse(entry);
+  if (records.empty() || records.front().type() != "run") {
+    throw ParseError("client journal: unrecognized entry '" +
+                     entry.substr(0, 32) + "'");
+  }
+  RunRecord rec = RunRecord::from_record(records.front());
+  bump_serial_from_run_id(rec.run_id);
+  // A record journaled twice (e.g. replay after partial compaction) must
+  // not queue twice.
+  if (!rec.run_id.empty()) {
+    for (const auto& existing : pending_results_.records()) {
+      if (existing.run_id == rec.run_id) return;
+    }
+  }
+  pending_results_.add(std::move(rec));
+}
+
+std::size_t UucsClient::attach_journal(const std::string& path) {
+  UUCS_CHECK_MSG(journal_ == nullptr, "client journal already attached");
+  journal_ = std::make_unique<Journal>(Journal::open(path));
+  const auto& entries = journal_->entries();
+  for (const auto& entry : entries) replay_journal_entry(entry);
+  const std::size_t replayed = entries.size();
+  if (journal_->recovery().dropped_bytes > 0) {
+    log_warn("client",
+             strprintf("journal %s: dropped %zu torn bytes at tail", path.c_str(),
+                       journal_->recovery().dropped_bytes));
+  }
+  return replayed;
+}
+
+std::vector<std::string> UucsClient::journal_keep_entries() const {
+  std::vector<std::string> keep;
+  keep.push_back(strprintf("serial %llu",
+                           static_cast<unsigned long long>(run_serial_)));
+  if (registered()) keep.push_back("guid " + guid_.to_string());
+  for (const auto& r : pending_results_.records()) {
+    keep.push_back(kv_serialize({r.to_record()}));
+  }
+  return keep;
+}
+
+void UucsClient::compact_journal_if_needed() {
+  if (!journal_ || journal_->size_bytes() < config_.journal_compact_bytes) return;
+  journal_->compact(journal_keep_entries());
 }
 
 std::optional<std::string> UucsClient::choose_testcase_id(Rng& rng) const {
@@ -64,8 +162,11 @@ void UucsClient::save(const std::string& dir) const {
   KvRecord rec("client");
   rec.set("guid", guid_.is_nil() ? "" : guid_.to_string());
   rec.set_int("run_serial", static_cast<std::int64_t>(run_serial_));
+  rec.set_int("sync_seq", static_cast<std::int64_t>(sync_seq_));
   std::vector<KvRecord> records{rec, host_.to_record()};
   kv_save_file(dir + "/client.txt", records);
+  // The snapshot now carries the state; shrink the journal to match.
+  if (journal_) journal_->compact(journal_keep_entries());
 }
 
 UucsClient UucsClient::load(const std::string& dir, const ClientConfig& config) {
@@ -78,6 +179,8 @@ UucsClient UucsClient::load(const std::string& dir, const ClientConfig& config) 
   if (!guid.empty()) client.guid_ = Guid::parse(guid);
   client.run_serial_ =
       static_cast<std::uint64_t>(records[0].get_int_or("run_serial", 0));
+  client.sync_seq_ =
+      static_cast<std::uint64_t>(records[0].get_int_or("sync_seq", 0));
   client.testcases_ = TestcaseStore::load(dir + "/testcases.txt");
   client.pending_results_ = ResultStore::load(dir + "/pending_results.txt");
   return client;

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -7,16 +8,26 @@
 #include "testcase/run_record.hpp"
 #include "testcase/store.hpp"
 #include "util/guid.hpp"
+#include "util/journal.hpp"
 #include "util/rng.hpp"
 
 namespace uucs {
 
 /// Client policy knobs (§2: hot syncing at user-defined intervals, local
-/// random choice of testcases, Poisson arrivals of testcase execution).
+/// random choice of testcases, Poisson arrivals of testcase execution),
+/// plus the transport fault-tolerance knobs used by the live client binary
+/// (the simulators drive in-process channels and ignore them).
 struct ClientConfig {
   double sync_interval_s = 3600.0;       ///< desired time between hot syncs
   double mean_run_interarrival_s = 900.0;///< Poisson mean between runs
   std::uint64_t seed = 7;
+
+  double connect_timeout_s = 10.0;  ///< TCP connect deadline (0 = block)
+  double io_timeout_s = 30.0;       ///< per-message read/write deadline (0 = block)
+  std::size_t sync_max_attempts = 5;///< tries per sync/register operation
+  double retry_base_delay_s = 0.5;  ///< backoff floor between attempts
+  double retry_max_delay_s = 30.0;  ///< backoff ceiling between attempts
+  std::size_t journal_compact_bytes = 256 * 1024;  ///< compact journal past this
 };
 
 /// The UUCS client's state machine minus the live exercising: testcase and
@@ -25,6 +36,13 @@ struct ClientConfig {
 /// server using its local stores (§2); the live client binary couples this
 /// with RunExecutor, and the Internet-study simulator drives it in virtual
 /// time with simulated runs.
+///
+/// Uploads are exactly-once: every record carries a unique run_id, the
+/// server acks the ids it holds (new or duplicate), and the client clears
+/// exactly the acked records — so a retried sync whose response was lost
+/// neither loses nor double-stores a record. With a journal attached
+/// (attach_journal), recorded results and received acks are additionally
+/// fsync'd to an append-only log, so a crash between syncs loses nothing.
 class UucsClient {
  public:
   UucsClient(HostSpec host, const ClientConfig& config = {});
@@ -32,6 +50,7 @@ class UucsClient {
   const HostSpec& host() const { return host_; }
   const Guid& guid() const { return guid_; }
   bool registered() const { return !guid_.is_nil(); }
+  const ClientConfig& config() const { return config_; }
 
   /// Local stores.
   const TestcaseStore& testcases() const { return testcases_; }
@@ -41,13 +60,26 @@ class UucsClient {
   /// Registers with the server if not registered yet (first run, §2).
   void ensure_registered(ServerApi& server);
 
-  /// Records a finished run for upload at the next sync.
+  /// Records a finished run for upload at the next sync; journaled first
+  /// when a journal is attached.
   void record_result(RunRecord rec);
 
   /// One hot sync: uploads pending results, downloads fresh testcases into
   /// the local store. Returns the number of testcases received. Registers
-  /// first if needed.
+  /// first if needed. Pending results are kept until the server acks their
+  /// run_ids; on any failure every record stays queued for the next attempt.
   std::size_t hot_sync(ServerApi& server);
+
+  /// Monotone sequence number stamped on each sync request (the server
+  /// keeps the high-water mark per client).
+  std::uint64_t sync_seq() const { return sync_seq_; }
+
+  /// Opens (creating if absent) the crash-durability journal at `path`,
+  /// replays any surviving entries into the in-memory state, and keeps it
+  /// attached so record_result / hot_sync append to it. Returns the number
+  /// of entries replayed.
+  std::size_t attach_journal(const std::string& path);
+  bool has_journal() const { return journal_ != nullptr; }
 
   /// Local random choice of the next testcase to run; nullopt if the local
   /// store is empty.
@@ -63,11 +95,17 @@ class UucsClient {
   Rng& rng() { return rng_; }
 
   /// Persists local state (testcases.txt, pending_results.txt, client.txt)
-  /// under `dir`, and restores it.
+  /// under `dir`, and restores it. With a journal attached, save() also
+  /// compacts the journal (the snapshot now carries the state).
   void save(const std::string& dir) const;
   static UucsClient load(const std::string& dir, const ClientConfig& config = {});
 
  private:
+  void replay_journal_entry(const std::string& entry);
+  void bump_serial_from_run_id(const std::string& run_id);
+  std::vector<std::string> journal_keep_entries() const;
+  void compact_journal_if_needed();
+
   HostSpec host_;
   ClientConfig config_;
   Guid guid_;
@@ -75,6 +113,8 @@ class UucsClient {
   ResultStore pending_results_;
   Rng rng_;
   std::uint64_t run_serial_ = 0;
+  std::uint64_t sync_seq_ = 0;
+  std::unique_ptr<Journal> journal_;
 
  public:
   /// Builds a unique run id "guid/serial" for the next run.

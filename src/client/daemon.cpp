@@ -29,7 +29,7 @@ void ClientDaemon::try_sync() {
   try {
     const std::size_t fresh = client_.hot_sync(server_);
     syncs_.fetch_add(1, std::memory_order_relaxed);
-    sync_failures_ = 0;
+    sync_failures_.store(0, std::memory_order_relaxed);
     if (on_event_) {
       on_event_({Event::Kind::kSync,
                  strprintf("%zu new testcases, store %zu", fresh,
@@ -38,15 +38,15 @@ void ClientDaemon::try_sync() {
   } catch (const std::exception& e) {
     // Disconnected operation (§2): results stay queued; try again later,
     // backing off so a dead server is not hammered.
-    ++sync_failures_;
+    sync_failures_.fetch_add(1, std::memory_order_relaxed);
     log_warn("daemon", std::string("hot sync failed: ") + e.what());
   }
 }
 
 double ClientDaemon::next_sync_delay() const {
   const double base = client_.sync_interval_s();
-  const double factor =
-      static_cast<double>(1u << std::min<std::size_t>(sync_failures_, 3));
+  const double factor = static_cast<double>(
+      1u << std::min<std::size_t>(sync_failures_.load(std::memory_order_relaxed), 3));
   return base * factor;
 }
 

@@ -43,8 +43,10 @@ class ClientDaemon {
   std::size_t syncs_completed() const { return syncs_.load(std::memory_order_relaxed); }
 
   /// Consecutive failed sync attempts (drives exponential backoff; resets
-  /// to zero on success).
-  std::size_t sync_failures() const { return sync_failures_; }
+  /// to zero on success). Readable from any thread while run() is live.
+  std::size_t sync_failures() const {
+    return sync_failures_.load(std::memory_order_relaxed);
+  }
 
  private:
   bool sleep_interruptibly(double seconds);
@@ -62,7 +64,7 @@ class ClientDaemon {
   std::atomic<bool> stop_{false};
   std::atomic<std::size_t> runs_{0};
   std::atomic<std::size_t> syncs_{0};
-  std::size_t sync_failures_ = 0;
+  std::atomic<std::size_t> sync_failures_{0};
 };
 
 }  // namespace uucs

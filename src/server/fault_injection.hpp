@@ -1,0 +1,131 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "server/net.hpp"
+#include "server/protocol.hpp"
+#include "util/rng.hpp"
+
+namespace uucs {
+
+/// What a FaultyChannel may do to one channel operation.
+enum class FaultKind {
+  kNone,        ///< pass through untouched
+  kDrop,        ///< write: swallow the message; read: discard one message
+  kDisconnect,  ///< close the channel and fail the operation
+  kDelay,       ///< sleep, then pass through
+  kTruncate,    ///< write: send a frame shorter than its header claims, then close
+  kGarbage,     ///< write: send unframed garbage bytes, then close
+};
+
+std::string fault_kind_name(FaultKind kind);
+
+struct FaultAction {
+  FaultKind kind = FaultKind::kNone;
+  double delay_s = 0.0;  ///< used by kDelay
+};
+
+/// Per-operation fault probabilities for a seeded schedule.
+struct FaultProfile {
+  double drop = 0.0;
+  double disconnect = 0.0;
+  double delay = 0.0;
+  double truncate = 0.0;
+  double garbage = 0.0;
+  double delay_s = 0.005;  ///< how long kDelay stalls
+
+  /// The chaos-test mix: every sync has a realistic chance of at least one
+  /// injected fault, while forward progress stays overwhelmingly likely.
+  static FaultProfile moderate();
+};
+
+/// Deterministic source of FaultActions, one per channel operation. Either
+/// scripted (an explicit per-operation list, exact replay) or seeded (drawn
+/// from a FaultProfile with a private Rng — same seed, same fault sequence).
+class FaultSchedule {
+ public:
+  /// No faults, ever.
+  static FaultSchedule none();
+
+  /// `actions[i]` applies to the i-th channel operation; operations past
+  /// the end of the script run clean.
+  static FaultSchedule scripted(std::vector<FaultAction> actions);
+
+  /// Draws each operation's action from `profile` using an Rng seeded with
+  /// `seed`.
+  static FaultSchedule seeded(std::uint64_t seed, FaultProfile profile);
+
+  /// The action for the next channel operation.
+  FaultAction next();
+
+  /// Operations consumed so far.
+  std::size_t ops() const { return ops_; }
+
+ private:
+  FaultSchedule() = default;
+  std::vector<FaultAction> script_;
+  bool seeded_ = false;
+  Rng rng_{0};
+  FaultProfile profile_;
+  std::size_t ops_ = 0;
+};
+
+/// Parses a scripted schedule from "OP:KIND[,OP:KIND...]" where OP is the
+/// 0-based channel-operation index and KIND is drop | disconnect |
+/// delay[=SECONDS] | truncate | garbage. Example: "1:drop,3:delay=0.05,
+/// 4:disconnect". Throws ParseError on malformed specs.
+FaultSchedule parse_fault_schedule(const std::string& spec);
+
+/// MessageChannel decorator that injects faults from a FaultSchedule into
+/// every operation — the deterministic stand-in for a hostile network.
+/// Wrapping a TcpChannel enables frame-level faults (truncated frames,
+/// garbage bytes on the wire); over any other channel those degrade to a
+/// disconnect, which is the same failure class one layer up.
+///
+/// Injected failures surface as the errors the real network produces:
+/// ProtocolError for torn exchanges, TimeoutError (from the inner
+/// channel's deadlines) for swallowed messages — so retry layers cannot
+/// tell injection from reality, which is the point.
+class FaultyChannel final : public MessageChannel {
+ public:
+  struct Stats {
+    std::size_t ops = 0;
+    std::size_t drops = 0;
+    std::size_t disconnects = 0;
+    std::size_t delays = 0;
+    std::size_t truncations = 0;
+    std::size_t garbage = 0;
+    std::size_t faults() const {
+      return drops + disconnects + delays + truncations + garbage;
+    }
+  };
+
+  /// The schedule is shared so a reconnecting factory can thread one fault
+  /// sequence through successive channels. `aggregate` (optional, borrowed)
+  /// accumulates stats across all channels sharing it.
+  FaultyChannel(std::unique_ptr<MessageChannel> inner,
+                std::shared_ptr<FaultSchedule> schedule, Stats* aggregate = nullptr);
+  FaultyChannel(std::unique_ptr<TcpChannel> inner,
+                std::shared_ptr<FaultSchedule> schedule, Stats* aggregate = nullptr);
+
+  void write(const std::string& message) override;
+  std::optional<std::string> read() override;
+  void close() override;
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  FaultAction begin_op();
+  void count(FaultKind kind);
+  [[noreturn]] void poison(const char* what, FaultKind kind);
+
+  std::unique_ptr<MessageChannel> inner_;
+  TcpChannel* tcp_ = nullptr;  ///< non-null when frame-level faults are possible
+  std::shared_ptr<FaultSchedule> schedule_;
+  Stats stats_;
+  Stats* aggregate_ = nullptr;
+};
+
+}  // namespace uucs

@@ -1,12 +1,15 @@
 #include "server/net.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 #include "util/error.hpp"
@@ -18,12 +21,50 @@ namespace {
 
 constexpr std::size_t kMaxMessageBytes = 64ull << 20;
 
-void write_all(int fd, const char* data, std::size_t len) {
+using SteadyClock = std::chrono::steady_clock;
+
+/// Absolute deadline for a whole-message operation; nullopt blocks forever.
+std::optional<SteadyClock::time_point> deadline_in(double seconds) {
+  if (seconds <= 0) return std::nullopt;
+  return SteadyClock::now() + std::chrono::duration_cast<SteadyClock::duration>(
+                                  std::chrono::duration<double>(seconds));
+}
+
+/// Waits until `fd` is ready for `events`; throws TimeoutError when the
+/// deadline passes first.
+void wait_ready(int fd, short events, const SteadyClock::time_point& deadline,
+                const char* what) {
+  for (;;) {
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - SteadyClock::now());
+    if (remaining.count() <= 0) {
+      throw TimeoutError(std::string(what) + " deadline expired");
+    }
+    pollfd pfd{fd, events, 0};
+    const int rc = ::poll(&pfd, 1, static_cast<int>(remaining.count()) + 1);
+    if (rc > 0) return;  // ready (or error/hup — let recv/send report it)
+    if (rc == 0) throw TimeoutError(std::string(what) + " deadline expired");
+    if (errno == EINTR) continue;
+    throw SystemError(std::string("poll: ") + std::strerror(errno));
+  }
+}
+
+void write_all(int fd, const char* data, std::size_t len,
+               const std::optional<SteadyClock::time_point>& deadline) {
   std::size_t off = 0;
   while (off < len) {
-    const ssize_t n = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
+    if (deadline) wait_ready(fd, POLLOUT, *deadline, "send");
+    const int flags = MSG_NOSIGNAL | (deadline ? MSG_DONTWAIT : 0);
+    const ssize_t n = ::send(fd, data + off, len - off, flags);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (deadline && (errno == EAGAIN || errno == EWOULDBLOCK)) continue;
+      if (errno == EPIPE || errno == ECONNRESET) {
+        // The peer is gone, not the OS: classify as a (retryable) protocol
+        // failure so retry layers reconnect instead of giving up.
+        throw ProtocolError(std::string("peer closed connection during send (") +
+                            std::strerror(errno) + ")");
+      }
       throw SystemError(std::string("send: ") + std::strerror(errno));
     }
     off += static_cast<std::size_t>(n);
@@ -31,12 +72,19 @@ void write_all(int fd, const char* data, std::size_t len) {
 }
 
 /// Reads exactly `len` bytes; returns false on clean EOF at a boundary.
-bool read_all(int fd, char* data, std::size_t len) {
+bool read_all(int fd, char* data, std::size_t len,
+              const std::optional<SteadyClock::time_point>& deadline) {
   std::size_t off = 0;
   while (off < len) {
-    const ssize_t n = ::recv(fd, data + off, len - off, 0);
+    if (deadline) wait_ready(fd, POLLIN, *deadline, "recv");
+    const int flags = deadline ? MSG_DONTWAIT : 0;
+    const ssize_t n = ::recv(fd, data + off, len - off, flags);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (deadline && (errno == EAGAIN || errno == EWOULDBLOCK)) continue;
+      if (errno == ECONNRESET) {
+        throw ProtocolError("peer reset connection during recv");
+      }
       throw SystemError(std::string("recv: ") + std::strerror(errno));
     }
     if (n == 0) {
@@ -50,12 +98,16 @@ bool read_all(int fd, char* data, std::size_t len) {
 
 }  // namespace
 
-TcpChannel::TcpChannel(int fd) : fd_(fd) { UUCS_CHECK_MSG(fd >= 0, "bad socket fd"); }
+TcpChannel::TcpChannel(int fd, ChannelDeadlines deadlines)
+    : fd_(fd), deadlines_(deadlines) {
+  UUCS_CHECK_MSG(fd >= 0, "bad socket fd");
+}
 
 TcpChannel::~TcpChannel() { close(); }
 
 std::unique_ptr<TcpChannel> TcpChannel::connect(const std::string& host,
-                                                std::uint16_t port) {
+                                                std::uint16_t port,
+                                                ChannelDeadlines deadlines) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) throw SystemError(std::string("socket: ") + std::strerror(errno));
   sockaddr_in addr{};
@@ -65,31 +117,70 @@ std::unique_ptr<TcpChannel> TcpChannel::connect(const std::string& host,
     ::close(fd);
     throw SystemError("bad address " + host);
   }
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+  const std::string where = host + ":" + std::to_string(port);
+  if (deadlines.connect_s > 0) {
+    // Non-blocking connect + poll so a black-holed peer cannot hang us for
+    // the kernel's multi-minute SYN timeout.
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    const int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    if (rc != 0 && errno != EINPROGRESS) {
+      const int err = errno;
+      ::close(fd);
+      throw SystemError("connect " + where + ": " + std::strerror(err));
+    }
+    if (rc != 0) {
+      try {
+        wait_ready(fd, POLLOUT, *deadline_in(deadlines.connect_s), "connect");
+      } catch (...) {
+        ::close(fd);
+        throw;
+      }
+      int err = 0;
+      socklen_t len = sizeof(err);
+      ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+      if (err != 0) {
+        ::close(fd);
+        throw SystemError("connect " + where + ": " + std::strerror(err));
+      }
+    }
+    ::fcntl(fd, F_SETFL, flags);
+  } else if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     const int err = errno;
     ::close(fd);
-    throw SystemError("connect " + host + ":" + std::to_string(port) + ": " +
-                      std::strerror(err));
+    throw SystemError("connect " + where + ": " + std::strerror(err));
   }
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  return std::make_unique<TcpChannel>(fd);
+  return std::make_unique<TcpChannel>(fd, deadlines);
+}
+
+std::string TcpChannel::frame(const std::string& payload) {
+  std::string framed = strprintf("UUCS %zu\n", payload.size());
+  framed += payload;
+  return framed;
 }
 
 void TcpChannel::write(const std::string& message) {
   UUCS_CHECK_MSG(message.size() <= kMaxMessageBytes, "message too large");
-  const std::string header = strprintf("UUCS %zu\n", message.size());
-  write_all(fd_, header.data(), header.size());
-  write_all(fd_, message.data(), message.size());
+  const std::string framed = frame(message);
+  write_all(fd_, framed.data(), framed.size(), deadline_in(deadlines_.write_s));
+}
+
+void TcpChannel::write_bytes(const std::string& bytes) {
+  write_all(fd_, bytes.data(), bytes.size(), deadline_in(deadlines_.write_s));
 }
 
 std::optional<std::string> TcpChannel::read() {
+  // One deadline covers the whole message, so a peer trickling bytes cannot
+  // stretch a read indefinitely.
+  const auto deadline = deadline_in(deadlines_.read_s);
   // Header: "UUCS <len>\n", read byte-by-byte until the newline (headers
   // are tiny; simplicity beats buffering here).
   std::string header;
   char c = 0;
   for (;;) {
-    if (!read_all(fd_, &c, 1)) {
+    if (!read_all(fd_, &c, 1, deadline)) {
       if (header.empty()) return std::nullopt;
       throw ProtocolError("connection closed mid-header");
     }
@@ -106,7 +197,7 @@ std::optional<std::string> TcpChannel::read() {
     throw ProtocolError("bad frame length '" + fields[1] + "'");
   }
   std::string payload(static_cast<std::size_t>(*len), '\0');
-  if (*len > 0 && !read_all(fd_, payload.data(), payload.size())) {
+  if (*len > 0 && !read_all(fd_, payload.data(), payload.size(), deadline)) {
     throw ProtocolError("connection closed mid-payload");
   }
   return payload;
@@ -158,12 +249,15 @@ std::unique_ptr<TcpChannel> TcpListener::accept() {
       ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
       return std::make_unique<TcpChannel>(client);
     }
-    if (errno == EINTR) continue;
-    return nullptr;  // listener shut down or fatal error
+    const int err = errno;
+    if (err == EINTR) continue;
+    if (shutting_down_.load(std::memory_order_acquire)) return nullptr;
+    throw SystemError(std::string("accept: ") + std::strerror(err));
   }
 }
 
 void TcpListener::shutdown() {
+  shutting_down_.store(true, std::memory_order_release);
   if (fd_ >= 0) {
     ::shutdown(fd_, SHUT_RDWR);
     ::close(fd_);

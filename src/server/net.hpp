@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -8,27 +9,54 @@
 
 namespace uucs {
 
+/// Deadlines (seconds) for the blocking TCP operations. Zero means "block
+/// forever" — the pre-fault-tolerance behavior, still the default so local
+/// and test transports pay nothing for the feature.
+struct ChannelDeadlines {
+  double connect_s = 0.0;  ///< TcpChannel::connect
+  double read_s = 0.0;     ///< whole-message receive
+  double write_s = 0.0;    ///< whole-message send
+};
+
 /// MessageChannel over a connected TCP socket, with "UUCS <len>\n<payload>"
-/// framing. Blocking; one instance per connection, single reader + single
-/// writer thread at a time.
+/// framing. Blocking (optionally up to a deadline); one instance per
+/// connection, single reader + single writer thread at a time.
 class TcpChannel final : public MessageChannel {
  public:
   /// Takes ownership of a connected socket fd.
-  explicit TcpChannel(int fd);
+  explicit TcpChannel(int fd, ChannelDeadlines deadlines = {});
   ~TcpChannel() override;
 
   TcpChannel(const TcpChannel&) = delete;
   TcpChannel& operator=(const TcpChannel&) = delete;
 
-  /// Connects to host:port (IPv4, e.g. "127.0.0.1"); throws SystemError.
-  static std::unique_ptr<TcpChannel> connect(const std::string& host, std::uint16_t port);
+  /// Connects to host:port (IPv4, e.g. "127.0.0.1"); throws SystemError on
+  /// failure and TimeoutError when `deadlines.connect_s` expires first.
+  static std::unique_ptr<TcpChannel> connect(const std::string& host, std::uint16_t port,
+                                             ChannelDeadlines deadlines = {});
 
+  void set_deadlines(ChannelDeadlines deadlines) { deadlines_ = deadlines; }
+  const ChannelDeadlines& deadlines() const { return deadlines_; }
+
+  /// Throws TimeoutError if the peer does not drain us within write_s.
   void write(const std::string& message) override;
+
+  /// Throws TimeoutError if a whole message does not arrive within read_s —
+  /// a hung or stalled peer can no longer block the caller forever.
   std::optional<std::string> read() override;
+
   void close() override;
+
+  /// The framed wire bytes write() would send for `payload`. Exposed so
+  /// fault injection and tests can craft truncated or corrupt frames.
+  static std::string frame(const std::string& payload);
+
+  /// Sends raw bytes with no framing (fault injection / tests only).
+  void write_bytes(const std::string& bytes);
 
  private:
   int fd_;
+  ChannelDeadlines deadlines_;
 };
 
 /// Listening TCP socket bound to 127.0.0.1. Port 0 picks a free port; the
@@ -43,8 +71,9 @@ class TcpListener {
 
   std::uint16_t port() const { return port_; }
 
-  /// Blocks until a client connects; returns nullptr if the listener was
-  /// shut down.
+  /// Blocks until a client connects; returns nullptr only after an
+  /// intentional shutdown(). A real accept(2) failure throws SystemError
+  /// instead of being silently conflated with shutdown.
   std::unique_ptr<TcpChannel> accept();
 
   /// Unblocks accept() and closes the listening socket.
@@ -53,6 +82,7 @@ class TcpListener {
  private:
   int fd_ = -1;
   std::uint16_t port_ = 0;
+  std::atomic<bool> shutting_down_{false};
 };
 
 }  // namespace uucs

@@ -32,6 +32,7 @@ std::string encode_register_response(const Guid& guid) {
 std::string encode_sync_request(const SyncRequest& request) {
   KvRecord head("sync-request");
   head.set("guid", request.guid.to_string());
+  head.set_int("sync_seq", static_cast<std::int64_t>(request.sync_seq));
   for (const auto& id : request.known_testcase_ids) check_id(id);
   head.set("known", join(request.known_testcase_ids, ","));
   head.set_int("result_count", static_cast<std::int64_t>(request.results.size()));
@@ -44,6 +45,10 @@ std::string encode_sync_response(const SyncResponse& response) {
   KvRecord head("sync-response");
   head.set_int("accepted_results",
                static_cast<std::int64_t>(response.accepted_results));
+  head.set_int("duplicate_results",
+               static_cast<std::int64_t>(response.duplicate_results));
+  for (const auto& id : response.stored_run_ids) check_id(id);
+  head.set("stored", join(response.stored_run_ids, ","));
   head.set_int("server_testcase_count",
                static_cast<std::int64_t>(response.server_testcase_count));
   head.set_int("testcase_count",
@@ -65,6 +70,7 @@ SyncRequest decode_sync_request(const std::vector<KvRecord>& records) {
   SyncRequest request;
   const KvRecord& head = records.front();
   request.guid = Guid::parse(head.get("guid"));
+  request.sync_seq = static_cast<std::uint64_t>(head.get_int_or("sync_seq", 0));
   for (const auto& id : split(head.get_or("known", ""), ',')) {
     if (!id.empty()) request.known_testcase_ids.push_back(id);
   }
@@ -83,6 +89,11 @@ SyncResponse decode_sync_response(const std::vector<KvRecord>& records) {
   const KvRecord& head = records.front();
   response.accepted_results =
       static_cast<std::size_t>(head.get_int("accepted_results"));
+  response.duplicate_results =
+      static_cast<std::size_t>(head.get_int_or("duplicate_results", 0));
+  for (const auto& id : split(head.get_or("stored", ""), ',')) {
+    if (!id.empty()) response.stored_run_ids.push_back(id);
+  }
   response.server_testcase_count =
       static_cast<std::size_t>(head.get_int("server_testcase_count"));
   for (std::size_t i = 1; i < records.size(); ++i) {

@@ -1,0 +1,86 @@
+#include "server/retry.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+
+namespace uucs {
+
+RetryingServerApi::RetryingServerApi(ChannelFactory factory, Clock& clock,
+                                     RetryPolicy policy)
+    : factory_(std::move(factory)),
+      clock_(clock),
+      policy_(policy),
+      jitter_(policy.jitter_seed) {
+  UUCS_CHECK_MSG(policy_.max_attempts >= 1, "retry needs at least one attempt");
+  UUCS_CHECK_MSG(policy_.base_delay_s > 0, "retry base delay must be positive");
+  UUCS_CHECK_MSG(policy_.max_delay_s >= policy_.base_delay_s,
+                 "retry max delay must be >= base delay");
+}
+
+MessageChannel& RetryingServerApi::channel() {
+  if (!channel_) {
+    ++connects_;
+    channel_ = factory_();
+    UUCS_CHECK_MSG(channel_ != nullptr, "channel factory returned nullptr");
+    api_ = std::make_unique<RemoteServerApi>(*channel_);
+  }
+  return *channel_;
+}
+
+void RetryingServerApi::disconnect() {
+  api_.reset();
+  if (channel_) channel_->close();
+  channel_.reset();
+}
+
+double RetryingServerApi::next_delay() {
+  // Decorrelated jitter: delay ~ U[base, 3 * previous], capped.
+  const double hi = std::max(policy_.base_delay_s,
+                             std::min(policy_.max_delay_s, 3.0 * prev_delay_));
+  const double delay = prev_delay_ <= 0.0
+                           ? policy_.base_delay_s
+                           : jitter_.uniform(policy_.base_delay_s, hi);
+  prev_delay_ = std::min(delay, policy_.max_delay_s);
+  delays_.push_back(prev_delay_);
+  return prev_delay_;
+}
+
+template <typename Op>
+auto RetryingServerApi::with_retries(const char* what, Op&& op) -> decltype(op()) {
+  for (std::size_t attempt = 1;; ++attempt) {
+    try {
+      channel();
+      const auto result = op();
+      prev_delay_ = 0.0;  // success resets the backoff ladder
+      return result;
+    } catch (const Error& e) {
+      // Retry only transport failures: timeouts and OS errors
+      // (SystemError covers both) and torn/garbled wire exchanges
+      // (ProtocolError). A plain Error is the server *answering* with
+      // [error] — the request is wrong, not the network.
+      const bool retryable = dynamic_cast<const SystemError*>(&e) != nullptr ||
+                             dynamic_cast<const ProtocolError*>(&e) != nullptr;
+      disconnect();
+      if (!retryable || attempt >= policy_.max_attempts) throw;
+      ++retries_;
+      const double delay = next_delay();
+      log_warn("retry", strprintf("%s attempt %zu/%zu failed (%s); retrying in %.3fs",
+                                  what, attempt, policy_.max_attempts, e.what(),
+                                  delay));
+      clock_.sleep(delay);
+    }
+  }
+}
+
+Guid RetryingServerApi::register_client(const HostSpec& host) {
+  return with_retries("register", [&] { return api_->register_client(host); });
+}
+
+SyncResponse RetryingServerApi::hot_sync(const SyncRequest& request) {
+  return with_retries("hot sync", [&] { return api_->hot_sync(request); });
+}
+
+}  // namespace uucs

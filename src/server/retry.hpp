@@ -1,0 +1,72 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "server/protocol.hpp"
+#include "util/clock.hpp"
+#include "util/rng.hpp"
+
+namespace uucs {
+
+/// Backoff knobs for RetryingServerApi. Delays use "decorrelated jitter":
+/// each delay is uniform in [base, 3 * previous], capped at max — fast on
+/// the first retry, spread out under sustained failure so a fleet of
+/// clients cannot stampede a recovering server in lockstep.
+struct RetryPolicy {
+  std::size_t max_attempts = 5;  ///< total tries per operation (>= 1)
+  double base_delay_s = 0.5;     ///< floor of every backoff delay
+  double max_delay_s = 30.0;     ///< ceiling of every backoff delay
+  std::uint64_t jitter_seed = 1; ///< seeds the jitter stream (deterministic tests)
+};
+
+/// ServerApi decorator that makes the remote transport survive a hostile
+/// network: transport-level failures (timeouts, disconnects, torn frames,
+/// refused connections) are retried with exponential backoff + jitter over
+/// a fresh channel from `factory`. Application-level failures — the server
+/// answered with an [error] reply — are NOT retried; they mean the request
+/// itself is wrong, and retrying cannot fix it.
+///
+/// Combined with the server's run_id dedup, retrying a hot sync whose
+/// response was lost is safe: the records are acknowledged again, stored
+/// once.
+class RetryingServerApi final : public ServerApi {
+ public:
+  /// Creates the channel for one connection attempt; may throw (treated as
+  /// a retryable failure).
+  using ChannelFactory = std::function<std::unique_ptr<MessageChannel>()>;
+
+  /// `clock` supplies the backoff sleeps (a VirtualClock makes backoff
+  /// unit-testable without real waiting); must outlive the api.
+  RetryingServerApi(ChannelFactory factory, Clock& clock, RetryPolicy policy = {});
+
+  Guid register_client(const HostSpec& host) override;
+  SyncResponse hot_sync(const SyncRequest& request) override;
+
+  /// Drops the current connection; the next operation reconnects.
+  void disconnect();
+
+  std::size_t connects() const { return connects_; }  ///< factory invocations
+  std::size_t retries() const { return retries_; }    ///< failed attempts retried
+  const std::vector<double>& backoff_delays() const { return delays_; }
+
+ private:
+  template <typename Op>
+  auto with_retries(const char* what, Op&& op) -> decltype(op());
+  MessageChannel& channel();
+  double next_delay();
+
+  ChannelFactory factory_;
+  Clock& clock_;
+  RetryPolicy policy_;
+  Rng jitter_;
+  std::unique_ptr<MessageChannel> channel_;
+  std::unique_ptr<RemoteServerApi> api_;
+  std::size_t connects_ = 0;
+  std::size_t retries_ = 0;
+  double prev_delay_ = 0.0;
+  std::vector<double> delays_;
+};
+
+}  // namespace uucs

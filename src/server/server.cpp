@@ -15,12 +15,45 @@ void UucsServer::add_testcase(Testcase tc) { testcases_.add(std::move(tc)); }
 
 void UucsServer::add_testcases(const TestcaseStore& store) { testcases_.merge(store); }
 
+KvRecord UucsServer::registration_record(const Guid& guid,
+                                         const ClientRegistration& reg) const {
+  KvRecord rec = reg.host.to_record();
+  rec.set_type("registration");
+  rec.set("guid", guid.to_string());
+  rec.set_double("registered_at", reg.registered_at);
+  rec.set_int("sync_count", static_cast<std::int64_t>(reg.sync_count));
+  rec.set_int("last_sync_seq", static_cast<std::int64_t>(reg.last_sync_seq));
+  return rec;
+}
+
+void UucsServer::restore_registration(const KvRecord& rec) {
+  ClientRegistration reg;
+  reg.guid = Guid::parse(rec.get("guid"));
+  KvRecord host_rec = rec;
+  host_rec.set_type("host");
+  reg.host = HostSpec::from_record(host_rec);
+  reg.registered_at = rec.get_double_or("registered_at", 0.0);
+  reg.sync_count = static_cast<std::size_t>(rec.get_int_or("sync_count", 0));
+  reg.last_sync_seq =
+      static_cast<std::uint64_t>(rec.get_int_or("last_sync_seq", 0));
+  const Guid guid = reg.guid;
+  clients_[guid] = std::move(reg);
+}
+
+void UucsServer::index_results() {
+  seen_run_ids_.clear();
+  for (const auto& r : results_.records()) {
+    if (!r.run_id.empty()) seen_run_ids_.insert(r.run_id);
+  }
+}
+
 Guid UucsServer::register_client(const HostSpec& host, double now) {
   ClientRegistration reg;
   reg.guid = Guid::generate(rng_);
   reg.host = host;
   reg.registered_at = now;
   const Guid guid = reg.guid;
+  if (journal_) journal_->append(kv_serialize({registration_record(guid, reg)}));
   clients_.emplace(guid, std::move(reg));
   log_info("server", "registered client " + guid.to_string());
   return guid;
@@ -36,6 +69,10 @@ const ClientRegistration& UucsServer::registration(const Guid& guid) const {
   return it->second;
 }
 
+bool UucsServer::has_result(const std::string& run_id) const {
+  return !run_id.empty() && seen_run_ids_.count(run_id) != 0;
+}
+
 SyncResponse UucsServer::hot_sync(const SyncRequest& request) {
   const auto it = clients_.find(request.guid);
   if (it == clients_.end()) {
@@ -44,8 +81,26 @@ SyncResponse UucsServer::hot_sync(const SyncRequest& request) {
   ClientRegistration& reg = it->second;
 
   SyncResponse response;
-  for (const auto& r : request.results) results_.add(r);
-  response.accepted_results = request.results.size();
+  // Exactly-once uploads: a run_id the store already holds is a retry of a
+  // sync whose response was lost — acknowledge it without storing again.
+  std::vector<std::string> journal_entries;
+  for (const auto& r : request.results) {
+    if (!r.run_id.empty()) {
+      if (seen_run_ids_.count(r.run_id) != 0) {
+        ++response.duplicate_results;
+        response.stored_run_ids.push_back(r.run_id);
+        continue;
+      }
+      seen_run_ids_.insert(r.run_id);
+      response.stored_run_ids.push_back(r.run_id);
+    }
+    if (journal_) journal_entries.push_back(kv_serialize({r.to_record()}));
+    results_.add(r);
+    ++response.accepted_results;
+  }
+  // Durable before acknowledged: once the response leaves, a crash cannot
+  // lose what it acked.
+  if (journal_ && !journal_entries.empty()) journal_->append_batch(journal_entries);
 
   // Growing random sample: every sync may add up to sample_batch_ fresh
   // testcases on top of what the client already holds.
@@ -55,7 +110,39 @@ SyncResponse UucsServer::hot_sync(const SyncRequest& request) {
   for (const auto& id : fresh_ids) response.new_testcases.push_back(testcases_.get(id));
   response.server_testcase_count = testcases_.size();
   ++reg.sync_count;
+  if (request.sync_seq > reg.last_sync_seq) reg.last_sync_seq = request.sync_seq;
   return response;
+}
+
+std::size_t UucsServer::attach_journal(const std::string& path) {
+  journal_ = std::make_unique<Journal>(Journal::open(path));
+  index_results();
+  std::size_t recovered = 0;
+  for (const auto& entry : journal_->entries()) {
+    const auto records = kv_parse(entry);
+    if (records.empty()) continue;
+    const KvRecord& rec = records.front();
+    if (rec.type() == "run") {
+      RunRecord r = RunRecord::from_record(rec);
+      if (!r.run_id.empty() && seen_run_ids_.count(r.run_id) != 0) continue;
+      if (!r.run_id.empty()) seen_run_ids_.insert(r.run_id);
+      results_.add(std::move(r));
+      ++recovered;
+    } else if (rec.type() == "registration") {
+      restore_registration(rec);
+      ++recovered;
+    } else {
+      throw ParseError("journal " + path + ": unexpected [" + rec.type() + "] entry");
+    }
+  }
+  if (recovered > 0 || journal_->recovery().dropped_bytes > 0) {
+    log_info("server",
+             "journal " + path + ": recovered " + std::to_string(recovered) +
+                 " entries, dropped " +
+                 std::to_string(journal_->recovery().dropped_bytes) +
+                 " torn bytes");
+  }
+  return recovered;
 }
 
 void UucsServer::save(const std::string& dir) const {
@@ -64,32 +151,23 @@ void UucsServer::save(const std::string& dir) const {
   results_.save(dir + "/results.txt");
   std::vector<KvRecord> regs;
   for (const auto& [guid, reg] : clients_) {
-    KvRecord rec = reg.host.to_record();
-    rec.set_type("registration");
-    rec.set("guid", guid.to_string());
-    rec.set_double("registered_at", reg.registered_at);
-    rec.set_int("sync_count", static_cast<std::int64_t>(reg.sync_count));
-    regs.push_back(std::move(rec));
+    regs.push_back(registration_record(guid, reg));
   }
   kv_save_file(dir + "/registrations.txt", regs);
+  // The snapshot now holds everything the journal was protecting.
+  if (journal_) journal_->compact({});
 }
 
 UucsServer UucsServer::load(const std::string& dir, std::uint64_t seed) {
   UucsServer server(seed);
   server.testcases_ = TestcaseStore::load(dir + "/testcases.txt");
   server.results_ = ResultStore::load(dir + "/results.txt");
+  server.index_results();
   for (const auto& rec : kv_load_file(dir + "/registrations.txt")) {
     if (rec.type() != "registration") {
       throw ParseError("expected [registration] record, got [" + rec.type() + "]");
     }
-    ClientRegistration reg;
-    reg.guid = Guid::parse(rec.get("guid"));
-    KvRecord host_rec = rec;
-    host_rec.set_type("host");
-    reg.host = HostSpec::from_record(host_rec);
-    reg.registered_at = rec.get_double_or("registered_at", 0.0);
-    reg.sync_count = static_cast<std::size_t>(rec.get_int_or("sync_count", 0));
-    server.clients_.emplace(reg.guid, std::move(reg));
+    server.restore_registration(rec);
   }
   return server;
 }

@@ -1,13 +1,16 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "monitor/sysinfo.hpp"
 #include "testcase/run_record.hpp"
 #include "testcase/store.hpp"
 #include "util/guid.hpp"
+#include "util/journal.hpp"
 #include "util/rng.hpp"
 
 namespace uucs {
@@ -20,11 +23,13 @@ struct ClientRegistration {
   HostSpec host;
   double registered_at = 0.0;  ///< server-clock seconds
   std::size_t sync_count = 0;  ///< completed hot syncs (drives sample growth)
+  std::uint64_t last_sync_seq = 0;  ///< highest sync sequence number seen
 };
 
 /// What a client sends on a hot sync.
 struct SyncRequest {
   Guid guid;
+  std::uint64_t sync_seq = 0;  ///< client-monotone sync counter (retries reuse it)
   std::vector<std::string> known_testcase_ids;  ///< already downloaded
   std::vector<RunRecord> results;               ///< new results to upload
 };
@@ -32,7 +37,12 @@ struct SyncRequest {
 /// What the server returns from a hot sync.
 struct SyncResponse {
   std::vector<Testcase> new_testcases;  ///< growing random sample
-  std::size_t accepted_results = 0;
+  std::size_t accepted_results = 0;     ///< newly stored this sync
+  std::size_t duplicate_results = 0;    ///< already held (a retried upload)
+  /// Every uploaded run_id the server now durably holds — new or duplicate.
+  /// The client clears exactly these from its pending store, which makes a
+  /// retry after a lost response exactly-once.
+  std::vector<std::string> stored_run_ids;
   std::size_t server_testcase_count = 0;
 };
 
@@ -41,6 +51,12 @@ struct SyncResponse {
 /// sample* of testcases — combined with the client's local random choice
 /// and Poisson execution times, this makes the fleet execute a random
 /// sample with respect to testcases, users, and times.
+///
+/// Uploads are idempotent: results are deduplicated by run_id, so a client
+/// that retries a hot sync after a lost response stores each record exactly
+/// once. With attach_journal(), every accepted result and registration is
+/// journaled (fsync'd) before it is acknowledged, so a crash between
+/// save() snapshots loses nothing.
 class UucsServer {
  public:
   /// `sample_batch`: how many fresh testcases each hot sync may add.
@@ -59,28 +75,47 @@ class UucsServer {
   const ClientRegistration& registration(const Guid& guid) const;
   std::size_t client_count() const { return clients_.size(); }
 
-  /// Handles one hot sync: stores the uploaded results and returns a fresh
-  /// batch of testcases the client does not have yet. Throws Error for an
-  /// unregistered guid.
+  /// Handles one hot sync: stores the uploaded results (deduplicated by
+  /// run_id) and returns a fresh batch of testcases the client does not
+  /// have yet. Throws Error for an unregistered guid.
   SyncResponse hot_sync(const SyncRequest& request);
+
+  /// True if a result with this run_id has been stored via hot_sync (or
+  /// recovered from a snapshot/journal).
+  bool has_result(const std::string& run_id) const;
 
   /// All results uploaded so far.
   const ResultStore& results() const { return results_; }
   ResultStore& mutable_results() { return results_; }
 
+  /// Opens (creating if needed) an fsync'd append-only journal at `path`,
+  /// replays any entries that survived a crash, and from now on journals
+  /// every accepted result and registration before acknowledging it.
+  /// Returns the number of journal entries recovered.
+  std::size_t attach_journal(const std::string& path);
+  bool has_journal() const { return journal_ != nullptr; }
+  const Journal* journal() const { return journal_.get(); }
+
   /// Persists stores as text files under `dir` (testcases.txt, results.txt,
-  /// registrations.txt).
+  /// registrations.txt). With a journal attached, the journal is compacted
+  /// to empty afterwards — the snapshot now holds everything.
   void save(const std::string& dir) const;
 
   /// Loads stores previously saved with save().
   static UucsServer load(const std::string& dir, std::uint64_t seed = 1);
 
  private:
+  KvRecord registration_record(const Guid& guid, const ClientRegistration& reg) const;
+  void restore_registration(const KvRecord& rec);
+  void index_results();
+
   TestcaseStore testcases_;
   ResultStore results_;
+  std::unordered_set<std::string> seen_run_ids_;  ///< dedup index over results_
   std::map<Guid, ClientRegistration> clients_;
   Rng rng_;
   std::size_t sample_batch_;
+  std::unique_ptr<Journal> journal_;
 };
 
 }  // namespace uucs

@@ -1,5 +1,8 @@
 #include "testcase/run_record.hpp"
 
+#include <algorithm>
+#include <unordered_set>
+
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
@@ -85,6 +88,17 @@ std::vector<RunRecord> ResultStore::drain() {
   std::vector<RunRecord> out = std::move(records_);
   records_.clear();
   return out;
+}
+
+std::size_t ResultStore::remove_ids(const std::vector<std::string>& ids) {
+  const std::unordered_set<std::string> gone(ids.begin(), ids.end());
+  const std::size_t before = records_.size();
+  records_.erase(std::remove_if(records_.begin(), records_.end(),
+                                [&](const RunRecord& r) {
+                                  return gone.count(r.run_id) != 0;
+                                }),
+                 records_.end());
+  return before - records_.size();
 }
 
 void ResultStore::save(const std::string& path) const {

@@ -68,6 +68,10 @@ class ResultStore {
   /// a hot sync).
   std::vector<RunRecord> drain();
 
+  /// Removes every record whose run_id is in `ids`; returns how many were
+  /// removed (the client clears exactly the records the server acked).
+  std::size_t remove_ids(const std::vector<std::string>& ids);
+
   void save(const std::string& path) const;
   static ResultStore load(const std::string& path);
 

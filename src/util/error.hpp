@@ -33,6 +33,15 @@ class ProtocolError : public Error {
   explicit ProtocolError(const std::string& what) : Error("protocol error: " + what) {}
 };
 
+/// A deadline expired on a blocking operation (connect, read, write).
+/// Subclasses SystemError so existing catch sites treat it as an I/O
+/// failure; retry layers catch it specifically to distinguish "slow or
+/// hung peer" from "peer rejected us".
+class TimeoutError : public SystemError {
+ public:
+  explicit TimeoutError(const std::string& what) : SystemError("timeout: " + what) {}
+};
+
 namespace detail {
 [[noreturn]] void throw_check_failure(const char* expr, const char* file, int line,
                                       const std::string& msg);

@@ -1,0 +1,215 @@
+#include "util/journal.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace uucs {
+
+namespace {
+
+void write_fully(int fd, const char* data, std::size_t len, const std::string& path) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::write(fd, data + off, len - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw SystemError("journal write " + path + ": " + std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+void fsync_or_throw(int fd, const std::string& path) {
+  if (::fsync(fd) != 0) {
+    throw SystemError("journal fsync " + path + ": " + std::strerror(errno));
+  }
+}
+
+/// fsyncs the directory containing `path` so a rename inside it is durable.
+void fsync_parent_dir(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.empty() ? "/" : dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return;  // best-effort: some filesystems refuse directory fds
+  ::fsync(fd);
+  ::close(fd);
+}
+
+std::string frame_entry(const std::string& payload) {
+  std::string frame = strprintf("UUCSJ %zu %08x\n", payload.size(), Journal::crc32(payload));
+  frame += payload;
+  frame += '\n';
+  return frame;
+}
+
+std::string read_fd(int fd, const std::string& path) {
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    throw SystemError("journal stat " + path + ": " + std::strerror(errno));
+  }
+  std::string data(static_cast<std::size_t>(st.st_size), '\0');
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::pread(fd, data.data() + off, data.size() - off,
+                              static_cast<off_t>(off));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw SystemError("journal read " + path + ": " + std::strerror(errno));
+    }
+    if (n == 0) {
+      data.resize(off);  // file shrank under us; parse what we have
+      break;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return data;
+}
+
+}  // namespace
+
+std::uint32_t Journal::crc32(const std::string& data) {
+  static const auto table = [] {
+    std::vector<std::uint32_t> t(256);
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xffffffffu;
+  for (const unsigned char b : data) crc = table[(crc ^ b) & 0xffu] ^ (crc >> 8);
+  return crc ^ 0xffffffffu;
+}
+
+Journal Journal::open(const std::string& path) {
+  Journal j;
+  j.path_ = path;
+  j.fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (j.fd_ < 0) {
+    throw SystemError("journal open " + path + ": " + std::strerror(errno));
+  }
+
+  const std::string data = read_fd(j.fd_, path);
+  std::size_t off = 0;
+  std::size_t good = 0;  // offset just past the last intact frame
+  while (off < data.size()) {
+    const auto nl = data.find('\n', off);
+    if (nl == std::string::npos) break;
+    const auto fields = split_ws(std::string_view(data).substr(off, nl - off));
+    if (fields.size() != 3 || fields[0] != "UUCSJ") break;
+    const auto len = parse_int(fields[1]);
+    if (!len || *len < 0) break;
+    char* end = nullptr;
+    const unsigned long crc = std::strtoul(fields[2].c_str(), &end, 16);
+    if (end == nullptr || *end != '\0') break;
+    const std::size_t payload_at = nl + 1;
+    const std::size_t payload_len = static_cast<std::size_t>(*len);
+    if (payload_at + payload_len + 1 > data.size()) break;  // torn tail
+    if (data[payload_at + payload_len] != '\n') break;
+    std::string payload = data.substr(payload_at, payload_len);
+    if (crc32(payload) != static_cast<std::uint32_t>(crc)) break;
+    j.entries_.push_back(std::move(payload));
+    off = payload_at + payload_len + 1;
+    good = off;
+  }
+
+  j.recovery_.entries = j.entries_.size();
+  j.recovery_.dropped_bytes = data.size() - good;
+  if (j.recovery_.dropped_bytes > 0) {
+    if (::ftruncate(j.fd_, static_cast<off_t>(good)) != 0) {
+      throw SystemError("journal truncate " + path + ": " + std::strerror(errno));
+    }
+    fsync_or_throw(j.fd_, path);
+  }
+  j.size_bytes_ = good;
+  return j;
+}
+
+Journal::Journal(Journal&& other) noexcept
+    : path_(std::move(other.path_)),
+      fd_(other.fd_),
+      entries_(std::move(other.entries_)),
+      recovery_(other.recovery_),
+      size_bytes_(other.size_bytes_) {
+  other.fd_ = -1;
+}
+
+Journal& Journal::operator=(Journal&& other) noexcept {
+  if (this != &other) {
+    close();
+    path_ = std::move(other.path_);
+    fd_ = other.fd_;
+    entries_ = std::move(other.entries_);
+    recovery_ = other.recovery_;
+    size_bytes_ = other.size_bytes_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Journal::~Journal() { close(); }
+
+void Journal::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Journal::append(const std::string& payload) { append_batch({payload}); }
+
+void Journal::append_batch(const std::vector<std::string>& payloads) {
+  if (payloads.empty()) return;
+  UUCS_CHECK_MSG(fd_ >= 0, "journal " + path_ + " is closed");
+  std::string buf;
+  for (const auto& p : payloads) buf += frame_entry(p);
+  write_fully(fd_, buf.data(), buf.size(), path_);
+  fsync_or_throw(fd_, path_);
+  for (const auto& p : payloads) entries_.push_back(p);
+  size_bytes_ += buf.size();
+}
+
+void Journal::compact(const std::vector<std::string>& keep) {
+  UUCS_CHECK_MSG(fd_ >= 0, "journal " + path_ + " is closed");
+  const std::string tmp = path_ + ".compact";
+  const int tfd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (tfd < 0) {
+    throw SystemError("journal open " + tmp + ": " + std::strerror(errno));
+  }
+  std::string buf;
+  for (const auto& p : keep) buf += frame_entry(p);
+  try {
+    write_fully(tfd, buf.data(), buf.size(), tmp);
+    fsync_or_throw(tfd, tmp);
+  } catch (...) {
+    ::close(tfd);
+    ::unlink(tmp.c_str());
+    throw;
+  }
+  ::close(tfd);
+  if (::rename(tmp.c_str(), path_.c_str()) != 0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    throw SystemError("journal rename " + tmp + ": " + std::strerror(err));
+  }
+  fsync_parent_dir(path_);
+  // The old fd still points at the replaced inode; reopen the new file.
+  ::close(fd_);
+  fd_ = ::open(path_.c_str(), O_RDWR | O_APPEND | O_CLOEXEC);
+  if (fd_ < 0) {
+    throw SystemError("journal reopen " + path_ + ": " + std::strerror(errno));
+  }
+  entries_ = keep;
+  size_bytes_ = buf.size();
+}
+
+}  // namespace uucs

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace uucs {
+
+/// Crash-durable append-only log of opaque string payloads.
+///
+/// Both sync endpoints ride on this: the client journals pending run
+/// records (and their acks) so a crash mid-session loses nothing, and the
+/// server journals accepted results and registrations between snapshots.
+///
+/// On-disk format, one frame per entry:
+///
+///   UUCSJ <payload-bytes> <crc32-hex>\n<payload>\n
+///
+/// append() fsyncs before returning, so a completed append survives a
+/// SIGKILL or power loss. open() replays the file and tolerates a torn
+/// tail: the first frame that is incomplete or fails its CRC — and
+/// everything after it — is truncated away, and every frame before it is
+/// recovered intact. compact() atomically rewrites the file (tmp + fsync +
+/// rename + directory fsync) so snapshots can drop acknowledged entries.
+class Journal {
+ public:
+  struct RecoveryStats {
+    std::size_t entries = 0;        ///< intact entries replayed at open()
+    std::size_t dropped_bytes = 0;  ///< torn/corrupt tail truncated at open()
+  };
+
+  /// Opens (creating if absent) the journal at `path`, replays every
+  /// intact entry and truncates any torn tail in place. Throws SystemError
+  /// if the file cannot be opened or repaired.
+  static Journal open(const std::string& path);
+
+  Journal(Journal&& other) noexcept;
+  Journal& operator=(Journal&& other) noexcept;
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+  ~Journal();
+
+  const std::string& path() const { return path_; }
+
+  /// Entries recovered at open() plus everything appended since.
+  const std::vector<std::string>& entries() const { return entries_; }
+  const RecoveryStats& recovery() const { return recovery_; }
+  std::size_t size_bytes() const { return size_bytes_; }
+
+  /// Appends one payload (arbitrary bytes, including newlines) and fsyncs.
+  void append(const std::string& payload);
+
+  /// Appends several payloads with a single write + fsync.
+  void append_batch(const std::vector<std::string>& payloads);
+
+  /// Atomically replaces the journal contents with `keep` (snapshot
+  /// compaction). The in-memory entry list becomes `keep`.
+  void compact(const std::vector<std::string>& keep);
+
+  void close();
+
+  /// CRC-32 (IEEE 802.3) of `data`; exposed for tests.
+  static std::uint32_t crc32(const std::string& data);
+
+ private:
+  Journal() = default;
+
+  std::string path_;
+  int fd_ = -1;
+  std::vector<std::string> entries_;
+  RecoveryStats recovery_;
+  std::size_t size_bytes_ = 0;
+};
+
+}  // namespace uucs

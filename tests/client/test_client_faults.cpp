@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "client/client.hpp"
+#include "testcase/suite.hpp"
+#include "util/error.hpp"
+#include "util/fs.hpp"
+
+namespace uucs {
+namespace {
+
+UucsServer make_server(std::size_t cases, std::size_t batch = 4) {
+  UucsServer server(1, batch);
+  for (std::size_t i = 0; i < cases; ++i) {
+    server.add_testcase(make_ramp_testcase(Resource::kCpu, 1.0 + i, 120.0));
+  }
+  return server;
+}
+
+RunRecord make_result(const std::string& id) {
+  RunRecord r;
+  r.run_id = id;
+  r.testcase_id = "cpu-ramp-x1-t120";
+  r.task = "ie";
+  r.offset_s = 120.0;
+  return r;
+}
+
+/// Api whose hot_sync reaches the server but loses the response on the way
+/// back — the classic fault exactly-once protects against.
+class LostResponseApi final : public ServerApi {
+ public:
+  explicit LostResponseApi(ServerApi& inner) : inner_(inner) {}
+  Guid register_client(const HostSpec& host) override {
+    return inner_.register_client(host);
+  }
+  SyncResponse hot_sync(const SyncRequest& request) override {
+    inner_.hot_sync(request);  // the server processed it...
+    throw ProtocolError("response lost in transit");  // ...but we never hear
+  }
+
+ private:
+  ServerApi& inner_;
+};
+
+TEST(ClientExactlyOnce, RetryAfterLostResponseStoresOnce) {
+  UucsServer server = make_server(2);
+  LocalServerApi api(server);
+  LostResponseApi lossy(api);
+  UucsClient client(HostSpec::paper_study_machine());
+  client.ensure_registered(api);
+
+  client.record_result(make_result(client.next_run_id()));
+  client.record_result(make_result(client.next_run_id()));
+  EXPECT_THROW(client.hot_sync(lossy), ProtocolError);
+  // Unacked records stay pending even though the server stored them.
+  EXPECT_EQ(client.pending_results().size(), 2u);
+  EXPECT_EQ(server.results().size(), 2u);
+
+  // The retry is acked as duplicates: stored exactly once, pending cleared.
+  client.hot_sync(api);
+  EXPECT_TRUE(client.pending_results().empty());
+  EXPECT_EQ(server.results().size(), 2u);
+}
+
+TEST(ClientExactlyOnce, SyncSeqIsMonotoneAndTracked) {
+  UucsServer server = make_server(1);
+  LocalServerApi api(server);
+  UucsClient client(HostSpec::paper_study_machine());
+  client.hot_sync(api);
+  client.hot_sync(api);
+  EXPECT_EQ(client.sync_seq(), 2u);
+  EXPECT_EQ(server.registration(client.guid()).last_sync_seq, 2u);
+}
+
+TEST(ClientJournal, CrashBeforeSaveLosesNothing) {
+  TempDir dir;
+  const std::string path = dir.file("pending.journal");
+  UucsServer server = make_server(2);
+  LocalServerApi api(server);
+
+  {
+    UucsClient client(HostSpec::paper_study_machine());
+    EXPECT_EQ(client.attach_journal(path), 0u);
+    client.ensure_registered(api);
+    client.record_result(make_result(client.next_run_id()));
+    client.record_result(make_result(client.next_run_id()));
+    // "Crash": the client goes away without save().
+  }
+
+  UucsClient fresh(HostSpec::paper_study_machine());
+  EXPECT_EQ(fresh.attach_journal(path), 3u);  // guid + two run records
+  EXPECT_TRUE(fresh.registered());
+  ASSERT_EQ(fresh.pending_results().size(), 2u);
+  // Serial numbers continue past journaled runs: no id reuse.
+  EXPECT_EQ(fresh.next_run_id(), fresh.guid().to_string() + "/2");
+
+  fresh.hot_sync(api);
+  EXPECT_TRUE(fresh.pending_results().empty());
+  EXPECT_EQ(server.results().size(), 2u);
+}
+
+TEST(ClientJournal, AcksSurviveCrashToo) {
+  TempDir dir;
+  const std::string path = dir.file("pending.journal");
+  UucsServer server = make_server(1);
+  LocalServerApi api(server);
+
+  std::string synced_id;
+  {
+    UucsClient client(HostSpec::paper_study_machine());
+    client.attach_journal(path);
+    client.ensure_registered(api);
+    synced_id = client.next_run_id();
+    client.record_result(make_result(synced_id));
+    client.hot_sync(api);  // journals the ack
+    client.record_result(make_result(client.next_run_id()));
+    // Crash with one acked and one pending record in the journal.
+  }
+
+  UucsClient fresh(HostSpec::paper_study_machine());
+  fresh.attach_journal(path);
+  // The acked record must NOT be resurrected; the unacked one must be.
+  ASSERT_EQ(fresh.pending_results().size(), 1u);
+  EXPECT_NE(fresh.pending_results().at(0).run_id, synced_id);
+
+  fresh.hot_sync(api);
+  EXPECT_EQ(server.results().size(), 2u);
+}
+
+TEST(ClientJournal, SaveCompactsJournal) {
+  TempDir dir;
+  const std::string path = dir.file("pending.journal");
+  UucsServer server = make_server(1);
+  LocalServerApi api(server);
+
+  UucsClient client(HostSpec::paper_study_machine());
+  client.attach_journal(path);
+  client.ensure_registered(api);
+  for (int i = 0; i < 20; ++i) {
+    client.record_result(make_result(client.next_run_id()));
+  }
+  client.hot_sync(api);
+  const std::size_t before = read_file(path).size();
+  client.save(dir.file("state"));
+  // Everything was acked and snapshotted: the journal shrinks to the
+  // serial + guid stub.
+  EXPECT_LT(read_file(path).size(), before);
+
+  UucsClient fresh(HostSpec::paper_study_machine());
+  fresh.attach_journal(path);
+  EXPECT_TRUE(fresh.pending_results().empty());
+  EXPECT_EQ(fresh.next_run_id(), client.guid().to_string() + "/20");
+}
+
+TEST(ClientJournal, CompactionTriggersAtThreshold) {
+  TempDir dir;
+  const std::string path = dir.file("pending.journal");
+  UucsServer server = make_server(1);
+  LocalServerApi api(server);
+
+  ClientConfig cfg;
+  cfg.journal_compact_bytes = 2048;  // tiny threshold for the test
+  UucsClient client(HostSpec::paper_study_machine(), cfg);
+  client.attach_journal(path);
+  client.ensure_registered(api);
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 5; ++i) {
+      client.record_result(make_result(client.next_run_id()));
+    }
+    client.hot_sync(api);
+  }
+  // 50 records + 50 acks would be far past 2 KiB without compaction.
+  EXPECT_LT(read_file(path).size(), 4096u);
+  EXPECT_EQ(server.results().size(), 50u);
+}
+
+}  // namespace
+}  // namespace uucs

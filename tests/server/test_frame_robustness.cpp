@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "server/net.hpp"
+#include "server/protocol.hpp"
+#include "server/server.hpp"
+#include "util/error.hpp"
+#include "util/kvtext.hpp"
+
+namespace uucs {
+namespace {
+
+/// One connected TCP pair; the reading side has a short deadline so a
+/// malformed frame can never hang the test.
+struct WirePair {
+  TcpListener listener{0};
+  std::unique_ptr<TcpChannel> client;
+  std::unique_ptr<TcpChannel> server_side;
+
+  WirePair() {
+    std::thread acceptor([&] { server_side = listener.accept(); });
+    client = TcpChannel::connect("127.0.0.1", listener.port());
+    acceptor.join();
+    server_side->set_deadlines({0, 0.5, 0.5});
+  }
+};
+
+TEST(FrameRobustness, GarbageHeaderIsTypedError) {
+  WirePair wire;
+  wire.client->write_bytes("not a uucs frame at all\n");
+  EXPECT_THROW(wire.server_side->read(), ProtocolError);
+}
+
+TEST(FrameRobustness, WrongMagicIsTypedError) {
+  WirePair wire;
+  wire.client->write_bytes("HTTP 11\nhello world");
+  EXPECT_THROW(wire.server_side->read(), ProtocolError);
+}
+
+TEST(FrameRobustness, NegativeLengthIsTypedError) {
+  WirePair wire;
+  wire.client->write_bytes("UUCS -5\n");
+  EXPECT_THROW(wire.server_side->read(), ProtocolError);
+}
+
+TEST(FrameRobustness, NonNumericLengthIsTypedError) {
+  WirePair wire;
+  wire.client->write_bytes("UUCS banana\n");
+  EXPECT_THROW(wire.server_side->read(), ProtocolError);
+}
+
+TEST(FrameRobustness, OversizedLengthClaimIsTypedError) {
+  WirePair wire;
+  // Claims 1 TiB: rejected from the header alone, no allocation attempted.
+  wire.client->write_bytes("UUCS 1099511627776\n");
+  EXPECT_THROW(wire.server_side->read(), ProtocolError);
+}
+
+TEST(FrameRobustness, UnterminatedHeaderIsTypedError) {
+  WirePair wire;
+  wire.client->write_bytes(std::string(200, 'U'));  // no newline in 200 bytes
+  EXPECT_THROW(wire.server_side->read(), ProtocolError);
+}
+
+TEST(FrameRobustness, TruncatedPayloadIsTypedError) {
+  WirePair wire;
+  wire.client->write_bytes("UUCS 50\nonly twenty bytes!!");
+  wire.client->close();
+  EXPECT_THROW(wire.server_side->read(), ProtocolError);
+}
+
+TEST(FrameRobustness, CloseMidHeaderIsTypedError) {
+  WirePair wire;
+  wire.client->write_bytes("UUCS 1");
+  wire.client->close();
+  EXPECT_THROW(wire.server_side->read(), ProtocolError);
+}
+
+TEST(FrameRobustness, CleanCloseAtBoundaryIsEof) {
+  WirePair wire;
+  wire.client->write("complete message");
+  wire.client->close();
+  EXPECT_EQ(wire.server_side->read(), "complete message");
+  EXPECT_EQ(wire.server_side->read(), std::nullopt);
+}
+
+/// Well-framed junk payloads must earn an [error] reply, never a crash.
+std::string error_message(UucsServer& server, const std::string& request) {
+  const auto records = kv_parse(dispatch_request(server, request));
+  EXPECT_FALSE(records.empty());
+  EXPECT_EQ(records.front().type(), "error");
+  return records.front().get_or("message", "");
+}
+
+TEST(FrameRobustness, DispatchSurvivesGarbagePayload) {
+  UucsServer server(1, 8);
+  EXPECT_FALSE(error_message(server, "complete garbage \xff\xfe\x01").empty());
+  EXPECT_FALSE(error_message(server, "").empty());
+  EXPECT_FALSE(error_message(server, "[unknown-op]\n").empty());
+  EXPECT_FALSE(error_message(server, "[register-request]\n").empty());  // no host
+  EXPECT_FALSE(
+      error_message(server, "[sync-request]\nguid = not-a-guid\n").empty());
+}
+
+TEST(FrameRobustness, DispatchSurvivesLyingResultCount) {
+  UucsServer server(1, 8);
+  const Guid guid = server.register_client(HostSpec::detect(), 0.0);
+  const std::string request = "[sync-request]\nguid = " + guid.to_string() +
+                              "\nresult_count = 7\n";  // no results attached
+  EXPECT_FALSE(error_message(server, request).empty());
+}
+
+TEST(FrameRobustness, ServeChannelRepliesErrorAndKeepsGoing) {
+  UucsServer server(1, 8);
+  WirePair wire;
+  std::thread server_thread([&] {
+    try {
+      serve_channel(server, *wire.server_side);
+    } catch (const Error&) {
+      // torn connection at the end of the test
+    }
+  });
+
+  // A framed-but-garbage request earns an [error] reply...
+  wire.client->write("this is not kv text [");
+  auto reply = wire.client->read();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(kv_parse(*reply).front().type(), "error");
+
+  // ...and the connection still works for a real request afterwards.
+  wire.client->write(encode_register_request(HostSpec::detect()));
+  reply = wire.client->read();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(kv_parse(*reply).front().type(), "register-response");
+
+  wire.client->close();
+  server_thread.join();
+}
+
+}  // namespace
+}  // namespace uucs

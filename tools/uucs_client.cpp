@@ -8,6 +8,15 @@
 /// Usage: uucs_client [--server HOST] [--port P] [--dir STATE_DIR]
 ///                    [--task LABEL] [--interarrival SECONDS]
 ///                    [--sync SECONDS] [--duration SECONDS]
+///                    [--timeout SECONDS] [--connect-timeout SECONDS]
+///                    [--retries N]
+///
+/// Fault tolerance: every run record is journaled (fsync'd) to
+/// DIR/pending.journal before it is queued, so a crash or SIGKILL loses no
+/// completed run. Transport failures are retried with exponential backoff +
+/// jitter over a fresh connection (--retries attempts, --timeout per-message
+/// deadline), and the server deduplicates uploads by run_id, so a retried
+/// sync stores each record exactly once.
 
 #include <csignal>
 #include <unistd.h>
@@ -19,6 +28,7 @@
 
 #include "client/daemon.hpp"
 #include "server/net.hpp"
+#include "server/retry.hpp"
 #include "util/fs.hpp"
 #include "util/logging.hpp"
 
@@ -33,7 +43,8 @@ void on_signal(int) {
 [[noreturn]] void usage() {
   std::fprintf(stderr,
                "usage: uucs_client [--server HOST] [--port P] [--dir DIR] "
-               "[--task LABEL] [--interarrival S] [--sync S] [--duration S]\n");
+               "[--task LABEL] [--interarrival S] [--sync S] [--duration S] "
+               "[--timeout S] [--connect-timeout S] [--retries N]\n");
   std::exit(2);
 }
 
@@ -69,6 +80,13 @@ int main(int argc, char** argv) {
       config.sync_interval_s = std::stod(next());
     } else if (arg == "--duration") {
       duration = std::stod(next());
+    } else if (arg == "--timeout") {
+      config.io_timeout_s = std::stod(next());
+    } else if (arg == "--connect-timeout") {
+      config.connect_timeout_s = std::stod(next());
+    } else if (arg == "--retries") {
+      config.sync_max_attempts = std::stoul(next());
+      if (config.sync_max_attempts == 0) usage();
     } else {
       usage();
     }
@@ -86,10 +104,30 @@ int main(int argc, char** argv) {
     std::printf("new client on %s\n", client->host().hostname.c_str());
   }
 
-  auto channel = TcpChannel::connect(host, port);
-  RemoteServerApi api(*channel);
+  // Crash durability: journal run records and acks before anything else.
+  make_dirs(dir);
+  const std::size_t replayed = client->attach_journal(dir + "/pending.journal");
+  if (replayed > 0) {
+    std::printf("replayed %zu journal entries (%zu results pending)\n", replayed,
+                client->pending_results().size());
+  }
 
   RealClock clock;
+
+  // Reconnect-and-retry transport: every attempt gets a fresh deadline-bound
+  // connection; backoff uses decorrelated jitter so a client fleet cannot
+  // stampede a recovering server.
+  RetryPolicy retry_policy;
+  retry_policy.max_attempts = config.sync_max_attempts;
+  retry_policy.base_delay_s = config.retry_base_delay_s;
+  retry_policy.max_delay_s = config.retry_max_delay_s;
+  retry_policy.jitter_seed = static_cast<std::uint64_t>(::getpid());
+  const ChannelDeadlines deadlines{config.connect_timeout_s, config.io_timeout_s,
+                                   config.io_timeout_s};
+  RetryingServerApi api(
+      [host, port, deadlines] { return TcpChannel::connect(host, port, deadlines); },
+      clock, retry_policy);
+
   ExerciserConfig exerciser_config;
   exerciser_config.subinterval_s = 0.01;
   ExerciserSet exercisers(clock, exerciser_config);

@@ -14,8 +14,15 @@
 ///                                              run the controlled study;
 ///                                              --trace records every
 ///                                              simulation event
+///   uucsctl chaos   HOST PORT [--seed N | --schedule SPEC] [--syncs K]
+///                                              replay a fault schedule
+///                                              against a live server and
+///                                              verify exactly-once uploads
 ///
 /// SPEC for `make`: ramp RESOURCE X T | step RESOURCE X T B | blank T
+/// SPEC for `chaos --schedule`: OP:KIND[,OP:KIND...], KIND one of
+/// drop | disconnect | delay[=S] | truncate | garbage (OP = 0-based
+/// channel-operation index)
 
 #include <algorithm>
 #include <cstdio>
@@ -26,9 +33,13 @@
 
 #include "analysis/breakdown.hpp"
 #include "analysis/export.hpp"
+#include "client/client.hpp"
 #include "core/comfort_profile.hpp"
+#include "server/fault_injection.hpp"
+#include "server/retry.hpp"
 #include "study/controlled_study.hpp"
 #include "testcase/suite.hpp"
+#include "util/clock.hpp"
 #include "util/fs.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
@@ -39,7 +50,7 @@ using namespace uucs;
 
 [[noreturn]] void usage() {
   std::fprintf(stderr,
-               "usage: uucsctl list|show|make|results|metrics|cdf|profile|suite ...\n"
+               "usage: uucsctl list|show|make|results|metrics|cdf|profile|suite|chaos ...\n"
                "  list    STORE.txt\n"
                "  show    STORE.txt ID\n"
                "  make    STORE.txt ramp RES X T | step RES X T B | blank T\n"
@@ -51,7 +62,11 @@ using namespace uucs;
                "          (JOBS: engine workers; 0 = hardware concurrency, "
                "any value is bit-identical;\n"
                "           --trace writes the fired-event log, default "
-               "OUT.txt.trace)\n");
+               "OUT.txt.trace)\n"
+               "  chaos   HOST PORT [--seed N | --schedule SPEC] [--syncs K]\n"
+               "          [--retries N] [--timeout S]\n"
+               "          (drives a live server through injected faults and "
+               "verifies\n           every upload is stored exactly once)\n");
   std::exit(2);
 }
 
@@ -224,6 +239,114 @@ int cmd_study(const std::string& out, const std::vector<std::string>& raw) {
   return 0;
 }
 
+int cmd_chaos(const std::string& host, std::uint16_t port,
+              const std::vector<std::string>& raw) {
+  std::uint64_t seed = 1;
+  std::string spec;
+  std::size_t syncs = 5;
+  std::size_t retries = 10;
+  double io_timeout_s = 2.0;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    auto next = [&]() -> std::string {
+      if (++i >= raw.size()) usage();
+      return raw[i];
+    };
+    if (raw[i] == "--seed") {
+      seed = std::stoull(next());
+    } else if (raw[i] == "--schedule") {
+      spec = next();
+    } else if (raw[i] == "--syncs") {
+      syncs = std::stoul(next());
+    } else if (raw[i] == "--retries") {
+      retries = std::stoul(next());
+      if (retries == 0) usage();
+    } else if (raw[i] == "--timeout") {
+      io_timeout_s = std::stod(next());
+    } else {
+      usage();
+    }
+  }
+
+  auto schedule = std::make_shared<FaultSchedule>(
+      spec.empty() ? FaultSchedule::seeded(seed, FaultProfile::moderate())
+                   : parse_fault_schedule(spec));
+  FaultyChannel::Stats stats;
+  RealClock clock;
+  RetryPolicy policy;
+  policy.max_attempts = retries;
+  policy.base_delay_s = 0.05;
+  policy.max_delay_s = 1.0;
+  policy.jitter_seed = seed;
+  const ChannelDeadlines deadlines{5.0, io_timeout_s, 5.0};
+  RetryingServerApi api(
+      [&] {
+        return std::make_unique<FaultyChannel>(
+            TcpChannel::connect(host, port, deadlines), schedule, &stats);
+      },
+      clock, policy);
+
+  UucsClient client(HostSpec::detect());
+  client.ensure_registered(api);
+  std::printf("registered as %s; driving %zu syncs through %s faults\n",
+              client.guid().to_string().c_str(), syncs,
+              spec.empty() ? strprintf("seed-%llu", (unsigned long long)seed).c_str()
+                           : "scripted");
+
+  std::vector<RunRecord> minted;
+  for (std::size_t round = 0; round < syncs; ++round) {
+    for (int i = 0; i < 2; ++i) {
+      RunRecord r;
+      r.run_id = client.next_run_id();
+      r.testcase_id = "chaos-probe";
+      r.task = "chaos";
+      r.offset_s = static_cast<double>(round);
+      minted.push_back(r);
+      client.record_result(r);
+    }
+    for (int attempt = 0; attempt < 20 && !client.pending_results().empty();
+         ++attempt) {
+      try {
+        client.hot_sync(api);
+      } catch (const std::exception& e) {
+        std::printf("  sync round %zu: %s (retrying)\n", round, e.what());
+      }
+    }
+  }
+  api.disconnect();
+
+  std::printf("channel ops %zu, faults %zu (drop %zu, disconnect %zu, delay %zu, "
+              "truncate %zu, garbage %zu); %zu reconnects, %zu retried attempts\n",
+              stats.ops, stats.faults(), stats.drops, stats.disconnects,
+              stats.delays, stats.truncations, stats.garbage, api.connects(),
+              api.retries());
+
+  if (!client.pending_results().empty()) {
+    std::printf("FAIL: %zu records never acknowledged\n",
+                client.pending_results().size());
+    return 1;
+  }
+
+  // Verification over a clean connection: re-uploading every minted record
+  // must come back 100%% duplicate — each is already stored, exactly once.
+  auto clean = TcpChannel::connect(host, port, deadlines);
+  RemoteServerApi direct(*clean);
+  SyncRequest verify;
+  verify.guid = client.guid();
+  verify.sync_seq = client.sync_seq() + 1;
+  verify.results = minted;
+  const SyncResponse response = direct.hot_sync(verify);
+  clean->close();
+  if (response.duplicate_results != minted.size() ||
+      response.accepted_results != 0) {
+    std::printf("FAIL: server holds %zu of %zu uploads (%zu stored twice?)\n",
+                response.duplicate_results, minted.size(),
+                response.accepted_results);
+    return 1;
+  }
+  std::printf("OK: all %zu uploads stored exactly once\n", minted.size());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -246,6 +369,11 @@ int main(int argc, char** argv) {
     }
     if (cmd == "study") {
       return cmd_study(argv[2], {argv + 3, argv + argc});
+    }
+    if (cmd == "chaos" && argc >= 4) {
+      return cmd_chaos(argv[2],
+                       static_cast<std::uint16_t>(std::stoul(argv[3])),
+                       {argv + 4, argv + argc});
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "uucsctl: %s\n", e.what());

@@ -26,7 +26,18 @@ UucsClient::UucsClient(HostSpec host, const ClientConfig& config)
 
 void UucsClient::ensure_registered(ServerApi& server) {
   if (registered()) return;
-  guid_ = server.register_client(host_);
+  if (reg_nonce_.empty()) {
+    // Idempotency key for registration retries. Minted from a *copy* of the
+    // scheduling RNG so the stream itself is untouched (deterministic
+    // studies stay bit-identical); uniqueness rides on the per-client seed,
+    // which the studies draw from the population stream and the live binary
+    // takes from process entropy. The hostname is mixed in as a tiebreak.
+    Rng probe = rng_;
+    reg_nonce_ = strprintf("%s-%016llx%016llx", host_.hostname.c_str(),
+                           static_cast<unsigned long long>(probe()),
+                           static_cast<unsigned long long>(probe()));
+  }
+  guid_ = server.register_client(host_, reg_nonce_);
   if (journal_) journal_->append("guid " + guid_.to_string());
   log_info("client", "registered as " + guid_.to_string());
 }
@@ -46,6 +57,13 @@ std::size_t UucsClient::hot_sync(ServerApi& server) {
   // Copies, not a drain: pending records stay queued until the server acks
   // their run_ids, so a failure anywhere below leaves nothing to restore.
   request.results = pending_results_.records();
+  // Journal the seq advance *before* the server can observe it: if we crash
+  // after the request leaves, replay restores a value >= anything the
+  // server saw, keeping the sequence client-monotone across crashes.
+  if (journal_) {
+    journal_->append(strprintf("seq %llu",
+                               static_cast<unsigned long long>(request.sync_seq)));
+  }
   const SyncResponse response = server.hot_sync(request);
   sync_seq_ = request.sync_seq;
   if (!request.results.empty()) {
@@ -95,6 +113,13 @@ void UucsClient::replay_journal_entry(const std::string& entry) {
     }
     return;
   }
+  if (has_prefix(entry, "seq ")) {
+    const auto n = parse_int(entry.substr(4));
+    if (n && *n >= 0 && static_cast<std::uint64_t>(*n) > sync_seq_) {
+      sync_seq_ = static_cast<std::uint64_t>(*n);
+    }
+    return;
+  }
   const auto records = kv_parse(entry);
   if (records.empty() || records.front().type() != "run") {
     throw ParseError("client journal: unrecognized entry '" +
@@ -130,6 +155,10 @@ std::vector<std::string> UucsClient::journal_keep_entries() const {
   std::vector<std::string> keep;
   keep.push_back(strprintf("serial %llu",
                            static_cast<unsigned long long>(run_serial_)));
+  if (sync_seq_ > 0) {
+    keep.push_back(strprintf("seq %llu",
+                             static_cast<unsigned long long>(sync_seq_)));
+  }
   if (registered()) keep.push_back("guid " + guid_.to_string());
   for (const auto& r : pending_results_.records()) {
     keep.push_back(kv_serialize({r.to_record()}));
@@ -165,7 +194,8 @@ void UucsClient::save(const std::string& dir) const {
   rec.set_int("sync_seq", static_cast<std::int64_t>(sync_seq_));
   std::vector<KvRecord> records{rec, host_.to_record()};
   kv_save_file(dir + "/client.txt", records);
-  // The snapshot now carries the state; shrink the journal to match.
+  // The snapshot files are written atomically + durably, so shrinking the
+  // journal afterwards never leaves acked state protected by neither.
   if (journal_) journal_->compact(journal_keep_entries());
 }
 

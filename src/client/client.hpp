@@ -71,7 +71,9 @@ class UucsClient {
   std::size_t hot_sync(ServerApi& server);
 
   /// Monotone sequence number stamped on each sync request (the server
-  /// keeps the high-water mark per client).
+  /// keeps the high-water mark per client). With a journal attached the
+  /// advance is journaled before the request is sent, so monotonicity
+  /// holds across a crash + journal replay as well.
   std::uint64_t sync_seq() const { return sync_seq_; }
 
   /// Opens (creating if absent) the crash-durability journal at `path`,
@@ -114,6 +116,7 @@ class UucsClient {
   Rng rng_;
   std::uint64_t run_serial_ = 0;
   std::uint64_t sync_seq_ = 0;
+  std::string reg_nonce_;  ///< idempotency key for this client's registration
   std::unique_ptr<Journal> journal_;
 
  public:

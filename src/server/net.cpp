@@ -203,6 +203,10 @@ std::optional<std::string> TcpChannel::read() {
   return payload;
 }
 
+void TcpChannel::shutdown_rw() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
 void TcpChannel::close() {
   if (fd_ >= 0) {
     ::shutdown(fd_, SHUT_RDWR);
@@ -212,45 +216,48 @@ void TcpChannel::close() {
 }
 
 TcpListener::TcpListener(std::uint16_t port) {
-  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd_ < 0) throw SystemError(std::string("socket: ") + std::strerror(errno));
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw SystemError(std::string("socket: ") + std::strerror(errno));
   const int one = 1;
-  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     const int err = errno;
-    ::close(fd_);
-    fd_ = -1;
+    ::close(fd);
     throw SystemError(std::string("bind: ") + std::strerror(err));
   }
-  if (::listen(fd_, 16) != 0) {
+  if (::listen(fd, 16) != 0) {
     const int err = errno;
-    ::close(fd_);
-    fd_ = -1;
+    ::close(fd);
     throw SystemError(std::string("listen: ") + std::strerror(err));
   }
   socklen_t len = sizeof(addr);
-  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
     port_ = ntohs(addr.sin_port);
   }
+  fd_.store(fd, std::memory_order_release);
 }
 
 TcpListener::~TcpListener() { shutdown(); }
 
 std::unique_ptr<TcpChannel> TcpListener::accept() {
-  if (fd_ < 0) return nullptr;
+  // Load once: shutdown() may swap fd_ to -1 concurrently; a stale fd is
+  // fine (the close makes the blocked accept fail, and shutting_down_
+  // turns that failure into a clean nullptr).
+  const int lfd = fd_.load(std::memory_order_acquire);
+  if (lfd < 0) return nullptr;
   for (;;) {
-    const int client = ::accept(fd_, nullptr, nullptr);
+    const int client = ::accept(lfd, nullptr, nullptr);
     if (client >= 0) {
       const int one = 1;
       ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
       return std::make_unique<TcpChannel>(client);
     }
     const int err = errno;
-    if (err == EINTR) continue;
+    if (err == EINTR && !shutting_down_.load(std::memory_order_acquire)) continue;
     if (shutting_down_.load(std::memory_order_acquire)) return nullptr;
     throw SystemError(std::string("accept: ") + std::strerror(err));
   }
@@ -258,10 +265,10 @@ std::unique_ptr<TcpChannel> TcpListener::accept() {
 
 void TcpListener::shutdown() {
   shutting_down_.store(true, std::memory_order_release);
-  if (fd_ >= 0) {
-    ::shutdown(fd_, SHUT_RDWR);
-    ::close(fd_);
-    fd_ = -1;
+  const int fd = fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
   }
 }
 

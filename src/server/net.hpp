@@ -47,6 +47,12 @@ class TcpChannel final : public MessageChannel {
 
   void close() override;
 
+  /// Half-closes both directions without releasing the fd: a thread blocked
+  /// in read()/write() on this channel unblocks with EOF / a peer-closed
+  /// error. Unlike close(), this is safe to call from another thread while
+  /// the channel is in use (the fd stays valid until close()).
+  void shutdown_rw();
+
   /// The framed wire bytes write() would send for `payload`. Exposed so
   /// fault injection and tests can craft truncated or corrupt frames.
   static std::string frame(const std::string& payload);
@@ -76,11 +82,12 @@ class TcpListener {
   /// instead of being silently conflated with shutdown.
   std::unique_ptr<TcpChannel> accept();
 
-  /// Unblocks accept() and closes the listening socket.
+  /// Unblocks accept() and closes the listening socket. Safe to call from
+  /// any thread (e.g. a signal-driven shutdown path) and idempotent.
   void shutdown();
 
  private:
-  int fd_ = -1;
+  std::atomic<int> fd_{-1};  ///< atomic: shutdown() races with accept()
   std::uint16_t port_ = 0;
   std::atomic<bool> shutting_down_{false};
 };

@@ -17,9 +17,10 @@ void check_id(const std::string& id) {
 
 }  // namespace
 
-std::string encode_register_request(const HostSpec& host) {
+std::string encode_register_request(const HostSpec& host, const std::string& nonce) {
   KvRecord head("register-request");
   head.set_int("version", 1);
+  if (!nonce.empty()) head.set("nonce", nonce);
   return kv_serialize({head, host.to_record()});
 }
 
@@ -117,7 +118,8 @@ std::string dispatch_request(UucsServer& server, const std::string& request,
     if (op == "register-request") {
       if (records.size() < 2) return encode_error("register request missing host");
       const HostSpec host = HostSpec::from_record(records[1]);
-      const Guid guid = server.register_client(host, clock ? clock->now() : 0.0);
+      const Guid guid = server.register_client(host, clock ? clock->now() : 0.0,
+                                               records.front().get_or("nonce", ""));
       return encode_register_response(guid);
     }
     if (op == "sync-request") {
@@ -143,8 +145,8 @@ std::string RemoteServerApi::round_trip(const std::string& request) {
   return *response;
 }
 
-Guid RemoteServerApi::register_client(const HostSpec& host) {
-  const auto records = kv_parse(round_trip(encode_register_request(host)));
+Guid RemoteServerApi::register_client(const HostSpec& host, const std::string& nonce) {
+  const auto records = kv_parse(round_trip(encode_register_request(host, nonce)));
   if (records.empty()) throw ProtocolError("empty register response");
   if (records.front().type() == "error") {
     throw Error("server error: " + records.front().get("message"));

@@ -17,8 +17,13 @@ class ServerApi {
  public:
   virtual ~ServerApi() = default;
 
-  /// Registers the client machine; returns the assigned GUID.
-  virtual Guid register_client(const HostSpec& host) = 0;
+  /// Registers the client machine; returns the assigned GUID. A non-empty
+  /// `nonce` makes the call idempotent: the server remembers nonce -> GUID,
+  /// so a retry after a lost response returns the existing registration
+  /// instead of minting an orphan. Nonce uniqueness is the caller's
+  /// contract (UucsClient derives it from its per-client seed).
+  virtual Guid register_client(const HostSpec& host,
+                               const std::string& nonce = "") = 0;
 
   /// Performs one hot sync.
   virtual SyncResponse hot_sync(const SyncRequest& request) = 0;
@@ -30,8 +35,8 @@ class LocalServerApi final : public ServerApi {
   explicit LocalServerApi(UucsServer& server, Clock* clock = nullptr)
       : server_(server), clock_(clock) {}
 
-  Guid register_client(const HostSpec& host) override {
-    return server_.register_client(host, clock_ ? clock_->now() : 0.0);
+  Guid register_client(const HostSpec& host, const std::string& nonce = "") override {
+    return server_.register_client(host, clock_ ? clock_->now() : 0.0, nonce);
   }
   SyncResponse hot_sync(const SyncRequest& request) override {
     return server_.hot_sync(request);
@@ -55,7 +60,8 @@ class MessageChannel {
 /// Wire codec: messages are the library's key-value text format, with the
 /// record type of the first record naming the operation
 /// (register-request/-response, sync-request/-response, error).
-std::string encode_register_request(const HostSpec& host);
+std::string encode_register_request(const HostSpec& host,
+                                    const std::string& nonce = "");
 std::string encode_register_response(const Guid& guid);
 std::string encode_sync_request(const SyncRequest& request);
 std::string encode_sync_response(const SyncResponse& response);
@@ -75,7 +81,7 @@ class RemoteServerApi final : public ServerApi {
  public:
   explicit RemoteServerApi(MessageChannel& channel) : channel_(channel) {}
 
-  Guid register_client(const HostSpec& host) override;
+  Guid register_client(const HostSpec& host, const std::string& nonce = "") override;
   SyncResponse hot_sync(const SyncRequest& request) override;
 
  private:

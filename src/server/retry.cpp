@@ -75,8 +75,13 @@ auto RetryingServerApi::with_retries(const char* what, Op&& op) -> decltype(op()
   }
 }
 
-Guid RetryingServerApi::register_client(const HostSpec& host) {
-  return with_retries("register", [&] { return api_->register_client(host); });
+Guid RetryingServerApi::register_client(const HostSpec& host,
+                                        const std::string& nonce) {
+  // Every attempt carries the same nonce: if the server registered us but
+  // the response was lost, the retry resolves to the existing GUID instead
+  // of leaking an orphan registration.
+  return with_retries("register",
+                      [&] { return api_->register_client(host, nonce); });
 }
 
 SyncResponse RetryingServerApi::hot_sync(const SyncRequest& request) {

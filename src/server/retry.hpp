@@ -30,7 +30,8 @@ struct RetryPolicy {
 ///
 /// Combined with the server's run_id dedup, retrying a hot sync whose
 /// response was lost is safe: the records are acknowledged again, stored
-/// once.
+/// once. Registration retries reuse the caller's nonce, so the server's
+/// nonce dedup keeps a retried register exactly-once too.
 class RetryingServerApi final : public ServerApi {
  public:
   /// Creates the channel for one connection attempt; may throw (treated as
@@ -41,7 +42,7 @@ class RetryingServerApi final : public ServerApi {
   /// unit-testable without real waiting); must outlive the api.
   RetryingServerApi(ChannelFactory factory, Clock& clock, RetryPolicy policy = {});
 
-  Guid register_client(const HostSpec& host) override;
+  Guid register_client(const HostSpec& host, const std::string& nonce = "") override;
   SyncResponse hot_sync(const SyncRequest& request) override;
 
   /// Drops the current connection; the next operation reconnects.

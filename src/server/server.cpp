@@ -23,6 +23,7 @@ KvRecord UucsServer::registration_record(const Guid& guid,
   rec.set_double("registered_at", reg.registered_at);
   rec.set_int("sync_count", static_cast<std::int64_t>(reg.sync_count));
   rec.set_int("last_sync_seq", static_cast<std::int64_t>(reg.last_sync_seq));
+  if (!reg.nonce.empty()) rec.set("nonce", reg.nonce);
   return rec;
 }
 
@@ -36,7 +37,9 @@ void UucsServer::restore_registration(const KvRecord& rec) {
   reg.sync_count = static_cast<std::size_t>(rec.get_int_or("sync_count", 0));
   reg.last_sync_seq =
       static_cast<std::uint64_t>(rec.get_int_or("last_sync_seq", 0));
+  reg.nonce = rec.get_or("nonce", "");
   const Guid guid = reg.guid;
+  if (!reg.nonce.empty()) reg_nonces_[reg.nonce] = guid;
   clients_[guid] = std::move(reg);
 }
 
@@ -47,13 +50,26 @@ void UucsServer::index_results() {
   }
 }
 
-Guid UucsServer::register_client(const HostSpec& host, double now) {
+Guid UucsServer::register_client(const HostSpec& host, double now,
+                                 const std::string& nonce) {
+  if (!nonce.empty()) {
+    const auto it = reg_nonces_.find(nonce);
+    if (it != reg_nonces_.end()) {
+      // Retry of a registration whose response was lost: same client, same
+      // GUID — no orphan row, nothing new to journal.
+      log_info("server", "duplicate registration (nonce " + nonce +
+                             ") -> existing client " + it->second.to_string());
+      return it->second;
+    }
+  }
   ClientRegistration reg;
   reg.guid = Guid::generate(rng_);
   reg.host = host;
   reg.registered_at = now;
+  reg.nonce = nonce;
   const Guid guid = reg.guid;
   if (journal_) journal_->append(kv_serialize({registration_record(guid, reg)}));
+  if (!nonce.empty()) reg_nonces_[nonce] = guid;
   clients_.emplace(guid, std::move(reg));
   log_info("server", "registered client " + guid.to_string());
   return guid;
@@ -154,7 +170,9 @@ void UucsServer::save(const std::string& dir) const {
     regs.push_back(registration_record(guid, reg));
   }
   kv_save_file(dir + "/registrations.txt", regs);
-  // The snapshot now holds everything the journal was protecting.
+  // Each snapshot file above is written atomically + durably (tmp + fsync +
+  // rename), so only after all of them are safely on disk may the journal —
+  // the only other copy of acknowledged data — be compacted away.
   if (journal_) journal_->compact({});
 }
 

@@ -24,6 +24,7 @@ struct ClientRegistration {
   double registered_at = 0.0;  ///< server-clock seconds
   std::size_t sync_count = 0;  ///< completed hot syncs (drives sample growth)
   std::uint64_t last_sync_seq = 0;  ///< highest sync sequence number seen
+  std::string nonce;  ///< client-supplied idempotency key ("" = none)
 };
 
 /// What a client sends on a hot sync.
@@ -68,7 +69,12 @@ class UucsServer {
   const TestcaseStore& testcases() const { return testcases_; }
 
   /// Registers a client and returns its new globally unique identifier.
-  Guid register_client(const HostSpec& host, double now = 0.0);
+  /// A non-empty `nonce` makes registration idempotent: if a registration
+  /// with the same nonce already exists (this process, a journal replay, or
+  /// a snapshot), its GUID is returned instead of minting an orphan — so a
+  /// client retrying after a lost register response stays one client.
+  Guid register_client(const HostSpec& host, double now = 0.0,
+                       const std::string& nonce = "");
 
   /// True if `guid` belongs to a registered client.
   bool is_registered(const Guid& guid) const;
@@ -113,6 +119,7 @@ class UucsServer {
   ResultStore results_;
   std::unordered_set<std::string> seen_run_ids_;  ///< dedup index over results_
   std::map<Guid, ClientRegistration> clients_;
+  std::map<std::string, Guid> reg_nonces_;  ///< registration idempotency index
   Rng rng_;
   std::size_t sample_batch_;
   std::unique_ptr<Journal> journal_;

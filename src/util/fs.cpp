@@ -1,5 +1,9 @@
 #include "util/fs.hpp"
 
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <cerrno>
 #include <cstdio>
@@ -23,17 +27,47 @@ std::string read_file(const std::string& path) {
   return buf.str();
 }
 
+void fsync_parent_dir(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd =
+      ::open(dir.empty() ? "/" : dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return;  // best-effort: some filesystems refuse directory fds
+  ::fsync(fd);
+  ::close(fd);
+}
+
 void write_file(const std::string& path, const std::string& content) {
   const std::string tmp = path + ".tmp";
-  {
-    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
-    if (!f) throw SystemError("cannot write " + tmp);
-    f << content;
-    if (!f) throw SystemError("write failed for " + tmp);
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    throw SystemError("cannot write " + tmp + ": " + std::strerror(errno));
   }
-  std::error_code ec;
-  fs::rename(tmp, path, ec);
-  if (ec) throw SystemError("rename " + tmp + " -> " + path + ": " + ec.message());
+  try {
+    std::size_t off = 0;
+    while (off < content.size()) {
+      const ssize_t n = ::write(fd, content.data() + off, content.size() - off);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw SystemError("write " + tmp + ": " + std::strerror(errno));
+      }
+      off += static_cast<std::size_t>(n);
+    }
+    if (::fsync(fd) != 0) {
+      throw SystemError("fsync " + tmp + ": " + std::strerror(errno));
+    }
+  } catch (...) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw;
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    throw SystemError("rename " + tmp + " -> " + path + ": " + std::strerror(err));
+  }
+  fsync_parent_dir(path);
 }
 
 bool path_exists(const std::string& path) {

@@ -8,8 +8,16 @@ namespace uucs {
 /// Reads the whole file into a string; throws SystemError if unreadable.
 std::string read_file(const std::string& path);
 
-/// Writes `content` atomically-ish (write + rename) to `path`.
+/// Atomically and durably replaces `path` with `content`: writes a temp
+/// file, fsyncs it, renames it over `path`, and fsyncs the parent
+/// directory. A crash or power loss at any point leaves either the old or
+/// the new content intact — never a truncated or torn file.
 void write_file(const std::string& path, const std::string& content);
+
+/// fsyncs the directory containing `path` so a rename inside it is
+/// durable. Best-effort: silently ignored on filesystems that refuse
+/// directory fds.
+void fsync_parent_dir(const std::string& path);
 
 /// True if `path` exists (any file type).
 bool path_exists(const std::string& path);

@@ -9,6 +9,7 @@
 #include <cstring>
 
 #include "util/error.hpp"
+#include "util/fs.hpp"
 #include "util/strings.hpp"
 
 namespace uucs {
@@ -31,16 +32,6 @@ void fsync_or_throw(int fd, const std::string& path) {
   if (::fsync(fd) != 0) {
     throw SystemError("journal fsync " + path + ": " + std::strerror(errno));
   }
-}
-
-/// fsyncs the directory containing `path` so a rename inside it is durable.
-void fsync_parent_dir(const std::string& path) {
-  const auto slash = path.find_last_of('/');
-  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
-  const int fd = ::open(dir.empty() ? "/" : dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
-  if (fd < 0) return;  // best-effort: some filesystems refuse directory fds
-  ::fsync(fd);
-  ::close(fd);
 }
 
 std::string frame_entry(const std::string& payload) {

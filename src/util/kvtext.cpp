@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "util/error.hpp"
+#include "util/fs.hpp"
 #include "util/strings.hpp"
 
 namespace uucs {
@@ -158,10 +159,10 @@ std::vector<KvRecord> kv_load_file(const std::string& path) {
 }
 
 void kv_save_file(const std::string& path, const std::vector<KvRecord>& records) {
-  std::ofstream f(path, std::ios::trunc);
-  if (!f) throw SystemError("cannot write " + path);
-  f << kv_serialize(records);
-  if (!f) throw SystemError("write failed for " + path);
+  // Atomic + durable (tmp + fsync + rename): snapshot files must never be
+  // caught mid-truncate by a crash, because save() compacts the journal
+  // that would otherwise protect their contents.
+  write_file(path, kv_serialize(records));
 }
 
 }  // namespace uucs

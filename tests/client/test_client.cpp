@@ -78,8 +78,8 @@ TEST(UucsClient, FailedSyncKeepsResults) {
   class FailingApi final : public ServerApi {
    public:
     explicit FailingApi(ServerApi& inner) : inner_(inner) {}
-    Guid register_client(const HostSpec& host) override {
-      return inner_.register_client(host);
+    Guid register_client(const HostSpec& host, const std::string& nonce = "") override {
+      return inner_.register_client(host, nonce);
     }
     SyncResponse hot_sync(const SyncRequest&) override {
       throw SystemError("network unreachable");

@@ -30,8 +30,8 @@ RunRecord make_result(const std::string& id) {
 class LostResponseApi final : public ServerApi {
  public:
   explicit LostResponseApi(ServerApi& inner) : inner_(inner) {}
-  Guid register_client(const HostSpec& host) override {
-    return inner_.register_client(host);
+  Guid register_client(const HostSpec& host, const std::string& nonce = "") override {
+    return inner_.register_client(host, nonce);
   }
   SyncResponse hot_sync(const SyncRequest& request) override {
     inner_.hot_sync(request);  // the server processed it...
@@ -60,6 +60,40 @@ TEST(ClientExactlyOnce, RetryAfterLostResponseStoresOnce) {
   client.hot_sync(api);
   EXPECT_TRUE(client.pending_results().empty());
   EXPECT_EQ(server.results().size(), 2u);
+}
+
+/// Api whose register reaches the server but loses the response — the
+/// retry must resolve to the same registration, not mint an orphan.
+class LostRegisterApi final : public ServerApi {
+ public:
+  explicit LostRegisterApi(ServerApi& inner) : inner_(inner) {}
+  Guid register_client(const HostSpec& host, const std::string& nonce = "") override {
+    inner_.register_client(host, nonce);  // the server registered us...
+    throw ProtocolError("register response lost in transit");  // ...silently
+  }
+  SyncResponse hot_sync(const SyncRequest& request) override {
+    return inner_.hot_sync(request);
+  }
+
+ private:
+  ServerApi& inner_;
+};
+
+TEST(ClientExactlyOnce, RegisterRetryAfterLostResponseIsIdempotent) {
+  UucsServer server = make_server(1);
+  LocalServerApi api(server);
+  LostRegisterApi lossy(api);
+  UucsClient client(HostSpec::paper_study_machine());
+
+  EXPECT_THROW(client.ensure_registered(lossy), ProtocolError);
+  EXPECT_FALSE(client.registered());
+  EXPECT_EQ(server.client_count(), 1u);  // the server DID register us
+
+  // The retry reuses the client's nonce: one registration total.
+  client.ensure_registered(api);
+  EXPECT_TRUE(client.registered());
+  EXPECT_EQ(server.client_count(), 1u);
+  EXPECT_TRUE(server.is_registered(client.guid()));
 }
 
 TEST(ClientExactlyOnce, SyncSeqIsMonotoneAndTracked) {
@@ -127,6 +161,33 @@ TEST(ClientJournal, AcksSurviveCrashToo) {
   EXPECT_EQ(server.results().size(), 2u);
 }
 
+TEST(ClientJournal, SyncSeqStaysMonotoneAcrossCrash) {
+  TempDir dir;
+  const std::string path = dir.file("pending.journal");
+  UucsServer server = make_server(1);
+  LocalServerApi api(server);
+
+  Guid guid;
+  {
+    UucsClient client(HostSpec::paper_study_machine());
+    client.attach_journal(path);
+    client.hot_sync(api);
+    client.hot_sync(api);
+    guid = client.guid();
+    EXPECT_EQ(client.sync_seq(), 2u);
+    // Crash: no save(), so only the journal carries the sequence.
+  }
+
+  UucsClient fresh(HostSpec::paper_study_machine());
+  fresh.attach_journal(path);
+  // Replay restores the high-water mark; the next sync continues above
+  // everything the server may have seen (client-monotone across crashes).
+  EXPECT_EQ(fresh.sync_seq(), 2u);
+  fresh.hot_sync(api);
+  EXPECT_EQ(fresh.sync_seq(), 3u);
+  EXPECT_EQ(server.registration(guid).last_sync_seq, 3u);
+}
+
 TEST(ClientJournal, SaveCompactsJournal) {
   TempDir dir;
   const std::string path = dir.file("pending.journal");
@@ -143,7 +204,7 @@ TEST(ClientJournal, SaveCompactsJournal) {
   const std::size_t before = read_file(path).size();
   client.save(dir.file("state"));
   // Everything was acked and snapshotted: the journal shrinks to the
-  // serial + guid stub.
+  // serial + seq + guid stub.
   EXPECT_LT(read_file(path).size(), before);
 
   UucsClient fresh(HostSpec::paper_study_machine());

@@ -98,8 +98,8 @@ TEST(ClientDaemon, SurvivesSyncFailures) {
   class FlakyApi final : public ServerApi {
    public:
     explicit FlakyApi(ServerApi& inner) : inner_(inner) {}
-    Guid register_client(const HostSpec& host) override {
-      return inner_.register_client(host);
+    Guid register_client(const HostSpec& host, const std::string& nonce = "") override {
+      return inner_.register_client(host, nonce);
     }
     SyncResponse hot_sync(const SyncRequest& request) override {
       if (++calls_ % 2) throw SystemError("flaky network");
@@ -122,7 +122,7 @@ TEST(ClientDaemon, SyncBackoffGrowsAndResets) {
   /// Api that always fails syncs.
   class DeadApi final : public ServerApi {
    public:
-    Guid register_client(const HostSpec&) override {
+    Guid register_client(const HostSpec&, const std::string& = "") override {
       throw SystemError("unreachable");
     }
     SyncResponse hot_sync(const SyncRequest&) override {

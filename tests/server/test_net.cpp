@@ -82,6 +82,24 @@ TEST(TcpChannel, FullProtocolSession) {
   EXPECT_TRUE(server.is_registered(guid));
 }
 
+TEST(TcpChannel, ShutdownRwUnblocksBlockedRead) {
+  TcpListener listener(0);
+  std::unique_ptr<TcpChannel> server_side;
+  std::thread acceptor([&] { server_side = listener.accept(); });
+  auto client = TcpChannel::connect("127.0.0.1", listener.port());
+  acceptor.join();
+  ASSERT_TRUE(server_side);
+
+  // No read deadline: without shutdown_rw() this read would block forever —
+  // the situation a server shutdown must be able to break out of.
+  std::optional<std::string> got = std::string("sentinel");
+  std::thread reader([&] { got = server_side->read(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  server_side->shutdown_rw();
+  reader.join();
+  EXPECT_EQ(got, std::nullopt);
+}
+
 TEST(TcpListener, ShutdownUnblocksAccept) {
   TcpListener listener(0);
   std::thread acceptor([&] { EXPECT_EQ(listener.accept(), nullptr); });

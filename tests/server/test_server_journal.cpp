@@ -76,6 +76,46 @@ TEST(ServerJournal, SaveCompactsJournal) {
   EXPECT_TRUE(loaded.has_result("b/49"));
 }
 
+TEST(ServerJournal, RegistrationNonceDedupSurvivesRecovery) {
+  TempDir dir;
+  const std::string path = dir.file("server.journal");
+  Guid guid;
+  {
+    UucsServer server(1, 4);
+    server.attach_journal(path);
+    guid = server.register_client(HostSpec::paper_study_machine(), 1.0, "nonce-a");
+    // Retry of a registration whose response was lost: same client, same
+    // GUID, no orphan row.
+    EXPECT_EQ(server.register_client(HostSpec::paper_study_machine(), 2.0,
+                                     "nonce-a"),
+              guid);
+    EXPECT_EQ(server.client_count(), 1u);
+    // A different nonce is a different client.
+    EXPECT_NE(server.register_client(HostSpec::paper_study_machine(), 2.5,
+                                     "nonce-b"),
+              guid);
+    EXPECT_EQ(server.client_count(), 2u);
+  }
+
+  // The dedup index is rebuilt from the journal: a late retry still
+  // resolves to the original registration.
+  UucsServer recovered(2, 4);
+  recovered.attach_journal(path);
+  EXPECT_EQ(recovered.client_count(), 2u);
+  EXPECT_EQ(recovered.register_client(HostSpec::paper_study_machine(), 3.0,
+                                      "nonce-a"),
+            guid);
+  EXPECT_EQ(recovered.client_count(), 2u);
+
+  // ... and from a snapshot too.
+  recovered.save(dir.file("snapshot"));
+  UucsServer loaded = UucsServer::load(dir.file("snapshot"), 3);
+  EXPECT_EQ(loaded.register_client(HostSpec::paper_study_machine(), 4.0,
+                                   "nonce-a"),
+            guid);
+  EXPECT_EQ(loaded.client_count(), 2u);
+}
+
 TEST(ServerJournal, TornTailTolerated) {
   TempDir dir;
   const std::string path = dir.file("server.journal");

@@ -69,5 +69,22 @@ TEST(Fs, WriteIsAtomicNoTmpLeftBehind) {
   EXPECT_EQ(files[0], "f.txt");
 }
 
+TEST(Fs, WriteReplacesExistingFileAtomically) {
+  TempDir dir;
+  const std::string path = dir.file("f.txt");
+  write_file(path, "old snapshot that is longer than the new one");
+  write_file(path, "new");
+  // Whole-file replacement via rename: new content, no truncated mix of old
+  // and new, and no .tmp survivor.
+  EXPECT_EQ(read_file(path), "new");
+  EXPECT_EQ(list_files(dir.path()).size(), 1u);
+}
+
+TEST(Fs, WriteToBadDirectoryThrowsAndLeavesNothing) {
+  TempDir dir;
+  EXPECT_THROW(write_file(dir.file("no/such/dir/f.txt"), "x"), SystemError);
+  EXPECT_TRUE(list_files(dir.path()).empty());
+}
+
 }  // namespace
 }  // namespace uucs

@@ -9,7 +9,7 @@
 ///                    [--task LABEL] [--interarrival SECONDS]
 ///                    [--sync SECONDS] [--duration SECONDS]
 ///                    [--timeout SECONDS] [--connect-timeout SECONDS]
-///                    [--retries N]
+///                    [--retries N] [--seed N]
 ///
 /// Fault tolerance: every run record is journaled (fsync'd) to
 /// DIR/pending.journal before it is queued, so a crash or SIGKILL loses no
@@ -21,9 +21,11 @@
 #include <csignal>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <random>
 #include <string>
 
 #include "client/daemon.hpp"
@@ -44,7 +46,7 @@ void on_signal(int) {
   std::fprintf(stderr,
                "usage: uucs_client [--server HOST] [--port P] [--dir DIR] "
                "[--task LABEL] [--interarrival S] [--sync S] [--duration S] "
-               "[--timeout S] [--connect-timeout S] [--retries N]\n");
+               "[--timeout S] [--connect-timeout S] [--retries N] [--seed N]\n");
   std::exit(2);
 }
 
@@ -59,6 +61,14 @@ int main(int argc, char** argv) {
   ClientConfig config;
   config.mean_run_interarrival_s = 600.0;
   config.sync_interval_s = 1800.0;
+  // Live clients must not share the compiled-in default seed: it drives the
+  // scheduling stream (a fleet syncing in lockstep) and the registration
+  // nonce (distinct machines must not alias). --seed overrides for
+  // reproducible debugging.
+  config.seed = (static_cast<std::uint64_t>(::getpid()) << 32) ^
+                static_cast<std::uint64_t>(std::random_device{}()) ^
+                static_cast<std::uint64_t>(
+                    std::chrono::steady_clock::now().time_since_epoch().count());
   double duration = 0.0;  // 0 = run until Ctrl-C
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -87,6 +97,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--retries") {
       config.sync_max_attempts = std::stoul(next());
       if (config.sync_max_attempts == 0) usage();
+    } else if (arg == "--seed") {
+      config.seed = std::stoull(next());
     } else {
       usage();
     }

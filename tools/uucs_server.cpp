@@ -11,6 +11,7 @@
 ///
 /// Usage: uucs_server [--port P] [--dir STATE_DIR] [--testcases FILE]
 ///                    [--batch N] [--seed-suite] [--snapshot-every N]
+///                    [--idle-timeout SECONDS]
 ///
 ///   --dir            state directory (testcases/results/registrations .txt
 ///                    plus server.journal)
@@ -18,6 +19,9 @@
 ///   --seed-suite     generate the 2000+ Internet suite into an empty catalog
 ///   --batch          testcases handed out per hot sync (default 16)
 ///   --snapshot-every full snapshot cadence in requests (default 64)
+///   --idle-timeout   per-connection read deadline in seconds (default 900,
+///                    0 = block forever); a stalled or idle peer is dropped
+///                    after this long and reconnects on its next sync
 
 #include <csignal>
 
@@ -49,9 +53,19 @@ void on_signal(int) {
 [[noreturn]] void usage() {
   std::fprintf(stderr,
                "usage: uucs_server [--port P] [--dir DIR] [--testcases FILE] "
-               "[--batch N] [--seed-suite] [--snapshot-every N]\n");
+               "[--batch N] [--seed-suite] [--snapshot-every N] "
+               "[--idle-timeout S]\n");
   std::exit(2);
 }
+
+/// One accepted connection: its channel (shared with the serving thread so
+/// shutdown can unblock a read the thread is parked in) and a done flag the
+/// accept loop uses to reap finished threads.
+struct Connection {
+  std::shared_ptr<uucs::TcpChannel> channel;
+  std::shared_ptr<std::atomic<bool>> done;
+  std::thread thread;
+};
 
 }  // namespace
 
@@ -62,6 +76,7 @@ int main(int argc, char** argv) {
   std::string extra_testcases;
   std::size_t batch = 16;
   std::size_t snapshot_every = 64;
+  double idle_timeout = 900.0;
   bool seed_suite = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -82,6 +97,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--snapshot-every") {
       snapshot_every = std::stoul(next());
       if (snapshot_every == 0) usage();
+    } else if (arg == "--idle-timeout") {
+      idle_timeout = std::stod(next());
+      if (idle_timeout < 0) usage();
     } else {
       usage();
     }
@@ -127,7 +145,17 @@ int main(int argc, char** argv) {
 
   std::mutex server_mu;  // one server object, many connection threads
   std::size_t requests_since_snapshot = 0;
-  std::vector<std::thread> connections;
+  std::vector<Connection> connections;  // touched by the accept thread only
+  const auto reap_finished = [&connections] {
+    for (auto it = connections.begin(); it != connections.end();) {
+      if (it->done->load(std::memory_order_acquire)) {
+        it->thread.join();
+        it = connections.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
   for (;;) {
     std::unique_ptr<TcpChannel> conn;
     try {
@@ -137,13 +165,17 @@ int main(int argc, char** argv) {
       continue;
     }
     if (!conn) break;  // intentional shutdown
-    // A peer that never drains its socket must not wedge this thread; an
-    // idle-but-healthy client may sit quietly between syncs, so reads block.
-    conn->set_deadlines({0, 0, 60.0});
-    connections.emplace_back([&server, &server_mu, &dir, snapshot_every,
-                              &requests_since_snapshot,
-                              channel = std::shared_ptr<TcpChannel>(
-                                  std::move(conn))]() mutable {
+    reap_finished();
+    // A peer that stalls mid-frame or sits idle past the deadline is
+    // dropped instead of pinning this thread forever; a healthy client's
+    // retry layer transparently reconnects on its next sync.
+    conn->set_deadlines({0, idle_timeout, 60.0});
+    Connection c;
+    c.channel = std::shared_ptr<TcpChannel>(std::move(conn));
+    c.done = std::make_shared<std::atomic<bool>>(false);
+    c.thread = std::thread([&server, &server_mu, &dir, snapshot_every,
+                            &requests_since_snapshot, channel = c.channel,
+                            done = c.done]() mutable {
       try {
         while (const auto request = channel->read()) {
           std::string response;
@@ -163,10 +195,15 @@ int main(int argc, char** argv) {
         // A torn or timed-out connection ends this session, not the server.
         log_warn("server", std::string("connection dropped: ") + e.what());
       }
+      done->store(true, std::memory_order_release);
     });
+    connections.push_back(std::move(c));
   }
 
-  for (auto& t : connections) t.join();
+  // Unblock any thread parked in read() on a live connection, then join —
+  // Ctrl-C must never hang behind an idle peer.
+  for (auto& c : connections) c.channel->shutdown_rw();
+  for (auto& c : connections) c.thread.join();
   {
     std::lock_guard<std::mutex> lock(server_mu);
     server->save(dir);

@@ -11,6 +11,8 @@
 
 #include "analysis/metrics.hpp"
 #include "engine/session_engine.hpp"
+#include "exerciser/failpoints.hpp"
+#include "monitor/sampler.hpp"
 #include "server/fault_injection.hpp"
 #include "server/inproc.hpp"
 #include "server/server.hpp"
@@ -284,6 +286,31 @@ void BM_FaultyChannelCleanOverhead(benchmark::State& state) {
   state.SetLabel(state.range(0) ? "faulty (no faults)" : "bare channel");
 }
 BENCHMARK(BM_FaultyChannelCleanOverhead)->Arg(0)->Arg(1);
+
+void BM_HostFailpointGuard(benchmark::State& state) {
+  // What the host-failpoint check costs per disk write. Arg 0: disarmed —
+  // the guard the live client always pays when a failpoints object is
+  // wired in (one relaxed atomic load). Arg 1: armed with an all-clean
+  // seeded schedule — mutex + RNG draw + stats bump, the chaos-host price.
+  uucs::HostFailpoints fp;
+  if (state.range(0) != 0) {
+    fp.arm(uucs::HostFaultSchedule::seeded(1, uucs::HostFaultProfile{}));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fp.on_disk_write().kind);
+  }
+  state.SetLabel(state.range(0) ? "armed (no faults)" : "disarmed");
+}
+BENCHMARK(BM_HostFailpointGuard)->Arg(0)->Arg(1);
+
+void BM_MemoryPressureProbe(benchmark::State& state) {
+  // One /proc/meminfo (+ cgroup v2) pressure reading — paid once per
+  // pressure_check_interval_s by the memory exerciser during a run.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(uucs::read_memory_pressure());
+  }
+}
+BENCHMARK(BM_MemoryPressureProbe)->Unit(benchmark::kMicrosecond);
 
 void BM_HotSyncDispatch(benchmark::State& state) {
   // Server-side hot sync with two fresh results per request, with (Arg 1)

@@ -56,6 +56,12 @@ std::vector<const uucs::RunRecord*> select_ramp_runs(const uucs::ResultStore& re
                                                      uucs::Resource r) {
   std::vector<const uucs::RunRecord*> out;
   for (const auto* run : results.filter(task)) {
+    // Host-faulted runs (degraded/failed/hung/aborted) did not deliver
+    // their contention schedule faithfully; mixing them into the comfort
+    // estimates would blur "the user was discomforted" with "the host was
+    // sick". Healthy records carry no outcome key, so this is free for the
+    // simulated studies.
+    if (run->host_fault()) continue;
     if (is_ramp_run(*run, r)) out.push_back(run);
   }
   return out;

@@ -42,9 +42,17 @@ void UucsClient::ensure_registered(ServerApi& server) {
   log_info("client", "registered as " + guid_.to_string());
 }
 
+void UucsClient::note_run_start(const std::string& run_id,
+                                const std::string& testcase_id) {
+  UUCS_CHECK_MSG(!run_id.empty(), "run-start marker needs a run id");
+  if (journal_) journal_->append("start " + run_id + " " + testcase_id);
+  open_runs_[run_id] = testcase_id;
+}
+
 void UucsClient::record_result(RunRecord rec) {
   rec.client_guid = guid_.to_string();
   if (journal_) journal_->append(kv_serialize({rec.to_record()}));
+  open_runs_.erase(rec.run_id);
   pending_results_.add(std::move(rec));
 }
 
@@ -99,7 +107,20 @@ void UucsClient::replay_journal_entry(const std::string& entry) {
   if (has_prefix(entry, "ack ")) {
     const std::string id = entry.substr(4);
     pending_results_.remove_ids({id});
+    open_runs_.erase(id);
     bump_serial_from_run_id(id);
+    return;
+  }
+  if (has_prefix(entry, "start ")) {
+    const std::string rest = entry.substr(6);
+    const auto space = rest.find(' ');
+    if (space == std::string::npos || space == 0) {
+      throw ParseError("client journal: malformed start marker '" +
+                       entry.substr(0, 32) + "'");
+    }
+    const std::string run_id = rest.substr(0, space);
+    open_runs_[run_id] = rest.substr(space + 1);
+    bump_serial_from_run_id(run_id);
     return;
   }
   if (has_prefix(entry, "guid ")) {
@@ -127,6 +148,7 @@ void UucsClient::replay_journal_entry(const std::string& entry) {
   }
   RunRecord rec = RunRecord::from_record(records.front());
   bump_serial_from_run_id(rec.run_id);
+  if (!rec.run_id.empty()) open_runs_.erase(rec.run_id);
   // A record journaled twice (e.g. replay after partial compaction) must
   // not queue twice.
   if (!rec.run_id.empty()) {
@@ -143,6 +165,28 @@ std::size_t UucsClient::attach_journal(const std::string& path) {
   const auto& entries = journal_->entries();
   for (const auto& entry : entries) replay_journal_entry(entry);
   const std::size_t replayed = entries.size();
+  // Every start marker still open after replay is a run the previous
+  // process never finished: the crash happened mid-run. Synthesize a typed
+  // "aborted" record so the run surfaces to the server instead of
+  // vanishing, and journal it so the synthesis itself is crash-durable.
+  if (!open_runs_.empty()) {
+    std::vector<std::string> journaled;
+    for (const auto& [run_id, testcase_id] : open_runs_) {
+      RunRecord rec;
+      rec.run_id = run_id;
+      rec.client_guid = guid_.is_nil() ? "" : guid_.to_string();
+      rec.testcase_id = testcase_id;
+      rec.discomforted = false;
+      rec.offset_s = 0.0;
+      rec.metadata["run.outcome"] = "aborted";
+      rec.metadata["run.error"] = "client died mid-run; replayed from journal";
+      journaled.push_back(kv_serialize({rec.to_record()}));
+      pending_results_.add(std::move(rec));
+      log_warn("client", "run " + run_id + " was open at crash; recorded as aborted");
+    }
+    open_runs_.clear();
+    journal_->append_batch(journaled);
+  }
   if (journal_->recovery().dropped_bytes > 0) {
     log_warn("client",
              strprintf("journal %s: dropped %zu torn bytes at tail", path.c_str(),
@@ -160,6 +204,11 @@ std::vector<std::string> UucsClient::journal_keep_entries() const {
                              static_cast<unsigned long long>(sync_seq_)));
   }
   if (registered()) keep.push_back("guid " + guid_.to_string());
+  // Open starts survive compaction: a crash after a mid-run compaction must
+  // still replay the run as aborted.
+  for (const auto& [run_id, testcase_id] : open_runs_) {
+    keep.push_back("start " + run_id + " " + testcase_id);
+  }
   for (const auto& r : pending_results_.records()) {
     keep.push_back(kv_serialize({r.to_record()}));
   }

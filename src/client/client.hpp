@@ -60,8 +60,17 @@ class UucsClient {
   /// Registers with the server if not registered yet (first run, §2).
   void ensure_registered(ServerApi& server);
 
+  /// Journals a run-start marker before the exercisers begin: if the
+  /// process dies mid-run, attach_journal replays the open marker into a
+  /// synthesized "aborted" RunRecord, so even runs the client never saw
+  /// finish surface to the server with a typed outcome instead of vanishing.
+  void note_run_start(const std::string& run_id, const std::string& testcase_id);
+
+  /// Runs started (note_run_start) but not yet recorded or acked.
+  std::size_t open_run_count() const { return open_runs_.size(); }
+
   /// Records a finished run for upload at the next sync; journaled first
-  /// when a journal is attached.
+  /// when a journal is attached. Closes the run's start marker.
   void record_result(RunRecord rec);
 
   /// One hot sync: uploads pending results, downloads fresh testcases into
@@ -114,6 +123,7 @@ class UucsClient {
   TestcaseStore testcases_;
   ResultStore pending_results_;
   Rng rng_;
+  std::map<std::string, std::string> open_runs_;  ///< run_id -> testcase_id
   std::uint64_t run_serial_ = 0;
   std::uint64_t sync_seq_ = 0;
   std::string reg_nonce_;  ///< idempotency key for this client's registration

@@ -80,7 +80,11 @@ std::size_t ClientDaemon::run(double duration_s) {
       continue;
     }
     const Testcase& tc = client_.testcases().get(*id);
-    RunRecord rec = executor_.execute(tc, client_.next_run_id(), task_name_);
+    const std::string run_id = client_.next_run_id();
+    // Journal the start before the exercisers touch anything: a crash
+    // between here and record_result replays the run as "aborted".
+    client_.note_run_start(run_id, tc.id());
+    RunRecord rec = executor_.execute(tc, run_id, task_name_);
     client_.record_result(std::move(rec));
     runs_.fetch_add(1, std::memory_order_relaxed);
     if (on_event_) on_event_({Event::Kind::kRun, *id});

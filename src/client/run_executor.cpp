@@ -30,19 +30,43 @@ RunRecord RunExecutor::execute(const Testcase& tc, const std::string& run_id,
   const double start = clock_.now();
   std::atomic<bool> run_done{false};
   ExerciserSet::RunOutcome outcome;
+  std::string run_error;
   std::thread runner([&] {
-    outcome = exercisers_.run(tc);
+    // Second exception barrier: run() can throw before any worker starts
+    // (e.g. the disk volume has no room to borrow at all). Letting that
+    // escape this thread would be std::terminate.
+    try {
+      outcome = exercisers_.run(tc);
+    } catch (const std::exception& e) {
+      run_error = e.what();
+      outcome.elapsed_s = std::min(clock_.now() - start, tc.duration());
+    } catch (...) {
+      run_error = "unknown exception";
+      outcome.elapsed_s = std::min(clock_.now() - start, tc.duration());
+    }
     run_done.store(true, std::memory_order_release);
   });
 
   // The feedback watcher: §2.3's "high priority GUI thread watches for
   // clicks or hot-key strokes ... the exercisers are immediately stopped".
+  // The loop is bounded by the supervisor's own deadline (duration + grace
+  // + stop bound, with slack): past it the watcher stops the set once more
+  // defensively and merely waits for the runner, rather than polling
+  // feedback forever for a run that can no longer end normally.
+  const ExerciserConfig& ecfg = exercisers_.config();
+  const double watcher_deadline =
+      start + tc.duration() + ecfg.watchdog_grace_s + 2.0 * ecfg.stop_bound_s + 1.0;
   bool discomforted = false;
+  bool past_deadline = false;
   while (!run_done.load(std::memory_order_acquire)) {
-    if (feedback_.pending()) {
+    if (!past_deadline && feedback_.pending()) {
       discomforted = true;
       exercisers_.stop();
       break;
+    }
+    if (!past_deadline && clock_.now() >= watcher_deadline) {
+      past_deadline = true;
+      exercisers_.stop();
     }
     clock_.sleep(poll_interval_s_);
   }
@@ -64,6 +88,27 @@ RunRecord RunExecutor::execute(const Testcase& tc, const std::string& run_id,
     rec.set_last_levels(r, f->last_values_before(rec.offset_s));
   }
   rec.metadata["testcase.description"] = tc.description();
+  // Typed run outcome (host-safety): only written when something actually
+  // went wrong, so healthy runs serialize exactly as they always have.
+  ResourceOutcome worst = outcome.worst();
+  if (!run_error.empty() && resource_outcome_severity(ResourceOutcome::kFailed) >
+                                resource_outcome_severity(worst)) {
+    worst = ResourceOutcome::kFailed;
+  }
+  if (worst != ResourceOutcome::kOk || outcome.watchdog_fired) {
+    rec.metadata["run.outcome"] = resource_outcome_name(worst);
+    if (outcome.watchdog_fired) rec.metadata["run.watchdog"] = "1";
+    if (!run_error.empty()) rec.metadata["run.error"] = run_error;
+    for (const auto& [r, report] : outcome.reports) {
+      if (report.outcome == ResourceOutcome::kOk) continue;
+      const std::string key = "outcome." + resource_name(r);
+      rec.metadata[key] = resource_outcome_name(report.outcome);
+      if (!report.detail.empty()) rec.metadata[key + ".detail"] = report.detail;
+      if (report.degraded_events > 0) {
+        rec.metadata[key + ".events"] = std::to_string(report.degraded_events);
+      }
+    }
+  }
   // Contextual process snapshot (§2.3 stores "system processes
   // information" with each run): the count plus a bounded name sample.
   const auto processes = snapshot_processes(4096);

@@ -1,0 +1,84 @@
+#include "exerciser/exerciser.hpp"
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+#include "util/error.hpp"
+#include "util/fs.hpp"
+#include "util/strings.hpp"
+
+namespace uucs {
+
+void ExerciserConfig::validate() const {
+  if (!(subinterval_s > 0)) {
+    throw ConfigError("subinterval_s must be positive");
+  }
+  if (max_threads == 0) {
+    throw ConfigError("max_threads must be at least 1");
+  }
+  if (memory_pool_bytes < 4096) {
+    throw ConfigError("memory_pool_bytes must hold at least one 4096-byte page");
+  }
+  if (!(memory_headroom_frac >= 0.0 && memory_headroom_frac < 1.0)) {
+    throw ConfigError("memory_headroom_frac must be in [0, 1)");
+  }
+  if (!(pressure_check_interval_s > 0)) {
+    throw ConfigError("pressure_check_interval_s must be positive");
+  }
+  if (disk_file_bytes < (1u << 20)) {
+    throw ConfigError("disk_file_bytes must be >= 1 MiB");
+  }
+  if (disk_max_write_bytes < 512) {
+    throw ConfigError("disk_max_write_bytes must be >= 512");
+  }
+  if (disk_max_write_bytes > disk_file_bytes) {
+    // Used to silently clamp every write offset to 0; now it is a loud error.
+    throw ConfigError("disk_max_write_bytes must not exceed disk_file_bytes");
+  }
+  if (disk_dir.empty()) {
+    throw ConfigError("disk_dir must not be empty");
+  }
+  if (!(watchdog_grace_s >= 0)) {
+    throw ConfigError("watchdog_grace_s must be >= 0");
+  }
+  if (!(stop_bound_s > 0)) {
+    throw ConfigError("stop_bound_s must be positive");
+  }
+}
+
+namespace {
+bool has_suffix(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+}  // namespace
+
+std::size_t reclaim_stale_scratch_files(const std::string& dir) {
+  static const std::string kPrefix = "uucs-disk-exerciser-";
+  static const std::string kSuffix = ".dat";
+  std::vector<std::string> names;
+  try {
+    names = list_files(dir);
+  } catch (const Error&) {
+    return 0;  // unreadable dir: nothing to reclaim
+  }
+  std::size_t reclaimed = 0;
+  for (const auto& name : names) {
+    if (!starts_with(name, kPrefix) || !has_suffix(name, kSuffix)) continue;
+    const std::string pid_str =
+        name.substr(kPrefix.size(), name.size() - kPrefix.size() - kSuffix.size());
+    const auto pid = parse_int(pid_str);
+    if (!pid || *pid <= 0) continue;
+    if (static_cast<pid_t>(*pid) == ::getpid()) continue;
+    // kill(pid, 0) probes existence without signaling. ESRCH means the
+    // owner is gone and its scratch file is leaked; EPERM means it exists
+    // under another uid — leave it alone.
+    if (::kill(static_cast<pid_t>(*pid), 0) == 0 || errno != ESRCH) continue;
+    if (::unlink((dir + "/" + name).c_str()) == 0) ++reclaimed;
+  }
+  return reclaimed;
+}
+
+}  // namespace uucs

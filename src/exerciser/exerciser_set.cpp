@@ -1,8 +1,6 @@
 #include "exerciser/exerciser_set.hpp"
 
 #include <algorithm>
-#include <thread>
-#include <vector>
 
 #include "util/error.hpp"
 
@@ -10,9 +8,18 @@ namespace uucs {
 
 ExerciserSet::ExerciserSet(Clock& clock, const ExerciserConfig& cfg)
     : clock_(clock), cfg_(cfg) {
+  cfg_.validate();
   exercisers_[Resource::kCpu] = make_cpu_exerciser(clock_, cfg_);
   exercisers_[Resource::kMemory] = make_memory_exerciser(clock_, cfg_);
   exercisers_[Resource::kDisk] = make_disk_exerciser(clock_, cfg_);
+}
+
+ExerciserSet::~ExerciserSet() {
+  // Blocking backstop: a hung worker holds a reference to its exerciser,
+  // so it must finish before the set (and the exercisers) may die.
+  for (auto& a : abandoned_) {
+    if (a.thread.joinable()) a.thread.join();
+  }
 }
 
 void ExerciserSet::set_exerciser(Resource r, std::unique_ptr<ResourceExerciser> ex) {
@@ -29,31 +36,54 @@ ResourceExerciser& ExerciserSet::exerciser(Resource r) {
 
 ExerciserSet::RunOutcome ExerciserSet::run(const Testcase& tc) {
   stop_.store(false, std::memory_order_relaxed);
-  for (auto& [r, ex] : exercisers_) ex->reset();
+  reap_abandoned();
 
   const double start = clock_.now();
-  RunOutcome outcome;
 
   if (tc.is_blank()) {
     // Nothing to exercise: wait out the duration in slices so stop() is
     // honored within one subinterval.
+    RunOutcome outcome;
     const double end = start + tc.duration();
     while (clock_.now() < end && !stop_.load(std::memory_order_relaxed)) {
       clock_.sleep(std::min(cfg_.subinterval_s, end - clock_.now()));
     }
-  } else {
-    std::vector<std::thread> threads;
-    for (Resource r : tc.resources()) {
-      const ExerciseFunction* f = tc.function(r);
-      UUCS_CHECK(f != nullptr);
-      threads.emplace_back(
-          [ex = &exerciser(r), f] { ex->run(*f); });
-    }
-    for (auto& th : threads) th.join();
+    outcome.stopped_early = stop_.load(std::memory_order_relaxed);
+    outcome.elapsed_s = std::min(clock_.now() - start, tc.duration());
+    return outcome;
   }
 
-  outcome.stopped_early = stop_.load(std::memory_order_relaxed);
-  outcome.elapsed_s = std::min(clock_.now() - start, tc.duration());
+  // A resource whose previous worker is still wedged cannot safely run
+  // again (the old thread still owns the exerciser's internals); it is
+  // reported hung up front and skipped.
+  std::vector<RunSupervisor::Worker> workers;
+  std::map<Resource, ResourceReport> still_wedged;
+  for (Resource r : tc.resources()) {
+    const ExerciseFunction* f = tc.function(r);
+    UUCS_CHECK(f != nullptr);
+    const auto it = exercisers_.find(r);
+    UUCS_CHECK_MSG(it != exercisers_.end(), "no exerciser for " + resource_name(r));
+    const bool wedged = std::any_of(
+        abandoned_.begin(), abandoned_.end(),
+        [r](const RunSupervisor::Abandoned& a) { return a.resource == r; });
+    if (wedged) {
+      ResourceReport report;
+      report.outcome = ResourceOutcome::kHung;
+      report.detail = "previous worker still wedged";
+      still_wedged[r] = std::move(report);
+      continue;
+    }
+    it->second->reset();
+    workers.push_back({r, it->second, f});
+  }
+
+  RunSupervisor supervisor(clock_, cfg_.watchdog_grace_s, cfg_.stop_bound_s,
+                           cfg_.subinterval_s);
+  RunOutcome outcome = supervisor.supervise(workers, tc.duration(), stop_, abandoned_);
+  for (auto& [r, report] : still_wedged) {
+    outcome.hung = true;
+    outcome.reports[r] = std::move(report);
+  }
   return outcome;
 }
 
@@ -61,5 +91,7 @@ void ExerciserSet::stop() {
   stop_.store(true, std::memory_order_relaxed);
   for (auto& [r, ex] : exercisers_) ex->stop();
 }
+
+std::size_t ExerciserSet::reap_abandoned() { return RunSupervisor::reap(abandoned_); }
 
 }  // namespace uucs

@@ -3,8 +3,10 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <vector>
 
 #include "exerciser/exerciser.hpp"
+#include "exerciser/supervisor.hpp"
 #include "testcase/testcase.hpp"
 
 namespace uucs {
@@ -15,10 +17,24 @@ namespace uucs {
 /// passed their exercise functions, synchronized, and then let run"; on
 /// feedback "the exercisers are immediately stopped and their resources
 /// released").
+///
+/// Every run is supervised (see RunSupervisor): worker exceptions become
+/// typed kFailed reports instead of std::terminate, a watchdog bounds the
+/// run to duration + watchdog_grace_s, and a worker that misses the
+/// stop_bound_s responsiveness bound is reported kHung and abandoned to a
+/// reap list rather than wedging the caller.
 class ExerciserSet {
  public:
   /// Creates the set with the real exercisers for the given clock/config.
+  /// Throws ConfigError if `cfg` is invalid.
   ExerciserSet(Clock& clock, const ExerciserConfig& cfg = {});
+
+  /// Joins any abandoned workers still running — the blocking backstop
+  /// that keeps a wedged worker from outliving the exercisers it uses.
+  ~ExerciserSet();
+
+  ExerciserSet(const ExerciserSet&) = delete;
+  ExerciserSet& operator=(const ExerciserSet&) = delete;
 
   /// Injects a custom exerciser (simulated or instrumented) for `r`,
   /// replacing the default real one.
@@ -27,25 +43,35 @@ class ExerciserSet {
   /// Access to the exerciser for a resource (never null for study resources).
   ResourceExerciser& exerciser(Resource r);
 
-  /// Outcome of a run.
-  struct RunOutcome {
-    bool stopped_early = false;  ///< stop() arrived before exhaustion
-    double elapsed_s = 0.0;      ///< seconds of the testcase actually played
-  };
+  /// Outcome of a run; carries the legacy stopped_early / elapsed_s shape
+  /// plus the typed per-resource reports.
+  using RunOutcome = SupervisedOutcome;
 
   /// Plays every exercise function in `tc` in parallel, blocking until all
-  /// finish or stop() is called. Blank testcases just wait out the duration
-  /// (in subinterval slices so stop() stays responsive).
+  /// finish, stop() is called, or the watchdog tears the run down. Blank
+  /// testcases just wait out the duration (in subinterval slices so stop()
+  /// stays responsive). A resource whose worker is still wedged from a
+  /// previous run is reported kHung without starting a new worker.
   RunOutcome run(const Testcase& tc);
 
   /// Stops a run in progress; safe from any thread (e.g. a feedback
   /// watcher). Also wakes a blank-testcase wait.
   void stop();
 
+  /// Joins abandoned workers that have since finished; returns how many
+  /// are still wedged.
+  std::size_t reap_abandoned();
+
+  /// Workers currently abandoned (hung and not yet reaped).
+  std::size_t abandoned_count() const { return abandoned_.size(); }
+
+  const ExerciserConfig& config() const { return cfg_; }
+
  private:
   Clock& clock_;
   ExerciserConfig cfg_;
-  std::map<Resource, std::unique_ptr<ResourceExerciser>> exercisers_;
+  std::map<Resource, std::shared_ptr<ResourceExerciser>> exercisers_;
+  std::vector<RunSupervisor::Abandoned> abandoned_;
   std::atomic<bool> stop_{false};
 };
 

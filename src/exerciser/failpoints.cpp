@@ -1,0 +1,162 @@
+#include "exerciser/failpoints.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace uucs {
+
+std::string host_fault_kind_name(HostFaultKind kind) {
+  switch (kind) {
+    case HostFaultKind::kNone: return "none";
+    case HostFaultKind::kEnospc: return "enospc";
+    case HostFaultKind::kEio: return "eio";
+    case HostFaultKind::kSlowIo: return "slowio";
+    case HostFaultKind::kMemPressure: return "pressure";
+  }
+  return "unknown";
+}
+
+HostFaultProfile HostFaultProfile::hostile() {
+  HostFaultProfile p;
+  p.enospc = 0.10;
+  p.eio = 0.04;
+  p.slow_io = 0.04;
+  p.mem_pressure = 0.10;
+  p.slow_io_s = 0.02;
+  p.pressure_available_frac = 0.02;
+  return p;
+}
+
+HostFaultSchedule HostFaultSchedule::none() { return HostFaultSchedule(); }
+
+HostFaultSchedule HostFaultSchedule::scripted(std::vector<HostFaultAction> actions) {
+  HostFaultSchedule s;
+  s.script_ = std::move(actions);
+  return s;
+}
+
+HostFaultSchedule HostFaultSchedule::seeded(std::uint64_t seed,
+                                            HostFaultProfile profile) {
+  HostFaultSchedule s;
+  s.seeded_ = true;
+  s.rng_ = Rng(seed);
+  s.profile_ = profile;
+  return s;
+}
+
+HostFaultAction HostFaultSchedule::next() {
+  const std::size_t op = ops_++;
+  if (!seeded_) {
+    if (op < script_.size()) return script_[op];
+    return HostFaultAction{};
+  }
+  // One uniform draw per operation keeps the sequence a pure function of
+  // (seed, operation count), independent of which fault fires.
+  const double u = rng_.uniform();
+  double edge = profile_.enospc;
+  if (u < edge) return {HostFaultKind::kEnospc, 0.0, 1.0};
+  edge += profile_.eio;
+  if (u < edge) return {HostFaultKind::kEio, 0.0, 1.0};
+  edge += profile_.slow_io;
+  if (u < edge) return {HostFaultKind::kSlowIo, profile_.slow_io_s, 1.0};
+  edge += profile_.mem_pressure;
+  if (u < edge) {
+    return {HostFaultKind::kMemPressure, 0.0, profile_.pressure_available_frac};
+  }
+  return HostFaultAction{};
+}
+
+HostFaultSchedule parse_host_fault_schedule(const std::string& spec) {
+  std::vector<HostFaultAction> actions;
+  for (const auto& part : split(trim(spec), ',')) {
+    if (trim(part).empty()) continue;
+    const auto fields = split(trim(part), ':');
+    if (fields.size() != 2) {
+      throw ParseError("host fault schedule entry '" + std::string(part) +
+                       "' is not OP:KIND");
+    }
+    const auto op = parse_int(fields[0]);
+    if (!op || *op < 0) {
+      throw ParseError("bad host fault operation index '" + fields[0] + "'");
+    }
+    HostFaultAction action;
+    std::string kind = fields[1];
+    std::optional<double> value;
+    const auto eq = kind.find('=');
+    if (eq != std::string::npos) {
+      value = parse_double(kind.substr(eq + 1));
+      if (!value || *value < 0) {
+        throw ParseError("bad host fault value '" + kind.substr(eq + 1) + "'");
+      }
+      kind = kind.substr(0, eq);
+    }
+    if (kind == "enospc") {
+      action.kind = HostFaultKind::kEnospc;
+    } else if (kind == "eio") {
+      action.kind = HostFaultKind::kEio;
+    } else if (kind == "slowio") {
+      action.kind = HostFaultKind::kSlowIo;
+      action.delay_s = value.value_or(0.02);
+    } else if (kind == "pressure") {
+      action.kind = HostFaultKind::kMemPressure;
+      action.available_frac = value.value_or(0.02);
+      if (action.available_frac > 1.0) {
+        throw ParseError("pressure fraction must be <= 1");
+      }
+    } else {
+      throw ParseError("unknown host fault kind '" + kind + "'");
+    }
+    const auto index = static_cast<std::size_t>(*op);
+    if (actions.size() <= index) actions.resize(index + 1);
+    actions[index] = action;
+  }
+  return HostFaultSchedule::scripted(std::move(actions));
+}
+
+void HostFailpoints::arm(HostFaultSchedule schedule) {
+  std::lock_guard<std::mutex> lock(mu_);
+  schedule_ = std::move(schedule);
+  armed_.store(true, std::memory_order_release);
+}
+
+void HostFailpoints::disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.store(false, std::memory_order_release);
+}
+
+HostFaultAction HostFailpoints::on_disk_write() {
+  if (!armed_.load(std::memory_order_relaxed)) return {};
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!armed_.load(std::memory_order_relaxed)) return {};
+  ++stats_.disk_checks;
+  HostFaultAction action = schedule_.next();
+  switch (action.kind) {
+    case HostFaultKind::kEnospc: ++stats_.enospc; break;
+    case HostFaultKind::kEio: ++stats_.eio; break;
+    case HostFaultKind::kSlowIo: ++stats_.slow_io; break;
+    case HostFaultKind::kMemPressure:
+      // Not applicable at this site; the draw is consumed but passes clean.
+      action = {};
+      break;
+    case HostFaultKind::kNone: break;
+  }
+  return action;
+}
+
+std::optional<double> HostFailpoints::on_memory_probe() {
+  if (!armed_.load(std::memory_order_relaxed)) return std::nullopt;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!armed_.load(std::memory_order_relaxed)) return std::nullopt;
+  ++stats_.mem_checks;
+  const HostFaultAction action = schedule_.next();
+  if (action.kind != HostFaultKind::kMemPressure) return std::nullopt;
+  ++stats_.mem_pressure;
+  return action.available_frac;
+}
+
+HostFailpoints::Stats HostFailpoints::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace uucs

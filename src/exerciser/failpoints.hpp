@@ -1,0 +1,142 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace uucs {
+
+/// What a host failpoint may inject into one exerciser operation. This is
+/// the host-edge mirror of server/fault_injection's FaultKind: where that
+/// layer corrupts the network between client and server, this one makes the
+/// *machine under the exercisers* hostile — a full disk, a dying device, an
+/// overloaded I/O path, a memory-starved host — so the chaos-host suite can
+/// drive the real exercisers through hostile-host histories reproducible
+/// from one seed.
+enum class HostFaultKind {
+  kNone,         ///< pass through untouched
+  kEnospc,       ///< disk write: fail with ENOSPC (volume filled up)
+  kEio,          ///< disk write: fail with EIO (device error)
+  kSlowIo,       ///< disk write: block in the "syscall" for delay_s first
+  kMemPressure,  ///< memory probe: report available_frac instead of truth
+};
+
+std::string host_fault_kind_name(HostFaultKind kind);
+
+struct HostFaultAction {
+  HostFaultKind kind = HostFaultKind::kNone;
+  double delay_s = 0.0;         ///< kSlowIo: how long the write blocks
+  double available_frac = 1.0;  ///< kMemPressure: faked available fraction
+};
+
+/// Per-operation fault probabilities for a seeded schedule.
+struct HostFaultProfile {
+  double enospc = 0.0;
+  double eio = 0.0;
+  double slow_io = 0.0;
+  double mem_pressure = 0.0;
+  double slow_io_s = 0.02;              ///< how long kSlowIo blocks
+  double pressure_available_frac = 0.02;///< what kMemPressure reports
+
+  /// The chaos-host mix: every run of a few hundred disk writes sees
+  /// ENOSPC streaks, occasional device errors and I/O stalls, and the
+  /// memory probe periodically reports a nearly-exhausted host.
+  static HostFaultProfile hostile();
+};
+
+/// Deterministic source of HostFaultActions, one per consulted operation.
+/// Scripted (exact replay of an explicit list) or seeded (drawn from a
+/// HostFaultProfile — same seed, same fault history). Mirrors
+/// server/fault_injection's FaultSchedule.
+class HostFaultSchedule {
+ public:
+  /// No faults, ever.
+  static HostFaultSchedule none();
+
+  /// `actions[i]` applies to the i-th consulted operation; operations past
+  /// the end of the script run clean.
+  static HostFaultSchedule scripted(std::vector<HostFaultAction> actions);
+
+  /// Draws each operation's action from `profile` using an Rng seeded with
+  /// `seed`.
+  static HostFaultSchedule seeded(std::uint64_t seed, HostFaultProfile profile);
+
+  /// The action for the next consulted operation.
+  HostFaultAction next();
+
+  /// Operations consumed so far.
+  std::size_t ops() const { return ops_; }
+
+ private:
+  HostFaultSchedule() = default;
+  std::vector<HostFaultAction> script_;
+  bool seeded_ = false;
+  Rng rng_{0};
+  HostFaultProfile profile_;
+  std::size_t ops_ = 0;
+};
+
+/// Parses a scripted schedule from "OP:KIND[,OP:KIND...]" where OP is the
+/// 0-based operation index and KIND is enospc | eio | slowio[=SECONDS] |
+/// pressure[=AVAILABLE_FRAC]. Example: "0:enospc,3:slowio=0.05,5:pressure=0.01".
+/// Throws ParseError on malformed specs.
+HostFaultSchedule parse_host_fault_schedule(const std::string& spec);
+
+/// The armed failpoint registry the exercisers consult. One instance is
+/// shared (via ExerciserConfig::failpoints) by every exerciser of a set;
+/// the disk exerciser consults on_disk_write() before each pwrite and the
+/// memory exerciser consults on_memory_probe() at each pressure check.
+///
+/// The guard is designed to be ~free when nothing is armed: the hot-path
+/// check is a single relaxed atomic load (see BM_HostFailpointGuard); the
+/// schedule mutex is taken only while armed. Exercisers whose config has no
+/// failpoints pointer skip even that load.
+///
+/// A schedule is consumed operation by operation across all consulting
+/// sites; kinds that do not apply to a site (e.g. kMemPressure drawn at the
+/// disk-write site) pass through clean, so one seed remains one complete
+/// fault history regardless of how sites interleave.
+class HostFailpoints {
+ public:
+  struct Stats {
+    std::size_t disk_checks = 0;  ///< on_disk_write consultations while armed
+    std::size_t mem_checks = 0;   ///< on_memory_probe consultations while armed
+    std::size_t enospc = 0;
+    std::size_t eio = 0;
+    std::size_t slow_io = 0;
+    std::size_t mem_pressure = 0;
+    std::size_t injected() const { return enospc + eio + slow_io + mem_pressure; }
+  };
+
+  /// Arms `schedule`; replaces any previous one. Safe from any thread.
+  void arm(HostFaultSchedule schedule);
+
+  /// Disarms; subsequent consultations are clean.
+  void disarm();
+
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  /// Disk-write site: the action to apply before the next write. Returns
+  /// kNone (without consuming a schedule op) when disarmed; mem-pressure
+  /// draws also surface as kNone here.
+  HostFaultAction on_disk_write();
+
+  /// Memory-probe site: the faked available fraction to report, or nullopt
+  /// to use the real reading. Non-memory draws surface as nullopt.
+  std::optional<double> on_memory_probe();
+
+  Stats stats() const;
+
+ private:
+  std::atomic<bool> armed_{false};
+  mutable std::mutex mu_;
+  HostFaultSchedule schedule_ = HostFaultSchedule::none();
+  Stats stats_;
+};
+
+}  // namespace uucs

@@ -22,8 +22,8 @@ constexpr std::size_t kDatagramBytes = 1400;  // typical MTU payload
 NetworkExerciser::NetworkExerciser(Clock& clock, const ExerciserConfig& cfg,
                                    double link_bps)
     : clock_(clock), cfg_(cfg), link_bps_(link_bps) {
+  cfg_.validate();
   UUCS_CHECK_MSG(link_bps_ > 0, "link speed must be positive");
-  UUCS_CHECK_MSG(cfg_.subinterval_s > 0, "subinterval must be positive");
 
   // The sink: a bound UDP socket whose queue we let overflow (we never read
   // it) — datagrams are dropped by the kernel after traversing the stack.

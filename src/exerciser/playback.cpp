@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <exception>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -12,8 +14,7 @@ namespace uucs {
 
 PlaybackEngine::PlaybackEngine(Clock& clock, const ExerciserConfig& cfg, BusyFn busy)
     : clock_(clock), cfg_(cfg), busy_(std::move(busy)) {
-  UUCS_CHECK_MSG(cfg_.subinterval_s > 0, "subinterval must be positive");
-  UUCS_CHECK_MSG(cfg_.max_threads > 0, "need at least one worker thread");
+  cfg_.validate();
   UUCS_CHECK(busy_ != nullptr);
 }
 
@@ -29,21 +30,33 @@ double PlaybackEngine::run(const ExerciseFunction& f) {
   std::atomic<double> level{f.level_at(0.0)};
   std::atomic<bool> done{false};
 
+  // A busy callback that throws (e.g. a disk write failing with an errno we
+  // do not absorb) must not escape a detached worker loop — that would be
+  // std::terminate. The first exception is captured, playback winds down,
+  // and run() rethrows it to its caller.
+  std::mutex error_mu;
+  std::exception_ptr first_error;
   auto worker_loop = [&](unsigned k) {
     Rng rng(cfg_.seed + k);
-    while (!done.load(std::memory_order_relaxed) && !stop_requested()) {
-      const double now = clock_.now();
-      const double t = now - start;
-      if (t >= duration) break;
-      if (k == 0) level.store(f.level_at(t), std::memory_order_relaxed);
-      const double c = level.load(std::memory_order_relaxed);
-      const double duty = std::clamp(c - static_cast<double>(k), 0.0, 1.0);
-      const double deadline = std::min(now + cfg_.subinterval_s, start + duration);
-      if (duty >= 1.0 || (duty > 0.0 && rng.uniform() < duty)) {
-        busy_(deadline, k);
-      } else {
-        clock_.sleep(deadline - now);
+    try {
+      while (!done.load(std::memory_order_relaxed) && !stop_requested()) {
+        const double now = clock_.now();
+        const double t = now - start;
+        if (t >= duration) break;
+        if (k == 0) level.store(f.level_at(t), std::memory_order_relaxed);
+        const double c = level.load(std::memory_order_relaxed);
+        const double duty = std::clamp(c - static_cast<double>(k), 0.0, 1.0);
+        const double deadline = std::min(now + cfg_.subinterval_s, start + duration);
+        if (duty >= 1.0 || (duty > 0.0 && rng.uniform() < duty)) {
+          busy_(deadline, k);
+        } else {
+          clock_.sleep(deadline - now);
+        }
       }
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mu);
+      if (!first_error) first_error = std::current_exception();
+      done.store(true, std::memory_order_relaxed);
     }
   };
 
@@ -55,6 +68,7 @@ double PlaybackEngine::run(const ExerciseFunction& f) {
   worker_loop(0);
   done.store(true, std::memory_order_relaxed);
   for (auto& th : threads) th.join();
+  if (first_error) std::rethrow_exception(first_error);
   return std::min(clock_.now() - start, duration);
 }
 

@@ -97,6 +97,54 @@ LoadSample ProcSampler::sample(double t) {
   return s;
 }
 
+std::optional<MemoryPressure> read_memory_pressure() {
+  std::ifstream f("/proc/meminfo");
+  std::string line;
+  std::uint64_t total_kb = 0, avail_kb = 0;
+  bool have_total = false, have_avail = false;
+  while (std::getline(f, line)) {
+    const auto fields = split_ws(line);
+    if (fields.size() < 2) continue;
+    if (fields[0] == "MemTotal:") {
+      if (const auto v = parse_int(fields[1]); v && *v >= 0) {
+        total_kb = static_cast<std::uint64_t>(*v);
+        have_total = true;
+      }
+    } else if (fields[0] == "MemAvailable:") {
+      if (const auto v = parse_int(fields[1]); v && *v >= 0) {
+        avail_kb = static_cast<std::uint64_t>(*v);
+        have_avail = true;
+      }
+    }
+  }
+  if (!have_total || !have_avail || total_kb == 0) return std::nullopt;
+
+  MemoryPressure p;
+  p.total_bytes = total_kb * 1024;
+  p.available_bytes = avail_kb * 1024;
+
+  // cgroup v2: if this process is confined below physical RAM, the cgroup
+  // ceiling is the one borrowing must respect. Best-effort — absent files
+  // (cgroup v1, non-container host) just leave the meminfo numbers.
+  std::ifstream max_f("/sys/fs/cgroup/memory.max");
+  std::ifstream cur_f("/sys/fs/cgroup/memory.current");
+  std::string max_s, cur_s;
+  if (std::getline(max_f, max_s) && std::getline(cur_f, cur_s) &&
+      trim(max_s) != "max") {
+    const auto max_v = parse_int(trim(max_s));
+    const auto cur_v = parse_int(trim(cur_s));
+    if (max_v && cur_v && *max_v > 0 && *cur_v >= 0 &&
+        static_cast<std::uint64_t>(*max_v) < p.total_bytes) {
+      p.total_bytes = static_cast<std::uint64_t>(*max_v);
+      const auto used = static_cast<std::uint64_t>(*cur_v);
+      const std::uint64_t cg_avail = used < p.total_bytes ? p.total_bytes - used : 0;
+      p.available_bytes = std::min(p.available_bytes, cg_avail);
+      p.cgroup_limited = true;
+    }
+  }
+  return p;
+}
+
 std::vector<ProcessInfo> snapshot_processes(std::size_t max_count) {
   std::vector<ProcessInfo> out;
   std::error_code ec;

@@ -57,4 +57,26 @@ class ProcSampler final : public LoadSampler {
 /// readable comm). Best-effort: unreadable entries are skipped.
 std::vector<ProcessInfo> snapshot_processes(std::size_t max_count = 256);
 
+/// How much memory the host can still give up without swapping or OOM.
+/// Combines /proc/meminfo (MemTotal/MemAvailable) with the cgroup v2 memory
+/// controller (memory.max / memory.current) when the process is confined —
+/// inside a container the cgroup limit, not physical RAM, is what borrowing
+/// must respect.
+struct MemoryPressure {
+  std::uint64_t total_bytes = 0;      ///< borrowing ceiling (RAM or cgroup max)
+  std::uint64_t available_bytes = 0;  ///< what can still be taken
+  bool cgroup_limited = false;        ///< a cgroup limit was the binding one
+
+  double available_frac() const {
+    return total_bytes == 0
+               ? 1.0
+               : static_cast<double>(available_bytes) / static_cast<double>(total_bytes);
+  }
+};
+
+/// Reads the current memory pressure; nullopt if /proc/meminfo is absent or
+/// unparsable (non-Linux). The memory exerciser uses this to cap its pool
+/// and shrink its working set under host pressure.
+std::optional<MemoryPressure> read_memory_pressure();
+
 }  // namespace uucs

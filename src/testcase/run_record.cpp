@@ -29,6 +29,10 @@ double RunRecord::meta_double(const std::string& key, double dflt) const {
   return parse_double(it->second).value_or(dflt);
 }
 
+std::string RunRecord::run_outcome() const { return meta("run.outcome", "ok"); }
+
+bool RunRecord::host_fault() const { return run_outcome() != "ok"; }
+
 KvRecord RunRecord::to_record() const {
   KvRecord rec("run");
   rec.set("run_id", run_id);

@@ -45,6 +45,16 @@ struct RunRecord {
   std::string meta(const std::string& key, const std::string& dflt = "") const;
   double meta_double(const std::string& key, double dflt) const;
 
+  /// Typed run outcome recorded by the live executor — "ok", "degraded",
+  /// "failed", "hung", or "aborted" (see exerciser/supervisor.hpp). Healthy
+  /// runs do not carry the key, so the default is "ok".
+  std::string run_outcome() const;
+
+  /// True when the host, not the user, shaped how the run ended or played
+  /// (any non-ok outcome). Analysis excludes such records from comfort
+  /// estimates: their contention schedule was not delivered faithfully.
+  bool host_fault() const;
+
   KvRecord to_record() const;
   static RunRecord from_record(const KvRecord& rec);
 };

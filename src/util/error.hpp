@@ -27,6 +27,14 @@ class SystemError : public Error {
   explicit SystemError(const std::string& what) : Error("system error: " + what) {}
 };
 
+/// A configuration value is out of range or internally inconsistent.
+/// Thrown at construction time (e.g. ExerciserConfig::validate) so bad
+/// knobs fail loudly before any resource is touched.
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error("config error: " + what) {}
+};
+
 /// Error in the wire protocol between client and server.
 class ProtocolError : public Error {
  public:

@@ -73,19 +73,34 @@ TEST(MemoryExerciser, PoolTooSmallRejected) {
 TEST(DiskExerciser, WritesToBackingFile) {
   RealClock clock;
   TempDir dir;
-  auto ex = make_disk_exerciser(clock, small_config(dir.path()));
+  ExerciserConfig cfg = small_config(dir.path());
+  cfg.unlink_scratch = false;  // keep the file visible for inspection
+  auto ex = make_disk_exerciser(clock, cfg);
   EXPECT_EQ(ex->resource(), Resource::kDisk);
   ex->run(make_constant(1.0, 0.05, 10.0));
   // The backing file must have been created inside the configured dir.
   EXPECT_FALSE(list_files(dir.path()).empty());
 }
 
+TEST(DiskExerciser, ScratchUnlinkedByDefault) {
+  RealClock clock;
+  TempDir dir;
+  auto ex = make_disk_exerciser(clock, small_config(dir.path()));
+  ex->run(make_constant(1.0, 0.05, 10.0));
+  // unlink-after-open: the run writes through live descriptors but the name
+  // is already gone — no crash can leak scratch space.
+  EXPECT_TRUE(list_files(dir.path()).empty());
+}
+
 TEST(DiskExerciser, FileRemovedOnDestruction) {
   RealClock clock;
   TempDir dir;
   {
-    auto ex = make_disk_exerciser(clock, small_config(dir.path()));
+    ExerciserConfig cfg = small_config(dir.path());
+    cfg.unlink_scratch = false;
+    auto ex = make_disk_exerciser(clock, cfg);
     ex->run(make_constant(1.0, 0.02, 10.0));
+    EXPECT_FALSE(list_files(dir.path()).empty());
   }
   EXPECT_TRUE(list_files(dir.path()).empty());
 }
@@ -96,6 +111,31 @@ TEST(DiskExerciser, ConfigValidation) {
   ExerciserConfig cfg = small_config(dir.path());
   cfg.disk_file_bytes = 1000;  // < 1 MiB
   EXPECT_THROW(make_disk_exerciser(clock, cfg), Error);
+}
+
+TEST(ExerciserConfig, ValidatesUniformly) {
+  ExerciserConfig ok;
+  EXPECT_NO_THROW(ok.validate());
+
+  ExerciserConfig cfg;
+  cfg.disk_max_write_bytes = cfg.disk_file_bytes + 1;  // used to clamp silently
+  EXPECT_THROW(cfg.validate(), ConfigError);
+
+  cfg = ExerciserConfig{};
+  cfg.memory_headroom_frac = 1.5;
+  EXPECT_THROW(cfg.validate(), ConfigError);
+
+  cfg = ExerciserConfig{};
+  cfg.stop_bound_s = 0.0;
+  EXPECT_THROW(cfg.validate(), ConfigError);
+
+  cfg = ExerciserConfig{};
+  cfg.subinterval_s = -1.0;
+  EXPECT_THROW(cfg.validate(), ConfigError);
+
+  cfg = ExerciserConfig{};
+  cfg.disk_dir.clear();
+  EXPECT_THROW(cfg.validate(), ConfigError);
 }
 
 TEST(ExerciserSet, BlankTestcaseWaitsDuration) {

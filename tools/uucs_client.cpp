@@ -10,6 +10,18 @@
 ///                    [--sync SECONDS] [--duration SECONDS]
 ///                    [--timeout SECONDS] [--connect-timeout SECONDS]
 ///                    [--retries N] [--seed N]
+///                    [--disk-dir DIR] [--headroom FRAC] [--grace SECONDS]
+///                    [--stop-bound SECONDS]
+///                    [--failpoint-seed N | --failpoint-script SPEC]
+///
+/// Host safety: exerciser runs are supervised — a full disk, dying device
+/// or memory-starved host degrades the run (typed per-resource outcome on
+/// the record) instead of crashing the client. --disk-dir moves the disk
+/// scratch file, --headroom sets the memory fraction never borrowed,
+/// --grace/--stop-bound tune the run watchdog. --failpoint-seed /
+/// --failpoint-script arm deterministic host-fault injection (testing
+/// only): SPEC is OP:KIND[,OP:KIND...], KIND one of enospc | eio |
+/// slowio[=S] | pressure[=FRAC].
 ///
 /// Fault tolerance: every run record is journaled (fsync'd) to
 /// DIR/pending.journal before it is queued, so a crash or SIGKILL loses no
@@ -29,6 +41,7 @@
 #include <string>
 
 #include "client/daemon.hpp"
+#include "exerciser/failpoints.hpp"
 #include "server/net.hpp"
 #include "server/retry.hpp"
 #include "util/fs.hpp"
@@ -46,7 +59,9 @@ void on_signal(int) {
   std::fprintf(stderr,
                "usage: uucs_client [--server HOST] [--port P] [--dir DIR] "
                "[--task LABEL] [--interarrival S] [--sync S] [--duration S] "
-               "[--timeout S] [--connect-timeout S] [--retries N] [--seed N]\n");
+               "[--timeout S] [--connect-timeout S] [--retries N] [--seed N] "
+               "[--disk-dir DIR] [--headroom FRAC] [--grace S] "
+               "[--stop-bound S] [--failpoint-seed N | --failpoint-script SPEC]\n");
   std::exit(2);
 }
 
@@ -70,6 +85,11 @@ int main(int argc, char** argv) {
                 static_cast<std::uint64_t>(
                     std::chrono::steady_clock::now().time_since_epoch().count());
   double duration = 0.0;  // 0 = run until Ctrl-C
+  ExerciserConfig exerciser_config;
+  exerciser_config.subinterval_s = 0.01;
+  bool failpoint_seeded = false;
+  std::uint64_t failpoint_seed = 0;
+  std::string failpoint_script;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> std::string {
@@ -99,10 +119,25 @@ int main(int argc, char** argv) {
       if (config.sync_max_attempts == 0) usage();
     } else if (arg == "--seed") {
       config.seed = std::stoull(next());
+    } else if (arg == "--disk-dir") {
+      exerciser_config.disk_dir = next();
+      make_dirs(exerciser_config.disk_dir);
+    } else if (arg == "--headroom") {
+      exerciser_config.memory_headroom_frac = std::stod(next());
+    } else if (arg == "--grace") {
+      exerciser_config.watchdog_grace_s = std::stod(next());
+    } else if (arg == "--stop-bound") {
+      exerciser_config.stop_bound_s = std::stod(next());
+    } else if (arg == "--failpoint-seed") {
+      failpoint_seeded = true;
+      failpoint_seed = std::stoull(next());
+    } else if (arg == "--failpoint-script") {
+      failpoint_script = next();
     } else {
       usage();
     }
   }
+  if (failpoint_seeded && !failpoint_script.empty()) usage();
 
   // Local state: resume a previous identity or register fresh (§2).
   std::unique_ptr<UucsClient> client;
@@ -140,8 +175,16 @@ int main(int argc, char** argv) {
       [host, port, deadlines] { return TcpChannel::connect(host, port, deadlines); },
       clock, retry_policy);
 
-  ExerciserConfig exerciser_config;
-  exerciser_config.subinterval_s = 0.01;
+  if (failpoint_seeded || !failpoint_script.empty()) {
+    exerciser_config.failpoints = std::make_shared<HostFailpoints>();
+    exerciser_config.failpoints->arm(
+        failpoint_script.empty()
+            ? HostFaultSchedule::seeded(failpoint_seed, HostFaultProfile::hostile())
+            : parse_host_fault_schedule(failpoint_script));
+    std::printf("host failpoints armed (%s) — runs may report degraded/failed "
+                "outcomes by design\n",
+                failpoint_script.empty() ? "seeded" : "scripted");
+  }
   ExerciserSet exercisers(clock, exerciser_config);
   SignalFeedback feedback;  // SIGUSR1 = discomfort
   ProcSampler sampler;

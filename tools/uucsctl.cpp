@@ -18,11 +18,20 @@
 ///                                              replay a fault schedule
 ///                                              against a live server and
 ///                                              verify exactly-once uploads
+///   uucsctl chaoshost [SEEDS] [--seed-base N | --schedule SPEC]
+///                     [--duration S] [--disk-dir DIR]
+///                                              drive the real exercisers
+///                                              through seeded host faults
+///                                              and verify every run ends
+///                                              with a typed outcome
 ///
 /// SPEC for `make`: ramp RESOURCE X T | step RESOURCE X T B | blank T
 /// SPEC for `chaos --schedule`: OP:KIND[,OP:KIND...], KIND one of
 /// drop | disconnect | delay[=S] | truncate | garbage (OP = 0-based
 /// channel-operation index)
+/// SPEC for `chaoshost --schedule`: OP:KIND[,OP:KIND...], KIND one of
+/// enospc | eio | slowio[=S] | pressure[=FRAC] (OP = 0-based exerciser
+/// operation index)
 
 #include <algorithm>
 #include <cstdio>
@@ -35,6 +44,8 @@
 #include "analysis/export.hpp"
 #include "client/client.hpp"
 #include "core/comfort_profile.hpp"
+#include "exerciser/exerciser_set.hpp"
+#include "exerciser/failpoints.hpp"
 #include "server/fault_injection.hpp"
 #include "server/retry.hpp"
 #include "study/controlled_study.hpp"
@@ -50,7 +61,7 @@ using namespace uucs;
 
 [[noreturn]] void usage() {
   std::fprintf(stderr,
-               "usage: uucsctl list|show|make|results|metrics|cdf|profile|suite|chaos ...\n"
+               "usage: uucsctl list|show|make|results|metrics|cdf|profile|suite|chaos|chaoshost ...\n"
                "  list    STORE.txt\n"
                "  show    STORE.txt ID\n"
                "  make    STORE.txt ramp RES X T | step RES X T B | blank T\n"
@@ -66,7 +77,13 @@ using namespace uucs;
                "  chaos   HOST PORT [--seed N | --schedule SPEC] [--syncs K]\n"
                "          [--retries N] [--timeout S]\n"
                "          (drives a live server through injected faults and "
-               "verifies\n           every upload is stored exactly once)\n");
+               "verifies\n           every upload is stored exactly once)\n"
+               "  chaoshost [SEEDS] [--seed-base N | --schedule SPEC]\n"
+               "          [--duration S] [--disk-dir DIR]\n"
+               "          (drives the real exercisers through seeded host "
+               "faults —\n           ENOSPC, EIO, slow IO, memory pressure — "
+               "and verifies every\n           run completes with a typed "
+               "outcome and leaks no scratch)\n");
   std::exit(2);
 }
 
@@ -347,11 +364,119 @@ int cmd_chaos(const std::string& host, std::uint16_t port,
   return 0;
 }
 
+int cmd_chaoshost(const std::vector<std::string>& raw) {
+  std::size_t seeds = 25;
+  std::uint64_t seed_base = 1;
+  std::string spec;
+  double duration_s = 0.25;
+  std::string disk_dir;
+  std::vector<std::string> positional;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    auto next = [&]() -> std::string {
+      if (++i >= raw.size()) usage();
+      return raw[i];
+    };
+    if (raw[i] == "--seed-base") {
+      seed_base = std::stoull(next());
+    } else if (raw[i] == "--schedule") {
+      spec = next();
+    } else if (raw[i] == "--duration") {
+      duration_s = std::stod(next());
+    } else if (raw[i] == "--disk-dir") {
+      disk_dir = next();
+    } else {
+      positional.push_back(raw[i]);
+    }
+  }
+  if (positional.size() > 1) usage();
+  if (positional.size() == 1) seeds = std::stoul(positional[0]);
+  if (seeds == 0 || duration_s <= 0.0) usage();
+  if (!spec.empty()) seeds = 1;  // a script is one exact history
+
+  std::unique_ptr<TempDir> scratch;
+  if (disk_dir.empty()) {
+    scratch = std::make_unique<TempDir>();
+    disk_dir = scratch->path();
+  } else {
+    make_dirs(disk_dir);
+  }
+
+  RealClock clock;
+  ExerciserConfig cfg;
+  cfg.subinterval_s = 0.005;
+  cfg.memory_pool_bytes = 8u << 20;
+  cfg.disk_file_bytes = 4u << 20;
+  cfg.disk_max_write_bytes = 32u << 10;
+  cfg.disk_dir = disk_dir;
+  cfg.max_threads = 2;
+  cfg.watchdog_grace_s = 0.5;
+  cfg.stop_bound_s = 0.5;
+  cfg.failpoints = std::make_shared<HostFailpoints>();
+
+  Testcase tc("chaoshost-probe");
+  tc.set_function(Resource::kCpu, make_constant(0.5, duration_s, 20.0));
+  tc.set_function(Resource::kMemory, make_constant(0.6, duration_s, 20.0));
+  tc.set_function(Resource::kDisk, make_constant(0.8, duration_s, 20.0));
+
+  std::map<std::string, std::size_t> tally;
+  std::size_t watchdogs = 0;
+  bool failed = false;
+  {
+    ExerciserSet set(clock, cfg);
+    for (std::size_t i = 0; i < seeds; ++i) {
+      const std::uint64_t seed = seed_base + i;
+      cfg.failpoints->arm(spec.empty()
+                              ? HostFaultSchedule::seeded(seed, HostFaultProfile::hostile())
+                              : parse_host_fault_schedule(spec));
+      const auto outcome = set.run(tc);
+      if (outcome.watchdog_fired) ++watchdogs;
+      for (Resource r : tc.resources()) {
+        const auto it = outcome.reports.find(r);
+        if (it == outcome.reports.end()) {
+          std::printf("FAIL: seed %llu left %s without a typed outcome\n",
+                      static_cast<unsigned long long>(seed),
+                      resource_name(r).c_str());
+          failed = true;
+          continue;
+        }
+        ++tally[resource_outcome_name(it->second.outcome)];
+      }
+      std::printf("  seed %-6llu worst=%-8s watchdog=%d abandoned=%zu\n",
+                  static_cast<unsigned long long>(seed),
+                  resource_outcome_name(outcome.worst()).c_str(),
+                  outcome.watchdog_fired ? 1 : 0, set.abandoned_count());
+    }
+    cfg.failpoints->disarm();
+    // Destroying the set joins any abandoned workers — the sweep must end
+    // with every thread accounted for before we audit the scratch dir.
+  }
+
+  const auto stats = cfg.failpoints->stats();
+  std::printf("%zu runs: ", seeds);
+  for (const auto& [name, count] : tally) std::printf("%s %zu  ", name.c_str(), count);
+  std::printf("(watchdog fired %zu)\n", watchdogs);
+  std::printf("injected %zu faults over %zu ops (enospc %zu, eio %zu, slowio %zu, "
+              "pressure %zu)\n",
+              stats.injected(), stats.disk_checks + stats.mem_checks, stats.enospc,
+              stats.eio, stats.slow_io, stats.mem_pressure);
+
+  const auto leftovers = list_files(disk_dir);
+  if (!leftovers.empty()) {
+    std::printf("FAIL: %zu scratch files leaked under %s\n", leftovers.size(),
+                disk_dir.c_str());
+    return 1;
+  }
+  if (failed) return 1;
+  std::printf("OK: every run ended with a typed outcome, no scratch leaked\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) usage();
+  if (argc < 2) usage();
   const std::string cmd = argv[1];
+  if (argc < 3 && cmd != "chaoshost") usage();
   try {
     if (cmd == "list") return cmd_list(argv[2]);
     if (cmd == "show" && argc >= 4) return cmd_show(argv[2], argv[3]);
@@ -374,6 +499,9 @@ int main(int argc, char** argv) {
       return cmd_chaos(argv[2],
                        static_cast<std::uint16_t>(std::stoul(argv[3])),
                        {argv + 4, argv + argc});
+    }
+    if (cmd == "chaoshost") {
+      return cmd_chaoshost({argv + 2, argv + argc});
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "uucsctl: %s\n", e.what());

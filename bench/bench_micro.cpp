@@ -7,9 +7,12 @@
 
 #include <array>
 #include <atomic>
+#include <functional>
 #include <limits>
+#include <vector>
 
 #include "analysis/metrics.hpp"
+#include "analysis/streaming.hpp"
 #include "engine/session_engine.hpp"
 #include "exerciser/failpoints.hpp"
 #include "monitor/sampler.hpp"
@@ -110,6 +113,30 @@ void BM_EventQueueScheduleStep(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueueScheduleStep)->Arg(0)->Arg(1000)->Arg(100000);
 
+void BM_EventQueueChurnOutline(benchmark::State& state) {
+  // Same churn with handlers past HandlerArena::kInlineBytes: prices the
+  // size-class slab path (freelist pop/push) instead of the inline slots.
+  struct Payload {
+    std::array<double, 16> values{};
+  };
+  for (auto _ : state) {
+    uucs::VirtualClock clock;
+    uucs::sim::EventQueue queue(clock);
+    uucs::Rng rng(3);
+    std::size_t fired = 0;
+    for (int i = 0; i < state.range(0); ++i) {
+      Payload p;
+      p.values[0] = static_cast<double>(i);
+      queue.schedule_at(rng.uniform(0.0, 1000.0),
+                        [&fired, p] { fired += p.values[0] >= 0.0; });
+    }
+    queue.run_all();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventQueueChurnOutline)->Arg(1000)->Arg(10000);
+
 void BM_DiscomfortCdfMetrics(benchmark::State& state) {
   uucs::Rng rng(5);
   uucs::stats::DiscomfortCdf cdf;
@@ -168,6 +195,95 @@ void BM_ThreadPoolDispatch(benchmark::State& state) {
 }
 BENCHMARK(BM_ThreadPoolDispatch)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond);
+
+void BM_ThreadPoolDispatchBulk(benchmark::State& state) {
+  // The batched twin of BM_ThreadPoolDispatch: one lock per queue refill
+  // instead of one per task. The engine's session fan-out uses this path.
+  uucs::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  constexpr int kBatch = 4096;
+  for (auto _ : state) {
+    std::atomic<int> done{0};
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(kBatch);
+    for (int i = 0; i < kBatch; ++i) {
+      tasks.push_back([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.submit_bulk(tasks);
+    pool.wait_idle();
+    benchmark::DoNotOptimize(done.load());
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_ThreadPoolDispatchBulk)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SimulateRecordMap(benchmark::State& state) {
+  // The allocation-heavy record builder the non-streaming path uses: two
+  // std::maps of heap strings per run.
+  static const uucs::sim::HostModel host{uucs::HostSpec::paper_study_machine()};
+  uucs::sim::RunSimulator sim(host, {0.0, 0.0, 0.002, 0.003});
+  uucs::sim::UserProfile user;
+  user.user_id = "bench";
+  for (auto t : uucs::sim::kAllTasks) {
+    for (auto r : uucs::kStudyResources) user.set_threshold(t, r, 1.0);
+  }
+  const auto tc = uucs::make_ramp_testcase(uucs::Resource::kCpu, 2.0, 120.0);
+  uucs::Rng rng(11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sim.simulate_record(user, uucs::sim::Task::kQuake, tc, rng, "bench-run"));
+  }
+}
+BENCHMARK(BM_SimulateRecordMap);
+
+void BM_SimulateRecordFlat(benchmark::State& state) {
+  // The flat hot-path twin: interned ids + inline arrays, no maps. Same RNG
+  // draws as BM_SimulateRecordMap; the delta is pure record-building cost.
+  static const uucs::sim::HostModel host{uucs::HostSpec::paper_study_machine()};
+  uucs::sim::RunSimulator sim(host, {0.0, 0.0, 0.002, 0.003});
+  uucs::sim::UserProfile user;
+  user.user_id = "bench";
+  for (auto t : uucs::sim::kAllTasks) {
+    for (auto r : uucs::kStudyResources) user.set_threshold(t, r, 1.0);
+  }
+  const auto tc = uucs::make_ramp_testcase(uucs::Resource::kCpu, 2.0, 120.0);
+  const uucs::InternedTestcase itc{
+      uucs::StringInterner::global().intern(tc.id()),
+      uucs::StringInterner::global().intern(tc.description())};
+  const auto ctx = sim.flat_context(user);
+  uucs::Rng rng(11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.simulate_flat(
+        user, uucs::sim::Task::kQuake, tc, itc, rng, "bench-run", ctx));
+  }
+}
+BENCHMARK(BM_SimulateRecordFlat);
+
+void BM_StudyAccumulatorAdd(benchmark::State& state) {
+  // Streaming-aggregation absorb cost per flat record (classification is
+  // cached by interned testcase id after the first sighting).
+  static const uucs::sim::HostModel host{uucs::HostSpec::paper_study_machine()};
+  uucs::sim::RunSimulator sim(host, {0.0, 0.0, 0.002, 0.003});
+  uucs::sim::UserProfile user;
+  user.user_id = "bench";
+  for (auto t : uucs::sim::kAllTasks) {
+    for (auto r : uucs::kStudyResources) user.set_threshold(t, r, 1.0);
+  }
+  const auto tc = uucs::make_ramp_testcase(uucs::Resource::kCpu, 2.0, 120.0);
+  const uucs::InternedTestcase itc{
+      uucs::StringInterner::global().intern(tc.id()),
+      uucs::StringInterner::global().intern(tc.description())};
+  const auto ctx = sim.flat_context(user);
+  uucs::Rng rng(11);
+  const uucs::FlatRunRecord rec = sim.simulate_flat(
+      user, uucs::sim::Task::kQuake, tc, itc, rng, "bench-run", ctx);
+  uucs::analysis::StudyAccumulator acc;
+  for (auto _ : state) {
+    acc.add(rec);
+  }
+  benchmark::DoNotOptimize(acc.runs());
+}
+BENCHMARK(BM_StudyAccumulatorAdd);
 
 void BM_EngineSessionsPerSec(benchmark::State& state) {
   // End-to-end controlled-study session throughput through the

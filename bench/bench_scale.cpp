@@ -1,0 +1,131 @@
+/// Scale bench for the streaming study path (ISSUE 5 layer 4): runs the
+/// controlled study at 10k/100k/1M synthetic users with --streaming-style
+/// aggregation and records wall/cpu/RSS/runs-per-second per size. The
+/// numbers land in BENCH_scale.json (see --json) so future PRs can track
+/// throughput and the bounded-memory property.
+///
+/// Usage:
+///   bench_scale [--jobs N|auto] [--sizes 10000,100000,1000000]
+///               [--json FILE] [--verify]
+///
+/// --verify additionally runs the smallest size through the in-memory path
+/// and asserts the streaming aggregates serialize byte-identically (the
+/// same check tests/study/test_streaming.cpp pins at small scale); the
+/// process exits nonzero on mismatch.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/streaming.hpp"
+#include "common.hpp"
+#include "study/controlled_study.hpp"
+#include "study/population.hpp"
+#include "util/fs.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+struct SizeResult {
+  std::size_t participants = 0;
+  std::size_t runs = 0;
+  double wall_s = 0.0;
+  double cpu_s = 0.0;
+  double runs_per_s = 0.0;
+  std::size_t max_rss_bytes = 0;
+};
+
+std::vector<std::size_t> parse_sizes(const std::string& csv) {
+  std::vector<std::size_t> sizes;
+  for (const std::string& part : uucs::split(csv, ',')) {
+    sizes.push_back(std::strtoull(part.c_str(), nullptr, 10));
+  }
+  return sizes;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t jobs = uucs::bench::parse_jobs(argc, argv);
+  std::vector<std::size_t> sizes = {10'000, 100'000, 1'000'000};
+  std::string json_path;
+  bool verify = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--sizes") == 0 && i + 1 < argc) {
+      sizes = parse_sizes(argv[++i]);
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--verify") == 0) {
+      verify = true;
+    }
+  }
+
+  const uucs::study::PopulationParams params = uucs::study::calibrate_population();
+
+  if (verify && !sizes.empty()) {
+    uucs::bench::heading("verify: streaming == in-memory");
+    uucs::study::ControlledStudyConfig cfg;
+    cfg.participants = *std::min_element(sizes.begin(), sizes.end());
+    cfg.seed = 2004;
+    cfg.jobs = jobs;
+    const auto mem = uucs::study::run_controlled_study(cfg, params);
+    uucs::analysis::StudyAccumulator ref;
+    for (const auto& rec : mem.results.records()) ref.add(rec);
+    cfg.streaming = true;
+    const auto streamed = uucs::study::run_controlled_study(cfg, params);
+    if (streamed.aggregates->serialize() != ref.serialize()) {
+      std::fprintf(stderr, "FAIL: streaming aggregates diverge from the "
+                           "in-memory path at %zu participants\n",
+                   cfg.participants);
+      return 1;
+    }
+    std::printf("ok: %llu runs, aggregates byte-identical\n",
+                static_cast<unsigned long long>(streamed.aggregates->runs()));
+  }
+
+  std::vector<SizeResult> results;
+  for (const std::size_t n : sizes) {
+    uucs::bench::heading(uucs::strprintf("%zu users (streaming, jobs=%zu)",
+                                         n, jobs));
+    uucs::study::ControlledStudyConfig cfg;
+    cfg.participants = n;
+    cfg.seed = 2004;
+    cfg.jobs = jobs;
+    cfg.streaming = true;
+    const auto out = uucs::study::run_controlled_study(cfg, params);
+    SizeResult r;
+    r.participants = n;
+    r.runs = out.aggregates->runs();
+    r.wall_s = out.engine.wall_s;
+    r.cpu_s = out.engine.cpu_s;
+    r.runs_per_s = out.engine.runs_per_s();
+    r.max_rss_bytes = out.engine.max_rss_bytes;
+    results.push_back(r);
+    std::printf("%s\n", out.engine.summary().render().c_str());
+  }
+
+  if (!json_path.empty()) {
+    std::string json = "{\n";
+    json += "  \"description\": \"bench_scale: streaming controlled study "
+            "(seed 2004); wall/cpu from EngineStats, RSS = peak process "
+            "RSS after the engine drained\",\n";
+    json += uucs::strprintf("  \"jobs\": %zu,\n", jobs);
+    json += "  \"sizes\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const SizeResult& r = results[i];
+      json += uucs::strprintf(
+          "    { \"participants\": %zu, \"runs\": %zu, \"wall_s\": %.3f, "
+          "\"cpu_s\": %.3f, \"runs_per_s\": %.1f, \"max_rss_mib\": %.1f }%s\n",
+          r.participants, r.runs, r.wall_s, r.cpu_s, r.runs_per_s,
+          static_cast<double>(r.max_rss_bytes) / (1024.0 * 1024.0),
+          i + 1 < results.size() ? "," : "");
+    }
+    json += "  ]\n}\n";
+    uucs::write_file(json_path, json);
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

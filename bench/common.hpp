@@ -14,12 +14,14 @@
 
 namespace uucs::bench {
 
-/// Session-engine worker count from a `--jobs N` flag; 0 (the default)
-/// means one worker per hardware thread. Any value is bit-identical.
+/// Session-engine worker count from a `--jobs N|auto` flag; "auto" or 0
+/// (the default) means one worker per hardware thread. Any value is
+/// bit-identical.
 inline std::size_t parse_jobs(int argc, char** argv) {
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::string(argv[i]) == "--jobs") {
-      return std::strtoul(argv[i + 1], nullptr, 10);
+      const std::string v = argv[i + 1];
+      return v == "auto" ? 0 : std::strtoul(v.c_str(), nullptr, 10);
     }
   }
   return 0;

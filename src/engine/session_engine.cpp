@@ -1,5 +1,7 @@
 #include "engine/session_engine.hpp"
 
+#include <sys/resource.h>
+
 #include <algorithm>
 #include <chrono>
 #include <ctime>
@@ -20,6 +22,13 @@ double process_cpu_seconds() {
   return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
 }
 
+std::size_t peak_rss_bytes() {
+  rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  // ru_maxrss is KiB on Linux.
+  return static_cast<std::size_t>(ru.ru_maxrss) * 1024;
+}
+
 }  // namespace
 
 std::size_t effective_jobs(std::size_t jobs) {
@@ -34,6 +43,7 @@ void EngineStats::merge(const EngineStats& other) {
   runs_simulated += other.runs_simulated;
   wall_s += other.wall_s;
   cpu_s += other.cpu_s;
+  max_rss_bytes = std::max(max_rss_bytes, other.max_rss_bytes);
 }
 
 TextTable EngineStats::summary() const {
@@ -46,6 +56,11 @@ TextTable EngineStats::summary() const {
   t.add_row({"cpu time (s)", strprintf("%.3f", cpu_s)});
   t.add_row({"sessions/s", strprintf("%.1f", jobs_per_s())});
   t.add_row({"runs/s", strprintf("%.1f", runs_per_s())});
+  if (max_rss_bytes > 0) {
+    t.add_row({"max rss (MiB)",
+               strprintf("%.1f", static_cast<double>(max_rss_bytes) /
+                                     (1024.0 * 1024.0))});
+  }
   if (workers > 0 && wall_s > 0) {
     t.add_row({"parallel efficiency",
                strprintf("%.2f", cpu_s / (wall_s * static_cast<double>(workers)))});
@@ -95,28 +110,40 @@ SessionEngine::SessionEngine(EngineConfig config)
 
 SessionEngine::~SessionEngine() = default;
 
-void SessionEngine::run_tasks(std::size_t n,
-                              const std::function<void(std::size_t)>& task) {
+void SessionEngine::run_tasks(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& task) {
   const auto wall_start = std::chrono::steady_clock::now();
   const double cpu_start = process_cpu_seconds();
   const std::size_t runs_start = runs_.load(std::memory_order_relaxed);
 
   if (workers_ == 1) {
-    for (std::size_t i = 0; i < n; ++i) task(i);
+    for (std::size_t i = 0; i < n; ++i) task(i, 0);
   } else {
     if (!pool_) pool_ = std::make_unique<ThreadPool>(workers_);
     std::mutex error_mu;
     std::exception_ptr first_error;
-    for (std::size_t i = 0; i < n; ++i) {
-      pool_->submit([&, i] {
-        try {
-          task(i);
-        } catch (...) {
-          std::lock_guard<std::mutex> lock(error_mu);
-          if (!first_error) first_error = std::current_exception();
+    // One self-striding closure per worker: jobs are handed out through a
+    // shared atomic counter, so pool traffic is O(workers), not O(jobs) —
+    // per-job submit() lock contention dominated the old fan-out (see
+    // BM_ThreadPoolDispatch vs BM_ThreadPoolDispatchBulk).
+    std::atomic<std::size_t> next{0};
+    std::vector<std::function<void()>> strides;
+    strides.reserve(workers_);
+    for (std::size_t slot = 0; slot < workers_; ++slot) {
+      strides.push_back([&, slot] {
+        for (;;) {
+          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= n) return;
+          try {
+            task(i, slot);
+          } catch (...) {
+            std::lock_guard<std::mutex> lock(error_mu);
+            if (!first_error) first_error = std::current_exception();
+          }
         }
       });
     }
+    pool_->submit_bulk(strides);
     pool_->wait_idle();
     if (first_error) std::rethrow_exception(first_error);
   }
@@ -128,6 +155,7 @@ void SessionEngine::run_tasks(std::size_t n,
                        std::chrono::steady_clock::now() - wall_start)
                        .count();
   stats_.cpu_s += process_cpu_seconds() - cpu_start;
+  stats_.max_rss_bytes = std::max(stats_.max_rss_bytes, peak_rss_bytes());
 }
 
 }  // namespace uucs::engine

@@ -39,6 +39,7 @@ struct EngineStats {
   std::size_t runs_simulated = 0;  ///< individual runs reported by jobs
   double wall_s = 0.0;             ///< wall-clock time inside map()
   double cpu_s = 0.0;              ///< process CPU time inside map()
+  std::size_t max_rss_bytes = 0;   ///< peak process RSS sampled after map()
 
   double jobs_per_s() const { return wall_s > 0 ? jobs_executed / wall_s : 0.0; }
   double runs_per_s() const { return wall_s > 0 ? runs_simulated / wall_s : 0.0; }
@@ -75,10 +76,19 @@ class SessionEngine;
 /// Passed to each job while it runs.
 class JobContext {
  public:
-  JobContext(std::size_t index, SessionEngine& engine)
-      : index_(index), engine_(engine) {}
+  JobContext(std::size_t index, SessionEngine& engine,
+             std::size_t worker_slot = 0)
+      : index_(index), worker_slot_(worker_slot), engine_(engine) {}
 
   std::size_t index() const { return index_; }
+
+  /// Which worker (0..workers()-1) is running this job. Stable for the
+  /// job's whole lifetime, so drivers can keep per-worker state (e.g. one
+  /// streaming StudyAccumulator per slot) without any locking: a slot is
+  /// only ever touched by the thread that owns it. Inline execution uses
+  /// slot 0. Which jobs land on which slot is *not* deterministic — only
+  /// order-independent per-slot state (exact accumulators) may rely on it.
+  std::size_t worker_slot() const { return worker_slot_; }
 
   /// This job's discrete-event simulation context, created lazily with the
   /// engine's trace setting. One Simulation per SessionJob: all of the
@@ -97,6 +107,7 @@ class JobContext {
 
  private:
   std::size_t index_;
+  std::size_t worker_slot_;
   SessionEngine& engine_;
   std::unique_ptr<sim::Simulation> sim_;
 };
@@ -129,8 +140,8 @@ class SessionEngine {
   std::vector<R> map(std::size_t n_jobs, Fn&& fn) {
     if (config_.trace) job_traces_.assign(n_jobs, {});
     std::vector<R> results(n_jobs);
-    run_tasks(n_jobs, [&](std::size_t i) {
-      JobContext ctx(i, *this);
+    run_tasks(n_jobs, [&](std::size_t i, std::size_t slot) {
+      JobContext ctx(i, *this, slot);
       results[i] = fn(ctx);
       // Each job writes only its own pre-sized slot; no synchronization
       // needed beyond run_tasks' completion barrier.
@@ -152,7 +163,12 @@ class SessionEngine {
 
  private:
   friend class JobContext;
-  void run_tasks(std::size_t n, const std::function<void(std::size_t)>& task);
+  /// Runs task(i, worker_slot) for i in 0..n-1. Parallel execution submits
+  /// one self-striding closure per worker (a shared atomic index hands out
+  /// jobs) through ThreadPool::submit_bulk — O(workers) pool traffic
+  /// instead of O(jobs).
+  void run_tasks(std::size_t n,
+                 const std::function<void(std::size_t, std::size_t)>& task);
 
   EngineConfig config_;
   std::size_t workers_ = 1;

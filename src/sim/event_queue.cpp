@@ -1,5 +1,6 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
 #include <array>
 
 #include "util/error.hpp"
@@ -10,6 +11,11 @@ namespace uucs::sim {
 namespace {
 const std::array<std::string, kEventClassCount> kClassNames = {
     "sync", "run-start", "feedback", "run-end", "generic"};
+
+// 4-ary heap geometry: children of i are 4i+1..4i+4. A wider node halves
+// the tree depth vs. a binary heap, trading a few extra comparisons per
+// level for fewer cache-missing levels — a win for the small POD entries.
+constexpr std::size_t kArity = 4;
 }  // namespace
 
 const std::string& event_class_name(EventClass c) {
@@ -25,38 +31,79 @@ EventClass parse_event_class(const std::string& name) {
   throw Error("unknown event class: " + name);
 }
 
-void EventQueue::schedule_at(double t, EventClass cls, Handler h) {
-  if (t < clock_.now()) {
-    throw Error(strprintf(
-        "cannot schedule an event in the past: t=%.9g is before now=%.9g",
-        t, clock_.now()));
-  }
-  UUCS_CHECK(h != nullptr);
-  queue_.push(Event{t, cls, next_seq_++, std::move(h)});
+EventQueue::~EventQueue() {
+  for (const Entry& e : heap_) arena_.release(e.ref);
 }
 
-void EventQueue::schedule_in(double delay, EventClass cls, Handler h) {
+void EventQueue::throw_past(double t) const {
+  throw Error(strprintf(
+      "cannot schedule an event in the past: t=%.9g is before now=%.9g",
+      t, clock_.now()));
+}
+
+void EventQueue::throw_null_handler() {
+  UUCS_CHECK_MSG(false, "cannot schedule a null handler");
+}
+
+void EventQueue::check_delay(double delay) {
   UUCS_CHECK_MSG(delay >= 0, "delay must be non-negative");
-  schedule_at(clock_.now() + delay, cls, std::move(h));
+}
+
+void EventQueue::push_entry(double t, EventClass cls, HandlerArena::Ref ref) {
+  Entry e{t, next_seq_++, ref, cls};
+  std::size_t i = heap_.size();
+  heap_.push_back(e);
+  while (i > 0) {  // sift up
+    const std::size_t parent = (i - 1) / kArity;
+    if (!before(e, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
+}
+
+EventQueue::Entry EventQueue::pop_top() {
+  const Entry top = heap_.front();
+  const Entry last = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {  // sift the former last entry down from the root
+    std::size_t i = 0;
+    const std::size_t n = heap_.size();
+    for (;;) {
+      const std::size_t first_child = i * kArity + 1;
+      if (first_child >= n) break;
+      std::size_t best = first_child;
+      const std::size_t end = std::min(first_child + kArity, n);
+      for (std::size_t c = first_child + 1; c < end; ++c) {
+        if (before(heap_[c], heap_[best])) best = c;
+      }
+      if (!before(heap_[best], last)) break;
+      heap_[i] = heap_[best];
+      i = best;
+    }
+    heap_[i] = last;
+  }
+  return top;
 }
 
 double EventQueue::next_time() const {
-  UUCS_CHECK_MSG(!queue_.empty(), "next_time on empty queue");
-  return queue_.top().t;
+  UUCS_CHECK_MSG(!heap_.empty(), "next_time on empty queue");
+  return heap_.front().t;
 }
 
 bool EventQueue::step() {
-  if (queue_.empty()) return false;
-  // Move the handler out before running: the handler may schedule events.
-  Event ev = queue_.top();
-  queue_.pop();
-  clock_.advance_to(ev.t);
-  ev.h();
+  if (heap_.empty()) return false;
+  // The entry is popped and the handler's storage released before the
+  // handler runs: handlers may schedule more events (or throw) without
+  // corrupting the queue.
+  const Entry top = pop_top();
+  clock_.advance_to(top.t);
+  arena_.invoke_and_release(top.ref);
   return true;
 }
 
 void EventQueue::run_until(double t_end) {
-  while (!queue_.empty() && queue_.top().t <= t_end) step();
+  while (!heap_.empty() && heap_.front().t <= t_end) step();
   if (clock_.now() < t_end) clock_.advance_to(t_end);
 }
 

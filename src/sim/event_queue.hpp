@@ -2,10 +2,12 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "sim/handler_arena.hpp"
 #include "util/clock.hpp"
 
 namespace uucs::sim {
@@ -39,28 +41,60 @@ EventClass parse_event_class(const std::string& name);
 /// study's run/gap/session loops, the Internet study's hot-sync and Poisson
 /// arrival schedules, and the policy-evaluation tick chains — schedule
 /// through this queue via sim::Simulation.
+///
+/// Hot-path layout: handlers live in a recycled HandlerArena (small-buffer
+/// slots + size-class slabs, see handler_arena.hpp), and the priority queue
+/// is a hand-rolled 4-ary min-heap over 24-byte POD entries, so scheduling
+/// and firing an event allocates nothing in the steady state and sift
+/// operations never move a callable. schedule_at/schedule_in are templated:
+/// a lambda is emplaced directly with its exact type, never converted to a
+/// `std::function` (the Handler alias remains accepted for callers that
+/// need type erasure themselves).
 class EventQueue {
  public:
   using Handler = std::function<void()>;
 
   explicit EventQueue(uucs::VirtualClock& clock) : clock_(clock) {}
+  ~EventQueue();
 
-  /// Schedules `h` at absolute time `t` (must be >= now; scheduling in the
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Schedules `f` at absolute time `t` (must be >= now; scheduling in the
   /// past throws with the offending times in the message).
-  void schedule_at(double t, Handler h) {
-    schedule_at(t, EventClass::kGeneric, std::move(h));
+  template <typename F>
+  void schedule_at(double t, F&& f) {
+    schedule_at(t, EventClass::kGeneric, std::forward<F>(f));
   }
-  void schedule_at(double t, EventClass cls, Handler h);
+  template <typename F>
+  void schedule_at(double t, EventClass cls, F&& f) {
+    if (t < clock_.now()) throw_past(t);
+    using Fn = std::decay_t<F>;
+    if constexpr (std::is_same_v<Fn, std::nullptr_t>) {
+      (void)f;
+      throw_null_handler();
+    } else {
+      if constexpr (std::is_same_v<Fn, Handler>) {
+        if (f == nullptr) throw_null_handler();
+      }
+      push_entry(t, cls, arena_.emplace(std::forward<F>(f)));
+    }
+  }
 
-  /// Schedules `h` after `delay` seconds (>= 0).
-  void schedule_in(double delay, Handler h) {
-    schedule_in(delay, EventClass::kGeneric, std::move(h));
+  /// Schedules `f` after `delay` seconds (>= 0).
+  template <typename F>
+  void schedule_in(double delay, F&& f) {
+    schedule_in(delay, EventClass::kGeneric, std::forward<F>(f));
   }
-  void schedule_in(double delay, EventClass cls, Handler h);
+  template <typename F>
+  void schedule_in(double delay, EventClass cls, F&& f) {
+    check_delay(delay);
+    schedule_at(clock_.now() + delay, cls, std::forward<F>(f));
+  }
 
   /// Number of pending events.
-  std::size_t pending() const { return queue_.size(); }
-  bool empty() const { return queue_.empty(); }
+  std::size_t pending() const { return heap_.size(); }
+  bool empty() const { return heap_.empty(); }
 
   /// Time of the next event; throws if empty.
   double next_time() const;
@@ -86,23 +120,36 @@ class EventQueue {
 
   uucs::VirtualClock& clock() { return clock_; }
 
+  /// Handler storage introspection for tests and benches.
+  const HandlerArena& arena() const { return arena_; }
+
  private:
-  struct Event {
+  /// One pending event. The callable lives in the arena; sifting the heap
+  /// moves only these POD entries.
+  struct Entry {
     double t;
-    EventClass cls;
     std::uint64_t seq;
-    Handler h;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.t != b.t) return a.t > b.t;
-      if (a.cls != b.cls) return a.cls > b.cls;  // priority among equal times
-      return a.seq > b.seq;                      // FIFO among equal classes
-    }
+    HandlerArena::Ref ref;
+    EventClass cls;
   };
 
+  // (time, class, seq) lexicographic order — the determinism contract.
+  static bool before(const Entry& a, const Entry& b) {
+    if (a.t != b.t) return a.t < b.t;
+    if (a.cls != b.cls) return a.cls < b.cls;  // priority among equal times
+    return a.seq < b.seq;                      // FIFO among equal classes
+  }
+
+  [[noreturn]] void throw_past(double t) const;
+  [[noreturn]] static void throw_null_handler();
+  static void check_delay(double delay);
+
+  void push_entry(double t, EventClass cls, HandlerArena::Ref ref);
+  Entry pop_top();
+
   uucs::VirtualClock& clock_;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<Entry> heap_;  ///< 4-ary min-heap, root at index 0
+  HandlerArena arena_;
   std::uint64_t next_seq_ = 0;
   std::size_t max_events_ = 10'000'000;
 };

@@ -1,0 +1,113 @@
+#include "sim/handler_arena.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace uucs::sim {
+
+std::uint8_t HandlerArena::size_class_for(std::size_t bytes) {
+  for (std::size_t i = 0; i < kClassBytes.size(); ++i) {
+    if (bytes <= kClassBytes[i]) return static_cast<std::uint8_t>(i);
+  }
+  return kHugeClass;
+}
+
+HandlerArena::Ref HandlerArena::acquire_slot() {
+  if (free_head_ != kNullRef) {
+    const Ref ref = free_head_;
+    free_head_ = slots_[ref].next_free;
+    return ref;
+  }
+  UUCS_CHECK_MSG(slots_.size() < kNullRef, "handler arena slot space exhausted");
+  slots_.emplace_back();
+  return static_cast<Ref>(slots_.size() - 1);
+}
+
+void HandlerArena::free_slot(Ref ref) {
+  Slot& slot = slots_[ref];
+  slot.invoke_and_destroy = nullptr;
+  slot.destroy = nullptr;
+  slot.relocate = nullptr;
+  slot.outline = nullptr;
+  slot.next_free = free_head_;
+  free_head_ = ref;
+}
+
+void* HandlerArena::acquire_block(std::uint8_t cls, std::size_t bytes) {
+  if (cls == kHugeClass) return ::operator new(bytes);
+  void*& head = block_free_[cls];
+  if (head != nullptr) {
+    void* block = head;
+    head = *static_cast<void**>(block);
+    return block;
+  }
+  const std::size_t block_bytes = kClassBytes[cls];
+  if (bump_left_ < block_bytes) {
+    const std::size_t chunk_bytes = std::max(block_bytes, next_chunk_bytes_);
+    chunks_.push_back(std::make_unique<std::byte[]>(chunk_bytes));
+    bump_ = chunks_.back().get();
+    bump_left_ = chunk_bytes;
+    slab_bytes_ += chunk_bytes;
+    next_chunk_bytes_ = std::min<std::size_t>(next_chunk_bytes_ * 2, 64 * 1024);
+  }
+  void* block = bump_;
+  bump_ += block_bytes;
+  bump_left_ -= block_bytes;
+  return block;
+}
+
+void HandlerArena::release_block(void* block, std::uint8_t cls) {
+  if (cls == kHugeClass) {
+    ::operator delete(block);
+    return;
+  }
+  *static_cast<void**>(block) = block_free_[cls];
+  block_free_[cls] = block;
+}
+
+void HandlerArena::invoke_and_release(Ref ref) {
+  UUCS_CHECK_MSG(ref < slots_.size() && slots_[ref].invoke_and_destroy,
+                 "invoke of a free handler slot");
+  Slot& slot = slots_[ref];
+  void (*const iad)(void*) = slot.invoke_and_destroy;
+  if (slot.block_class == kInlineClass) {
+    // Relocate to the stack first: the handler may schedule new events,
+    // which can grow slots_ and move the slot's storage mid-call.
+    alignas(std::max_align_t) unsigned char local[kInlineBytes];
+    slot.relocate(slot.buf, local);
+    free_slot(ref);
+    --live_;
+    iad(local);
+    return;
+  }
+  // Outline blocks have stable addresses, so the callable runs in place;
+  // the guard returns the block to its freelist even if it throws.
+  void* block = slot.outline;
+  const std::uint8_t cls = slot.block_class;
+  free_slot(ref);
+  --live_;
+  struct BlockGuard {
+    HandlerArena* arena;
+    void* block;
+    std::uint8_t cls;
+    ~BlockGuard() { arena->release_block(block, cls); }
+  } guard{this, block, cls};
+  iad(block);
+}
+
+void HandlerArena::release(Ref ref) {
+  UUCS_CHECK_MSG(ref < slots_.size() && slots_[ref].destroy,
+                 "release of a free handler slot");
+  Slot& slot = slots_[ref];
+  if (slot.block_class == kInlineClass) {
+    slot.destroy(slot.buf);
+  } else {
+    slot.destroy(slot.outline);
+    release_block(slot.outline, slot.block_class);
+  }
+  free_slot(ref);
+  --live_;
+}
+
+}  // namespace uucs::sim

@@ -1,0 +1,162 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace uucs::sim {
+
+/// Recycled storage for the EventQueue's type-erased handlers.
+///
+/// Small, nothrow-movable callables are constructed directly in a pooled
+/// slot (small-buffer optimization); larger ones go into size-class blocks
+/// carved from geometrically growing slabs. Slots and blocks return to
+/// freelists when their event fires or is dropped, so a steady-state
+/// simulation schedules millions of events without touching the global
+/// allocator — the dominant cost of the previous per-event
+/// `std::function` representation.
+///
+/// Invocation is reallocation- and exception-safe: the callable is moved
+/// out of pooled storage and its slot released *before* it runs, so a
+/// handler may freely schedule further events (growing the slot vector
+/// under its feet) or throw (storage was already reclaimed; the moved-out
+/// callable is destroyed during unwind).
+class HandlerArena {
+ public:
+  using Ref = std::uint32_t;
+  static constexpr Ref kNullRef = 0xffffffffu;
+
+  /// Callables up to this size (and nothrow-movable) live inline in the
+  /// slot. 48 bytes covers every study-driver lambda except the run-end
+  /// closure that carries a whole RunRecord.
+  static constexpr std::size_t kInlineBytes = 48;
+
+  HandlerArena() = default;
+  ~HandlerArena() = default;
+  HandlerArena(const HandlerArena&) = delete;
+  HandlerArena& operator=(const HandlerArena&) = delete;
+
+  /// Stores `f`, returning a ref to pass to invoke_and_release()/release().
+  template <typename F>
+  Ref emplace(F&& f) {
+    using Fn = std::decay_t<F>;
+    static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                  "over-aligned handlers are not supported");
+    const Ref ref = acquire_slot();
+    Slot& slot = slots_[ref];
+    slot.invoke_and_destroy = &invoke_and_destroy_fn<Fn>;
+    slot.destroy = &destroy_fn<Fn>;
+    if constexpr (sizeof(Fn) <= kInlineBytes &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      slot.relocate = &relocate_fn<Fn>;
+      slot.block_class = kInlineClass;
+      try {
+        ::new (static_cast<void*>(slot.buf)) Fn(std::forward<F>(f));
+      } catch (...) {
+        free_slot(ref);
+        throw;
+      }
+    } else {
+      slot.relocate = nullptr;
+      const std::uint8_t cls = size_class_for(sizeof(Fn));
+      void* block = acquire_block(cls, sizeof(Fn));
+      try {
+        ::new (block) Fn(std::forward<F>(f));
+      } catch (...) {
+        release_block(block, cls);
+        free_slot(ref);
+        throw;
+      }
+      slot.outline = block;
+      slot.block_class = cls;
+    }
+    ++live_;
+    return ref;
+  }
+
+  /// Runs the stored callable and reclaims its storage. The slot (and any
+  /// outline block) is released before/while the callable runs, so the
+  /// callable may re-enter emplace(); storage is reclaimed even when the
+  /// callable throws.
+  void invoke_and_release(Ref ref);
+
+  /// Destroys the stored callable without running it.
+  void release(Ref ref);
+
+  /// Handlers currently stored (scheduled but not yet fired/dropped).
+  std::size_t live() const { return live_; }
+
+  /// Total slots ever created — bounds the arena's steady-state footprint.
+  std::size_t slot_capacity() const { return slots_.size(); }
+
+  /// Bytes reserved in outline slabs (not counting huge direct allocations).
+  std::size_t slab_bytes() const { return slab_bytes_; }
+
+ private:
+  static constexpr std::uint8_t kInlineClass = 0xfe;
+  static constexpr std::uint8_t kHugeClass = 0xff;
+  static constexpr std::array<std::size_t, 7> kClassBytes = {
+      64, 128, 256, 512, 1024, 2048, 4096};
+
+  struct Slot {
+    void (*invoke_and_destroy)(void*) = nullptr;
+    void (*destroy)(void*) = nullptr;
+    void (*relocate)(void*, void*) = nullptr;  ///< inline slots only
+    void* outline = nullptr;                   ///< outline/huge slots only
+    Ref next_free = kNullRef;
+    std::uint8_t block_class = 0;
+    alignas(std::max_align_t) unsigned char buf[kInlineBytes];
+  };
+
+  template <typename Fn>
+  static void invoke_and_destroy_fn(void* p) {
+    Fn* f = static_cast<Fn*>(p);
+    struct Guard {
+      Fn* f;
+      ~Guard() { f->~Fn(); }
+    } guard{f};
+    (*f)();
+  }
+
+  template <typename Fn>
+  static void destroy_fn(void* p) {
+    static_cast<Fn*>(p)->~Fn();
+  }
+
+  // Move-construct dst from src, then destroy src. Registered only for
+  // nothrow-movable callables, so relocation cannot fail half-way.
+  template <typename Fn>
+  static void relocate_fn(void* src, void* dst) {
+    Fn* f = static_cast<Fn*>(src);
+    ::new (dst) Fn(std::move(*f));
+    f->~Fn();
+  }
+
+  static std::uint8_t size_class_for(std::size_t bytes);
+
+  Ref acquire_slot();
+  void free_slot(Ref ref);
+  void* acquire_block(std::uint8_t cls, std::size_t bytes);
+  void release_block(void* block, std::uint8_t cls);
+
+  std::vector<Slot> slots_;
+  Ref free_head_ = kNullRef;
+  std::size_t live_ = 0;
+
+  // Outline-block slabs: size-class freelists over bump-carved chunks that
+  // start small (a driver job typically needs one or two blocks) and double
+  // up to a cap for simulations with deep backlogs.
+  std::array<void*, kClassBytes.size()> block_free_{};
+  std::vector<std::unique_ptr<std::byte[]>> chunks_;
+  std::byte* bump_ = nullptr;
+  std::size_t bump_left_ = 0;
+  std::size_t next_chunk_bytes_ = 4096;
+  std::size_t slab_bytes_ = 0;
+};
+
+}  // namespace uucs::sim

@@ -43,23 +43,28 @@ class Simulation {
 
   /// Schedules `h` at absolute virtual time `t`. The label is kept only
   /// when tracing; an untraced simulation pays no per-event string cost
-  /// beyond the argument itself.
-  void schedule_at(double t, EventClass cls, std::string label,
-                   EventQueue::Handler h) {
+  /// beyond the argument itself. Templated so a driver lambda reaches the
+  /// EventQueue's arena storage with its exact type — no `std::function`
+  /// conversion (and hence no heap allocation) on the untraced hot path.
+  template <typename F>
+  void schedule_at(double t, EventClass cls, std::string label, F&& h) {
     if (!config_.trace) {
-      queue_.schedule_at(t, cls, std::move(h));
+      queue_.schedule_at(t, cls, std::forward<F>(h));
       return;
     }
     queue_.schedule_at(
-        t, cls, [this, cls, label = std::move(label), h = std::move(h)] {
+        t, cls,
+        [this, cls, label = std::move(label),
+         h = std::forward<F>(h)]() mutable {
           trace_.record(clock_.now(), cls, label);
           h();
         });
   }
 
-  void schedule_in(double delay, EventClass cls, std::string label,
-                   EventQueue::Handler h) {
-    schedule_at(clock_.now() + delay, cls, std::move(label), std::move(h));
+  template <typename F>
+  void schedule_in(double delay, EventClass cls, std::string label, F&& h) {
+    schedule_at(clock_.now() + delay, cls, std::move(label),
+                std::forward<F>(h));
   }
 
   /// Appends a trace-only annotation at the current time without scheduling

@@ -212,4 +212,104 @@ uucs::RunRecord RunSimulator::simulate_record(const UserProfile& user, Task task
   return rec;
 }
 
+namespace {
+
+/// Interner ids of every string simulate_flat() can emit that is constant
+/// across the process: well-known metadata keys, resource names, task
+/// names, skill-rating names, the "true"/"false" literals. Pooled once.
+struct FlatKeyTable {
+  std::uint32_t testcase_description;
+  std::uint32_t noise_triggered;
+  std::uint32_t true_value;
+  std::uint32_t false_value;
+  std::uint32_t trigger;
+  std::uint32_t host_power;
+  std::array<std::uint32_t, uucs::kResourceCount> resource_names;
+  std::array<std::uint32_t, kSkillCategoryCount> skill_keys;
+  std::array<std::uint32_t, 3> rating_names;
+  std::array<std::uint32_t, kTaskCount> task_names;
+};
+
+const FlatKeyTable& flat_keys() {
+  static const FlatKeyTable table = [] {
+    uucs::StringInterner& pool = uucs::StringInterner::global();
+    FlatKeyTable t{};
+    t.testcase_description = pool.intern("testcase.description");
+    t.noise_triggered = pool.intern("noise_triggered");
+    t.true_value = pool.intern("true");
+    t.false_value = pool.intern("false");
+    t.trigger = pool.intern("trigger");
+    t.host_power = pool.intern("host.power");
+    for (std::size_t i = 0; i < uucs::kResourceCount; ++i) {
+      t.resource_names[i] =
+          pool.intern(uucs::resource_name(static_cast<uucs::Resource>(i)));
+    }
+    for (std::size_t c = 0; c < kSkillCategoryCount; ++c) {
+      t.skill_keys[c] = pool.intern(
+          "skill." + skill_category_name(static_cast<SkillCategory>(c)));
+    }
+    for (std::size_t r = 0; r < 3; ++r) {
+      t.rating_names[r] =
+          pool.intern(skill_rating_name(static_cast<SkillRating>(r)));
+    }
+    for (std::size_t i = 0; i < kTaskCount; ++i) {
+      t.task_names[i] = pool.intern(task_name(static_cast<Task>(i)));
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+RunSimulator::FlatRunContext RunSimulator::flat_context(
+    const UserProfile& user) const {
+  const FlatKeyTable& keys = flat_keys();
+  FlatRunContext ctx;
+  ctx.user_id = uucs::StringInterner::global().intern(user.user_id);
+  ctx.host_power = uucs::StringInterner::global().intern(
+      uucs::strprintf("%.6g", host_.power_index()));
+  for (std::size_t c = 0; c < kSkillCategoryCount; ++c) {
+    ctx.skills[c] =
+        keys.rating_names[static_cast<std::size_t>(user.ratings[c])];
+  }
+  return ctx;
+}
+
+uucs::FlatRunRecord RunSimulator::simulate_flat(
+    const UserProfile& user, Task task, const uucs::Testcase& tc,
+    const uucs::InternedTestcase& itc, uucs::Rng& rng, std::string run_id,
+    const FlatRunContext& ctx) const {
+  const Outcome out = simulate(user, task, tc, rng);
+  const FlatKeyTable& keys = flat_keys();
+  uucs::FlatRunRecord rec;
+  rec.run_id = std::move(run_id);
+  rec.user_id = ctx.user_id;
+  rec.testcase_id = itc.id;
+  rec.task = keys.task_names[static_cast<std::size_t>(task)];
+  rec.discomforted = out.discomforted;
+  rec.offset_s = out.offset_s;
+  for (std::size_t i = 0; i < uucs::kResourceCount; ++i) {
+    const auto r = static_cast<uucs::Resource>(i);
+    const uucs::ExerciseFunction* f = tc.function(r);
+    if (f == nullptr) continue;
+    double trail[uucs::FlatRunRecord::kTrailMax];
+    const std::size_t n = f->last_values_before_into(
+        out.offset_s, trail, uucs::FlatRunRecord::kTrailMax);
+    rec.set_levels(r, trail, n);
+  }
+  rec.add_meta(keys.testcase_description, itc.description);
+  rec.add_meta(keys.noise_triggered,
+               out.noise_triggered ? keys.true_value : keys.false_value);
+  if (out.trigger) {
+    rec.add_meta(keys.trigger,
+                 keys.resource_names[static_cast<std::size_t>(*out.trigger)]);
+  }
+  rec.add_meta(keys.host_power, ctx.host_power);
+  for (std::size_t c = 0; c < kSkillCategoryCount; ++c) {
+    rec.add_meta(keys.skill_keys[c], ctx.skills[c]);
+  }
+  return rec;
+}
+
 }  // namespace uucs::sim

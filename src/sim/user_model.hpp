@@ -8,6 +8,7 @@
 #include "sim/app_model.hpp"
 #include "sim/task.hpp"
 #include "testcase/run_record.hpp"
+#include "testcase/run_record_flat.hpp"
 #include "testcase/testcase.hpp"
 #include "util/rng.hpp"
 
@@ -111,6 +112,29 @@ class RunSimulator {
   uucs::RunRecord simulate_record(const UserProfile& user, Task task,
                                   const uucs::Testcase& tc, uucs::Rng& rng,
                                   const std::string& run_id) const;
+
+  /// Pre-interned per-user context for simulate_flat(). Interning takes a
+  /// global lock, so everything constant across one user's runs is pooled
+  /// once before the first run (the session drivers build one per job).
+  struct FlatRunContext {
+    std::uint32_t user_id = 0;
+    std::uint32_t host_power = 0;  ///< "%.6g" of the host power index
+    std::array<std::uint32_t, kSkillCategoryCount> skills{};  ///< rating names
+  };
+  FlatRunContext flat_context(const UserProfile& user) const;
+
+  /// The hot-path twin of simulate_record(): same simulate() call (so the
+  /// RNG draw sequence is identical), but the result is a FlatRunRecord of
+  /// interned ids and inline arrays — no map or string allocation per run.
+  /// `itc` carries the testcase's pre-interned id and description.
+  /// Guarantee (enforced by tests): to_run_record() of the result is
+  /// field-identical to what simulate_record() returns for the same inputs.
+  uucs::FlatRunRecord simulate_flat(const UserProfile& user, Task task,
+                                    const uucs::Testcase& tc,
+                                    const uucs::InternedTestcase& itc,
+                                    uucs::Rng& rng,
+                                    std::string run_id,
+                                    const FlatRunContext& ctx) const;
 
   /// First time at which `user` would cross the discomfort threshold for
   /// resource `r` of `tc` during `task`; negative if never. Exposed for

@@ -2,12 +2,17 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <cmath>
+#include <cstdint>
+#include <memory>
+#include <numeric>
 
 #include "sim/host_model.hpp"
 #include "sim/simulation.hpp"
 #include "testcase/suite.hpp"
 #include "util/error.hpp"
+#include "util/interner.hpp"
 #include "util/rng_streams.hpp"
 #include "util/strings.hpp"
 
@@ -27,6 +32,34 @@ uucs::TestcaseStore controlled_study_testcases(Task t) {
 
 namespace {
 
+/// Pre-resolved view of one task's testcase store: testcase pointers in
+/// ids() (sorted) order, so the session loop shuffles 32-bit indices
+/// instead of copying id strings, plus pre-interned (id, description)
+/// pairs for the flat hot path. Built once per study; shared read-only.
+struct TaskWorld {
+  std::vector<const uucs::Testcase*> cases;       ///< ids() order
+  std::vector<uucs::InternedTestcase> interned;   ///< aligned with cases
+};
+
+std::array<TaskWorld, uucs::sim::kTaskCount> make_task_worlds(
+    const std::array<uucs::TestcaseStore, uucs::sim::kTaskCount>& testcases) {
+  uucs::StringInterner& pool = uucs::StringInterner::global();
+  std::array<TaskWorld, uucs::sim::kTaskCount> worlds;
+  for (std::size_t t = 0; t < uucs::sim::kTaskCount; ++t) {
+    const uucs::TestcaseStore& store = testcases[t];
+    TaskWorld& world = worlds[t];
+    world.cases.reserve(store.size());
+    world.interned.reserve(store.size());
+    for (const std::string& id : store.ids()) {
+      const uucs::Testcase& tc = store.get(id);
+      world.cases.push_back(&tc);
+      world.interned.push_back(uucs::InternedTestcase{
+          pool.intern(tc.id()), pool.intern(tc.description())});
+    }
+  }
+  return worlds;
+}
+
 /// One user's four task sessions as a discrete-event schedule: the body of
 /// a SessionJob, driven by the job's own sim::Simulation. Each run is a
 /// run-start event; its completion is a run-end event at start + offset; a
@@ -40,13 +73,30 @@ namespace {
 /// break decisions — are bit-identical to the historical sequential loop.
 class UserSessionDriver {
  public:
+  /// `acc` non-null selects streaming mode: runs go through the flat
+  /// record path into the accumulator and no shard is kept. `retained` /
+  /// `retained_cap` implement the in-memory spill guard (see
+  /// ControlledStudyConfig::max_records_in_memory); both are ignored in
+  /// streaming mode.
   UserSessionDriver(
       const engine::SessionJob& job, const ControlledStudyConfig& config,
       const uucs::sim::RunSimulator& simulator,
-      const std::array<uucs::TestcaseStore, uucs::sim::kTaskCount>& testcases,
-      uucs::Rng& rng, uucs::sim::Simulation& sim)
-      : job_(job), config_(config), simulator_(simulator),
-        testcases_(testcases), rng_(rng), sim_(sim) {}
+      const std::array<TaskWorld, uucs::sim::kTaskCount>& worlds,
+      uucs::Rng& rng, uucs::sim::Simulation& sim,
+      analysis::StudyAccumulator* acc = nullptr,
+      std::atomic<std::size_t>* retained = nullptr,
+      std::size_t retained_cap = 0)
+      : job_(job), config_(config), simulator_(simulator), worlds_(worlds),
+        rng_(rng), sim_(sim), acc_(acc), retained_(retained),
+        retained_cap_(retained_cap) {
+    if (acc_) {
+      flat_ctx_ = simulator_.flat_context(*job_.user);
+    } else {
+      // ~10 completed runs per 16-minute session is the empirical mean;
+      // one growth step at most for discomfort-heavy users.
+      shard_.reserve(job_.tasks.size() * 12);
+    }
+  }
 
   uucs::ResultStore run() {
     if (!job_.tasks.empty()) begin_session();
@@ -54,10 +104,13 @@ class UserSessionDriver {
     return std::move(shard_);
   }
 
+  /// Runs completed (streaming mode keeps no shard to count).
+  std::size_t runs() const { return runs_; }
+
  private:
   Task task() const { return job_.tasks[task_idx_]; }
-  const uucs::TestcaseStore& store() const {
-    return testcases_[static_cast<std::size_t>(task())];
+  const TaskWorld& world() const {
+    return worlds_[static_cast<std::size_t>(task())];
   }
 
   /// Starts the current task session: all eight testcases in random order;
@@ -65,7 +118,11 @@ class UserSessionDriver {
   /// discomfort ends runs early), further random testcases fill the
   /// remainder.
   void begin_session() {
-    order_ = store().ids();
+    // Index shuffle: the draw sequence depends only on the element count,
+    // so this is bit-identical to the historical shuffle of the sorted id
+    // strings — without copying eight strings per session.
+    order_.resize(world().cases.size());
+    std::iota(order_.begin(), order_.end(), 0u);
     rng_.shuffle(order_);
     next_ = 0;
     elapsed_ = 0.0;
@@ -80,7 +137,8 @@ class UserSessionDriver {
       rng_.shuffle(order_);
       next_ = 0;
     }
-    const uucs::Testcase& tc = store().get(order_[next_++]);
+    const std::uint32_t pick = order_[next_++];
+    const uucs::Testcase& tc = *world().cases[pick];
     // Setup gap before this run (form reset, task re-engagement). Drawn
     // before the budget check so a session can never charge time past its
     // budget.
@@ -102,13 +160,17 @@ class UserSessionDriver {
                                          uucs::sim::task_name(task()).c_str(),
                                          tc.id().c_str())
                        : std::string(),
-        [this, tcp = &tc] { start_run(*tcp); });  // store-owned, outlives us
+        [this, tcp = &tc, pick] { start_run(*tcp, pick); });  // store-owned
   }
 
   /// Run-start event: simulate the run; its completion is a run-end event
   /// at start + offset, preceded by a feedback event when the simulated
   /// user pressed the discomfort key at that moment.
-  void start_run(const uucs::Testcase& tc) {
+  void start_run(const uucs::Testcase& tc, std::uint32_t pick) {
+    if (acc_) {
+      start_run_flat(tc, world().interned[pick]);
+      return;
+    }
     uucs::RunRecord rec = simulator_.simulate_record(
         *job_.user, task(), tc, rng_,
         uucs::strprintf("job-%05zu-%04zu", job_.index, local_serial_++));
@@ -127,10 +189,51 @@ class UserSessionDriver {
         [this, rec = std::move(rec)]() mutable { end_run(std::move(rec)); });
   }
 
+  /// Streaming twin of start_run: same simulate() draw sequence (see
+  /// RunSimulator::simulate_flat), but the record never leaves the flat
+  /// representation and is folded into the accumulator at run end.
+  void start_run_flat(const uucs::Testcase& tc,
+                      const uucs::InternedTestcase& itc) {
+    uucs::FlatRunRecord rec = simulator_.simulate_flat(
+        *job_.user, task(), tc, itc, rng_,
+        uucs::strprintf("job-%05zu-%04zu", job_.index, local_serial_++),
+        flat_ctx_);
+    const double offset = rec.offset_s;
+    const std::string label =
+        sim_.tracing() ? uucs::strprintf("user=%zu run=%s", job_.index,
+                                         rec.run_id.c_str())
+                       : std::string();
+    if (sim_.tracing() && rec.discomforted) {
+      sim_.schedule_in(offset, uucs::sim::EventClass::kFeedback, label, [] {});
+    }
+    sim_.schedule_in(
+        offset, uucs::sim::EventClass::kRunEnd, label,
+        [this, rec = std::move(rec)]() mutable { end_run_flat(std::move(rec)); });
+  }
+
   /// Run-end event: commit the record, charge the session budget, continue.
   void end_run(uucs::RunRecord rec) {
+    if (retained_ != nullptr && retained_cap_ > 0) {
+      const std::size_t total =
+          retained_->fetch_add(1, std::memory_order_relaxed) + 1;
+      if (total > retained_cap_) {
+        throw uucs::Error(uucs::strprintf(
+            "in-memory result store would exceed max_records_in_memory=%zu; "
+            "rerun with --streaming to aggregate in O(1) space per run",
+            retained_cap_));
+      }
+    }
     elapsed_ += rec.offset_s;
     shard_.add(std::move(rec));
+    ++runs_;
+    first_run_ = false;
+    schedule_next_run();
+  }
+
+  void end_run_flat(uucs::FlatRunRecord rec) {
+    elapsed_ += rec.offset_s;
+    acc_->add(rec);
+    ++runs_;
     first_run_ = false;
     schedule_next_run();
   }
@@ -143,17 +246,23 @@ class UserSessionDriver {
   const engine::SessionJob& job_;
   const ControlledStudyConfig& config_;
   const uucs::sim::RunSimulator& simulator_;
-  const std::array<uucs::TestcaseStore, uucs::sim::kTaskCount>& testcases_;
+  const std::array<TaskWorld, uucs::sim::kTaskCount>& worlds_;
   uucs::Rng& rng_;
   uucs::sim::Simulation& sim_;
 
+  analysis::StudyAccumulator* acc_ = nullptr;  ///< streaming sink, or null
+  std::atomic<std::size_t>* retained_ = nullptr;
+  std::size_t retained_cap_ = 0;
+  uucs::sim::RunSimulator::FlatRunContext flat_ctx_;
+
   uucs::ResultStore shard_;
   std::size_t task_idx_ = 0;
-  std::vector<std::string> order_;
+  std::vector<std::uint32_t> order_;
   std::size_t next_ = 0;
   double elapsed_ = 0.0;
   bool first_run_ = true;
   std::size_t local_serial_ = 0;
+  std::size_t runs_ = 0;
 };
 
 }  // namespace
@@ -186,6 +295,8 @@ ControlledStudyOutput run_controlled_study(const ControlledStudyConfig& config,
   for (Task task : uucs::sim::kAllTasks) {
     testcases[static_cast<std::size_t>(task)] = controlled_study_testcases(task);
   }
+  const std::array<TaskWorld, uucs::sim::kTaskCount> worlds =
+      make_task_worlds(testcases);
 
   // Per-user streams fork from the root in user order *before* any job
   // runs — the determinism half the engine cannot provide by itself.
@@ -193,23 +304,52 @@ ControlledStudyOutput run_controlled_study(const ControlledStudyConfig& config,
       engine::make_user_session_jobs(out.users, root, streams::controlled_user);
 
   engine::SessionEngine eng(engine::EngineConfig{config.jobs, config.trace});
+
+  // Streaming mode: one accumulator per worker slot, each touched only by
+  // the thread owning that slot (JobContext::worker_slot). The merge order
+  // below is fixed (ascending slot), but accumulator state is an exact,
+  // order-independent function of the run multiset, so output does not
+  // depend on the nondeterministic job→slot assignment.
+  std::vector<std::unique_ptr<analysis::StudyAccumulator>> accs;
+  if (config.streaming) {
+    accs.reserve(eng.workers());
+    for (std::size_t i = 0; i < eng.workers(); ++i) {
+      accs.push_back(std::make_unique<analysis::StudyAccumulator>());
+    }
+  }
+  std::atomic<std::size_t> retained{0};
+  std::atomic<std::size_t>* guard =
+      (!config.streaming && config.max_records_in_memory > 0) ? &retained
+                                                              : nullptr;
+
   std::vector<uucs::ResultStore> shards = eng.map<uucs::ResultStore>(
       jobs.size(), [&](engine::JobContext& ctx) {
         engine::SessionJob& job = jobs[ctx.index()];
-        UserSessionDriver driver(job, config, simulator, testcases, job.rng,
-                                 ctx.simulation());
+        analysis::StudyAccumulator* acc =
+            config.streaming ? accs[ctx.worker_slot()].get() : nullptr;
+        UserSessionDriver driver(job, config, simulator, worlds, job.rng,
+                                 ctx.simulation(), acc, guard,
+                                 config.max_records_in_memory);
         uucs::ResultStore shard = driver.run();
-        ctx.count_runs(shard.size());
+        ctx.count_runs(driver.runs());
         return shard;
       });
 
-  // Deterministic merge: shards append in job (= user) order and runs are
-  // renumbered globally, reproducing the sequential driver's ids exactly.
-  std::size_t run_serial = 0;
-  for (uucs::ResultStore& shard : shards) {
-    for (uucs::RunRecord& rec : shard.drain()) {
-      rec.run_id = uucs::strprintf("run-%05zu", run_serial++);
-      out.results.add(std::move(rec));
+  if (config.streaming) {
+    out.aggregates = std::make_unique<analysis::StudyAccumulator>();
+    for (const auto& acc : accs) out.aggregates->merge(*acc);
+  } else {
+    // Deterministic merge: shards append in job (= user) order and runs are
+    // renumbered globally, reproducing the sequential driver's ids exactly.
+    std::size_t total = 0;
+    for (const uucs::ResultStore& shard : shards) total += shard.size();
+    out.results.reserve(total);
+    std::size_t run_serial = 0;
+    for (uucs::ResultStore& shard : shards) {
+      for (uucs::RunRecord& rec : shard.drain()) {
+        rec.run_id = uucs::strprintf("run-%05zu", run_serial++);
+        out.results.add(std::move(rec));
+      }
     }
   }
   out.engine = eng.stats();

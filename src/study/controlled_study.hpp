@@ -1,7 +1,9 @@
 #pragma once
 
+#include <memory>
 #include <vector>
 
+#include "analysis/streaming.hpp"
 #include "engine/session_engine.hpp"
 #include "monitor/sysinfo.hpp"
 #include "study/population.hpp"
@@ -34,6 +36,21 @@ struct ControlledStudyConfig {
   /// only — never changes results.
   bool trace = false;
 
+  /// Streaming aggregation (DESIGN.md §10): retain no RunRecords at all.
+  /// Runs flow through the flat hot path (sim::RunSimulator::simulate_flat)
+  /// into one analysis::StudyAccumulator per engine worker, merged after
+  /// the engine drains. Output::results stays empty; Output::aggregates is
+  /// set instead, and its contents are exactly — not approximately — what
+  /// the analysis layer computes from the in-memory records. Memory is
+  /// O(workers), independent of the run count.
+  bool streaming = false;
+
+  /// Spill guard for the in-memory path: the study aborts (with an error
+  /// advising --streaming) as soon as the retained record count would
+  /// exceed this. 0 = unlimited. Ignored when `streaming` is set — nothing
+  /// is retained there.
+  std::size_t max_records_in_memory = 0;
+
   uucs::HostSpec host = uucs::HostSpec::paper_study_machine();
 };
 
@@ -43,11 +60,15 @@ uucs::TestcaseStore controlled_study_testcases(Task t);
 
 /// Everything the study produces.
 struct ControlledStudyOutput {
-  uucs::ResultStore results;
+  uucs::ResultStore results;   ///< empty when config.streaming was set
   std::vector<uucs::sim::UserProfile> users;
   PopulationParams params;
   engine::EngineStats engine;  ///< instrumentation of the session engine
   sim::EventTrace trace;       ///< fired events, when config.trace was set
+
+  /// Streaming-mode aggregates (config.streaming): everything the analysis
+  /// layer derives from `results`, computed without retaining the records.
+  std::unique_ptr<analysis::StudyAccumulator> aggregates;
 };
 
 /// Runs the full controlled study in virtual time: draws the participant

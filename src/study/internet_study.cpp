@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <functional>
 #include <set>
+#include <unordered_map>
 
 #include "client/client.hpp"
 #include "sim/host_model.hpp"
 #include "sim/simulation.hpp"
 #include "util/error.hpp"
+#include "util/interner.hpp"
 #include "util/rng_streams.hpp"
 #include "util/strings.hpp"
 
@@ -65,8 +67,9 @@ struct SiteShard {
     double t;
     uucs::RunRecord rec;
   };
-  std::vector<TimedRun> runs;
+  std::vector<TimedRun> runs;  ///< empty in streaming mode
   std::set<std::string> distinct;
+  std::size_t n_runs = 0;      ///< counted in both modes
 };
 
 }  // namespace
@@ -204,6 +207,26 @@ InternetStudyOutput run_internet_study(const InternetStudyConfig& config,
   // self-rescheduling run-start events.
   const uucs::TestcaseStore& catalog = out.server->testcases();
   engine::SessionEngine eng(engine::EngineConfig{config.jobs, config.trace});
+
+  // Streaming mode: per-worker accumulators (exact, order-independent —
+  // see controlled_study.cpp) plus a pre-interned view of the catalog so
+  // the per-run hot path never takes the interner lock.
+  std::vector<std::unique_ptr<analysis::StudyAccumulator>> accs;
+  std::unordered_map<std::string, uucs::InternedTestcase> interned_catalog;
+  if (config.streaming) {
+    accs.reserve(eng.workers());
+    for (std::size_t i = 0; i < eng.workers(); ++i) {
+      accs.push_back(std::make_unique<analysis::StudyAccumulator>());
+    }
+    uucs::StringInterner& pool = uucs::StringInterner::global();
+    for (const std::string& id : catalog.ids()) {
+      const uucs::Testcase& tc = catalog.get(id);
+      interned_catalog.emplace(
+          id, uucs::InternedTestcase{pool.intern(tc.id()),
+                                     pool.intern(tc.description())});
+    }
+  }
+
   std::vector<SiteShard> shards = eng.map<SiteShard>(
       sites.size(), [&](engine::JobContext& ctx) {
         const std::size_t i = ctx.index();
@@ -211,6 +234,17 @@ InternetStudyOutput run_internet_study(const InternetStudyConfig& config,
         SiteShard shard;
         if (first_run[i] > config.duration_s) return shard;
         uucs::sim::Simulation& sim = ctx.simulation();
+        analysis::StudyAccumulator* acc =
+            config.streaming ? accs[ctx.worker_slot()].get() : nullptr;
+        uucs::sim::RunSimulator::FlatRunContext flat_ctx;
+        std::uint32_t nil_guid_id = 0, real_guid_id = 0;
+        if (!config.streaming) {
+          // ~duration / interarrival runs per site in expectation.
+          shard.runs.reserve(static_cast<std::size_t>(
+                                 config.duration_s /
+                                 std::max(config.mean_run_interarrival_s, 1.0)) +
+                             4);
+        }
 
         const std::vector<double> weights(config.task_weights.begin(),
                                           config.task_weights.end());
@@ -220,6 +254,12 @@ InternetStudyOutput run_internet_study(const InternetStudyConfig& config,
         // the real guid because sync < run-start.
         const std::string nil_guid = uucs::Guid().to_string();
         const std::string real_guid = site.client.guid().to_string();
+        if (acc) {
+          flat_ctx = site.simulator.flat_context(site.user);
+          uucs::StringInterner& pool = uucs::StringInterner::global();
+          nil_guid_id = pool.intern(nil_guid);
+          real_guid_id = pool.intern(real_guid);
+        }
         bool synced = false;
         uucs::TestcaseStore known;
         std::uint64_t run_serial = 0;
@@ -244,19 +284,37 @@ InternetStudyOutput run_internet_study(const InternetStudyConfig& config,
             const auto task =
                 static_cast<uucs::sim::Task>(site.rng.weighted_index(weights));
             const std::string& guid = synced ? real_guid : nil_guid;
-            uucs::RunRecord rec = site.simulator.simulate_record(
-                site.user, task, known.get(*id), site.rng,
-                uucs::strprintf("%s/%llu", guid.c_str(),
-                                static_cast<unsigned long long>(run_serial++)));
-            rec.client_guid = guid;
-            if (sim.tracing() && rec.discomforted) {
-              sim.schedule_in(rec.offset_s, uucs::sim::EventClass::kFeedback,
-                              uucs::strprintf("site=%zu run=%s", i,
-                                              rec.run_id.c_str()),
-                              [] {});
+            const std::string run_id = uucs::strprintf(
+                "%s/%llu", guid.c_str(),
+                static_cast<unsigned long long>(run_serial++));
+            if (acc) {
+              // Flat hot path: same simulate() draw sequence as
+              // simulate_record, folded straight into the accumulator.
+              uucs::FlatRunRecord rec = site.simulator.simulate_flat(
+                  site.user, task, known.get(*id), interned_catalog.at(*id),
+                  site.rng, run_id, flat_ctx);
+              rec.client_guid = synced ? real_guid_id : nil_guid_id;
+              if (sim.tracing() && rec.discomforted) {
+                sim.schedule_in(rec.offset_s, uucs::sim::EventClass::kFeedback,
+                                uucs::strprintf("site=%zu run=%s", i,
+                                                rec.run_id.c_str()),
+                                [] {});
+              }
+              acc->add(rec);
+            } else {
+              uucs::RunRecord rec = site.simulator.simulate_record(
+                  site.user, task, known.get(*id), site.rng, run_id);
+              rec.client_guid = guid;
+              if (sim.tracing() && rec.discomforted) {
+                sim.schedule_in(rec.offset_s, uucs::sim::EventClass::kFeedback,
+                                uucs::strprintf("site=%zu run=%s", i,
+                                                rec.run_id.c_str()),
+                                [] {});
+              }
+              shard.runs.push_back(SiteShard::TimedRun{t, std::move(rec)});
             }
             shard.distinct.insert(*id);
-            shard.runs.push_back(SiteShard::TimedRun{t, std::move(rec)});
+            ++shard.n_runs;
           }
           const double delay = site.client.next_run_delay(site.rng);
           if (t + delay < config.duration_s) {
@@ -272,12 +330,19 @@ InternetStudyOutput run_internet_study(const InternetStudyConfig& config,
                                       : std::string(),
                         fire_run);
         sim.run_all();
-        ctx.count_runs(shard.runs.size());
+        ctx.count_runs(shard.n_runs);
         return shard;
       });
 
   if (config.trace) out.trace.append(eng.merged_trace());
 
+  if (config.streaming) {
+    // Everything the upload phase would deliver is already aggregated;
+    // merge the per-worker accumulators (exact, so slot order is just a
+    // convention) and leave the server's result store empty.
+    out.aggregates = std::make_unique<analysis::StudyAccumulator>();
+    for (const auto& acc : accs) out.aggregates->merge(*acc);
+  } else {
   // Phase C: the server's result store in upload order — each fired sync
   // carries the site's runs recorded strictly before it.
   std::vector<std::vector<uucs::RunRecord>> pending(sites.size());
@@ -332,10 +397,11 @@ InternetStudyOutput run_internet_study(const InternetStudyConfig& config,
     }
     ++out.total_syncs;
   }
+  }  // !config.streaming
 
   std::set<std::string> distinct_testcases;
   for (const SiteShard& shard : shards) {
-    out.total_runs += shard.runs.size();
+    out.total_runs += shard.n_runs;
     distinct_testcases.insert(shard.distinct.begin(), shard.distinct.end());
   }
   out.distinct_testcases_run = distinct_testcases.size();

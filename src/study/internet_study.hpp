@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "analysis/streaming.hpp"
 #include "engine/session_engine.hpp"
 #include "server/server.hpp"
 #include "study/population.hpp"
@@ -41,19 +42,33 @@ struct InternetStudyConfig {
 
   /// Record every simulation event into InternetStudyOutput::trace, in
   /// phase order (sync schedule, per-site runs in site order, uploads).
-  /// Observability only — never changes results.
+  /// Observability only — never changes results. In streaming mode the
+  /// trace covers phases A and B only (the upload phase does not run).
   bool trace = false;
+
+  /// Streaming aggregation (DESIGN.md §10): fold every run into one
+  /// analysis::StudyAccumulator per engine worker during the run phase
+  /// instead of retaining RunRecords. The upload phase is skipped — the
+  /// server's result store stays empty — and Output::aggregates holds
+  /// exactly what the analysis layer computes over the records a
+  /// non-streaming run uploads (same seed, any job count).
+  bool streaming = false;
 };
 
 /// Summary of a simulated deployment.
 struct InternetStudyOutput {
-  std::unique_ptr<uucs::UucsServer> server;  ///< holds all uploaded results
+  /// Holds all uploaded results (empty result store in streaming mode).
+  std::unique_ptr<uucs::UucsServer> server;
   std::size_t total_runs = 0;
   std::size_t total_syncs = 0;
   std::size_t distinct_testcases_run = 0;
   PopulationParams params;
   engine::EngineStats engine;  ///< session-engine instrumentation
   sim::EventTrace trace;       ///< fired events, when config.trace was set
+
+  /// Streaming-mode aggregates (config.streaming): what the analysis layer
+  /// derives from the uploaded records, without retaining any of them.
+  std::unique_ptr<analysis::StudyAccumulator> aggregates;
 };
 
 /// Runs the fleet simulation in virtual time (discrete-event). Clients

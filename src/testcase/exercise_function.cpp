@@ -51,6 +51,18 @@ std::vector<double> ExerciseFunction::last_values_before(double t, std::size_t n
   return out;
 }
 
+std::size_t ExerciseFunction::last_values_before_into(double t, double* out,
+                                                      std::size_t n) const {
+  if (t < 0 || values_.empty() || n == 0) return 0;
+  auto idx = static_cast<std::size_t>(t * rate_hz_);
+  idx = std::min(idx, values_.size() - 1);
+  const std::size_t first = idx + 1 >= n ? idx + 1 - n : 0;
+  const std::size_t count = idx + 1 - first;
+  std::copy(values_.begin() + static_cast<std::ptrdiff_t>(first),
+            values_.begin() + static_cast<std::ptrdiff_t>(idx + 1), out);
+  return count;
+}
+
 double ExerciseFunction::first_time_at_level(double threshold) const {
   for (std::size_t i = 0; i < values_.size(); ++i) {
     if (values_[i] >= threshold) return static_cast<double>(i) / rate_hz_;

@@ -42,6 +42,12 @@ class ExerciseFunction {
   /// of user feedback" (§2.3). Shorter if t is early in the run.
   std::vector<double> last_values_before(double t, std::size_t n = 5) const;
 
+  /// Allocation-free variant for the simulation hot path: writes up to `n`
+  /// samples into `out` and returns how many were written (same values and
+  /// order as last_values_before).
+  std::size_t last_values_before_into(double t, double* out,
+                                      std::size_t n = 5) const;
+
   /// First time at which the level reaches at least `threshold`;
   /// negative if never reached.
   double first_time_at_level(double threshold) const;

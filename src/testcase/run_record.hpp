@@ -65,6 +65,10 @@ class ResultStore {
  public:
   void add(RunRecord r);
 
+  /// Pre-sizes the backing vector (the study drivers know their run counts
+  /// up front; this avoids growth reallocations during the merge).
+  void reserve(std::size_t n) { records_.reserve(n); }
+
   std::size_t size() const { return records_.size(); }
   bool empty() const { return records_.empty(); }
   const std::vector<RunRecord>& records() const { return records_; }

@@ -1,0 +1,112 @@
+#include "testcase/run_record_flat.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace uucs {
+
+namespace {
+
+// Interner ids of the canonical resource names, pooled once per process.
+const std::array<std::uint32_t, kResourceCount>& resource_name_ids() {
+  static const std::array<std::uint32_t, kResourceCount> ids = [] {
+    std::array<std::uint32_t, kResourceCount> out{};
+    for (std::size_t i = 0; i < kResourceCount; ++i) {
+      out[i] = StringInterner::global().intern(
+          resource_name(static_cast<Resource>(i)));
+    }
+    return out;
+  }();
+  return ids;
+}
+
+}  // namespace
+
+void FlatRunRecord::set_levels(Resource r, const double* values,
+                               std::size_t n) {
+  if (n > kTrailMax) {
+    extra_levels.emplace_back(resource_name_ids()[static_cast<std::size_t>(r)],
+                              std::vector<double>(values, values + n));
+    return;
+  }
+  LevelTrail& t = levels[static_cast<std::size_t>(r)];
+  t.present = true;
+  t.n = static_cast<std::uint8_t>(n);
+  std::copy(values, values + n, t.v.begin());
+}
+
+std::uint32_t FlatRunRecord::meta_value(std::uint32_t key) const {
+  std::uint32_t value = StringInterner::kEmptyId;
+  bool found = false;
+  for (std::uint32_t i = 0; i < meta_count; ++i) {
+    if (meta[i].key == key) {
+      value = meta[i].value;
+      found = true;
+    }
+  }
+  for (const MetaEntry& e : extra_meta) {
+    if (e.key == key) {
+      value = e.value;
+      found = true;
+    }
+  }
+  return found ? value : StringInterner::kEmptyId;
+}
+
+RunRecord FlatRunRecord::to_run_record() const {
+  const StringInterner& pool = StringInterner::global();
+  RunRecord r;
+  r.run_id = run_id;
+  r.client_guid = pool.str(client_guid);
+  r.user_id = pool.str(user_id);
+  r.testcase_id = pool.str(testcase_id);
+  r.task = pool.str(task);
+  r.discomforted = discomforted;
+  r.offset_s = offset_s;
+  for (std::size_t i = 0; i < kResourceCount; ++i) {
+    const LevelTrail& t = levels[i];
+    if (!t.present) continue;
+    r.last_levels[resource_name(static_cast<Resource>(i))] =
+        std::vector<double>(t.v.begin(), t.v.begin() + t.n);
+  }
+  for (const auto& [key, values] : extra_levels) {
+    r.last_levels[pool.str(key)] = values;
+  }
+  for (std::uint32_t i = 0; i < meta_count; ++i) {
+    r.metadata[pool.str(meta[i].key)] = pool.str(meta[i].value);
+  }
+  for (const MetaEntry& e : extra_meta) {
+    r.metadata[pool.str(e.key)] = pool.str(e.value);
+  }
+  return r;
+}
+
+FlatRunRecord FlatRunRecord::from_run_record(const RunRecord& r) {
+  StringInterner& pool = StringInterner::global();
+  FlatRunRecord f;
+  f.run_id = r.run_id;
+  f.client_guid = pool.intern(r.client_guid);
+  f.user_id = pool.intern(r.user_id);
+  f.testcase_id = pool.intern(r.testcase_id);
+  f.task = pool.intern(r.task);
+  f.discomforted = r.discomforted;
+  f.offset_s = r.offset_s;
+  for (const auto& [name, values] : r.last_levels) {
+    bool canonical = false;
+    for (std::size_t i = 0; i < kResourceCount; ++i) {
+      if (name == resource_name(static_cast<Resource>(i))) {
+        f.set_levels(static_cast<Resource>(i), values);
+        canonical = true;
+        break;
+      }
+    }
+    if (!canonical) f.extra_levels.emplace_back(pool.intern(name), values);
+  }
+  for (const auto& [key, value] : r.metadata) {
+    f.add_meta(pool.intern(key), pool.intern(value));
+  }
+  return f;
+}
+
+}  // namespace uucs

@@ -1,0 +1,112 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "testcase/resource.hpp"
+#include "testcase/run_record.hpp"
+#include "util/interner.hpp"
+
+namespace uucs {
+
+/// Flat, allocation-light representation of one run record for the
+/// simulation hot path. Where RunRecord carries two `std::map`s of heap
+/// strings (~20 node + string allocations per run), a FlatRunRecord holds
+/// interned 32-bit ids (util/interner.hpp) and fixed inline arrays:
+///
+///  - identity fields (client, user, testcase, task) are interner ids,
+///  - the per-resource "last five contention values" trail is a fixed
+///    array indexed by Resource,
+///  - metadata is an inline array of (key id, value id) pairs.
+///
+/// Only run_id stays a real string (unique per run, fits SSO for the study
+/// drivers' formats). Rare shapes the inline layout cannot hold —
+/// non-canonical resource names, trails longer than kTrailMax, more than
+/// kInlineMeta metadata entries — spill into overflow vectors, so the
+/// conversion to/from RunRecord is lossless for *every* record, not just
+/// well-formed ones (the fuzz round-trip test exercises adversarial keys).
+///
+/// Conversion contract: to_run_record() and from_run_record() round-trip,
+/// and because RunRecord's maps sort keys on insertion, a converted record
+/// serializes byte-identically via RunRecord::to_record() no matter in
+/// which order the flat entries were added.
+struct FlatRunRecord {
+  static constexpr std::size_t kTrailMax = 5;    ///< §2.3: last five values
+  static constexpr std::size_t kInlineMeta = 12;
+
+  std::string run_id;
+  std::uint32_t client_guid = StringInterner::kEmptyId;
+  std::uint32_t user_id = StringInterner::kEmptyId;
+  std::uint32_t testcase_id = StringInterner::kEmptyId;
+  std::uint32_t task = StringInterner::kEmptyId;
+
+  bool discomforted = false;
+  double offset_s = 0.0;
+
+  /// Contention trail for a canonically named resource.
+  struct LevelTrail {
+    bool present = false;
+    std::uint8_t n = 0;
+    std::array<double, kTrailMax> v{};
+  };
+  std::array<LevelTrail, kResourceCount> levels{};
+
+  /// Trails the inline array cannot hold: non-canonical resource names or
+  /// more than kTrailMax values. Key is an interner id.
+  std::vector<std::pair<std::uint32_t, std::vector<double>>> extra_levels;
+
+  struct MetaEntry {
+    std::uint32_t key = StringInterner::kEmptyId;
+    std::uint32_t value = StringInterner::kEmptyId;
+  };
+  std::array<MetaEntry, kInlineMeta> meta{};
+  std::uint32_t meta_count = 0;
+  std::vector<MetaEntry> extra_meta;  ///< spill past kInlineMeta
+
+  /// Appends a metadata pair (ids from StringInterner::global()). Duplicate
+  /// keys resolve last-wins on conversion, like map assignment would.
+  void add_meta(std::uint32_t key, std::uint32_t value) {
+    if (meta_count < kInlineMeta) {
+      meta[meta_count++] = MetaEntry{key, value};
+    } else {
+      extra_meta.push_back(MetaEntry{key, value});
+    }
+  }
+
+  /// Stores the contention trail for canonical resource `r`; spills to
+  /// extra_levels when longer than kTrailMax.
+  void set_levels(Resource r, const double* values, std::size_t n);
+  void set_levels(Resource r, const std::vector<double>& values) {
+    set_levels(r, values.data(), values.size());
+  }
+
+  /// Level trail for `r` if present inline (canonical name, <= kTrailMax
+  /// values); the common fast path for analysis.
+  const LevelTrail& trail(Resource r) const {
+    return levels[static_cast<std::size_t>(r)];
+  }
+
+  /// Metadata value id for `key`, kEmptyId when absent. Last entry wins,
+  /// mirroring conversion semantics. Linear scan — fine at these sizes.
+  std::uint32_t meta_value(std::uint32_t key) const;
+
+  /// Lossless expansion into the map-based representation; serializes
+  /// byte-identically to a record built directly by simulate_record().
+  RunRecord to_run_record() const;
+
+  /// Interns every field of `r` (slow path: tests, tools, ingestion).
+  static FlatRunRecord from_run_record(const RunRecord& r);
+};
+
+/// Pre-interned (id, description) of one testcase, built once per store so
+/// the per-run hot path never calls the interner. Aligned with
+/// TestcaseStore::ids() order by the driver that builds it.
+struct InternedTestcase {
+  std::uint32_t id = StringInterner::kEmptyId;
+  std::uint32_t description = StringInterner::kEmptyId;
+};
+
+}  // namespace uucs

@@ -1,0 +1,92 @@
+#include "util/exact_sum.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace uucs {
+
+namespace {
+
+// Each chunk may accumulate this many raw 32-bit contributions before a
+// carry-propagation pass is forced; keeps |chunk| < 2^62 so that merging
+// two accumulators can never overflow int64.
+constexpr std::uint32_t kNormalizeEvery = 1u << 30;
+
+}  // namespace
+
+void ExactSum::add(double x) {
+  UUCS_CHECK_MSG(std::isfinite(x), "ExactSum requires finite inputs");
+  ++count_;
+  if (x != 0.0) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &x, sizeof(bits));
+    const std::int64_t sign = (bits >> 63) ? -1 : 1;
+    std::uint64_t mant = bits & ((std::uint64_t{1} << 52) - 1);
+    const int biased_exp = static_cast<int>((bits >> 52) & 0x7ff);
+    int exp2;  // value = sign * mant * 2^exp2
+    if (biased_exp == 0) {
+      exp2 = -kBias;  // subnormal
+    } else {
+      mant |= std::uint64_t{1} << 52;
+      exp2 = biased_exp - 1 - kBias;
+    }
+    // Split mant * 2^exp2 across the 32-bit windows it straddles.
+    const int e = exp2 + kBias;  // bit position of the mantissa's LSB, >= 0
+    const std::size_t q = static_cast<std::size_t>(e) / 32;
+    const unsigned r = static_cast<unsigned>(e) % 32;
+    const unsigned __int128 shifted = static_cast<unsigned __int128>(mant) << r;
+    chunks_[q] += sign * static_cast<std::int64_t>(
+                             static_cast<std::uint64_t>(shifted) & 0xffffffffu);
+    chunks_[q + 1] += sign * static_cast<std::int64_t>(
+                               static_cast<std::uint64_t>(shifted >> 32) &
+                               0xffffffffu);
+    chunks_[q + 2] +=
+        sign * static_cast<std::int64_t>(
+                   static_cast<std::uint64_t>(shifted >> 64) & 0xffffffffu);
+  }
+  if (++adds_since_normalize_ >= kNormalizeEvery) normalize();
+}
+
+void ExactSum::merge(const ExactSum& other) {
+  for (std::size_t i = 0; i < kChunks; ++i) chunks_[i] += other.chunks_[i];
+  count_ += other.count_;
+  // Both sides keep |chunk| < 2^62 between normalizations, so the sums
+  // above cannot have overflowed; normalize to restore that invariant.
+  normalize();
+}
+
+void ExactSum::normalize() {
+  // Propagate carries so every chunk lands in [-2^31, 2^31). The symmetric
+  // range keeps the representation signed without a separate sign word.
+  std::int64_t carry = 0;
+  for (std::size_t i = 0; i < kChunks; ++i) {
+    const std::int64_t v = chunks_[i] + carry;
+    carry = (v + (std::int64_t{1} << 31)) >> 32;  // floor((v + 2^31) / 2^32)
+    chunks_[i] = v - (carry << 32);
+  }
+  UUCS_CHECK_MSG(carry == 0, "ExactSum overflowed the double range");
+  adds_since_normalize_ = 0;
+}
+
+double ExactSum::round() const {
+  // Work on a normalized copy (round() must stay const and deterministic).
+  ExactSum tmp = *this;
+  tmp.normalize();
+  std::size_t h = kChunks;
+  while (h > 0 && tmp.chunks_[h - 1] == 0) --h;
+  if (h == 0) return 0.0;
+  // A 4-chunk window (>= 96 significant bits below the leading chunk)
+  // dwarfs the ignored tail (< 2^31 * 2^32/2^127 relative), so the result
+  // is within 1 ulp of the exact total — and a pure function of it.
+  const std::size_t base = h >= 4 ? h - 4 : 0;
+  __int128 window = 0;
+  for (std::size_t i = h; i-- > base;) {
+    window = (window << 32) + tmp.chunks_[i];
+  }
+  return std::ldexp(static_cast<double>(window),
+                    static_cast<int>(base) * 32 - kBias);
+}
+
+}  // namespace uucs

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace uucs {
+
+/// Exact (error-free) summation of doubles, after Neal's superaccumulator:
+/// the running total is held as a fixed-point integer spanning the entire
+/// finite-double range, split into 32-bit windows stored in 64-bit chunks.
+/// Adding a double decomposes its mantissa into at most three chunk
+/// contributions — pure integer arithmetic, so addition is *associative and
+/// commutative*: any grouping or ordering of the same multiset of inputs
+/// yields the same exact total, and merging two accumulators is chunkwise
+/// integer addition.
+///
+/// This is what makes streaming aggregation order-independent (DESIGN.md
+/// §10): per-worker accumulators can absorb runs in whatever order the
+/// scheduler produces, and the merged total — and therefore round() — is
+/// bit-identical to a sequential in-memory pass over the same runs.
+///
+/// round() converts the exact total back to the nearest representable
+/// double (error < 1 ulp, and a pure function of the exact total).
+///
+/// Inputs must be finite; infinities/NaNs throw.
+class ExactSum {
+ public:
+  void add(double x);
+
+  /// Chunkwise addition: *this becomes the exact sum of both input streams.
+  void merge(const ExactSum& other);
+
+  /// The exact total as a double (deterministic; error < 1 ulp).
+  double round() const;
+
+  /// Number of add() calls folded in (merge() accumulates counts too).
+  std::uint64_t count() const { return count_; }
+
+ private:
+  // value = sum_i chunks_[i] * 2^(32*i - 1074). Finite doubles need
+  // ceil(2098 / 32) = 66 windows; two extra chunks absorb carries from
+  // astronomically long sums without overflow checks on every add.
+  static constexpr std::size_t kChunks = 68;
+  static constexpr int kBias = 1074;  ///< exponent of chunk 0's unit, negated
+
+  void normalize();
+
+  std::array<std::int64_t, kChunks> chunks_{};
+  std::uint64_t count_ = 0;
+  std::uint32_t adds_since_normalize_ = 0;
+};
+
+}  // namespace uucs

@@ -1,0 +1,39 @@
+#include "util/interner.hpp"
+
+#include "util/error.hpp"
+
+namespace uucs {
+
+StringInterner& StringInterner::global() {
+  static StringInterner pool;
+  return pool;
+}
+
+StringInterner::StringInterner() {
+  strings_.emplace_back();  // id 0 = ""
+  index_.emplace(std::string_view(strings_.back()), kEmptyId);
+}
+
+std::uint32_t StringInterner::intern(std::string_view s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(s);
+  if (it != index_.end()) return it->second;
+  UUCS_CHECK_MSG(strings_.size() < 0xffffffffu, "string interner exhausted");
+  strings_.emplace_back(s);
+  const auto id = static_cast<std::uint32_t>(strings_.size() - 1);
+  index_.emplace(std::string_view(strings_.back()), id);
+  return id;
+}
+
+const std::string& StringInterner::str(std::uint32_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  UUCS_CHECK_MSG(id < strings_.size(), "unknown interned string id");
+  return strings_[id];
+}
+
+std::size_t StringInterner::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return strings_.size();
+}
+
+}  // namespace uucs

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace uucs {
+
+/// Process-global, append-only string pool backing the flat run-record
+/// representation (testcase/run_record_flat.hpp). Interning maps a string
+/// to a dense 32-bit id; the reverse lookup returns a reference that stays
+/// valid for the life of the process (strings are never freed or moved).
+///
+/// Id 0 is always the empty string, so a zero-initialized flat record reads
+/// back as empty fields.
+///
+/// Thread-safe, but intern() takes a lock — hot paths must pre-intern
+/// everything that is constant across their loop (per-user ids, testcase
+/// ids and descriptions, well-known metadata keys) and carry only 32-bit
+/// ids per record.
+class StringInterner {
+ public:
+  static constexpr std::uint32_t kEmptyId = 0;
+
+  /// The process-wide pool.
+  static StringInterner& global();
+
+  /// Returns the id for `s`, adding it to the pool on first sight.
+  std::uint32_t intern(std::string_view s);
+
+  /// The string for an id previously returned by intern(); the reference
+  /// is stable forever. Throws on an id never handed out.
+  const std::string& str(std::uint32_t id) const;
+
+  /// Number of distinct strings pooled (>= 1: the empty string).
+  std::size_t size() const;
+
+ private:
+  StringInterner();
+
+  mutable std::mutex mu_;
+  std::deque<std::string> strings_;  ///< stable element addresses
+  std::unordered_map<std::string_view, std::uint32_t> index_;  ///< views into strings_
+};
+
+}  // namespace uucs

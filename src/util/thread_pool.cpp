@@ -35,6 +35,30 @@ void ThreadPool::submit(std::function<void()> task) {
   task_ready_.notify_one();
 }
 
+void ThreadPool::submit_bulk(std::vector<std::function<void()>>& tasks) {
+  std::size_t next = 0;
+  while (next < tasks.size()) {
+    std::size_t pushed = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      UUCS_CHECK_MSG(!stopping_, "submit_bulk on a stopping thread pool");
+      space_ready_.wait(lock, [this] { return queue_.size() < capacity_; });
+      // Fill the queue up to capacity in one critical section.
+      while (next < tasks.size() && queue_.size() < capacity_) {
+        queue_.push_back(std::move(tasks[next++]));
+        ++in_flight_;
+        ++pushed;
+      }
+    }
+    if (pushed > 1) {
+      task_ready_.notify_all();
+    } else if (pushed == 1) {
+      task_ready_.notify_one();
+    }
+  }
+  tasks.clear();
+}
+
 void ThreadPool::wait_idle() {
   std::unique_lock<std::mutex> lock(mu_);
   idle_.wait(lock, [this] { return in_flight_ == 0; });

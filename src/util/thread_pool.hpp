@@ -34,6 +34,12 @@ class ThreadPool {
   /// Enqueues `task`; blocks while the queue is at capacity.
   void submit(std::function<void()> task);
 
+  /// Enqueues a batch under one lock acquisition (chunked by queue capacity
+  /// when the batch is larger), waking every worker once per chunk instead
+  /// of paying per-task lock + notify traffic — the difference shows in
+  /// BM_ThreadPoolDispatch vs BM_ThreadPoolDispatchBulk. Consumes `tasks`.
+  void submit_bulk(std::vector<std::function<void()>>& tasks);
+
   /// Blocks until every submitted task has finished running.
   void wait_idle();
 

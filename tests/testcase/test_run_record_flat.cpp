@@ -1,0 +1,227 @@
+#include "testcase/run_record_flat.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "monitor/sysinfo.hpp"
+#include "sim/host_model.hpp"
+#include "sim/user_model.hpp"
+#include "testcase/run_record.hpp"
+#include "testcase/suite.hpp"
+#include "util/interner.hpp"
+#include "util/kvtext.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace uucs {
+namespace {
+
+std::string bytes(const RunRecord& r) { return kv_serialize({r.to_record()}); }
+
+/// The contract every conversion test reduces to: the flat view expands to
+/// a field-identical RunRecord. Field equality is checked directly (not via
+/// kvtext) so adversarial bytes kvtext would reject still round-trip.
+void expect_round_trip(const RunRecord& r) {
+  const FlatRunRecord flat = FlatRunRecord::from_run_record(r);
+  const RunRecord back = flat.to_run_record();
+  EXPECT_EQ(back.run_id, r.run_id);
+  EXPECT_EQ(back.client_guid, r.client_guid);
+  EXPECT_EQ(back.user_id, r.user_id);
+  EXPECT_EQ(back.testcase_id, r.testcase_id);
+  EXPECT_EQ(back.task, r.task);
+  EXPECT_EQ(back.discomforted, r.discomforted);
+  EXPECT_EQ(back.offset_s, r.offset_s);  // bitwise: the double is copied
+  EXPECT_EQ(back.last_levels, r.last_levels);
+  EXPECT_EQ(back.metadata, r.metadata);
+}
+
+TEST(FlatRunRecord, TypicalStudyRecordRoundTrips) {
+  RunRecord r;
+  r.run_id = "job-00003-0142";
+  r.client_guid = "guid-7";
+  r.user_id = "user-03";
+  r.testcase_id = "cpu-ramp-x2-t120";
+  r.task = "quake";
+  r.discomforted = true;
+  r.offset_s = 61.25;
+  r.set_last_levels(Resource::kCpu, {0.9, 0.95, 1.0, 1.05, 1.1});
+  r.metadata["skill.quake"] = "power";
+  r.metadata["host.power"] = "1.5";
+  expect_round_trip(r);
+  const FlatRunRecord flat = FlatRunRecord::from_run_record(r);
+  EXPECT_EQ(bytes(flat.to_run_record()), bytes(r));
+}
+
+TEST(FlatRunRecord, EmptyRecordRoundTrips) {
+  expect_round_trip(RunRecord{});
+}
+
+TEST(FlatRunRecord, NonCanonicalResourceNamesSpillLosslessly) {
+  RunRecord r;
+  r.run_id = "weird-1";
+  r.last_levels["cpu"] = {0.5};
+  r.last_levels["gpu"] = {1.0, 2.0};        // not a canonical resource
+  r.last_levels["=:,\nodd key"] = {3.0};    // adversarial bytes
+  r.last_levels[""] = {};                    // empty name, empty trail
+  expect_round_trip(r);
+  const FlatRunRecord flat = FlatRunRecord::from_run_record(r);
+  EXPECT_TRUE(flat.trail(Resource::kCpu).present);
+  EXPECT_EQ(flat.extra_levels.size(), 3u);
+}
+
+TEST(FlatRunRecord, TrailsLongerThanInlineMaxSpill) {
+  RunRecord r;
+  r.run_id = "long-trail";
+  std::vector<double> trail;
+  for (int i = 0; i < 9; ++i) trail.push_back(0.1 * i);
+  r.last_levels[resource_name(Resource::kDisk)] = trail;
+  const FlatRunRecord flat = FlatRunRecord::from_run_record(r);
+  EXPECT_FALSE(flat.trail(Resource::kDisk).present);  // spilled, not truncated
+  ASSERT_EQ(flat.extra_levels.size(), 1u);
+  EXPECT_EQ(flat.extra_levels[0].second.size(), 9u);
+  expect_round_trip(r);
+}
+
+TEST(FlatRunRecord, MetadataPastInlineCapacitySpills) {
+  RunRecord r;
+  r.run_id = "meta-spill";
+  for (int i = 0; i < 2 * static_cast<int>(FlatRunRecord::kInlineMeta); ++i) {
+    r.metadata["key." + std::to_string(i)] = "v" + std::to_string(i);
+  }
+  const FlatRunRecord flat = FlatRunRecord::from_run_record(r);
+  EXPECT_EQ(flat.meta_count, FlatRunRecord::kInlineMeta);
+  EXPECT_EQ(flat.extra_meta.size(), FlatRunRecord::kInlineMeta);
+  expect_round_trip(r);
+}
+
+TEST(FlatRunRecord, DuplicateMetaKeysResolveLastWins) {
+  StringInterner& pool = StringInterner::global();
+  FlatRunRecord flat;
+  const std::uint32_t key = pool.intern("run.outcome");
+  flat.add_meta(key, pool.intern("degraded"));
+  flat.add_meta(key, pool.intern("ok"));
+  EXPECT_EQ(pool.str(flat.meta_value(key)), "ok");
+  EXPECT_EQ(flat.to_run_record().meta("run.outcome"), "ok");
+  // Same when the duplicate lands in the spill vector.
+  for (std::size_t i = flat.meta_count; i < FlatRunRecord::kInlineMeta; ++i) {
+    flat.add_meta(pool.intern("pad." + std::to_string(i)), pool.intern("p"));
+  }
+  flat.add_meta(key, pool.intern("failed"));
+  EXPECT_EQ(pool.str(flat.meta_value(key)), "failed");
+  EXPECT_EQ(flat.to_run_record().meta("run.outcome"), "failed");
+}
+
+TEST(FlatRunRecord, MetaValueAbsentIsEmptyId) {
+  FlatRunRecord flat;
+  EXPECT_EQ(flat.meta_value(StringInterner::global().intern("nope.absent")),
+            StringInterner::kEmptyId);
+}
+
+TEST(FlatRunRecord, FuzzRoundTripAdversarialRecords) {
+  // Randomized records drawing field contents from a hostile alphabet:
+  // kvtext delimiters, quotes, backslashes, newlines and whitespace are all
+  // legal payload bytes and must survive flat -> map -> kvtext unchanged.
+  Rng rng(0xf1a7);
+  const std::string alphabet = "ab=:,\"\\\n\t [];#%x0";
+  const auto rand_string = [&](std::int64_t max_len) {
+    std::string s;
+    const std::int64_t n = rng.uniform_int(0, max_len);
+    for (std::int64_t i = 0; i < n; ++i) {
+      s.push_back(alphabet[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(alphabet.size()) - 1))]);
+    }
+    return s;
+  };
+  for (int iter = 0; iter < 300; ++iter) {
+    RunRecord r;
+    r.run_id = "fuzz-" + std::to_string(iter) + rand_string(12);
+    r.client_guid = rand_string(10);
+    r.user_id = rand_string(10);
+    r.testcase_id = rand_string(16);
+    r.task = rand_string(8);
+    r.discomforted = rng.uniform(0.0, 1.0) < 0.5;
+    r.offset_s = rng.uniform(-10.0, 1000.0);
+    const std::int64_t n_trails = rng.uniform_int(0, 5);
+    for (std::int64_t t = 0; t < n_trails; ++t) {
+      const bool canonical = rng.uniform(0.0, 1.0) < 0.5;
+      const std::string name =
+          canonical ? resource_name(static_cast<Resource>(rng.uniform_int(
+                          0, static_cast<std::int64_t>(kResourceCount) - 1)))
+                    : rand_string(6);
+      std::vector<double> trail;
+      const std::int64_t len = rng.uniform_int(0, 8);  // straddles kTrailMax
+      for (std::int64_t v = 0; v < len; ++v) trail.push_back(rng.uniform(-5.0, 5.0));
+      r.last_levels[name] = trail;
+    }
+    const std::int64_t n_meta = rng.uniform_int(0, 18);  // straddles kInlineMeta
+    for (std::int64_t m = 0; m < n_meta; ++m) {
+      r.metadata[rand_string(8)] = rand_string(8);
+    }
+    expect_round_trip(r);
+    // When the record happens to be kvtext-expressible (keys without '='
+    // or '\n', single-line values), the serialized bytes must match too.
+    const auto kv_safe_key = [](const std::string& k) {
+      return k.find('=') == std::string::npos && k.find('\n') == std::string::npos;
+    };
+    bool serializable = r.run_id.find('\n') == std::string::npos &&
+                        r.client_guid.find('\n') == std::string::npos &&
+                        r.user_id.find('\n') == std::string::npos &&
+                        r.testcase_id.find('\n') == std::string::npos &&
+                        r.task.find('\n') == std::string::npos;
+    for (const auto& [name, trail] : r.last_levels) {
+      serializable = serializable && kv_safe_key(name);
+    }
+    for (const auto& [key, value] : r.metadata) {
+      serializable = serializable && kv_safe_key(key) &&
+                     value.find('\n') == std::string::npos;
+    }
+    if (serializable) {
+      const FlatRunRecord flat = FlatRunRecord::from_run_record(r);
+      ASSERT_EQ(bytes(flat.to_run_record()), bytes(r)) << "iter " << iter;
+    }
+  }
+}
+
+TEST(FlatRunRecord, SimulateFlatMatchesSimulateRecordByteForByte) {
+  // The engine's hot path must be a pure representation change: same RNG
+  // draws, same record, different storage.
+  const sim::HostModel host{HostSpec::paper_study_machine()};
+  const sim::RunSimulator simulator(host, {0.01, 0.01, 0.01, 0.02});
+  sim::UserProfile user;
+  user.user_id = "user-42";
+  for (sim::Task task : sim::kAllTasks) {
+    for (Resource res : kStudyResources) {
+      user.set_threshold(task, res, 0.6);
+    }
+  }
+  user.ratings[static_cast<std::size_t>(sim::SkillCategory::kQuake)] =
+      sim::SkillRating::kPower;
+  const sim::RunSimulator::FlatRunContext ctx = simulator.flat_context(user);
+
+  const std::vector<Testcase> cases = {
+      make_ramp_testcase(Resource::kCpu, 1.3, 120.0),
+      make_step_testcase(Resource::kDisk, 1.0, 120.0, 40.0),
+      make_blank_testcase(120.0),
+  };
+  for (const Testcase& tc : cases) {
+    const InternedTestcase itc{
+        StringInterner::global().intern(tc.id()),
+        StringInterner::global().intern(tc.description())};
+    for (sim::Task task : sim::kAllTasks) {
+      Rng rng_a(991), rng_b(991);
+      const RunRecord direct =
+          simulator.simulate_record(user, task, tc, rng_a, "run-x");
+      const FlatRunRecord flat =
+          simulator.simulate_flat(user, task, tc, itc, rng_b, "run-x", ctx);
+      EXPECT_EQ(bytes(flat.to_run_record()), bytes(direct))
+          << tc.id() << " / " << sim::task_name(task);
+      // Identical draw sequences: the next draw must also agree.
+      EXPECT_DOUBLE_EQ(rng_a.uniform(0.0, 1.0), rng_b.uniform(0.0, 1.0));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace uucs

@@ -1,0 +1,141 @@
+#include "util/exact_sum.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace uucs {
+namespace {
+
+TEST(ExactSum, SimpleSumsAreExact) {
+  ExactSum s;
+  s.add(1.0);
+  s.add(2.0);
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.round(), 6.5);
+  EXPECT_EQ(s.count(), 3u);
+}
+
+TEST(ExactSum, EmptyIsZero) {
+  ExactSum s;
+  EXPECT_EQ(s.round(), 0.0);
+  EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(ExactSum, CatastrophicCancellationIsExact) {
+  // Naive summation loses the 1.0 entirely: 1e300 + 1 - 1e300 == 0 in
+  // double arithmetic. The superaccumulator keeps every bit.
+  ExactSum s;
+  s.add(1e300);
+  s.add(1.0);
+  s.add(-1e300);
+  EXPECT_DOUBLE_EQ(s.round(), 1.0);
+}
+
+TEST(ExactSum, TinyAndHugeMagnitudesCoexist) {
+  ExactSum s;
+  s.add(std::numeric_limits<double>::denorm_min());
+  s.add(std::numeric_limits<double>::max());
+  s.add(-std::numeric_limits<double>::max());
+  EXPECT_EQ(s.round(), std::numeric_limits<double>::denorm_min());
+}
+
+TEST(ExactSum, OrderInvariance) {
+  // The property streaming aggregation rests on: any permutation of the
+  // same multiset rounds to the same double, bit for bit.
+  Rng rng(7);
+  std::vector<double> xs;
+  for (int i = 0; i < 2000; ++i) {
+    xs.push_back(rng.uniform(-1.0, 1.0) * std::pow(10.0, rng.uniform(-20.0, 20.0)));
+  }
+  ExactSum forward;
+  for (double x : xs) forward.add(x);
+  std::vector<double> shuffled = xs;
+  rng.shuffle(shuffled);
+  ExactSum permuted;
+  for (double x : shuffled) permuted.add(x);
+  EXPECT_EQ(forward.round(), permuted.round());
+  EXPECT_EQ(forward.count(), permuted.count());
+}
+
+TEST(ExactSum, MergeEqualsSequential) {
+  // Split the stream across "workers" at any boundary; the merged
+  // accumulator must be indistinguishable from one sequential pass.
+  Rng rng(11);
+  std::vector<double> xs;
+  for (int i = 0; i < 999; ++i) xs.push_back(rng.normal(0.0, 1e6));
+  ExactSum sequential;
+  for (double x : xs) sequential.add(x);
+  for (std::size_t split : {0u, 1u, 500u, 998u, 999u}) {
+    ExactSum a, b;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      (i < split ? a : b).add(xs[i]);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.round(), sequential.round()) << "split " << split;
+    EXPECT_EQ(a.count(), sequential.count());
+  }
+}
+
+TEST(ExactSum, MergeIsAssociativeAndCommutative) {
+  const auto fill = [](std::uint64_t seed) {
+    ExactSum s;
+    Rng rng(seed);
+    for (int i = 0; i < 100; ++i) s.add(rng.uniform(-1e10, 1e10));
+    return s;
+  };
+  // (a + b) + c
+  ExactSum left = fill(1);
+  {
+    ExactSum b = fill(2);
+    b.merge(fill(3));
+    ExactSum a = fill(1);
+    a.merge(b);
+    left = a;
+  }
+  // c + (b + a)
+  ExactSum right = fill(3);
+  {
+    ExactSum b = fill(2);
+    b.merge(fill(1));
+    right.merge(b);
+  }
+  EXPECT_EQ(left.round(), right.round());
+  EXPECT_EQ(left.count(), right.count());
+}
+
+TEST(ExactSum, ManySmallAddsAgreeWithClosedForm) {
+  // 0.1 is inexact in binary; summing its double value 10'000 times must
+  // equal exactly 10'000 * double(0.1) rounded once — not the drifting
+  // naive loop total.
+  ExactSum s;
+  for (int i = 0; i < 10'000; ++i) s.add(0.1);
+  // Reference: double(0.1) widened to long double is exact, and the product
+  // needs a 61-bit significand, so the x87 long double holds it exactly;
+  // casting back rounds once, just like ExactSum::round().
+  const long double exact = 10'000.0L * static_cast<long double>(0.1);
+  EXPECT_EQ(s.round(), static_cast<double>(exact));
+}
+
+TEST(ExactSum, NonFiniteInputsThrow) {
+  ExactSum s;
+  EXPECT_THROW(s.add(std::numeric_limits<double>::infinity()), Error);
+  EXPECT_THROW(s.add(std::numeric_limits<double>::quiet_NaN()), Error);
+}
+
+TEST(ExactSum, NegativeZeroAndZeroCount) {
+  ExactSum s;
+  s.add(0.0);
+  s.add(-0.0);
+  EXPECT_EQ(s.round(), 0.0);
+  EXPECT_EQ(s.count(), 2u);  // zero adds still count (n for the mean)
+}
+
+}  // namespace
+}  // namespace uucs

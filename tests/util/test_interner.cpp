@@ -1,0 +1,93 @@
+#include "util/interner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace uucs {
+namespace {
+
+TEST(StringInterner, EmptyStringIsIdZero) {
+  StringInterner& pool = StringInterner::global();
+  EXPECT_EQ(pool.intern(""), StringInterner::kEmptyId);
+  EXPECT_EQ(pool.str(StringInterner::kEmptyId), "");
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(StringInterner, SameStringSameId) {
+  StringInterner& pool = StringInterner::global();
+  const std::uint32_t a = pool.intern("interner-test-alpha");
+  const std::uint32_t b = pool.intern("interner-test-alpha");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(pool.str(a), "interner-test-alpha");
+}
+
+TEST(StringInterner, DistinctStringsDistinctIds) {
+  StringInterner& pool = StringInterner::global();
+  const std::uint32_t a = pool.intern("interner-test-x");
+  const std::uint32_t b = pool.intern("interner-test-y");
+  EXPECT_NE(a, b);
+}
+
+TEST(StringInterner, ReferencesStayStableAcrossGrowth) {
+  // The flat record hot path holds `const std::string&` returned by str()
+  // across arbitrarily many later interns; addresses must never move.
+  StringInterner& pool = StringInterner::global();
+  const std::uint32_t id = pool.intern("interner-test-stable");
+  const std::string* before = &pool.str(id);
+  for (int i = 0; i < 5000; ++i) {
+    pool.intern("interner-test-growth-" + std::to_string(i));
+  }
+  EXPECT_EQ(before, &pool.str(id));
+  EXPECT_EQ(*before, "interner-test-stable");
+}
+
+TEST(StringInterner, UnknownIdThrows) {
+  StringInterner& pool = StringInterner::global();
+  EXPECT_THROW(pool.str(0xfffffff0u), Error);
+}
+
+TEST(StringInterner, EmbeddedNulAndBinaryBytesRoundTrip) {
+  StringInterner& pool = StringInterner::global();
+  const std::string weird("a\0b\xff\n", 5);
+  const std::uint32_t id = pool.intern(weird);
+  EXPECT_EQ(pool.str(id), weird);
+  EXPECT_EQ(pool.intern(weird), id);
+  // The prefix before the NUL is a different string.
+  EXPECT_NE(pool.intern("a"), id);
+}
+
+TEST(StringInterner, ConcurrentInternsAgree) {
+  // Workers intern the same key set concurrently (the per-job flat contexts
+  // do exactly this); every thread must see one consistent id per string.
+  StringInterner& pool = StringInterner::global();
+  constexpr int kThreads = 4;
+  constexpr int kKeys = 200;
+  std::vector<std::vector<std::uint32_t>> ids(kThreads,
+                                              std::vector<std::uint32_t>(kKeys));
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int k = 0; k < kKeys; ++k) {
+        ids[static_cast<size_t>(t)][static_cast<size_t>(k)] =
+            pool.intern("interner-test-conc-" + std::to_string(k));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(ids[static_cast<size_t>(t)], ids[0]);
+  }
+  for (int k = 0; k < kKeys; ++k) {
+    EXPECT_EQ(pool.str(ids[0][static_cast<size_t>(k)]),
+              "interner-test-conc-" + std::to_string(k));
+  }
+}
+
+}  // namespace
+}  // namespace uucs

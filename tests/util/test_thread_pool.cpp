@@ -92,6 +92,56 @@ TEST(ThreadPool, WaitIdleCanBeReusedAcrossBatches) {
   }
 }
 
+TEST(ThreadPool, SubmitBulkRunsEveryTaskOnce) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 1000; ++i) {
+    tasks.push_back([&] { counter.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.submit_bulk(tasks);
+  EXPECT_TRUE(tasks.empty());  // consumed
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 1000);
+}
+
+TEST(ThreadPool, SubmitBulkLargerThanQueueCapacityChunks) {
+  // Capacity 3 with a batch of 50: submit_bulk must block-and-refill in
+  // chunks instead of overrunning the bounded queue.
+  ThreadPool pool(2, 3);
+  std::atomic<int> counter{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 50; ++i) {
+    tasks.push_back([&] { counter.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.submit_bulk(tasks);
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, SubmitBulkEmptyBatchIsANoop) {
+  ThreadPool pool(2);
+  std::vector<std::function<void()>> tasks;
+  pool.submit_bulk(tasks);
+  pool.wait_idle();
+  EXPECT_EQ(pool.thread_count(), 2u);
+}
+
+TEST(ThreadPool, SubmitBulkMixesWithSubmit) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 4; ++round) {
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 20; ++i) {
+      tasks.push_back([&] { counter.fetch_add(1); });
+    }
+    pool.submit_bulk(tasks);
+    pool.submit([&] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 4 * 21);
+}
+
 TEST(ThreadPool, DestructorJoinsWithTasksInFlight) {
   std::atomic<int> counter{0};
   {

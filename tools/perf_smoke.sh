@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Release-mode perf smoke for the streaming study path (CI's guard against
+# throughput regressions sneaking past the equivalence tests):
+#
+#   1. runs a 10k-user --streaming controlled study via bench_scale,
+#      asserting its aggregates serialize byte-identically to the in-memory
+#      path (--verify), and
+#   2. fails when the study's wall-clock exceeds 2x the checked-in
+#      reference time (tools/perf_smoke_reference.txt), with a floor so
+#      CI-runner jitter on a fast reference cannot produce false failures.
+#
+# Usage: tools/perf_smoke.sh [BUILD_DIR]   (default: build)
+set -euo pipefail
+
+build_dir="${1:-build}"
+ref_file="$(dirname "$0")/perf_smoke_reference.txt"
+json="$(mktemp)"
+trap 'rm -f "$json"' EXIT
+
+"$build_dir/bench/bench_scale" --jobs auto --sizes 10000 --verify --json "$json"
+
+wall=$(sed -n 's/.*"wall_s": \([0-9.eE+-]*\).*/\1/p' "$json" | head -1)
+ref=$(grep -v '^#' "$ref_file" | head -1)
+if [ -z "$wall" ] || [ -z "$ref" ]; then
+  echo "perf_smoke: failed to read wall time ('$wall') or reference ('$ref')" >&2
+  exit 2
+fi
+
+awk -v wall="$wall" -v ref="$ref" 'BEGIN {
+  budget = 2.0 * ref
+  floor = 2.0            # seconds; absorbs scheduler noise on tiny refs
+  if (budget < floor) budget = floor
+  printf "perf_smoke: wall %.3fs, reference %.3fs, budget %.3fs\n", wall, ref, budget
+  if (wall > budget) {
+    printf "perf_smoke: FAIL - >2x regression vs reference\n"
+    exit 1
+  }
+  printf "perf_smoke: ok\n"
+}'

@@ -11,9 +11,15 @@
 ///   uucsctl profile RESULTS.txt OUT.txt        write a ComfortProfile
 ///   uucsctl suite   OUT.txt [SEED]             generate the Internet suite
 ///   uucsctl study   OUT.txt [N [SEED [JOBS]]] [--trace[=FILE]]
+///                   [--streaming] [--jobs=N|auto]
+///                   [--max-records-in-memory=N]
 ///                                              run the controlled study;
 ///                                              --trace records every
-///                                              simulation event
+///                                              simulation event;
+///                                              --streaming aggregates in
+///                                              O(1) space per run and
+///                                              writes the aggregate dump
+///                                              instead of raw records
 ///   uucsctl chaos   HOST PORT [--seed N | --schedule SPEC] [--syncs K]
 ///                                              replay a fault schedule
 ///                                              against a live server and
@@ -70,10 +76,19 @@ using namespace uucs;
                "  profile RESULTS.txt OUT.txt\n"
                "  suite   OUT.txt [SEED]\n"
                "  study   OUT.txt [PARTICIPANTS [SEED [JOBS]]] [--trace[=FILE]]\n"
-               "          (JOBS: engine workers; 0 = hardware concurrency, "
-               "any value is bit-identical;\n"
+               "          [--streaming] [--jobs=N|auto] "
+               "[--max-records-in-memory=N]\n"
+               "          (JOBS: engine workers; auto (default) = hardware "
+               "concurrency,\n"
+               "           any value is bit-identical;\n"
                "           --trace writes the fired-event log, default "
-               "OUT.txt.trace)\n"
+               "OUT.txt.trace;\n"
+               "           --streaming folds runs into exact aggregates "
+               "without retaining\n"
+               "           records — OUT.txt gets the aggregate dump; "
+               "--max-records-in-memory\n"
+               "           aborts an in-memory run that would retain more "
+               "records than N)\n"
                "  chaos   HOST PORT [--seed N | --schedule SPEC] [--syncs K]\n"
                "          [--retries N] [--timeout S]\n"
                "          (drives a live server through injected faults and "
@@ -223,6 +238,13 @@ int cmd_suite(const std::string& out, std::uint64_t seed) {
   return 0;
 }
 
+/// Jobs knob: "auto" (the default) resolves to hardware concurrency via
+/// engine::effective_jobs; a number is the exact worker count.
+std::size_t parse_jobs_arg(const std::string& s) {
+  if (s == "auto") return 0;
+  return std::stoul(s);
+}
+
 int cmd_study(const std::string& out, const std::vector<std::string>& raw) {
   study::ControlledStudyConfig config;
   std::string trace_path;
@@ -234,18 +256,42 @@ int cmd_study(const std::string& out, const std::vector<std::string>& raw) {
     } else if (a.rfind("--trace=", 0) == 0) {
       config.trace = true;
       trace_path = a.substr(std::string("--trace=").size());
+    } else if (a == "--streaming") {
+      config.streaming = true;
+    } else if (a.rfind("--jobs=", 0) == 0) {
+      config.jobs = parse_jobs_arg(a.substr(std::string("--jobs=").size()));
+    } else if (a.rfind("--max-records-in-memory=", 0) == 0) {
+      config.max_records_in_memory =
+          std::stoul(a.substr(std::string("--max-records-in-memory=").size()));
+    } else if (a.rfind("--", 0) == 0) {
+      std::fprintf(stderr,
+                   "uucsctl study: unknown option '%s' (flags take =VALUE, "
+                   "e.g. --max-records-in-memory=N)\n",
+                   a.c_str());
+      return 2;
     } else {
       args.push_back(a);
     }
   }
   if (args.size() >= 1) config.participants = std::stoul(args[0]);
   if (args.size() >= 2) config.seed = std::stoull(args[1]);
-  if (args.size() >= 3) config.jobs = std::stoul(args[2]);
+  if (args.size() >= 3) config.jobs = parse_jobs_arg(args[2]);
   const auto output = study::run_controlled_study(config);
-  output.results.save(out);
-  std::printf("ran %zu runs for %zu participants (seed %llu) into %s\n",
-              output.results.size(), output.users.size(),
-              static_cast<unsigned long long>(config.seed), out.c_str());
+  if (config.streaming) {
+    write_file(out, output.aggregates->serialize());
+    std::printf(
+        "streamed %llu runs for %zu participants (seed %llu); aggregates in "
+        "%s\n",
+        static_cast<unsigned long long>(output.aggregates->runs()),
+        output.users.size(), static_cast<unsigned long long>(config.seed),
+        out.c_str());
+    std::printf("%s", output.aggregates->summary().render().c_str());
+  } else {
+    output.results.save(out);
+    std::printf("ran %zu runs for %zu participants (seed %llu) into %s\n",
+                output.results.size(), output.users.size(),
+                static_cast<unsigned long long>(config.seed), out.c_str());
+  }
   std::printf("%s", output.engine.summary().render().c_str());
   if (config.trace) {
     write_file(trace_path, output.trace.serialize());

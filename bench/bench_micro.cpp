@@ -27,6 +27,7 @@
 #include "study/population.hpp"
 #include "testcase/suite.hpp"
 #include "util/fs.hpp"
+#include "util/interner.hpp"
 #include "util/journal.hpp"
 #include "util/kvtext.hpp"
 #include "util/rng.hpp"
@@ -258,6 +259,34 @@ void BM_SimulateRecordFlat(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SimulateRecordFlat);
+
+void BM_InternerGlobalHit(benchmark::State& state) {
+  // intern() hit on the process-global synchronized pool: every call takes
+  // the pool mutex even uncontended. Run with ->Threads(4) the same lock
+  // is contended, which is exactly what the sharded drivers avoid by
+  // giving each engine worker its own unsynchronized pool.
+  auto& pool = uucs::StringInterner::global();
+  pool.intern("bench-interner-hot-key");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pool.intern("bench-interner-hot-key"));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InternerGlobalHit)->Threads(1)->Threads(4);
+
+void BM_InternerLocalHit(benchmark::State& state) {
+  // The worker-pool shape: an unsynchronized StringInterner instance owned
+  // by one thread, as each SessionEngine WorkerSlot holds. No mutex in the
+  // hit path, and per-thread instances mean ->Threads(4) scales instead of
+  // serializing on a shared lock.
+  thread_local uucs::StringInterner pool;
+  pool.intern("bench-interner-hot-key");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pool.intern("bench-interner-hot-key"));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InternerLocalHit)->Threads(1)->Threads(4);
 
 void BM_StudyAccumulatorAdd(benchmark::State& state) {
   // Streaming-aggregation absorb cost per flat record (classification is

@@ -13,33 +13,6 @@ namespace {
 
 constexpr std::uint8_t kBlankBit = 0x80;
 
-// Interner ids the flat add() path compares against, pooled once.
-struct FlatIds {
-  std::uint32_t run_outcome;
-  std::uint32_t ok;
-  std::array<std::uint32_t, 3> study_resources;  ///< canonical names
-  std::uint32_t cpu_name;
-  std::array<std::uint32_t, sim::kTaskCount> task_names;
-};
-
-const FlatIds& flat_ids() {
-  static const FlatIds ids = [] {
-    StringInterner& pool = StringInterner::global();
-    FlatIds out{};
-    out.run_outcome = pool.intern("run.outcome");
-    out.ok = pool.intern("ok");
-    for (std::size_t i = 0; i < kStudyResources.size(); ++i) {
-      out.study_resources[i] = pool.intern(resource_name(kStudyResources[i]));
-    }
-    out.cpu_name = pool.intern(resource_name(Resource::kCpu));
-    for (std::size_t i = 0; i < sim::kTaskCount; ++i) {
-      out.task_names[i] = pool.intern(sim::task_name(static_cast<sim::Task>(i)));
-    }
-    return out;
-  }();
-  return ids;
-}
-
 std::size_t offset_bin(double offset_s) {
   if (!(offset_s >= 0)) return 0;
   const auto b = static_cast<std::size_t>(offset_s /
@@ -91,7 +64,17 @@ void StudyAccumulator::TaskTally::merge(const TaskTally& other) {
   for (std::size_t i = 0; i < cells.size(); ++i) cells[i].merge(other.cells[i]);
 }
 
-StudyAccumulator::StudyAccumulator() { flat_ids(); }
+StudyAccumulator::StudyAccumulator(StringInterner& pool) : pool_(&pool) {
+  ids_.run_outcome = pool.intern("run.outcome");
+  ids_.ok = pool.intern("ok");
+  for (std::size_t i = 0; i < kStudyResources.size(); ++i) {
+    ids_.study_resources[i] = pool.intern(resource_name(kStudyResources[i]));
+  }
+  ids_.cpu_name = pool.intern(resource_name(Resource::kCpu));
+  for (std::size_t i = 0; i < sim::kTaskCount; ++i) {
+    ids_.task_names[i] = pool.intern(sim::task_name(static_cast<sim::Task>(i)));
+  }
+}
 
 std::uint8_t StudyAccumulator::testcase_class(const std::string& testcase_id) {
   std::uint8_t cls = 0;
@@ -129,7 +112,7 @@ void StudyAccumulator::add(const RunRecord& rec) {
 }
 
 void StudyAccumulator::add(const FlatRunRecord& rec) {
-  const FlatIds& ids = flat_ids();
+  const FlatIds& ids = ids_;
   Classified c;
   {
     const auto it = task_index_.find(rec.task);
@@ -152,7 +135,7 @@ void StudyAccumulator::add(const FlatRunRecord& rec) {
     if (it != tc_class_.end()) {
       cls = it->second;
     } else {
-      cls = testcase_class(StringInterner::global().str(rec.testcase_id));
+      cls = testcase_class(pool_->str(rec.testcase_id));
       tc_class_.emplace(rec.testcase_id, cls);
     }
   }

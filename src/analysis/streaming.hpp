@@ -58,7 +58,13 @@ class StudyAccumulator {
   static constexpr std::size_t kOffsetBins = 8192;
   static constexpr double kOffsetBinWidth = 0.125;
 
-  StudyAccumulator();
+  /// `pool` is the string pool the absorbed FlatRunRecords were interned
+  /// against — the worker-local pool on sharded drivers, the process-wide
+  /// one by default. The accumulator resolves flat ids only against this
+  /// pool (classification caches, well-known key ids); its own state and
+  /// serialize() output carry no ids at all, which is why accumulators
+  /// built over *different* pools still merge exactly (DESIGN.md §11).
+  explicit StudyAccumulator(StringInterner& pool = StringInterner::global());
 
   /// Absorbs one run (the map-based and flat representations tally
   /// identically; the flat overload is the hot path).
@@ -135,6 +141,18 @@ class StudyAccumulator {
   void add_classified(const Classified& c);
   std::uint8_t testcase_class(const std::string& testcase_id);
 
+  /// Ids of the well-known strings the flat add() path compares against,
+  /// interned into pool_ at construction.
+  struct FlatIds {
+    std::uint32_t run_outcome = 0;
+    std::uint32_t ok = 0;
+    std::array<std::uint32_t, 3> study_resources{};  ///< canonical names
+    std::uint32_t cpu_name = 0;
+    std::array<std::uint32_t, sim::kTaskCount> task_names{};
+  };
+
+  StringInterner* pool_;  ///< the pool flat-record ids resolve against
+  FlatIds ids_;
   std::uint64_t runs_ = 0;
   std::uint64_t host_faulted_ = 0;
   std::array<TaskTally, sim::kTaskCount> tasks_;

@@ -37,13 +37,26 @@ std::size_t effective_jobs(std::size_t jobs) {
   return hw > 0 ? hw : 1;
 }
 
+void WorkerStats::merge(const WorkerStats& other) {
+  jobs_executed += other.jobs_executed;
+  runs_simulated += other.runs_simulated;
+  arena_bytes = std::max(arena_bytes, other.arena_bytes);
+  interner_size = std::max(interner_size, other.interner_size);
+}
+
 void EngineStats::merge(const EngineStats& other) {
   workers = std::max(workers, other.workers);
   jobs_executed += other.jobs_executed;
   runs_simulated += other.runs_simulated;
   wall_s += other.wall_s;
   cpu_s += other.cpu_s;
+  merge_s += other.merge_s;
   max_rss_bytes = std::max(max_rss_bytes, other.max_rss_bytes);
+  for (const WorkerStats& w : other.per_worker) {
+    if (w.slot >= per_worker.size()) per_worker.resize(w.slot + 1);
+    per_worker[w.slot].slot = w.slot;
+    per_worker[w.slot].merge(w);
+  }
 }
 
 TextTable EngineStats::summary() const {
@@ -54,6 +67,7 @@ TextTable EngineStats::summary() const {
   t.add_row({"runs simulated", std::to_string(runs_simulated)});
   t.add_row({"wall time (s)", strprintf("%.3f", wall_s)});
   t.add_row({"cpu time (s)", strprintf("%.3f", cpu_s)});
+  if (merge_s > 0) t.add_row({"merge time (s)", strprintf("%.3f", merge_s)});
   t.add_row({"sessions/s", strprintf("%.1f", jobs_per_s())});
   t.add_row({"runs/s", strprintf("%.1f", runs_per_s())});
   if (max_rss_bytes > 0) {
@@ -64,6 +78,18 @@ TextTable EngineStats::summary() const {
   if (workers > 0 && wall_s > 0) {
     t.add_row({"parallel efficiency",
                strprintf("%.2f", cpu_s / (wall_s * static_cast<double>(workers)))});
+  }
+  return t;
+}
+
+TextTable EngineStats::worker_summary() const {
+  TextTable t;
+  t.set_header({"worker", "jobs", "runs", "arena (KiB)", "interner strings"});
+  for (const WorkerStats& w : per_worker) {
+    t.add_row({std::to_string(w.slot), std::to_string(w.jobs_executed),
+               std::to_string(w.runs_simulated),
+               strprintf("%.1f", static_cast<double>(w.arena_bytes) / 1024.0),
+               std::to_string(w.interner_size)});
   }
   return t;
 }
@@ -85,16 +111,16 @@ std::vector<SessionJob> make_user_session_jobs(
 }
 
 sim::Simulation& JobContext::simulation() {
-  if (!sim_) {
-    sim::SimulationConfig config;
-    config.trace = engine_.config_.trace;
-    sim_ = std::make_unique<sim::Simulation>(config);
-  }
+  if (!sim_) sim_ = &engine_.slot_simulation(worker_slot_);
   return *sim_;
 }
 
+StringInterner& JobContext::interner() {
+  return engine_.slots_[worker_slot_]->interner;
+}
+
 void JobContext::count_runs(std::size_t n) {
-  engine_.runs_.fetch_add(n, std::memory_order_relaxed);
+  engine_.slots_[worker_slot_]->runs += n;
 }
 
 sim::EventTrace SessionEngine::merged_trace() const {
@@ -106,56 +132,100 @@ sim::EventTrace SessionEngine::merged_trace() const {
 SessionEngine::SessionEngine(EngineConfig config)
     : config_(config), workers_(effective_jobs(config.jobs)) {
   stats_.workers = workers_;
+  slots_.reserve(workers_);
+  for (std::size_t s = 0; s < workers_; ++s) {
+    slots_.push_back(std::make_unique<WorkerSlot>());
+  }
 }
 
 SessionEngine::~SessionEngine() = default;
+
+sim::Simulation& SessionEngine::slot_simulation(std::size_t slot) {
+  WorkerSlot& w = *slots_[slot];
+  if (!w.sim) {
+    sim::SimulationConfig config;
+    config.trace = config_.trace;
+    w.sim = std::make_unique<sim::Simulation>(config);
+  } else {
+    w.sim->reset();
+  }
+  return *w.sim;
+}
+
+void SessionEngine::refresh_worker_stats() {
+  stats_.per_worker.resize(workers_);
+  for (std::size_t s = 0; s < workers_; ++s) {
+    const WorkerSlot& w = *slots_[s];
+    WorkerStats& ws = stats_.per_worker[s];
+    ws.slot = s;
+    ws.jobs_executed = w.jobs;
+    ws.runs_simulated = w.runs;
+    ws.arena_bytes =
+        w.sim ? w.sim->queue().arena().footprint_bytes() : 0;
+    ws.interner_size = w.interner.size();
+  }
+}
 
 void SessionEngine::run_tasks(
     std::size_t n, const std::function<void(std::size_t, std::size_t)>& task) {
   const auto wall_start = std::chrono::steady_clock::now();
   const double cpu_start = process_cpu_seconds();
-  const std::size_t runs_start = runs_.load(std::memory_order_relaxed);
+  std::size_t runs_start = 0;
+  for (const auto& slot : slots_) runs_start += slot->runs;
+
+  // Static contiguous partitions: slot s runs jobs [begin_s, begin_s + len_s)
+  // where the first n % workers slots take one extra job. Deterministic
+  // (job→slot is a pure function of n and workers), cache-friendly
+  // (neighboring jobs usually mean neighboring users in one population
+  // vector), and free of any shared hand-out counter in the job loop.
+  const std::size_t base = n / workers_;
+  const std::size_t extra = n % workers_;
+  const auto partition_begin = [&](std::size_t slot) {
+    return slot * base + std::min(slot, extra);
+  };
 
   if (workers_ == 1) {
-    for (std::size_t i = 0; i < n; ++i) task(i, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      task(i, 0);
+      ++slots_[0]->jobs;
+    }
   } else {
     if (!pool_) pool_ = std::make_unique<ThreadPool>(workers_);
     std::mutex error_mu;
     std::exception_ptr first_error;
-    // One self-striding closure per worker: jobs are handed out through a
-    // shared atomic counter, so pool traffic is O(workers), not O(jobs) —
-    // per-job submit() lock contention dominated the old fan-out (see
-    // BM_ThreadPoolDispatch vs BM_ThreadPoolDispatchBulk).
-    std::atomic<std::size_t> next{0};
-    std::vector<std::function<void()>> strides;
-    strides.reserve(workers_);
+    std::vector<std::function<void()>> partitions;
+    partitions.reserve(workers_);
     for (std::size_t slot = 0; slot < workers_; ++slot) {
-      strides.push_back([&, slot] {
-        for (;;) {
-          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-          if (i >= n) return;
+      const std::size_t begin = partition_begin(slot);
+      const std::size_t end = partition_begin(slot + 1);
+      partitions.push_back([&, slot, begin, end] {
+        WorkerSlot& ws = *slots_[slot];
+        for (std::size_t i = begin; i < end; ++i) {
           try {
             task(i, slot);
           } catch (...) {
             std::lock_guard<std::mutex> lock(error_mu);
             if (!first_error) first_error = std::current_exception();
           }
+          ++ws.jobs;
         }
       });
     }
-    pool_->submit_bulk(strides);
+    pool_->submit_bulk(partitions);
     pool_->wait_idle();
     if (first_error) std::rethrow_exception(first_error);
   }
 
   stats_.jobs_executed += n;
-  stats_.runs_simulated +=
-      runs_.load(std::memory_order_relaxed) - runs_start;
+  std::size_t runs_now = 0;
+  for (const auto& slot : slots_) runs_now += slot->runs;
+  stats_.runs_simulated += runs_now - runs_start;
   stats_.wall_s += std::chrono::duration<double>(
                        std::chrono::steady_clock::now() - wall_start)
                        .count();
   stats_.cpu_s += process_cpu_seconds() - cpu_start;
   stats_.max_rss_bytes = std::max(stats_.max_rss_bytes, peak_rss_bytes());
+  refresh_worker_stats();
 }
 
 }  // namespace uucs::engine

@@ -1,6 +1,5 @@
 #pragma once
 
-#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -9,6 +8,7 @@
 
 #include "sim/simulation.hpp"
 #include "sim/user_model.hpp"
+#include "util/interner.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
@@ -31,6 +31,21 @@ struct EngineConfig {
   bool trace = false;
 };
 
+/// Per-worker instrumentation: how much work one slot did and how big its
+/// thread-local structures grew. Counters are summed across phases; the
+/// size fields are gauges (last/peak observation wins). Deterministic for a
+/// given (n_jobs, workers) because job→slot assignment is a static
+/// contiguous partition, not a work-stealing race.
+struct WorkerStats {
+  std::size_t slot = 0;
+  std::size_t jobs_executed = 0;
+  std::size_t runs_simulated = 0;
+  std::size_t arena_bytes = 0;     ///< recycled Simulation arena footprint
+  std::size_t interner_size = 0;   ///< strings in the worker-local pool
+
+  void merge(const WorkerStats& other);
+};
+
 /// Lightweight instrumentation the engine gathers per run: future PRs track
 /// scaling with these numbers (see BENCH_engine.json for the baseline).
 struct EngineStats {
@@ -39,16 +54,23 @@ struct EngineStats {
   std::size_t runs_simulated = 0;  ///< individual runs reported by jobs
   double wall_s = 0.0;             ///< wall-clock time inside map()
   double cpu_s = 0.0;              ///< process CPU time inside map()
+  double merge_s = 0.0;            ///< driver-reported shard merge time
   std::size_t max_rss_bytes = 0;   ///< peak process RSS sampled after map()
+  std::vector<WorkerStats> per_worker;  ///< one entry per slot, slot order
 
   double jobs_per_s() const { return wall_s > 0 ? jobs_executed / wall_s : 0.0; }
   double runs_per_s() const { return wall_s > 0 ? runs_simulated / wall_s : 0.0; }
 
-  /// Accumulates another phase's numbers (workers = max of the two).
+  /// Accumulates another phase's numbers (workers = max of the two;
+  /// per-worker entries merged by slot).
   void merge(const EngineStats& other);
 
   /// Two-column metric/value table for console reports.
   TextTable summary() const;
+
+  /// Per-worker breakdown (slot, jobs, runs, arena bytes, interner size)
+  /// for `uucsctl study --verbose`; empty table when no workers reported.
+  TextTable worker_summary() const;
 };
 
 /// The unit of work the engine schedules: one synthetic user working
@@ -86,17 +108,27 @@ class JobContext {
   /// job's whole lifetime, so drivers can keep per-worker state (e.g. one
   /// streaming StudyAccumulator per slot) without any locking: a slot is
   /// only ever touched by the thread that owns it. Inline execution uses
-  /// slot 0. Which jobs land on which slot is *not* deterministic — only
-  /// order-independent per-slot state (exact accumulators) may rely on it.
+  /// slot 0. Job→slot assignment is a static contiguous partition — slot s
+  /// runs a contiguous block of job indices — so it is a pure function of
+  /// (n_jobs, workers); still, only order-independent per-slot state
+  /// (exact accumulators) should rely on which jobs share a slot.
   std::size_t worker_slot() const { return worker_slot_; }
 
   /// This job's discrete-event simulation context, created lazily with the
-  /// engine's trace setting. One Simulation per SessionJob: all of the
-  /// job's scheduling (runs, syncs, feedback, policy ticks) goes through
-  /// it, and its trace is collected by the engine after the job returns.
+  /// engine's trace setting. The Simulation object is owned by the worker
+  /// slot and recycled across the slot's jobs (reset() before each reuse),
+  /// so a million-job study builds exactly workers() simulations and their
+  /// arenas stay warm; semantically each job still gets a fresh context.
   sim::Simulation& simulation();
 
+  /// The worker slot's private string pool. Unsynchronized — only the
+  /// owning thread may touch it — which is the whole point: flat-record
+  /// interning on the per-run hot path takes no lock. Ids are local to
+  /// this pool; resolve them against the same pool (see DESIGN.md §11).
+  StringInterner& interner();
+
   /// Reports simulated runs for the engine's throughput instrumentation.
+  /// Slot-local counter — no atomics on the hot path.
   void count_runs(std::size_t n = 1);
 
   /// The job's trace (empty when tracing is off or no simulation was
@@ -109,7 +141,7 @@ class JobContext {
   std::size_t index_;
   std::size_t worker_slot_;
   SessionEngine& engine_;
-  std::unique_ptr<sim::Simulation> sim_;
+  sim::Simulation* sim_ = nullptr;  ///< slot-owned; cached after first use
 };
 
 /// Deterministic parallel session executor shared by the controlled study,
@@ -120,6 +152,14 @@ class JobContext {
 /// merge shard results in ascending job index, so a run with `jobs = N` is
 /// bit-identical to the sequential run with the same seed. The other half
 /// of the contract is RNG stream pre-forking — see util/rng_streams.hpp.
+///
+/// Sharding: jobs are dealt to workers as static contiguous partitions
+/// (slot s runs jobs [s·n/W, (s+1)·n/W) up to remainder spread), so
+/// neighboring jobs — usually neighboring users in one population vector —
+/// stay on one core, and per-slot state (simulation arena, interner,
+/// accumulators) sees a deterministic job subset. Each worker owns a
+/// cache-line-aligned slot; the job loop touches no shared mutable state,
+/// so the steady-state hot path acquires no mutex and bounces no line.
 class SessionEngine {
  public:
   explicit SessionEngine(EngineConfig config = {});
@@ -133,9 +173,9 @@ class SessionEngine {
   /// Runs `fn(ctx)` for job indices 0..n_jobs-1 across the worker pool and
   /// returns the results in job-index order. `fn` must be safe to call
   /// concurrently from multiple threads (share only immutable state; keep
-  /// mutable state inside the job). The first exception thrown by any job
-  /// is rethrown here after all jobs finish. With workers() == 1 the jobs
-  /// run inline, in order, on the caller's thread.
+  /// mutable state inside the job or the worker slot). The first exception
+  /// thrown by any job is rethrown here after all jobs finish. With
+  /// workers() == 1 the jobs run inline, in order, on the caller's thread.
   template <typename R, typename Fn>
   std::vector<R> map(std::size_t n_jobs, Fn&& fn) {
     if (config_.trace) job_traces_.assign(n_jobs, {});
@@ -158,24 +198,45 @@ class SessionEngine {
   /// deterministic merge order every driver uses for results too.
   sim::EventTrace merged_trace() const;
 
-  /// Instrumentation accumulated over every map() on this engine.
+  /// Instrumentation accumulated over every map() on this engine,
+  /// including the per-worker breakdown.
   const EngineStats& stats() const { return stats_; }
+
+  /// Adds driver-measured shard-merge seconds to stats().merge_s.
+  void add_merge_time(double seconds) { stats_.merge_s += seconds; }
 
  private:
   friend class JobContext;
-  /// Runs task(i, worker_slot) for i in 0..n-1. Parallel execution submits
-  /// one self-striding closure per worker (a shared atomic index hands out
-  /// jobs) through ThreadPool::submit_bulk — O(workers) pool traffic
-  /// instead of O(jobs).
+
+  /// Everything one worker thread owns. Aligned to a cache line and held
+  /// behind a unique_ptr so neighboring slots never share a line (the
+  /// per-job counters are the only fields written at job granularity).
+  struct alignas(64) WorkerSlot {
+    StringInterner interner;                ///< unsynchronized, thread-local
+    std::unique_ptr<sim::Simulation> sim;   ///< recycled across the slot's jobs
+    std::size_t jobs = 0;                   ///< lifetime jobs executed
+    std::size_t runs = 0;                   ///< lifetime runs reported
+  };
+
+  /// Runs task(i, worker_slot) for i in 0..n-1, dealing static contiguous
+  /// partitions: one closure per worker via ThreadPool::submit_bulk —
+  /// O(workers) pool traffic and no shared hand-out counter.
   void run_tasks(std::size_t n,
                  const std::function<void(std::size_t, std::size_t)>& task);
+
+  /// The slot's recycled Simulation: created on first use, reset() on
+  /// every subsequent job. Called only from the slot's owning thread.
+  sim::Simulation& slot_simulation(std::size_t slot);
+
+  /// Folds the slots' lifetime counters and gauges into stats_.per_worker.
+  void refresh_worker_stats();
 
   EngineConfig config_;
   std::size_t workers_ = 1;
   std::unique_ptr<ThreadPool> pool_;  ///< created lazily on first parallel map
+  std::vector<std::unique_ptr<WorkerSlot>> slots_;  ///< one per worker, fixed
   EngineStats stats_;
   std::vector<sim::EventTrace> job_traces_;
-  std::atomic<std::size_t> runs_{0};
 };
 
 }  // namespace uucs::engine

@@ -32,7 +32,21 @@ EventClass parse_event_class(const std::string& name) {
 }
 
 EventQueue::~EventQueue() {
-  for (const Entry& e : heap_) arena_.release(e.ref);
+  for (const Entry& e : heap_) arena_.release(ref_of(e));
+  for (std::size_t i = drain_pos_; i < drained_.size(); ++i) {
+    arena_.release(ref_of(drained_[i]));
+  }
+}
+
+void EventQueue::reset() {
+  for (const Entry& e : heap_) arena_.release(ref_of(e));
+  for (std::size_t i = drain_pos_; i < drained_.size(); ++i) {
+    arena_.release(ref_of(drained_[i]));
+  }
+  heap_.clear();  // capacity retained
+  drained_.clear();
+  drain_pos_ = 0;
+  next_seq_ = 0;
 }
 
 void EventQueue::throw_past(double t) const {
@@ -50,7 +64,9 @@ void EventQueue::check_delay(double delay) {
 }
 
 void EventQueue::push_entry(double t, EventClass cls, HandlerArena::Ref ref) {
-  Entry e{t, next_seq_++, ref, cls};
+  UUCS_CHECK_MSG(next_seq_ < kSeqLimit, "event sequence space exhausted");
+  UUCS_CHECK_MSG(ref <= kRefMask, "handler arena ref out of key range");
+  const Entry e{t, make_key(cls, next_seq_++, ref)};
   std::size_t i = heap_.size();
   heap_.push_back(e);
   while (i > 0) {  // sift up
@@ -66,9 +82,16 @@ EventQueue::Entry EventQueue::pop_top() {
   const Entry top = heap_.front();
   const Entry last = heap_.back();
   heap_.pop_back();
-  if (!heap_.empty()) {  // sift the former last entry down from the root
+  const std::size_t n = heap_.size();
+  if (n != 0) {
+    // Bottom-up ("bounce") replacement of the root: walk the min-child path
+    // to a leaf, pulling each minimum up one level, then sift the former
+    // last entry up from the leaf hole. The displaced entry almost always
+    // belongs near the bottom, so skipping the per-level "does it fit yet?"
+    // test against it saves a comparison per level on bulk drains; the
+    // ancestors of the leaf hole are exactly the pulled-up path, so the
+    // final sift-up terminates after a step or two.
     std::size_t i = 0;
-    const std::size_t n = heap_.size();
     for (;;) {
       const std::size_t first_child = i * kArity + 1;
       if (first_child >= n) break;
@@ -77,33 +100,71 @@ EventQueue::Entry EventQueue::pop_top() {
       for (std::size_t c = first_child + 1; c < end; ++c) {
         if (before(heap_[c], heap_[best])) best = c;
       }
-      if (!before(heap_[best], last)) break;
       heap_[i] = heap_[best];
       i = best;
+    }
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / kArity;
+      if (!before(last, heap_[parent])) break;
+      heap_[i] = heap_[parent];
+      i = parent;
     }
     heap_[i] = last;
   }
   return top;
 }
 
+const EventQueue::Entry* EventQueue::peek() const {
+  const Entry* d = drain_pos_ < drained_.size() ? &drained_[drain_pos_] : nullptr;
+  const Entry* h = heap_.empty() ? nullptr : &heap_.front();
+  if (d && h) return before(*h, *d) ? h : d;
+  return d ? d : h;
+}
+
+void EventQueue::sort_drain() {
+  drained_.clear();
+  drain_pos_ = 0;
+  std::swap(drained_, heap_);  // buffers trade places; capacity recycles
+  std::sort(drained_.begin(), drained_.end(),
+            [](const Entry& a, const Entry& b) { return before(a, b); });
+}
+
 double EventQueue::next_time() const {
-  UUCS_CHECK_MSG(!heap_.empty(), "next_time on empty queue");
-  return heap_.front().t;
+  const Entry* next = peek();
+  UUCS_CHECK_MSG(next != nullptr, "next_time on empty queue");
+  return next->t;
 }
 
 bool EventQueue::step() {
-  if (heap_.empty()) return false;
+  if (drain_pos_ == drained_.size() && heap_.size() >= kSortDrainMin) {
+    sort_drain();
+  }
   // The entry is popped and the handler's storage released before the
   // handler runs: handlers may schedule more events (or throw) without
   // corrupting the queue.
-  const Entry top = pop_top();
+  Entry top;
+  if (drain_pos_ < drained_.size() &&
+      (heap_.empty() || !before(heap_.front(), drained_[drain_pos_]))) {
+    top = drained_[drain_pos_++];
+    if (drain_pos_ == drained_.size()) {
+      drained_.clear();
+      drain_pos_ = 0;
+    }
+  } else if (!heap_.empty()) {
+    top = pop_top();
+  } else {
+    return false;
+  }
   clock_.advance_to(top.t);
-  arena_.invoke_and_release(top.ref);
+  arena_.invoke_and_release(ref_of(top));
   return true;
 }
 
 void EventQueue::run_until(double t_end) {
-  while (!heap_.empty() && heap_.front().t <= t_end) step();
+  for (const Entry* next = peek(); next != nullptr && next->t <= t_end;
+       next = peek()) {
+    step();
+  }
   if (clock_.now() < t_end) clock_.advance_to(t_end);
 }
 

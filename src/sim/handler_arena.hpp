@@ -97,6 +97,11 @@ class HandlerArena {
   /// Bytes reserved in outline slabs (not counting huge direct allocations).
   std::size_t slab_bytes() const { return slab_bytes_; }
 
+  /// Approximate resident footprint: the slot vector plus outline slabs.
+  std::size_t footprint_bytes() const {
+    return slots_.capacity() * sizeof(Slot) + slab_bytes_;
+  }
+
  private:
   static constexpr std::uint8_t kInlineClass = 0xfe;
   static constexpr std::uint8_t kHugeClass = 0xff;

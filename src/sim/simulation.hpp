@@ -82,6 +82,18 @@ class Simulation {
   const EventTrace& trace() const { return trace_; }
   EventTrace take_trace() { return std::move(trace_); }
 
+  /// Restores the fresh-construction state — clock back at config.start,
+  /// no pending events, insertion sequence zero, empty trace — while
+  /// keeping the queue's and arena's warmed capacity. An engine worker
+  /// recycles one Simulation across its whole job partition this way; a
+  /// reset context is observationally identical to a newly built one, so
+  /// reuse cannot perturb the deterministic event order.
+  void reset() {
+    queue_.reset();
+    clock_.reset(config_.start);
+    trace_.clear();
+  }
+
  private:
   SimulationConfig config_;
   uucs::VirtualClock clock_;

@@ -212,51 +212,33 @@ uucs::RunRecord RunSimulator::simulate_record(const UserProfile& user, Task task
   return rec;
 }
 
+FlatRunKeys::FlatRunKeys(uucs::StringInterner& pool) {
+  testcase_description = pool.intern("testcase.description");
+  noise_triggered = pool.intern("noise_triggered");
+  true_value = pool.intern("true");
+  false_value = pool.intern("false");
+  trigger = pool.intern("trigger");
+  host_power = pool.intern("host.power");
+  for (std::size_t i = 0; i < uucs::kResourceCount; ++i) {
+    resource_names[i] =
+        pool.intern(uucs::resource_name(static_cast<uucs::Resource>(i)));
+  }
+  for (std::size_t c = 0; c < kSkillCategoryCount; ++c) {
+    skill_keys[c] = pool.intern(
+        "skill." + skill_category_name(static_cast<SkillCategory>(c)));
+  }
+  for (std::size_t r = 0; r < 3; ++r) {
+    rating_names[r] = pool.intern(skill_rating_name(static_cast<SkillRating>(r)));
+  }
+  for (std::size_t i = 0; i < kTaskCount; ++i) {
+    task_names[i] = pool.intern(task_name(static_cast<Task>(i)));
+  }
+}
+
 namespace {
 
-/// Interner ids of every string simulate_flat() can emit that is constant
-/// across the process: well-known metadata keys, resource names, task
-/// names, skill-rating names, the "true"/"false" literals. Pooled once.
-struct FlatKeyTable {
-  std::uint32_t testcase_description;
-  std::uint32_t noise_triggered;
-  std::uint32_t true_value;
-  std::uint32_t false_value;
-  std::uint32_t trigger;
-  std::uint32_t host_power;
-  std::array<std::uint32_t, uucs::kResourceCount> resource_names;
-  std::array<std::uint32_t, kSkillCategoryCount> skill_keys;
-  std::array<std::uint32_t, 3> rating_names;
-  std::array<std::uint32_t, kTaskCount> task_names;
-};
-
-const FlatKeyTable& flat_keys() {
-  static const FlatKeyTable table = [] {
-    uucs::StringInterner& pool = uucs::StringInterner::global();
-    FlatKeyTable t{};
-    t.testcase_description = pool.intern("testcase.description");
-    t.noise_triggered = pool.intern("noise_triggered");
-    t.true_value = pool.intern("true");
-    t.false_value = pool.intern("false");
-    t.trigger = pool.intern("trigger");
-    t.host_power = pool.intern("host.power");
-    for (std::size_t i = 0; i < uucs::kResourceCount; ++i) {
-      t.resource_names[i] =
-          pool.intern(uucs::resource_name(static_cast<uucs::Resource>(i)));
-    }
-    for (std::size_t c = 0; c < kSkillCategoryCount; ++c) {
-      t.skill_keys[c] = pool.intern(
-          "skill." + skill_category_name(static_cast<SkillCategory>(c)));
-    }
-    for (std::size_t r = 0; r < 3; ++r) {
-      t.rating_names[r] =
-          pool.intern(skill_rating_name(static_cast<SkillRating>(r)));
-    }
-    for (std::size_t i = 0; i < kTaskCount; ++i) {
-      t.task_names[i] = pool.intern(task_name(static_cast<Task>(i)));
-    }
-    return t;
-  }();
+const FlatRunKeys& global_flat_keys() {
+  static const FlatRunKeys table(uucs::StringInterner::global());
   return table;
 }
 
@@ -264,11 +246,15 @@ const FlatKeyTable& flat_keys() {
 
 RunSimulator::FlatRunContext RunSimulator::flat_context(
     const UserProfile& user) const {
-  const FlatKeyTable& keys = flat_keys();
+  return flat_context(user, global_flat_keys(), uucs::StringInterner::global());
+}
+
+RunSimulator::FlatRunContext RunSimulator::flat_context(
+    const UserProfile& user, const FlatRunKeys& keys,
+    uucs::StringInterner& pool) const {
   FlatRunContext ctx;
-  ctx.user_id = uucs::StringInterner::global().intern(user.user_id);
-  ctx.host_power = uucs::StringInterner::global().intern(
-      uucs::strprintf("%.6g", host_.power_index()));
+  ctx.user_id = pool.intern(user.user_id);
+  ctx.host_power = pool.intern(uucs::strprintf("%.6g", host_.power_index()));
   for (std::size_t c = 0; c < kSkillCategoryCount; ++c) {
     ctx.skills[c] =
         keys.rating_names[static_cast<std::size_t>(user.ratings[c])];
@@ -280,8 +266,16 @@ uucs::FlatRunRecord RunSimulator::simulate_flat(
     const UserProfile& user, Task task, const uucs::Testcase& tc,
     const uucs::InternedTestcase& itc, uucs::Rng& rng, std::string run_id,
     const FlatRunContext& ctx) const {
+  return simulate_flat(user, task, tc, itc, rng, std::move(run_id), ctx,
+                       global_flat_keys(), uucs::StringInterner::global());
+}
+
+uucs::FlatRunRecord RunSimulator::simulate_flat(
+    const UserProfile& user, Task task, const uucs::Testcase& tc,
+    const uucs::InternedTestcase& itc, uucs::Rng& rng, std::string run_id,
+    const FlatRunContext& ctx, const FlatRunKeys& keys,
+    uucs::StringInterner& pool) const {
   const Outcome out = simulate(user, task, tc, rng);
-  const FlatKeyTable& keys = flat_keys();
   uucs::FlatRunRecord rec;
   rec.run_id = std::move(run_id);
   rec.user_id = ctx.user_id;
@@ -296,7 +290,7 @@ uucs::FlatRunRecord RunSimulator::simulate_flat(
     double trail[uucs::FlatRunRecord::kTrailMax];
     const std::size_t n = f->last_values_before_into(
         out.offset_s, trail, uucs::FlatRunRecord::kTrailMax);
-    rec.set_levels(r, trail, n);
+    rec.set_levels(r, trail, n, pool);
   }
   rec.add_meta(keys.testcase_description, itc.description);
   rec.add_meta(keys.noise_triggered,

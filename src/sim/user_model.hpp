@@ -67,6 +67,27 @@ struct UserProfile {
   }
 };
 
+/// Interner ids of every string simulate_flat() emits that is constant
+/// across a pool's lifetime: well-known metadata keys, resource names, task
+/// names, skill-rating names, the "true"/"false" literals. Built once per
+/// string pool — process-wide for StringInterner::global(), once per engine
+/// worker for the sharded drivers' thread-local pools — so the per-run hot
+/// path never calls intern() for a constant.
+struct FlatRunKeys {
+  explicit FlatRunKeys(uucs::StringInterner& pool);
+
+  std::uint32_t testcase_description;
+  std::uint32_t noise_triggered;
+  std::uint32_t true_value;
+  std::uint32_t false_value;
+  std::uint32_t trigger;
+  std::uint32_t host_power;
+  std::array<std::uint32_t, uucs::kResourceCount> resource_names;
+  std::array<std::uint32_t, kSkillCategoryCount> skill_keys;
+  std::array<std::uint32_t, 3> rating_names;
+  std::array<std::uint32_t, kTaskCount> task_names;
+};
+
 /// Simulates individual testcase runs for synthetic users: the virtual-time
 /// equivalent of the real client executing a testcase while the user works.
 class RunSimulator {
@@ -113,21 +134,28 @@ class RunSimulator {
                                   const uucs::Testcase& tc, uucs::Rng& rng,
                                   const std::string& run_id) const;
 
-  /// Pre-interned per-user context for simulate_flat(). Interning takes a
-  /// global lock, so everything constant across one user's runs is pooled
-  /// once before the first run (the session drivers build one per job).
+  /// Pre-interned per-user context for simulate_flat(): everything constant
+  /// across one user's runs is pooled once before the first run (the
+  /// session drivers build one per job). The pool-taking overload interns
+  /// into a worker-local pool with that pool's key table; the default
+  /// overload uses the process-wide pool (and its global key table), whose
+  /// mutex makes it the slow path on sharded drivers.
   struct FlatRunContext {
     std::uint32_t user_id = 0;
     std::uint32_t host_power = 0;  ///< "%.6g" of the host power index
     std::array<std::uint32_t, kSkillCategoryCount> skills{};  ///< rating names
   };
   FlatRunContext flat_context(const UserProfile& user) const;
+  FlatRunContext flat_context(const UserProfile& user, const FlatRunKeys& keys,
+                              uucs::StringInterner& pool) const;
 
   /// The hot-path twin of simulate_record(): same simulate() call (so the
   /// RNG draw sequence is identical), but the result is a FlatRunRecord of
   /// interned ids and inline arrays — no map or string allocation per run.
   /// `itc` carries the testcase's pre-interned id and description.
-  /// Guarantee (enforced by tests): to_run_record() of the result is
+  /// `keys`/`pool` must be the table and pool `ctx` and `itc` were built
+  /// from; the default overload uses the global pool. Guarantee (enforced
+  /// by tests): to_run_record() of the result against the same pool is
   /// field-identical to what simulate_record() returns for the same inputs.
   uucs::FlatRunRecord simulate_flat(const UserProfile& user, Task task,
                                     const uucs::Testcase& tc,
@@ -135,6 +163,14 @@ class RunSimulator {
                                     uucs::Rng& rng,
                                     std::string run_id,
                                     const FlatRunContext& ctx) const;
+  uucs::FlatRunRecord simulate_flat(const UserProfile& user, Task task,
+                                    const uucs::Testcase& tc,
+                                    const uucs::InternedTestcase& itc,
+                                    uucs::Rng& rng,
+                                    std::string run_id,
+                                    const FlatRunContext& ctx,
+                                    const FlatRunKeys& keys,
+                                    uucs::StringInterner& pool) const;
 
   /// First time at which `user` would cross the discomfort threshold for
   /// resource `r` of `tc` during `task`; negative if never. Exposed for

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <memory>
@@ -34,31 +35,53 @@ namespace {
 
 /// Pre-resolved view of one task's testcase store: testcase pointers in
 /// ids() (sorted) order, so the session loop shuffles 32-bit indices
-/// instead of copying id strings, plus pre-interned (id, description)
-/// pairs for the flat hot path. Built once per study; shared read-only.
+/// instead of copying id strings. Built once per study; shared read-only.
 struct TaskWorld {
-  std::vector<const uucs::Testcase*> cases;       ///< ids() order
-  std::vector<uucs::InternedTestcase> interned;   ///< aligned with cases
+  std::vector<const uucs::Testcase*> cases;  ///< ids() order
 };
 
 std::array<TaskWorld, uucs::sim::kTaskCount> make_task_worlds(
     const std::array<uucs::TestcaseStore, uucs::sim::kTaskCount>& testcases) {
-  uucs::StringInterner& pool = uucs::StringInterner::global();
   std::array<TaskWorld, uucs::sim::kTaskCount> worlds;
   for (std::size_t t = 0; t < uucs::sim::kTaskCount; ++t) {
     const uucs::TestcaseStore& store = testcases[t];
     TaskWorld& world = worlds[t];
     world.cases.reserve(store.size());
-    world.interned.reserve(store.size());
     for (const std::string& id : store.ids()) {
-      const uucs::Testcase& tc = store.get(id);
-      world.cases.push_back(&tc);
-      world.interned.push_back(uucs::InternedTestcase{
-          pool.intern(tc.id()), pool.intern(tc.description())});
+      world.cases.push_back(&store.get(id));
     }
   }
   return worlds;
 }
+
+/// Everything one engine worker owns for the streaming flat path, all
+/// interned against that worker's private (unsynchronized) string pool:
+/// the flat key table, (id, description) pairs aligned with each
+/// TaskWorld's cases, and the accumulator the worker's runs fold into.
+/// Built lazily on the slot's first job; from then on the per-run hot path
+/// touches no shared mutable state and takes no lock. Accumulator state is
+/// id-free, so per-worker pools never need reconciling at merge time
+/// (DESIGN.md §11).
+struct WorkerLocal {
+  uucs::StringInterner* pool = nullptr;  ///< unset until first job
+  std::unique_ptr<uucs::sim::FlatRunKeys> keys;
+  std::array<std::vector<uucs::InternedTestcase>, uucs::sim::kTaskCount> interned;
+  std::unique_ptr<analysis::StudyAccumulator> acc;
+
+  void init(uucs::StringInterner& worker_pool,
+            const std::array<TaskWorld, uucs::sim::kTaskCount>& worlds) {
+    pool = &worker_pool;
+    keys = std::make_unique<uucs::sim::FlatRunKeys>(worker_pool);
+    for (std::size_t t = 0; t < uucs::sim::kTaskCount; ++t) {
+      interned[t].reserve(worlds[t].cases.size());
+      for (const uucs::Testcase* tc : worlds[t].cases) {
+        interned[t].push_back(uucs::InternedTestcase{
+            worker_pool.intern(tc->id()), worker_pool.intern(tc->description())});
+      }
+    }
+    acc = std::make_unique<analysis::StudyAccumulator>(worker_pool);
+  }
+};
 
 /// One user's four task sessions as a discrete-event schedule: the body of
 /// a SessionJob, driven by the job's own sim::Simulation. Each run is a
@@ -73,8 +96,9 @@ std::array<TaskWorld, uucs::sim::kTaskCount> make_task_worlds(
 /// break decisions — are bit-identical to the historical sequential loop.
 class UserSessionDriver {
  public:
-  /// `acc` non-null selects streaming mode: runs go through the flat
-  /// record path into the accumulator and no shard is kept. `retained` /
+  /// `local` non-null selects streaming mode: runs go through the flat
+  /// record path — interned against the worker's private pool — into the
+  /// worker's accumulator, and no shard is kept. `retained` /
   /// `retained_cap` implement the in-memory spill guard (see
   /// ControlledStudyConfig::max_records_in_memory); both are ignored in
   /// streaming mode.
@@ -83,14 +107,15 @@ class UserSessionDriver {
       const uucs::sim::RunSimulator& simulator,
       const std::array<TaskWorld, uucs::sim::kTaskCount>& worlds,
       uucs::Rng& rng, uucs::sim::Simulation& sim,
-      analysis::StudyAccumulator* acc = nullptr,
+      WorkerLocal* local = nullptr,
       std::atomic<std::size_t>* retained = nullptr,
       std::size_t retained_cap = 0)
       : job_(job), config_(config), simulator_(simulator), worlds_(worlds),
-        rng_(rng), sim_(sim), acc_(acc), retained_(retained),
+        rng_(rng), sim_(sim), local_(local), retained_(retained),
         retained_cap_(retained_cap) {
-    if (acc_) {
-      flat_ctx_ = simulator_.flat_context(*job_.user);
+    if (local_) {
+      flat_ctx_ =
+          simulator_.flat_context(*job_.user, *local_->keys, *local_->pool);
     } else {
       // ~10 completed runs per 16-minute session is the empirical mean;
       // one growth step at most for discomfort-heavy users.
@@ -167,8 +192,9 @@ class UserSessionDriver {
   /// at start + offset, preceded by a feedback event when the simulated
   /// user pressed the discomfort key at that moment.
   void start_run(const uucs::Testcase& tc, std::uint32_t pick) {
-    if (acc_) {
-      start_run_flat(tc, world().interned[pick]);
+    if (local_) {
+      start_run_flat(
+          tc, local_->interned[static_cast<std::size_t>(task())][pick]);
       return;
     }
     uucs::RunRecord rec = simulator_.simulate_record(
@@ -194,10 +220,15 @@ class UserSessionDriver {
   /// representation and is folded into the accumulator at run end.
   void start_run_flat(const uucs::Testcase& tc,
                       const uucs::InternedTestcase& itc) {
+    // Run ids only exist to label trace events; an untraced streaming run
+    // never reads them, so skip the per-run strprintf allocation there.
+    std::string run_id =
+        sim_.tracing()
+            ? uucs::strprintf("job-%05zu-%04zu", job_.index, local_serial_++)
+            : std::string();
     uucs::FlatRunRecord rec = simulator_.simulate_flat(
-        *job_.user, task(), tc, itc, rng_,
-        uucs::strprintf("job-%05zu-%04zu", job_.index, local_serial_++),
-        flat_ctx_);
+        *job_.user, task(), tc, itc, rng_, std::move(run_id), flat_ctx_,
+        *local_->keys, *local_->pool);
     const double offset = rec.offset_s;
     const std::string label =
         sim_.tracing() ? uucs::strprintf("user=%zu run=%s", job_.index,
@@ -232,7 +263,7 @@ class UserSessionDriver {
 
   void end_run_flat(uucs::FlatRunRecord rec) {
     elapsed_ += rec.offset_s;
-    acc_->add(rec);
+    local_->acc->add(rec);
     ++runs_;
     first_run_ = false;
     schedule_next_run();
@@ -250,7 +281,7 @@ class UserSessionDriver {
   uucs::Rng& rng_;
   uucs::sim::Simulation& sim_;
 
-  analysis::StudyAccumulator* acc_ = nullptr;  ///< streaming sink, or null
+  WorkerLocal* local_ = nullptr;  ///< streaming worker state, or null
   std::atomic<std::size_t>* retained_ = nullptr;
   std::size_t retained_cap_ = 0;
   uucs::sim::RunSimulator::FlatRunContext flat_ctx_;
@@ -305,18 +336,14 @@ ControlledStudyOutput run_controlled_study(const ControlledStudyConfig& config,
 
   engine::SessionEngine eng(engine::EngineConfig{config.jobs, config.trace});
 
-  // Streaming mode: one accumulator per worker slot, each touched only by
-  // the thread owning that slot (JobContext::worker_slot). The merge order
+  // Streaming mode: one WorkerLocal per worker slot — accumulator, flat
+  // key table and interned testcase views, all built over that worker's
+  // private string pool on the slot's first job and touched only by the
+  // thread owning the slot (JobContext::worker_slot). The merge order
   // below is fixed (ascending slot), but accumulator state is an exact,
-  // order-independent function of the run multiset, so output does not
-  // depend on the nondeterministic job→slot assignment.
-  std::vector<std::unique_ptr<analysis::StudyAccumulator>> accs;
-  if (config.streaming) {
-    accs.reserve(eng.workers());
-    for (std::size_t i = 0; i < eng.workers(); ++i) {
-      accs.push_back(std::make_unique<analysis::StudyAccumulator>());
-    }
-  }
+  // order-independent, id-free function of the run multiset, so output
+  // does not depend on which jobs share a slot or which pool interned them.
+  std::vector<WorkerLocal> locals(config.streaming ? eng.workers() : 0);
   std::atomic<std::size_t> retained{0};
   std::atomic<std::size_t>* guard =
       (!config.streaming && config.max_records_in_memory > 0) ? &retained
@@ -325,10 +352,13 @@ ControlledStudyOutput run_controlled_study(const ControlledStudyConfig& config,
   std::vector<uucs::ResultStore> shards = eng.map<uucs::ResultStore>(
       jobs.size(), [&](engine::JobContext& ctx) {
         engine::SessionJob& job = jobs[ctx.index()];
-        analysis::StudyAccumulator* acc =
-            config.streaming ? accs[ctx.worker_slot()].get() : nullptr;
+        WorkerLocal* local = nullptr;
+        if (config.streaming) {
+          local = &locals[ctx.worker_slot()];
+          if (!local->pool) local->init(ctx.interner(), worlds);
+        }
         UserSessionDriver driver(job, config, simulator, worlds, job.rng,
-                                 ctx.simulation(), acc, guard,
+                                 ctx.simulation(), local, guard,
                                  config.max_records_in_memory);
         uucs::ResultStore shard = driver.run();
         ctx.count_runs(driver.runs());
@@ -336,8 +366,14 @@ ControlledStudyOutput run_controlled_study(const ControlledStudyConfig& config,
       });
 
   if (config.streaming) {
+    const auto merge_start = std::chrono::steady_clock::now();
     out.aggregates = std::make_unique<analysis::StudyAccumulator>();
-    for (const auto& acc : accs) out.aggregates->merge(*acc);
+    for (const WorkerLocal& local : locals) {
+      if (local.acc) out.aggregates->merge(*local.acc);
+    }
+    eng.add_merge_time(std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - merge_start)
+                           .count());
   } else {
     // Deterministic merge: shards append in job (= user) order and runs are
     // renumbered globally, reproducing the sequential driver's ids exactly.

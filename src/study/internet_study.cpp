@@ -1,7 +1,9 @@
 #include "study/internet_study.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <functional>
+#include <memory>
 #include <set>
 #include <unordered_map>
 
@@ -70,6 +72,32 @@ struct SiteShard {
   std::vector<TimedRun> runs;  ///< empty in streaming mode
   std::set<std::string> distinct;
   std::size_t n_runs = 0;      ///< counted in both modes
+};
+
+/// One engine worker's streaming state, interned against the worker's
+/// private (unsynchronized) string pool: flat key table, the server
+/// catalog's (id, description) pairs, and the worker's accumulator. Built
+/// lazily on the slot's first site; afterwards the per-run hot path takes
+/// no lock. Accumulator state is id-free, so per-worker pools merge
+/// without any id reconciliation (DESIGN.md §11).
+struct WorkerLocal {
+  uucs::StringInterner* pool = nullptr;  ///< unset until first site
+  std::unique_ptr<uucs::sim::FlatRunKeys> keys;
+  std::unordered_map<std::string, uucs::InternedTestcase> interned_catalog;
+  std::unique_ptr<analysis::StudyAccumulator> acc;
+
+  void init(uucs::StringInterner& worker_pool,
+            const uucs::TestcaseStore& catalog) {
+    pool = &worker_pool;
+    keys = std::make_unique<uucs::sim::FlatRunKeys>(worker_pool);
+    for (const std::string& id : catalog.ids()) {
+      const uucs::Testcase& tc = catalog.get(id);
+      interned_catalog.emplace(
+          id, uucs::InternedTestcase{worker_pool.intern(tc.id()),
+                                     worker_pool.intern(tc.description())});
+    }
+    acc = std::make_unique<analysis::StudyAccumulator>(worker_pool);
+  }
 };
 
 }  // namespace
@@ -208,24 +236,11 @@ InternetStudyOutput run_internet_study(const InternetStudyConfig& config,
   const uucs::TestcaseStore& catalog = out.server->testcases();
   engine::SessionEngine eng(engine::EngineConfig{config.jobs, config.trace});
 
-  // Streaming mode: per-worker accumulators (exact, order-independent —
-  // see controlled_study.cpp) plus a pre-interned view of the catalog so
-  // the per-run hot path never takes the interner lock.
-  std::vector<std::unique_ptr<analysis::StudyAccumulator>> accs;
-  std::unordered_map<std::string, uucs::InternedTestcase> interned_catalog;
-  if (config.streaming) {
-    accs.reserve(eng.workers());
-    for (std::size_t i = 0; i < eng.workers(); ++i) {
-      accs.push_back(std::make_unique<analysis::StudyAccumulator>());
-    }
-    uucs::StringInterner& pool = uucs::StringInterner::global();
-    for (const std::string& id : catalog.ids()) {
-      const uucs::Testcase& tc = catalog.get(id);
-      interned_catalog.emplace(
-          id, uucs::InternedTestcase{pool.intern(tc.id()),
-                                     pool.intern(tc.description())});
-    }
-  }
+  // Streaming mode: one WorkerLocal per worker slot (accumulator, flat key
+  // table, interned catalog — all over the worker's private pool, see
+  // controlled_study.cpp), built lazily on the slot's first site so the
+  // per-run hot path never takes the interner lock.
+  std::vector<WorkerLocal> locals(config.streaming ? eng.workers() : 0);
 
   std::vector<SiteShard> shards = eng.map<SiteShard>(
       sites.size(), [&](engine::JobContext& ctx) {
@@ -234,8 +249,13 @@ InternetStudyOutput run_internet_study(const InternetStudyConfig& config,
         SiteShard shard;
         if (first_run[i] > config.duration_s) return shard;
         uucs::sim::Simulation& sim = ctx.simulation();
-        analysis::StudyAccumulator* acc =
-            config.streaming ? accs[ctx.worker_slot()].get() : nullptr;
+        WorkerLocal* local = nullptr;
+        analysis::StudyAccumulator* acc = nullptr;
+        if (config.streaming) {
+          local = &locals[ctx.worker_slot()];
+          if (!local->pool) local->init(ctx.interner(), catalog);
+          acc = local->acc.get();
+        }
         uucs::sim::RunSimulator::FlatRunContext flat_ctx;
         std::uint32_t nil_guid_id = 0, real_guid_id = 0;
         if (!config.streaming) {
@@ -255,10 +275,10 @@ InternetStudyOutput run_internet_study(const InternetStudyConfig& config,
         const std::string nil_guid = uucs::Guid().to_string();
         const std::string real_guid = site.client.guid().to_string();
         if (acc) {
-          flat_ctx = site.simulator.flat_context(site.user);
-          uucs::StringInterner& pool = uucs::StringInterner::global();
-          nil_guid_id = pool.intern(nil_guid);
-          real_guid_id = pool.intern(real_guid);
+          flat_ctx =
+              site.simulator.flat_context(site.user, *local->keys, *local->pool);
+          nil_guid_id = local->pool->intern(nil_guid);
+          real_guid_id = local->pool->intern(real_guid);
         }
         bool synced = false;
         uucs::TestcaseStore known;
@@ -284,15 +304,22 @@ InternetStudyOutput run_internet_study(const InternetStudyConfig& config,
             const auto task =
                 static_cast<uucs::sim::Task>(site.rng.weighted_index(weights));
             const std::string& guid = synced ? real_guid : nil_guid;
-            const std::string run_id = uucs::strprintf(
-                "%s/%llu", guid.c_str(),
-                static_cast<unsigned long long>(run_serial++));
+            // Run ids label traces and uploaded records; an untraced
+            // streaming run reads neither, so skip the per-run strprintf.
+            std::string run_id =
+                (!acc || sim.tracing())
+                    ? uucs::strprintf(
+                          "%s/%llu", guid.c_str(),
+                          static_cast<unsigned long long>(run_serial))
+                    : std::string();
+            ++run_serial;
             if (acc) {
               // Flat hot path: same simulate() draw sequence as
               // simulate_record, folded straight into the accumulator.
               uucs::FlatRunRecord rec = site.simulator.simulate_flat(
-                  site.user, task, known.get(*id), interned_catalog.at(*id),
-                  site.rng, run_id, flat_ctx);
+                  site.user, task, known.get(*id),
+                  local->interned_catalog.at(*id), site.rng,
+                  std::move(run_id), flat_ctx, *local->keys, *local->pool);
               rec.client_guid = synced ? real_guid_id : nil_guid_id;
               if (sim.tracing() && rec.discomforted) {
                 sim.schedule_in(rec.offset_s, uucs::sim::EventClass::kFeedback,
@@ -340,8 +367,14 @@ InternetStudyOutput run_internet_study(const InternetStudyConfig& config,
     // Everything the upload phase would deliver is already aggregated;
     // merge the per-worker accumulators (exact, so slot order is just a
     // convention) and leave the server's result store empty.
+    const auto merge_start = std::chrono::steady_clock::now();
     out.aggregates = std::make_unique<analysis::StudyAccumulator>();
-    for (const auto& acc : accs) out.aggregates->merge(*acc);
+    for (const WorkerLocal& local : locals) {
+      if (local.acc) out.aggregates->merge(*local.acc);
+    }
+    eng.add_merge_time(std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - merge_start)
+                           .count());
   } else {
   // Phase C: the server's result store in upload order — each fired sync
   // carries the site's runs recorded strictly before it.

@@ -6,27 +6,12 @@
 
 namespace uucs {
 
-namespace {
-
-// Interner ids of the canonical resource names, pooled once per process.
-const std::array<std::uint32_t, kResourceCount>& resource_name_ids() {
-  static const std::array<std::uint32_t, kResourceCount> ids = [] {
-    std::array<std::uint32_t, kResourceCount> out{};
-    for (std::size_t i = 0; i < kResourceCount; ++i) {
-      out[i] = StringInterner::global().intern(
-          resource_name(static_cast<Resource>(i)));
-    }
-    return out;
-  }();
-  return ids;
-}
-
-}  // namespace
-
 void FlatRunRecord::set_levels(Resource r, const double* values,
-                               std::size_t n) {
+                               std::size_t n, StringInterner& pool) {
   if (n > kTrailMax) {
-    extra_levels.emplace_back(resource_name_ids()[static_cast<std::size_t>(r)],
+    // Rare spill path: intern the canonical name into the record's pool so
+    // the key id stays resolvable against the same pool as every other id.
+    extra_levels.emplace_back(pool.intern(resource_name(r)),
                               std::vector<double>(values, values + n));
     return;
   }
@@ -54,8 +39,7 @@ std::uint32_t FlatRunRecord::meta_value(std::uint32_t key) const {
   return found ? value : StringInterner::kEmptyId;
 }
 
-RunRecord FlatRunRecord::to_run_record() const {
-  const StringInterner& pool = StringInterner::global();
+RunRecord FlatRunRecord::to_run_record(const StringInterner& pool) const {
   RunRecord r;
   r.run_id = run_id;
   r.client_guid = pool.str(client_guid);
@@ -82,8 +66,8 @@ RunRecord FlatRunRecord::to_run_record() const {
   return r;
 }
 
-FlatRunRecord FlatRunRecord::from_run_record(const RunRecord& r) {
-  StringInterner& pool = StringInterner::global();
+FlatRunRecord FlatRunRecord::from_run_record(const RunRecord& r,
+                                             StringInterner& pool) {
   FlatRunRecord f;
   f.run_id = r.run_id;
   f.client_guid = pool.intern(r.client_guid);
@@ -96,7 +80,7 @@ FlatRunRecord FlatRunRecord::from_run_record(const RunRecord& r) {
     bool canonical = false;
     for (std::size_t i = 0; i < kResourceCount; ++i) {
       if (name == resource_name(static_cast<Resource>(i))) {
-        f.set_levels(static_cast<Resource>(i), values);
+        f.set_levels(static_cast<Resource>(i), values, pool);
         canonical = true;
         break;
       }

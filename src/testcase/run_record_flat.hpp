@@ -66,8 +66,10 @@ struct FlatRunRecord {
   std::uint32_t meta_count = 0;
   std::vector<MetaEntry> extra_meta;  ///< spill past kInlineMeta
 
-  /// Appends a metadata pair (ids from StringInterner::global()). Duplicate
-  /// keys resolve last-wins on conversion, like map assignment would.
+  /// Appends a metadata pair (ids from the record's string pool — the
+  /// global one by default, a worker-local pool on sharded drivers).
+  /// Duplicate keys resolve last-wins on conversion, like map assignment
+  /// would.
   void add_meta(std::uint32_t key, std::uint32_t value) {
     if (meta_count < kInlineMeta) {
       meta[meta_count++] = MetaEntry{key, value};
@@ -77,10 +79,13 @@ struct FlatRunRecord {
   }
 
   /// Stores the contention trail for canonical resource `r`; spills to
-  /// extra_levels when longer than kTrailMax.
-  void set_levels(Resource r, const double* values, std::size_t n);
-  void set_levels(Resource r, const std::vector<double>& values) {
-    set_levels(r, values.data(), values.size());
+  /// extra_levels when longer than kTrailMax (the spill key is interned
+  /// into `pool`, which must be the record's pool).
+  void set_levels(Resource r, const double* values, std::size_t n,
+                  StringInterner& pool = StringInterner::global());
+  void set_levels(Resource r, const std::vector<double>& values,
+                  StringInterner& pool = StringInterner::global()) {
+    set_levels(r, values.data(), values.size(), pool);
   }
 
   /// Level trail for `r` if present inline (canonical name, <= kTrailMax
@@ -95,10 +100,13 @@ struct FlatRunRecord {
 
   /// Lossless expansion into the map-based representation; serializes
   /// byte-identically to a record built directly by simulate_record().
-  RunRecord to_run_record() const;
+  /// `pool` must be the pool this record's ids were interned against.
+  RunRecord to_run_record(
+      const StringInterner& pool = StringInterner::global()) const;
 
   /// Interns every field of `r` (slow path: tests, tools, ingestion).
-  static FlatRunRecord from_run_record(const RunRecord& r);
+  static FlatRunRecord from_run_record(
+      const RunRecord& r, StringInterner& pool = StringInterner::global());
 };
 
 /// Pre-interned (id, description) of one testcase, built once per store so

@@ -50,6 +50,12 @@ class VirtualClock final : public Clock {
   /// Jumps the clock to the absolute time `t` (must be >= now()).
   void advance_to(double t);
 
+  /// Rewinds the clock to `start` unconditionally — the one sanctioned
+  /// backwards jump, used when a simulation context is recycled for the
+  /// next job (sim::Simulation::reset). Never call this while events are
+  /// pending against the old timeline.
+  void reset(double start) { now_ = start; }
+
  private:
   double now_;
 };

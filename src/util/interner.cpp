@@ -5,17 +5,17 @@
 namespace uucs {
 
 StringInterner& StringInterner::global() {
-  static StringInterner pool;
+  static StringInterner pool(/*synchronized=*/true);
   return pool;
 }
 
-StringInterner::StringInterner() {
+StringInterner::StringInterner(bool synchronized) : synchronized_(synchronized) {
   strings_.emplace_back();  // id 0 = ""
   index_.emplace(std::string_view(strings_.back()), kEmptyId);
 }
 
 std::uint32_t StringInterner::intern(std::string_view s) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MaybeLock lock(mu_, synchronized_);
   const auto it = index_.find(s);
   if (it != index_.end()) return it->second;
   UUCS_CHECK_MSG(strings_.size() < 0xffffffffu, "string interner exhausted");
@@ -26,13 +26,13 @@ std::uint32_t StringInterner::intern(std::string_view s) {
 }
 
 const std::string& StringInterner::str(std::uint32_t id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MaybeLock lock(mu_, synchronized_);
   UUCS_CHECK_MSG(id < strings_.size(), "unknown interned string id");
   return strings_[id];
 }
 
 std::size_t StringInterner::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MaybeLock lock(mu_, synchronized_);
   return strings_.size();
 }
 

@@ -9,38 +9,68 @@
 
 namespace uucs {
 
-/// Process-global, append-only string pool backing the flat run-record
-/// representation (testcase/run_record_flat.hpp). Interning maps a string
-/// to a dense 32-bit id; the reverse lookup returns a reference that stays
-/// valid for the life of the process (strings are never freed or moved).
+/// Append-only string pool backing the flat run-record representation
+/// (testcase/run_record_flat.hpp). Interning maps a string to a dense
+/// 32-bit id; the reverse lookup returns a reference that stays valid for
+/// the life of the pool (strings are never freed or moved).
 ///
 /// Id 0 is always the empty string, so a zero-initialized flat record reads
 /// back as empty fields.
 ///
-/// Thread-safe, but intern() takes a lock — hot paths must pre-intern
-/// everything that is constant across their loop (per-user ids, testcase
-/// ids and descriptions, well-known metadata keys) and carry only 32-bit
-/// ids per record.
+/// Two flavors share this class:
+///
+///  - the process-wide pool (global()) is synchronized — every intern()
+///    and str() takes a mutex, so it is safe from any thread but must stay
+///    off per-run hot paths;
+///  - worker-local pools (the default constructor) take no lock at all.
+///    Each engine worker owns one (engine::JobContext::interner()) and is
+///    the only thread that ever touches it, so the simulate/record/
+///    accumulate hot path runs mutex-free. Ids are pool-relative: an id
+///    from one pool means nothing to another, so records interned against
+///    a worker pool must be resolved (or re-interned) against that same
+///    pool — see DESIGN.md §11 for the merge discipline.
 class StringInterner {
  public:
   static constexpr std::uint32_t kEmptyId = 0;
 
-  /// The process-wide pool.
+  /// An unsynchronized pool for single-thread ownership (no mutex ever).
+  StringInterner() : StringInterner(false) {}
+
+  /// The process-wide synchronized pool.
   static StringInterner& global();
 
   /// Returns the id for `s`, adding it to the pool on first sight.
   std::uint32_t intern(std::string_view s);
 
   /// The string for an id previously returned by intern(); the reference
-  /// is stable forever. Throws on an id never handed out.
+  /// is stable for the pool's lifetime. Throws on an id never handed out.
   const std::string& str(std::uint32_t id) const;
 
   /// Number of distinct strings pooled (>= 1: the empty string).
   std::size_t size() const;
 
  private:
-  StringInterner();
+  explicit StringInterner(bool synchronized);
 
+  /// Locks mu_ only for the synchronized (global) pool; worker-local pools
+  /// skip the mutex entirely.
+  class MaybeLock {
+   public:
+    MaybeLock(std::mutex& mu, bool lock) : mu_(mu), locked_(lock) {
+      if (locked_) mu_.lock();
+    }
+    ~MaybeLock() {
+      if (locked_) mu_.unlock();
+    }
+    MaybeLock(const MaybeLock&) = delete;
+    MaybeLock& operator=(const MaybeLock&) = delete;
+
+   private:
+    std::mutex& mu_;
+    bool locked_;
+  };
+
+  const bool synchronized_;
   mutable std::mutex mu_;
   std::deque<std::string> strings_;  ///< stable element addresses
   std::unordered_map<std::string_view, std::uint32_t> index_;  ///< views into strings_

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "util/error.hpp"
@@ -159,6 +160,127 @@ TEST(EventQueue, PastSchedulingErrorNamesBothTimes) {
     EXPECT_NE(std::string(e.what()).find("now=10"), std::string::npos)
         << e.what();
   }
+}
+
+TEST(EventQueue, BulkDrainPreservesExactOrder) {
+  // Backlogs past the sort-drain threshold take the bulk-sorted path; the
+  // observable order must be exactly the heap order: (time, class,
+  // insertion) lexicographic. Duplicate times + mixed classes exercise
+  // every tie-break through the sorted buffer.
+  uucs::VirtualClock clock;
+  EventQueue q(clock);
+  struct Fired {
+    double t;
+    int cls;
+    int seq;
+  };
+  std::vector<Fired> order;
+  constexpr int kEvents = 500;  // >> kSortDrainMin
+  for (int i = 0; i < kEvents; ++i) {
+    const double t = static_cast<double>((i * 7919) % 50);
+    const auto cls = static_cast<EventClass>(i % 5);
+    q.schedule_at(t, cls, [&order, t, cls, i] {
+      order.push_back({t, static_cast<int>(cls), i});
+    });
+  }
+  q.run_all();
+  ASSERT_EQ(order.size(), static_cast<std::size_t>(kEvents));
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    const Fired& a = order[i - 1];
+    const Fired& b = order[i];
+    const bool ordered =
+        a.t < b.t ||
+        (a.t == b.t && (a.cls < b.cls || (a.cls == b.cls && a.seq < b.seq)));
+    EXPECT_TRUE(ordered) << "entry " << i << ": (" << a.t << "," << a.cls
+                         << "," << a.seq << ") then (" << b.t << "," << b.cls
+                         << "," << b.seq << ")";
+  }
+}
+
+TEST(EventQueue, EventsScheduledDuringBulkDrainInterleaveCorrectly) {
+  // A handler firing from the sorted buffer schedules new earlier-deadline
+  // events; they land in the heap and must interleave with the remaining
+  // sorted batch in exact time order.
+  uucs::VirtualClock clock;
+  EventQueue q(clock);
+  std::vector<double> order;
+  constexpr int kEvents = 200;
+  for (int i = 0; i < kEvents; ++i) {
+    const double t = 10.0 * (1 + i);
+    q.schedule_at(t, [&q, &order, t] {
+      order.push_back(t);
+      // Lands between this batch entry and the next one.
+      q.schedule_at(t + 5.0, [&order, t] { order.push_back(t + 5.0); });
+    });
+  }
+  q.run_all();
+  ASSERT_EQ(order.size(), static_cast<std::size_t>(2 * kEvents));
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+}
+
+TEST(EventQueue, PendingAndNextTimeSpanDrainBufferAndHeap) {
+  uucs::VirtualClock clock;
+  EventQueue q(clock);
+  constexpr int kEvents = 100;
+  int fired = 0;
+  for (int i = 0; i < kEvents; ++i) {
+    q.schedule_at(static_cast<double>(i), [&fired] { ++fired; });
+  }
+  ASSERT_TRUE(q.step());  // triggers the bulk sort, fires t=0
+  EXPECT_EQ(q.pending(), static_cast<std::size_t>(kEvents - 1));
+  EXPECT_FALSE(q.empty());
+  EXPECT_DOUBLE_EQ(q.next_time(), 1.0);
+  q.schedule_at(1.5, [&fired] { ++fired; });  // heap, between batch entries
+  EXPECT_EQ(q.pending(), static_cast<std::size_t>(kEvents));
+  ASSERT_TRUE(q.step());
+  EXPECT_DOUBLE_EQ(q.next_time(), 1.5);  // the heap event is now earliest
+  q.run_all();
+  EXPECT_EQ(fired, kEvents + 1);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(EventQueue, RunUntilHonorsBoundaryInsideSortedBatch) {
+  uucs::VirtualClock clock;
+  EventQueue q(clock);
+  constexpr int kEvents = 100;
+  int fired = 0;
+  for (int i = 0; i < kEvents; ++i) {
+    q.schedule_at(static_cast<double>(i), [&fired] { ++fired; });
+  }
+  ASSERT_TRUE(q.step());  // sort the backlog, fire t=0
+  q.run_until(49.0);
+  EXPECT_EQ(fired, 50);
+  EXPECT_EQ(q.pending(), static_cast<std::size_t>(kEvents - 50));
+  EXPECT_DOUBLE_EQ(clock.now(), 49.0);
+}
+
+TEST(EventQueue, ResetDropsPendingAndRewindsSequence) {
+  uucs::VirtualClock clock;
+  EventQueue q(clock);
+  int fired = 0;
+  // Pending events in both the sorted buffer and the heap.
+  for (int i = 0; i < 100; ++i) {
+    q.schedule_at(100.0 + i, [&fired] { ++fired; });
+  }
+  q.schedule_at(0.5, [&fired] { ++fired; });
+  ASSERT_TRUE(q.step());  // sorts, fires t=0.5
+  q.schedule_at(200.0, [&fired] { ++fired; });  // lands in the heap
+  ASSERT_GT(q.pending(), 0u);
+  q.reset();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.pending(), 0u);
+  EXPECT_FALSE(q.step());
+  EXPECT_EQ(fired, 1);  // dropped handlers never fire
+  // The insertion sequence restarts: FIFO order on the recycled queue
+  // matches a fresh queue's.
+  clock.reset(0.0);
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i) {
+    q.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
 }
 
 }  // namespace

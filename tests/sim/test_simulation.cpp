@@ -59,6 +59,34 @@ TEST(Simulation, ConfigMaxEventsIsHonored) {
   EXPECT_THROW(sim.run_all(), uucs::Error);
 }
 
+TEST(Simulation, ResetIsIndistinguishableFromFreshConstruction) {
+  // The engine recycles one Simulation per worker slot across thousands of
+  // jobs; a reset sim must replay a workload exactly like a fresh one —
+  // clock back at config.start, pending events dropped, trace cleared, and
+  // the FIFO insertion sequence rewound.
+  const SimulationConfig config{.start = 50.0, .trace = true};
+  auto drive = [](Simulation& sim) {
+    std::vector<std::string> fired;
+    sim.schedule_at(55.0, EventClass::kRunEnd, "end", [&] { fired.push_back("end"); });
+    sim.schedule_at(55.0, EventClass::kSync, "sync", [&] { fired.push_back("sync"); });
+    sim.schedule_in(1.0, EventClass::kGeneric, "tick", [&] { fired.push_back("tick"); });
+    sim.run_all();
+    return fired;
+  };
+  Simulation recycled(config);
+  const auto first = drive(recycled);
+  recycled.schedule_at(1000.0, EventClass::kGeneric, "stale", [] {});
+  recycled.reset();
+  EXPECT_DOUBLE_EQ(recycled.now(), 50.0);
+  EXPECT_TRUE(recycled.trace().empty());
+
+  Simulation fresh(config);
+  const auto again = drive(recycled);
+  EXPECT_EQ(drive(fresh), again);
+  EXPECT_EQ(first, again);
+  EXPECT_TRUE(fresh.trace().events() == recycled.trace().events());
+}
+
 TEST(Simulation, StartTimeSetsTheClock) {
   Simulation sim({.start = 100.0});
   EXPECT_DOUBLE_EQ(sim.now(), 100.0);

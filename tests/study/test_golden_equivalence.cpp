@@ -125,6 +125,55 @@ TEST(GoldenEquivalence, PolicyEvalJobs1And8) {
             expected);
 }
 
+TEST(GoldenEquivalence, StreamingControlledStudyAnyJobs) {
+  // The sharded streaming pipeline (per-worker interners, recycled
+  // simulations, slot-order accumulator merge) must be invisible in the
+  // bytes: jobs=1, jobs=8 and jobs=hardware_concurrency all serialize the
+  // same aggregates.
+  ControlledStudyConfig cfg = golden_controlled_config();
+  cfg.streaming = true;
+  const std::string expected =
+      run_controlled_study(cfg, params()).aggregates->serialize();
+  EXPECT_FALSE(expected.empty());
+  for (const std::size_t jobs : {std::size_t{8}, std::size_t{0}}) {
+    cfg.jobs = jobs;
+    EXPECT_EQ(run_controlled_study(cfg, params()).aggregates->serialize(),
+              expected)
+        << "jobs=" << jobs;
+  }
+}
+
+TEST(GoldenEquivalence, StreamingInternetStudyAnyJobs) {
+  InternetStudyConfig cfg = golden_internet_config();
+  cfg.streaming = true;
+  const std::string expected =
+      run_internet_study(cfg, params()).aggregates->serialize();
+  EXPECT_FALSE(expected.empty());
+  for (const std::size_t jobs : {std::size_t{8}, std::size_t{0}}) {
+    cfg.jobs = jobs;
+    EXPECT_EQ(run_internet_study(cfg, params()).aggregates->serialize(),
+              expected)
+        << "jobs=" << jobs;
+  }
+}
+
+TEST(GoldenEquivalence, StreamingTraceAnyJobs) {
+  // Tracing a streaming study re-enables run-id minting; the merged trace
+  // and the aggregates must both stay byte-stable across worker counts.
+  ControlledStudyConfig cfg = golden_controlled_config();
+  cfg.streaming = true;
+  cfg.trace = true;
+  const auto base = run_controlled_study(cfg, params());
+  EXPECT_GT(base.trace.size(), 0u);
+  for (const std::size_t jobs : {std::size_t{8}, std::size_t{0}}) {
+    cfg.jobs = jobs;
+    const auto out = run_controlled_study(cfg, params());
+    EXPECT_EQ(out.aggregates->serialize(), base.aggregates->serialize())
+        << "jobs=" << jobs;
+    EXPECT_TRUE(out.trace.events() == base.trace.events()) << "jobs=" << jobs;
+  }
+}
+
 TEST(GoldenEquivalence, TracingNeverChangesResults) {
   // The trace layer is pure observability: the same bytes come out with it
   // on, and the trace itself is deterministic across worker counts.

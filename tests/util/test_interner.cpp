@@ -89,5 +89,43 @@ TEST(StringInterner, ConcurrentInternsAgree) {
   }
 }
 
+TEST(StringInterner, InstancePoolStartsEmptyExceptEmptyString) {
+  // Worker pools (one unsynchronized instance per engine worker) start
+  // from the same known state the global pool does: id 0 is "".
+  StringInterner pool;
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_EQ(pool.intern(""), StringInterner::kEmptyId);
+  EXPECT_EQ(pool.str(StringInterner::kEmptyId), "");
+}
+
+TEST(StringInterner, InstancePoolsAssignIdsIndependently) {
+  // Two worker pools interning in different orders produce different id
+  // assignments — ids are only meaningful against their own pool, which is
+  // why the streaming accumulators resolve every id through the pool the
+  // records were built from.
+  StringInterner a;
+  StringInterner b;
+  const std::uint32_t a_first = a.intern("first");
+  const std::uint32_t a_second = a.intern("second");
+  const std::uint32_t b_second = b.intern("second");
+  const std::uint32_t b_first = b.intern("first");
+  EXPECT_EQ(a_first, b_second);
+  EXPECT_EQ(a_second, b_first);
+  EXPECT_EQ(a.str(a_first), "first");
+  EXPECT_EQ(b.str(b_first), "first");
+}
+
+TEST(StringInterner, InstancePoolSemanticsMatchGlobal) {
+  StringInterner pool;
+  const std::uint32_t id = pool.intern("stable");
+  EXPECT_EQ(pool.intern("stable"), id);
+  const std::string* addr = &pool.str(id);
+  for (int i = 0; i < 5000; ++i) pool.intern("growth-" + std::to_string(i));
+  EXPECT_EQ(addr, &pool.str(id));
+  EXPECT_THROW(pool.str(0xfffffff0u), Error);
+  const std::string weird("a\0b\xff\n", 5);
+  EXPECT_EQ(pool.str(pool.intern(weird)), weird);
+}
+
 }  // namespace
 }  // namespace uucs

@@ -2,9 +2,10 @@
 # Release-mode perf smoke for the streaming study path (CI's guard against
 # throughput regressions sneaking past the equivalence tests):
 #
-#   1. runs a 10k-user --streaming controlled study via bench_scale,
-#      asserting its aggregates serialize byte-identically to the in-memory
-#      path (--verify), and
+#   1. runs a 10k-user --streaming controlled study via bench_scale with
+#      two workers (the sharded path ISSUE 6 made the default production
+#      shape), asserting its aggregates serialize byte-identically to the
+#      in-memory path (--verify), and
 #   2. fails when the study's wall-clock exceeds 2x the checked-in
 #      reference time (tools/perf_smoke_reference.txt), with a floor so
 #      CI-runner jitter on a fast reference cannot produce false failures.
@@ -17,7 +18,7 @@ ref_file="$(dirname "$0")/perf_smoke_reference.txt"
 json="$(mktemp)"
 trap 'rm -f "$json"' EXIT
 
-"$build_dir/bench/bench_scale" --jobs auto --sizes 10000 --verify --json "$json"
+"$build_dir/bench/bench_scale" --jobs 2 --sizes 10000 --verify --json "$json"
 
 wall=$(sed -n 's/.*"wall_s": \([0-9.eE+-]*\).*/\1/p' "$json" | head -1)
 ref=$(grep -v '^#' "$ref_file" | head -1)

@@ -11,7 +11,7 @@
 ///   uucsctl profile RESULTS.txt OUT.txt        write a ComfortProfile
 ///   uucsctl suite   OUT.txt [SEED]             generate the Internet suite
 ///   uucsctl study   OUT.txt [N [SEED [JOBS]]] [--trace[=FILE]]
-///                   [--streaming] [--jobs=N|auto]
+///                   [--streaming] [--jobs=N|auto] [--verbose]
 ///                   [--max-records-in-memory=N]
 ///                                              run the controlled study;
 ///                                              --trace records every
@@ -76,7 +76,7 @@ using namespace uucs;
                "  profile RESULTS.txt OUT.txt\n"
                "  suite   OUT.txt [SEED]\n"
                "  study   OUT.txt [PARTICIPANTS [SEED [JOBS]]] [--trace[=FILE]]\n"
-               "          [--streaming] [--jobs=N|auto] "
+               "          [--streaming] [--jobs=N|auto] [--verbose] "
                "[--max-records-in-memory=N]\n"
                "          (JOBS: engine workers; auto (default) = hardware "
                "concurrency,\n"
@@ -88,7 +88,9 @@ using namespace uucs;
                "           records — OUT.txt gets the aggregate dump; "
                "--max-records-in-memory\n"
                "           aborts an in-memory run that would retain more "
-               "records than N)\n"
+               "records than N;\n"
+               "           --verbose prints per-worker engine stats and "
+               "shard merge time)\n"
                "  chaos   HOST PORT [--seed N | --schedule SPEC] [--syncs K]\n"
                "          [--retries N] [--timeout S]\n"
                "          (drives a live server through injected faults and "
@@ -248,6 +250,7 @@ std::size_t parse_jobs_arg(const std::string& s) {
 int cmd_study(const std::string& out, const std::vector<std::string>& raw) {
   study::ControlledStudyConfig config;
   std::string trace_path;
+  bool verbose = false;
   std::vector<std::string> args;
   for (const std::string& a : raw) {
     if (a == "--trace") {
@@ -258,6 +261,8 @@ int cmd_study(const std::string& out, const std::vector<std::string>& raw) {
       trace_path = a.substr(std::string("--trace=").size());
     } else if (a == "--streaming") {
       config.streaming = true;
+    } else if (a == "--verbose") {
+      verbose = true;
     } else if (a.rfind("--jobs=", 0) == 0) {
       config.jobs = parse_jobs_arg(a.substr(std::string("--jobs=").size()));
     } else if (a.rfind("--max-records-in-memory=", 0) == 0) {
@@ -293,6 +298,10 @@ int cmd_study(const std::string& out, const std::vector<std::string>& raw) {
                 static_cast<unsigned long long>(config.seed), out.c_str());
   }
   std::printf("%s", output.engine.summary().render().c_str());
+  if (verbose && !output.engine.per_worker.empty()) {
+    std::printf("%s", output.engine.worker_summary().render().c_str());
+    std::printf("shard merge time: %.3f s\n", output.engine.merge_s);
+  }
   if (config.trace) {
     write_file(trace_path, output.trace.serialize());
     std::printf("wrote %zu simulation events to %s\n", output.trace.size(),

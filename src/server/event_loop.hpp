@@ -1,0 +1,224 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/net.hpp"
+#include "util/thread_pool.hpp"
+
+namespace uucs {
+
+/// Incremental reassembler for the "UUCS <len>\n<payload>" wire framing.
+/// Feed it whatever bytes the socket produced — a byte at a time or a
+/// megabyte — and it hands back each complete payload exactly once. The
+/// frame grammar is identical to TcpChannel's blocking read(), so a client
+/// cannot tell the event-loop server from the thread-per-connection one.
+class FrameReader {
+ public:
+  /// Longest accepted payload; matches the blocking reader's 64 MiB cap.
+  static constexpr std::size_t kMaxFrameBytes = 64u << 20;
+
+  /// Appends raw socket bytes to the reassembly buffer.
+  void feed(const char* data, std::size_t n);
+
+  /// Extracts the next complete payload into `payload`. Returns true when a
+  /// whole frame was consumed; false when more bytes are needed. Throws
+  /// ProtocolError on a malformed header or oversized length — the
+  /// connection is beyond repair at that point and must be closed.
+  bool next(std::string& payload);
+
+  /// Bytes buffered but not yet returned (partial frame in flight).
+  std::size_t buffered() const { return buffer_.size() - consumed_; }
+
+ private:
+  std::string buffer_;
+  std::size_t consumed_ = 0;  ///< prefix of buffer_ already handed out
+};
+
+/// Counters the event loop exposes for benchmarks, tests and ops. Snapshot
+/// via EventLoopServer::stats(); all fields are cumulative since start
+/// except `open_connections`.
+struct EventLoopStats {
+  std::uint64_t accepted = 0;          ///< connections accepted
+  std::uint64_t closed = 0;            ///< connections fully torn down
+  std::uint64_t idle_timeouts = 0;     ///< closed by the timer wheel
+  std::uint64_t frames = 0;            ///< complete requests reassembled
+  std::uint64_t responses = 0;         ///< responses written out
+  std::uint64_t protocol_errors = 0;   ///< closed on malformed framing
+  std::uint64_t accept_pauses = 0;     ///< times accept stopped at the cap
+  std::size_t open_connections = 0;    ///< currently open
+  std::size_t max_open_connections = 0;///< high-water mark
+};
+
+/// Non-blocking epoll server: one loop thread owns every socket (the
+/// listener included), a fixed ThreadPool runs the request handler, and
+/// responses come back to the loop over an eventfd-signalled completion
+/// queue. This replaces the thread-per-connection accept loop — a million
+/// idle clients cost a million sockets, not a million stacks (DESIGN.md
+/// §13).
+///
+/// Responsibilities of the loop thread:
+///  - accept (paused while at `max_connections`, resumed on close),
+///  - read readiness: drain the socket, reassemble frames (FrameReader),
+///    dispatch each complete frame to the worker pool,
+///  - write readiness: flush the per-connection output buffer,
+///  - idle expiry: a hashed timer wheel closes connections that have not
+///    completed a frame within `idle_timeout_s` — a slow-loris peer
+///    trickling one byte per poll never refreshes its deadline,
+///  - completions: responses finished by workers (or by asynchronous
+///    durability callbacks) are queued from any thread and written by the
+///    loop.
+///
+/// The handler receives each request payload plus a Responder token; it may
+/// reply inline (from the worker) or stash the token and reply later from
+/// another thread (the group-commit durability callback does this). Tokens
+/// are generation-checked, so a reply racing a closed-and-recycled fd is
+/// dropped instead of answering the wrong client.
+class EventLoopServer {
+ public:
+  struct Config {
+    std::uint16_t port = 0;          ///< 0: pick a free port
+    std::size_t workers = 2;         ///< request-handler threads
+    std::size_t max_connections = 8192;  ///< accept pauses at this many open
+    double idle_timeout_s = 30.0;    ///< close after this long without a frame
+    std::size_t max_pipeline = 64;   ///< in-flight requests per connection
+    int listen_backlog = 1024;
+  };
+
+  /// A claim ticket for one request's response. Valid until used once;
+  /// thread-safe; outliving the *connection* is safe — the reply is
+  /// generation-checked and silently dropped when the slot was recycled.
+  /// Responders must not outlive the EventLoopServer object itself.
+  class Responder {
+   public:
+    Responder() = default;
+
+    /// Queues `payload` as the framed response and wakes the loop. May be
+    /// called from any thread, at most once per Responder.
+    void send(std::string payload) const;
+
+    bool valid() const { return server_ != nullptr; }
+
+   private:
+    friend class EventLoopServer;
+    Responder(EventLoopServer* server, std::size_t index, std::uint64_t generation)
+        : server_(server), index_(index), generation_(generation) {}
+
+    EventLoopServer* server_ = nullptr;
+    std::size_t index_ = 0;        ///< slot in conns_
+    std::uint64_t generation_ = 0; ///< guards against slot reuse
+  };
+
+  /// Handler for one complete request frame. Runs on a worker thread. Must
+  /// eventually call `respond.send(...)` exactly once (directly or from a
+  /// completion callback); not sending leaks the client's request (it will
+  /// eventually idle out).
+  using Handler = std::function<void(std::string payload, Responder respond)>;
+
+  /// Binds and starts the loop + workers immediately.
+  EventLoopServer(Config config, Handler handler);
+
+  /// stop() + join.
+  ~EventLoopServer();
+
+  EventLoopServer(const EventLoopServer&) = delete;
+  EventLoopServer& operator=(const EventLoopServer&) = delete;
+
+  std::uint16_t port() const { return listener_.port(); }
+
+  /// Stops accepting, closes every connection, drains the workers and joins
+  /// the loop thread. Idempotent; safe from any thread except a worker.
+  void stop();
+
+  EventLoopStats stats() const;
+
+  /// Blocks until `open_connections == 0` or the deadline passes (0: no
+  /// deadline). For tests that want a quiesced server.
+  bool wait_connections_drained(double timeout_s = 0.0) const;
+
+ private:
+  /// Per-connection state. Slots are recycled by index; `generation`
+  /// increments on every reuse so stale Responders cannot touch a new
+  /// connection.
+  struct Connection {
+    UniqueFd fd;
+    std::uint64_t generation = 0;
+    FrameReader reader;
+    std::deque<std::string> out;      ///< framed responses awaiting write
+    std::size_t out_offset = 0;       ///< bytes of out.front() already sent
+    std::size_t in_flight = 0;        ///< dispatched, not yet responded
+    bool want_write = false;          ///< EPOLLOUT currently armed
+    bool paused_read = false;         ///< EPOLLIN unarmed (pipeline full)
+    bool open = false;
+    bool draining = false;            ///< close after pending responses flush
+    // Timer wheel intrusive list (slot index, or npos when unlinked).
+    std::size_t timer_bucket = npos;
+    std::size_t timer_prev = npos;
+    std::size_t timer_next = npos;
+    std::uint64_t idle_deadline_tick = 0;
+  };
+
+  struct Completion {
+    std::size_t index;
+    std::uint64_t generation;
+    std::string payload;
+  };
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  void loop();
+  void handle_accept();
+  void handle_readable(std::size_t index);
+  void handle_writable(std::size_t index);
+  void dispatch_frames(std::size_t index);
+  void queue_write(std::size_t index, std::string framed);
+  void flush_writes(std::size_t index);
+  void close_connection(std::size_t index, bool timed_out);
+  void drain_completions();
+  void update_epoll(std::size_t index);
+  void arm_listener(bool armed);
+
+  // Timer wheel (loop thread only).
+  void wheel_link(std::size_t index);
+  void wheel_unlink(std::size_t index);
+  void touch_idle_deadline(std::size_t index);
+  void expire_idle(std::uint64_t now_tick);
+
+  Config config_;
+  Handler handler_;
+  TcpListener listener_;
+  UniqueFd epoll_fd_;
+  UniqueFd wake_fd_;  ///< eventfd: completions + stop requests
+
+  std::vector<Connection> conns_;
+  std::vector<std::size_t> free_slots_;
+  std::size_t open_count_ = 0;
+  bool listener_armed_ = false;
+
+  // Hashed timer wheel: one bucket per tick, chained by slot index.
+  std::vector<std::size_t> wheel_;
+  std::uint64_t wheel_tick_ = 0;   ///< last expired tick
+  std::uint64_t idle_ticks_ = 0;   ///< idle timeout in ticks
+  static constexpr std::uint64_t kTickMs = 100;
+
+  std::mutex completions_mu_;
+  std::vector<Completion> completions_;
+
+  std::atomic<bool> stopping_{false};
+  mutable std::mutex stats_mu_;
+  EventLoopStats stats_;
+  mutable std::condition_variable drained_cv_;
+
+  std::unique_ptr<ThreadPool> pool_;
+  std::thread loop_thread_;
+};
+
+}  // namespace uucs

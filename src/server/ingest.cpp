@@ -1,0 +1,101 @@
+#include "server/ingest.hpp"
+
+#include "server/protocol.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace uucs {
+
+IngestServer::IngestServer(UucsServer& server, Config config, Clock* clock)
+    : server_(server), config_(std::move(config)), clock_(clock) {
+  if (server_.has_journal()) {
+    committer_ = std::make_unique<GroupCommitJournal>(*server_.mutable_journal(),
+                                                      config_.commit);
+  }
+  loop_ = std::make_unique<EventLoopServer>(
+      config_.loop, [this](std::string payload, EventLoopServer::Responder respond) {
+        handle_request(std::move(payload), std::move(respond));
+      });
+}
+
+IngestServer::~IngestServer() { stop(); }
+
+void IngestServer::stop() {
+  if (stopped_.exchange(true)) return;
+  // Loop first: joining its worker pool guarantees no handler is mid-flight,
+  // so nothing appends to the committer after this line. The EventLoopServer
+  // object stays alive (only stopped), which keeps the Responders held by
+  // queued durability callbacks safe to fire — their sends land in a
+  // completion queue nobody drains.
+  loop_->stop();
+  // Committer second: its destructor drains the backlog, so every queued
+  // entry is on disk before shutdown even though the acks go nowhere.
+  committer_.reset();
+}
+
+GroupCommitJournal::Stats IngestServer::commit_stats() const {
+  UUCS_CHECK_MSG(committer_ != nullptr, "no journal attached");
+  return committer_->stats();
+}
+
+void IngestServer::handle_request(std::string payload,
+                                  EventLoopServer::Responder respond) {
+  DispatchResult result = dispatch_request_deferred(server_, payload, clock_);
+  if (committer_ == nullptr) {
+    respond.send(std::move(result.response));
+    return;
+  }
+  // With a journal, *every* response rides the committer — entries when the
+  // request accepted state, an empty barrier otherwise — so no ack (not even
+  // "duplicate, already stored") can overtake the fsync that makes the
+  // state it refers to durable.
+  const std::size_t new_entries = result.journal_entries.size();
+  committer_->append_async(
+      std::move(result.journal_entries),
+      [respond, response = std::move(result.response)](bool durable) mutable {
+        if (durable) {
+          respond.send(std::move(response));
+        }
+        // !durable: never ack. The journal did not record the entries, so
+        // the client must time out and retry; dedup absorbs the replay.
+      });
+  if (new_entries > 0) maybe_snapshot(new_entries);
+}
+
+void IngestServer::maybe_snapshot(std::size_t new_entries) {
+  if (config_.snapshot_every == 0 || config_.state_dir.empty()) return;
+  const std::uint64_t total =
+      entries_since_snapshot_.fetch_add(new_entries, std::memory_order_acq_rel) +
+      new_entries;
+  if (total < config_.snapshot_every) return;
+  do_snapshot(/*force=*/false);
+}
+
+void IngestServer::snapshot_now() { do_snapshot(/*force=*/true); }
+
+void IngestServer::do_snapshot(bool force) {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  if (!force &&
+      entries_since_snapshot_.load(std::memory_order_acquire) < config_.snapshot_every) {
+    return;  // a racing worker already snapshotted this threshold
+  }
+  entries_since_snapshot_.store(0, std::memory_order_release);
+  const std::string dir = config_.state_dir.empty() ? "." : config_.state_dir;
+  try {
+    if (committer_) {
+      // save() compacts the journal, which is only safe with the commit
+      // thread parked and no batch in flight.
+      committer_->with_exclusive([&] { server_.save(dir); });
+    } else {
+      server_.save(dir);
+    }
+    snapshots_.fetch_add(1, std::memory_order_relaxed);
+    log_info("ingest", "snapshot written to " + dir);
+  } catch (const std::exception& e) {
+    // Snapshot failure is not data loss — the journal still holds
+    // everything — but it must be visible.
+    log_error("ingest", "snapshot failed: " + std::string(e.what()));
+  }
+}
+
+}  // namespace uucs

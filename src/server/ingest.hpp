@@ -1,0 +1,85 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "server/event_loop.hpp"
+#include "server/server.hpp"
+#include "util/clock.hpp"
+#include "util/journal.hpp"
+
+namespace uucs {
+
+/// The assembled ingest plane (DESIGN.md §13): an EventLoopServer accepting
+/// the wire protocol, a worker pool dispatching requests against a (sharded)
+/// UucsServer, and — when the server has a journal attached — a
+/// GroupCommitJournal that coalesces every concurrent ack's durability into
+/// one buffered write + one fsync.
+///
+/// Ack protocol: a request that accepted new state gets its response only
+/// from the batch-durability callback; a request that accepted nothing
+/// (read-only sync, duplicate upload, error) is routed through the committer
+/// as an ordering barrier, so even an "already stored" ack cannot overtake
+/// the fsync of the batch carrying the original entry. Without a journal,
+/// responses leave as soon as the worker finishes.
+///
+/// Exactly-once is end-to-end unchanged from the blocking stack: clients
+/// mint run_ids, the server dedups them, and nothing is acked before it is
+/// durable — only the *batching* of the durability write is new.
+class IngestServer {
+ public:
+  struct Config {
+    EventLoopServer::Config loop;
+    GroupCommitJournal::Config commit;
+    /// Accepted journal entries between automatic snapshots (0: never).
+    /// Snapshots run server.save(state_dir) inside the committer's
+    /// exclusive section, then the journal restarts empty.
+    std::size_t snapshot_every = 0;
+    std::string state_dir;
+  };
+
+  /// `server` must outlive this object; its journal (if any) must be
+  /// attached before construction and not touched directly afterwards.
+  IngestServer(UucsServer& server, Config config, Clock* clock = nullptr);
+  ~IngestServer();
+
+  IngestServer(const IngestServer&) = delete;
+  IngestServer& operator=(const IngestServer&) = delete;
+
+  std::uint16_t port() const { return loop_->port(); }
+
+  /// Orderly shutdown: stop accepting, fail new appends, drain the
+  /// committer so every in-flight ack resolves, then stop the loop.
+  /// Idempotent.
+  void stop();
+
+  /// Snapshot on demand (same exclusive path as snapshot_every).
+  void snapshot_now();
+
+  EventLoopStats loop_stats() const { return loop_->stats(); }
+  bool has_committer() const { return committer_ != nullptr; }
+  GroupCommitJournal::Stats commit_stats() const;
+  std::uint64_t snapshots_taken() const { return snapshots_.load(); }
+
+  EventLoopServer& loop() { return *loop_; }
+
+ private:
+  void handle_request(std::string payload, EventLoopServer::Responder respond);
+  void maybe_snapshot(std::size_t new_entries);
+  void do_snapshot(bool force);
+
+  UucsServer& server_;
+  Config config_;
+  Clock* clock_;
+  std::unique_ptr<GroupCommitJournal> committer_;
+  std::atomic<std::uint64_t> entries_since_snapshot_{0};
+  std::atomic<std::uint64_t> snapshots_{0};
+  std::mutex snapshot_mu_;
+  std::atomic<bool> stopped_{false};
+  std::unique_ptr<EventLoopServer> loop_;  ///< last member: stops first
+};
+
+}  // namespace uucs

@@ -98,6 +98,11 @@ bool read_all(int fd, char* data, std::size_t len,
 
 }  // namespace
 
+void UniqueFd::reset(int fd) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
 TcpChannel::TcpChannel(int fd, ChannelDeadlines deadlines)
     : fd_(fd), deadlines_(deadlines) {
   UUCS_CHECK_MSG(fd >= 0, "bad socket fd");
@@ -215,33 +220,40 @@ void TcpChannel::close() {
   }
 }
 
-TcpListener::TcpListener(std::uint16_t port) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) throw SystemError(std::string("socket: ") + std::strerror(errno));
+TcpListener::TcpListener(std::uint16_t port, int backlog) {
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd) throw SystemError(std::string("socket: ") + std::strerror(errno));
   const int one = 1;
-  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    const int err = errno;
-    ::close(fd);
-    throw SystemError(std::string("bind: ") + std::strerror(err));
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    throw SystemError(std::string("bind: ") + std::strerror(errno));
   }
-  if (::listen(fd, 16) != 0) {
-    const int err = errno;
-    ::close(fd);
-    throw SystemError(std::string("listen: ") + std::strerror(err));
+  if (::listen(fd.get(), backlog) != 0) {
+    throw SystemError(std::string("listen: ") + std::strerror(errno));
   }
   socklen_t len = sizeof(addr);
-  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
     port_ = ntohs(addr.sin_port);
   }
-  fd_.store(fd, std::memory_order_release);
+  fd_.store(fd.release(), std::memory_order_release);
 }
 
 TcpListener::~TcpListener() { shutdown(); }
+
+void TcpListener::set_nonblocking(bool nonblocking) {
+  const int lfd = fd_.load(std::memory_order_acquire);
+  if (lfd < 0) return;
+  const int flags = ::fcntl(lfd, F_GETFL, 0);
+  if (flags < 0) throw SystemError(std::string("fcntl: ") + std::strerror(errno));
+  const int want = nonblocking ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(lfd, F_SETFL, want) != 0) {
+    throw SystemError(std::string("fcntl: ") + std::strerror(errno));
+  }
+}
 
 std::unique_ptr<TcpChannel> TcpListener::accept() {
   // Load once: shutdown() may swap fd_ to -1 concurrently; a stale fd is
@@ -250,15 +262,40 @@ std::unique_ptr<TcpChannel> TcpListener::accept() {
   const int lfd = fd_.load(std::memory_order_acquire);
   if (lfd < 0) return nullptr;
   for (;;) {
-    const int client = ::accept(lfd, nullptr, nullptr);
-    if (client >= 0) {
+    // Guard the accepted fd immediately: everything between accept(2) and
+    // the TcpChannel taking ownership (setsockopt, make_unique) can throw,
+    // and an unguarded int would leak the socket.
+    UniqueFd client(::accept(lfd, nullptr, nullptr));
+    if (client) {
       const int one = 1;
-      ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-      return std::make_unique<TcpChannel>(client);
+      ::setsockopt(client.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      auto channel = std::make_unique<TcpChannel>(client.get());
+      client.release();  // the channel owns it now
+      return channel;
     }
     const int err = errno;
     if (err == EINTR && !shutting_down_.load(std::memory_order_acquire)) continue;
     if (shutting_down_.load(std::memory_order_acquire)) return nullptr;
+    throw SystemError(std::string("accept: ") + std::strerror(err));
+  }
+}
+
+UniqueFd TcpListener::try_accept() {
+  const int lfd = fd_.load(std::memory_order_acquire);
+  if (lfd < 0) return UniqueFd{};
+  for (;;) {
+    UniqueFd client(::accept(lfd, nullptr, nullptr));
+    if (client) {
+      const int one = 1;
+      ::setsockopt(client.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return client;
+    }
+    const int err = errno;
+    if (err == EINTR) continue;
+    if (err == EAGAIN || err == EWOULDBLOCK || err == ECONNABORTED) {
+      return UniqueFd{};
+    }
+    if (shutting_down_.load(std::memory_order_acquire)) return UniqueFd{};
     throw SystemError(std::string("accept: ") + std::strerror(err));
   }
 }

@@ -9,6 +9,46 @@
 
 namespace uucs {
 
+/// RAII guard for a raw file descriptor: closes on destruction, moves but
+/// never copies. Wraps every fd the moment the kernel hands it over —
+/// accept(2)/socket(2) results used to travel as naked ints, so an
+/// exception between the syscall and the owning object leaked the socket.
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  ~UniqueFd() { reset(); }
+
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  explicit operator bool() const { return valid(); }
+
+  /// Releases ownership without closing; returns the fd.
+  int release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+  /// Closes the held fd (if any) and optionally adopts a new one.
+  void reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
 /// Deadlines (seconds) for the blocking TCP operations. Zero means "block
 /// forever" — the pre-fault-tolerance behavior, still the default so local
 /// and test transports pay nothing for the feature.
@@ -66,10 +106,12 @@ class TcpChannel final : public MessageChannel {
 };
 
 /// Listening TCP socket bound to 127.0.0.1. Port 0 picks a free port; the
-/// chosen port is available via port().
+/// chosen port is available via port(). `backlog` sizes the kernel accept
+/// queue — the event-loop server points thousands of clients at one
+/// listener, so connect storms need more room than the old fixed 16.
 class TcpListener {
  public:
-  explicit TcpListener(std::uint16_t port = 0);
+  explicit TcpListener(std::uint16_t port = 0, int backlog = 256);
   ~TcpListener();
 
   TcpListener(const TcpListener&) = delete;
@@ -77,10 +119,24 @@ class TcpListener {
 
   std::uint16_t port() const { return port_; }
 
+  /// The listening socket's fd, for event loops that poll it directly.
+  /// -1 after shutdown().
+  int native_handle() const { return fd_.load(std::memory_order_acquire); }
+
+  /// Switches the listening socket between blocking accept() (the default)
+  /// and the non-blocking mode try_accept() requires.
+  void set_nonblocking(bool nonblocking);
+
   /// Blocks until a client connects; returns nullptr only after an
   /// intentional shutdown(). A real accept(2) failure throws SystemError
   /// instead of being silently conflated with shutdown.
   std::unique_ptr<TcpChannel> accept();
+
+  /// Non-blocking accept for event loops: an invalid UniqueFd when no
+  /// connection is pending (or after shutdown), the connected socket —
+  /// TCP_NODELAY set, already owned by the guard — otherwise. The listener
+  /// must be in non-blocking mode.
+  UniqueFd try_accept();
 
   /// Unblocks accept() and closes the listening socket. Safe to call from
   /// any thread (e.g. a signal-driven shutdown path) and idempotent.

@@ -109,8 +109,13 @@ SyncResponse decode_sync_response(const std::vector<KvRecord>& records) {
 
 }  // namespace
 
-std::string dispatch_request(UucsServer& server, const std::string& request,
-                             Clock* clock) {
+namespace {
+
+/// Shared dispatch body. `journal_out == nullptr` is the blocking path (the
+/// server journals + fsyncs internally before returning); non-null is the
+/// deferred path (entries come back for the caller's group commit).
+std::string dispatch_impl(UucsServer& server, const std::string& request,
+                          Clock* clock, std::vector<std::string>* journal_out) {
   try {
     const auto records = kv_parse(request);
     if (records.empty()) return encode_error("empty request");
@@ -119,17 +124,34 @@ std::string dispatch_request(UucsServer& server, const std::string& request,
       if (records.size() < 2) return encode_error("register request missing host");
       const HostSpec host = HostSpec::from_record(records[1]);
       const Guid guid = server.register_client(host, clock ? clock->now() : 0.0,
-                                               records.front().get_or("nonce", ""));
+                                               records.front().get_or("nonce", ""),
+                                               journal_out);
       return encode_register_response(guid);
     }
     if (op == "sync-request") {
       const SyncRequest req = decode_sync_request(records);
-      return encode_sync_response(server.hot_sync(req));
+      return encode_sync_response(server.hot_sync(req, journal_out));
     }
     return encode_error("unknown operation '" + op + "'");
   } catch (const std::exception& e) {
+    // An error response acknowledges nothing, so nothing needs durability.
+    if (journal_out != nullptr) journal_out->clear();
     return encode_error(e.what());
   }
+}
+
+}  // namespace
+
+std::string dispatch_request(UucsServer& server, const std::string& request,
+                             Clock* clock) {
+  return dispatch_impl(server, request, clock, nullptr);
+}
+
+DispatchResult dispatch_request_deferred(UucsServer& server,
+                                         const std::string& request, Clock* clock) {
+  DispatchResult result;
+  result.response = dispatch_impl(server, request, clock, &result.journal_entries);
+  return result;
 }
 
 void serve_channel(UucsServer& server, MessageChannel& channel, Clock* clock) {

@@ -69,8 +69,27 @@ std::string encode_error(const std::string& message);
 
 /// Server-side dispatch of one encoded request; returns the encoded
 /// response (an [error] message for malformed or failing requests).
+/// Journals and fsyncs accepted state before returning, so the returned
+/// response may be sent immediately.
 std::string dispatch_request(UucsServer& server, const std::string& request,
                              Clock* clock = nullptr);
+
+/// Result of a deferred-durability dispatch: the encoded response plus the
+/// journal entries that must be made durable *before* the response is
+/// released to the client. Empty `journal_entries` (read-only or duplicate
+/// requests, errors) means the response may be sent at once.
+struct DispatchResult {
+  std::string response;
+  std::vector<std::string> journal_entries;
+};
+
+/// Like dispatch_request, but does not touch the journal itself: new state
+/// is applied in memory and the entries that make it durable are handed
+/// back. The ingest plane feeds them to the group-commit journal and sends
+/// the response from the batch's durability callback, which is what lets
+/// thousands of concurrent acks share one fsync.
+DispatchResult dispatch_request_deferred(UucsServer& server, const std::string& request,
+                                         Clock* clock = nullptr);
 
 /// Serves a channel until the peer closes: read request, dispatch, reply.
 void serve_channel(UucsServer& server, MessageChannel& channel, Clock* clock = nullptr);

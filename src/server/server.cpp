@@ -1,19 +1,99 @@
 #include "server/server.hpp"
 
+#include <algorithm>
+#include <utility>
+
 #include "util/error.hpp"
 #include "util/fs.hpp"
 #include "util/logging.hpp"
 
 namespace uucs {
 
-UucsServer::UucsServer(std::uint64_t seed, std::size_t sample_batch)
-    : rng_(seed), sample_batch_(sample_batch) {
-  UUCS_CHECK_MSG(sample_batch_ > 0, "sample batch must be positive");
+namespace {
+
+/// Stable 64→shard mix (splitmix-style finalizer) so client GUIDs spread
+/// evenly across shards regardless of how the RNG laid out their bits.
+std::size_t shard_index_of(const Guid& guid, std::size_t shard_count) {
+  if (shard_count <= 1) return 0;
+  std::uint64_t h = guid.hi ^ (guid.lo + 0x9e3779b97f4a7c15ULL);
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return static_cast<std::size_t>(h % shard_count);
 }
 
-void UucsServer::add_testcase(Testcase tc) { testcases_.add(std::move(tc)); }
+/// Routing key for replayed/loaded rows: the client_guid the record carries.
+/// Rows without one (hand-built records from the in-process simulators, or
+/// pre-guid archives) home in shard 0.
+std::size_t shard_index_of(const std::string& guid_text, std::size_t shard_count) {
+  if (shard_count <= 1 || guid_text.empty()) return 0;
+  try {
+    return shard_index_of(Guid::parse(guid_text), shard_count);
+  } catch (const std::exception&) {
+    return 0;
+  }
+}
 
-void UucsServer::add_testcases(const TestcaseStore& store) { testcases_.merge(store); }
+}  // namespace
+
+UucsServer::UucsServer(std::uint64_t seed, std::size_t sample_batch,
+                       std::size_t shard_count)
+    : sample_batch_(sample_batch) {
+  UUCS_CHECK_MSG(sample_batch_ > 0, "sample batch must be positive");
+  UUCS_CHECK_MSG(shard_count > 0, "shard count must be positive");
+  shards_.reserve(shard_count);
+  // Shard 0's generator is seeded exactly like the pre-shard rng_ member, so
+  // a single-shard server draws the same GUIDs and samples byte-for-byte.
+  // Extra shards get independent streams forked from a separate seeder that
+  // never perturbs shard 0's sequence.
+  Rng seeder(seed);
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->rng = (i == 0) ? Rng(seed) : seeder.fork(i);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+UucsServer::UucsServer(UucsServer&& other) noexcept
+    : testcases_(std::move(other.testcases_)),
+      shards_(std::move(other.shards_)),
+      reg_nonces_(std::move(other.reg_nonces_)),
+      sample_batch_(other.sample_batch_),
+      journal_(std::move(other.journal_)),
+      merged_results_(std::move(other.merged_results_)),
+      merged_version_(other.merged_version_),
+      results_version_(other.results_version_.load(std::memory_order_relaxed)) {}
+
+UucsServer& UucsServer::operator=(UucsServer&& other) noexcept {
+  if (this != &other) {
+    testcases_ = std::move(other.testcases_);
+    shards_ = std::move(other.shards_);
+    reg_nonces_ = std::move(other.reg_nonces_);
+    sample_batch_ = other.sample_batch_;
+    journal_ = std::move(other.journal_);
+    merged_results_ = std::move(other.merged_results_);
+    merged_version_ = other.merged_version_;
+    results_version_.store(other.results_version_.load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
+  }
+  return *this;
+}
+
+UucsServer::Shard& UucsServer::shard_of(const Guid& guid) const {
+  return *shards_[shard_index_of(guid, shards_.size())];
+}
+
+void UucsServer::add_testcase(Testcase tc) {
+  std::unique_lock lock(testcases_mu_);
+  testcases_.add(std::move(tc));
+}
+
+void UucsServer::add_testcases(const TestcaseStore& store) {
+  std::unique_lock lock(testcases_mu_);
+  testcases_.merge(store);
+}
 
 KvRecord UucsServer::registration_record(const Guid& guid,
                                          const ClientRegistration& reg) const {
@@ -40,18 +120,37 @@ void UucsServer::restore_registration(const KvRecord& rec) {
   reg.nonce = rec.get_or("nonce", "");
   const Guid guid = reg.guid;
   if (!reg.nonce.empty()) reg_nonces_[reg.nonce] = guid;
-  clients_[guid] = std::move(reg);
+  shard_of(guid).clients[guid] = std::move(reg);
+}
+
+bool UucsServer::restore_result(RunRecord r, bool dedup) {
+  Shard& shard = *shards_[shard_index_of(r.client_guid, shards_.size())];
+  if (!r.run_id.empty()) {
+    if (dedup && shard.seen_run_ids.count(r.run_id) != 0) return false;
+    shard.seen_run_ids.insert(r.run_id);
+  }
+  shard.results.add(std::move(r));
+  return true;
 }
 
 void UucsServer::index_results() {
-  seen_run_ids_.clear();
-  for (const auto& r : results_.records()) {
-    if (!r.run_id.empty()) seen_run_ids_.insert(r.run_id);
+  for (auto& shard : shards_) {
+    shard->seen_run_ids.clear();
+    for (const auto& r : shard->results.records()) {
+      if (!r.run_id.empty()) shard->seen_run_ids.insert(r.run_id);
+    }
   }
 }
 
+void UucsServer::append_blocking(const std::vector<std::string>& entries) {
+  std::lock_guard lock(journal_mu_);
+  journal_->append_batch(entries);
+}
+
 Guid UucsServer::register_client(const HostSpec& host, double now,
-                                 const std::string& nonce) {
+                                 const std::string& nonce,
+                                 std::vector<std::string>* journal_out) {
+  std::lock_guard reg_lock(reg_mu_);
   if (!nonce.empty()) {
     const auto it = reg_nonces_.find(nonce);
     if (it != reg_nonces_.end()) {
@@ -63,72 +162,162 @@ Guid UucsServer::register_client(const HostSpec& host, double now,
     }
   }
   ClientRegistration reg;
-  reg.guid = Guid::generate(rng_);
+  {
+    // GUIDs mint from shard 0's generator — the pre-shard rng_ — which keeps
+    // the single-shard draw sequence identical to the old implementation.
+    std::lock_guard mint_lock(shards_[0]->mu);
+    reg.guid = Guid::generate(shards_[0]->rng);
+  }
   reg.host = host;
   reg.registered_at = now;
   reg.nonce = nonce;
   const Guid guid = reg.guid;
-  if (journal_) journal_->append(kv_serialize({registration_record(guid, reg)}));
+  if (journal_) {
+    std::vector<std::string> entries{kv_serialize({registration_record(guid, reg)})};
+    if (journal_out != nullptr) {
+      // Deferred-ack path: the caller owns durability (group commit) and
+      // must fsync these before the response leaves the server.
+      for (auto& e : entries) journal_out->push_back(std::move(e));
+    } else {
+      append_blocking(entries);
+    }
+  }
   if (!nonce.empty()) reg_nonces_[nonce] = guid;
-  clients_.emplace(guid, std::move(reg));
+  {
+    Shard& shard = shard_of(guid);
+    std::lock_guard shard_lock(shard.mu);
+    shard.clients.emplace(guid, std::move(reg));
+  }
   log_info("server", "registered client " + guid.to_string());
   return guid;
 }
 
 bool UucsServer::is_registered(const Guid& guid) const {
-  return clients_.count(guid) != 0;
+  Shard& shard = shard_of(guid);
+  std::lock_guard lock(shard.mu);
+  return shard.clients.count(guid) != 0;
 }
 
 const ClientRegistration& UucsServer::registration(const Guid& guid) const {
-  const auto it = clients_.find(guid);
-  if (it == clients_.end()) throw Error("unknown client " + guid.to_string());
+  Shard& shard = shard_of(guid);
+  std::lock_guard lock(shard.mu);
+  const auto it = shard.clients.find(guid);
+  if (it == shard.clients.end()) throw Error("unknown client " + guid.to_string());
   return it->second;
 }
 
-bool UucsServer::has_result(const std::string& run_id) const {
-  return !run_id.empty() && seen_run_ids_.count(run_id) != 0;
+std::size_t UucsServer::client_count() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mu);
+    n += shard->clients.size();
+  }
+  return n;
 }
 
-SyncResponse UucsServer::hot_sync(const SyncRequest& request) {
-  const auto it = clients_.find(request.guid);
-  if (it == clients_.end()) {
-    throw Error("hot sync from unregistered client " + request.guid.to_string());
+bool UucsServer::has_result(const std::string& run_id) const {
+  if (run_id.empty()) return false;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mu);
+    if (shard->seen_run_ids.count(run_id) != 0) return true;
   }
-  ClientRegistration& reg = it->second;
+  return false;
+}
 
+SyncResponse UucsServer::hot_sync(const SyncRequest& request,
+                                  std::vector<std::string>* journal_out) {
+  Shard& shard = shard_of(request.guid);
   SyncResponse response;
-  // Exactly-once uploads: a run_id the store already holds is a retry of a
-  // sync whose response was lost — acknowledge it without storing again.
   std::vector<std::string> journal_entries;
-  for (const auto& r : request.results) {
-    if (!r.run_id.empty()) {
-      if (seen_run_ids_.count(r.run_id) != 0) {
-        ++response.duplicate_results;
-        response.stored_run_ids.push_back(r.run_id);
-        continue;
-      }
-      seen_run_ids_.insert(r.run_id);
-      response.stored_run_ids.push_back(r.run_id);
+  {
+    std::lock_guard shard_lock(shard.mu);
+    const auto it = shard.clients.find(request.guid);
+    if (it == shard.clients.end()) {
+      throw Error("hot sync from unregistered client " + request.guid.to_string());
     }
-    if (journal_) journal_entries.push_back(kv_serialize({r.to_record()}));
-    results_.add(r);
-    ++response.accepted_results;
-  }
-  // Durable before acknowledged: once the response leaves, a crash cannot
-  // lose what it acked.
-  if (journal_ && !journal_entries.empty()) journal_->append_batch(journal_entries);
+    ClientRegistration& reg = it->second;
 
-  // Growing random sample: every sync may add up to sample_batch_ fresh
-  // testcases on top of what the client already holds.
-  const auto fresh_ids =
-      testcases_.random_sample(sample_batch_, rng_, request.known_testcase_ids);
-  response.new_testcases.reserve(fresh_ids.size());
-  for (const auto& id : fresh_ids) response.new_testcases.push_back(testcases_.get(id));
-  response.server_testcase_count = testcases_.size();
-  ++reg.sync_count;
-  if (request.sync_seq > reg.last_sync_seq) reg.last_sync_seq = request.sync_seq;
+    // Exactly-once uploads: a run_id the store already holds is a retry of a
+    // sync whose response was lost — acknowledge it without storing again.
+    // (Dedup is shard-local, which is complete because every upload of a
+    // given run_id arrives under the same client GUID and therefore lands in
+    // the same shard.)
+    for (const auto& r : request.results) {
+      if (!r.run_id.empty()) {
+        if (shard.seen_run_ids.count(r.run_id) != 0) {
+          ++response.duplicate_results;
+          response.stored_run_ids.push_back(r.run_id);
+          continue;
+        }
+        shard.seen_run_ids.insert(r.run_id);
+        response.stored_run_ids.push_back(r.run_id);
+      }
+      if (journal_) journal_entries.push_back(kv_serialize({r.to_record()}));
+      shard.results.add(r);
+      ++response.accepted_results;
+    }
+    if (response.accepted_results > 0) {
+      results_version_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    // Growing random sample: every sync may add up to sample_batch_ fresh
+    // testcases on top of what the client already holds. The draw comes from
+    // the client's home-shard generator, so syncs on different shards never
+    // serialize on one RNG.
+    {
+      std::shared_lock tc_lock(testcases_mu_);
+      const auto fresh_ids = testcases_.random_sample(sample_batch_, shard.rng,
+                                                      request.known_testcase_ids);
+      response.new_testcases.reserve(fresh_ids.size());
+      for (const auto& id : fresh_ids) {
+        response.new_testcases.push_back(testcases_.get(id));
+      }
+      response.server_testcase_count = testcases_.size();
+    }
+    ++reg.sync_count;
+    if (request.sync_seq > reg.last_sync_seq) reg.last_sync_seq = request.sync_seq;
+  }
+
+  // Durable before acknowledged: once the response leaves, a crash cannot
+  // lose what it acked. The blocking path fsyncs here; the deferred path
+  // hands the entries to the caller's group commit, which fsyncs the batch
+  // before releasing any of its responses.
+  if (journal_ && !journal_entries.empty()) {
+    if (journal_out != nullptr) {
+      for (auto& e : journal_entries) journal_out->push_back(std::move(e));
+    } else {
+      append_blocking(journal_entries);
+    }
+  }
   return response;
 }
+
+const ResultStore& UucsServer::results() const {
+  if (shards_.size() == 1) return shards_[0]->results;
+  std::lock_guard merged_lock(merged_mu_);
+  const std::uint64_t version = results_version_.load(std::memory_order_acquire);
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mu);
+    total += shard->results.size();
+  }
+  // Size is compared as well as the version so mutations through
+  // mutable_results() (which bypass the version counter by design) still
+  // invalidate the cache.
+  if (version != merged_version_ || total != merged_results_.size()) {
+    ResultStore merged;
+    merged.reserve(total);
+    for (const auto& shard : shards_) {
+      std::lock_guard lock(shard->mu);
+      merged.merge(shard->results);
+    }
+    merged_results_ = std::move(merged);
+    merged_version_ = version;
+  }
+  return merged_results_;
+}
+
+ResultStore& UucsServer::mutable_results() { return shards_[0]->results; }
 
 std::size_t UucsServer::attach_journal(const std::string& path) {
   journal_ = std::make_unique<Journal>(Journal::open(path));
@@ -139,11 +328,7 @@ std::size_t UucsServer::attach_journal(const std::string& path) {
     if (records.empty()) continue;
     const KvRecord& rec = records.front();
     if (rec.type() == "run") {
-      RunRecord r = RunRecord::from_record(rec);
-      if (!r.run_id.empty() && seen_run_ids_.count(r.run_id) != 0) continue;
-      if (!r.run_id.empty()) seen_run_ids_.insert(r.run_id);
-      results_.add(std::move(r));
-      ++recovered;
+      if (restore_result(RunRecord::from_record(rec), /*dedup=*/true)) ++recovered;
     } else if (rec.type() == "registration") {
       restore_registration(rec);
       ++recovered;
@@ -163,24 +348,53 @@ std::size_t UucsServer::attach_journal(const std::string& path) {
 
 void UucsServer::save(const std::string& dir) const {
   make_dirs(dir);
-  testcases_.save(dir + "/testcases.txt");
-  results_.save(dir + "/results.txt");
-  std::vector<KvRecord> regs;
-  for (const auto& [guid, reg] : clients_) {
-    regs.push_back(registration_record(guid, reg));
+  // Every shard is held for the snapshot's duration so the three files are a
+  // consistent cut; in-flight syncs stall rather than straddle it.
+  std::vector<std::unique_lock<std::mutex>> shard_locks;
+  shard_locks.reserve(shards_.size());
+  for (const auto& shard : shards_) shard_locks.emplace_back(shard->mu);
+
+  {
+    std::shared_lock tc_lock(testcases_mu_);
+    testcases_.save(dir + "/testcases.txt");
   }
-  kv_save_file(dir + "/registrations.txt", regs);
+  if (shards_.size() == 1) {
+    shards_[0]->results.save(dir + "/results.txt");
+  } else {
+    ResultStore merged;
+    for (const auto& shard : shards_) merged.merge(shard->results);
+    merged.save(dir + "/results.txt");
+  }
+  // Registrations are sorted by GUID across shards, matching the single-map
+  // iteration order the pre-shard implementation wrote.
+  std::vector<std::pair<Guid, const ClientRegistration*>> regs;
+  for (const auto& shard : shards_) {
+    for (const auto& [guid, reg] : shard->clients) regs.emplace_back(guid, &reg);
+  }
+  std::sort(regs.begin(), regs.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<KvRecord> reg_records;
+  reg_records.reserve(regs.size());
+  for (const auto& [guid, reg] : regs) {
+    reg_records.push_back(registration_record(guid, *reg));
+  }
+  kv_save_file(dir + "/registrations.txt", reg_records);
   // Each snapshot file above is written atomically + durably (tmp + fsync +
   // rename), so only after all of them are safely on disk may the journal —
   // the only other copy of acknowledged data — be compacted away.
-  if (journal_) journal_->compact({});
+  if (journal_) {
+    std::lock_guard journal_lock(journal_mu_);
+    journal_->compact({});
+  }
 }
 
-UucsServer UucsServer::load(const std::string& dir, std::uint64_t seed) {
-  UucsServer server(seed);
+UucsServer UucsServer::load(const std::string& dir, std::uint64_t seed,
+                            std::size_t shard_count) {
+  UucsServer server(seed, 16, shard_count);
   server.testcases_ = TestcaseStore::load(dir + "/testcases.txt");
-  server.results_ = ResultStore::load(dir + "/results.txt");
-  server.index_results();
+  for (auto& r : ResultStore::load(dir + "/results.txt").drain()) {
+    server.restore_result(std::move(r), /*dedup=*/false);
+  }
   for (const auto& rec : kv_load_file(dir + "/registrations.txt")) {
     if (rec.type() != "registration") {
       throw ParseError("expected [registration] record, got [" + rec.type() + "]");

@@ -1,7 +1,10 @@
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -58,71 +61,150 @@ struct SyncResponse {
 /// once. With attach_journal(), every accepted result and registration is
 /// journaled (fsync'd) before it is acknowledged, so a crash between
 /// save() snapshots loses nothing.
+///
+/// Sharding (the million-connection ingest plane, DESIGN.md §13): the
+/// mutable per-client state — registrations, the run_id dedup index, the
+/// result rows, the sampling RNG — lives in `shard_count` independently
+/// locked shards keyed by client-GUID hash, so event-loop worker threads
+/// handling different clients never serialize on one mutex. With the
+/// default single shard the server behaves bit-for-bit like the pre-shard
+/// implementation (one state block, one RNG, same draw sequence), which is
+/// what the simulators and golden fixtures pin. register_client and
+/// hot_sync are thread-safe at any shard count; the bulk accessors
+/// (results(), registration(), save()) take the shard locks they need but
+/// return references that assume the caller reads them quiesced.
+///
+/// Dedup scope: run_ids are client-scoped unique (the client mints
+/// "guid/serial"), and every upload and retry of a record arrives under the
+/// same client GUID, so the per-shard dedup index sees all copies of a
+/// given run_id in one shard.
 class UucsServer {
  public:
   /// `sample_batch`: how many fresh testcases each hot sync may add.
-  explicit UucsServer(std::uint64_t seed = 1, std::size_t sample_batch = 16);
+  /// `shard_count`: independently locked state shards (see class comment).
+  explicit UucsServer(std::uint64_t seed = 1, std::size_t sample_batch = 16,
+                      std::size_t shard_count = 1);
 
-  /// Testcase catalog management (new testcases may be added at any time).
+  /// Movable so factories (load()) can return by value. Moving a server that
+  /// other threads are touching is undefined — move only quiesced instances;
+  /// the mutexes themselves are not moved (the target gets fresh ones, and
+  /// per-shard locks travel inside their heap-allocated shards).
+  UucsServer(UucsServer&& other) noexcept;
+  UucsServer& operator=(UucsServer&& other) noexcept;
+  UucsServer(const UucsServer&) = delete;
+  UucsServer& operator=(const UucsServer&) = delete;
+
+  /// Testcase catalog management (new testcases may be added at any time;
+  /// guarded by a reader-writer lock against concurrent hot syncs).
   void add_testcase(Testcase tc);
   void add_testcases(const TestcaseStore& store);
   const TestcaseStore& testcases() const { return testcases_; }
+
+  std::size_t shard_count() const { return shards_.size(); }
 
   /// Registers a client and returns its new globally unique identifier.
   /// A non-empty `nonce` makes registration idempotent: if a registration
   /// with the same nonce already exists (this process, a journal replay, or
   /// a snapshot), its GUID is returned instead of minting an orphan — so a
   /// client retrying after a lost register response stays one client.
+  ///
+  /// With a journal attached and `journal_out == nullptr`, the registration
+  /// entry is appended (fsync'd) before this returns. With `journal_out`
+  /// non-null the entry is handed back instead, and the caller must make it
+  /// durable before releasing the response — the ingest plane routes it
+  /// through the group-commit journal and acks on batch fsync.
   Guid register_client(const HostSpec& host, double now = 0.0,
-                       const std::string& nonce = "");
+                       const std::string& nonce = "",
+                       std::vector<std::string>* journal_out = nullptr);
 
   /// True if `guid` belongs to a registered client.
   bool is_registered(const Guid& guid) const;
   const ClientRegistration& registration(const Guid& guid) const;
-  std::size_t client_count() const { return clients_.size(); }
+  std::size_t client_count() const;
 
   /// Handles one hot sync: stores the uploaded results (deduplicated by
   /// run_id) and returns a fresh batch of testcases the client does not
   /// have yet. Throws Error for an unregistered guid.
-  SyncResponse hot_sync(const SyncRequest& request);
+  ///
+  /// Journal handling matches register_client: with `journal_out` null the
+  /// accepted results are appended + fsync'd before returning; non-null
+  /// hands the entries back for the caller's group commit, which must fsync
+  /// them before the response (the ack) leaves the server.
+  SyncResponse hot_sync(const SyncRequest& request,
+                        std::vector<std::string>* journal_out = nullptr);
 
   /// True if a result with this run_id has been stored via hot_sync (or
   /// recovered from a snapshot/journal).
   bool has_result(const std::string& run_id) const;
 
-  /// All results uploaded so far.
-  const ResultStore& results() const { return results_; }
-  ResultStore& mutable_results() { return results_; }
+  /// All results uploaded so far. With one shard this is the live store;
+  /// with several it is a merged view (shard-index order, arrival order
+  /// within a shard) rebuilt when stale — call it quiesced.
+  const ResultStore& results() const;
+
+  /// Direct store access for the in-process simulators (single-threaded
+  /// deployments only; rows land in shard 0 and bypass the dedup index,
+  /// exactly like the pre-shard implementation).
+  ResultStore& mutable_results();
 
   /// Opens (creating if needed) an fsync'd append-only journal at `path`,
   /// replays any entries that survived a crash, and from now on journals
   /// every accepted result and registration before acknowledging it.
-  /// Returns the number of journal entries recovered.
+  /// Returns the number of journal entries recovered. Replayed entries are
+  /// routed to shards by the client GUID they carry.
   std::size_t attach_journal(const std::string& path);
   bool has_journal() const { return journal_ != nullptr; }
   const Journal* journal() const { return journal_.get(); }
+  Journal* mutable_journal() { return journal_.get(); }
 
   /// Persists stores as text files under `dir` (testcases.txt, results.txt,
   /// registrations.txt). With a journal attached, the journal is compacted
-  /// to empty afterwards — the snapshot now holds everything.
+  /// to empty afterwards — the snapshot now holds everything. Takes every
+  /// shard lock, so it is safe to call while syncs are in flight (they
+  /// stall for the snapshot's duration); the journal side must be quiesced
+  /// by the caller when a group-commit thread is attached to it.
   void save(const std::string& dir) const;
 
   /// Loads stores previously saved with save().
-  static UucsServer load(const std::string& dir, std::uint64_t seed = 1);
+  static UucsServer load(const std::string& dir, std::uint64_t seed = 1,
+                         std::size_t shard_count = 1);
 
  private:
+  /// One independently locked slice of the mutable per-client state.
+  struct Shard {
+    mutable std::mutex mu;
+    std::map<Guid, ClientRegistration> clients;
+    std::unordered_set<std::string> seen_run_ids;  ///< dedup index over results
+    ResultStore results;
+    Rng rng{1};  ///< growing-sample draws for clients homed here
+  };
+
+  Shard& shard_of(const Guid& guid) const;
   KvRecord registration_record(const Guid& guid, const ClientRegistration& reg) const;
   void restore_registration(const KvRecord& rec);
+  bool restore_result(RunRecord r, bool dedup);
   void index_results();
+  void append_blocking(const std::vector<std::string>& entries);
 
   TestcaseStore testcases_;
-  ResultStore results_;
-  std::unordered_set<std::string> seen_run_ids_;  ///< dedup index over results_
-  std::map<Guid, ClientRegistration> clients_;
-  std::map<std::string, Guid> reg_nonces_;  ///< registration idempotency index
-  Rng rng_;
+  mutable std::shared_mutex testcases_mu_;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  /// Registration path: nonce idempotency index + GUID minting order. Taken
+  /// before any shard lock; never taken while one is held.
+  mutable std::mutex reg_mu_;
+  std::map<std::string, Guid> reg_nonces_;
+
   std::size_t sample_batch_;
   std::unique_ptr<Journal> journal_;
+  mutable std::mutex journal_mu_;  ///< serializes blocking appends
+
+  /// Merged results() view for shard_count > 1.
+  mutable std::mutex merged_mu_;
+  mutable ResultStore merged_results_;
+  mutable std::uint64_t merged_version_ = 0;
+  mutable std::atomic<std::uint64_t> results_version_{1};
 };
 
 }  // namespace uucs

@@ -4,7 +4,9 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 
@@ -28,10 +30,11 @@ void write_fully(int fd, const char* data, std::size_t len, const std::string& p
   }
 }
 
-void fsync_or_throw(int fd, const std::string& path) {
+void fsync_or_throw(int fd, const std::string& path, std::uint64_t* counter = nullptr) {
   if (::fsync(fd) != 0) {
     throw SystemError("journal fsync " + path + ": " + std::strerror(errno));
   }
+  if (counter) ++*counter;
 }
 
 std::string frame_entry(const std::string& payload) {
@@ -119,7 +122,7 @@ Journal Journal::open(const std::string& path) {
     if (::ftruncate(j.fd_, static_cast<off_t>(good)) != 0) {
       throw SystemError("journal truncate " + path + ": " + std::strerror(errno));
     }
-    fsync_or_throw(j.fd_, path);
+    fsync_or_throw(j.fd_, path, &j.fsync_count_);
   }
   j.size_bytes_ = good;
   return j;
@@ -130,7 +133,8 @@ Journal::Journal(Journal&& other) noexcept
       fd_(other.fd_),
       entries_(std::move(other.entries_)),
       recovery_(other.recovery_),
-      size_bytes_(other.size_bytes_) {
+      size_bytes_(other.size_bytes_),
+      fsync_count_(other.fsync_count_) {
   other.fd_ = -1;
 }
 
@@ -142,6 +146,7 @@ Journal& Journal::operator=(Journal&& other) noexcept {
     entries_ = std::move(other.entries_);
     recovery_ = other.recovery_;
     size_bytes_ = other.size_bytes_;
+    fsync_count_ = other.fsync_count_;
     other.fd_ = -1;
   }
   return *this;
@@ -164,7 +169,7 @@ void Journal::append_batch(const std::vector<std::string>& payloads) {
   std::string buf;
   for (const auto& p : payloads) buf += frame_entry(p);
   write_fully(fd_, buf.data(), buf.size(), path_);
-  fsync_or_throw(fd_, path_);
+  fsync_or_throw(fd_, path_, &fsync_count_);
   for (const auto& p : payloads) entries_.push_back(p);
   size_bytes_ += buf.size();
 }
@@ -180,7 +185,7 @@ void Journal::compact(const std::vector<std::string>& keep) {
   for (const auto& p : keep) buf += frame_entry(p);
   try {
     write_fully(tfd, buf.data(), buf.size(), tmp);
-    fsync_or_throw(tfd, tmp);
+    fsync_or_throw(tfd, tmp, &fsync_count_);
   } catch (...) {
     ::close(tfd);
     ::unlink(tmp.c_str());
@@ -201,6 +206,189 @@ void Journal::compact(const std::vector<std::string>& keep) {
   }
   entries_ = keep;
   size_bytes_ = buf.size();
+}
+
+GroupCommitJournal::GroupCommitJournal(Journal& journal)
+    : GroupCommitJournal(journal, Config()) {}
+
+GroupCommitJournal::GroupCommitJournal(Journal& journal, Config config)
+    : journal_(journal), config_(config) {
+  if (config_.max_batch_entries == 0) config_.max_batch_entries = 1;
+  committer_ = std::thread([this] { commit_loop(); });
+}
+
+GroupCommitJournal::~GroupCommitJournal() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  state_cv_.notify_all();
+  if (committer_.joinable()) committer_.join();
+}
+
+void GroupCommitJournal::append_async(std::vector<std::string> entries,
+                                      std::function<void(bool)> on_durable) {
+  // Empty appends are ordering barriers: they ride the pending queue and
+  // complete only once everything queued before them is durable. The ingest
+  // plane routes duplicate-acks through here so an "already stored" response
+  // can never overtake the fsync of the batch holding the original entry.
+  bool reject = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (failed_ || stopping_) {
+      reject = true;
+    } else {
+      ++stats_.async_appends;
+      pending_entries_ += entries.size();
+      pending_.push_back({std::move(entries), std::move(on_durable)});
+    }
+  }
+  if (reject) {
+    // A dead committer can never make these durable; fail the ack now so
+    // the client retries instead of trusting a lost write.
+    if (on_durable) on_durable(false);
+    return;
+  }
+  work_cv_.notify_one();
+}
+
+void GroupCommitJournal::append_sync(std::vector<std::string> entries) {
+  if (entries.empty()) return;
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  bool done = false;
+  bool ok = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.sync_appends;
+  }
+  append_async(std::move(entries), [&](bool durable) {
+    std::lock_guard<std::mutex> lock(done_mu);
+    done = true;
+    ok = durable;
+    done_cv.notify_all();
+  });
+  std::unique_lock<std::mutex> lock(done_mu);
+  done_cv.wait(lock, [&] { return done; });
+  if (!ok) {
+    throw SystemError("group commit failed for journal " + journal_.path());
+  }
+}
+
+void GroupCommitJournal::flush() {
+  std::unique_lock<std::mutex> lock(mu_);
+  work_cv_.notify_all();
+  state_cv_.wait(lock, [&] {
+    return (pending_.empty() && !committing_) || failed_ || stopping_;
+  });
+}
+
+void GroupCommitJournal::with_exclusive(const std::function<void()>& fn) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++exclusive_waiters_;
+    work_cv_.notify_all();
+    // Wait until the backlog is durable and the commit thread is parked —
+    // only then is the underlying Journal safe to touch (compact swaps the
+    // fd out from under any in-flight append otherwise).
+    state_cv_.wait(lock, [&] {
+      return (pending_.empty() && !committing_ && !exclusive_active_) ||
+             stopping_;
+    });
+    --exclusive_waiters_;
+    if (stopping_) return;
+    exclusive_active_ = true;
+  }
+  try {
+    fn();
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mu_);
+    exclusive_active_ = false;
+    work_cv_.notify_all();
+    state_cv_.notify_all();
+    throw;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  exclusive_active_ = false;
+  work_cv_.notify_all();
+  state_cv_.notify_all();
+}
+
+GroupCommitJournal::Stats GroupCommitJournal::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void GroupCommitJournal::commit_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    // Exclusive *waiters* do not pause the loop — they are waiting for the
+    // backlog to drain, so the loop must keep committing (the linger window
+    // below is skipped to get there faster). Only an *active* exclusive
+    // section parks it.
+    work_cv_.wait(lock, [&] {
+      return stopping_ || (!pending_.empty() && !exclusive_active_);
+    });
+    if (pending_.empty()) {
+      if (stopping_) return;
+      continue;  // woken for an exclusive section; state_cv_ handles it
+    }
+    if (stopping_ && pending_.empty()) return;
+    // Group window: linger briefly for stragglers so concurrent syncs
+    // coalesce, but never past the batch cap and never when shutting down.
+    if (config_.max_wait_us > 0 &&
+        pending_entries_ < config_.max_batch_entries && !stopping_) {
+      work_cv_.wait_for(lock, std::chrono::microseconds(config_.max_wait_us),
+                        [&] {
+                          return stopping_ ||
+                                 pending_entries_ >= config_.max_batch_entries ||
+                                 exclusive_waiters_ > 0;
+                        });
+    }
+    std::vector<Pending> batch;
+    batch.swap(pending_);
+    pending_entries_ = 0;
+    committing_ = true;
+    lock.unlock();
+
+    std::vector<std::string> payloads;
+    std::size_t count = 0;
+    for (const Pending& p : batch) count += p.entries.size();
+    payloads.reserve(count);
+    for (Pending& p : batch) {
+      for (std::string& e : p.entries) payloads.push_back(std::move(e));
+    }
+    bool ok = true;
+    if (!payloads.empty()) {
+      try {
+        journal_.append_batch(payloads);  // one buffered write + one fsync
+      } catch (const std::exception&) {
+        ok = false;
+      }
+    }
+    // Record the batch before releasing any ack, so an observer woken by an
+    // ack never sees stats that lag the durability it was just promised.
+    lock.lock();
+    if (!ok) {
+      failed_ = true;
+    } else if (count > 0) {  // barrier-only batches touched no disk
+      ++stats_.batches;
+      stats_.entries += count;
+      stats_.largest_batch = std::max(stats_.largest_batch, count);
+    }
+    lock.unlock();
+
+    // Acks release strictly after the batch hit disk (or failed).
+    for (Pending& p : batch) {
+      if (p.on_durable) p.on_durable(ok);
+    }
+
+    lock.lock();
+    committing_ = false;
+    state_cv_.notify_all();
+    if (stopping_ && pending_.empty()) return;
+  }
 }
 
 }  // namespace uucs

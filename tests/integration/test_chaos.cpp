@@ -12,6 +12,7 @@
 #include "client/feedback.hpp"
 #include "client/run_executor.hpp"
 #include "server/fault_injection.hpp"
+#include "server/ingest.hpp"
 #include "server/net.hpp"
 #include "server/retry.hpp"
 #include "server/server.hpp"
@@ -24,24 +25,17 @@
 namespace uucs {
 namespace {
 
-/// Serves `server` over TCP, one faulty connection after another, until the
-/// listener shuts down.
-void serve_tcp(UucsServer& server, TcpListener& listener) {
-  for (;;) {
-    std::unique_ptr<TcpChannel> conn;
-    try {
-      conn = listener.accept();
-    } catch (const Error&) {
-      return;
-    }
-    if (!conn) return;
-    conn->set_deadlines({0, 5.0, 5.0});
-    try {
-      serve_channel(server, *conn);
-    } catch (const Error&) {
-      // This connection died of an injected fault; serve the next one.
-    }
-  }
+/// The ingest plane under chaos: the same epoll event loop + worker pool +
+/// group-commit committer the deployable daemon runs, tuned for test-speed
+/// commit windows. Connections that die of injected faults are just closed
+/// sockets to the event loop; the next retry connects fresh.
+IngestServer::Config chaos_config() {
+  IngestServer::Config cfg;
+  cfg.loop.port = 0;
+  cfg.loop.workers = 2;
+  cfg.loop.idle_timeout_s = 5.0;
+  cfg.commit.max_wait_us = 200;
+  return cfg;
 }
 
 RunRecord make_result(const std::string& run_id) {
@@ -76,16 +70,15 @@ std::unique_ptr<RetryingServerApi> faulty_api(std::uint16_t port,
 TEST(Chaos, ExactlyOnceAcross50Seeds) {
   std::size_t total_faults = 0;
   for (std::uint64_t seed = 1; seed <= 50; ++seed) {
-    UucsServer server(seed, 4);
+    UucsServer server(seed, 4, /*shard_count=*/4);
     server.add_testcase(make_ramp_testcase(Resource::kMemory, 1.0, 120.0));
-    TcpListener listener(0);
-    std::thread server_thread([&] { serve_tcp(server, listener); });
+    IngestServer ingest(server, chaos_config());
 
     auto schedule = std::make_shared<FaultSchedule>(
         FaultSchedule::seeded(seed, FaultProfile::moderate()));
     FaultyChannel::Stats stats;
     VirtualClock clock;  // backoff sleeps cost no wall time
-    auto api = faulty_api(listener.port(), schedule, clock, &stats);
+    auto api = faulty_api(ingest.port(), schedule, clock, &stats);
 
     UucsClient client(HostSpec::paper_study_machine());
     std::vector<std::string> minted;
@@ -108,11 +101,10 @@ TEST(Chaos, ExactlyOnceAcross50Seeds) {
     ASSERT_TRUE(client.pending_results().empty())
         << "seed " << seed << ": records stranded on the client";
 
-    // Drop the client connection first so the serving thread sees EOF now
-    // instead of waiting out its read deadline.
+    // Drop the client connection, then stop the ingest plane (the event
+    // loop notices the close via EPOLLRDHUP, no deadline to wait out).
     api->disconnect();
-    listener.shutdown();
-    server_thread.join();
+    ingest.stop();
 
     // The invariant: every minted run_id stored exactly once, nothing else.
     ASSERT_EQ(server.results().size(), minted.size()) << "seed " << seed;
@@ -130,17 +122,16 @@ TEST(Chaos, ExactlyOnceAcross50Seeds) {
 }
 
 TEST(Chaos, RealDaemonSurvivesFaultyTransport) {
-  UucsServer server(7, 4);
+  UucsServer server(7, 4, /*shard_count=*/4);
   for (int i = 0; i < 6; ++i) {
     server.add_testcase(make_ramp_testcase(Resource::kCpu, 0.2 + 0.1 * i, 0.05, 20.0));
   }
-  TcpListener listener(0);
-  std::thread server_thread([&] { serve_tcp(server, listener); });
+  IngestServer ingest(server, chaos_config());
 
   auto schedule = std::make_shared<FaultSchedule>(
       FaultSchedule::seeded(99, FaultProfile::moderate()));
   RealClock clock;
-  auto api = faulty_api(listener.port(), schedule, clock, nullptr);
+  auto api = faulty_api(ingest.port(), schedule, clock, nullptr);
 
   ClientConfig cfg;
   cfg.sync_interval_s = 0.1;
@@ -161,8 +152,7 @@ TEST(Chaos, RealDaemonSurvivesFaultyTransport) {
 
   const std::size_t runs = daemon.run(1.5);
   api->disconnect();
-  listener.shutdown();
-  server_thread.join();
+  ingest.stop();
 
   EXPECT_GT(runs, 0u);
   EXPECT_TRUE(client.registered());
@@ -188,16 +178,15 @@ TEST(Chaos, KillAndRecoverLosesNoJournaledRecord) {
   Guid guid;
   std::vector<std::string> minted;
   {
-    UucsServer server(3, 4);
+    UucsServer server(3, 4, /*shard_count=*/4);
     server.add_testcase(make_ramp_testcase(Resource::kMemory, 1.0, 120.0));
     server.attach_journal(server_journal);
-    TcpListener listener(0);
-    std::thread server_thread([&] { serve_tcp(server, listener); });
+    IngestServer ingest(server, chaos_config());
 
     auto schedule = std::make_shared<FaultSchedule>(
         FaultSchedule::seeded(11, FaultProfile::moderate()));
     VirtualClock clock;
-    auto api = faulty_api(listener.port(), schedule, clock, nullptr);
+    auto api = faulty_api(ingest.port(), schedule, clock, nullptr);
 
     UucsClient client(HostSpec::paper_study_machine());
     client.attach_journal(client_journal);
@@ -221,13 +210,12 @@ TEST(Chaos, KillAndRecoverLosesNoJournaledRecord) {
       client.record_result(make_result(minted.back()));
     }
     api->disconnect();
-    listener.shutdown();
-    server_thread.join();
+    ingest.stop();
     // SIGKILL-style teardown: neither side gets to call save().
   }
 
   // Both sides rebuild from their journals alone.
-  UucsServer server(4, 4);
+  UucsServer server(4, 4, /*shard_count=*/4);
   server.add_testcase(make_ramp_testcase(Resource::kMemory, 1.0, 120.0));
   server.attach_journal(server_journal);
   EXPECT_TRUE(server.is_registered(guid));

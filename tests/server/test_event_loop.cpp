@@ -1,0 +1,321 @@
+// Event-loop server tests: incremental frame reassembly, echo traffic over
+// real sockets, pipelining, slow-loris expiry, and the max-connections
+// backpressure gate.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/event_loop.hpp"
+#include "server/net.hpp"
+#include "util/error.hpp"
+
+namespace uucs {
+namespace {
+
+using namespace std::chrono_literals;
+
+std::string frame_of(const std::string& payload) { return TcpChannel::frame(payload); }
+
+// --- FrameReader -----------------------------------------------------------
+
+TEST(FrameReader, ReassemblesByteByByte) {
+  FrameReader reader;
+  const std::string wire = frame_of("hello world");
+  std::string payload;
+  for (std::size_t i = 0; i + 1 < wire.size(); ++i) {
+    reader.feed(&wire[i], 1);
+    EXPECT_FALSE(reader.next(payload)) << "complete after byte " << i;
+  }
+  reader.feed(&wire[wire.size() - 1], 1);
+  ASSERT_TRUE(reader.next(payload));
+  EXPECT_EQ(payload, "hello world");
+  EXPECT_FALSE(reader.next(payload));
+  EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST(FrameReader, SplitsConcatenatedFrames) {
+  FrameReader reader;
+  const std::string wire = frame_of("one") + frame_of("") + frame_of("three");
+  // Feed in two arbitrary chunks straddling frame boundaries.
+  reader.feed(wire.data(), 7);
+  reader.feed(wire.data() + 7, wire.size() - 7);
+  std::string payload;
+  ASSERT_TRUE(reader.next(payload));
+  EXPECT_EQ(payload, "one");
+  ASSERT_TRUE(reader.next(payload));
+  EXPECT_EQ(payload, "");
+  ASSERT_TRUE(reader.next(payload));
+  EXPECT_EQ(payload, "three");
+  EXPECT_FALSE(reader.next(payload));
+}
+
+TEST(FrameReader, RejectsBadMagicImmediately) {
+  FrameReader reader;
+  std::string payload;
+  reader.feed("UUX", 3);  // wrong already at the third byte
+  EXPECT_THROW(reader.next(payload), ProtocolError);
+}
+
+TEST(FrameReader, RejectsNonNumericLength) {
+  FrameReader reader;
+  std::string payload;
+  const std::string bad = "UUCS 12a\n";
+  reader.feed(bad.data(), bad.size());
+  EXPECT_THROW(reader.next(payload), ProtocolError);
+}
+
+TEST(FrameReader, RejectsOversizedLength) {
+  FrameReader reader;
+  std::string payload;
+  const std::string bad = "UUCS 99999999999\n";
+  reader.feed(bad.data(), bad.size());
+  EXPECT_THROW(reader.next(payload), ProtocolError);
+}
+
+TEST(FrameReader, RejectsRunawayHeader) {
+  FrameReader reader;
+  std::string payload;
+  const std::string bad = "UUCS 111111111111111111111111111111111111";
+  reader.feed(bad.data(), bad.size());
+  EXPECT_THROW(reader.next(payload), ProtocolError);
+}
+
+TEST(FrameReader, LargePayloadSurvivesChunkedDelivery) {
+  FrameReader reader;
+  std::string big(300000, 'x');
+  big[12345] = 'y';
+  const std::string wire = frame_of(big);
+  std::string payload;
+  for (std::size_t off = 0; off < wire.size(); off += 8192) {
+    reader.feed(wire.data() + off, std::min<std::size_t>(8192, wire.size() - off));
+  }
+  ASSERT_TRUE(reader.next(payload));
+  EXPECT_EQ(payload, big);
+}
+
+// --- EventLoopServer -------------------------------------------------------
+
+EventLoopServer::Config loop_config() {
+  EventLoopServer::Config cfg;
+  cfg.port = 0;
+  cfg.workers = 2;
+  cfg.idle_timeout_s = 30.0;
+  return cfg;
+}
+
+EventLoopServer::Handler echo_handler() {
+  return [](std::string payload, EventLoopServer::Responder respond) {
+    respond.send("echo:" + payload);
+  };
+}
+
+TEST(EventLoopServer, EchoRoundTrips) {
+  EventLoopServer server(loop_config(), echo_handler());
+  auto ch = TcpChannel::connect("127.0.0.1", server.port(), {5, 5, 5});
+  for (int i = 0; i < 20; ++i) {
+    const std::string msg = "message-" + std::to_string(i);
+    ch->write(msg);
+    const auto reply = ch->read();
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ(*reply, "echo:" + msg);
+  }
+  ch->close();
+  server.stop();
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.frames, 20u);
+  EXPECT_EQ(stats.responses, 20u);
+  EXPECT_EQ(stats.accepted, 1u);
+}
+
+TEST(EventLoopServer, PipelinedRequestsAllAnswered) {
+  EventLoopServer server(loop_config(), echo_handler());
+  auto ch = TcpChannel::connect("127.0.0.1", server.port(), {5, 5, 5});
+  std::string burst;
+  for (int i = 0; i < 32; ++i) burst += frame_of("req-" + std::to_string(i));
+  ch->write_bytes(burst);
+  // Responses may interleave in any order (two workers), but all 32 arrive.
+  std::vector<bool> seen(32, false);
+  for (int i = 0; i < 32; ++i) {
+    const auto reply = ch->read();
+    ASSERT_TRUE(reply.has_value());
+    ASSERT_EQ(reply->rfind("echo:req-", 0), 0u) << *reply;
+    const int idx = std::stoi(reply->substr(9));
+    EXPECT_FALSE(seen[idx]);
+    seen[idx] = true;
+  }
+}
+
+TEST(EventLoopServer, ManyConcurrentClients) {
+  EventLoopServer server(loop_config(), echo_handler());
+  constexpr int kClients = 16;
+  constexpr int kRequests = 8;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      try {
+        auto ch = TcpChannel::connect("127.0.0.1", server.port(), {5, 5, 5});
+        for (int i = 0; i < kRequests; ++i) {
+          const std::string msg = std::to_string(c) + ":" + std::to_string(i);
+          ch->write(msg);
+          const auto reply = ch->read();
+          if (!reply || *reply != "echo:" + msg) {
+            ++failures;
+            return;
+          }
+        }
+      } catch (const Error&) {
+        ++failures;
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  server.stop();
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.frames, static_cast<std::uint64_t>(kClients * kRequests));
+  EXPECT_EQ(stats.responses, static_cast<std::uint64_t>(kClients * kRequests));
+}
+
+TEST(EventLoopServer, MalformedFrameClosesOnlyThatConnection) {
+  EventLoopServer server(loop_config(), echo_handler());
+  auto good = TcpChannel::connect("127.0.0.1", server.port(), {5, 5, 5});
+  auto bad = TcpChannel::connect("127.0.0.1", server.port(), {5, 5, 5});
+  bad->write_bytes("GARBAGE IN\n");
+  EXPECT_FALSE(bad->read().has_value());  // server closed it
+  good->write("still alive");
+  const auto reply = good->read();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(*reply, "echo:still alive");
+  server.stop();
+  EXPECT_EQ(server.stats().protocol_errors, 1u);
+}
+
+TEST(EventLoopServer, IdleConnectionExpires) {
+  auto cfg = loop_config();
+  cfg.idle_timeout_s = 0.3;
+  EventLoopServer server(cfg, echo_handler());
+  auto ch = TcpChannel::connect("127.0.0.1", server.port(), {5, 5, 5});
+  // Prove the connection works, then go silent.
+  ch->write("ping");
+  ASSERT_TRUE(ch->read().has_value());
+  const auto reply = ch->read();  // blocks until the server reaps us
+  EXPECT_FALSE(reply.has_value());
+  server.stop();
+  EXPECT_GE(server.stats().idle_timeouts, 1u);
+}
+
+TEST(EventLoopServer, SlowLorisIsReapedWhileHealthyClientIsServed) {
+  auto cfg = loop_config();
+  cfg.idle_timeout_s = 0.4;
+  EventLoopServer server(cfg, echo_handler());
+
+  // The attacker trickles a valid-looking header one byte per poll interval —
+  // each byte makes the socket readable, but no frame ever completes, so its
+  // idle deadline is never refreshed.
+  auto loris = TcpChannel::connect("127.0.0.1", server.port(), {5, 5, 5});
+  std::atomic<bool> loris_dead{false};
+  std::thread attacker([&] {
+    try {
+      // A megabyte frame announced, then one payload byte at a time: the
+      // frame can never complete, so the deadline set at accept stands.
+      loris->write_bytes("UUCS 1000000\n");
+      for (int i = 0; i < 600; ++i) {
+        loris->write_bytes("x");
+        std::this_thread::sleep_for(30ms);
+      }
+    } catch (const Error&) {
+      loris_dead = true;  // server closed us mid-drip
+    }
+  });
+
+  // Meanwhile a healthy client gets normal service throughout.
+  auto good = TcpChannel::connect("127.0.0.1", server.port(), {5, 5, 5});
+  for (int i = 0; i < 10; ++i) {
+    good->write("healthy-" + std::to_string(i));
+    const auto reply = good->read();
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ(*reply, "echo:healthy-" + std::to_string(i));
+    std::this_thread::sleep_for(50ms);
+  }
+  attacker.join();
+  EXPECT_TRUE(loris_dead.load());
+  server.stop();
+  EXPECT_GE(server.stats().idle_timeouts, 1u);
+  EXPECT_EQ(server.stats().protocol_errors, 0u);
+}
+
+TEST(EventLoopServer, MaxConnectionsPausesAcceptUntilACloseFreesASlot) {
+  auto cfg = loop_config();
+  cfg.max_connections = 2;
+  EventLoopServer server(cfg, echo_handler());
+
+  auto first = TcpChannel::connect("127.0.0.1", server.port(), {5, 5, 5});
+  auto second = TcpChannel::connect("127.0.0.1", server.port(), {5, 5, 5});
+  first->write("a");
+  ASSERT_TRUE(first->read().has_value());
+  second->write("b");
+  ASSERT_TRUE(second->read().has_value());
+
+  // The third connect lands in the kernel backlog; the server is at its cap
+  // and has stopped accepting, so the request gets no response.
+  auto third = TcpChannel::connect("127.0.0.1", server.port(), {5, 0.4, 5});
+  third->write("c");
+  EXPECT_THROW(third->read(), TimeoutError);
+
+  // Freeing a slot resumes accepting; the backlogged connection (its request
+  // already sent) is served.
+  first->close();
+  third->set_deadlines({5, 5, 5});
+  const auto reply = third->read();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(*reply, "echo:c");
+
+  server.stop();
+  EXPECT_GE(server.stats().accept_pauses, 1u);
+  EXPECT_LE(server.stats().max_open_connections, 2u);
+}
+
+TEST(EventLoopServer, LateResponderAfterDisconnectIsDropped) {
+  std::atomic<int> handled{0};
+  EventLoopServer::Handler slow = [&](std::string payload,
+                                      EventLoopServer::Responder respond) {
+    ++handled;
+    std::this_thread::sleep_for(200ms);
+    respond.send("late:" + payload);  // connection is long gone
+  };
+  EventLoopServer server(loop_config(), std::move(slow));
+  {
+    auto ch = TcpChannel::connect("127.0.0.1", server.port(), {5, 5, 5});
+    ch->write("doomed");
+    ch->close();
+  }
+  // The late send must neither crash nor leak into another connection.
+  ASSERT_TRUE(server.wait_connections_drained(5.0));
+  std::this_thread::sleep_for(300ms);
+  auto ch = TcpChannel::connect("127.0.0.1", server.port(), {5, 5, 5});
+  ch->write("fresh");
+  const auto reply = ch->read();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(*reply, "late:fresh");
+  EXPECT_GE(handled.load(), 2);
+}
+
+TEST(EventLoopServer, StopWithOpenConnectionsShutsDownCleanly) {
+  auto server = std::make_unique<EventLoopServer>(loop_config(), echo_handler());
+  auto ch = TcpChannel::connect("127.0.0.1", server->port(), {5, 5, 5});
+  ch->write("hello");
+  ASSERT_TRUE(ch->read().has_value());
+  server->stop();
+  EXPECT_FALSE(ch->read().has_value());  // closed by shutdown
+  server.reset();
+}
+
+}  // namespace
+}  // namespace uucs

@@ -2,39 +2,52 @@
 /// listens for client registrations and hot syncs over TCP, and persists
 /// durably. Ctrl-C (SIGINT/SIGTERM) shuts it down cleanly.
 ///
-/// Durability: every accepted result and registration is appended to an
-/// fsync'd journal (DIR/server.journal) before the response leaves, and the
-/// full text-store snapshot is written every --snapshot-every requests (and
-/// at shutdown). A crash between snapshots replays the journal on restart,
-/// so acknowledged data is never lost — without rewriting the whole store
-/// on every request.
+/// Ingest plane (DESIGN.md §13): a single epoll event loop owns every
+/// socket, a fixed worker pool runs the requests against a sharded store,
+/// and durability goes through a group-commit journal — concurrent acks
+/// share one buffered write + one fsync, so ten thousand syncing clients do
+/// not mean ten thousand fsyncs. Acknowledged data is still durable before
+/// the response leaves, and a crash between snapshots replays the journal
+/// (DIR/server.journal) on restart.
 ///
 /// Usage: uucs_server [--port P] [--dir STATE_DIR] [--testcases FILE]
 ///                    [--batch N] [--seed-suite] [--snapshot-every N]
-///                    [--idle-timeout SECONDS]
+///                    [--idle-timeout SECONDS] [--workers N] [--shards N]
+///                    [--max-connections N] [--group-commit-max N]
+///                    [--group-commit-wait-us N]
 ///
-///   --dir            state directory (testcases/results/registrations .txt
-///                    plus server.journal)
-///   --testcases      merge an additional testcase file into the catalog
-///   --seed-suite     generate the 2000+ Internet suite into an empty catalog
-///   --batch          testcases handed out per hot sync (default 16)
-///   --snapshot-every full snapshot cadence in requests (default 64)
-///   --idle-timeout   per-connection read deadline in seconds (default 900,
-///                    0 = block forever); a stalled or idle peer is dropped
-///                    after this long and reconnects on its next sync
+///   --dir                  state directory (testcases/results/registrations
+///                          .txt plus server.journal)
+///   --testcases            merge an additional testcase file into the catalog
+///   --seed-suite           generate the 2000+ Internet suite into an empty
+///                          catalog
+///   --batch                testcases handed out per hot sync (default 16)
+///   --snapshot-every       full snapshot cadence in accepted journal entries
+///                          (default 4096)
+///   --idle-timeout         seconds without a complete request before a
+///                          connection is dropped (default 900, 0 = never);
+///                          partial frames do not count, so a slow-loris peer
+///                          cannot hold a socket open by trickling bytes
+///   --workers              request-handler threads (default 2)
+///   --shards               independently locked state shards (default 4)
+///   --max-connections      open-connection cap; accept pauses at the cap and
+///                          resumes as connections close (default 8192)
+///   --group-commit-max     journal entries that force a batch to commit
+///                          immediately (default 512)
+///   --group-commit-wait-us microseconds the committer lingers for stragglers
+///                          before fsyncing a non-full batch (default 500)
 
 #include <csignal>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
-#include <vector>
 
-#include "server/net.hpp"
+#include "server/ingest.hpp"
 #include "testcase/suite.hpp"
 #include "util/error.hpp"
 #include "util/fs.hpp"
@@ -43,29 +56,18 @@
 namespace {
 
 std::atomic<bool> g_shutdown{false};
-uucs::TcpListener* g_listener = nullptr;
 
-void on_signal(int) {
-  g_shutdown.store(true);
-  if (g_listener) g_listener->shutdown();
-}
+void on_signal(int) { g_shutdown.store(true); }
 
 [[noreturn]] void usage() {
   std::fprintf(stderr,
                "usage: uucs_server [--port P] [--dir DIR] [--testcases FILE] "
                "[--batch N] [--seed-suite] [--snapshot-every N] "
-               "[--idle-timeout S]\n");
+               "[--idle-timeout S] [--workers N] [--shards N] "
+               "[--max-connections N] [--group-commit-max N] "
+               "[--group-commit-wait-us N]\n");
   std::exit(2);
 }
-
-/// One accepted connection: its channel (shared with the serving thread so
-/// shutdown can unblock a read the thread is parked in) and a done flag the
-/// accept loop uses to reap finished threads.
-struct Connection {
-  std::shared_ptr<uucs::TcpChannel> channel;
-  std::shared_ptr<std::atomic<bool>> done;
-  std::thread thread;
-};
 
 }  // namespace
 
@@ -75,9 +77,11 @@ int main(int argc, char** argv) {
   std::string dir = "uucs_server_state";
   std::string extra_testcases;
   std::size_t batch = 16;
-  std::size_t snapshot_every = 64;
-  double idle_timeout = 900.0;
+  std::size_t shards = 4;
   bool seed_suite = false;
+  IngestServer::Config config;
+  config.snapshot_every = 4096;
+  config.loop.idle_timeout_s = 900.0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> std::string {
@@ -95,26 +99,42 @@ int main(int argc, char** argv) {
     } else if (arg == "--seed-suite") {
       seed_suite = true;
     } else if (arg == "--snapshot-every") {
-      snapshot_every = std::stoul(next());
-      if (snapshot_every == 0) usage();
+      config.snapshot_every = std::stoul(next());
+      if (config.snapshot_every == 0) usage();
     } else if (arg == "--idle-timeout") {
-      idle_timeout = std::stod(next());
-      if (idle_timeout < 0) usage();
+      config.loop.idle_timeout_s = std::stod(next());
+      if (config.loop.idle_timeout_s < 0) usage();
+    } else if (arg == "--workers") {
+      config.loop.workers = std::stoul(next());
+      if (config.loop.workers == 0) usage();
+    } else if (arg == "--shards") {
+      shards = std::stoul(next());
+      if (shards == 0) usage();
+    } else if (arg == "--max-connections") {
+      config.loop.max_connections = std::stoul(next());
+      if (config.loop.max_connections == 0) usage();
+    } else if (arg == "--group-commit-max") {
+      config.commit.max_batch_entries = std::stoul(next());
+      if (config.commit.max_batch_entries == 0) usage();
+    } else if (arg == "--group-commit-wait-us") {
+      config.commit.max_wait_us = static_cast<std::uint32_t>(std::stoul(next()));
     } else {
       usage();
     }
   }
+  config.loop.port = port;
+  config.state_dir = dir;
 
   // Load or initialize state.
   std::unique_ptr<UucsServer> server;
   if (path_exists(dir + "/testcases.txt")) {
-    server = std::make_unique<UucsServer>(UucsServer::load(dir));
+    server = std::make_unique<UucsServer>(UucsServer::load(dir, 1, shards));
     std::printf("loaded state from %s: %zu testcases, %zu results, %zu clients\n",
                 dir.c_str(), server->testcases().size(), server->results().size(),
                 server->client_count());
   } else {
     server = std::make_unique<UucsServer>(
-        static_cast<std::uint64_t>(::getpid()) * 2654435761u, batch);
+        static_cast<std::uint64_t>(::getpid()) * 2654435761u, batch, shards);
     std::printf("fresh state in %s\n", dir.c_str());
   }
   if (!extra_testcases.empty()) {
@@ -136,78 +156,28 @@ int main(int argc, char** argv) {
     std::printf("replayed %zu journal entries from a previous crash\n", replayed);
   }
 
-  TcpListener listener(port);
-  g_listener = &listener;
+  IngestServer ingest(*server, config);
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);
-  std::printf("uucs_server listening on 127.0.0.1:%u (Ctrl-C to stop)\n",
-              listener.port());
+  std::printf(
+      "uucs_server listening on 127.0.0.1:%u "
+      "(%zu workers, %zu shards, %zu max connections; Ctrl-C to stop)\n",
+      ingest.port(), config.loop.workers, shards, config.loop.max_connections);
 
-  std::mutex server_mu;  // one server object, many connection threads
-  std::size_t requests_since_snapshot = 0;
-  std::vector<Connection> connections;  // touched by the accept thread only
-  const auto reap_finished = [&connections] {
-    for (auto it = connections.begin(); it != connections.end();) {
-      if (it->done->load(std::memory_order_acquire)) {
-        it->thread.join();
-        it = connections.erase(it);
-      } else {
-        ++it;
-      }
-    }
-  };
-  for (;;) {
-    std::unique_ptr<TcpChannel> conn;
-    try {
-      conn = listener.accept();
-    } catch (const Error& e) {
-      log_warn("server", std::string("accept failed: ") + e.what());
-      continue;
-    }
-    if (!conn) break;  // intentional shutdown
-    reap_finished();
-    // A peer that stalls mid-frame or sits idle past the deadline is
-    // dropped instead of pinning this thread forever; a healthy client's
-    // retry layer transparently reconnects on its next sync.
-    conn->set_deadlines({0, idle_timeout, 60.0});
-    Connection c;
-    c.channel = std::shared_ptr<TcpChannel>(std::move(conn));
-    c.done = std::make_shared<std::atomic<bool>>(false);
-    c.thread = std::thread([&server, &server_mu, &dir, snapshot_every,
-                            &requests_since_snapshot, channel = c.channel,
-                            done = c.done]() mutable {
-      try {
-        while (const auto request = channel->read()) {
-          std::string response;
-          {
-            std::lock_guard<std::mutex> lock(server_mu);
-            response = dispatch_request(*server, *request);
-            // Accepted data is already in the fsync'd journal; the full
-            // snapshot (which rewrites every store) only runs periodically.
-            if (++requests_since_snapshot >= snapshot_every) {
-              server->save(dir);
-              requests_since_snapshot = 0;
-            }
-          }
-          channel->write(response);
-        }
-      } catch (const Error& e) {
-        // A torn or timed-out connection ends this session, not the server.
-        log_warn("server", std::string("connection dropped: ") + e.what());
-      }
-      done->store(true, std::memory_order_release);
-    });
-    connections.push_back(std::move(c));
+  while (!g_shutdown.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
 
-  // Unblock any thread parked in read() on a live connection, then join —
-  // Ctrl-C must never hang behind an idle peer.
-  for (auto& c : connections) c.channel->shutdown_rw();
-  for (auto& c : connections) c.thread.join();
-  {
-    std::lock_guard<std::mutex> lock(server_mu);
-    server->save(dir);
-  }
-  std::printf("shut down; state saved under %s\n", dir.c_str());
+  // Orderly shutdown: stop the loop, drain the committer (everything queued
+  // becomes durable), then take a final full snapshot.
+  ingest.stop();
+  server->save(dir);
+  const EventLoopStats stats = ingest.loop_stats();
+  std::printf(
+      "shut down; state saved under %s "
+      "(%llu connections served, %llu requests, %llu idle timeouts)\n",
+      dir.c_str(), static_cast<unsigned long long>(stats.accepted),
+      static_cast<unsigned long long>(stats.frames),
+      static_cast<unsigned long long>(stats.idle_timeouts));
   return 0;
 }

@@ -60,6 +60,8 @@ std::size_t UucsClient::hot_sync(ServerApi& server) {
   ensure_registered(server);
   SyncRequest request;
   request.guid = guid_;
+  request.protocol_version = static_cast<std::uint32_t>(
+      config_.protocol_version < 1 ? 1 : config_.protocol_version);
   request.sync_seq = sync_seq_ + 1;
   request.known_testcase_ids = testcases_.ids();
   // Copies, not a drain: pending records stay queued until the server acks
@@ -74,6 +76,10 @@ std::size_t UucsClient::hot_sync(ServerApi& server) {
   }
   const SyncResponse response = server.hot_sync(request);
   sync_seq_ = request.sync_seq;
+  last_server_protocol_ = response.protocol_version;
+  if (response.protocol_version >= 2) {
+    last_server_generation_ = response.server_generation;
+  }
   if (!request.results.empty()) {
     pending_results_.remove_ids(response.stored_run_ids);
     // Records without a run_id cannot be acked individually; they keep the

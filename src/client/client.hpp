@@ -28,6 +28,10 @@ struct ClientConfig {
   double retry_base_delay_s = 0.5;  ///< backoff floor between attempts
   double retry_max_delay_s = 30.0;  ///< backoff ceiling between attempts
   std::size_t journal_compact_bytes = 256 * 1024;  ///< compact journal past this
+  /// Highest wire protocol version this client speaks (protocol.hpp). The
+  /// transport may negotiate it down; mixed-fleet tests pin "old" clients
+  /// to 1.
+  int protocol_version = kProtocolVersionMax;
 };
 
 /// The UUCS client's state machine minus the live exercising: testcase and
@@ -79,6 +83,14 @@ class UucsClient {
   /// run_ids; on any failure every record stays queued for the next attempt.
   std::size_t hot_sync(ServerApi& server);
 
+  /// Server generation observed on the most recent hot sync (0 until a v2
+  /// server answers one). A bump between two syncs means a live takeover
+  /// happened under this client.
+  std::uint64_t last_server_generation() const { return last_server_generation_; }
+
+  /// Protocol version of the most recent sync response (1 until a sync).
+  std::uint32_t last_server_protocol() const { return last_server_protocol_; }
+
   /// Monotone sequence number stamped on each sync request (the server
   /// keeps the high-water mark per client). With a journal attached the
   /// advance is journaled before the request is sent, so monotonicity
@@ -126,6 +138,8 @@ class UucsClient {
   std::map<std::string, std::string> open_runs_;  ///< run_id -> testcase_id
   std::uint64_t run_serial_ = 0;
   std::uint64_t sync_seq_ = 0;
+  std::uint64_t last_server_generation_ = 0;
+  std::uint32_t last_server_protocol_ = 1;
   std::string reg_nonce_;  ///< idempotency key for this client's registration
   std::unique_ptr<Journal> journal_;
 

@@ -10,6 +10,7 @@
 #include <chrono>
 #include <cstring>
 #include <ctime>
+#include <future>
 
 #include "util/error.hpp"
 #include "util/logging.hpp"
@@ -34,6 +35,13 @@ std::uint64_t monotonic_ms() {
   ::clock_gettime(CLOCK_MONOTONIC, &ts);
   return static_cast<std::uint64_t>(ts.tv_sec) * 1000u +
          static_cast<std::uint64_t>(ts.tv_nsec) / 1000000u;
+}
+
+TcpListener make_listener(const EventLoopServer::Config& config) {
+  if (config.adopted_fd >= 0) {
+    return TcpListener(TcpListener::AdoptFd{config.adopted_fd});
+  }
+  return TcpListener(config.port, config.listen_backlog);
 }
 
 }  // namespace
@@ -104,10 +112,7 @@ void EventLoopServer::Responder::send(std::string payload) const {
     std::lock_guard<std::mutex> lock(server_->completions_mu_);
     server_->completions_.push_back({index_, generation_, std::move(payload)});
   }
-  const std::uint64_t one = 1;
-  // A full eventfd counter still leaves the loop awake; ignore the result.
-  [[maybe_unused]] const auto n =
-      ::write(server_->wake_fd_.get(), &one, sizeof(one));
+  server_->wake();
 }
 
 // ---------------------------------------------------------------------------
@@ -116,7 +121,7 @@ void EventLoopServer::Responder::send(std::string payload) const {
 EventLoopServer::EventLoopServer(Config config, Handler handler)
     : config_(config),
       handler_(std::move(handler)),
-      listener_(config.port, config.listen_backlog) {
+      listener_(make_listener(config)) {
   UUCS_CHECK_MSG(handler_ != nullptr, "event loop needs a handler");
   if (config_.workers == 0) config_.workers = 1;
   if (config_.max_connections == 0) config_.max_connections = 1;
@@ -135,7 +140,12 @@ EventLoopServer::EventLoopServer(Config config, Handler handler)
   }
 
   listener_.set_nonblocking(true);
-  arm_listener(true);
+  if (config_.start_paused) {
+    accept_paused_ = true;
+    accept_paused_flag_.store(true, std::memory_order_release);
+  } else {
+    arm_listener(true);
+  }
 
   idle_ticks_ = config_.idle_timeout_s > 0.0
                     ? static_cast<std::uint64_t>(config_.idle_timeout_s * 1000.0 / kTickMs) + 1
@@ -158,14 +168,118 @@ EventLoopServer::~EventLoopServer() { stop(); }
 
 void EventLoopServer::stop() {
   if (stopping_.exchange(true)) return;  // first caller finishes the teardown
-  const std::uint64_t one = 1;
-  [[maybe_unused]] const auto n = ::write(wake_fd_.get(), &one, sizeof(one));
+  wake();
   if (loop_thread_.joinable()) loop_thread_.join();
   listener_.shutdown();
   // Handlers still running may Responder::send() into completions_; the
   // entries are simply never drained. Joining the pool before the members
   // are destroyed keeps those sends safe.
   pool_.reset();
+}
+
+void EventLoopServer::wake() {
+  const std::uint64_t one = 1;
+  // A full eventfd counter still leaves the loop awake; ignore the result.
+  [[maybe_unused]] const auto n = ::write(wake_fd_.get(), &one, sizeof(one));
+}
+
+bool EventLoopServer::run_on_loop(std::function<void()> fn) {
+  std::shared_ptr<std::promise<void>> done;
+  {
+    std::lock_guard<std::mutex> lock(completions_mu_);
+    if (!commands_closed_) {
+      done = std::make_shared<std::promise<void>>();
+      commands_.push_back([fn = std::move(fn), done]() mutable {
+        fn();
+        done->set_value();
+      });
+    }
+  }
+  if (!done) {
+    // The loop thread has exited (or is exiting): nothing races with the
+    // connection state any more, so the command can run right here.
+    fn();
+    return false;
+  }
+  wake();
+  done->get_future().wait();
+  return true;
+}
+
+void EventLoopServer::run_commands() {
+  std::vector<std::function<void()>> batch;
+  {
+    std::lock_guard<std::mutex> lock(completions_mu_);
+    batch.swap(commands_);
+  }
+  for (auto& fn : batch) fn();
+}
+
+void EventLoopServer::pause_accept() {
+  run_on_loop([this] {
+    accept_paused_ = true;
+    accept_paused_flag_.store(true, std::memory_order_release);
+    arm_listener(false);
+  });
+}
+
+void EventLoopServer::resume_accept() {
+  run_on_loop([this] {
+    accept_paused_ = false;
+    accept_paused_flag_.store(false, std::memory_order_release);
+    // Resuming means "back to normal service" (the takeover rollback path):
+    // future connections are no longer born into a wind-down. Connections
+    // already draining finish flushing and close as promised.
+    drain_mode_ = false;
+    if (open_count_ < config_.max_connections) {
+      arm_listener(true);
+      // Connections that queued in the kernel backlog while paused never
+      // re-trigger the level-triggered listener event; pull them in now.
+      handle_accept();
+    }
+  });
+}
+
+bool EventLoopServer::accept_paused() const {
+  return accept_paused_flag_.load(std::memory_order_acquire);
+}
+
+void EventLoopServer::begin_drain() {
+  run_on_loop([this] {
+    // No early-out on an already-set flag: a second drain (e.g. a retried
+    // takeover after a rollback) must sweep connections accepted since.
+    drain_mode_ = true;
+    for (std::size_t i = 0; i < conns_.size(); ++i) {
+      Connection& c = conns_[i];
+      if (!c.open || c.draining) continue;
+      if (c.in_flight == 0 && c.out.empty()) {
+        close_connection(i, /*timed_out=*/false);
+      } else {
+        c.draining = true;
+        update_epoll(i);
+      }
+    }
+  });
+}
+
+void EventLoopServer::close_all_connections() {
+  run_on_loop([this] {
+    for (std::size_t i = 0; i < conns_.size(); ++i) {
+      if (conns_[i].open) close_connection(i, /*timed_out=*/false);
+    }
+  });
+}
+
+void EventLoopServer::wait_workers_idle() {
+  if (pool_) pool_->wait_idle();
+}
+
+void EventLoopServer::retire_listener() {
+  run_on_loop([this] {
+    arm_listener(false);
+    const int fd = listener_.release();
+    if (fd >= 0) ::close(fd);
+  });
 }
 
 void EventLoopServer::arm_listener(bool armed) {
@@ -254,6 +368,9 @@ void EventLoopServer::expire_idle(std::uint64_t now_tick) {
 // --- connection lifecycle --------------------------------------------------
 
 void EventLoopServer::handle_accept() {
+  // A pause command in this same epoll batch wins over a listener event that
+  // was already reported: newcomers stay in the kernel backlog.
+  if (accept_paused_) return;
   while (open_count_ < config_.max_connections) {
     UniqueFd client = listener_.try_accept();
     if (!client) return;
@@ -329,7 +446,8 @@ void EventLoopServer::close_connection(std::size_t index, bool timed_out) {
     stats_.open_connections = open_count_;
   }
   if (open_count_ == 0) drained_cv_.notify_all();
-  if (!listener_armed_ && open_count_ < config_.max_connections &&
+  if (!listener_armed_ && !accept_paused_ &&
+      open_count_ < config_.max_connections &&
       !stopping_.load(std::memory_order_relaxed)) {
     arm_listener(true);
   }
@@ -337,6 +455,10 @@ void EventLoopServer::close_connection(std::size_t index, bool timed_out) {
 
 void EventLoopServer::dispatch_frames(std::size_t index) {
   Connection& c = conns_[index];
+  // A draining connection completes what was dispatched but takes no new
+  // work: frames still sitting in the reassembly buffer are discarded when
+  // the connection closes.
+  if (c.draining) return;
   std::string payload;
   bool touched = false;
   try {
@@ -375,6 +497,7 @@ void EventLoopServer::dispatch_frames(std::size_t index) {
 
 void EventLoopServer::handle_readable(std::size_t index) {
   Connection& c = conns_[index];
+  if (c.draining) return;  // input is dead once the connection winds down
   char buf[65536];
   // Bound the bytes taken per event so one firehose connection cannot
   // starve the rest of the loop.
@@ -461,7 +584,7 @@ void EventLoopServer::drain_completions() {
     }
     queue_write(done.index, TcpChannel::frame(done.payload));
     if (!c.open) continue;  // queue_write may close on error
-    if (c.paused_read && c.in_flight < config_.max_pipeline) {
+    if (!c.draining && c.paused_read && c.in_flight < config_.max_pipeline) {
       c.paused_read = false;
       update_epoll(done.index);
       // Frames that arrived while the pipeline was full are still buffered.
@@ -486,6 +609,9 @@ void EventLoopServer::loop() {
       log_warn("event_loop", std::string("epoll_wait: ") + std::strerror(errno));
       break;
     }
+    // Commands (pause/drain/retire) run before the batch's events so e.g. a
+    // pause beats a listener event reported in the same epoll_wait.
+    run_commands();
     for (int i = 0; i < n; ++i) {
       const std::uint64_t tag = events[i].data.u64;
       if (tag == kWakeTag) {
@@ -521,6 +647,15 @@ void EventLoopServer::loop() {
     if (conns_[i].open) close_connection(i, /*timed_out=*/false);
   }
   arm_listener(false);
+  // Close the command queue and run any stragglers, so a run_on_loop caller
+  // blocked on its promise always completes (late callers execute inline).
+  std::vector<std::function<void()>> leftovers;
+  {
+    std::lock_guard<std::mutex> lock(completions_mu_);
+    commands_closed_ = true;
+    leftovers.swap(commands_);
+  }
+  for (auto& fn : leftovers) fn();
 }
 
 EventLoopStats EventLoopServer::stats() const {

@@ -91,6 +91,13 @@ class EventLoopServer {
     double idle_timeout_s = 30.0;    ///< close after this long without a frame
     std::size_t max_pipeline = 64;   ///< in-flight requests per connection
     int listen_backlog = 1024;
+    /// Adopt this already-listening socket instead of binding a fresh one
+    /// (-1: bind). The loop takes ownership. This is how a takeover target
+    /// inherits the live listener its predecessor passed over SCM_RIGHTS.
+    int adopted_fd = -1;
+    /// Start with accept paused (resume_accept() arms it). A takeover
+    /// target replays state and confirms the handoff before serving.
+    bool start_paused = false;
   };
 
   /// A claim ticket for one request's response. Valid until used once;
@@ -144,6 +151,50 @@ class EventLoopServer {
   /// deadline). For tests that want a quiesced server.
   bool wait_connections_drained(double timeout_s = 0.0) const;
 
+  /// Stops accepting new connections until resume_accept(). Sticky: unlike
+  /// the automatic pause at max_connections, closes do not re-arm the
+  /// listener. The listening socket stays open, so newcomers queue in the
+  /// kernel backlog instead of being refused — during a takeover they are
+  /// served by whichever process accepts next. Blocks until the loop thread
+  /// has applied it; no-op after stop().
+  void pause_accept();
+
+  /// Re-arms accept and leaves drain mode (the takeover rollback path):
+  /// connections already winding down still close once flushed, but future
+  /// accepts are served normally. Drains the kernel backlog immediately.
+  void resume_accept();
+  bool accept_paused() const;
+
+  /// Enters drain mode: every connection finishes its in-flight requests,
+  /// flushes its responses, and is then closed. Frames already buffered but
+  /// not yet dispatched are discarded — a draining server rejects new work
+  /// while completing what it accepted. New connections are unaffected
+  /// (pause_accept() first for a full quiesce). Blocks until applied;
+  /// combine with wait_connections_drained() for the full barrier.
+  void begin_drain();
+
+  /// Force-closes every open connection (stranding any in-flight responses).
+  /// The quiesce path uses this after a drain deadline: a straggler must not
+  /// be able to receive an ack after the final snapshot. Blocks until
+  /// applied.
+  void close_all_connections();
+
+  /// Blocks until every request handler submitted to the worker pool has
+  /// returned. With accept paused and all connections closed this is the
+  /// "no more journal appends" barrier.
+  void wait_workers_idle();
+
+  /// Permanently detaches the listening socket from this loop and close(2)s
+  /// our fd WITHOUT shutdown(2): a duplicate held by a takeover target (or
+  /// any SCM_RIGHTS recipient) keeps the shared socket and its backlog
+  /// alive. After this the loop only serves existing connections. Blocks
+  /// until applied.
+  void retire_listener();
+
+  /// The listening socket's fd (for SCM_RIGHTS handoff); -1 after
+  /// retire_listener().
+  int listener_fd() const { return listener_.native_handle(); }
+
  private:
   /// Per-connection state. Slots are recycled by index; `generation`
   /// increments on every reuse so stale Responders cannot touch a new
@@ -175,6 +226,9 @@ class EventLoopServer {
   static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 
   void loop();
+  bool run_on_loop(std::function<void()> fn);
+  void run_commands();
+  void wake();
   void handle_accept();
   void handle_readable(std::size_t index);
   void handle_writable(std::size_t index);
@@ -202,6 +256,9 @@ class EventLoopServer {
   std::vector<std::size_t> free_slots_;
   std::size_t open_count_ = 0;
   bool listener_armed_ = false;
+  bool accept_paused_ = false;  ///< sticky pause (loop thread only)
+  std::atomic<bool> accept_paused_flag_{false};  ///< accept_paused() snapshot
+  bool drain_mode_ = false;     ///< every connection is winding down
 
   // Hashed timer wheel: one bucket per tick, chained by slot index.
   std::vector<std::size_t> wheel_;
@@ -211,6 +268,8 @@ class EventLoopServer {
 
   std::mutex completions_mu_;
   std::vector<Completion> completions_;
+  std::vector<std::function<void()>> commands_;  ///< run_on_loop queue
+  bool commands_closed_ = false;  ///< loop exited; execute inline instead
 
   std::atomic<bool> stopping_{false};
   mutable std::mutex stats_mu_;

@@ -33,6 +33,26 @@ void IngestServer::stop() {
   committer_.reset();
 }
 
+bool IngestServer::quiesce(double drain_timeout_s) {
+  loop_->pause_accept();
+  loop_->begin_drain();
+  const bool clean = loop_->wait_connections_drained(drain_timeout_s);
+  if (!clean) {
+    // A straggler that is still mid-request must not receive an ack after
+    // the final snapshot: closing the connection strands its Responder (the
+    // generation check drops the reply), so the client retries against
+    // whoever serves next and dedup absorbs the replay.
+    loop_->close_all_connections();
+  }
+  // With accept paused and every connection closed, nothing dispatches new
+  // work; once the workers go idle, no code path can append to the journal.
+  loop_->wait_workers_idle();
+  if (committer_) committer_->flush();
+  return clean;
+}
+
+void IngestServer::resume() { loop_->resume_accept(); }
+
 GroupCommitJournal::Stats IngestServer::commit_stats() const {
   UUCS_CHECK_MSG(committer_ != nullptr, "no journal attached");
   return committer_->stats();

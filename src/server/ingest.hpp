@@ -59,6 +59,27 @@ class IngestServer {
   /// Snapshot on demand (same exclusive path as snapshot_every).
   void snapshot_now();
 
+  /// Quiesces the ingest plane for a takeover or graceful exit: stops
+  /// accepting (newcomers queue in the kernel backlog — the listening socket
+  /// stays open), drains every connection, force-closes stragglers after
+  /// `drain_timeout_s` (their un-acked requests are stranded, never acked,
+  /// and will be retried + deduplicated), waits for the worker pool to go
+  /// idle, then flushes the group-commit batch. After this returns no code
+  /// path can append to the journal until resume(). Returns true when the
+  /// drain completed without force-closing.
+  bool quiesce(double drain_timeout_s);
+
+  /// Rolls a quiesce back: resumes accepting (and serves the backlog that
+  /// queued up meanwhile). The takeover controller calls this when the new
+  /// process dies before confirming readiness.
+  void resume();
+
+  /// Blocks until everything queued at the group-commit journal is durable.
+  /// No-op without a journal.
+  void flush_commits() {
+    if (committer_) committer_->flush();
+  }
+
   EventLoopStats loop_stats() const { return loop_->stats(); }
   bool has_committer() const { return committer_ != nullptr; }
   GroupCommitJournal::Stats commit_stats() const;

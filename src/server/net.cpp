@@ -242,7 +242,24 @@ TcpListener::TcpListener(std::uint16_t port, int backlog) {
   fd_.store(fd.release(), std::memory_order_release);
 }
 
+TcpListener::TcpListener(AdoptFd adopted) {
+  UniqueFd fd(adopted.fd);
+  if (!fd) throw SystemError("adopting an invalid listener fd");
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    throw SystemError(std::string("getsockname on adopted listener: ") +
+                      std::strerror(errno));
+  }
+  port_ = ntohs(addr.sin_port);
+  fd_.store(fd.release(), std::memory_order_release);
+}
+
 TcpListener::~TcpListener() { shutdown(); }
+
+int TcpListener::release() {
+  return fd_.exchange(-1, std::memory_order_acq_rel);
+}
 
 void TcpListener::set_nonblocking(bool nonblocking) {
   const int lfd = fd_.load(std::memory_order_acquire);

@@ -111,8 +111,27 @@ class TcpChannel final : public MessageChannel {
 /// listener, so connect storms need more room than the old fixed 16.
 class TcpListener {
  public:
+  /// Tag type for the adopting constructor below, so an adopted fd cannot be
+  /// confused with a port number at a call site.
+  struct AdoptFd {
+    int fd;
+  };
+
   explicit TcpListener(std::uint16_t port = 0, int backlog = 256);
+
+  /// Adopts an externally created listening socket (e.g. one received over
+  /// SCM_RIGHTS during a live takeover). The socket must already be bound
+  /// and listening; the bound port is recovered via getsockname.
+  explicit TcpListener(AdoptFd adopted);
+
   ~TcpListener();
+
+  /// Movable so factories can choose between binding and adopting; moving a
+  /// listener another thread is using is undefined.
+  TcpListener(TcpListener&& other) noexcept
+      : fd_(other.fd_.exchange(-1, std::memory_order_acq_rel)),
+        port_(other.port_),
+        shutting_down_(other.shutting_down_.load(std::memory_order_acquire)) {}
 
   TcpListener(const TcpListener&) = delete;
   TcpListener& operator=(const TcpListener&) = delete;
@@ -141,6 +160,12 @@ class TcpListener {
   /// Unblocks accept() and closes the listening socket. Safe to call from
   /// any thread (e.g. a signal-driven shutdown path) and idempotent.
   void shutdown();
+
+  /// Releases ownership of the listening fd without shutdown(2)-ing it and
+  /// returns it (-1 if already closed). Unlike shutdown(), this never
+  /// disturbs the shared socket object, so a duplicate of the fd handed to
+  /// another process (SCM_RIGHTS) keeps accepting and keeps its backlog.
+  int release();
 
  private:
   std::atomic<int> fd_{-1};  ///< atomic: shutdown() races with accept()

@@ -1,5 +1,7 @@
 #include "server/protocol.hpp"
 
+#include <algorithm>
+
 #include "util/error.hpp"
 #include "util/logging.hpp"
 #include "util/strings.hpp"
@@ -15,23 +17,44 @@ void check_id(const std::string& id) {
   }
 }
 
+/// Strict protocol-version field parse: absent falls back to `absent`, but a
+/// present field must be a sane positive integer. The error is a typed
+/// ProtocolError (never a hang, never a ParseError that reads like a file
+/// bug) so version-skew failures are diagnosable at both ends.
+int parse_version_field(const KvRecord& head, const std::string& key, int absent) {
+  const auto raw = head.find(key);
+  if (!raw) return absent;
+  const auto v = parse_int(*raw);
+  if (!v || *v < 1 || *v > 1000000) {
+    throw ProtocolError("malformed protocol version '" + *raw + "' in [" +
+                        head.type() + "]");
+  }
+  return static_cast<int>(*v);
+}
+
 }  // namespace
 
-std::string encode_register_request(const HostSpec& host, const std::string& nonce) {
+std::string encode_register_request(const HostSpec& host, const std::string& nonce,
+                                    int protocol_version) {
   KvRecord head("register-request");
-  head.set_int("version", 1);
+  head.set_int("version", protocol_version);
   if (!nonce.empty()) head.set("nonce", nonce);
   return kv_serialize({head, host.to_record()});
 }
 
-std::string encode_register_response(const Guid& guid) {
+std::string encode_register_response(const Guid& guid, int protocol_version) {
   KvRecord head("register-response");
   head.set("guid", guid.to_string());
+  head.set_int("version", protocol_version);
   return kv_serialize({head});
 }
 
 std::string encode_sync_request(const SyncRequest& request) {
   KvRecord head("sync-request");
+  // v1 requests stay byte-identical to the pre-negotiation wire format.
+  if (request.protocol_version >= 2) {
+    head.set_int("proto", request.protocol_version);
+  }
   head.set("guid", request.guid.to_string());
   head.set_int("sync_seq", static_cast<std::int64_t>(request.sync_seq));
   for (const auto& id : request.known_testcase_ids) check_id(id);
@@ -44,6 +67,11 @@ std::string encode_sync_request(const SyncRequest& request) {
 
 std::string encode_sync_response(const SyncResponse& response) {
   KvRecord head("sync-response");
+  if (response.protocol_version >= 2) {
+    head.set_int("proto", response.protocol_version);
+    head.set_int("generation",
+                 static_cast<std::int64_t>(response.server_generation));
+  }
   head.set_int("accepted_results",
                static_cast<std::int64_t>(response.accepted_results));
   head.set_int("duplicate_results",
@@ -70,6 +98,13 @@ namespace {
 SyncRequest decode_sync_request(const std::vector<KvRecord>& records) {
   SyncRequest request;
   const KvRecord& head = records.front();
+  const int proto = parse_version_field(head, "proto", 1);
+  if (proto > kProtocolVersionMax) {
+    throw ProtocolError("unsupported sync protocol version " +
+                        std::to_string(proto) + " (this server speaks up to " +
+                        std::to_string(kProtocolVersionMax) + ")");
+  }
+  request.protocol_version = static_cast<std::uint32_t>(proto);
   request.guid = Guid::parse(head.get("guid"));
   request.sync_seq = static_cast<std::uint64_t>(head.get_int_or("sync_seq", 0));
   for (const auto& id : split(head.get_or("known", ""), ',')) {
@@ -88,6 +123,10 @@ SyncRequest decode_sync_request(const std::vector<KvRecord>& records) {
 SyncResponse decode_sync_response(const std::vector<KvRecord>& records) {
   SyncResponse response;
   const KvRecord& head = records.front();
+  response.protocol_version =
+      static_cast<std::uint32_t>(parse_version_field(head, "proto", 1));
+  response.server_generation =
+      static_cast<std::uint64_t>(head.get_int_or("generation", 0));
   response.accepted_results =
       static_cast<std::size_t>(head.get_int("accepted_results"));
   response.duplicate_results =
@@ -122,11 +161,17 @@ std::string dispatch_impl(UucsServer& server, const std::string& request,
     const std::string& op = records.front().type();
     if (op == "register-request") {
       if (records.size() < 2) return encode_error("register request missing host");
+      // Version negotiation: answer the highest version both sides speak. A
+      // client newer than us simply gets our ceiling back; a malformed
+      // version is a typed ProtocolError answered as [error], never a hang.
+      const int requested =
+          parse_version_field(records.front(), "version", kProtocolVersionMin);
+      const int negotiated = std::min(requested, kProtocolVersionMax);
       const HostSpec host = HostSpec::from_record(records[1]);
       const Guid guid = server.register_client(host, clock ? clock->now() : 0.0,
                                                records.front().get_or("nonce", ""),
                                                journal_out);
-      return encode_register_response(guid);
+      return encode_register_response(guid, negotiated);
     }
     if (op == "sync-request") {
       const SyncRequest req = decode_sync_request(records);
@@ -168,7 +213,8 @@ std::string RemoteServerApi::round_trip(const std::string& request) {
 }
 
 Guid RemoteServerApi::register_client(const HostSpec& host, const std::string& nonce) {
-  const auto records = kv_parse(round_trip(encode_register_request(host, nonce)));
+  const auto records = kv_parse(
+      round_trip(encode_register_request(host, nonce, requested_version_)));
   if (records.empty()) throw ProtocolError("empty register response");
   if (records.front().type() == "error") {
     throw Error("server error: " + records.front().get("message"));
@@ -176,11 +222,24 @@ Guid RemoteServerApi::register_client(const HostSpec& host, const std::string& n
   if (records.front().type() != "register-response") {
     throw ProtocolError("unexpected response [" + records.front().type() + "]");
   }
+  // A pre-negotiation server answers without a version key: that IS the
+  // answer ("I speak v1"), so the common version is the min of both sides.
+  const int answered =
+      parse_version_field(records.front(), "version", kProtocolVersionMin);
+  negotiated_version_ = std::min(requested_version_, answered);
   return Guid::parse(records.front().get("guid"));
 }
 
 SyncResponse RemoteServerApi::hot_sync(const SyncRequest& request) {
-  const auto records = kv_parse(round_trip(encode_sync_request(request)));
+  // Encode at the lower of what the caller asked for and what the server
+  // negotiated: a caller that left the default 1 keeps the exact pre-v2
+  // bytes, and nobody ever sends a version the server would reject.
+  SyncRequest req = request;
+  const int asked =
+      request.protocol_version == 0 ? 1 : static_cast<int>(request.protocol_version);
+  req.protocol_version =
+      static_cast<std::uint32_t>(std::min(negotiated_version_, asked));
+  const auto records = kv_parse(round_trip(encode_sync_request(req)));
   if (records.empty()) throw ProtocolError("empty sync response");
   if (records.front().type() == "error") {
     throw Error("server error: " + records.front().get("message"));
@@ -188,7 +247,11 @@ SyncResponse RemoteServerApi::hot_sync(const SyncRequest& request) {
   if (records.front().type() != "sync-response") {
     throw ProtocolError("unexpected response [" + records.front().type() + "]");
   }
-  return decode_sync_response(records);
+  SyncResponse response = decode_sync_response(records);
+  if (response.protocol_version >= 2) {
+    last_generation_ = response.server_generation;
+  }
+  return response;
 }
 
 }  // namespace uucs

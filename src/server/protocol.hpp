@@ -57,12 +57,25 @@ class MessageChannel {
   virtual void close() = 0;
 };
 
+/// Wire protocol versions this build speaks. v1 is the original
+/// register/sync exchange; v2 additionally echoes the version (`proto`) and
+/// carries the server generation on sync responses, so a client can observe
+/// a live takeover rollout. Negotiation is per-connectionless: the register
+/// request carries the client's highest version, the response answers the
+/// highest version both sides speak, and every sync request then states the
+/// version it is encoded in (absent = 1). v2 only *adds* optional keys, so
+/// either side may be older without breaking the other mid-rollout.
+constexpr int kProtocolVersionMin = 1;
+constexpr int kProtocolVersionMax = 2;
+
 /// Wire codec: messages are the library's key-value text format, with the
 /// record type of the first record naming the operation
 /// (register-request/-response, sync-request/-response, error).
 std::string encode_register_request(const HostSpec& host,
-                                    const std::string& nonce = "");
-std::string encode_register_response(const Guid& guid);
+                                    const std::string& nonce = "",
+                                    int protocol_version = kProtocolVersionMax);
+std::string encode_register_response(const Guid& guid,
+                                     int protocol_version = kProtocolVersionMin);
 std::string encode_sync_request(const SyncRequest& request);
 std::string encode_sync_response(const SyncResponse& response);
 std::string encode_error(const std::string& message);
@@ -98,14 +111,35 @@ void serve_channel(UucsServer& server, MessageChannel& channel, Clock* clock = n
 /// ProtocolError on malformed responses and Error on [error] replies.
 class RemoteServerApi final : public ServerApi {
  public:
-  explicit RemoteServerApi(MessageChannel& channel) : channel_(channel) {}
+  /// `protocol_version` is the highest version this client speaks (an old
+  /// client pins it to 1 in mixed-fleet tests). Until the server answers a
+  /// register, syncs optimistically use it — safe because newer versions
+  /// only add keys an older server ignores.
+  explicit RemoteServerApi(MessageChannel& channel,
+                           int protocol_version = kProtocolVersionMax)
+      : channel_(channel),
+        requested_version_(protocol_version),
+        negotiated_version_(protocol_version) {}
 
   Guid register_client(const HostSpec& host, const std::string& nonce = "") override;
   SyncResponse hot_sync(const SyncRequest& request) override;
 
+  /// Version agreed at the last register (or the optimistic default).
+  int negotiated_version() const { return negotiated_version_; }
+  /// Carries a prior negotiation across a reconnect (RetryingServerApi
+  /// rebuilds this object per connection).
+  void set_negotiated_version(int v) { negotiated_version_ = v; }
+
+  /// Server generation from the last v2 sync response (0 before one, and
+  /// forever 0 against a v1 server).
+  std::uint64_t last_server_generation() const { return last_generation_; }
+
  private:
   std::string round_trip(const std::string& request);
   MessageChannel& channel_;
+  int requested_version_;
+  int negotiated_version_;
+  std::uint64_t last_generation_ = 0;
 };
 
 }  // namespace uucs

@@ -25,7 +25,10 @@ MessageChannel& RetryingServerApi::channel() {
     ++connects_;
     channel_ = factory_();
     UUCS_CHECK_MSG(channel_ != nullptr, "channel factory returned nullptr");
-    api_ = std::make_unique<RemoteServerApi>(*channel_);
+    api_ = std::make_unique<RemoteServerApi>(*channel_, protocol_version_);
+    // A reconnect must not forget what the server answered: mid-rollout the
+    // negotiated version is the contract, not our optimistic maximum.
+    api_->set_negotiated_version(std::min(negotiated_version_, protocol_version_));
   }
   return *channel_;
 }
@@ -80,12 +83,19 @@ Guid RetryingServerApi::register_client(const HostSpec& host,
   // Every attempt carries the same nonce: if the server registered us but
   // the response was lost, the retry resolves to the existing GUID instead
   // of leaking an orphan registration.
-  return with_retries("register",
-                      [&] { return api_->register_client(host, nonce); });
+  return with_retries("register", [&] {
+    const Guid guid = api_->register_client(host, nonce);
+    negotiated_version_ = api_->negotiated_version();
+    return guid;
+  });
 }
 
 SyncResponse RetryingServerApi::hot_sync(const SyncRequest& request) {
-  return with_retries("hot sync", [&] { return api_->hot_sync(request); });
+  return with_retries("hot sync", [&] {
+    SyncResponse response = api_->hot_sync(request);
+    last_generation_ = api_->last_server_generation();
+    return response;
+  });
 }
 
 }  // namespace uucs

@@ -48,6 +48,16 @@ class RetryingServerApi final : public ServerApi {
   /// Drops the current connection; the next operation reconnects.
   void disconnect();
 
+  /// Highest wire protocol version this client speaks (default: the
+  /// build's maximum; mixed-fleet tests pin an "old" client to 1). Takes
+  /// effect from the next connection.
+  void set_protocol_version(int v) { protocol_version_ = v; }
+  /// Version negotiated with the server, carried across reconnects.
+  int negotiated_version() const { return negotiated_version_; }
+  /// Server generation observed on the last v2 sync response — bumps by one
+  /// when a live takeover happens under this client.
+  std::uint64_t last_server_generation() const { return last_generation_; }
+
   std::size_t connects() const { return connects_; }  ///< factory invocations
   std::size_t retries() const { return retries_; }    ///< failed attempts retried
   const std::vector<double>& backoff_delays() const { return delays_; }
@@ -64,6 +74,9 @@ class RetryingServerApi final : public ServerApi {
   Rng jitter_;
   std::unique_ptr<MessageChannel> channel_;
   std::unique_ptr<RemoteServerApi> api_;
+  int protocol_version_ = kProtocolVersionMax;
+  int negotiated_version_ = kProtocolVersionMax;
+  std::uint64_t last_generation_ = 0;
   std::size_t connects_ = 0;
   std::size_t retries_ = 0;
   double prev_delay_ = 0.0;

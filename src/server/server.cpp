@@ -62,6 +62,7 @@ UucsServer::UucsServer(UucsServer&& other) noexcept
       reg_nonces_(std::move(other.reg_nonces_)),
       sample_batch_(other.sample_batch_),
       journal_(std::move(other.journal_)),
+      generation_(other.generation_.load(std::memory_order_relaxed)),
       merged_results_(std::move(other.merged_results_)),
       merged_version_(other.merged_version_),
       results_version_(other.results_version_.load(std::memory_order_relaxed)) {}
@@ -73,6 +74,8 @@ UucsServer& UucsServer::operator=(UucsServer&& other) noexcept {
     reg_nonces_ = std::move(other.reg_nonces_);
     sample_batch_ = other.sample_batch_;
     journal_ = std::move(other.journal_);
+    generation_.store(other.generation_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
     merged_results_ = std::move(other.merged_results_);
     merged_version_ = other.merged_version_;
     results_version_.store(other.results_version_.load(std::memory_order_relaxed),
@@ -228,6 +231,9 @@ SyncResponse UucsServer::hot_sync(const SyncRequest& request,
                                   std::vector<std::string>* journal_out) {
   Shard& shard = shard_of(request.guid);
   SyncResponse response;
+  response.protocol_version =
+      request.protocol_version == 0 ? 1 : request.protocol_version;
+  response.server_generation = generation();
   std::vector<std::string> journal_entries;
   {
     std::lock_guard shard_lock(shard.mu);

@@ -36,6 +36,9 @@ struct SyncRequest {
   std::uint64_t sync_seq = 0;  ///< client-monotone sync counter (retries reuse it)
   std::vector<std::string> known_testcase_ids;  ///< already downloaded
   std::vector<RunRecord> results;               ///< new results to upload
+  /// Wire protocol version this request is encoded in (see protocol.hpp);
+  /// 1 on the wire when the key is absent, so old clients need no change.
+  std::uint32_t protocol_version = 1;
 };
 
 /// What the server returns from a hot sync.
@@ -48,6 +51,12 @@ struct SyncResponse {
   /// retry after a lost response exactly-once.
   std::vector<std::string> stored_run_ids;
   std::size_t server_testcase_count = 0;
+  /// Version the response is encoded in: mirrors the request's (a v1
+  /// request gets a byte-identical v1 response).
+  std::uint32_t protocol_version = 1;
+  /// Server generation (bumped per live takeover); meaningful — and on the
+  /// wire — only at protocol v2.
+  std::uint64_t server_generation = 0;
 };
 
 /// The UUCS server (§2): holds the master testcase store, collects results,
@@ -169,6 +178,17 @@ class UucsServer {
   static UucsServer load(const std::string& dir, std::uint64_t seed = 1,
                          std::size_t shard_count = 1);
 
+  /// Server generation: bumped by one at every live takeover, so clients
+  /// (and the `uucsctl upgrade` verifier) can observe a rollout happening.
+  /// In-memory only — a restart from disk starts back at 0, which is fine
+  /// because the generation orders *handoffs*, not persisted state.
+  std::uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+  void set_generation(std::uint64_t g) {
+    generation_.store(g, std::memory_order_release);
+  }
+
  private:
   /// One independently locked slice of the mutable per-client state.
   struct Shard {
@@ -199,6 +219,8 @@ class UucsServer {
   std::size_t sample_batch_;
   std::unique_ptr<Journal> journal_;
   mutable std::mutex journal_mu_;  ///< serializes blocking appends
+
+  std::atomic<std::uint64_t> generation_{0};
 
   /// Merged results() view for shard_count > 1.
   mutable std::mutex merged_mu_;

@@ -307,6 +307,142 @@ TEST(EventLoopServer, LateResponderAfterDisconnectIsDropped) {
   EXPECT_GE(handled.load(), 2);
 }
 
+// --- takeover primitives: adoption, pause/resume, drain ---------------------
+
+TEST(EventLoopServer, AdoptsExternallyCreatedListener) {
+  // The takeover path hands the loop an already-bound, already-listening
+  // socket. The loop must serve on it and report the recovered port.
+  TcpListener external(0, 16);
+  const std::uint16_t port = external.port();
+  auto cfg = loop_config();
+  cfg.adopted_fd = external.release();
+  EventLoopServer server(cfg, echo_handler());
+  EXPECT_EQ(server.port(), port);
+
+  auto ch = TcpChannel::connect("127.0.0.1", port, {5, 5, 5});
+  ch->write("adopted");
+  const auto reply = ch->read();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(*reply, "echo:adopted");
+}
+
+TEST(EventLoopServer, StartPausedQueuesConnectionsUntilResume) {
+  auto cfg = loop_config();
+  cfg.start_paused = true;
+  EventLoopServer server(cfg, echo_handler());
+  EXPECT_TRUE(server.accept_paused());
+
+  // The listening socket exists, so connect succeeds — the connection just
+  // sits in the kernel backlog, unserved.
+  auto ch = TcpChannel::connect("127.0.0.1", server.port(), {5, 0.4, 5});
+  ch->write("queued");
+  EXPECT_THROW(ch->read(), TimeoutError);
+
+  server.resume_accept();
+  EXPECT_FALSE(server.accept_paused());
+  ch->set_deadlines({5, 5, 5});
+  const auto reply = ch->read();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(*reply, "echo:queued");
+}
+
+TEST(EventLoopServer, DrainCompletesInFlightClosesIdleAndRejectsNew) {
+  EventLoopServer::Handler slow = [](std::string payload,
+                                     EventLoopServer::Responder respond) {
+    std::this_thread::sleep_for(250ms);
+    respond.send("done:" + payload);
+  };
+  EventLoopServer server(loop_config(), std::move(slow));
+
+  auto busy = TcpChannel::connect("127.0.0.1", server.port(), {5, 5, 5});
+  auto idle = TcpChannel::connect("127.0.0.1", server.port(), {5, 5, 5});
+  busy->write("in-flight");
+  std::this_thread::sleep_for(100ms);  // let the request reach a worker
+
+  server.pause_accept();
+  server.begin_drain();
+
+  // The idle connection is closed at once; the busy one gets its response
+  // and then closes.
+  EXPECT_FALSE(idle->read().has_value());
+  const auto reply = busy->read();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(*reply, "done:in-flight");
+  // Frames sent after the drain began are never served: the connection is
+  // closing (or already closed), so the next read sees EOF or a reset —
+  // never another response frame.
+  try {
+    busy->write("too-late");
+    EXPECT_FALSE(busy->read().has_value());
+  } catch (const Error&) {
+    // EPIPE on the write or ECONNRESET on the read: equally dead.
+  }
+
+  // Newcomers queue in the backlog instead of being served.
+  auto late = TcpChannel::connect("127.0.0.1", server.port(), {5, 0.4, 5});
+  late->write("nobody-home");
+  EXPECT_THROW(late->read(), TimeoutError);
+
+  ASSERT_TRUE(server.wait_connections_drained(5.0));
+  server.wait_workers_idle();
+}
+
+TEST(EventLoopServer, ResumeAfterDrainRestoresNormalService) {
+  // The takeover rollback path: pause + drain, successor dies, resume. The
+  // backlog that accumulated while paused is served, and fresh connections
+  // are no longer born draining.
+  EventLoopServer server(loop_config(), echo_handler());
+  auto victim = TcpChannel::connect("127.0.0.1", server.port(), {5, 5, 5});
+  victim->write("v");
+  ASSERT_TRUE(victim->read().has_value());
+
+  server.pause_accept();
+  server.begin_drain();
+  EXPECT_FALSE(victim->read().has_value());  // swept by the drain
+  auto waiting = TcpChannel::connect("127.0.0.1", server.port(), {5, 5, 5});
+  waiting->write("patience");
+
+  server.resume_accept();
+  const auto reply = waiting->read();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(*reply, "echo:patience");
+
+  auto fresh = TcpChannel::connect("127.0.0.1", server.port(), {5, 5, 5});
+  for (int i = 0; i < 3; ++i) {
+    fresh->write("fresh-" + std::to_string(i));
+    const auto r = fresh->read();
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(*r, "echo:fresh-" + std::to_string(i));
+  }
+}
+
+TEST(EventLoopServer, PauseHoldsEvenWhenTheConnectionCapFreesASlot) {
+  // close_connection re-arms the listener when a slot frees under the cap —
+  // but not while an explicit pause is in force. A takeover must not start
+  // accepting again just because a client hung up.
+  auto cfg = loop_config();
+  cfg.max_connections = 1;
+  EventLoopServer server(cfg, echo_handler());
+
+  auto only = TcpChannel::connect("127.0.0.1", server.port(), {5, 5, 5});
+  only->write("a");
+  ASSERT_TRUE(only->read().has_value());
+
+  server.pause_accept();
+  only->close();  // frees the single slot while paused
+  ASSERT_TRUE(server.wait_connections_drained(5.0));
+
+  auto blocked = TcpChannel::connect("127.0.0.1", server.port(), {5, 0.4, 5});
+  blocked->write("b");
+  EXPECT_THROW(blocked->read(), TimeoutError);
+
+  server.resume_accept();
+  blocked->set_deadlines({5, 5, 5});
+  const auto reply = blocked->read();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(*reply, "echo:b");
+}
+
 TEST(EventLoopServer, StopWithOpenConnectionsShutsDownCleanly) {
   auto server = std::make_unique<EventLoopServer>(loop_config(), echo_handler());
   auto ch = TcpChannel::connect("127.0.0.1", server->port(), {5, 5, 5});

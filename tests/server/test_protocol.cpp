@@ -132,6 +132,133 @@ TEST(InProcChannel, CloseWakesReader) {
   closer.join();
 }
 
+// --- protocol version negotiation ------------------------------------------
+
+TEST(Negotiation, NewClientNewServerLandsOnV2) {
+  UucsServer server(1, 8);
+  server.set_generation(5);
+  InProcChannelPair pair;
+  std::thread server_thread([&] { serve_channel(server, pair.b()); });
+
+  RemoteServerApi api(pair.a());  // speaks up to kProtocolVersionMax
+  const Guid guid = api.register_client(HostSpec::paper_study_machine());
+  EXPECT_EQ(api.negotiated_version(), kProtocolVersionMax);
+
+  SyncRequest req;
+  req.guid = guid;
+  req.protocol_version = kProtocolVersionMax;
+  const SyncResponse resp = api.hot_sync(req);
+  EXPECT_EQ(resp.protocol_version, 2u);
+  EXPECT_EQ(resp.server_generation, 5u);
+  EXPECT_EQ(api.last_server_generation(), 5u);
+
+  pair.a().close();
+  server_thread.join();
+}
+
+TEST(Negotiation, OldClientNewServerStaysOnV1Bytes) {
+  // An old client never sends a version key; the new server must answer it
+  // in v1 with not a single new key on the sync response.
+  UucsServer server(1, 8);
+  server.set_generation(7);
+  const Guid guid = server.register_client(HostSpec::paper_study_machine());
+
+  SyncRequest req;
+  req.guid = guid;  // protocol_version defaults to 1
+  const std::string wire = encode_sync_request(req);
+  EXPECT_EQ(wire.find("proto"), std::string::npos);
+
+  const auto records = kv_parse(dispatch_request(server, wire));
+  ASSERT_EQ(records[0].type(), "sync-response");
+  EXPECT_FALSE(records[0].find("proto").has_value());
+  EXPECT_FALSE(records[0].find("generation").has_value());
+}
+
+TEST(Negotiation, NewClientOldServerFallsBackToV1) {
+  // A pre-negotiation server answers register without a version key; the
+  // client must read that as "I speak v1" and encode every later sync in v1.
+  InProcChannelPair pair;
+  std::thread old_server([&] {
+    auto request = pair.b().read();
+    ASSERT_TRUE(request.has_value());
+    KvRecord head("register-response");
+    head.set("guid", Guid{1, 2}.to_string());
+    pair.b().write(kv_serialize({head}));  // no version key
+  });
+
+  RemoteServerApi api(pair.a());
+  const Guid guid = api.register_client(HostSpec::paper_study_machine());
+  EXPECT_EQ(guid, (Guid{1, 2}));
+  EXPECT_EQ(api.negotiated_version(), 1);
+  old_server.join();
+  pair.a().close();
+}
+
+TEST(Negotiation, FutureClientVersionClampedToServerMax) {
+  UucsServer server(1);
+  const std::string request =
+      encode_register_request(HostSpec::paper_study_machine(), "", 99);
+  const auto records = kv_parse(dispatch_request(server, request));
+  ASSERT_EQ(records[0].type(), "register-response");
+  EXPECT_EQ(records[0].get_int("version"), kProtocolVersionMax);
+}
+
+TEST(Negotiation, MalformedRegisterVersionIsTypedErrorNotHang) {
+  UucsServer server(1);
+  for (const char* bad : {"banana", "-3", "0", "999999999999"}) {
+    KvRecord head("register-request");
+    head.set("version", bad);
+    const std::string request =
+        kv_serialize({head, HostSpec::paper_study_machine().to_record()});
+    const auto records = kv_parse(dispatch_request(server, request));
+    ASSERT_FALSE(records.empty()) << bad;
+    EXPECT_EQ(records[0].type(), "error") << bad;
+  }
+}
+
+TEST(Negotiation, MalformedSyncProtoIsTypedError) {
+  UucsServer server(1);
+  const Guid guid = server.register_client(HostSpec::paper_study_machine());
+  for (const char* bad : {"garbage", "-1", "0"}) {
+    KvRecord head("sync-request");
+    head.set("proto", bad);
+    head.set("guid", guid.to_string());
+    const auto records = kv_parse(dispatch_request(server, kv_serialize({head})));
+    ASSERT_FALSE(records.empty()) << bad;
+    EXPECT_EQ(records[0].type(), "error") << bad;
+  }
+}
+
+TEST(Negotiation, SyncFromTheFutureIsRejectedNotGuessed) {
+  UucsServer server(1);
+  const Guid guid = server.register_client(HostSpec::paper_study_machine());
+  KvRecord head("sync-request");
+  head.set_int("proto", kProtocolVersionMax + 1);
+  head.set("guid", guid.to_string());
+  const auto records = kv_parse(dispatch_request(server, kv_serialize({head})));
+  ASSERT_EQ(records[0].type(), "error");
+  EXPECT_NE(records[0].get("message").find("unsupported"), std::string::npos);
+}
+
+TEST(Negotiation, MalformedServerVersionThrowsProtocolError) {
+  // A garbled version field from the server side must surface as a typed
+  // ProtocolError on the client — retried by the transport, never a hang.
+  InProcChannelPair pair;
+  std::thread bad_server([&] {
+    auto request = pair.b().read();
+    ASSERT_TRUE(request.has_value());
+    KvRecord head("register-response");
+    head.set("guid", Guid{1, 2}.to_string());
+    head.set("version", "carrot");
+    pair.b().write(kv_serialize({head}));
+  });
+  RemoteServerApi api(pair.a());
+  EXPECT_THROW(api.register_client(HostSpec::paper_study_machine()),
+               ProtocolError);
+  bad_server.join();
+  pair.a().close();
+}
+
 TEST(LocalServerApi, DirectDispatch) {
   UucsServer server(1, 8);
   server.add_testcase(make_blank_testcase(120.0));

@@ -1,6 +1,8 @@
 /// The deployable UUCS server (§2): loads (or creates) its text stores,
 /// listens for client registrations and hot syncs over TCP, and persists
-/// durably. Ctrl-C (SIGINT/SIGTERM) shuts it down cleanly.
+/// durably. Ctrl-C (SIGINT/SIGTERM) shuts it down gracefully: accept stops,
+/// in-flight requests drain, the group-commit batch flushes, a final
+/// snapshot lands, and the process exits 0.
 ///
 /// Ingest plane (DESIGN.md §13): a single epoll event loop owns every
 /// socket, a fixed worker pool runs the requests against a sharded store,
@@ -10,11 +12,20 @@
 /// the response leaves, and a crash between snapshots replays the journal
 /// (DIR/server.journal) on restart.
 ///
+/// Zero-downtime upgrade (DESIGN.md §14): start the running server with
+/// --control-socket PATH, then start the new binary with --takeover PATH.
+/// The old process pauses accepting (newcomers queue in the kernel
+/// backlog), drains, flushes, snapshots, and hands the listening socket to
+/// the new process over the control socket (SCM_RIGHTS). The new process
+/// replays the state, confirms, and starts accepting on the inherited
+/// socket; the old process retires and exits 0 without another snapshot.
+///
 /// Usage: uucs_server [--port P] [--dir STATE_DIR] [--testcases FILE]
 ///                    [--batch N] [--seed-suite] [--snapshot-every N]
 ///                    [--idle-timeout SECONDS] [--workers N] [--shards N]
 ///                    [--max-connections N] [--group-commit-max N]
-///                    [--group-commit-wait-us N]
+///                    [--group-commit-wait-us N] [--control-socket PATH]
+///                    [--takeover PATH] [--drain-timeout SECONDS]
 ///
 ///   --dir                  state directory (testcases/results/registrations
 ///                          .txt plus server.journal)
@@ -36,6 +47,14 @@
 ///                          immediately (default 512)
 ///   --group-commit-wait-us microseconds the committer lingers for stragglers
 ///                          before fsyncing a non-full batch (default 500)
+///   --control-socket       unix-domain socket where a successor may request
+///                          a live takeover of this process
+///   --takeover             take over the server listening on this control
+///                          socket: inherit its listening socket, state dir,
+///                          and journal (--port/--dir are then ignored)
+///   --drain-timeout        seconds to wait for in-flight requests during a
+///                          takeover or graceful shutdown before
+///                          force-closing stragglers (default 10)
 
 #include <csignal>
 
@@ -48,6 +67,7 @@
 #include <thread>
 
 #include "server/ingest.hpp"
+#include "server/takeover.hpp"
 #include "testcase/suite.hpp"
 #include "util/error.hpp"
 #include "util/fs.hpp"
@@ -56,6 +76,7 @@
 namespace {
 
 std::atomic<bool> g_shutdown{false};
+std::atomic<bool> g_handed_off{false};
 
 void on_signal(int) { g_shutdown.store(true); }
 
@@ -65,7 +86,8 @@ void on_signal(int) { g_shutdown.store(true); }
                "[--batch N] [--seed-suite] [--snapshot-every N] "
                "[--idle-timeout S] [--workers N] [--shards N] "
                "[--max-connections N] [--group-commit-max N] "
-               "[--group-commit-wait-us N]\n");
+               "[--group-commit-wait-us N] [--control-socket PATH] "
+               "[--takeover PATH] [--drain-timeout S]\n");
   std::exit(2);
 }
 
@@ -76,8 +98,11 @@ int main(int argc, char** argv) {
   std::uint16_t port = 9120;
   std::string dir = "uucs_server_state";
   std::string extra_testcases;
+  std::string control_socket;
+  std::string takeover_path;
   std::size_t batch = 16;
   std::size_t shards = 4;
+  double drain_timeout_s = 10.0;
   bool seed_suite = false;
   IngestServer::Config config;
   config.snapshot_every = 4096;
@@ -118,9 +143,35 @@ int main(int argc, char** argv) {
       if (config.commit.max_batch_entries == 0) usage();
     } else if (arg == "--group-commit-wait-us") {
       config.commit.max_wait_us = static_cast<std::uint32_t>(std::stoul(next()));
+    } else if (arg == "--control-socket") {
+      control_socket = next();
+    } else if (arg == "--takeover") {
+      takeover_path = next();
+    } else if (arg == "--drain-timeout") {
+      drain_timeout_s = std::stod(next());
+      if (drain_timeout_s <= 0) usage();
     } else {
       usage();
     }
+  }
+
+  // Takeover startup: receive the listening socket and state cursor from the
+  // predecessor before touching any state of our own.
+  std::unique_ptr<TakeoverClient> handoff;
+  TakeoverClient::Inherited inherited;
+  if (!takeover_path.empty()) {
+    try {
+      handoff = std::make_unique<TakeoverClient>(takeover_path);
+      inherited = handoff->begin();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "takeover via %s failed: %s\n", takeover_path.c_str(),
+                   e.what());
+      return 1;
+    }
+    dir = inherited.state_dir;
+    std::printf("taking over: port %u, state %s, generation %llu\n",
+                inherited.port, dir.c_str(),
+                static_cast<unsigned long long>(inherited.generation));
   }
   config.loop.port = port;
   config.state_dir = dir;
@@ -132,6 +183,10 @@ int main(int argc, char** argv) {
     std::printf("loaded state from %s: %zu testcases, %zu results, %zu clients\n",
                 dir.c_str(), server->testcases().size(), server->results().size(),
                 server->client_count());
+  } else if (handoff) {
+    std::fprintf(stderr, "takeover: predecessor state dir %s has no snapshot\n",
+                 dir.c_str());
+    return 1;
   } else {
     server = std::make_unique<UucsServer>(
         static_cast<std::uint64_t>(::getpid()) * 2654435761u, batch, shards);
@@ -151,28 +206,100 @@ int main(int argc, char** argv) {
 
   // Crash durability: journal first, snapshot periodically.
   make_dirs(dir);
-  const std::size_t replayed = server->attach_journal(dir + "/server.journal");
+  const std::string journal_path =
+      handoff ? inherited.journal_path : dir + "/server.journal";
+  const std::size_t replayed = server->attach_journal(journal_path);
   if (replayed > 0) {
     std::printf("replayed %zu journal entries from a previous crash\n", replayed);
+  }
+  if (handoff) {
+    server->set_generation(inherited.generation);
+    config.loop.adopted_fd = inherited.listener.release();
+    config.loop.start_paused = true;
   }
 
   IngestServer ingest(*server, config);
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);
+
+  if (handoff) {
+    // Report what the replay produced; the predecessor compares against its
+    // final snapshot and aborts the handoff on any mismatch.
+    TakeoverClient::Go go = TakeoverClient::Go::kServe;
+    try {
+      go = handoff->confirm_ready(server->client_count(),
+                                  server->results().size());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "takeover: confirm failed: %s\n", e.what());
+      return 1;
+    }
+    if (go == TakeoverClient::Go::kAbort) {
+      std::fprintf(stderr,
+                   "takeover: predecessor rolled back; exiting without serving\n");
+      return 3;
+    }
+    handoff.reset();
+    ingest.resume();
+    std::printf("takeover complete: serving generation %llu\n",
+                static_cast<unsigned long long>(server->generation()));
+  }
+
+  // A successor may request a live takeover of this process at any time.
+  std::unique_ptr<TakeoverController> controller;
+  if (!control_socket.empty()) {
+    TakeoverController::Config tc;
+    tc.socket_path = control_socket;
+    tc.state_dir = dir;
+    tc.journal_path = journal_path;
+    tc.drain_timeout_s = drain_timeout_s;
+    tc.on_handed_off = [] { g_handed_off.store(true); };
+    try {
+      controller = std::make_unique<TakeoverController>(ingest, *server, tc);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "control socket %s: %s\n", control_socket.c_str(),
+                   e.what());
+      return 1;
+    }
+    std::printf("control socket at %s (takeover with: uucs_server --takeover %s)\n",
+                control_socket.c_str(), control_socket.c_str());
+  }
+
   std::printf(
       "uucs_server listening on 127.0.0.1:%u "
       "(%zu workers, %zu shards, %zu max connections; Ctrl-C to stop)\n",
       ingest.port(), config.loop.workers, shards, config.loop.max_connections);
 
-  while (!g_shutdown.load(std::memory_order_acquire)) {
+  while (!g_shutdown.load(std::memory_order_acquire) &&
+         !g_handed_off.load(std::memory_order_acquire)) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
 
-  // Orderly shutdown: stop the loop, drain the committer (everything queued
-  // becomes durable), then take a final full snapshot.
-  ingest.stop();
-  server->save(dir);
+  if (controller) controller->stop();
   const EventLoopStats stats = ingest.loop_stats();
+
+  if (g_handed_off.load(std::memory_order_acquire)) {
+    // The successor owns the state now. Snapshotting here would compact the
+    // journal underneath it — stop the plane and get out of the way.
+    ingest.stop();
+    std::printf(
+        "handed off to successor; exiting "
+        "(%llu connections served, %llu requests)\n",
+        static_cast<unsigned long long>(stats.accepted),
+        static_cast<unsigned long long>(stats.frames));
+    return 0;
+  }
+
+  // Graceful shutdown: stop accepting, drain in-flight requests (bounded),
+  // flush the group-commit batch, take a final snapshot, exit 0.
+  const bool clean = ingest.quiesce(drain_timeout_s);
+  if (!clean) {
+    std::fprintf(stderr,
+                 "drain timed out after %.1fs; force-closed stragglers "
+                 "(their un-acked requests will be retried)\n",
+                 drain_timeout_s);
+  }
+  ingest.snapshot_now();
+  ingest.stop();
   std::printf(
       "shut down; state saved under %s "
       "(%llu connections served, %llu requests, %llu idle timeouts)\n",

@@ -30,6 +30,17 @@
 ///                                              through seeded host faults
 ///                                              and verify every run ends
 ///                                              with a typed outcome
+///   uucsctl upgrade HOST PORT [--syncs N] [--interval S] [--timeout S]
+///                   [--retries N] [--no-expect-bump]
+///                                              sync continuously while an
+///                                              operator performs a live
+///                                              takeover (uucs_server
+///                                              --takeover); report the
+///                                              client-observed retries,
+///                                              worst sync latency, and
+///                                              generation bump, and verify
+///                                              exactly-once uploads across
+///                                              the handoff
 ///
 /// SPEC for `make`: ramp RESOURCE X T | step RESOURCE X T B | blank T
 /// SPEC for `chaos --schedule`: OP:KIND[,OP:KIND...], KIND one of
@@ -40,10 +51,12 @@
 /// operation index)
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "analysis/breakdown.hpp"
@@ -67,7 +80,7 @@ using namespace uucs;
 
 [[noreturn]] void usage() {
   std::fprintf(stderr,
-               "usage: uucsctl list|show|make|results|metrics|cdf|profile|suite|chaos|chaoshost ...\n"
+               "usage: uucsctl list|show|make|results|metrics|cdf|profile|suite|chaos|chaoshost|upgrade ...\n"
                "  list    STORE.txt\n"
                "  show    STORE.txt ID\n"
                "  make    STORE.txt ramp RES X T | step RES X T B | blank T\n"
@@ -100,7 +113,13 @@ using namespace uucs;
                "          (drives the real exercisers through seeded host "
                "faults —\n           ENOSPC, EIO, slow IO, memory pressure — "
                "and verifies every\n           run completes with a typed "
-               "outcome and leaks no scratch)\n");
+               "outcome and leaks no scratch)\n"
+               "  upgrade HOST PORT [--syncs N] [--interval S] [--timeout S]\n"
+               "          [--retries N] [--no-expect-bump]\n"
+               "          (syncs continuously while an operator performs a "
+               "live\n           takeover; reports client-observed retries, "
+               "worst latency,\n           and the generation bump, and "
+               "verifies exactly-once uploads)\n");
   std::exit(2);
 }
 
@@ -419,6 +438,162 @@ int cmd_chaos(const std::string& host, std::uint16_t port,
   return 0;
 }
 
+/// Client-side upgrade verifier: registers, then hot-syncs in a tight loop
+/// while an operator performs a live takeover of HOST:PORT out-of-band
+/// (uucs_server --takeover). Every sync observes the server generation
+/// (protocol v2); a bump means the successor answered. On exit the tool
+/// reports what a real client experienced across the handoff — reconnects,
+/// retried attempts, worst sync latency — and verifies every minted record
+/// is stored exactly once on the post-upgrade server.
+int cmd_upgrade(const std::string& host, std::uint16_t port,
+                const std::vector<std::string>& raw) {
+  std::size_t max_syncs = 200;
+  double interval_s = 0.05;
+  double io_timeout_s = 2.0;
+  std::size_t retries = 10;
+  bool expect_bump = true;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    auto next = [&]() -> std::string {
+      if (++i >= raw.size()) usage();
+      return raw[i];
+    };
+    if (raw[i] == "--syncs") {
+      max_syncs = std::stoul(next());
+      if (max_syncs == 0) usage();
+    } else if (raw[i] == "--interval") {
+      interval_s = std::stod(next());
+      if (interval_s < 0) usage();
+    } else if (raw[i] == "--timeout") {
+      io_timeout_s = std::stod(next());
+    } else if (raw[i] == "--retries") {
+      retries = std::stoul(next());
+      if (retries == 0) usage();
+    } else if (raw[i] == "--no-expect-bump") {
+      expect_bump = false;
+    } else {
+      usage();
+    }
+  }
+
+  RealClock clock;
+  RetryPolicy policy;
+  policy.max_attempts = retries;
+  policy.base_delay_s = 0.05;
+  policy.max_delay_s = 1.0;
+  const ChannelDeadlines deadlines{5.0, io_timeout_s, 5.0};
+  RetryingServerApi api(
+      [&] { return TcpChannel::connect(host, port, deadlines); }, clock, policy);
+
+  UucsClient client(HostSpec::detect());
+  client.ensure_registered(api);
+  std::printf("registered as %s; syncing every %.0f ms until the generation "
+              "bumps (max %zu syncs)\n",
+              client.guid().to_string().c_str(), interval_s * 1000.0, max_syncs);
+
+  std::vector<RunRecord> minted;
+  bool have_base = false, bumped = false;
+  std::uint64_t base_gen = 0, new_gen = 0;
+  double worst_ms = 0.0;
+  std::size_t completed = 0, failed_syncs = 0;
+  for (std::size_t round = 0; round < max_syncs && !bumped; ++round) {
+    RunRecord r;
+    r.run_id = client.next_run_id();
+    r.testcase_id = "upgrade-probe";
+    r.task = "upgrade";
+    r.offset_s = static_cast<double>(round);
+    minted.push_back(r);
+    client.record_result(r);
+    const auto t0 = std::chrono::steady_clock::now();
+    try {
+      client.hot_sync(api);
+    } catch (const std::exception& e) {
+      ++failed_syncs;
+      std::printf("  sync %zu failed even after retries: %s\n", round, e.what());
+      continue;
+    }
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    worst_ms = std::max(worst_ms, ms);
+    ++completed;
+    const std::uint64_t gen = client.last_server_generation();
+    if (!have_base) {
+      have_base = true;
+      base_gen = gen;
+      if (client.last_server_protocol() < 2) {
+        std::printf("  note: server answered protocol v%u — generation not "
+                    "reported, bump cannot be observed\n",
+                    client.last_server_protocol());
+      }
+    } else if (gen != base_gen) {
+      bumped = true;
+      new_gen = gen;
+      std::printf("  generation bump observed at sync %zu: %llu -> %llu "
+                  "(%.1f ms)\n",
+                  round, static_cast<unsigned long long>(base_gen),
+                  static_cast<unsigned long long>(gen), ms);
+    }
+    if (interval_s > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(interval_s));
+    }
+  }
+
+  // Drain anything a failed round left queued; dedup makes this safe.
+  for (int attempt = 0; attempt < 20 && !client.pending_results().empty();
+       ++attempt) {
+    try {
+      client.hot_sync(api);
+    } catch (const std::exception&) {
+    }
+  }
+  api.disconnect();
+
+  std::printf("client-observed: %zu/%zu syncs completed, %zu reconnects, "
+              "%zu retried attempts, worst sync latency %.1f ms\n",
+              completed, completed + failed_syncs, api.connects(),
+              api.retries(), worst_ms);
+
+  if (!client.pending_results().empty()) {
+    std::printf("FAIL: %zu records never acknowledged across the upgrade\n",
+                client.pending_results().size());
+    return 1;
+  }
+
+  // Exactly-once audit against the post-upgrade server: every record minted
+  // before, during, and after the handoff must already be stored — once.
+  auto clean = TcpChannel::connect(host, port, deadlines);
+  RemoteServerApi direct(*clean);
+  SyncRequest verify;
+  verify.guid = client.guid();
+  verify.sync_seq = client.sync_seq() + 1;
+  verify.results = minted;
+  const SyncResponse response = direct.hot_sync(verify);
+  clean->close();
+  if (response.duplicate_results != minted.size() ||
+      response.accepted_results != 0) {
+    std::printf("FAIL: server holds %zu of %zu uploads (%zu stored twice?)\n",
+                response.duplicate_results, minted.size(),
+                response.accepted_results);
+    return 1;
+  }
+
+  if (bumped) {
+    std::printf("OK: takeover generation %llu -> %llu; all %zu uploads stored "
+                "exactly once\n",
+                static_cast<unsigned long long>(base_gen),
+                static_cast<unsigned long long>(new_gen), minted.size());
+    return 0;
+  }
+  if (expect_bump) {
+    std::printf("FAIL: no takeover observed within %zu syncs\n", max_syncs);
+    return 1;
+  }
+  std::printf("OK: no takeover observed (not expected); all %zu uploads "
+              "stored exactly once\n",
+              minted.size());
+  return 0;
+}
+
 int cmd_chaoshost(const std::vector<std::string>& raw) {
   std::size_t seeds = 25;
   std::uint64_t seed_base = 1;
@@ -557,6 +732,11 @@ int main(int argc, char** argv) {
     }
     if (cmd == "chaoshost") {
       return cmd_chaoshost({argv + 2, argv + argc});
+    }
+    if (cmd == "upgrade" && argc >= 4) {
+      return cmd_upgrade(argv[2],
+                         static_cast<std::uint16_t>(std::stoul(argv[3])),
+                         {argv + 4, argv + argc});
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "uucsctl: %s\n", e.what());

@@ -513,6 +513,13 @@ int main(int argc, char** argv) {
   config.loop.idle_timeout_s = 120.0;
   config.commit.max_batch_entries = opt.commit_max;
   config.commit.max_wait_us = opt.commit_wait_us;
+  if (opt.smoke) {
+    // Overload control on, with room to spare: a healthy swarm must sail
+    // through without a single request shed (asserted below). Catches both
+    // spurious shedding and accounting leaks in the admission gate.
+    config.overload.max_queue_depth = opt.connections * 4;
+    config.overload.request_deadline_ms = 60000.0;
+  }
   IngestServer ingest(server, config);
 
   const auto t0 = BenchClock::now();
@@ -698,6 +705,23 @@ int main(int argc, char** argv) {
     if (syncs_per_s < kMinSyncsPerS) {
       std::fprintf(stderr, "SMOKE FAIL: %.1f syncs/s < %.1f floor\n",
                    syncs_per_s, kMinSyncsPerS);
+      ok = false;
+    }
+    // With the generous overload config above, a healthy swarm must never
+    // be shed — any nonzero count means the gate misfires under load.
+    const uucs::OverloadStats shed = ingest.overload_stats();
+    const std::uint64_t total_shed = shed.shed_queue + shed.shed_deadline +
+                                     shed.shed_registrations +
+                                     shed.degraded_rejects;
+    if (total_shed != 0) {
+      std::fprintf(stderr,
+                   "SMOKE FAIL: %llu requests shed (queue=%llu deadline=%llu "
+                   "reg=%llu degraded=%llu) under a healthy load\n",
+                   static_cast<unsigned long long>(total_shed),
+                   static_cast<unsigned long long>(shed.shed_queue),
+                   static_cast<unsigned long long>(shed.shed_deadline),
+                   static_cast<unsigned long long>(shed.shed_registrations),
+                   static_cast<unsigned long long>(shed.degraded_rejects));
       ok = false;
     }
     std::printf("smoke: %s\n", ok ? "PASS" : "FAIL");

@@ -115,6 +115,21 @@ void EventLoopServer::Responder::send(std::string payload) const {
   server_->wake();
 }
 
+void EventLoopServer::Responder::dismiss() const {
+  if (server_ == nullptr) return;
+  {
+    std::lock_guard<std::mutex> lock(server_->completions_mu_);
+    server_->completions_.push_back({index_, generation_, std::nullopt});
+  }
+  server_->wake();
+}
+
+double EventLoopServer::Responder::queue_age_ms() const {
+  if (server_ == nullptr) return 0.0;
+  const std::uint64_t now = monotonic_ms();
+  return now > enqueued_ms_ ? static_cast<double>(now - enqueued_ms_) : 0.0;
+}
+
 // ---------------------------------------------------------------------------
 // EventLoopServer
 
@@ -126,6 +141,7 @@ EventLoopServer::EventLoopServer(Config config, Handler handler)
   if (config_.workers == 0) config_.workers = 1;
   if (config_.max_connections == 0) config_.max_connections = 1;
   if (config_.max_pipeline == 0) config_.max_pipeline = 1;
+  max_buffered_bytes_ = config_.max_buffered_bytes;
 
   epoll_fd_.reset(::epoll_create1(EPOLL_CLOEXEC));
   if (!epoll_fd_) throw SystemError(std::string("epoll_create1: ") + std::strerror(errno));
@@ -244,6 +260,62 @@ bool EventLoopServer::accept_paused() const {
   return accept_paused_flag_.load(std::memory_order_acquire);
 }
 
+void EventLoopServer::set_max_buffered_bytes(std::size_t bytes) {
+  run_on_loop([this, bytes] {
+    max_buffered_bytes_ = bytes;
+    apply_buffer_pressure();
+  });
+}
+
+void EventLoopServer::update_buffer_accounting(std::size_t index) {
+  Connection& c = conns_[index];
+  const std::size_t share = c.open ? c.reader.buffered() + c.out_bytes : 0;
+  buffered_total_ = buffered_total_ - c.accounted_bytes + share;
+  c.accounted_bytes = share;
+  apply_buffer_pressure();
+}
+
+void EventLoopServer::apply_buffer_pressure() {
+  buffered_mirror_.store(buffered_total_, std::memory_order_relaxed);
+  if (buffered_total_ > max_buffered_seen_.load(std::memory_order_relaxed)) {
+    max_buffered_seen_.store(buffered_total_, std::memory_order_relaxed);
+  }
+  if (max_buffered_bytes_ == 0) {
+    if (!buffer_pressure_) return;
+  } else if (!buffer_pressure_) {
+    if (buffered_total_ <= max_buffered_bytes_) return;
+    // Over the cap: stop accepting and stop reading. Connections are paused
+    // lazily (handle_readable parks whoever becomes readable next); accept
+    // stops right here.
+    buffer_pressure_ = true;
+    if (listener_armed_) {
+      arm_listener(false);
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.buffer_accept_pauses;
+    }
+    return;
+  }
+  // Under pressure: release it only below the low watermark (7/8), so the
+  // boundary does not flap per event.
+  if (max_buffered_bytes_ > 0 &&
+      buffered_total_ > max_buffered_bytes_ - max_buffered_bytes_ / 8) {
+    return;
+  }
+  buffer_pressure_ = false;
+  for (const std::size_t idx : buffer_paused_) {
+    Connection& c = conns_[idx];
+    if (!c.open || !c.buffer_paused) continue;
+    c.buffer_paused = false;
+    update_epoll(idx);  // level-triggered epoll re-reports pending bytes
+  }
+  buffer_paused_.clear();
+  if (!listener_armed_ && !accept_paused_ &&
+      open_count_ < config_.max_connections &&
+      !stopping_.load(std::memory_order_relaxed)) {
+    arm_listener(true);
+  }
+}
+
 void EventLoopServer::begin_drain() {
   run_on_loop([this] {
     // No early-out on an already-set flag: a second drain (e.g. a retried
@@ -302,7 +374,7 @@ void EventLoopServer::update_epoll(std::size_t index) {
   // A draining peer already signalled EOF; keeping EPOLLRDHUP armed would
   // re-report it (level-triggered) every wait and spin the loop.
   ev.events = c.draining ? (c.want_write ? EPOLLOUT : 0u)
-                         : ((c.paused_read ? 0u : EPOLLIN) |
+                         : (((c.paused_read || c.buffer_paused) ? 0u : EPOLLIN) |
                             (c.want_write ? EPOLLOUT : 0u) | EPOLLRDHUP);
   ev.data.u64 = index;
   if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_MOD, c.fd.get(), &ev) != 0) {
@@ -370,7 +442,7 @@ void EventLoopServer::expire_idle(std::uint64_t now_tick) {
 void EventLoopServer::handle_accept() {
   // A pause command in this same epoll batch wins over a listener event that
   // was already reported: newcomers stay in the kernel backlog.
-  if (accept_paused_) return;
+  if (accept_paused_ || buffer_pressure_) return;
   while (open_count_ < config_.max_connections) {
     UniqueFd client = listener_.try_accept();
     if (!client) return;
@@ -388,9 +460,12 @@ void EventLoopServer::handle_accept() {
     c.reader = FrameReader();
     c.out.clear();
     c.out_offset = 0;
+    c.out_bytes = 0;
+    c.accounted_bytes = 0;
     c.in_flight = 0;
     c.want_write = false;
     c.paused_read = false;
+    c.buffer_paused = false;
     c.draining = false;
     c.open = true;
     c.fd = std::move(client);
@@ -436,7 +511,11 @@ void EventLoopServer::close_connection(std::size_t index, bool timed_out) {
   ++c.generation;  // strands every outstanding Responder for this slot
   c.out.clear();
   c.out_offset = 0;
+  c.out_bytes = 0;
+  c.buffer_paused = false;
   c.reader = FrameReader();
+  buffered_total_ -= c.accounted_bytes;
+  c.accounted_bytes = 0;
   free_slots_.push_back(index);
   --open_count_;
   {
@@ -446,7 +525,8 @@ void EventLoopServer::close_connection(std::size_t index, bool timed_out) {
     stats_.open_connections = open_count_;
   }
   if (open_count_ == 0) drained_cv_.notify_all();
-  if (!listener_armed_ && !accept_paused_ &&
+  apply_buffer_pressure();  // a closed firehose may release the memory cap
+  if (!listener_armed_ && !accept_paused_ && !buffer_pressure_ &&
       open_count_ < config_.max_connections &&
       !stopping_.load(std::memory_order_relaxed)) {
     arm_listener(true);
@@ -464,13 +544,15 @@ void EventLoopServer::dispatch_frames(std::size_t index) {
   try {
     while (c.in_flight < config_.max_pipeline && c.reader.next(payload)) {
       ++c.in_flight;
+      inflight_.fetch_add(1, std::memory_order_relaxed);
       touched = true;
       {
         std::lock_guard<std::mutex> lock(stats_mu_);
         ++stats_.frames;
       }
       pool_->submit([this, handler = &handler_, payload = std::move(payload),
-                     responder = Responder(this, index, c.generation)]() mutable {
+                     responder = Responder(this, index, c.generation,
+                                           monotonic_ms())]() mutable {
         (*handler)(std::move(payload), responder);
       });
       payload.clear();
@@ -498,6 +580,20 @@ void EventLoopServer::dispatch_frames(std::size_t index) {
 void EventLoopServer::handle_readable(std::size_t index) {
   Connection& c = conns_[index];
   if (c.draining) return;  // input is dead once the connection winds down
+  if (buffer_pressure_ && !c.buffer_paused) {
+    // Over the global memory cap: park this connection instead of reading.
+    // Frames already reassembled still dispatch; the kernel socket buffer
+    // holds the rest until responses drain the cap below its watermark.
+    c.buffer_paused = true;
+    buffer_paused_.push_back(index);
+    update_epoll(index);
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.buffer_read_pauses;
+    }
+    dispatch_frames(index);
+    return;
+  }
   char buf[65536];
   // Bound the bytes taken per event so one firehose connection cannot
   // starve the rest of the loop.
@@ -532,6 +628,7 @@ void EventLoopServer::handle_readable(std::size_t index) {
 
 void EventLoopServer::queue_write(std::size_t index, std::string framed) {
   Connection& c = conns_[index];
+  c.out_bytes += framed.size();
   c.out.push_back(std::move(framed));
   flush_writes(index);
 }
@@ -544,6 +641,7 @@ void EventLoopServer::flush_writes(std::size_t index) {
                              chunk.size() - c.out_offset, MSG_NOSIGNAL);
     if (n > 0) {
       c.out_offset += static_cast<std::size_t>(n);
+      c.out_bytes -= static_cast<std::size_t>(n);
       if (c.out_offset == chunk.size()) {
         c.out.pop_front();
         c.out_offset = 0;
@@ -574,22 +672,34 @@ void EventLoopServer::drain_completions() {
     batch.swap(completions_);
   }
   for (auto& done : batch) {
+    // Every completion — sent, dismissed, or stranded by a closed slot —
+    // releases one global in-flight credit (incremented at dispatch).
+    const std::size_t inflight = inflight_.load(std::memory_order_relaxed);
+    if (inflight > 0) inflight_.store(inflight - 1, std::memory_order_relaxed);
     if (done.index >= conns_.size()) continue;
     Connection& c = conns_[done.index];
     if (!c.open || c.generation != done.generation) continue;  // slot recycled
     if (c.in_flight > 0) --c.in_flight;
-    {
+    if (!done.payload) {
+      // A dismiss(): the request slot is free again but nothing is written —
+      // the shed client's read timeout is its backpressure signal.
       std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.responses;
+      ++stats_.dismissed;
+    } else {
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.responses;
+      }
+      queue_write(done.index, TcpChannel::frame(*done.payload));
+      if (!c.open) continue;  // queue_write may close on error
     }
-    queue_write(done.index, TcpChannel::frame(done.payload));
-    if (!c.open) continue;  // queue_write may close on error
     if (!c.draining && c.paused_read && c.in_flight < config_.max_pipeline) {
       c.paused_read = false;
       update_epoll(done.index);
       // Frames that arrived while the pipeline was full are still buffered.
       dispatch_frames(done.index);
     }
+    if (c.open) update_buffer_accounting(done.index);
   }
 }
 
@@ -634,6 +744,9 @@ void EventLoopServer::loop() {
       if (ev & EPOLLOUT) handle_writable(index);
       if (!conns_[index].open) continue;
       if (ev & (EPOLLIN | EPOLLRDHUP)) handle_readable(index);
+      if (index < conns_.size() && conns_[index].open) {
+        update_buffer_accounting(index);
+      }
     }
     drain_completions();
     if (idle_ticks_ > 0) expire_idle(monotonic_ms() / kTickMs);
@@ -659,8 +772,16 @@ void EventLoopServer::loop() {
 }
 
 EventLoopStats EventLoopServer::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  return stats_;
+  EventLoopStats s;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    s = stats_;
+  }
+  // Loop-thread counters, mirrored through relaxed atomics.
+  s.inflight = inflight_.load(std::memory_order_relaxed);
+  s.buffered_bytes = buffered_mirror_.load(std::memory_order_relaxed);
+  s.max_buffered_bytes_seen = max_buffered_seen_.load(std::memory_order_relaxed);
+  return s;
 }
 
 bool EventLoopServer::wait_connections_drained(double timeout_s) const {

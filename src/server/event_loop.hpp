@@ -7,6 +7,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -52,10 +53,16 @@ struct EventLoopStats {
   std::uint64_t idle_timeouts = 0;     ///< closed by the timer wheel
   std::uint64_t frames = 0;            ///< complete requests reassembled
   std::uint64_t responses = 0;         ///< responses written out
+  std::uint64_t dismissed = 0;         ///< requests released without a response
   std::uint64_t protocol_errors = 0;   ///< closed on malformed framing
   std::uint64_t accept_pauses = 0;     ///< times accept stopped at the cap
+  std::uint64_t buffer_read_pauses = 0;  ///< reads paused by the memory cap
+  std::uint64_t buffer_accept_pauses = 0;///< accept paused by the memory cap
   std::size_t open_connections = 0;    ///< currently open
   std::size_t max_open_connections = 0;///< high-water mark
+  std::size_t inflight = 0;            ///< dispatched, not yet completed
+  std::size_t buffered_bytes = 0;      ///< current global in+out buffer bytes
+  std::size_t max_buffered_bytes_seen = 0;  ///< high-water mark
 };
 
 /// Non-blocking epoll server: one loop thread owns every socket (the
@@ -98,6 +105,13 @@ class EventLoopServer {
     /// Start with accept paused (resume_accept() arms it). A takeover
     /// target replays state and confirms the handoff before serving.
     bool start_paused = false;
+    /// Global cap on buffered bytes across every connection (reassembly
+    /// buffers + queued responses). Above it the loop pauses accept and
+    /// stops reading from connections until buffers drain below 7/8 of the
+    /// cap — memory stays bounded no matter how many peers firehose at
+    /// once. 0 disables the cap. Adjustable at runtime via
+    /// set_max_buffered_bytes() (the pressure monitor shrinks it).
+    std::size_t max_buffered_bytes = 0;
   };
 
   /// A claim ticket for one request's response. Valid until used once;
@@ -112,22 +126,37 @@ class EventLoopServer {
     /// called from any thread, at most once per Responder.
     void send(std::string payload) const;
 
+    /// Releases the request slot WITHOUT responding: the connection's
+    /// pipeline credit and the server's in-flight count are returned, but
+    /// no bytes are written — the peer's read times out. This is how the
+    /// overload layer sheds pre-v3 clients (their retry timeout does the
+    /// spreading a typed busy reply would). At most once per Responder,
+    /// exclusive with send().
+    void dismiss() const;
+
+    /// Milliseconds this request has spent since the loop dispatched it to
+    /// the worker pool — the queue age the admission deadline sheds on.
+    double queue_age_ms() const;
+
     bool valid() const { return server_ != nullptr; }
 
    private:
     friend class EventLoopServer;
-    Responder(EventLoopServer* server, std::size_t index, std::uint64_t generation)
-        : server_(server), index_(index), generation_(generation) {}
+    Responder(EventLoopServer* server, std::size_t index, std::uint64_t generation,
+              std::uint64_t enqueued_ms)
+        : server_(server), index_(index), generation_(generation),
+          enqueued_ms_(enqueued_ms) {}
 
     EventLoopServer* server_ = nullptr;
     std::size_t index_ = 0;        ///< slot in conns_
     std::uint64_t generation_ = 0; ///< guards against slot reuse
+    std::uint64_t enqueued_ms_ = 0;///< dispatch timestamp (monotonic)
   };
 
   /// Handler for one complete request frame. Runs on a worker thread. Must
-  /// eventually call `respond.send(...)` exactly once (directly or from a
-  /// completion callback); not sending leaks the client's request (it will
-  /// eventually idle out).
+  /// eventually call `respond.send(...)` or `respond.dismiss()` exactly
+  /// once (directly or from a completion callback); doing neither leaks the
+  /// client's request (it will eventually idle out).
   using Handler = std::function<void(std::string payload, Responder respond)>;
 
   /// Binds and starts the loop + workers immediately.
@@ -195,6 +224,21 @@ class EventLoopServer {
   /// retire_listener().
   int listener_fd() const { return listener_.native_handle(); }
 
+  /// Requests dispatched to the worker pool and not yet completed (sent or
+  /// dismissed), across every connection. Lock-free — the admission check
+  /// reads it on every request.
+  std::size_t inflight() const { return inflight_.load(std::memory_order_relaxed); }
+
+  /// Current global buffered bytes (reassembly + queued responses).
+  std::size_t buffered_bytes() const {
+    return buffered_mirror_.load(std::memory_order_relaxed);
+  }
+
+  /// Adjusts the global buffer cap at runtime (0 disables). The pressure
+  /// monitor shrinks it when host memory runs short. Blocks until the loop
+  /// thread has applied it.
+  void set_max_buffered_bytes(std::size_t bytes);
+
  private:
   /// Per-connection state. Slots are recycled by index; `generation`
   /// increments on every reuse so stale Responders cannot touch a new
@@ -205,9 +249,12 @@ class EventLoopServer {
     FrameReader reader;
     std::deque<std::string> out;      ///< framed responses awaiting write
     std::size_t out_offset = 0;       ///< bytes of out.front() already sent
+    std::size_t out_bytes = 0;        ///< total unsent bytes across `out`
+    std::size_t accounted_bytes = 0;  ///< this connection's share of the global total
     std::size_t in_flight = 0;        ///< dispatched, not yet responded
     bool want_write = false;          ///< EPOLLOUT currently armed
     bool paused_read = false;         ///< EPOLLIN unarmed (pipeline full)
+    bool buffer_paused = false;       ///< EPOLLIN unarmed (global memory cap)
     bool open = false;
     bool draining = false;            ///< close after pending responses flush
     // Timer wheel intrusive list (slot index, or npos when unlinked).
@@ -220,7 +267,8 @@ class EventLoopServer {
   struct Completion {
     std::size_t index;
     std::uint64_t generation;
-    std::string payload;
+    /// nullopt: a dismiss() — release the slot, write nothing.
+    std::optional<std::string> payload;
   };
 
   static constexpr std::size_t npos = static_cast<std::size_t>(-1);
@@ -239,6 +287,10 @@ class EventLoopServer {
   void drain_completions();
   void update_epoll(std::size_t index);
   void arm_listener(bool armed);
+  /// Re-syncs `index`'s buffered-byte share into the global total and
+  /// applies/releases memory-cap pressure (loop thread only).
+  void update_buffer_accounting(std::size_t index);
+  void apply_buffer_pressure();
 
   // Timer wheel (loop thread only).
   void wheel_link(std::size_t index);
@@ -259,6 +311,15 @@ class EventLoopServer {
   bool accept_paused_ = false;  ///< sticky pause (loop thread only)
   std::atomic<bool> accept_paused_flag_{false};  ///< accept_paused() snapshot
   bool drain_mode_ = false;     ///< every connection is winding down
+
+  // Global buffer accounting (loop thread only, mirrored for readers).
+  std::size_t max_buffered_bytes_ = 0;   ///< 0: uncapped
+  std::size_t buffered_total_ = 0;
+  std::atomic<std::size_t> max_buffered_seen_{0};
+  bool buffer_pressure_ = false;         ///< over the cap; reads+accept paused
+  std::vector<std::size_t> buffer_paused_;  ///< connections paused by the cap
+  std::atomic<std::size_t> buffered_mirror_{0};
+  std::atomic<std::size_t> inflight_{0};  ///< updated on the loop thread only
 
   // Hashed timer wheel: one bucket per tick, chained by slot index.
   std::vector<std::size_t> wheel_;

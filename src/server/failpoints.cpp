@@ -1,0 +1,163 @@
+#include "server/failpoints.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace uucs {
+
+std::string server_fault_kind_name(ServerFaultKind kind) {
+  switch (kind) {
+    case ServerFaultKind::kNone: return "none";
+    case ServerFaultKind::kEnospc: return "enospc";
+    case ServerFaultKind::kEio: return "eio";
+    case ServerFaultKind::kSlowFsync: return "slow-fsync";
+    case ServerFaultKind::kPressure: return "pressure";
+  }
+  return "unknown";
+}
+
+ServerFaultProfile ServerFaultProfile::hostile() {
+  ServerFaultProfile p;
+  p.enospc = 0.06;
+  p.eio = 0.03;
+  p.slow_fsync = 0.06;
+  p.pressure = 0.10;
+  p.slow_fsync_s = 0.02;
+  p.pressure_available_frac = 0.02;
+  return p;
+}
+
+ServerFaultSchedule ServerFaultSchedule::none() { return ServerFaultSchedule(); }
+
+ServerFaultSchedule ServerFaultSchedule::scripted(
+    std::vector<ServerFaultAction> actions) {
+  ServerFaultSchedule s;
+  s.script_ = std::move(actions);
+  return s;
+}
+
+ServerFaultSchedule ServerFaultSchedule::seeded(std::uint64_t seed,
+                                                ServerFaultProfile profile) {
+  ServerFaultSchedule s;
+  s.seeded_ = true;
+  s.rng_ = Rng(seed);
+  s.profile_ = profile;
+  return s;
+}
+
+ServerFaultAction ServerFaultSchedule::next() {
+  const std::size_t op = ops_++;
+  if (!seeded_) {
+    if (op < script_.size()) return script_[op];
+    return ServerFaultAction{};
+  }
+  // One uniform draw per operation keeps the sequence a pure function of
+  // (seed, operation count), independent of which fault fires.
+  const double u = rng_.uniform();
+  double edge = profile_.enospc;
+  if (u < edge) return {ServerFaultKind::kEnospc, 0.0, 1.0};
+  edge += profile_.eio;
+  if (u < edge) return {ServerFaultKind::kEio, 0.0, 1.0};
+  edge += profile_.slow_fsync;
+  if (u < edge) return {ServerFaultKind::kSlowFsync, profile_.slow_fsync_s, 1.0};
+  edge += profile_.pressure;
+  if (u < edge) {
+    return {ServerFaultKind::kPressure, 0.0, profile_.pressure_available_frac};
+  }
+  return ServerFaultAction{};
+}
+
+ServerFaultSchedule parse_server_fault_schedule(const std::string& spec) {
+  std::vector<ServerFaultAction> actions;
+  for (const auto& part : split(trim(spec), ',')) {
+    if (trim(part).empty()) continue;
+    const auto fields = split(trim(part), ':');
+    if (fields.size() != 2) {
+      throw ParseError("server fault schedule entry '" + std::string(part) +
+                       "' is not OP:KIND");
+    }
+    const auto op = parse_int(fields[0]);
+    if (!op || *op < 0) {
+      throw ParseError("bad server fault operation index '" + fields[0] + "'");
+    }
+    ServerFaultAction action;
+    std::string kind = fields[1];
+    std::optional<double> value;
+    const auto eq = kind.find('=');
+    if (eq != std::string::npos) {
+      value = parse_double(kind.substr(eq + 1));
+      if (!value || *value < 0) {
+        throw ParseError("bad server fault value '" + kind.substr(eq + 1) + "'");
+      }
+      kind = kind.substr(0, eq);
+    }
+    if (kind == "enospc") {
+      action.kind = ServerFaultKind::kEnospc;
+    } else if (kind == "eio") {
+      action.kind = ServerFaultKind::kEio;
+    } else if (kind == "slow-fsync") {
+      action.kind = ServerFaultKind::kSlowFsync;
+      action.delay_s = value.value_or(0.02);
+    } else if (kind == "pressure") {
+      action.kind = ServerFaultKind::kPressure;
+      action.available_frac = value.value_or(0.02);
+      if (action.available_frac > 1.0) {
+        throw ParseError("pressure fraction must be <= 1");
+      }
+    } else {
+      throw ParseError("unknown server fault kind '" + kind + "'");
+    }
+    const auto index = static_cast<std::size_t>(*op);
+    if (actions.size() <= index) actions.resize(index + 1);
+    actions[index] = action;
+  }
+  return ServerFaultSchedule::scripted(std::move(actions));
+}
+
+void ServerFailpoints::arm(ServerFaultSchedule schedule) {
+  std::lock_guard<std::mutex> lock(mu_);
+  schedule_ = std::move(schedule);
+  armed_.store(true, std::memory_order_release);
+}
+
+void ServerFailpoints::disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.store(false, std::memory_order_release);
+}
+
+ServerFaultAction ServerFailpoints::on_journal_batch() {
+  if (!armed_.load(std::memory_order_relaxed)) return {};
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!armed_.load(std::memory_order_relaxed)) return {};
+  ++stats_.batch_checks;
+  ServerFaultAction action = schedule_.next();
+  switch (action.kind) {
+    case ServerFaultKind::kEnospc: ++stats_.enospc; break;
+    case ServerFaultKind::kEio: ++stats_.eio; break;
+    case ServerFaultKind::kSlowFsync: ++stats_.slow_fsync; break;
+    case ServerFaultKind::kPressure:
+      // Not applicable at this site; the draw is consumed but passes clean.
+      action = {};
+      break;
+    case ServerFaultKind::kNone: break;
+  }
+  return action;
+}
+
+std::optional<double> ServerFailpoints::on_pressure_probe() {
+  if (!armed_.load(std::memory_order_relaxed)) return std::nullopt;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!armed_.load(std::memory_order_relaxed)) return std::nullopt;
+  ++stats_.probe_checks;
+  const ServerFaultAction action = schedule_.next();
+  if (action.kind != ServerFaultKind::kPressure) return std::nullopt;
+  ++stats_.pressure;
+  return action.available_frac;
+}
+
+ServerFailpoints::Stats ServerFailpoints::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace uucs

@@ -1,0 +1,112 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace uucs {
+
+/// The server-side resource faults the overload chaos suite injects. These
+/// mirror exerciser/failpoints on the *server*: the journal disk filling up
+/// (ENOSPC), a dying device (EIO), an fsync that takes forever (slow-fsync,
+/// think a loaded spinning disk or a throttled cloud volume), and host
+/// memory pressure reported by the PR 4 probe.
+enum class ServerFaultKind : std::uint8_t {
+  kNone = 0,
+  kEnospc,     ///< journal append fails with "no space left on device"
+  kEio,        ///< journal append fails with an I/O error
+  kSlowFsync,  ///< journal batch fsync stalls for `delay_s`
+  kPressure,   ///< pressure probe reports only `available_frac` memory free
+};
+
+std::string server_fault_kind_name(ServerFaultKind kind);
+
+/// One consulted fault decision.
+struct ServerFaultAction {
+  ServerFaultKind kind = ServerFaultKind::kNone;
+  double delay_s = 0.0;          ///< slow-fsync stall
+  double available_frac = 1.0;   ///< pressure probe override
+};
+
+/// Per-operation fault probabilities for seeded schedules.
+struct ServerFaultProfile {
+  double enospc = 0.0;
+  double eio = 0.0;
+  double slow_fsync = 0.0;
+  double pressure = 0.0;
+  double slow_fsync_s = 0.02;
+  double pressure_available_frac = 0.02;
+
+  /// The chaos-overload suite's default: every fault class likely enough to
+  /// fire many times across a run, none so hot the server never recovers.
+  static ServerFaultProfile hostile();
+};
+
+/// When each fault fires: scripted (exact operation indices, deterministic
+/// unit tests) or seeded (one uniform draw per consulted operation, a pure
+/// function of (seed, operation count) — the chaos suite's mode).
+class ServerFaultSchedule {
+ public:
+  static ServerFaultSchedule none();
+  static ServerFaultSchedule scripted(std::vector<ServerFaultAction> actions);
+  static ServerFaultSchedule seeded(std::uint64_t seed, ServerFaultProfile profile);
+
+  ServerFaultAction next();
+
+ private:
+  ServerFaultSchedule() = default;
+  bool seeded_ = false;
+  std::vector<ServerFaultAction> script_;
+  Rng rng_{0};
+  ServerFaultProfile profile_;
+  std::size_t ops_ = 0;
+};
+
+/// Parses "OP:KIND[,OP:KIND...]" where KIND is enospc | eio |
+/// slow-fsync[=SECONDS] | pressure[=FRACTION]; OP is the 0-based index of
+/// the consulted operation at the fault's site (journal batch attempts for
+/// the disk kinds, probe reads for pressure). Throws ParseError on junk.
+ServerFaultSchedule parse_server_fault_schedule(const std::string& spec);
+
+/// Registry of server fault injection sites. Disarmed (the default and the
+/// production state) every consult is one relaxed atomic load; armed, the
+/// consulted site takes a lock and draws the schedule's next action.
+///
+/// Sites:
+///  - on_journal_batch(): consulted once per group-commit batch attempt,
+///    before the real write. ENOSPC/EIO mean "fail this batch as if the
+///    disk did"; slow-fsync means "stall this long, then write for real".
+///  - on_pressure_probe(): consulted once per pressure-monitor sample;
+///    a pressure action overrides the probed available fraction.
+class ServerFailpoints {
+ public:
+  struct Stats {
+    std::uint64_t batch_checks = 0;
+    std::uint64_t probe_checks = 0;
+    std::uint64_t enospc = 0;
+    std::uint64_t eio = 0;
+    std::uint64_t slow_fsync = 0;
+    std::uint64_t pressure = 0;
+  };
+
+  void arm(ServerFaultSchedule schedule);
+  void disarm();
+
+  ServerFaultAction on_journal_batch();
+  std::optional<double> on_pressure_probe();
+
+  Stats stats() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::atomic<bool> armed_{false};
+  ServerFaultSchedule schedule_ = ServerFaultSchedule::none();
+  Stats stats_;
+};
+
+}  // namespace uucs

@@ -7,6 +7,9 @@
 #include <string>
 
 #include "server/event_loop.hpp"
+#include "server/failpoints.hpp"
+#include "server/overload.hpp"
+#include "server/protocol.hpp"
 #include "server/server.hpp"
 #include "util/clock.hpp"
 #include "util/journal.hpp"
@@ -39,6 +42,12 @@ class IngestServer {
     /// exclusive section, then the journal restarts empty.
     std::size_t snapshot_every = 0;
     std::string state_dir;
+    /// Admission control, load shedding, and the memory-pressure accept
+    /// gate (DESIGN.md §15). Default-constructed = everything off.
+    OverloadController::Config overload;
+    /// Optional fault-injection registry (chaos runs). Not owned; wired
+    /// into the journal's fault hook and the pressure probe.
+    ServerFailpoints* failpoints = nullptr;
   };
 
   /// `server` must outlive this object; its journal (if any) must be
@@ -85,10 +94,24 @@ class IngestServer {
   GroupCommitJournal::Stats commit_stats() const;
   std::uint64_t snapshots_taken() const { return snapshots_.load(); }
 
+  OverloadStats overload_stats() const { return overload_->stats(); }
+
+  /// kOk when no journal is attached (nothing can degrade).
+  GroupCommitJournal::Health journal_health() const {
+    return committer_ ? committer_->health() : GroupCommitJournal::Health::kOk;
+  }
+
+  /// The [stats-response] message answering a [stats-request]: every loop,
+  /// commit, and overload counter as one kv record. Also what
+  /// `uucs_server --stats-interval` prints a digest of.
+  std::string encode_stats_response() const;
+
   EventLoopServer& loop() { return *loop_; }
 
  private:
   void handle_request(std::string payload, EventLoopServer::Responder respond);
+  void shed(const RequestPeek& peek, EventLoopServer::Responder respond,
+            const std::string& kind, const std::string& message);
   void maybe_snapshot(std::size_t new_entries);
   void do_snapshot(bool force);
 
@@ -96,6 +119,7 @@ class IngestServer {
   Config config_;
   Clock* clock_;
   std::unique_ptr<GroupCommitJournal> committer_;
+  std::unique_ptr<OverloadController> overload_;
   std::atomic<std::uint64_t> entries_since_snapshot_{0};
   std::atomic<std::uint64_t> snapshots_{0};
   std::mutex snapshot_mu_;

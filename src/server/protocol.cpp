@@ -93,6 +93,61 @@ std::string encode_error(const std::string& message) {
   return kv_serialize({head});
 }
 
+std::string encode_busy(const std::string& kind, const std::string& message,
+                        std::uint64_t retry_after_ms) {
+  KvRecord head("error");
+  head.set("message", message);
+  head.set("kind", kind);
+  head.set_int("retry_after_ms", static_cast<std::int64_t>(retry_after_ms));
+  return kv_serialize({head});
+}
+
+RequestPeek peek_request(const std::string& request) noexcept {
+  RequestPeek peek;
+  const std::string_view sv(request);
+  bool in_head = false;
+  std::size_t pos = 0;
+  while (pos < sv.size()) {
+    const auto nl = sv.find('\n', pos);
+    const std::string_view line =
+        trim(sv.substr(pos, (nl == std::string_view::npos ? sv.size() : nl) - pos));
+    pos = nl == std::string_view::npos ? sv.size() : nl + 1;
+    if (line.empty() || line.front() == '#') continue;
+    if (line.front() == '[') {
+      if (in_head) break;  // second record: the head is fully scanned
+      if (line.back() != ']') break;
+      const std::string_view name = trim(line.substr(1, line.size() - 2));
+      if (name == "register-request") {
+        peek.op = RequestPeek::Op::kRegister;
+        peek.write_class = true;
+      } else if (name == "sync-request") {
+        peek.op = RequestPeek::Op::kSync;
+      } else if (name == "stats-request") {
+        peek.op = RequestPeek::Op::kStats;
+      } else {
+        break;
+      }
+      in_head = true;
+      continue;
+    }
+    if (!in_head) break;  // junk before any record: the dispatcher's problem
+    const auto eq = line.find('=');
+    if (eq == std::string_view::npos) continue;
+    const std::string_view key = trim(line.substr(0, eq));
+    const std::string_view value = trim(line.substr(eq + 1));
+    const bool version_key = (peek.op == RequestPeek::Op::kSync && key == "proto") ||
+                             (peek.op != RequestPeek::Op::kSync && key == "version");
+    if (version_key) {
+      const auto v = parse_int(value);
+      if (v && *v >= 1 && *v <= 1000000) peek.protocol_version = static_cast<int>(*v);
+    } else if (peek.op == RequestPeek::Op::kSync && key == "result_count") {
+      const auto v = parse_int(value);
+      if (v && *v > 0) peek.write_class = true;
+    }
+  }
+  return peek;
+}
+
 namespace {
 
 SyncRequest decode_sync_request(const std::vector<KvRecord>& records) {
@@ -212,13 +267,27 @@ std::string RemoteServerApi::round_trip(const std::string& request) {
   return *response;
 }
 
+namespace {
+
+/// An [error] reply with a `kind` key is v3 typed backpressure — retryable,
+/// with an optional server pacing hint. Without the key it is the server
+/// rejecting the request itself, which a retry cannot fix.
+[[noreturn]] void throw_error_reply(const KvRecord& head) {
+  if (const auto kind = head.find("kind")) {
+    throw ServerBusyError(head.get_or("message", ""), *kind,
+                          static_cast<std::uint64_t>(
+                              head.get_int_or("retry_after_ms", 0)));
+  }
+  throw Error("server error: " + head.get("message"));
+}
+
+}  // namespace
+
 Guid RemoteServerApi::register_client(const HostSpec& host, const std::string& nonce) {
   const auto records = kv_parse(
       round_trip(encode_register_request(host, nonce, requested_version_)));
   if (records.empty()) throw ProtocolError("empty register response");
-  if (records.front().type() == "error") {
-    throw Error("server error: " + records.front().get("message"));
-  }
+  if (records.front().type() == "error") throw_error_reply(records.front());
   if (records.front().type() != "register-response") {
     throw ProtocolError("unexpected response [" + records.front().type() + "]");
   }
@@ -241,9 +310,7 @@ SyncResponse RemoteServerApi::hot_sync(const SyncRequest& request) {
       static_cast<std::uint32_t>(std::min(negotiated_version_, asked));
   const auto records = kv_parse(round_trip(encode_sync_request(req)));
   if (records.empty()) throw ProtocolError("empty sync response");
-  if (records.front().type() == "error") {
-    throw Error("server error: " + records.front().get("message"));
-  }
+  if (records.front().type() == "error") throw_error_reply(records.front());
   if (records.front().type() != "sync-response") {
     throw ProtocolError("unexpected response [" + records.front().type() + "]");
   }

@@ -60,13 +60,17 @@ class MessageChannel {
 /// Wire protocol versions this build speaks. v1 is the original
 /// register/sync exchange; v2 additionally echoes the version (`proto`) and
 /// carries the server generation on sync responses, so a client can observe
-/// a live takeover rollout. Negotiation is per-connectionless: the register
-/// request carries the client's highest version, the response answers the
-/// highest version both sides speak, and every sync request then states the
-/// version it is encoded in (absent = 1). v2 only *adds* optional keys, so
+/// a live takeover rollout. v3 adds typed backpressure: when an overloaded
+/// or read-degraded server rejects a v3 request, the [error] reply carries
+/// optional `kind` and `retry_after_ms` keys so the client can distinguish
+/// "busy, retry later" from "your request is wrong" and spread its retries.
+/// Negotiation is per-connectionless: the register request carries the
+/// client's highest version, the response answers the highest version both
+/// sides speak, and every sync request then states the version it is
+/// encoded in (absent = 1). Each version only *adds* optional keys, so
 /// either side may be older without breaking the other mid-rollout.
 constexpr int kProtocolVersionMin = 1;
-constexpr int kProtocolVersionMax = 2;
+constexpr int kProtocolVersionMax = 3;
 
 /// Wire codec: messages are the library's key-value text format, with the
 /// record type of the first record naming the operation
@@ -79,6 +83,31 @@ std::string encode_register_response(const Guid& guid,
 std::string encode_sync_request(const SyncRequest& request);
 std::string encode_sync_response(const SyncResponse& response);
 std::string encode_error(const std::string& message);
+
+/// v3 typed backpressure: an [error] reply that additionally names its
+/// shedding class (`kind`: "overload" | "degraded") and hints how long the
+/// client should back off. Only ever sent to peers that asked for v3 —
+/// older peers' wire bytes stay pinned (they are shed silently and their
+/// retry timeout does the spreading).
+std::string encode_busy(const std::string& kind, const std::string& message,
+                        std::uint64_t retry_after_ms);
+
+/// What the overload layer needs to know about a request *before* paying
+/// for a full parse or dispatch: the operation, the protocol version it
+/// self-describes, and whether admitting it would create new durable state
+/// (registrations and uploads are write-class; a result-free sync is
+/// read-class and stays serviceable while the journal is degraded).
+struct RequestPeek {
+  enum class Op { kRegister, kSync, kStats, kUnknown };
+  Op op = Op::kUnknown;
+  int protocol_version = 1;
+  bool write_class = false;
+};
+
+/// Cheap, never-throwing scan of the request's head record. Malformed input
+/// yields kUnknown/defaults — admission control must not crash on garbage
+/// the dispatcher would reject anyway.
+RequestPeek peek_request(const std::string& request) noexcept;
 
 /// Server-side dispatch of one encoded request; returns the encoded
 /// response (an [error] message for malformed or failing requests).

@@ -40,12 +40,15 @@ void RetryingServerApi::disconnect() {
 }
 
 double RetryingServerApi::next_delay() {
-  // Decorrelated jitter: delay ~ U[base, 3 * previous], capped.
+  // Decorrelated jitter: delay ~ U[base, 3 * previous], capped. The first
+  // retry seeds `previous` with base rather than returning base outright —
+  // a deterministic first delay would re-synchronize every client that
+  // failed at the same instant (they would all come back at exactly
+  // base seconds and collide again; see the jitter-spread unit test).
+  const double prev = prev_delay_ <= 0.0 ? policy_.base_delay_s : prev_delay_;
   const double hi = std::max(policy_.base_delay_s,
-                             std::min(policy_.max_delay_s, 3.0 * prev_delay_));
-  const double delay = prev_delay_ <= 0.0
-                           ? policy_.base_delay_s
-                           : jitter_.uniform(policy_.base_delay_s, hi);
+                             std::min(policy_.max_delay_s, 3.0 * prev));
+  const double delay = jitter_.uniform(policy_.base_delay_s, hi);
   prev_delay_ = std::min(delay, policy_.max_delay_s);
   delays_.push_back(prev_delay_);
   return prev_delay_;
@@ -59,6 +62,27 @@ auto RetryingServerApi::with_retries(const char* what, Op&& op) -> decltype(op()
       const auto result = op();
       prev_delay_ = 0.0;  // success resets the backoff ladder
       return result;
+    } catch (const ServerBusyError& e) {
+      // Typed v3 backpressure: the server answered — the connection and the
+      // request are both fine, it just cannot take the work right now. Keep
+      // the channel (reconnecting would only add load) and retry after at
+      // least the server's hint, still jittered so a shed cohort spreads.
+      if (attempt >= policy_.max_attempts) throw;
+      ++retries_;
+      ++busy_retries_;
+      double delay = next_delay();
+      if (e.retry_after_ms() > 0) {
+        const double hint_s = static_cast<double>(e.retry_after_ms()) / 1000.0;
+        delay = std::min(policy_.max_delay_s,
+                         std::max(delay, jitter_.uniform(hint_s, 1.5 * hint_s)));
+        prev_delay_ = delay;       // keep the ladder decorrelated from here
+        delays_.back() = delay;    // record what we actually slept
+      }
+      log_warn("retry",
+               strprintf("%s attempt %zu/%zu shed by server (%s: %s); retrying in %.3fs",
+                         what, attempt, policy_.max_attempts, e.kind().c_str(),
+                         e.what(), delay));
+      clock_.sleep(delay);
     } catch (const Error& e) {
       // Retry only transport failures: timeouts and OS errors
       // (SystemError covers both) and torn/garbled wire exchanges

@@ -60,6 +60,10 @@ class RetryingServerApi final : public ServerApi {
 
   std::size_t connects() const { return connects_; }  ///< factory invocations
   std::size_t retries() const { return retries_; }    ///< failed attempts retried
+  /// Retries caused by a typed v3 busy/degraded reply (a subset of
+  /// retries()); these keep the connection and honor the server's
+  /// retry_after_ms hint.
+  std::size_t busy_retries() const { return busy_retries_; }
   const std::vector<double>& backoff_delays() const { return delays_; }
 
  private:
@@ -79,6 +83,7 @@ class RetryingServerApi final : public ServerApi {
   std::uint64_t last_generation_ = 0;
   std::size_t connects_ = 0;
   std::size_t retries_ = 0;
+  std::size_t busy_retries_ = 0;
   double prev_delay_ = 0.0;
   std::vector<double> delays_;
 };

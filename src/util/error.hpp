@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 
@@ -39,6 +40,29 @@ class ConfigError : public Error {
 class ProtocolError : public Error {
  public:
   explicit ProtocolError(const std::string& what) : Error("protocol error: " + what) {}
+};
+
+/// The server answered with a typed busy/degraded rejection instead of
+/// serving the request (overload shedding or a read-degraded journal).
+/// Unlike a plain [error] reply this IS retryable — the request was fine,
+/// the server just cannot take it right now — and it may carry a server
+/// hint for how long to back off (0 = none given).
+class ServerBusyError : public Error {
+ public:
+  ServerBusyError(const std::string& what, std::string kind,
+                  std::uint64_t retry_after_ms)
+      : Error("server busy: " + what),
+        kind_(std::move(kind)),
+        retry_after_ms_(retry_after_ms) {}
+
+  /// Shedding class: "overload" (admission control) or "degraded"
+  /// (journal disk failed; writes rejected until recovery).
+  const std::string& kind() const { return kind_; }
+  std::uint64_t retry_after_ms() const { return retry_after_ms_; }
+
+ private:
+  std::string kind_;
+  std::uint64_t retry_after_ms_ = 0;
 };
 
 /// A deadline expired on a blocking operation (connect, read, write).

@@ -2,6 +2,7 @@
 
 #include <fcntl.h>
 #include <sys/stat.h>
+#include <sys/statvfs.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -12,6 +13,7 @@
 
 #include "util/error.hpp"
 #include "util/fs.hpp"
+#include "util/logging.hpp"
 #include "util/strings.hpp"
 
 namespace uucs {
@@ -174,6 +176,24 @@ void Journal::append_batch(const std::vector<std::string>& payloads) {
   size_bytes_ += buf.size();
 }
 
+std::uint64_t Journal::free_bytes() const {
+  if (fd_ < 0) return ~std::uint64_t{0};
+  struct statvfs vfs {};
+  if (::fstatvfs(fd_, &vfs) != 0) return ~std::uint64_t{0};
+  return static_cast<std::uint64_t>(vfs.f_bavail) *
+         static_cast<std::uint64_t>(vfs.f_frsize);
+}
+
+bool Journal::repair_tail() noexcept {
+  if (fd_ < 0) return false;
+  if (::ftruncate(fd_, static_cast<off_t>(size_bytes_)) != 0) return false;
+  // A shrinking fsync allocates nothing, so it works even on a full disk;
+  // if it still fails the device itself is gone and appending is unsafe.
+  if (::fsync(fd_) != 0) return false;
+  ++fsync_count_;
+  return true;
+}
+
 void Journal::compact(const std::vector<std::string>& keep) {
   UUCS_CHECK_MSG(fd_ >= 0, "journal " + path_ + " is closed");
   const std::string tmp = path_ + ".compact";
@@ -236,7 +256,21 @@ void GroupCommitJournal::append_async(std::vector<std::string> entries,
   bool reject = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (failed_ || stopping_) {
+    const Health h = health_.load(std::memory_order_relaxed);
+    if (h != Health::kOk || stopping_) {
+      // Degraded or broken: nothing queued now can become durable before
+      // the parked backlog replays, so fail the ack immediately — the
+      // caller answers with a typed DEGRADED rejection (or stays silent and
+      // lets the client time out) instead of trusting a lost write.
+      // The payloads themselves were already applied in memory by dispatch
+      // (the ingest plane gates writes pre-dispatch while degraded, but a
+      // health flip can race that check), so they join the parked backlog:
+      // recovery replays them before any ack can refer to them again.
+      ++stats_.rejected_appends;
+      if (h == Health::kDegraded && !stopping_) {
+        for (std::string& e : entries) parked_.push_back(std::move(e));
+        stats_.parked_entries = parked_.size();
+      }
       reject = true;
     } else {
       ++stats_.async_appends;
@@ -245,8 +279,6 @@ void GroupCommitJournal::append_async(std::vector<std::string> entries,
     }
   }
   if (reject) {
-    // A dead committer can never make these durable; fail the ack now so
-    // the client retries instead of trusting a lost write.
     if (on_durable) on_durable(false);
     return;
   }
@@ -279,8 +311,11 @@ void GroupCommitJournal::append_sync(std::vector<std::string> entries) {
 void GroupCommitJournal::flush() {
   std::unique_lock<std::mutex> lock(mu_);
   work_cv_.notify_all();
+  // Degraded mode keeps pending_ empty (appends are rejected at the door),
+  // so flush() does not wait out a recovery — parked entries were never
+  // acked and owe nobody a durability barrier.
   state_cv_.wait(lock, [&] {
-    return (pending_.empty() && !committing_) || failed_ || stopping_;
+    return (pending_.empty() && !committing_) || stopping_;
   });
 }
 
@@ -320,9 +355,143 @@ GroupCommitJournal::Stats GroupCommitJournal::stats() const {
   return stats_;
 }
 
+std::size_t GroupCommitJournal::effective_batch_cap() const {
+  if (!slow_mode_) return config_.max_batch_entries;
+  const std::size_t factor = std::max<std::size_t>(1, config_.widened_batch_factor);
+  return config_.max_batch_entries * factor;
+}
+
+std::uint32_t GroupCommitJournal::effective_wait_us() const {
+  if (!slow_mode_) return config_.max_wait_us;
+  return std::max(config_.max_wait_us, config_.widened_max_wait_us);
+}
+
+void GroupCommitJournal::note_batch_seconds(double seconds) {
+  if (config_.slow_fsync_threshold_s <= 0.0) return;
+  fsync_ewma_s_ = fsync_ewma_s_ <= 0.0 ? seconds
+                                       : 0.8 * fsync_ewma_s_ + 0.2 * seconds;
+  if (seconds > config_.slow_fsync_threshold_s) ++stats_.slow_fsyncs;
+  // Hysteresis: widen above the threshold, narrow only once the device is
+  // comfortably fast again, so the regime does not flap per batch.
+  if (!slow_mode_ && fsync_ewma_s_ > config_.slow_fsync_threshold_s) {
+    slow_mode_ = true;
+    widened_flag_.store(true, std::memory_order_release);
+  } else if (slow_mode_ && fsync_ewma_s_ < config_.slow_fsync_threshold_s / 2.0) {
+    slow_mode_ = false;
+    widened_flag_.store(false, std::memory_order_release);
+  }
+}
+
+bool GroupCommitJournal::write_batch(const std::vector<std::string>& payloads,
+                                     bool* broken, std::string* why,
+                                     double* seconds) {
+  // Injected fault first: a simulated ENOSPC/EIO fails the attempt without
+  // touching the file — exactly the shape of the headroom check below, so
+  // the recovery path the chaos suite exercises is the production one.
+  JournalFault fault;
+  if (config_.fault_hook) fault = config_.fault_hook();
+  if (fault.stall_s > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(fault.stall_s));
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  if (fault.err != 0) {
+    *why = std::string("injected ") + std::strerror(fault.err);
+    *seconds = fault.stall_s;
+    return false;
+  }
+  if (config_.min_free_bytes > 0) {
+    std::size_t need = 0;
+    for (const auto& p : payloads) need += p.size() + 32;  // frame overhead
+    const std::uint64_t free = journal_.free_bytes();
+    if (free < config_.min_free_bytes + need) {
+      *why = strprintf("journal disk headroom %llu below floor %llu",
+                       static_cast<unsigned long long>(free),
+                       static_cast<unsigned long long>(config_.min_free_bytes));
+      return false;
+    }
+  }
+  if (payloads.empty()) return true;  // recovery probe with nothing parked
+  try {
+    journal_.append_batch(payloads);  // one buffered write + one fsync
+  } catch (const std::exception& e) {
+    *why = e.what();
+    // A failed write may have left torn bytes past the last good frame;
+    // truncate them away so the file stays appendable once space returns.
+    if (!journal_.repair_tail()) *broken = true;
+    return false;
+  }
+  *seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                 .count() +
+             fault.stall_s;
+  return true;
+}
+
+void GroupCommitJournal::attempt_recovery(std::unique_lock<std::mutex>& lock) {
+  std::vector<std::string> parked;
+  parked.swap(parked_);
+  committing_ = true;
+  lock.unlock();
+
+  bool broken = false;
+  std::string why;
+  double seconds = 0.0;
+  // Parked entries replay FIRST, before any new append can queue: requests
+  // whose state they carry were applied in memory, so a later duplicate-ack
+  // barrier must find them already on disk.
+  const bool ok = write_batch(parked, &broken, &why, &seconds);
+
+  lock.lock();
+  committing_ = false;
+  if (ok) {
+    if (!parked.empty()) {
+      ++stats_.batches;
+      stats_.entries += parked.size();
+      stats_.largest_batch = std::max(stats_.largest_batch, parked.size());
+      note_batch_seconds(seconds);
+    }
+    if (parked_.empty()) {
+      health_.store(Health::kOk, std::memory_order_release);
+      ++stats_.recoveries;
+      stats_.parked_entries = 0;
+    } else {
+      // An append raced the probe and parked fresh entries meanwhile; stay
+      // degraded so the next recheck replays them before service resumes.
+      stats_.parked_entries = parked_.size();
+    }
+  } else {
+    // Keep queue order: the probed batch is older than anything parked
+    // while the probe ran.
+    for (std::string& e : parked_) parked.push_back(std::move(e));
+    parked_ = std::move(parked);
+    stats_.parked_entries = parked_.size();
+    if (broken) health_.store(Health::kBroken, std::memory_order_release);
+  }
+  state_cv_.notify_all();
+  work_cv_.notify_all();
+}
+
 void GroupCommitJournal::commit_loop() {
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
+    if (stopping_ && pending_.empty()) return;
+    const Health h = health_.load(std::memory_order_relaxed);
+    if (h == Health::kDegraded && !stopping_) {
+      // Appends are rejected at the door while degraded, so the only job is
+      // probing the disk for recovery at the recheck cadence.
+      work_cv_.wait_for(
+          lock,
+          std::chrono::milliseconds(
+              std::max<std::uint32_t>(1, config_.recheck_interval_ms)),
+          [&] { return stopping_; });
+      if (stopping_ || exclusive_active_) continue;
+      attempt_recovery(lock);
+      continue;
+    }
+    if (h == Health::kBroken) {
+      // Terminal: serve rejections until shutdown.
+      work_cv_.wait(lock, [&] { return stopping_; });
+      continue;
+    }
     // Exclusive *waiters* do not pause the loop — they are waiting for the
     // backlog to drain, so the loop must keep committing (the linger window
     // below is skipped to get there faster). Only an *active* exclusive
@@ -334,22 +503,23 @@ void GroupCommitJournal::commit_loop() {
       if (stopping_) return;
       continue;  // woken for an exclusive section; state_cv_ handles it
     }
-    if (stopping_ && pending_.empty()) return;
     // Group window: linger briefly for stragglers so concurrent syncs
     // coalesce, but never past the batch cap and never when shutting down.
-    if (config_.max_wait_us > 0 &&
-        pending_entries_ < config_.max_batch_entries && !stopping_) {
-      work_cv_.wait_for(lock, std::chrono::microseconds(config_.max_wait_us),
-                        [&] {
-                          return stopping_ ||
-                                 pending_entries_ >= config_.max_batch_entries ||
-                                 exclusive_waiters_ > 0;
-                        });
+    // A slow device widens both knobs (note_batch_seconds) so the fsync
+    // cadence drops instead of the ack queue growing without bound.
+    const std::size_t batch_cap = effective_batch_cap();
+    const std::uint32_t wait_us = effective_wait_us();
+    if (wait_us > 0 && pending_entries_ < batch_cap && !stopping_) {
+      work_cv_.wait_for(lock, std::chrono::microseconds(wait_us), [&] {
+        return stopping_ || pending_entries_ >= batch_cap ||
+               exclusive_waiters_ > 0;
+      });
     }
     std::vector<Pending> batch;
     batch.swap(pending_);
     pending_entries_ = 0;
     committing_ = true;
+    const bool widened = slow_mode_;
     lock.unlock();
 
     std::vector<std::string> payloads;
@@ -360,28 +530,61 @@ void GroupCommitJournal::commit_loop() {
       for (std::string& e : p.entries) payloads.push_back(std::move(e));
     }
     bool ok = true;
+    bool broken = false;
+    std::string why;
+    double seconds = 0.0;
     if (!payloads.empty()) {
-      try {
-        journal_.append_batch(payloads);  // one buffered write + one fsync
-      } catch (const std::exception&) {
-        ok = false;
-      }
+      ok = write_batch(payloads, &broken, &why, &seconds);
     }
     // Record the batch before releasing any ack, so an observer woken by an
     // ack never sees stats that lag the durability it was just promised.
     lock.lock();
+    std::vector<Pending> stranded;  ///< queued during the failed attempt
     if (!ok) {
-      failed_ = true;
+      ++stats_.failed_batches;
+      if (broken) {
+        health_.store(Health::kBroken, std::memory_order_release);
+        log_error("journal", "group commit broken (unrepairable): " + why);
+      } else {
+        if (health_.load(std::memory_order_relaxed) == Health::kOk) {
+          ++stats_.degraded_spells;
+          log_warn("journal", "group commit degraded: " + why);
+        }
+        health_.store(Health::kDegraded, std::memory_order_release);
+        // Park the failed batch's payloads: they replay ahead of everything
+        // else on recovery, restoring "applied in memory implies on disk"
+        // before any new ack can be released.
+        for (std::string& p : payloads) parked_.push_back(std::move(p));
+        stats_.parked_entries = parked_.size();
+      }
+      // Appends that slipped in while this batch was failing are failed like
+      // any append arriving after the health flip — but their payloads were
+      // already applied in memory by dispatch, so they must be parked for
+      // the recovery replay too, not dropped.
+      stranded.swap(pending_);
+      stats_.rejected_appends += stranded.size();
+      pending_entries_ = 0;
+      if (!broken) {
+        for (Pending& p : stranded) {
+          for (std::string& e : p.entries) parked_.push_back(std::move(e));
+        }
+        stats_.parked_entries = parked_.size();
+      }
     } else if (count > 0) {  // barrier-only batches touched no disk
       ++stats_.batches;
       stats_.entries += count;
       stats_.largest_batch = std::max(stats_.largest_batch, count);
+      if (widened) ++stats_.widened_batches;
+      note_batch_seconds(seconds);
     }
     lock.unlock();
 
     // Acks release strictly after the batch hit disk (or failed).
     for (Pending& p : batch) {
       if (p.on_durable) p.on_durable(ok);
+    }
+    for (Pending& p : stranded) {
+      if (p.on_durable) p.on_durable(false);
     }
 
     lock.lock();

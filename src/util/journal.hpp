@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -62,6 +63,17 @@ class Journal {
   /// Appends several payloads with a single write + fsync.
   void append_batch(const std::vector<std::string>& payloads);
 
+  /// Free bytes on the filesystem holding the journal (statvfs), or
+  /// UINT64_MAX when it cannot be determined — an unreadable statvfs must
+  /// not degrade a healthy server.
+  std::uint64_t free_bytes() const;
+
+  /// Truncates the file back to the last known-good frame boundary after a
+  /// failed append_batch (a partial write leaves torn bytes the next open()
+  /// would have to discard). Returns false when the truncate itself fails —
+  /// the file is then in an unknown state and must not be appended to.
+  bool repair_tail() noexcept;
+
   /// Atomically replaces the journal contents with `keep` (snapshot
   /// compaction). The in-memory entry list becomes `keep`.
   void compact(const std::vector<std::string>& keep);
@@ -82,6 +94,16 @@ class Journal {
   std::uint64_t fsync_count_ = 0;
 };
 
+/// A disk fault injected into one group-commit batch attempt (the test hook
+/// through which the server-side failpoints reach the journal without the
+/// util layer depending on them). `err` of 0 passes clean; ENOSPC/EIO fail
+/// the batch as if the disk did; a positive `stall_s` delays the attempt
+/// first (a slow device), then writes for real.
+struct JournalFault {
+  int err = 0;
+  double stall_s = 0.0;
+};
+
 /// Group-commit front end for a Journal: appends from concurrent request
 /// handlers coalesce into one buffered write + one fsync on a dedicated
 /// commit thread, and each append's completion fires only after the batch
@@ -97,12 +119,43 @@ class Journal {
 /// GroupCommitJournal is attached to it, except inside with_exclusive().
 class GroupCommitJournal {
  public:
+  /// Disk-safety state machine (DESIGN.md §15). kOk is normal service.
+  /// kDegraded means a batch write failed (ENOSPC/EIO or the headroom check
+  /// tripped): its entries are parked in memory, every new append is
+  /// rejected, and the commit thread probes for recovery every
+  /// `recheck_interval_ms` — a successful re-append of the parked entries
+  /// flips back to kOk, and only then can any ack referring to them fire.
+  /// kBroken is terminal: the file could not even be truncated back to a
+  /// frame boundary after a failed write, so appending again could corrupt
+  /// recovered data.
+  enum class Health : std::uint8_t { kOk = 0, kDegraded, kBroken };
+
   struct Config {
     /// Entry count that forces a batch out immediately (the "group" limit).
     std::size_t max_batch_entries = 512;
     /// How long the commit thread lingers for stragglers after the first
     /// append of a batch arrives. 0 commits every wakeup's backlog at once.
     std::uint32_t max_wait_us = 500;
+    /// Refuse to write a batch when the journal filesystem has less than
+    /// this many free bytes left (plus the batch itself) — degrading on a
+    /// statvfs check is recoverable, hitting real ENOSPC mid-write needs a
+    /// tail repair first. 0 disables the check.
+    std::uint64_t min_free_bytes = 0;
+    /// While degraded, how often the commit thread re-probes the disk for
+    /// recovery.
+    std::uint32_t recheck_interval_ms = 200;
+    /// A batch write+fsync slower than this (EWMA-smoothed) widens the
+    /// group window: fewer, larger batches keep the ack queue bounded on a
+    /// slow device instead of fsyncing at full cadence and falling behind.
+    /// 0 disables slow-fsync adaptation.
+    double slow_fsync_threshold_s = 0.0;
+    /// Linger used while in the widened (slow-device) regime.
+    std::uint32_t widened_max_wait_us = 5000;
+    /// Batch-cap multiplier while in the widened regime.
+    std::size_t widened_batch_factor = 4;
+    /// Consulted once per batch attempt before touching the disk; the
+    /// chaos suite injects deterministic ENOSPC/EIO/slow-fsync here.
+    std::function<JournalFault()> fault_hook;
   };
 
   struct Stats {
@@ -111,6 +164,13 @@ class GroupCommitJournal {
     std::uint64_t async_appends = 0;  ///< append_async calls
     std::uint64_t sync_appends = 0;   ///< append_sync calls
     std::size_t largest_batch = 0;    ///< most entries in one fsync
+    std::uint64_t failed_batches = 0;   ///< batch attempts that failed
+    std::uint64_t rejected_appends = 0; ///< appends refused while not kOk
+    std::uint64_t degraded_spells = 0;  ///< kOk -> kDegraded transitions
+    std::uint64_t recoveries = 0;       ///< kDegraded -> kOk transitions
+    std::size_t parked_entries = 0;     ///< failed-batch payloads awaiting replay
+    std::uint64_t slow_fsyncs = 0;      ///< batches over the slow threshold
+    std::uint64_t widened_batches = 0;  ///< batches committed in the widened regime
   };
 
   /// `journal` must outlive this object. (Two overloads rather than a
@@ -148,6 +208,13 @@ class GroupCommitJournal {
 
   Stats stats() const;
 
+  /// Current disk-safety state; lock-free (the ingest plane consults it on
+  /// every request to gate writes while degraded).
+  Health health() const { return health_.load(std::memory_order_acquire); }
+
+  /// True while the slow-fsync adaptation has widened the group window.
+  bool widened() const { return widened_flag_.load(std::memory_order_acquire); }
+
  private:
   struct Pending {
     std::vector<std::string> entries;
@@ -155,6 +222,18 @@ class GroupCommitJournal {
   };
 
   void commit_loop();
+  /// One disk attempt (fault hook, headroom check, append, tail repair on
+  /// failure). Runs without the lock. Returns false on failure; `broken`
+  /// is set when the file could not be repaired afterwards.
+  bool write_batch(const std::vector<std::string>& payloads, bool* broken,
+                   std::string* why, double* seconds);
+  /// Degraded-mode probe: replays the parked entries (plus a headroom
+  /// check); flips back to kOk on success. Expects `lock` held; drops and
+  /// reacquires it around the disk attempt.
+  void attempt_recovery(std::unique_lock<std::mutex>& lock);
+  void note_batch_seconds(double seconds);  ///< EWMA + widen/narrow (lock held)
+  std::size_t effective_batch_cap() const;  ///< lock held
+  std::uint32_t effective_wait_us() const;  ///< lock held
 
   Journal& journal_;
   Config config_;
@@ -166,7 +245,11 @@ class GroupCommitJournal {
   std::size_t pending_entries_ = 0;
   bool committing_ = false;  ///< a batch is being written right now
   bool stopping_ = false;
-  bool failed_ = false;           ///< a batch write threw; fail fast from now on
+  std::atomic<Health> health_{Health::kOk};  ///< written under mu_ only
+  std::vector<std::string> parked_;  ///< failed-batch payloads, replay first
+  double fsync_ewma_s_ = 0.0;        ///< smoothed batch write+fsync seconds
+  bool slow_mode_ = false;           ///< widened group window active
+  std::atomic<bool> widened_flag_{false};
   std::size_t exclusive_waiters_ = 0;
   bool exclusive_active_ = false;
   Stats stats_;

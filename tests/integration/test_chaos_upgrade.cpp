@@ -402,7 +402,8 @@ TEST(ChaosUpgrade, MixedVersionFleetThroughOneRollout) {
   new_client.record_result(make_result(minted.back()));
   while (!new_client.pending_results().empty()) new_client.hot_sync(*v2);
   EXPECT_EQ(old_client.last_server_protocol(), 1u);
-  EXPECT_EQ(new_client.last_server_protocol(), 2u);
+  EXPECT_EQ(new_client.last_server_protocol(),
+            static_cast<std::uint32_t>(kProtocolVersionMax));
   EXPECT_EQ(new_client.last_server_generation(), 0u);
 
   // Roll the server: the fleet stays connected through the takeover.
@@ -418,7 +419,8 @@ TEST(ChaosUpgrade, MixedVersionFleetThroughOneRollout) {
   while (!new_client.pending_results().empty()) new_client.hot_sync(*v2);
   EXPECT_EQ(old_client.last_server_protocol(), 1u);
   EXPECT_EQ(old_client.last_server_generation(), 0u);
-  EXPECT_EQ(new_client.last_server_protocol(), 2u);
+  EXPECT_EQ(new_client.last_server_protocol(),
+            static_cast<std::uint32_t>(kProtocolVersionMax));
   EXPECT_EQ(new_client.last_server_generation(), 1u);
 
   v1->disconnect();

@@ -255,7 +255,11 @@ TEST(RetryingServerApi, RetriesThroughDroppedResponse) {
   EXPECT_EQ(api.retries(), 1u);
   EXPECT_EQ(api.connects(), 2u);
   ASSERT_EQ(api.backoff_delays().size(), 1u);
-  EXPECT_DOUBLE_EQ(api.backoff_delays()[0], 0.001);
+  // The first delay is jittered in [base, 3*base], never exactly base — a
+  // deterministic first retry would re-synchronize every client that failed
+  // at the same instant (pinned by BusyRetry.FirstBackoffDelayIsJittered...).
+  EXPECT_GE(api.backoff_delays()[0], 0.001);
+  EXPECT_LE(api.backoff_delays()[0], 0.003);
 
   listener.shutdown();
   server_thread.join();

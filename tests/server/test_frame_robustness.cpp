@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <string>
 #include <thread>
 
+#include "server/event_loop.hpp"
 #include "server/net.hpp"
 #include "server/protocol.hpp"
 #include "server/server.hpp"
@@ -130,6 +132,152 @@ TEST(FrameRobustness, ServeChannelRepliesErrorAndKeepsGoing) {
 
   // ...and the connection still works for a real request afterwards.
   wire.client->write(encode_register_request(HostSpec::detect()));
+  reply = wire.client->read();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(kv_parse(*reply).front().type(), "register-response");
+
+  wire.client->close();
+  server_thread.join();
+}
+
+// FrameReader adversarial battery: the event loop's incremental reassembler
+// at its exact boundaries — the 64 MiB payload cap, the 32-byte header
+// limit, zero-length frames, byte-at-a-time arrival, and pipelined frames
+// sharing one buffer. Every rejection must be a typed throw, never a hang.
+
+void feed_all(FrameReader& reader, const std::string& bytes) {
+  reader.feed(bytes.data(), bytes.size());
+}
+
+TEST(FrameReaderEdge, PayloadExactlyAtTheCapPasses) {
+  FrameReader reader;
+  const std::string body(FrameReader::kMaxFrameBytes, 'x');
+  feed_all(reader, "UUCS " + std::to_string(body.size()) + "\n" + body);
+  std::string payload;
+  ASSERT_TRUE(reader.next(payload));
+  EXPECT_EQ(payload.size(), FrameReader::kMaxFrameBytes);
+  EXPECT_EQ(reader.buffered(), 0u);
+  EXPECT_FALSE(reader.next(payload));
+}
+
+TEST(FrameReaderEdge, OneBytePastTheCapIsRejectedFromTheHeaderAlone) {
+  FrameReader reader;
+  // Only the header arrives: the length claim alone must reject the frame —
+  // no 64 MiB allocation happens for a payload we will never accept.
+  feed_all(reader, "UUCS " + std::to_string(FrameReader::kMaxFrameBytes + 1) + "\n");
+  std::string payload;
+  EXPECT_THROW(reader.next(payload), ProtocolError);
+}
+
+TEST(FrameReaderEdge, HeaderAtThe32ByteLimitParses) {
+  FrameReader reader;
+  // "UUCS " + 26 digits + "\n" is exactly the 32-byte header cap; leading
+  // zeros make the length small. Still a legal frame.
+  const std::string header = "UUCS 00000000000000000000000007\n";
+  ASSERT_EQ(header.size(), 32u);
+  feed_all(reader, header + "payload");
+  std::string payload;
+  ASSERT_TRUE(reader.next(payload));
+  EXPECT_EQ(payload, "payload");
+}
+
+TEST(FrameReaderEdge, HeaderJustUnderTheLimitParses) {
+  FrameReader reader;
+  const std::string header = "UUCS 0000000000000000000000003\n";  // 31 bytes
+  ASSERT_EQ(header.size(), 31u);
+  feed_all(reader, header + "abc");
+  std::string payload;
+  ASSERT_TRUE(reader.next(payload));
+  EXPECT_EQ(payload, "abc");
+}
+
+TEST(FrameReaderEdge, HeaderPastTheLimitIsRejected) {
+  FrameReader reader;
+  // 27 digits push the newline to byte 33: one past the cap, rejected even
+  // though the digits themselves are valid.
+  const std::string header = "UUCS 000000000000000000000000003\n";
+  ASSERT_EQ(header.size(), 33u);
+  feed_all(reader, header);
+  std::string payload;
+  EXPECT_THROW(reader.next(payload), ProtocolError);
+}
+
+TEST(FrameReaderEdge, UnterminatedHeaderAtTheCapIsRejectedNotBuffered) {
+  FrameReader reader;
+  // 32 bytes and still no newline: malformed right now — the reader must
+  // not wait forever for a terminator that cannot legally arrive.
+  feed_all(reader, "UUCS 000000000000000000000000000");  // >= 32 bytes, no \n
+  std::string payload;
+  EXPECT_THROW(reader.next(payload), ProtocolError);
+}
+
+TEST(FrameReaderEdge, ZeroLengthFrameYieldsEmptyPayload) {
+  FrameReader reader;
+  feed_all(reader, "UUCS 0\n");
+  std::string payload = "sentinel";
+  ASSERT_TRUE(reader.next(payload));
+  EXPECT_TRUE(payload.empty());
+  EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST(FrameReaderEdge, ByteAtATimeReassembly) {
+  FrameReader reader;
+  const std::string wire = "UUCS 5\nhello";
+  std::string payload;
+  for (std::size_t i = 0; i + 1 < wire.size(); ++i) {
+    reader.feed(wire.data() + i, 1);
+    EXPECT_FALSE(reader.next(payload)) << "complete after only " << i + 1
+                                       << " bytes";
+  }
+  reader.feed(wire.data() + wire.size() - 1, 1);
+  ASSERT_TRUE(reader.next(payload));
+  EXPECT_EQ(payload, "hello");
+}
+
+TEST(FrameReaderEdge, PipelinedFramesExtractInOrder) {
+  FrameReader reader;
+  feed_all(reader, "UUCS 3\noneUUCS 0\nUUCS 5\nthree");
+  std::string payload;
+  ASSERT_TRUE(reader.next(payload));
+  EXPECT_EQ(payload, "one");
+  ASSERT_TRUE(reader.next(payload));
+  EXPECT_EQ(payload, "");
+  ASSERT_TRUE(reader.next(payload));
+  EXPECT_EQ(payload, "three");
+  EXPECT_FALSE(reader.next(payload));
+  EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST(FrameReaderEdge, GarbageMagicIsRejectedFromTheFirstBytes) {
+  FrameReader reader;
+  feed_all(reader, "HT");  // two bytes suffice: they already contradict "UUCS "
+  std::string payload;
+  EXPECT_THROW(reader.next(payload), ProtocolError);
+  // The reader is beyond repair but must stay loud about it, not hang.
+  EXPECT_THROW(reader.next(payload), ProtocolError);
+}
+
+/// A well-framed-but-rejected request must not poison the connection: the
+/// next valid frame in the same pipelined burst still gets served. (A
+/// *mis-framed* byte stream is different — there the framing itself is lost
+/// and the connection closes, which the FrameReaderEdge throws pin.)
+TEST(FrameRobustness, ValidFrameAfterRejectedPayloadStillServed) {
+  UucsServer server(1, 8);
+  WirePair wire;
+  std::thread server_thread([&] {
+    try {
+      serve_channel(server, *wire.server_side);
+    } catch (const Error&) {
+      // torn connection at the end of the test
+    }
+  });
+
+  // One write, two frames: garbage payload then a valid registration.
+  wire.client->write_bytes(TcpChannel::frame("[sync-request]\nguid = junk\n") +
+                           TcpChannel::frame(encode_register_request(HostSpec::detect())));
+  auto reply = wire.client->read();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(kv_parse(*reply).front().type(), "error");
   reply = wire.client->read();
   ASSERT_TRUE(reply.has_value());
   EXPECT_EQ(kv_parse(*reply).front().type(), "register-response");

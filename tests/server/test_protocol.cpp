@@ -134,7 +134,7 @@ TEST(InProcChannel, CloseWakesReader) {
 
 // --- protocol version negotiation ------------------------------------------
 
-TEST(Negotiation, NewClientNewServerLandsOnV2) {
+TEST(Negotiation, NewClientNewServerLandsOnCurrentMax) {
   UucsServer server(1, 8);
   server.set_generation(5);
   InProcChannelPair pair;
@@ -148,7 +148,8 @@ TEST(Negotiation, NewClientNewServerLandsOnV2) {
   req.guid = guid;
   req.protocol_version = kProtocolVersionMax;
   const SyncResponse resp = api.hot_sync(req);
-  EXPECT_EQ(resp.protocol_version, 2u);
+  EXPECT_EQ(resp.protocol_version,
+            static_cast<std::uint32_t>(kProtocolVersionMax));
   EXPECT_EQ(resp.server_generation, 5u);
   EXPECT_EQ(api.last_server_generation(), 5u);
 

@@ -12,6 +12,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
@@ -143,6 +144,171 @@ TEST(GroupCommit, AppendsDuringExclusiveAreHeldNotLost) {
   });
   late_writer.join();
   EXPECT_EQ(journal.entries().size(), 1u);
+}
+
+// --- disk-exhaustion resilience (DESIGN.md §15) ----------------------------
+
+/// Waits until `pred` holds or ~2 s elapse; returns whether it held.
+template <typename Pred>
+bool eventually(Pred pred) {
+  for (int i = 0; i < 2000; ++i) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(1ms);
+  }
+  return pred();
+}
+
+TEST(GroupCommit, InjectedEnospcDegradesParksAndRecoversExactlyOnce) {
+  TempDir dir;
+  Journal journal = Journal::open(dir.file("j.log"));
+  std::atomic<bool> failing{true};
+  GroupCommitJournal::Config cfg;
+  cfg.max_wait_us = 0;
+  cfg.recheck_interval_ms = 5;
+  cfg.fault_hook = [&] {
+    JournalFault f;
+    if (failing.load()) f.err = ENOSPC;
+    return f;
+  };
+  GroupCommitJournal committer(journal, cfg);
+
+  // The first batch fails like a full disk: its ack must be negative and the
+  // payload parked, never silently dropped (it was already applied in
+  // memory by the dispatcher that queued it).
+  std::atomic<int> first_acks{0}, first_durable{0};
+  committer.append_async({"first"}, [&](bool durable) {
+    ++first_acks;
+    first_durable += durable ? 1 : 0;
+  });
+  ASSERT_TRUE(eventually([&] { return first_acks.load() == 1; }));
+  EXPECT_EQ(first_durable.load(), 0);
+  ASSERT_TRUE(eventually(
+      [&] { return committer.health() == GroupCommitJournal::Health::kDegraded; }));
+
+  // While degraded, appends are rejected at the door — immediately, without
+  // waiting on the dead disk — and their payloads park too.
+  std::atomic<int> second_acks{0};
+  committer.append_async({"second"}, [&](bool durable) {
+    EXPECT_FALSE(durable);
+    ++second_acks;
+  });
+  ASSERT_TRUE(eventually([&] { return second_acks.load() == 1; }));
+  EXPECT_THROW(committer.append_sync({"third"}), SystemError);
+  {
+    const auto stats = committer.stats();
+    EXPECT_GE(stats.failed_batches, 1u);
+    EXPECT_GE(stats.rejected_appends, 2u);
+    EXPECT_EQ(stats.parked_entries, 3u);  // first + second + third
+    EXPECT_EQ(stats.degraded_spells, 1u);
+  }
+
+  // Space returns: the recovery probe replays the parked backlog in order
+  // and only then reopens the door.
+  failing.store(false);
+  ASSERT_TRUE(eventually(
+      [&] { return committer.health() == GroupCommitJournal::Health::kOk; }));
+  committer.append_sync({"after"});
+
+  const auto stats = committer.stats();
+  EXPECT_EQ(stats.recoveries, 1u);
+  EXPECT_EQ(stats.parked_entries, 0u);
+  const auto& entries = journal.entries();
+  ASSERT_EQ(entries.size(), 4u);
+  // Replay preserves queue order, and nothing is duplicated.
+  EXPECT_EQ(entries[0], "first");
+  EXPECT_EQ(entries[1], "second");
+  EXPECT_EQ(entries[2], "third");
+  EXPECT_EQ(entries[3], "after");
+}
+
+TEST(GroupCommit, BarrierDuringDegradedFailsFastWithoutParking) {
+  TempDir dir;
+  Journal journal = Journal::open(dir.file("j.log"));
+  std::atomic<bool> failing{true};
+  GroupCommitJournal::Config cfg;
+  cfg.max_wait_us = 0;
+  cfg.recheck_interval_ms = 5;
+  cfg.fault_hook = [&] {
+    JournalFault f;
+    if (failing.load()) f.err = EIO;
+    return f;
+  };
+  GroupCommitJournal committer(journal, cfg);
+  std::atomic<int> acks{0};
+  committer.append_async({"payload"}, [&](bool) { ++acks; });
+  ASSERT_TRUE(eventually([&] { return acks.load() == 1; }));
+  ASSERT_TRUE(eventually(
+      [&] { return committer.health() == GroupCommitJournal::Health::kDegraded; }));
+  // A barrier (empty append) carries no state, so a degraded journal fails
+  // it immediately and parks nothing.
+  std::atomic<int> barrier_acks{0};
+  committer.append_async({}, [&](bool durable) {
+    EXPECT_FALSE(durable);
+    ++barrier_acks;
+  });
+  ASSERT_TRUE(eventually([&] { return barrier_acks.load() == 1; }));
+  EXPECT_EQ(committer.stats().parked_entries, 1u);  // only the payload
+  failing.store(false);
+  ASSERT_TRUE(eventually(
+      [&] { return committer.health() == GroupCommitJournal::Health::kOk; }));
+  EXPECT_EQ(journal.entries().size(), 1u);
+}
+
+TEST(GroupCommit, DiskHeadroomFloorDegradesBeforeRealEnospc) {
+  TempDir dir;
+  Journal journal = Journal::open(dir.file("j.log"));
+  GroupCommitJournal::Config cfg;
+  cfg.max_wait_us = 0;
+  cfg.recheck_interval_ms = 5;
+  // No filesystem has this much headroom: the statvfs check must trip
+  // without the write ever reaching the disk.
+  cfg.min_free_bytes = ~std::uint64_t{0} / 2;
+  GroupCommitJournal committer(journal, cfg);
+  std::atomic<int> acks{0};
+  committer.append_async({"too-big"}, [&](bool durable) {
+    EXPECT_FALSE(durable);
+    ++acks;
+  });
+  ASSERT_TRUE(eventually([&] { return acks.load() == 1; }));
+  ASSERT_TRUE(eventually(
+      [&] { return committer.health() == GroupCommitJournal::Health::kDegraded; }));
+  EXPECT_TRUE(journal.entries().empty());
+  EXPECT_EQ(committer.stats().parked_entries, 1u);
+  // Destruction while degraded must not hang (nothing pending owes an ack).
+}
+
+TEST(GroupCommit, SlowFsyncsWidenTheGroupWindowThenNarrowBack) {
+  TempDir dir;
+  Journal journal = Journal::open(dir.file("j.log"));
+  std::atomic<bool> slow{true};
+  GroupCommitJournal::Config cfg;
+  cfg.max_wait_us = 100;
+  cfg.widened_max_wait_us = 2000;
+  cfg.widened_batch_factor = 4;
+  cfg.slow_fsync_threshold_s = 0.002;
+  cfg.fault_hook = [&] {
+    JournalFault f;
+    if (slow.load()) f.stall_s = 0.01;  // a loaded spinning disk
+    return f;
+  };
+  GroupCommitJournal committer(journal, cfg);
+  committer.append_sync({"a"});
+  // One 10 ms batch against a 2 ms threshold seeds the EWMA over it.
+  EXPECT_TRUE(committer.widened());
+  committer.append_sync({"b"});
+  {
+    const auto stats = committer.stats();
+    EXPECT_GE(stats.slow_fsyncs, 1u);
+    EXPECT_GE(stats.widened_batches, 1u);
+  }
+  // The device recovers; repeated fast batches decay the EWMA below half the
+  // threshold and the window narrows again.
+  slow.store(false);
+  for (int i = 0; i < 40 && committer.widened(); ++i) {
+    committer.append_sync({"fast-" + std::to_string(i)});
+  }
+  EXPECT_FALSE(committer.widened());
+  EXPECT_EQ(committer.health(), GroupCommitJournal::Health::kOk);
 }
 
 // --- crash battery ---------------------------------------------------------

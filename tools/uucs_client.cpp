@@ -59,7 +59,8 @@ void on_signal(int) {
   std::fprintf(stderr,
                "usage: uucs_client [--server HOST] [--port P] [--dir DIR] "
                "[--task LABEL] [--interarrival S] [--sync S] [--duration S] "
-               "[--timeout S] [--connect-timeout S] [--retries N] [--seed N] "
+               "[--timeout S] [--connect-timeout S] [--retries N] "
+               "[--retry-max-backoff S] [--seed N] "
                "[--disk-dir DIR] [--headroom FRAC] [--grace S] "
                "[--stop-bound S] [--failpoint-seed N | --failpoint-script SPEC]\n");
   std::exit(2);
@@ -117,6 +118,11 @@ int main(int argc, char** argv) {
     } else if (arg == "--retries") {
       config.sync_max_attempts = std::stoul(next());
       if (config.sync_max_attempts == 0) usage();
+    } else if (arg == "--retry-max-backoff") {
+      // Backoff ceiling: a fleet told to come back later by an overloaded
+      // server spreads its retries below this many seconds.
+      config.retry_max_delay_s = std::stod(next());
+      if (config.retry_max_delay_s <= 0) usage();
     } else if (arg == "--seed") {
       config.seed = std::stoull(next());
     } else if (arg == "--disk-dir") {

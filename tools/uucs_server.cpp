@@ -55,6 +55,32 @@
 ///   --drain-timeout        seconds to wait for in-flight requests during a
 ///                          takeover or graceful shutdown before
 ///                          force-closing stragglers (default 10)
+///
+/// Overload control (DESIGN.md §15) — all off by default:
+///
+///   --max-queue-depth      dispatched-but-unanswered request cap; beyond it
+///                          new work is shed (registrations before syncs)
+///   --request-deadline-ms  shed requests that waited longer than this
+///                          between the loop and a worker
+///   --max-buffered-bytes   global cap on per-connection buffer memory;
+///                          above it reads and accept pause until 7/8
+///   --min-free-bytes       journal disk headroom; a batch that would leave
+///                          less free space fails and the journal degrades
+///                          (writes rejected, reads served) until space
+///                          returns
+///   --min-available-frac   pause accept while the host memory probe reports
+///                          less than this fraction available (resumes at
+///                          1.5x)
+///   --retry-after-ms       backoff hint stamped on v3 busy/degraded replies
+///                          (default 200)
+///   --slow-fsync-ms        fsync latency above this widens the group-commit
+///                          batch window (fewer, larger fsyncs) until the
+///                          disk recovers
+///   --stats-interval       print a one-line stats digest every S seconds
+///   --server-faults        deterministic fault injection for chaos tests:
+///                          "OP:KIND,..." with KIND enospc | eio |
+///                          slow-fsync[=S] | pressure[=F], or "seed:N" for a
+///                          seeded hostile schedule
 
 #include <csignal>
 
@@ -72,6 +98,7 @@
 #include "util/error.hpp"
 #include "util/fs.hpp"
 #include "util/logging.hpp"
+#include "util/strings.hpp"
 
 namespace {
 
@@ -87,7 +114,12 @@ void on_signal(int) { g_shutdown.store(true); }
                "[--idle-timeout S] [--workers N] [--shards N] "
                "[--max-connections N] [--group-commit-max N] "
                "[--group-commit-wait-us N] [--control-socket PATH] "
-               "[--takeover PATH] [--drain-timeout S]\n");
+               "[--takeover PATH] [--drain-timeout S] "
+               "[--max-queue-depth N] [--request-deadline-ms D] "
+               "[--max-buffered-bytes N] [--min-free-bytes N] "
+               "[--min-available-frac F] [--retry-after-ms N] "
+               "[--slow-fsync-ms D] [--stats-interval S] "
+               "[--server-faults SPEC]\n");
   std::exit(2);
 }
 
@@ -103,6 +135,8 @@ int main(int argc, char** argv) {
   std::size_t batch = 16;
   std::size_t shards = 4;
   double drain_timeout_s = 10.0;
+  double stats_interval_s = 0.0;
+  std::string fault_spec;
   bool seed_suite = false;
   IngestServer::Config config;
   config.snapshot_every = 4096;
@@ -150,6 +184,31 @@ int main(int argc, char** argv) {
     } else if (arg == "--drain-timeout") {
       drain_timeout_s = std::stod(next());
       if (drain_timeout_s <= 0) usage();
+    } else if (arg == "--max-queue-depth") {
+      config.overload.max_queue_depth = std::stoul(next());
+    } else if (arg == "--request-deadline-ms") {
+      config.overload.request_deadline_ms = std::stod(next());
+      if (config.overload.request_deadline_ms < 0) usage();
+    } else if (arg == "--max-buffered-bytes") {
+      config.loop.max_buffered_bytes = std::stoul(next());
+    } else if (arg == "--min-free-bytes") {
+      config.commit.min_free_bytes = std::stoull(next());
+    } else if (arg == "--min-available-frac") {
+      config.overload.min_available_frac = std::stod(next());
+      if (config.overload.min_available_frac < 0 ||
+          config.overload.min_available_frac > 1) {
+        usage();
+      }
+    } else if (arg == "--retry-after-ms") {
+      config.overload.retry_after_ms = std::stoull(next());
+    } else if (arg == "--slow-fsync-ms") {
+      config.commit.slow_fsync_threshold_s = std::stod(next()) / 1000.0;
+      if (config.commit.slow_fsync_threshold_s < 0) usage();
+    } else if (arg == "--stats-interval") {
+      stats_interval_s = std::stod(next());
+      if (stats_interval_s <= 0) usage();
+    } else if (arg == "--server-faults") {
+      fault_spec = next();
     } else {
       usage();
     }
@@ -218,6 +277,25 @@ int main(int argc, char** argv) {
     config.loop.start_paused = true;
   }
 
+  // Deterministic server-side fault injection (chaos tests drive this; in
+  // production the registry stays disarmed and costs one atomic load).
+  ServerFailpoints failpoints;
+  if (!fault_spec.empty()) {
+    try {
+      if (fault_spec.rfind("seed:", 0) == 0) {
+        const std::uint64_t seed = std::stoull(fault_spec.substr(5));
+        failpoints.arm(ServerFaultSchedule::seeded(seed, ServerFaultProfile::hostile()));
+      } else {
+        failpoints.arm(parse_server_fault_schedule(fault_spec));
+      }
+      std::printf("server failpoints armed: %s\n", fault_spec.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "--server-faults %s: %s\n", fault_spec.c_str(), e.what());
+      return 2;
+    }
+    config.failpoints = &failpoints;
+  }
+
   IngestServer ingest(*server, config);
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);
@@ -269,9 +347,44 @@ int main(int argc, char** argv) {
       "(%zu workers, %zu shards, %zu max connections; Ctrl-C to stop)\n",
       ingest.port(), config.loop.workers, shards, config.loop.max_connections);
 
+  // Main wait loop; with --stats-interval it doubles as the stats reporter,
+  // one greppable line per interval.
+  int ticks_until_stats =
+      stats_interval_s > 0 ? static_cast<int>(stats_interval_s * 10) : -1;
   while (!g_shutdown.load(std::memory_order_acquire) &&
          !g_handed_off.load(std::memory_order_acquire)) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    if (ticks_until_stats < 0 || --ticks_until_stats > 0) continue;
+    ticks_until_stats = static_cast<int>(stats_interval_s * 10);
+    const EventLoopStats ls = ingest.loop_stats();
+    const OverloadStats os = ingest.overload_stats();
+    std::string journal = "journal=none";
+    if (ingest.has_committer()) {
+      const GroupCommitJournal::Stats cs = ingest.commit_stats();
+      const char* health = "ok";
+      if (ingest.journal_health() == GroupCommitJournal::Health::kDegraded) {
+        health = "degraded";
+      } else if (ingest.journal_health() == GroupCommitJournal::Health::kBroken) {
+        health = "broken";
+      }
+      journal = strprintf("journal=%s entries=%llu batches=%llu parked=%zu "
+                          "slow_fsyncs=%llu",
+                          health, static_cast<unsigned long long>(cs.entries),
+                          static_cast<unsigned long long>(cs.batches),
+                          cs.parked_entries,
+                          static_cast<unsigned long long>(cs.slow_fsyncs));
+    }
+    std::printf("stats: conns=%zu inflight=%zu buffered=%zu "
+                "shed[queue=%llu deadline=%llu reg=%llu degraded=%llu] "
+                "pressure[paused=%llu frac=%.2f] %s\n",
+                ls.open_connections, ls.inflight, ls.buffered_bytes,
+                static_cast<unsigned long long>(os.shed_queue),
+                static_cast<unsigned long long>(os.shed_deadline),
+                static_cast<unsigned long long>(os.shed_registrations),
+                static_cast<unsigned long long>(os.degraded_rejects),
+                static_cast<unsigned long long>(os.pressure_pauses),
+                os.last_available_frac, journal.c_str());
+    std::fflush(stdout);
   }
 
   if (controller) controller->stop();

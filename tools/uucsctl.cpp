@@ -20,6 +20,10 @@
 ///                                              O(1) space per run and
 ///                                              writes the aggregate dump
 ///                                              instead of raw records
+///   uucsctl stats   HOST PORT [--verbose]     query a live server's load,
+///                                              shedding, and journal-health
+///                                              counters ([stats-request]);
+///                                              --verbose prints every key
 ///   uucsctl chaos   HOST PORT [--seed N | --schedule SPEC] [--syncs K]
 ///                                              replay a fault schedule
 ///                                              against a live server and
@@ -71,6 +75,7 @@
 #include "testcase/suite.hpp"
 #include "util/clock.hpp"
 #include "util/fs.hpp"
+#include "util/kvtext.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
 
@@ -80,7 +85,7 @@ using namespace uucs;
 
 [[noreturn]] void usage() {
   std::fprintf(stderr,
-               "usage: uucsctl list|show|make|results|metrics|cdf|profile|suite|chaos|chaoshost|upgrade ...\n"
+               "usage: uucsctl list|show|make|results|metrics|cdf|profile|suite|stats|chaos|chaoshost|upgrade ...\n"
                "  list    STORE.txt\n"
                "  show    STORE.txt ID\n"
                "  make    STORE.txt ramp RES X T | step RES X T B | blank T\n"
@@ -104,8 +109,11 @@ using namespace uucs;
                "records than N;\n"
                "           --verbose prints per-worker engine stats and "
                "shard merge time)\n"
+               "  stats   HOST PORT [--verbose]\n"
+               "          (one-shot load/shedding/journal-health query; "
+               "--verbose\n           prints every counter)\n"
                "  chaos   HOST PORT [--seed N | --schedule SPEC] [--syncs K]\n"
-               "          [--retries N] [--timeout S]\n"
+               "          [--retries N] [--timeout S] [--retry-max-backoff S]\n"
                "          (drives a live server through injected faults and "
                "verifies\n           every upload is stored exactly once)\n"
                "  chaoshost [SEEDS] [--seed-base N | --schedule SPEC]\n"
@@ -115,7 +123,8 @@ using namespace uucs;
                "and verifies every\n           run completes with a typed "
                "outcome and leaks no scratch)\n"
                "  upgrade HOST PORT [--syncs N] [--interval S] [--timeout S]\n"
-               "          [--retries N] [--no-expect-bump]\n"
+               "          [--retries N] [--no-expect-bump] "
+               "[--retry-max-backoff S]\n"
                "          (syncs continuously while an operator performs a "
                "live\n           takeover; reports client-observed retries, "
                "worst latency,\n           and the generation bump, and "
@@ -330,6 +339,61 @@ int cmd_study(const std::string& out, const std::vector<std::string>& raw) {
   return 0;
 }
 
+/// One-shot [stats-request] round trip: how loaded is this server, what has
+/// it shed, and is its journal healthy?
+int cmd_stats(const std::string& host, std::uint16_t port,
+              const std::vector<std::string>& raw) {
+  bool verbose = false;
+  for (const std::string& a : raw) {
+    if (a == "--verbose") {
+      verbose = true;
+    } else {
+      usage();
+    }
+  }
+  const ChannelDeadlines deadlines{5.0, 5.0, 5.0};
+  auto channel = TcpChannel::connect(host, port, deadlines);
+  KvRecord req("stats-request");
+  req.set_int("version", 3);
+  channel->write(kv_serialize({req}));
+  const auto reply = channel->read();
+  channel->close();
+  if (!reply) {
+    std::fprintf(stderr, "uucsctl stats: server closed without answering\n");
+    return 1;
+  }
+  const auto records = kv_parse(*reply);
+  if (records.empty() || records[0].type() != "stats-response") {
+    std::fprintf(stderr, "uucsctl stats: unexpected reply [%s]\n",
+                 records.empty() ? "" : records[0].type().c_str());
+    return 1;
+  }
+  const KvRecord& r = records[0];
+  if (verbose) {
+    for (const auto& key : r.keys()) {
+      std::printf("%-28s %s\n", key.c_str(), r.get(key).c_str());
+    }
+    return 0;
+  }
+  std::printf("generation %lld, %lld clients, journal %s\n",
+              static_cast<long long>(r.get_int_or("generation", 0)),
+              static_cast<long long>(r.get_int_or("clients", 0)),
+              r.get_or("journal.health", "none").c_str());
+  std::printf("connections %lld open, %lld inflight, %lld buffered bytes\n",
+              static_cast<long long>(r.get_int_or("loop.open_connections", 0)),
+              static_cast<long long>(r.get_int_or("loop.inflight", 0)),
+              static_cast<long long>(r.get_int_or("loop.buffered_bytes", 0)));
+  std::printf("shed: queue %lld, deadline %lld, registrations %lld, "
+              "degraded %lld; pressure pauses %lld (frac %.2f)\n",
+              static_cast<long long>(r.get_int_or("shed.queue", 0)),
+              static_cast<long long>(r.get_int_or("shed.deadline", 0)),
+              static_cast<long long>(r.get_int_or("shed.registrations", 0)),
+              static_cast<long long>(r.get_int_or("shed.degraded_rejects", 0)),
+              static_cast<long long>(r.get_int_or("pressure.pauses", 0)),
+              r.get_double_or("pressure.available_frac", 1.0));
+  return 0;
+}
+
 int cmd_chaos(const std::string& host, std::uint16_t port,
               const std::vector<std::string>& raw) {
   std::uint64_t seed = 1;
@@ -337,6 +401,7 @@ int cmd_chaos(const std::string& host, std::uint16_t port,
   std::size_t syncs = 5;
   std::size_t retries = 10;
   double io_timeout_s = 2.0;
+  double max_backoff_s = 1.0;
   for (std::size_t i = 0; i < raw.size(); ++i) {
     auto next = [&]() -> std::string {
       if (++i >= raw.size()) usage();
@@ -353,6 +418,9 @@ int cmd_chaos(const std::string& host, std::uint16_t port,
       if (retries == 0) usage();
     } else if (raw[i] == "--timeout") {
       io_timeout_s = std::stod(next());
+    } else if (raw[i] == "--retry-max-backoff") {
+      max_backoff_s = std::stod(next());
+      if (max_backoff_s <= 0) usage();
     } else {
       usage();
     }
@@ -366,7 +434,7 @@ int cmd_chaos(const std::string& host, std::uint16_t port,
   RetryPolicy policy;
   policy.max_attempts = retries;
   policy.base_delay_s = 0.05;
-  policy.max_delay_s = 1.0;
+  policy.max_delay_s = max_backoff_s;
   policy.jitter_seed = seed;
   const ChannelDeadlines deadlines{5.0, io_timeout_s, 5.0};
   RetryingServerApi api(
@@ -450,6 +518,7 @@ int cmd_upgrade(const std::string& host, std::uint16_t port,
   std::size_t max_syncs = 200;
   double interval_s = 0.05;
   double io_timeout_s = 2.0;
+  double max_backoff_s = 1.0;
   std::size_t retries = 10;
   bool expect_bump = true;
   for (std::size_t i = 0; i < raw.size(); ++i) {
@@ -470,6 +539,9 @@ int cmd_upgrade(const std::string& host, std::uint16_t port,
       if (retries == 0) usage();
     } else if (raw[i] == "--no-expect-bump") {
       expect_bump = false;
+    } else if (raw[i] == "--retry-max-backoff") {
+      max_backoff_s = std::stod(next());
+      if (max_backoff_s <= 0) usage();
     } else {
       usage();
     }
@@ -479,7 +551,7 @@ int cmd_upgrade(const std::string& host, std::uint16_t port,
   RetryPolicy policy;
   policy.max_attempts = retries;
   policy.base_delay_s = 0.05;
-  policy.max_delay_s = 1.0;
+  policy.max_delay_s = max_backoff_s;
   const ChannelDeadlines deadlines{5.0, io_timeout_s, 5.0};
   RetryingServerApi api(
       [&] { return TcpChannel::connect(host, port, deadlines); }, clock, policy);
@@ -724,6 +796,11 @@ int main(int argc, char** argv) {
     }
     if (cmd == "study") {
       return cmd_study(argv[2], {argv + 3, argv + argc});
+    }
+    if (cmd == "stats" && argc >= 4) {
+      return cmd_stats(argv[2],
+                       static_cast<std::uint16_t>(std::stoul(argv[3])),
+                       {argv + 4, argv + argc});
     }
     if (cmd == "chaos" && argc >= 4) {
       return cmd_chaos(argv[2],

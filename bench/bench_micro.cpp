@@ -12,6 +12,8 @@
 #include <vector>
 
 #include "analysis/metrics.hpp"
+#include "server/protocol.hpp"
+#include "util/crc32.hpp"
 #include "analysis/streaming.hpp"
 #include "engine/session_engine.hpp"
 #include "exerciser/failpoints.hpp"
@@ -62,6 +64,146 @@ void BM_KvRoundTrip(benchmark::State& state) {
   state.SetLabel(std::to_string(state.range(0)) + "s testcase");
 }
 BENCHMARK(BM_KvRoundTrip)->Arg(120)->Arg(1200);
+
+std::string crc_test_buffer(std::size_t n) {
+  // Mixed bytes so table lookups don't stay in one cache line.
+  std::string data(n, '\0');
+  std::uint32_t x = 0x12345678u;
+  for (std::size_t i = 0; i < n; ++i) {
+    x = x * 1664525u + 1013904223u;
+    data[i] = static_cast<char>(x >> 24);
+  }
+  return data;
+}
+
+void BM_Crc32Bytewise(benchmark::State& state) {
+  // The pre-slice-by-8 reference loop: one table lookup per byte. Kept as
+  // the baseline the perf-smoke guard measures BM_Crc32 against (>= 4x).
+  const std::string data = crc_test_buffer(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(uucs::crc32_bytewise(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+  state.SetLabel("bytewise");
+}
+BENCHMARK(BM_Crc32Bytewise)->Arg(64)->Arg(4096)->Arg(65536);
+
+void BM_Crc32(benchmark::State& state) {
+  // The dispatched production path every journal frame and replay pays:
+  // slice-by-8 (or the ARMv8 CRC32 instructions where the IEEE polynomial
+  // is available in hardware — x86's SSE4.2 crc32 is CRC32C and would
+  // change the journal bytes, so it is deliberately not used).
+  const std::string data = crc_test_buffer(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(uucs::crc32(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+  state.SetLabel(uucs::crc32_impl_name());
+}
+BENCHMARK(BM_Crc32)->Arg(64)->Arg(4096)->Arg(65536);
+
+std::string bench_sync_request_text() {
+  uucs::SyncRequest req;
+  req.guid = uucs::Guid::parse("0123456789abcdef0123456789abcdef");
+  req.sync_seq = 7;
+  for (int r = 0; r < 2; ++r) {
+    uucs::RunRecord rec;
+    rec.run_id = "bench/" + std::to_string(r);
+    rec.client_guid = "0123456789abcdef0123456789abcdef";
+    rec.testcase_id = "memory-ramp-x1-t120";
+    rec.task = "bench";
+    rec.discomforted = (r % 2) == 0;
+    rec.offset_s = 10.0 + r;
+    req.results.push_back(std::move(rec));
+  }
+  return uucs::encode_sync_request(req);
+}
+
+void BM_KvParseRecords(benchmark::State& state) {
+  // The owning parse: materializes a vector<KvRecord> (heap strings for
+  // every key and value) per call. The cold paths still use it.
+  const std::string text = bench_sync_request_text();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(uucs::kv_parse(text).size());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(BM_KvParseRecords);
+
+void BM_KvParseDoc(benchmark::State& state) {
+  // The zero-copy parse the dispatch hot path uses: string_views into the
+  // input plus recycled pair/record vectors — no allocation once warm.
+  const std::string text = bench_sync_request_text();
+  uucs::KvDoc doc;
+  doc.parse(text);  // warm the arena
+  for (auto _ : state) {
+    doc.parse(text);
+    benchmark::DoNotOptimize(doc.size());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(BM_KvParseDoc);
+
+void BM_PeekRequest(benchmark::State& state) {
+  // The admission-control sniff: op + declared result count from the first
+  // lines of a frame, without parsing the body.
+  const std::string text = bench_sync_request_text();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(uucs::peek_request(text).op);
+  }
+}
+BENCHMARK(BM_PeekRequest);
+
+void BM_SyncResponseEncodeInto(benchmark::State& state) {
+  // Response encode into a recycled buffer. Arg 0: testcase serialization
+  // cache cold (re-formats every "%.17g" sample). Arg 1: warm, as served
+  // from TestcaseStore — the production configuration.
+  uucs::SyncResponse response;
+  response.accepted_results = 2;
+  response.stored_run_ids = {"bench/0", "bench/1"};
+  response.server_testcase_count = 2;
+  response.new_testcases.push_back(
+      uucs::make_ramp_testcase(uucs::Resource::kMemory, 1.0, 120.0));
+  response.new_testcases.push_back(
+      uucs::make_ramp_testcase(uucs::Resource::kCpu, 0.5, 0.05, 60.0));
+  if (state.range(0) != 0) {
+    for (auto& tc : response.new_testcases) tc.warm_encoded_record();
+  }
+  std::string out;
+  uucs::encode_sync_response_into(response, out);  // warm the buffer
+  std::size_t bytes = out.size();
+  for (auto _ : state) {
+    out.clear();
+    uucs::encode_sync_response_into(response, out);
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(bytes));
+  state.SetLabel(state.range(0) ? "warm testcase cache" : "cold testcase cache");
+}
+BENCHMARK(BM_SyncResponseEncodeInto)->Arg(0)->Arg(1);
+
+void BM_JournalBatchBuild(benchmark::State& state) {
+  // Group-commit batch framing: header + payload + CRC for range(0)
+  // entries appended into one recycled buffer — the pure CPU share of an
+  // append_batch, with the write(2)/fsync(2) left out.
+  std::vector<std::string> payloads;
+  for (int i = 0; i < state.range(0); ++i) {
+    payloads.push_back("entry " + std::to_string(i) + std::string(250, 'z'));
+  }
+  std::string batch;
+  std::int64_t bytes = 0;
+  for (auto _ : state) {
+    batch.clear();
+    for (const auto& p : payloads) uucs::Journal::frame_into(batch, p);
+    benchmark::DoNotOptimize(batch.size());
+  }
+  bytes = static_cast<std::int64_t>(batch.size());
+  state.SetBytesProcessed(state.iterations() * bytes);
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_JournalBatchBuild)->Arg(64)->Arg(512);
 
 void BM_ExpExpTrace(benchmark::State& state) {
   uucs::Rng rng(7);

@@ -15,7 +15,9 @@
 /// The numbers land in BENCH_server.json (see --json): connections held,
 /// syncs/s, acks/s, fsyncs per 1k acks (the group-commit win; a
 /// fsync-per-append design would be ~1000), entries-per-batch reduction
-/// factor, and p50/p99 ack latency.
+/// factor, and p50/p90/p99 ack latency from real microsecond samples (a
+/// per-child reservoir, not a histogram — earlier revisions bucketed by
+/// log2 and could only report powers of two).
 ///
 /// Usage:
 ///   bench_server [--connections N] [--procs K] [--syncs S] [--records R]
@@ -36,6 +38,7 @@
 #include <sys/epoll.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
@@ -43,6 +46,7 @@
 #include <cstring>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "monitor/sysinfo.hpp"
@@ -62,20 +66,29 @@ namespace {
 using BenchClock = std::chrono::steady_clock;
 using uucs::FrameReader;
 using uucs::Guid;
-using uucs::KvRecord;
+using uucs::KvDoc;
 using uucs::RunRecord;
 using uucs::SyncRequest;
 using uucs::TcpChannel;
 
-constexpr std::size_t kLatencyBuckets = 40;  ///< log2(us) histogram
+/// Per-child cap on retained latency samples. 16k floats keeps the report a
+/// single 64 KiB pipe transfer while giving p99 of a 20k-ack run ~200
+/// samples above the cut line.
+constexpr std::size_t kLatencyReservoir = 16384;
 
-/// What one swarm child reports back over its pipe, in one atomic write.
+/// What one swarm child reports back over its pipe.
+///
+/// Latencies are raw microseconds under reservoir sampling, not histogram
+/// buckets: the earlier log2 histogram could only ever report 1.5*2^b, so
+/// p50/p99 landed on eye-catching powers of two (786432, 1572864) that were
+/// artifacts of the bucketing, not measurements.
 struct ChildReport {
   std::uint64_t registers = 0;
   std::uint64_t syncs_acked = 0;
   std::uint64_t records_acked = 0;
   std::uint64_t errors = 0;
-  std::uint64_t latency_hist[kLatencyBuckets] = {};
+  std::uint64_t latency_count = 0;  ///< acks observed (>= samples retained)
+  float latency_us[kLatencyReservoir] = {};
 };
 
 void raise_fd_limit() {
@@ -86,29 +99,15 @@ void raise_fd_limit() {
   }
 }
 
-std::size_t latency_bucket(double us) {
-  std::size_t b = 0;
-  while (us >= 2.0 && b + 1 < kLatencyBuckets) {
-    us /= 2.0;
-    ++b;
-  }
-  return b;
-}
-
-/// Representative latency (us) for bucket b: the bucket's geometric middle.
-double bucket_value_us(std::size_t b) { return 1.5 * static_cast<double>(1ull << b); }
-
-double hist_percentile(const std::uint64_t* hist, double p) {
-  std::uint64_t total = 0;
-  for (std::size_t b = 0; b < kLatencyBuckets; ++b) total += hist[b];
-  if (total == 0) return 0.0;
-  const double target = p * static_cast<double>(total);
-  std::uint64_t seen = 0;
-  for (std::size_t b = 0; b < kLatencyBuckets; ++b) {
-    seen += hist[b];
-    if (static_cast<double>(seen) >= target) return bucket_value_us(b);
-  }
-  return bucket_value_us(kLatencyBuckets - 1);
+/// Nearest-rank percentile over sorted raw samples.
+double sample_percentile(const std::vector<float>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = p * static_cast<double>(sorted.size());
+  std::size_t idx = static_cast<std::size_t>(rank);
+  if (static_cast<double>(idx) < rank) ++idx;  // ceil
+  if (idx == 0) idx = 1;
+  if (idx > sorted.size()) idx = sorted.size();
+  return static_cast<double>(sorted[idx - 1]);
 }
 
 // --- swarm child -----------------------------------------------------------
@@ -121,6 +120,7 @@ struct SwarmConn {
   FrameReader reader;
   std::string out;
   std::size_t out_off = 0;
+  bool registered_out = false;  ///< EPOLLOUT currently in the epoll set
   std::string guid;
   int next_sync = 0;
   BenchClock::time_point sent_at{};
@@ -137,16 +137,36 @@ struct SwarmChild {
   std::size_t connecting = 0;      ///< conns mid-handshake (bounds SYN bursts)
   std::size_t settled = 0;         ///< holding or dead
   ChildReport report;
-  std::string register_tail;  ///< host spec records, shared by every conn
+  std::string register_head;  ///< register payload up to the nonce value
+  std::string register_tail;  ///< nonce onward: host spec, shared by all conns
+  KvDoc doc;                  ///< recycled parse arena for every response
+  SyncRequest req_scratch;    ///< recycled request arena (records kept warm)
+  std::string payload_buf;    ///< recycled encode buffer for every request
+  std::uint64_t rng = 0x9e3779b97f4a7c15ull;  ///< reservoir replacement LCG
+
+  /// Reservoir sampling (algorithm R): every ack has an equal chance of
+  /// being retained, so the percentiles are unbiased even past the cap.
+  void record_latency(double us) {
+    const std::uint64_t n = report.latency_count++;
+    std::size_t slot = static_cast<std::size_t>(n);
+    if (n >= kLatencyReservoir) {
+      rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+      slot = static_cast<std::size_t>((rng >> 16) % (n + 1));
+      if (slot >= kLatencyReservoir) return;
+    }
+    report.latency_us[slot] = static_cast<float>(us);
+  }
 
   void update_events(std::size_t i) {
+    SwarmConn& c = conns[i];
+    const bool need_out = c.out_off < c.out.size() ||
+                          c.state == ConnState::kConnecting;
+    if (need_out == c.registered_out) return;  // epoll set already right
     struct epoll_event ev;
-    ev.events = EPOLLIN | (conns[i].out_off < conns[i].out.size() ||
-                                   conns[i].state == ConnState::kConnecting
-                               ? EPOLLOUT
-                               : 0u);
+    ev.events = EPOLLIN | (need_out ? EPOLLOUT : 0u);
     ev.data.u64 = i;
-    ::epoll_ctl(epfd, EPOLL_CTL_MOD, conns[i].fd, &ev);
+    ::epoll_ctl(epfd, EPOLL_CTL_MOD, c.fd, &ev);
+    c.registered_out = need_out;
   }
 
   void fail(std::size_t i) {
@@ -162,11 +182,30 @@ struct SwarmChild {
     ++settled;
   }
 
-  void queue(std::size_t i, const std::string& payload) {
+  void queue(std::size_t i, std::string_view payload) {
     SwarmConn& c = conns[i];
-    c.out = TcpChannel::frame(payload);
+    c.out.clear();
+    TcpChannel::frame_header_into(c.out, payload.size());
+    c.out.append(payload.data(), payload.size());
     c.out_off = 0;
     c.sent_at = BenchClock::now();
+    // Optimistic send: in the ping-pong steady state the socket is writable
+    // and the frame fits the send buffer, so the common case needs no
+    // EPOLLOUT registration (two epoll_ctl calls per request otherwise).
+    while (c.out_off < c.out.size()) {
+      const ssize_t n = ::send(c.fd, c.out.data() + c.out_off,
+                               c.out.size() - c.out_off, MSG_NOSIGNAL);
+      if (n > 0) {
+        c.out_off += static_cast<std::size_t>(n);
+      } else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        break;
+      } else if (n < 0 && errno == EINTR) {
+        continue;
+      } else {
+        fail(i);
+        return;
+      }
+    }
     update_events(i);
   }
 
@@ -195,6 +234,7 @@ struct SwarmChild {
     struct epoll_event ev;
     ev.events = EPOLLIN | EPOLLOUT;
     ev.data.u64 = i;
+    c.registered_out = true;
     if (::epoll_ctl(epfd, EPOLL_CTL_ADD, c.fd, &ev) != 0) fail(i);
   }
 
@@ -204,43 +244,54 @@ struct SwarmChild {
     while (next_unstarted < conns.size() && connecting < 384) start_one();
   }
 
-  std::string sync_payload(std::size_t i) {
+  /// Encodes the next sync request into the recycled `payload_buf` /
+  /// `req_scratch` pair: after warm-up no per-sync heap allocation happens
+  /// on the client side either, so the swarm's share of the single core
+  /// measures the server, not the load generator.
+  std::string_view sync_payload(std::size_t i) {
     SwarmConn& c = conns[i];
-    SyncRequest req;
-    req.guid = Guid::parse(c.guid);
-    req.sync_seq = static_cast<std::uint64_t>(c.next_sync + 1);
+    req_scratch.guid = Guid::parse(c.guid);
+    req_scratch.sync_seq = static_cast<std::uint64_t>(c.next_sync + 1);
+    req_scratch.results.resize(static_cast<std::size_t>(records));
     for (int r = 0; r < records; ++r) {
-      RunRecord rec;
-      rec.run_id = c.guid + "/" + std::to_string(c.next_sync * records + r);
+      RunRecord& rec = req_scratch.results[static_cast<std::size_t>(r)];
+      rec.run_id.clear();
+      rec.run_id += c.guid;
+      rec.run_id += '/';
+      char seq[16];
+      std::snprintf(seq, sizeof(seq), "%d", c.next_sync * records + r);
+      rec.run_id += seq;
       rec.client_guid = c.guid;
       rec.testcase_id = "memory-ramp-x1-t120";
       rec.task = "bench";
       rec.discomforted = (r % 2) == 0;
       rec.offset_s = 10.0 + r;
-      req.results.push_back(std::move(rec));
     }
-    return uucs::encode_sync_request(req);
+    payload_buf.clear();
+    uucs::encode_sync_request_into(req_scratch, payload_buf);
+    return payload_buf;
   }
 
-  void on_frame(std::size_t i, const std::string& payload) {
+  void on_frame(std::size_t i, std::string_view payload) {
     SwarmConn& c = conns[i];
-    std::vector<KvRecord> parsed;
+    // Zero-copy client hot path: the view points into the connection's
+    // frame buffer and `doc` recycles its pair/record vectors per frame.
     try {
-      parsed = uucs::kv_parse(payload);
+      doc.parse(payload);
     } catch (const std::exception&) {
       fail(i);
       return;
     }
-    if (parsed.empty() || parsed.front().type() == "error") {
+    if (doc.empty() || doc.at(0).type() == "error") {
       fail(i);
       return;
     }
     const double us = std::chrono::duration<double, std::micro>(
                           BenchClock::now() - c.sent_at)
                           .count();
-    ++report.latency_hist[latency_bucket(us)];
+    record_latency(us);
     if (c.state == ConnState::kRegistering) {
-      c.guid = parsed.front().get_or("guid", "");
+      c.guid = doc.at(0).get_or("guid", "");
       if (c.guid.empty()) {
         fail(i);
         return;
@@ -249,8 +300,8 @@ struct SwarmChild {
       c.state = ConnState::kSyncing;
       queue(i, sync_payload(i));
     } else if (c.state == ConnState::kSyncing) {
-      const auto accepted = parsed.front().get_int_or("accepted_results", -1);
-      const auto dup = parsed.front().get_int_or("duplicate_results", 0);
+      const auto accepted = doc.at(0).get_int_or("accepted_results", -1);
+      const auto dup = doc.at(0).get_int_or("duplicate_results", 0);
       if (accepted + dup != records) {
         fail(i);
         return;
@@ -279,11 +330,15 @@ struct SwarmChild {
       }
       --connecting;
       c.state = ConnState::kRegistering;
-      queue(i, uucs::encode_register_request(
-                   uucs::HostSpec::paper_study_machine(),
-                   "bench-" + std::to_string(child_index) + "-" +
-                       std::to_string(i)));
+      payload_buf.clear();
+      payload_buf += register_head;
+      char nonce[48];
+      std::snprintf(nonce, sizeof(nonce), "bench-%d-%zu", child_index, i);
+      payload_buf += nonce;
+      payload_buf += register_tail;
+      queue(i, payload_buf);
       pump_connects();
+      if (c.state == ConnState::kDead) return;  // queue's send may fail
     }
     while (c.out_off < c.out.size()) {
       const ssize_t n = ::send(c.fd, c.out.data() + c.out_off,
@@ -312,9 +367,9 @@ struct SwarmChild {
           fail(i);
           return;
         }
-        std::string frame;
-        while (c.state != ConnState::kDead && c.reader.next(frame)) {
-          on_frame(i, frame);
+        std::string_view frame;
+        while (c.state != ConnState::kDead && c.reader.next_view(frame)) {
+          on_frame(i, frame);  // view consumed before the next feed()
         }
         if (static_cast<std::size_t>(n) < sizeof(buf)) return;
       } else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
@@ -333,6 +388,16 @@ struct SwarmChild {
   int run(std::size_t n_conns, int port_pipe, int report_pipe) {
     epfd = ::epoll_create1(0);
     if (epfd < 0) return 1;
+    // Encode the register payload once and split it at the nonce, so each
+    // connection's registration is two appends instead of a fresh HostSpec
+    // probe + encode. Splitting on a sentinel (rather than hand-writing the
+    // wire format here) keeps the bytes the encoder's own.
+    const std::string sentinel = "@NONCE@";
+    const std::string full = uucs::encode_register_request(
+        uucs::HostSpec::paper_study_machine(), sentinel);
+    const std::size_t at = full.find(sentinel);
+    register_head = full.substr(0, at);
+    register_tail = full.substr(at + sentinel.size());
     conns.resize(n_conns);
     pump_connects();
     std::vector<struct epoll_event> events(1024);
@@ -362,7 +427,15 @@ struct SwarmChild {
         ++report.errors;  // stranded mid-protocol by the 30s bail-out
       }
     }
-    if (::write(report_pipe, &report, sizeof(report)) != sizeof(report)) return 1;
+    // The report (64 KiB of samples) exceeds PIPE_BUF; write it in pieces.
+    const char* src = reinterpret_cast<const char*>(&report);
+    std::size_t sent = 0;
+    while (sent < sizeof(report)) {
+      const ssize_t n = ::write(report_pipe, src + sent, sizeof(report) - sent);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return 1;
+      sent += static_cast<std::size_t>(n);
+    }
     // Hold every connection open until the parent has sampled its stats.
     char release = 0;
     [[maybe_unused]] const ssize_t r = ::read(port_pipe, &release, 1);
@@ -534,29 +607,35 @@ int main(int argc, char** argv) {
   // Children report only when every connection has finished its syncs (and
   // is still holding its socket open).
   ChildReport total;
+  std::vector<float> latencies;  // merged samples from every child
   bool report_failures = false;
   for (Child& c : children) {
-    ChildReport r;
+    auto r = std::make_unique<ChildReport>();
     std::size_t got = 0;
-    while (got < sizeof(r)) {
-      const ssize_t n = ::read(c.report_pipe, reinterpret_cast<char*>(&r) + got,
-                               sizeof(r) - got);
+    while (got < sizeof(*r)) {
+      const ssize_t n = ::read(c.report_pipe,
+                               reinterpret_cast<char*>(r.get()) + got,
+                               sizeof(*r) - got);
       if (n <= 0) break;
       got += static_cast<std::size_t>(n);
     }
-    if (got != sizeof(r)) {
+    if (got != sizeof(*r)) {
       std::fprintf(stderr, "child %d died without reporting\n", (int)c.pid);
       report_failures = true;
       continue;
     }
-    total.registers += r.registers;
-    total.syncs_acked += r.syncs_acked;
-    total.records_acked += r.records_acked;
-    total.errors += r.errors;
-    for (std::size_t b = 0; b < kLatencyBuckets; ++b) {
-      total.latency_hist[b] += r.latency_hist[b];
-    }
+    total.registers += r->registers;
+    total.syncs_acked += r->syncs_acked;
+    total.records_acked += r->records_acked;
+    total.errors += r->errors;
+    total.latency_count += r->latency_count;
+    const std::size_t kept = static_cast<std::size_t>(
+        std::min<std::uint64_t>(r->latency_count, kLatencyReservoir));
+    latencies.insert(latencies.end(), r->latency_us, r->latency_us + kept);
   }
+  // Children run identical workloads, so concatenating their equal-rate
+  // reservoirs keeps the merged sample unbiased.
+  std::sort(latencies.begin(), latencies.end());
   const double wall_s =
       std::chrono::duration<double>(BenchClock::now() - t0).count();
 
@@ -602,8 +681,9 @@ int main(int argc, char** argv) {
   const double fsync_reduction =
       fsyncs == 0 ? 0.0
                   : static_cast<double>(commit.entries) / static_cast<double>(fsyncs);
-  const double p50_us = hist_percentile(total.latency_hist, 0.50);
-  const double p99_us = hist_percentile(total.latency_hist, 0.99);
+  const double p50_us = sample_percentile(latencies, 0.50);
+  const double p90_us = sample_percentile(latencies, 0.90);
+  const double p99_us = sample_percentile(latencies, 0.99);
 
   std::printf("connections        %zu held (max open %zu, accepted %llu)\n",
               loop_stats.open_connections, loop_stats.max_open_connections,
@@ -628,7 +708,10 @@ int main(int argc, char** argv) {
               "fsync-per-append)\n",
               static_cast<unsigned long long>(fsyncs), fsyncs_per_1k_acks,
               fsync_reduction);
-  std::printf("ack latency        p50 %.0f us, p99 %.0f us\n", p50_us, p99_us);
+  std::printf("ack latency        p50 %.0f us, p90 %.0f us, p99 %.0f us "
+              "(%zu samples of %llu acks)\n",
+              p50_us, p90_us, p99_us, latencies.size(),
+              static_cast<unsigned long long>(total.latency_count));
 
   if (!opt.json_path.empty()) {
     std::string json = "{\n";
@@ -679,8 +762,12 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(fsyncs), fsyncs_per_1k_acks,
         fsync_reduction);
     json += uucs::strprintf(
-        "  \"ack_latency_p50_us\": %.0f,\n  \"ack_latency_p99_us\": %.0f\n",
-        p50_us, p99_us);
+        "  \"ack_latency_p50_us\": %.0f,\n  \"ack_latency_p90_us\": %.0f,\n"
+        "  \"ack_latency_p99_us\": %.0f,\n",
+        p50_us, p90_us, p99_us);
+    json += uucs::strprintf(
+        "  \"ack_latency_samples\": %zu,\n  \"ack_latency_acks\": %llu\n",
+        latencies.size(), static_cast<unsigned long long>(total.latency_count));
     json += "}\n";
     uucs::write_file(opt.json_path, json);
     std::printf("\nwrote %s\n", opt.json_path.c_str());

@@ -4,6 +4,7 @@
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -50,16 +51,22 @@ TcpListener make_listener(const EventLoopServer::Config& config) {
 // FrameReader
 
 void FrameReader::feed(const char* data, std::size_t n) {
-  // Compact once the consumed prefix dominates, so long-lived connections do
-  // not grow their buffer without bound.
-  if (consumed_ > 4096 && consumed_ > buffer_.size() / 2) {
+  if (consumed_ == buffer_.size()) {
+    // Everything handed out: restart at the front of the warm buffer. (This
+    // also invalidates any outstanding next_view() view, which is exactly
+    // the documented lifetime.)
+    buffer_.clear();
+    consumed_ = 0;
+  } else if (consumed_ > 4096 && consumed_ > buffer_.size() / 2) {
+    // Compact once the consumed prefix dominates, so long-lived connections
+    // do not grow their buffer without bound.
     buffer_.erase(0, consumed_);
     consumed_ = 0;
   }
   buffer_.append(data, n);
 }
 
-bool FrameReader::next(std::string& payload) {
+bool FrameReader::parse_frame(std::size_t& header_len, std::size_t& len) const {
   // Header: "UUCS <len>\n". Wait for the newline before judging the header —
   // except that anything longer than the longest legal header, or any byte
   // that contradicts the grammar, is malformed right now.
@@ -82,7 +89,7 @@ bool FrameReader::next(std::string& payload) {
     return false;
   }
 
-  std::size_t len = 0;
+  len = 0;
   const char* p = base + kMagicLen;
   if (p == nl) throw ProtocolError("frame header missing length");
   for (; p != nl; ++p) {
@@ -91,15 +98,28 @@ bool FrameReader::next(std::string& payload) {
     if (len > kMaxFrameBytes) throw ProtocolError("frame too large");
   }
 
-  const std::size_t header_len = static_cast<std::size_t>(nl - base) + 1;
-  if (avail < header_len + len) return false;
+  header_len = static_cast<std::size_t>(nl - base) + 1;
+  return avail >= header_len + len;
+}
 
-  payload.assign(base + header_len, len);
+bool FrameReader::next(std::string& payload) {
+  std::size_t header_len = 0;
+  std::size_t len = 0;
+  if (!parse_frame(header_len, len)) return false;
+  payload.assign(buffer_.data() + consumed_ + header_len, len);
   consumed_ += header_len + len;
-  if (consumed_ == buffer_.size()) {
-    buffer_.clear();
-    consumed_ = 0;
-  }
+  return true;
+}
+
+bool FrameReader::next_view(std::string_view& payload) {
+  std::size_t header_len = 0;
+  std::size_t len = 0;
+  if (!parse_frame(header_len, len)) return false;
+  payload = std::string_view(buffer_.data() + consumed_ + header_len, len);
+  // The consumed prefix (including this frame) stays in the buffer until the
+  // next feed() resets or compacts it — that keeps the view alive for the
+  // dispatch that is about to run.
+  consumed_ += header_len + len;
   return true;
 }
 
@@ -461,6 +481,7 @@ void EventLoopServer::handle_accept() {
     c.out.clear();
     c.out_offset = 0;
     c.out_bytes = 0;
+    c.flush_queued = false;
     c.accounted_bytes = 0;
     c.in_flight = 0;
     c.want_write = false;
@@ -512,6 +533,7 @@ void EventLoopServer::close_connection(std::size_t index, bool timed_out) {
   c.out.clear();
   c.out_offset = 0;
   c.out_bytes = 0;
+  c.flush_queued = false;  // a stale dirty_conns_ entry finds it reset
   c.buffer_paused = false;
   c.reader = FrameReader();
   buffered_total_ -= c.accounted_bytes;
@@ -626,25 +648,56 @@ void EventLoopServer::handle_readable(std::size_t index) {
   dispatch_frames(index);
 }
 
-void EventLoopServer::queue_write(std::size_t index, std::string framed) {
+void EventLoopServer::queue_write(std::size_t index, std::string payload) {
   Connection& c = conns_[index];
-  c.out_bytes += framed.size();
-  c.out.push_back(std::move(framed));
-  flush_writes(index);
+  Connection::OutMsg msg;
+  TcpChannel::frame_header_into(msg.header, payload.size());  // SSO, no alloc
+  msg.payload = std::move(payload);
+  c.out_bytes += msg.size();
+  c.out.push_back(std::move(msg));
+  if (!c.flush_queued) {
+    c.flush_queued = true;
+    dirty_conns_.push_back(index);
+  }
 }
 
 void EventLoopServer::flush_writes(std::size_t index) {
   Connection& c = conns_[index];
+  // Gather as many queued responses as fit into one vectored send: header
+  // and payload of each message are separate iovecs, so a burst of
+  // pipelined acks leaves in a single syscall with zero concatenation.
   while (!c.out.empty()) {
-    const std::string& chunk = c.out.front();
-    const ssize_t n = ::send(c.fd.get(), chunk.data() + c.out_offset,
-                             chunk.size() - c.out_offset, MSG_NOSIGNAL);
+    static constexpr int kMaxIov = 64;
+    iovec iov[kMaxIov];
+    int iovcnt = 0;
+    std::size_t skip = c.out_offset;  // progress into the front message
+    for (const Connection::OutMsg& m : c.out) {
+      if (iovcnt + 2 > kMaxIov) break;
+      if (skip < m.header.size()) {
+        iov[iovcnt].iov_base = const_cast<char*>(m.header.data()) + skip;
+        iov[iovcnt].iov_len = m.header.size() - skip;
+        ++iovcnt;
+        skip = 0;
+      } else {
+        skip -= m.header.size();
+      }
+      if (skip < m.payload.size()) {
+        iov[iovcnt].iov_base = const_cast<char*>(m.payload.data()) + skip;
+        iov[iovcnt].iov_len = m.payload.size() - skip;
+        ++iovcnt;
+      }
+      skip = 0;
+    }
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = static_cast<std::size_t>(iovcnt);
+    const ssize_t n = ::sendmsg(c.fd.get(), &msg, MSG_NOSIGNAL);
     if (n > 0) {
-      c.out_offset += static_cast<std::size_t>(n);
       c.out_bytes -= static_cast<std::size_t>(n);
-      if (c.out_offset == chunk.size()) {
+      c.out_offset += static_cast<std::size_t>(n);
+      while (!c.out.empty() && c.out_offset >= c.out.front().size()) {
+        c.out_offset -= c.out.front().size();
         c.out.pop_front();
-        c.out_offset = 0;
       }
       continue;
     }
@@ -690,8 +743,10 @@ void EventLoopServer::drain_completions() {
         std::lock_guard<std::mutex> lock(stats_mu_);
         ++stats_.responses;
       }
-      queue_write(done.index, TcpChannel::frame(*done.payload));
-      if (!c.open) continue;  // queue_write may close on error
+      // The payload string moves into the output queue unchanged (the frame
+      // header rides alongside it); the socket write happens below, once
+      // per connection, after the whole completion batch is enqueued.
+      queue_write(done.index, std::move(*done.payload));
     }
     if (!c.draining && c.paused_read && c.in_flight < config_.max_pipeline) {
       c.paused_read = false;
@@ -701,6 +756,16 @@ void EventLoopServer::drain_completions() {
     }
     if (c.open) update_buffer_accounting(done.index);
   }
+  // One flush per dirty connection per wakeup: a pipelined burst of acks
+  // coalesces into a single sendmsg instead of one send() per response.
+  for (const std::size_t idx : dirty_conns_) {
+    Connection& c = conns_[idx];
+    if (!c.open || !c.flush_queued) continue;  // closed since queueing
+    c.flush_queued = false;
+    flush_writes(idx);
+    if (conns_[idx].open) update_buffer_accounting(idx);
+  }
+  dirty_conns_.clear();
 }
 
 void EventLoopServer::loop() {

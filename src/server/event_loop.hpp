@@ -9,6 +9,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -36,10 +37,21 @@ class FrameReader {
   /// connection is beyond repair at that point and must be closed.
   bool next(std::string& payload);
 
+  /// Zero-copy variant: on true, `payload` is a view into the reassembly
+  /// buffer. The view is valid only until the next feed()/next()/next_view()
+  /// call — consumers that need the bytes past that point must copy (next()
+  /// is exactly that copy). The ingest hot path peeks and parses straight
+  /// out of this view, so a request never exists as a second string.
+  bool next_view(std::string_view& payload);
+
   /// Bytes buffered but not yet returned (partial frame in flight).
   std::size_t buffered() const { return buffer_.size() - consumed_; }
 
  private:
+  /// Parses the frame at the consumed_ cursor. True: `header_len`/`len`
+  /// describe it; false: incomplete. Throws on malformed headers.
+  bool parse_frame(std::size_t& header_len, std::size_t& len) const;
+
   std::string buffer_;
   std::size_t consumed_ = 0;  ///< prefix of buffer_ already handed out
 };
@@ -247,9 +259,18 @@ class EventLoopServer {
     UniqueFd fd;
     std::uint64_t generation = 0;
     FrameReader reader;
-    std::deque<std::string> out;      ///< framed responses awaiting write
+    /// One queued response: frame header and payload kept separate so the
+    /// payload string moves unchanged from the worker into the socket
+    /// (writev sends both without ever concatenating them).
+    struct OutMsg {
+      std::string header;   ///< "UUCS <len>\n" (always fits SSO)
+      std::string payload;
+      std::size_t size() const { return header.size() + payload.size(); }
+    };
+    std::deque<OutMsg> out;           ///< responses awaiting write
     std::size_t out_offset = 0;       ///< bytes of out.front() already sent
     std::size_t out_bytes = 0;        ///< total unsent bytes across `out`
+    bool flush_queued = false;        ///< in dirty_conns_ this wakeup
     std::size_t accounted_bytes = 0;  ///< this connection's share of the global total
     std::size_t in_flight = 0;        ///< dispatched, not yet responded
     bool want_write = false;          ///< EPOLLOUT currently armed
@@ -281,7 +302,10 @@ class EventLoopServer {
   void handle_readable(std::size_t index);
   void handle_writable(std::size_t index);
   void dispatch_frames(std::size_t index);
-  void queue_write(std::size_t index, std::string framed);
+  /// Enqueues `payload` (framing it with a separate header) and marks the
+  /// connection dirty; the actual write happens once per wakeup in
+  /// drain_completions so pipelined acks coalesce into one writev.
+  void queue_write(std::size_t index, std::string payload);
   void flush_writes(std::size_t index);
   void close_connection(std::size_t index, bool timed_out);
   void drain_completions();
@@ -326,6 +350,10 @@ class EventLoopServer {
   std::uint64_t wheel_tick_ = 0;   ///< last expired tick
   std::uint64_t idle_ticks_ = 0;   ///< idle timeout in ticks
   static constexpr std::uint64_t kTickMs = 100;
+
+  /// Connections with responses queued this wakeup, flushed once each at
+  /// the end of drain_completions (loop thread only).
+  std::vector<std::size_t> dirty_conns_;
 
   std::mutex completions_mu_;
   std::vector<Completion> completions_;

@@ -10,6 +10,7 @@
 
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 
 #include "util/error.hpp"
@@ -160,9 +161,17 @@ std::unique_ptr<TcpChannel> TcpChannel::connect(const std::string& host,
   return std::make_unique<TcpChannel>(fd, deadlines);
 }
 
-std::string TcpChannel::frame(const std::string& payload) {
-  std::string framed = strprintf("UUCS %zu\n", payload.size());
-  framed += payload;
+void TcpChannel::frame_header_into(std::string& out, std::size_t payload_size) {
+  char hdr[32];
+  const int n = std::snprintf(hdr, sizeof(hdr), "UUCS %zu\n", payload_size);
+  out.append(hdr, static_cast<std::size_t>(n));
+}
+
+std::string TcpChannel::frame(std::string_view payload) {
+  std::string framed;
+  framed.reserve(payload.size() + 16);
+  frame_header_into(framed, payload.size());
+  framed.append(payload);
   return framed;
 }
 

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 
 #include "server/protocol.hpp"
 
@@ -95,7 +96,13 @@ class TcpChannel final : public MessageChannel {
 
   /// The framed wire bytes write() would send for `payload`. Exposed so
   /// fault injection and tests can craft truncated or corrupt frames.
-  static std::string frame(const std::string& payload);
+  static std::string frame(std::string_view payload);
+
+  /// Appends just the frame header ("UUCS <len>\n") for a payload of
+  /// `payload_size` bytes to `out`. The event loop writes header and payload
+  /// as separate iovecs, so the payload is never copied into a framed
+  /// string.
+  static void frame_header_into(std::string& out, std::size_t payload_size);
 
   /// Sends raw bytes with no framing (fault injection / tests only).
   void write_bytes(const std::string& bytes);

@@ -1,6 +1,7 @@
 #include "server/protocol.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "util/error.hpp"
 #include "util/logging.hpp"
@@ -20,16 +21,38 @@ void check_id(const std::string& id) {
 /// Strict protocol-version field parse: absent falls back to `absent`, but a
 /// present field must be a sane positive integer. The error is a typed
 /// ProtocolError (never a hang, never a ParseError that reads like a file
-/// bug) so version-skew failures are diagnosable at both ends.
-int parse_version_field(const KvRecord& head, const std::string& key, int absent) {
+/// bug) so version-skew failures are diagnosable at both ends. Templated so
+/// KvRecord and KvDoc::Rec heads share the one implementation (and the one
+/// error message).
+template <class H>
+int parse_version_field(const H& head, const std::string& key, int absent) {
   const auto raw = head.find(key);
   if (!raw) return absent;
   const auto v = parse_int(*raw);
   if (!v || *v < 1 || *v > 1000000) {
-    throw ProtocolError("malformed protocol version '" + *raw + "' in [" +
-                        head.type() + "]");
+    throw ProtocolError("malformed protocol version '" + std::string(*raw) +
+                        "' in [" + std::string(head.type()) + "]");
   }
   return static_cast<int>(*v);
+}
+
+/// `key = <integer>\n`, matching KvRecord::set_int + kv_serialize bytes.
+void append_int_line(std::string& out, std::string_view key, std::int64_t v) {
+  out.append(key);
+  out.append(" = ");
+  char buf[24];
+  const int n = std::snprintf(buf, sizeof(buf), "%lld",
+                              static_cast<long long>(v));
+  out.append(buf, static_cast<std::size_t>(n));
+  out.push_back('\n');
+}
+
+void append_str_line(std::string& out, std::string_view key,
+                     std::string_view value) {
+  out.append(key);
+  out.append(" = ");
+  out.append(value);
+  out.push_back('\n');
 }
 
 }  // namespace
@@ -42,69 +65,117 @@ std::string encode_register_request(const HostSpec& host, const std::string& non
   return kv_serialize({head, host.to_record()});
 }
 
+void encode_register_response_into(const Guid& guid, int protocol_version,
+                                   std::string& out) {
+  out.append("[register-response]\n");
+  append_str_line(out, "guid", guid.to_string());
+  append_int_line(out, "version", protocol_version);
+  out.push_back('\n');
+}
+
 std::string encode_register_response(const Guid& guid, int protocol_version) {
-  KvRecord head("register-response");
-  head.set("guid", guid.to_string());
-  head.set_int("version", protocol_version);
-  return kv_serialize({head});
+  std::string out;
+  encode_register_response_into(guid, protocol_version, out);
+  return out;
+}
+
+void encode_sync_request_into(const SyncRequest& request, std::string& out) {
+  out.append("[sync-request]\n");
+  // v1 requests stay byte-identical to the pre-negotiation wire format.
+  if (request.protocol_version >= 2) {
+    append_int_line(out, "proto", request.protocol_version);
+  }
+  out.append("guid = ");
+  request.guid.append_to(out);  // no temporary: the sync hot path writes this
+  out.push_back('\n');
+  append_int_line(out, "sync_seq", static_cast<std::int64_t>(request.sync_seq));
+  for (const auto& id : request.known_testcase_ids) check_id(id);
+  out.append("known = ");
+  for (std::size_t i = 0; i < request.known_testcase_ids.size(); ++i) {
+    if (i) out.push_back(',');
+    out.append(request.known_testcase_ids[i]);
+  }
+  out.push_back('\n');
+  append_int_line(out, "result_count",
+                  static_cast<std::int64_t>(request.results.size()));
+  out.push_back('\n');
+  for (const auto& r : request.results) r.serialize_into(out);
 }
 
 std::string encode_sync_request(const SyncRequest& request) {
-  KvRecord head("sync-request");
-  // v1 requests stay byte-identical to the pre-negotiation wire format.
-  if (request.protocol_version >= 2) {
-    head.set_int("proto", request.protocol_version);
+  std::string out;
+  encode_sync_request_into(request, out);
+  return out;
+}
+
+void encode_sync_response_into(const SyncResponse& response, std::string& out) {
+  out.append("[sync-response]\n");
+  if (response.protocol_version >= 2) {
+    append_int_line(out, "proto", response.protocol_version);
+    append_int_line(out, "generation",
+                    static_cast<std::int64_t>(response.server_generation));
   }
-  head.set("guid", request.guid.to_string());
-  head.set_int("sync_seq", static_cast<std::int64_t>(request.sync_seq));
-  for (const auto& id : request.known_testcase_ids) check_id(id);
-  head.set("known", join(request.known_testcase_ids, ","));
-  head.set_int("result_count", static_cast<std::int64_t>(request.results.size()));
-  std::vector<KvRecord> records{std::move(head)};
-  for (const auto& r : request.results) records.push_back(r.to_record());
-  return kv_serialize(records);
+  append_int_line(out, "accepted_results",
+                  static_cast<std::int64_t>(response.accepted_results));
+  append_int_line(out, "duplicate_results",
+                  static_cast<std::int64_t>(response.duplicate_results));
+  for (const auto& id : response.stored_run_ids) check_id(id);
+  out.append("stored = ");
+  for (std::size_t i = 0; i < response.stored_run_ids.size(); ++i) {
+    if (i) out.push_back(',');
+    out.append(response.stored_run_ids[i]);
+  }
+  out.push_back('\n');
+  append_int_line(out, "server_testcase_count",
+                  static_cast<std::int64_t>(response.server_testcase_count));
+  append_int_line(out, "testcase_count",
+                  static_cast<std::int64_t>(response.new_testcases.size()));
+  out.push_back('\n');
+  for (const auto& tc : response.new_testcases) {
+    // Appends the testcase's warm serialization cache when present —
+    // identical bytes to kv_serialize_record_into(tc.to_record(), out).
+    tc.serialize_record_into(out);
+  }
 }
 
 std::string encode_sync_response(const SyncResponse& response) {
-  KvRecord head("sync-response");
-  if (response.protocol_version >= 2) {
-    head.set_int("proto", response.protocol_version);
-    head.set_int("generation",
-                 static_cast<std::int64_t>(response.server_generation));
-  }
-  head.set_int("accepted_results",
-               static_cast<std::int64_t>(response.accepted_results));
-  head.set_int("duplicate_results",
-               static_cast<std::int64_t>(response.duplicate_results));
-  for (const auto& id : response.stored_run_ids) check_id(id);
-  head.set("stored", join(response.stored_run_ids, ","));
-  head.set_int("server_testcase_count",
-               static_cast<std::int64_t>(response.server_testcase_count));
-  head.set_int("testcase_count",
-               static_cast<std::int64_t>(response.new_testcases.size()));
-  std::vector<KvRecord> records{std::move(head)};
-  for (const auto& tc : response.new_testcases) records.push_back(tc.to_record());
-  return kv_serialize(records);
+  std::string out;
+  encode_sync_response_into(response, out);
+  return out;
+}
+
+void encode_error_into(const std::string& message, std::string& out) {
+  out.append("[error]\n");
+  append_str_line(out, "message", message);
+  out.push_back('\n');
 }
 
 std::string encode_error(const std::string& message) {
-  KvRecord head("error");
-  head.set("message", message);
-  return kv_serialize({head});
+  std::string out;
+  encode_error_into(message, out);
+  return out;
+}
+
+void encode_busy_into(const std::string& kind, const std::string& message,
+                      std::uint64_t retry_after_ms, std::string& out) {
+  out.append("[error]\n");
+  append_str_line(out, "message", message);
+  append_str_line(out, "kind", kind);
+  append_int_line(out, "retry_after_ms",
+                  static_cast<std::int64_t>(retry_after_ms));
+  out.push_back('\n');
 }
 
 std::string encode_busy(const std::string& kind, const std::string& message,
                         std::uint64_t retry_after_ms) {
-  KvRecord head("error");
-  head.set("message", message);
-  head.set("kind", kind);
-  head.set_int("retry_after_ms", static_cast<std::int64_t>(retry_after_ms));
-  return kv_serialize({head});
+  std::string out;
+  encode_busy_into(kind, message, retry_after_ms, out);
+  return out;
 }
 
-RequestPeek peek_request(const std::string& request) noexcept {
+RequestPeek peek_request(std::string_view request) noexcept {
   RequestPeek peek;
-  const std::string_view sv(request);
+  const std::string_view sv = request;
   bool in_head = false;
   std::size_t pos = 0;
   while (pos < sv.size()) {
@@ -150,9 +221,9 @@ RequestPeek peek_request(const std::string& request) noexcept {
 
 namespace {
 
-SyncRequest decode_sync_request(const std::vector<KvRecord>& records) {
+SyncRequest decode_sync_request(const KvDoc& doc) {
   SyncRequest request;
-  const KvRecord& head = records.front();
+  const KvDoc::Rec head = doc.at(0);
   const int proto = parse_version_field(head, "proto", 1);
   if (proto > kProtocolVersionMax) {
     throw ProtocolError("unsupported sync protocol version " +
@@ -160,13 +231,22 @@ SyncRequest decode_sync_request(const std::vector<KvRecord>& records) {
                         std::to_string(kProtocolVersionMax) + ")");
   }
   request.protocol_version = static_cast<std::uint32_t>(proto);
-  request.guid = Guid::parse(head.get("guid"));
+  request.guid = Guid::parse(std::string(head.get("guid")));
   request.sync_seq = static_cast<std::uint64_t>(head.get_int_or("sync_seq", 0));
-  for (const auto& id : split(head.get_or("known", ""), ',')) {
-    if (!id.empty()) request.known_testcase_ids.push_back(id);
+  // Tokenize the known-ids list straight off the view (same boundaries as
+  // split(raw, ','): empty fields skipped just like before).
+  const std::string_view known = head.has("known") ? head.get("known") : "";
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= known.size(); ++i) {
+    if (i == known.size() || known[i] == ',') {
+      if (i > start) {
+        request.known_testcase_ids.emplace_back(known.substr(start, i - start));
+      }
+      start = i + 1;
+    }
   }
-  for (std::size_t i = 1; i < records.size(); ++i) {
-    request.results.push_back(RunRecord::from_record(records[i]));
+  for (std::size_t i = 1; i < doc.size(); ++i) {
+    request.results.push_back(RunRecord::from_kv(doc.at(i)));
   }
   const auto expected = static_cast<std::size_t>(head.get_int_or("result_count", -1));
   if (head.has("result_count") && expected != request.results.size()) {
@@ -208,31 +288,39 @@ namespace {
 /// Shared dispatch body. `journal_out == nullptr` is the blocking path (the
 /// server journals + fsyncs internally before returning); non-null is the
 /// deferred path (entries come back for the caller's group commit).
-std::string dispatch_impl(UucsServer& server, const std::string& request,
+///
+/// The parse is zero-copy: the request is sliced into a per-worker-thread
+/// KvDoc arena whose index vectors stay warm across requests, so the
+/// steady-state sync path allocates nothing between the frame buffer and
+/// the typed SyncRequest. The views live only until this function returns
+/// (or the same thread dispatches again) — everything that outlives the
+/// call (run records, registration state) is copied by the decoders.
+std::string dispatch_impl(UucsServer& server, std::string_view request,
                           Clock* clock, std::vector<std::string>* journal_out) {
   try {
-    const auto records = kv_parse(request);
-    if (records.empty()) return encode_error("empty request");
-    const std::string& op = records.front().type();
+    thread_local KvDoc doc;
+    doc.parse(request);
+    if (doc.empty()) return encode_error("empty request");
+    const std::string_view op = doc.at(0).type();
     if (op == "register-request") {
-      if (records.size() < 2) return encode_error("register request missing host");
+      if (doc.size() < 2) return encode_error("register request missing host");
       // Version negotiation: answer the highest version both sides speak. A
       // client newer than us simply gets our ceiling back; a malformed
       // version is a typed ProtocolError answered as [error], never a hang.
       const int requested =
-          parse_version_field(records.front(), "version", kProtocolVersionMin);
+          parse_version_field(doc.at(0), "version", kProtocolVersionMin);
       const int negotiated = std::min(requested, kProtocolVersionMax);
-      const HostSpec host = HostSpec::from_record(records[1]);
+      const HostSpec host = HostSpec::from_record(doc.at(1).materialize());
       const Guid guid = server.register_client(host, clock ? clock->now() : 0.0,
-                                               records.front().get_or("nonce", ""),
+                                               doc.at(0).get_or("nonce", ""),
                                                journal_out);
       return encode_register_response(guid, negotiated);
     }
     if (op == "sync-request") {
-      const SyncRequest req = decode_sync_request(records);
+      const SyncRequest req = decode_sync_request(doc);
       return encode_sync_response(server.hot_sync(req, journal_out));
     }
-    return encode_error("unknown operation '" + op + "'");
+    return encode_error("unknown operation '" + std::string(op) + "'");
   } catch (const std::exception& e) {
     // An error response acknowledges nothing, so nothing needs durability.
     if (journal_out != nullptr) journal_out->clear();
@@ -242,13 +330,14 @@ std::string dispatch_impl(UucsServer& server, const std::string& request,
 
 }  // namespace
 
-std::string dispatch_request(UucsServer& server, const std::string& request,
+std::string dispatch_request(UucsServer& server, std::string_view request,
                              Clock* clock) {
   return dispatch_impl(server, request, clock, nullptr);
 }
 
 DispatchResult dispatch_request_deferred(UucsServer& server,
-                                         const std::string& request, Clock* clock) {
+                                         std::string_view request,
+                                         Clock* clock) {
   DispatchResult result;
   result.response = dispatch_impl(server, request, clock, &result.journal_entries);
   return result;

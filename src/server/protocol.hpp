@@ -3,6 +3,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 
 #include "server/server.hpp"
 #include "util/clock.hpp"
@@ -84,6 +85,19 @@ std::string encode_sync_request(const SyncRequest& request);
 std::string encode_sync_response(const SyncResponse& response);
 std::string encode_error(const std::string& message);
 
+/// Append-style encoders: write the message into a caller-owned buffer
+/// (appending, not replacing), byte-identical to the string-returning
+/// variants above. The hot paths reuse one warmed buffer per worker so a
+/// steady stream of encodes performs no heap allocation; the golden wire
+/// tests pin both variants against checked-in fixtures.
+void encode_register_response_into(const Guid& guid, int protocol_version,
+                                   std::string& out);
+void encode_sync_request_into(const SyncRequest& request, std::string& out);
+void encode_sync_response_into(const SyncResponse& response, std::string& out);
+void encode_error_into(const std::string& message, std::string& out);
+void encode_busy_into(const std::string& kind, const std::string& message,
+                      std::uint64_t retry_after_ms, std::string& out);
+
 /// v3 typed backpressure: an [error] reply that additionally names its
 /// shedding class (`kind`: "overload" | "degraded") and hints how long the
 /// client should back off. Only ever sent to peers that asked for v3 —
@@ -104,16 +118,20 @@ struct RequestPeek {
   bool write_class = false;
 };
 
-/// Cheap, never-throwing scan of the request's head record. Malformed input
-/// yields kUnknown/defaults — admission control must not crash on garbage
-/// the dispatcher would reject anyway.
-RequestPeek peek_request(const std::string& request) noexcept;
+/// Cheap, never-throwing scan of the request's head record. Operates on a
+/// view (the ingest plane peeks straight into the connection's frame
+/// buffer); allocates nothing. Malformed input yields kUnknown/defaults —
+/// admission control must not crash on garbage the dispatcher would reject
+/// anyway.
+RequestPeek peek_request(std::string_view request) noexcept;
 
 /// Server-side dispatch of one encoded request; returns the encoded
 /// response (an [error] message for malformed or failing requests).
 /// Journals and fsyncs accepted state before returning, so the returned
-/// response may be sent immediately.
-std::string dispatch_request(UucsServer& server, const std::string& request,
+/// response may be sent immediately. `request` is only read during the
+/// call (the parse is zero-copy into a per-thread arena), so callers may
+/// pass a view into a transient frame buffer.
+std::string dispatch_request(UucsServer& server, std::string_view request,
                              Clock* clock = nullptr);
 
 /// Result of a deferred-durability dispatch: the encoded response plus the
@@ -130,7 +148,8 @@ struct DispatchResult {
 /// back. The ingest plane feeds them to the group-commit journal and sends
 /// the response from the batch's durability callback, which is what lets
 /// thousands of concurrent acks share one fsync.
-DispatchResult dispatch_request_deferred(UucsServer& server, const std::string& request,
+DispatchResult dispatch_request_deferred(UucsServer& server,
+                                         std::string_view request,
                                          Clock* clock = nullptr);
 
 /// Serves a channel until the peer closes: read request, dispatch, reply.

@@ -258,7 +258,13 @@ SyncResponse UucsServer::hot_sync(const SyncRequest& request,
         shard.seen_run_ids.insert(r.run_id);
         response.stored_run_ids.push_back(r.run_id);
       }
-      if (journal_) journal_entries.push_back(kv_serialize({r.to_record()}));
+      if (journal_) {
+        // Journal bytes are pinned: serialize_into is byte-identical to
+        // kv_serialize({r.to_record()}) without the intermediate KvRecord.
+        std::string entry;
+        r.serialize_into(entry);
+        journal_entries.push_back(std::move(entry));
+      }
       shard.results.add(r);
       ++response.accepted_results;
     }

@@ -1,6 +1,8 @@
 #include "testcase/run_record.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <string_view>
 #include <unordered_set>
 
 #include "util/error.hpp"
@@ -33,6 +35,53 @@ std::string RunRecord::run_outcome() const { return meta("run.outcome", "ok"); }
 
 bool RunRecord::host_fault() const { return run_outcome() != "ok"; }
 
+namespace {
+
+// %.17g — the exact format KvRecord::set_double / set_doubles use, so
+// serialize_into stays byte-identical to the to_record() path.
+void append_double(std::string& out, double v) {
+  char buf[40];
+  const int n = std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out.append(buf, static_cast<std::size_t>(n));
+}
+
+void append_line(std::string& out, std::string_view key, std::string_view value) {
+  out.append(key);
+  out.append(" = ");
+  out.append(value);
+  out.push_back('\n');
+}
+
+}  // namespace
+
+void RunRecord::serialize_into(std::string& out) const {
+  out.append("[run]\n");
+  append_line(out, "run_id", run_id);
+  append_line(out, "client_guid", client_guid);
+  append_line(out, "user_id", user_id);
+  append_line(out, "testcase_id", testcase_id);
+  append_line(out, "task", task);
+  append_line(out, "discomforted", discomforted ? "true" : "false");
+  out.append("offset_s = ");
+  append_double(out, offset_s);
+  out.push_back('\n');
+  for (const auto& [name, values] : last_levels) {
+    out.append("last.");
+    out.append(name);
+    out.append(" = ");
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (i) out.push_back(',');
+      append_double(out, values[i]);
+    }
+    out.push_back('\n');
+  }
+  for (const auto& [key, value] : metadata) {
+    out.append("meta.");
+    append_line(out, key, value);
+  }
+  out.push_back('\n');
+}
+
 KvRecord RunRecord::to_record() const {
   KvRecord rec("run");
   rec.set("run_id", run_id);
@@ -51,9 +100,16 @@ KvRecord RunRecord::to_record() const {
   return rec;
 }
 
-RunRecord RunRecord::from_record(const KvRecord& rec) {
+namespace {
+
+// One decoder for both representations: KvRecord and KvDoc::Rec expose the
+// same positional (size/key_at/value_at) and typed-getter interface, and
+// both throw the same ParseError messages.
+template <class R>
+RunRecord decode_run_impl(const R& rec) {
   if (rec.type() != "run") {
-    throw ParseError("expected [run] record, got [" + rec.type() + "]");
+    throw ParseError("expected [run] record, got [" + std::string(rec.type()) +
+                     "]");
   }
   RunRecord r;
   r.run_id = rec.get("run_id");
@@ -63,14 +119,27 @@ RunRecord RunRecord::from_record(const KvRecord& rec) {
   r.task = rec.get_or("task", "");
   r.discomforted = rec.get_bool("discomforted");
   r.offset_s = rec.get_double("offset_s");
-  for (const auto& key : rec.keys()) {
+  const std::size_t n = rec.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string_view key = rec.key_at(i);
     if (starts_with(key, "last.")) {
-      r.last_levels[key.substr(5)] = rec.get_doubles(key);
+      parse_double_list(rec.value_at(i), key,
+                        r.last_levels[std::string(key.substr(5))]);
     } else if (starts_with(key, "meta.")) {
-      r.metadata[key.substr(5)] = rec.get(key);
+      r.metadata[std::string(key.substr(5))] = std::string(rec.value_at(i));
     }
   }
   return r;
+}
+
+}  // namespace
+
+RunRecord RunRecord::from_record(const KvRecord& rec) {
+  return decode_run_impl(rec);
+}
+
+RunRecord RunRecord::from_kv(const KvDoc::Rec& rec) {
+  return decode_run_impl(rec);
 }
 
 void ResultStore::add(RunRecord r) { records_.push_back(std::move(r)); }

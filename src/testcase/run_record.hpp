@@ -57,6 +57,16 @@ struct RunRecord {
 
   KvRecord to_record() const;
   static RunRecord from_record(const KvRecord& rec);
+
+  /// Zero-copy decode from a parsed KvDoc record (the ingest hot path);
+  /// field semantics and error messages identical to from_record.
+  static RunRecord from_kv(const KvDoc::Rec& rec);
+
+  /// Appends this record in kv-text form to `out`, byte-identical to
+  /// kv_serialize({to_record()}) but without materializing the intermediate
+  /// KvRecord — the journal-entry and sync-response encoders build their
+  /// buffers with this.
+  void serialize_into(std::string& out) const;
 };
 
 /// Append-only collection of run records with text-file persistence —

@@ -9,6 +9,10 @@
 namespace uucs {
 
 void TestcaseStore::add(Testcase tc) {
+  // Warm the serialization cache here, before the instance is shared:
+  // every sync response that hands this testcase out appends the cached
+  // bytes instead of re-formatting each sample.
+  tc.warm_encoded_record();
   const std::string id = tc.id();
   cases_.insert_or_assign(id, std::move(tc));
 }

@@ -16,6 +16,7 @@ Testcase::Testcase(std::string id, double blank_duration)
 void Testcase::set_function(Resource r, ExerciseFunction f) {
   UUCS_CHECK_MSG(!f.empty(), "cannot attach an empty exercise function");
   functions_[r] = std::move(f);
+  encoded_record_.clear();  // cache no longer matches
 }
 
 const ExerciseFunction* Testcase::function(Resource r) const {
@@ -52,6 +53,19 @@ KvRecord Testcase::to_record() const {
     rec.set_doubles(name + ".values", f.values());
   }
   return rec;
+}
+
+void Testcase::serialize_record_into(std::string& out) const {
+  if (!encoded_record_.empty()) {
+    out += encoded_record_;
+    return;
+  }
+  kv_serialize_record_into(to_record(), out);
+}
+
+void Testcase::warm_encoded_record() {
+  encoded_record_.clear();
+  kv_serialize_record_into(to_record(), encoded_record_);
 }
 
 Testcase Testcase::from_record(const KvRecord& rec) {

@@ -26,7 +26,10 @@ class Testcase {
 
   /// Free-form description, e.g. "ramp(2.0,120) cpu".
   const std::string& description() const { return description_; }
-  void set_description(std::string d) { description_ = std::move(d); }
+  void set_description(std::string d) {
+    description_ = std::move(d);
+    encoded_record_.clear();  // cache no longer matches
+  }
 
   /// Attaches the exercise function for `r`, replacing any existing one.
   void set_function(Resource r, ExerciseFunction f);
@@ -50,6 +53,19 @@ class Testcase {
   /// per-resource "<name>.rate" / "<name>.values" keys.
   KvRecord to_record() const;
 
+  /// Appends the kv-text serialization of to_record() to `out`. When
+  /// warm_encoded_record() has been called (TestcaseStore::add does), this
+  /// appends the cached bytes instead of re-formatting every "%.17g" sample
+  /// — the dominant cost of a sync response that hands out testcases. Cold
+  /// instances encode on the fly; either way the bytes are identical to
+  /// kv_serialize_record_into(to_record(), out).
+  void serialize_record_into(std::string& out) const;
+
+  /// Builds the serialization cache (copies carry it along). Not
+  /// thread-safe against concurrent readers: call before the testcase is
+  /// shared, as TestcaseStore::add does.
+  void warm_encoded_record();
+
   /// Parses a [testcase] record; throws ParseError on malformed input.
   static Testcase from_record(const KvRecord& rec);
 
@@ -58,6 +74,7 @@ class Testcase {
   std::string description_;
   double blank_duration_ = 0.0;
   std::map<Resource, ExerciseFunction> functions_;
+  std::string encoded_record_;  ///< warm serialization cache ("" = cold)
 };
 
 }  // namespace uucs

@@ -1,6 +1,7 @@
 #include "util/guid.hpp"
 
 #include <cctype>
+#include <cstdio>
 
 #include "util/error.hpp"
 #include "util/rng.hpp"
@@ -37,12 +38,21 @@ Guid Guid::parse(const std::string& text) {
 }
 
 std::string Guid::to_string() const {
-  return strprintf("%08llx-%04llx-%04llx-%04llx-%012llx",
-                   static_cast<unsigned long long>(hi >> 32),
-                   static_cast<unsigned long long>((hi >> 16) & 0xffff),
-                   static_cast<unsigned long long>(hi & 0xffff),
-                   static_cast<unsigned long long>(lo >> 48),
-                   static_cast<unsigned long long>(lo & 0xffffffffffffULL));
+  std::string out;
+  append_to(out);
+  return out;
+}
+
+void Guid::append_to(std::string& out) const {
+  char buf[40];
+  const int n =
+      std::snprintf(buf, sizeof(buf), "%08llx-%04llx-%04llx-%04llx-%012llx",
+                    static_cast<unsigned long long>(hi >> 32),
+                    static_cast<unsigned long long>((hi >> 16) & 0xffff),
+                    static_cast<unsigned long long>(hi & 0xffff),
+                    static_cast<unsigned long long>(lo >> 48),
+                    static_cast<unsigned long long>(lo & 0xffffffffffffULL));
+  out.append(buf, static_cast<std::size_t>(n));
 }
 
 }  // namespace uucs

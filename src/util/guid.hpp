@@ -23,6 +23,10 @@ struct Guid {
   /// Canonical textual form, e.g. "0011aabb-ccdd-eeff-0123-456789abcdef".
   std::string to_string() const;
 
+  /// Appends the canonical textual form to `out` without allocating a
+  /// temporary — the hot-path encoders write one guid per request.
+  void append_to(std::string& out) const;
+
   bool is_nil() const { return hi == 0 && lo == 0; }
 
   friend bool operator==(const Guid&, const Guid&) = default;

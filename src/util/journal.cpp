@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "util/crc32.hpp"
 #include "util/error.hpp"
 #include "util/fs.hpp"
 #include "util/logging.hpp"
@@ -39,13 +40,6 @@ void fsync_or_throw(int fd, const std::string& path, std::uint64_t* counter = nu
   if (counter) ++*counter;
 }
 
-std::string frame_entry(const std::string& payload) {
-  std::string frame = strprintf("UUCSJ %zu %08x\n", payload.size(), Journal::crc32(payload));
-  frame += payload;
-  frame += '\n';
-  return frame;
-}
-
 std::string read_fd(int fd, const std::string& path) {
   struct stat st {};
   if (::fstat(fd, &st) != 0) {
@@ -71,19 +65,15 @@ std::string read_fd(int fd, const std::string& path) {
 
 }  // namespace
 
-std::uint32_t Journal::crc32(const std::string& data) {
-  static const auto table = [] {
-    std::vector<std::uint32_t> t(256);
-    for (std::uint32_t i = 0; i < 256; ++i) {
-      std::uint32_t c = i;
-      for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
-      t[i] = c;
-    }
-    return t;
-  }();
-  std::uint32_t crc = 0xffffffffu;
-  for (const unsigned char b : data) crc = table[(crc ^ b) & 0xffu] ^ (crc >> 8);
-  return crc ^ 0xffffffffu;
+std::uint32_t Journal::crc32(std::string_view data) { return uucs::crc32(data); }
+
+void Journal::frame_into(std::string& out, std::string_view payload) {
+  char header[48];
+  const int n = std::snprintf(header, sizeof(header), "UUCSJ %zu %08x\n",
+                              payload.size(), uucs::crc32(payload));
+  out.append(header, static_cast<std::size_t>(n));
+  out.append(payload);
+  out.push_back('\n');
 }
 
 Journal Journal::open(const std::string& path) {
@@ -111,9 +101,11 @@ Journal Journal::open(const std::string& path) {
     const std::size_t payload_len = static_cast<std::size_t>(*len);
     if (payload_at + payload_len + 1 > data.size()) break;  // torn tail
     if (data[payload_at + payload_len] != '\n') break;
-    std::string payload = data.substr(payload_at, payload_len);
+    // CRC the view first; copy the payload only once it verifies.
+    const std::string_view payload =
+        std::string_view(data).substr(payload_at, payload_len);
     if (crc32(payload) != static_cast<std::uint32_t>(crc)) break;
-    j.entries_.push_back(std::move(payload));
+    j.entries_.emplace_back(payload);
     off = payload_at + payload_len + 1;
     good = off;
   }
@@ -136,7 +128,8 @@ Journal::Journal(Journal&& other) noexcept
       entries_(std::move(other.entries_)),
       recovery_(other.recovery_),
       size_bytes_(other.size_bytes_),
-      fsync_count_(other.fsync_count_) {
+      fsync_count_(other.fsync_count_),
+      batch_buf_(std::move(other.batch_buf_)) {
   other.fd_ = -1;
 }
 
@@ -149,6 +142,7 @@ Journal& Journal::operator=(Journal&& other) noexcept {
     recovery_ = other.recovery_;
     size_bytes_ = other.size_bytes_;
     fsync_count_ = other.fsync_count_;
+    batch_buf_ = std::move(other.batch_buf_);
     other.fd_ = -1;
   }
   return *this;
@@ -168,12 +162,15 @@ void Journal::append(const std::string& payload) { append_batch({payload}); }
 void Journal::append_batch(const std::vector<std::string>& payloads) {
   if (payloads.empty()) return;
   UUCS_CHECK_MSG(fd_ >= 0, "journal " + path_ + " is closed");
-  std::string buf;
-  for (const auto& p : payloads) buf += frame_entry(p);
-  write_fully(fd_, buf.data(), buf.size(), path_);
+  // Frame directly into the persistent batch buffer: its capacity is warm
+  // after the first few batches, so steady-state group commit performs no
+  // allocation between the caller's payloads and the write(2).
+  batch_buf_.clear();
+  for (const auto& p : payloads) frame_into(batch_buf_, p);
+  write_fully(fd_, batch_buf_.data(), batch_buf_.size(), path_);
   fsync_or_throw(fd_, path_, &fsync_count_);
   for (const auto& p : payloads) entries_.push_back(p);
-  size_bytes_ += buf.size();
+  size_bytes_ += batch_buf_.size();
 }
 
 std::uint64_t Journal::free_bytes() const {
@@ -202,7 +199,7 @@ void Journal::compact(const std::vector<std::string>& keep) {
     throw SystemError("journal open " + tmp + ": " + std::strerror(errno));
   }
   std::string buf;
-  for (const auto& p : keep) buf += frame_entry(p);
+  for (const auto& p : keep) frame_into(buf, p);
   try {
     write_fully(tfd, buf.data(), buf.size(), tmp);
     fsync_or_throw(tfd, tmp, &fsync_count_);

@@ -6,6 +6,7 @@
 #include <functional>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -80,8 +81,16 @@ class Journal {
 
   void close();
 
-  /// CRC-32 (IEEE 802.3) of `data`; exposed for tests.
-  static std::uint32_t crc32(const std::string& data);
+  /// CRC-32 (IEEE 802.3) of `data`; exposed for tests. Delegates to the
+  /// shared util/crc32 implementation (slice-by-8 or hardware).
+  static std::uint32_t crc32(std::string_view data);
+
+  /// Appends one on-disk frame (`UUCSJ <len> <crc>\n<payload>\n`) for
+  /// `payload` to `out` without any intermediate allocation. This is the
+  /// single authority on the frame format: append_batch and compact build
+  /// their write buffers with it, and the golden byte-identity tests pin
+  /// its output against checked-in fixtures.
+  static void frame_into(std::string& out, std::string_view payload);
 
  private:
   Journal() = default;
@@ -92,6 +101,10 @@ class Journal {
   RecoveryStats recovery_;
   std::size_t size_bytes_ = 0;
   std::uint64_t fsync_count_ = 0;
+  /// Reused across append_batch calls so steady-state group commit frames
+  /// every batch into already-warm capacity instead of growing a fresh
+  /// std::string per batch.
+  std::string batch_buf_;
 };
 
 /// A disk fault injected into one group-commit batch attempt (the test hook

@@ -1,9 +1,9 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace uucs {
@@ -22,6 +22,10 @@ namespace uucs {
 ///
 /// Keys are unique within a record; values are arbitrary single-line text.
 /// `#` at the start of a (trimmed) line begins a comment.
+///
+/// Storage is two parallel vectors in insertion order (records carry a
+/// handful of keys, so the linear lookups beat a node-based map and cost two
+/// allocations per pair instead of three).
 class KvRecord {
  public:
   KvRecord() = default;
@@ -54,19 +58,106 @@ class KvRecord {
   std::string get_or(const std::string& key, const std::string& dflt) const;
 
   /// All keys in insertion order.
-  const std::vector<std::string>& keys() const { return order_; }
+  const std::vector<std::string>& keys() const { return keys_; }
+
+  /// Positional access in insertion order (shared decode interface with
+  /// KvDoc::Rec — see RunRecord::from_kv).
+  std::size_t size() const { return keys_.size(); }
+  const std::string& key_at(std::size_t i) const { return keys_[i]; }
+  const std::string& value_at(std::size_t i) const { return values_[i]; }
 
  private:
+  std::size_t index_of(const std::string& key) const;  ///< npos when absent
+
   std::string type_;
-  std::map<std::string, std::string> kv_;
-  std::vector<std::string> order_;
+  std::vector<std::string> keys_;
+  std::vector<std::string> values_;
 };
+
+/// Zero-copy parsed view of a kv-text document. parse() slices the input
+/// into string_views — no per-record or per-value string is materialized —
+/// and reuses its internal index vectors across calls, so a warmed KvDoc
+/// parses a steady stream of requests with zero heap allocations.
+///
+/// Lifetime contract: every view handed out (Rec, key/value string_views)
+/// points into the text passed to parse() and is valid only until the next
+/// parse() call and only while that text buffer is alive and unmoved. The
+/// ingest hot path parses straight out of the connection's frame buffer;
+/// anything that must outlive the request is copied explicitly
+/// (materialize(), or the typed getters that return owned values).
+class KvDoc {
+ public:
+  /// Cursor over one record inside the doc. Getter names, semantics, and
+  /// ParseError messages mirror KvRecord exactly so decode logic can be
+  /// written once against either representation.
+  class Rec {
+   public:
+    std::string_view type() const;
+    std::size_t size() const;
+    std::string_view key_at(std::size_t i) const;
+    std::string_view value_at(std::size_t i) const;
+
+    bool has(std::string_view key) const;
+    std::optional<std::string_view> find(std::string_view key) const;
+    std::string_view get(std::string_view key) const;
+    double get_double(std::string_view key) const;
+    std::int64_t get_int(std::string_view key) const;
+    bool get_bool(std::string_view key) const;
+    std::vector<double> get_doubles(std::string_view key) const;
+    double get_double_or(std::string_view key, double dflt) const;
+    std::int64_t get_int_or(std::string_view key, std::int64_t dflt) const;
+    std::string get_or(std::string_view key, std::string_view dflt) const;
+
+    /// Deep copy into an owning KvRecord (cold paths that store records).
+    KvRecord materialize() const;
+
+   private:
+    friend class KvDoc;
+    Rec(const KvDoc* doc, std::size_t index) : doc_(doc), index_(index) {}
+    const KvDoc* doc_;
+    std::size_t index_;
+  };
+
+  /// Parses `text`, replacing any previous contents. Throws ParseError with
+  /// the same messages (and line numbers) as kv_parse on malformed input.
+  void parse(std::string_view text);
+
+  std::size_t size() const { return recs_.size(); }
+  bool empty() const { return recs_.empty(); }
+  Rec at(std::size_t i) const { return Rec(this, i); }
+
+ private:
+  struct Pair {
+    std::string_view key;
+    std::string_view value;
+  };
+  struct RecSpan {
+    std::string_view type;
+    std::size_t first = 0;  ///< index into pairs_
+    std::size_t count = 0;
+  };
+
+  std::vector<Pair> pairs_;
+  std::vector<RecSpan> recs_;
+};
+
+/// Parses a comma-separated double list (the set_doubles format) into `out`
+/// (cleared first). Throws ParseError("bad number '<tok>' in list key
+/// '<key>'") on a malformed token; `key` is only used for that message.
+/// Shared by KvRecord::get_doubles and KvDoc::Rec::get_doubles.
+void parse_double_list(std::string_view raw, std::string_view key,
+                       std::vector<double>& out);
 
 /// Serializes records to the text format above.
 std::string kv_serialize(const std::vector<KvRecord>& records);
 
+/// Append-style serializers: write into a caller-owned buffer (no fresh
+/// string), byte-identical to kv_serialize.
+void kv_serialize_into(const std::vector<KvRecord>& records, std::string& out);
+void kv_serialize_record_into(const KvRecord& record, std::string& out);
+
 /// Parses the text format; throws ParseError on malformed input.
-std::vector<KvRecord> kv_parse(const std::string& text);
+std::vector<KvRecord> kv_parse(std::string_view text);
 
 /// Convenience: read/write a whole record file on disk.
 std::vector<KvRecord> kv_load_file(const std::string& path);

@@ -1,0 +1,248 @@
+/// Steady-state allocation-count assertions for the ingest hot path
+/// (ISSUE 10): once warmed, the parse / encode / journal-framing / CRC
+/// components each perform ZERO heap allocations per request. Built as its
+/// own test binary because it replaces the global operator new/delete to
+/// count allocations — that replacement must not leak into the other test
+/// executables. CI runs this under ASan as well: the counting wrappers
+/// forward to malloc/free, which ASan intercepts, so the assertions hold
+/// with and without instrumentation.
+///
+/// What "steady-state zero" covers (and what it deliberately does not):
+/// the per-worker KvDoc arena parse, peek_request, the append-style
+/// encoders into a recycled buffer, Journal::frame_into into the recycled
+/// group-commit batch buffer, and crc32. Producing owned RunRecords or
+/// response strings that cross threads allocates by design and is outside
+/// these brackets (DESIGN.md §16).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <string>
+
+#include "server/protocol.hpp"
+#include "server/server.hpp"
+#include "testcase/suite.hpp"
+#include "util/crc32.hpp"
+#include "util/journal.hpp"
+#include "util/kvtext.hpp"
+
+namespace {
+
+// Plain (not atomic) counters: every test here is single-threaded, and an
+// atomic would hide nothing — background threads do not exist in this
+// binary.
+std::uint64_t g_news = 0;
+
+}  // namespace
+
+// GCC's inliner pairs the library declaration of operator new with the
+// free()-based deletes below and warns; the pairing is correct because this
+// binary replaces both sides globally with malloc/free.
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+void* operator new(std::size_t size) {
+  ++g_news;
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return operator new(size); }
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  ++g_news;
+  return std::malloc(size ? size : 1);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t& t) noexcept {
+  return operator new(size, t);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+
+namespace uucs {
+namespace {
+
+constexpr int kIterations = 64;
+
+std::uint64_t allocs_since(std::uint64_t start) { return g_news - start; }
+
+std::string sample_sync_request() {
+  SyncRequest req;
+  req.guid = Guid::parse("00112233445566778899aabbccddeeff");
+  req.sync_seq = 3;
+  for (int r = 0; r < 2; ++r) {
+    RunRecord rec;
+    rec.run_id = "alloc/" + std::to_string(r);
+    rec.client_guid = req.guid.to_string();
+    rec.testcase_id = "memory-ramp-x1-t120";
+    rec.task = "bench";
+    rec.discomforted = (r % 2) == 0;
+    rec.offset_s = 10.5 + r;
+    req.results.push_back(std::move(rec));
+  }
+  return encode_sync_request(req);
+}
+
+TEST(HotPathAlloc, KvDocParseIsZeroAllocWhenWarm) {
+  const std::string text = sample_sync_request();
+  KvDoc doc;
+  doc.parse(text);  // warm: pair/record vectors grow to capacity
+  const std::uint64_t start = g_news;
+  for (int i = 0; i < kIterations; ++i) doc.parse(text);
+  EXPECT_EQ(allocs_since(start), 0u);
+  EXPECT_EQ(doc.at(0).type(), "sync-request");
+}
+
+TEST(HotPathAlloc, PeekRequestIsZeroAlloc) {
+  const std::string text = sample_sync_request();
+  const std::uint64_t start = g_news;
+  RequestPeek peek;
+  for (int i = 0; i < kIterations; ++i) peek = peek_request(text);
+  EXPECT_EQ(allocs_since(start), 0u);
+  EXPECT_EQ(peek.op, RequestPeek::Op::kSync);
+}
+
+TEST(HotPathAlloc, SyncResponseEncodeIsZeroAllocWhenWarm) {
+  SyncResponse response;
+  response.accepted_results = 2;
+  response.stored_run_ids = {"alloc/0", "alloc/1"};
+  response.server_testcase_count = 2;
+  response.new_testcases.push_back(
+      make_ramp_testcase(Resource::kMemory, 1.0, 120.0));
+  for (auto& tc : response.new_testcases) tc.warm_encoded_record();
+  std::string out;
+  encode_sync_response_into(response, out);  // warm the buffer
+  const std::uint64_t start = g_news;
+  for (int i = 0; i < kIterations; ++i) {
+    out.clear();
+    encode_sync_response_into(response, out);
+  }
+  EXPECT_EQ(allocs_since(start), 0u);
+  EXPECT_FALSE(out.empty());
+}
+
+TEST(HotPathAlloc, SyncRequestEncodeIsZeroAllocWhenWarm) {
+  SyncRequest req;
+  req.guid = Guid::parse("00112233445566778899aabbccddeeff");
+  req.sync_seq = 3;
+  for (int r = 0; r < 2; ++r) {
+    RunRecord rec;
+    rec.run_id = "alloc/" + std::to_string(r);
+    rec.testcase_id = "memory-ramp-x1-t120";
+    rec.task = "bench";
+    rec.offset_s = 10.5 + r;
+    req.results.push_back(std::move(rec));
+  }
+  std::string out;
+  encode_sync_request_into(req, out);  // warm the buffer
+  const std::uint64_t start = g_news;
+  for (int i = 0; i < kIterations; ++i) {
+    out.clear();
+    encode_sync_request_into(req, out);
+  }
+  EXPECT_EQ(allocs_since(start), 0u);
+  EXPECT_FALSE(out.empty());
+}
+
+TEST(HotPathAlloc, RunRecordSerializeIntoIsZeroAllocWhenWarm) {
+  RunRecord rec;
+  rec.run_id = "alloc/0";
+  rec.testcase_id = "memory-ramp-x1-t120";
+  rec.task = "bench";
+  rec.offset_s = 10.5;
+  rec.last_levels["memory"] = {0.25, 0.5, 0.75};
+  std::string out;
+  rec.serialize_into(out);  // warm the buffer
+  const std::uint64_t start = g_news;
+  for (int i = 0; i < kIterations; ++i) {
+    out.clear();
+    rec.serialize_into(out);
+  }
+  EXPECT_EQ(allocs_since(start), 0u);
+  EXPECT_FALSE(out.empty());
+}
+
+TEST(HotPathAlloc, JournalFrameIntoIsZeroAllocWhenWarm) {
+  std::string entry;
+  RunRecord rec;
+  rec.run_id = "alloc/journal";
+  rec.testcase_id = "memory-ramp-x1-t120";
+  rec.offset_s = 1.0;
+  rec.serialize_into(entry);
+  std::string batch;
+  for (int i = 0; i < 8; ++i) Journal::frame_into(batch, entry);  // warm
+  const std::uint64_t start = g_news;
+  for (int i = 0; i < kIterations; ++i) {
+    batch.clear();
+    for (int j = 0; j < 8; ++j) Journal::frame_into(batch, entry);
+  }
+  EXPECT_EQ(allocs_since(start), 0u);
+  EXPECT_FALSE(batch.empty());
+}
+
+TEST(HotPathAlloc, Crc32IsZeroAlloc) {
+  const std::string data(4096, 'x');
+  const std::uint64_t start = g_news;
+  std::uint64_t sum = 0;
+  for (int i = 0; i < kIterations; ++i) sum += crc32(data);
+  EXPECT_EQ(allocs_since(start), 0u);
+  EXPECT_EQ(sum, static_cast<std::uint64_t>(crc32(data)) * kIterations);
+}
+
+// The end-to-end bracket: a warmed dispatch of N pipelined syncs. This one
+// is NOT zero — each sync stores owned RunRecords and returns an owned
+// response string (they outlive the request, crossing threads in the real
+// server) — but it must stay at a small constant, independent of payload
+// re-parsing: the parse/encode arena work is amortized away. A regression
+// that reintroduces per-key string materialization in the parse path shows
+// up as hundreds of allocations per sync and trips the budget.
+TEST(HotPathAlloc, DispatchSteadyStateAllocBudget) {
+  UucsServer server(1, 4);
+  server.add_testcase(make_ramp_testcase(Resource::kMemory, 1.0, 120.0));
+  const Guid guid = server.register_client(HostSpec::paper_study_machine(), 0.0);
+
+  auto make_request = [&](int seq) {
+    SyncRequest req;
+    req.guid = guid;
+    req.sync_seq = static_cast<std::uint64_t>(seq);
+    req.known_testcase_ids = {"memory-ramp-x1-t120"};  // nothing to hand out
+    for (int r = 0; r < 2; ++r) {
+      RunRecord rec;
+      rec.run_id = "dispatch/" + std::to_string(seq * 2 + r);
+      rec.testcase_id = "memory-ramp-x1-t120";
+      rec.task = "bench";
+      rec.offset_s = 1.0 + r;
+      req.results.push_back(std::move(rec));
+    }
+    return encode_sync_request(req);
+  };
+
+  // Warm: thread_local KvDoc arena, shard maps, response buffers.
+  for (int i = 0; i < 8; ++i) dispatch_request(server, make_request(i));
+
+  std::vector<std::string> requests;
+  for (int i = 8; i < 8 + kIterations; ++i) requests.push_back(make_request(i));
+
+  const std::uint64_t start = g_news;
+  for (const auto& request : requests) {
+    const std::string response = dispatch_request(server, request);
+    ASSERT_FALSE(response.empty());
+  }
+  const std::uint64_t per_sync = allocs_since(start) / kIterations;
+  // Owned artifacts per sync: 2 RunRecords (a handful of strings each), 2
+  // stored run_ids + dedup-set entries, the journal-entry strings, the
+  // response string. ~40 gives headroom; the pre-overhaul parse alone did
+  // hundreds (one per key/value/record across 3 records).
+  EXPECT_LE(per_sync, 40u) << "dispatch allocates " << per_sync
+                           << " times per sync — hot-path regression";
+}
+
+}  // namespace
+}  // namespace uucs
